@@ -1,0 +1,100 @@
+// Ablation of the latency-hiding options (Sec. V-A "Effect of latency
+// hiding" + design choices DESIGN.md calls out).
+//
+// Paper claims: BV_N rearrangement gains ~1.15x on average; SIMD binning
+// cuts instructions 1.3-2x; prefetching is part of removing the latency
+// bound. Each row disables exactly one feature from the full
+// configuration and reports the relative throughput (full / ablated —
+// >1 means the feature helps on this host).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/adjacency_array.h"
+
+int main(int argc, char** argv) {
+  using namespace fastbfs;
+  using namespace fastbfs::bench;
+  const CliArgs args(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(args);
+  env.print_header(
+      "Ablation: latency-hiding and design options",
+      "rearrangement ~1.15x; SIMD binning 1.3-2x instruction reduction; "
+      "atomic-free updates remove the latency bound");
+
+  const vid_t n = env.scaled_vertices(16u << 20);
+  const unsigned scale = floor_log2(ceil_pow2(n));
+  const CsrGraph rmat = rmat_graph(scale, 8, env.seed);
+  const CsrGraph ur = uniform_graph(n, 16, env.seed);
+
+  TextTable t({"graph", "ablation", "MTEPS", "full/ablated", "paper"});
+  struct Ablation {
+    const char* name;
+    void (*apply)(BfsOptions&);
+    const char* paper;
+  };
+  const Ablation ablations[] = {
+      {"(full configuration)", [](BfsOptions&) {}, "-"},
+      {"no rearrangement",
+       [](BfsOptions& o) { o.rearrange = false; }, "~1.15x"},
+      {"no SIMD binning", [](BfsOptions& o) { o.use_simd = false; },
+       "1.3-2x fewer instr."},
+      {"no software prefetch",
+       [](BfsOptions& o) { o.use_prefetch = false; }, "(latency hiding)"},
+      {"markers forced",
+       [](BfsOptions& o) { o.pbv_encoding = PbvEncoding::kMarkers; },
+       "footnote 4"},
+      {"pairs forced",
+       [](BfsOptions& o) { o.pbv_encoding = PbvEncoding::kPairs; },
+       "footnote 4"},
+      {"atomic VIS (Fig. 2a)",
+       [](BfsOptions& o) { o.vis_mode = VisMode::kAtomicBit; },
+       "atomic-free wins"},
+      {"no load balancing",
+       [](BfsOptions& o) { o.scheme = SocketScheme::kSocketAware; },
+       "5-30% (graph-dep.)"},
+  };
+
+  struct Workload {
+    const char* name;
+    const CsrGraph* g;
+  };
+  for (const Workload w : {Workload{"RMAT", &rmat}, Workload{"UR", &ur}}) {
+    const AdjacencyArray adj(*w.g, env.sockets);
+    double full = 0.0;
+    for (const Ablation& a : ablations) {
+      BfsOptions o = env.engine_options();
+      a.apply(o);
+      const Measured m = measure_two_phase(adj, o, env.runs, env.seed);
+      if (full == 0.0) full = m.mteps > 0 ? m.mteps : 1.0;
+      t.add_row({w.name, a.name, TextTable::num(m.mteps, 1),
+                 TextTable::num(m.mteps > 0 ? full / m.mteps : 0.0, 2),
+                 a.paper});
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  // Prefetch-distance sweep (Sec. III-C item 3 leaves PREF_DIST open).
+  {
+    const AdjacencyArray adj(rmat, env.sockets);
+    TextTable sweep({"PREF_DIST", "MTEPS"});
+    for (const int dist : {1, 4, 8, 16, 32, 64}) {
+      BfsOptions o = env.engine_options();
+      o.prefetch_distance = dist;
+      const Measured m = measure_two_phase(adj, o, env.runs, env.seed);
+      sweep.add_row({TextTable::num(std::uint64_t(dist)),
+                     TextTable::num(m.mteps, 1)});
+    }
+    std::printf("\nprefetch distance sweep (RMAT):\n%s",
+                sweep.to_string().c_str());
+  }
+
+  std::printf(
+      "\nnote: on a single physical core the cache/bandwidth effects the\n"
+      "paper measures are muted; ratios near 1.0 are expected for prefetch\n"
+      "and rearrangement here, and the columns chiefly demonstrate that\n"
+      "every option is a pure performance toggle (results stay correct —\n"
+      "enforced by tests/test_two_phase.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,241 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/stats.h"
+#include "platform/cache_info.h"
+#include "util/aligned_buffer.h"
+#include "util/timer.h"
+
+namespace fastbfs::bench {
+
+BenchEnv BenchEnv::from_cli(const CliArgs& args) {
+  BenchEnv env;
+  env.threads = static_cast<unsigned>(args.get_int("threads", env.threads));
+  env.sockets = static_cast<unsigned>(args.get_int("sockets", env.sockets));
+  env.runs = static_cast<unsigned>(args.get_int("runs", env.runs));
+  env.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  env.scale = args.get("scale", "small");
+  env.div = env.scale == "paper" ? 1 : 64;
+  env.div = static_cast<unsigned>(args.get_int("div", env.div));
+  if (env.div == 0) env.div = 1;
+  return env;
+}
+
+vid_t BenchEnv::scaled_vertices(std::uint64_t paper_vertices) const {
+  return static_cast<vid_t>(
+      std::max<std::uint64_t>(paper_vertices / div, 1u << 14));
+}
+
+std::size_t BenchEnv::scaled_llc_bytes() const {
+  const std::size_t paper_llc = 8u << 20;  // X5570: 8 MB per socket
+  return std::max<std::size_t>(paper_llc / div, 1024);
+}
+
+BfsOptions BenchEnv::engine_options() const {
+  BfsOptions o;
+  o.n_threads = threads;
+  o.n_sockets = sockets;
+  o.llc_bytes_override = scaled_llc_bytes();
+  return o;
+}
+
+void BenchEnv::print_header(const std::string& title,
+                            const std::string& paper_context) const {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("paper: %s\n", paper_context.c_str());
+  std::printf(
+      "setup: scale=%s div=%u threads=%u logical-sockets=%u runs=%u "
+      "(simulated NUMA; absolute MTEPS are host-bound, compare shapes)\n\n",
+      scale.c_str(), div, threads, sockets, runs);
+}
+
+namespace {
+
+template <typename RunFn>
+Measured average_runs(const CsrGraph* g_for_roots, vid_t n_vertices,
+                      unsigned runs, std::uint64_t seed, RunFn&& run_one) {
+  Measured m;
+  unsigned done = 0;
+  for (unsigned i = 0; i < runs; ++i) {
+    const vid_t root =
+        g_for_roots != nullptr
+            ? pick_nonisolated_root(*g_for_roots, seed + i)
+            : static_cast<vid_t>((seed + i) % n_vertices);
+    if (root == kInvalidVertex) continue;
+    run_one(root, m);
+    ++done;
+  }
+  if (done > 0) {
+    m.mteps /= done;
+    m.seconds /= done;
+    m.edges /= done;
+    m.sec_per_edge /= done;
+    m.phase1_frac /= done;
+    m.phase2_frac /= done;
+    m.rearrange_frac /= done;
+  }
+  return m;
+}
+
+}  // namespace
+
+Measured measure_two_phase(const AdjacencyArray& adj, const BfsOptions& opts,
+                           unsigned runs, std::uint64_t seed) {
+  TwoPhaseBfs engine(adj, opts);
+  // Root picking needs degrees; the adjacency array has them.
+  Measured m = average_runs(
+      nullptr, adj.n_vertices(), runs, seed,
+      [&](vid_t root_seed, Measured& acc) {
+        // Find a non-isolated root by scanning from the seed position.
+        vid_t root = root_seed;
+        for (vid_t k = 0; k < adj.n_vertices(); ++k) {
+          const vid_t v = static_cast<vid_t>(
+              (static_cast<std::uint64_t>(root_seed) + k) % adj.n_vertices());
+          if (adj.degree(v) > 0) {
+            root = v;
+            break;
+          }
+        }
+        const BfsResult r = engine.run(root);
+        const RunStats& s = engine.last_run_stats();
+        acc.mteps += mteps(r.edges_traversed, r.seconds);
+        acc.seconds += r.seconds;
+        acc.edges += static_cast<double>(r.edges_traversed);
+        acc.sec_per_edge +=
+            r.edges_traversed == 0
+                ? 0.0
+                : r.seconds / static_cast<double>(r.edges_traversed);
+        const double phase_total = s.phase1_seconds + s.phase2_seconds +
+                                   s.rearrange_seconds;
+        if (phase_total > 0) {
+          acc.phase1_frac += s.phase1_seconds / phase_total;
+          acc.phase2_frac += s.phase2_seconds / phase_total;
+          acc.rearrange_frac += s.rearrange_seconds / phase_total;
+        }
+        acc.alpha_adj = s.alpha_adj;
+        const double total = static_cast<double>(s.traffic.total_bytes());
+        acc.remote_frac =
+            total > 0 ? static_cast<double>(s.traffic.total_remote_bytes()) /
+                            total
+                      : 0.0;
+        for (const auto& st : s.steps) {
+          if (st.binned_items >= 256) {
+            acc.imbalance = std::max(acc.imbalance, st.phase2_imbalance);
+          }
+        }
+      });
+  return m;
+}
+
+Measured measure_single_phase(const CsrGraph& g,
+                              const baseline::SinglePhaseOptions& opts,
+                              unsigned runs, std::uint64_t seed) {
+  return average_runs(&g, g.n_vertices(), runs, seed,
+                      [&](vid_t root, Measured& acc) {
+                        const BfsResult r =
+                            baseline::single_phase_bfs(g, root, opts);
+                        acc.mteps += mteps(r.edges_traversed, r.seconds);
+                        acc.seconds += r.seconds;
+                        acc.edges += static_cast<double>(r.edges_traversed);
+                        acc.sec_per_edge +=
+                            r.edges_traversed == 0
+                                ? 0.0
+                                : r.seconds /
+                                      static_cast<double>(r.edges_traversed);
+                      });
+}
+
+Measured measure_serial(const CsrGraph& g, unsigned runs, std::uint64_t seed) {
+  return average_runs(&g, g.n_vertices(), runs, seed,
+                      [&](vid_t root, Measured& acc) {
+                        const BfsResult r = reference_bfs(g, root);
+                        acc.mteps += mteps(r.edges_traversed, r.seconds);
+                        acc.seconds += r.seconds;
+                        acc.edges += static_cast<double>(r.edges_traversed);
+                        acc.sec_per_edge +=
+                            r.edges_traversed == 0
+                                ? 0.0
+                                : r.seconds /
+                                      static_cast<double>(r.edges_traversed);
+                      });
+}
+
+double read_bandwidth(std::size_t bytes, int reps) {
+  AlignedBuffer<std::uint64_t> buf(bytes / 8, kPageSize);
+  buf.fill(1);
+  volatile std::uint64_t sink = 0;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) sum += buf[i];
+    const double s = t.seconds();
+    sink = sink + sum;
+    best = std::max(best, static_cast<double>(bytes) / s / 1e9);
+  }
+  return best;
+}
+
+double write_bandwidth(std::size_t bytes, int reps) {
+  AlignedBuffer<std::uint64_t> buf(bytes / 8, kPageSize);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = i;
+    const double s = t.seconds();
+    best = std::max(best, static_cast<double>(bytes) / s / 1e9);
+  }
+  return best;
+}
+
+double copy_bandwidth(std::size_t bytes, int reps) {
+  AlignedBuffer<std::uint64_t> a(bytes / 16, kPageSize);
+  AlignedBuffer<std::uint64_t> b(bytes / 16, kPageSize);
+  a.fill(3);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    for (std::size_t i = 0; i < a.size(); ++i) b[i] = a[i];
+    const double s = t.seconds();
+    // Copy moves read + write traffic.
+    best = std::max(best, static_cast<double>(a.size() * 16) / s / 1e9);
+  }
+  return best;
+}
+
+model::PlatformParams calibrated_host_params() {
+  const CacheGeometry host = host_cache_geometry();
+  model::PlatformParams p = model::nehalem_ep();
+  p.freq_ghz = host_freq_ghz();
+  const std::size_t big = 128u << 20;
+  const std::size_t small = host.l2_bytes / 2;
+  p.b_mem = read_bandwidth(big, 2);
+  p.b_mem_max = std::max(p.b_mem, copy_bandwidth(big, 2));
+  p.b_llc_to_l2 = read_bandwidth(small, 500);
+  p.b_l2_to_llc = write_bandwidth(small, 500);
+  p.l2_bytes = static_cast<double>(host.l2_bytes);
+  p.llc_bytes = static_cast<double>(host.llc_bytes);
+  p.n_sockets = 1;
+  return p;
+}
+
+double host_freq_ghz() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        const double mhz = std::strtod(line.c_str() + colon + 1, nullptr);
+        if (mhz > 100.0) return mhz / 1000.0;
+      }
+    }
+  }
+  return 2.0;
+}
+
+}  // namespace fastbfs::bench

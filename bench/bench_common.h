@@ -1,0 +1,89 @@
+// Shared harness for the per-table/figure experiment binaries.
+//
+// Every bench accepts the same flags:
+//   --scale=small|paper   graph sizing (default small: paper sizes / 64,
+//                         so the sweeps finish on a laptop-class VM)
+//   --div=N               explicit size divisor (overrides --scale)
+//   --threads=N --sockets=N --runs=N --seed=N
+// and prints fixed-width tables with the paper's reported value beside the
+// measured one. Per the paper's method (Sec. V), each configuration is
+// run from several distinct non-isolated roots and averaged.
+#pragma once
+
+#include <string>
+
+#include "baseline/single_phase_bfs.h"
+#include "core/api.h"
+#include "core/two_phase_bfs.h"
+#include "graph/csr.h"
+#include "model/platform_params.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace fastbfs::bench {
+
+struct BenchEnv {
+  unsigned threads = 4;
+  unsigned sockets = 2;
+  unsigned runs = 2;
+  std::uint64_t seed = 42;
+  unsigned div = 64;  // paper graph sizes are divided by this
+  std::string scale = "small";
+
+  static BenchEnv from_cli(const CliArgs& args);
+
+  /// Paper vertex count -> this machine's vertex count, floored at 2^14
+  /// so every configuration still exercises multi-step traversals.
+  vid_t scaled_vertices(std::uint64_t paper_vertices) const;
+
+  /// Scaled LLC budget: shrinking graphs *and* the modelled LLC by the
+  /// same divisor preserves the paper's |VIS|-vs-cache relationships
+  /// (which VIS variant fits where), which is what Fig. 4 is about.
+  std::size_t scaled_llc_bytes() const;
+
+  BfsOptions engine_options() const;
+
+  void print_header(const std::string& title,
+                    const std::string& paper_context) const;
+};
+
+/// Averaged measurements over `env.runs` BFS runs from distinct roots.
+struct Measured {
+  double mteps = 0.0;          // mean across runs
+  double seconds = 0.0;        // mean per-run wall time
+  double edges = 0.0;          // mean traversed edges
+  double phase1_frac = 0.0;    // share of phase time (two-phase only)
+  double phase2_frac = 0.0;
+  double rearrange_frac = 0.0;
+  double alpha_adj = 0.0;      // last run (two-phase only)
+  double remote_frac = 0.0;    // remote / total audited bytes
+  double imbalance = 1.0;      // worst per-step phase-2 socket imbalance
+  double sec_per_edge = 0.0;   // mean seconds per traversed edge
+};
+
+Measured measure_two_phase(const AdjacencyArray& adj, const BfsOptions& opts,
+                           unsigned runs, std::uint64_t seed);
+
+Measured measure_single_phase(const CsrGraph& g,
+                              const baseline::SinglePhaseOptions& opts,
+                              unsigned runs, std::uint64_t seed);
+
+Measured measure_serial(const CsrGraph& g, unsigned runs, std::uint64_t seed);
+
+/// Best-effort host core frequency in GHz (cpuinfo, fallback 2.0): used to
+/// express measured seconds/edge in cycles/edge next to the model.
+double host_freq_ghz();
+
+/// STREAM-style microbenchmarks (GB/s, best of `reps`): sequential sum
+/// over `bytes` of memory / sequential store / copy.
+double read_bandwidth(std::size_t bytes, int reps);
+double write_bandwidth(std::size_t bytes, int reps);
+double copy_bandwidth(std::size_t bytes, int reps);
+
+/// PlatformParams recalibrated to this host: core clock from cpuinfo,
+/// DDR bandwidths from a DRAM-sized sweep, cache bandwidths from an
+/// L2-resident sweep, QPI kept at the Nehalem value (no second socket to
+/// measure). Lets the Sec. IV model predict *this* machine.
+fastbfs::model::PlatformParams calibrated_host_params();
+
+}  // namespace fastbfs::bench

@@ -1,0 +1,106 @@
+// Figure 8: cycles per traversed edge in Phase-I / Phase-II / Rearrange,
+// measured versus the analytical model, on R-MAT and UR sweeps.
+//
+// The paper's 5-10% absolute match holds on its calibrated Nehalem; on
+// this host we present three comparisons:
+//   (a) the model evaluated with Table I constants and the *measured*
+//       graph quantities (|V'|, |E'|, D, alpha_Adj) — the paper's numbers;
+//   (b) measured wall-clock converted to cycles/edge with the host clock;
+//   (c) the phase *split* (fractions of time in Phase-I/II/Rearrange),
+//       which is platform-robust and is the shape the figure shows.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/adjacency_array.h"
+#include "model/model.h"
+
+int main(int argc, char** argv) {
+  using namespace fastbfs;
+  using namespace fastbfs::bench;
+  const CliArgs args(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(args);
+  env.print_header(
+      "Figure 8: per-phase cycles/edge, measured vs analytical model",
+      "model matches measurement within 5-10% on the calibrated platform");
+
+  const double freq = host_freq_ghz();
+  // --calibrate replaces Table I's constants with bandwidths measured on
+  // this host, making the absolute cycles/edge columns comparable to the
+  // measured column (the paper's 5-10% experiment, transplanted).
+  const bool calibrate = args.get_bool("calibrate", false);
+  if (calibrate) std::printf("calibrating model to host bandwidths...\n");
+  const auto params =
+      calibrate ? calibrated_host_params() : model::nehalem_ep();
+
+  TextTable t({"graph", "|V| (paper)", "deg", "model P1", "model P2",
+               "model R", "model total", "meas c/e", "P1% m/M", "P2% m/M",
+               "R% m/M"});
+
+  const std::uint64_t paper_sizes[] = {8u << 20, 32u << 20};
+  const unsigned degrees[] = {8, 16};
+
+  for (const bool is_rmat : {true, false}) {
+    for (const std::uint64_t paper_v : paper_sizes) {
+      for (const unsigned deg : degrees) {
+        const vid_t n = env.scaled_vertices(paper_v);
+        if (static_cast<std::uint64_t>(n) * deg > (40u << 20)) continue;
+        const unsigned scale = floor_log2(ceil_pow2(n));
+        const CsrGraph g =
+            is_rmat ? rmat_graph(scale, deg / 2, env.seed + deg)
+                    : uniform_graph(n, deg, env.seed + deg);
+        const AdjacencyArray adj(g, env.sockets);
+        BfsOptions o = env.engine_options();
+        TwoPhaseBfs engine(adj, o);
+        // One calibration run to extract the model inputs.
+        vid_t root = 0;
+        while (root < g.n_vertices() && g.degree(root) == 0) ++root;
+        const BfsResult r = engine.run(root);
+        const RunStats& s = engine.last_run_stats();
+
+        model::ModelInput in;
+        in.n_vertices = g.n_vertices();
+        in.v_assigned = r.vertices_visited;
+        in.e_traversed = r.edges_traversed;
+        in.depth = r.depth_reached;
+        in.n_pbv = engine.n_pbv_bins();
+        in.n_vis = engine.n_vis_partitions();
+        in.vis_bytes = static_cast<double>(g.n_vertices()) / 8.0;
+        // A calibrated (single-physical-socket) model uses the
+        // single-socket equation; the Nehalem model composes sockets.
+        const auto pred = !calibrate && env.sockets > 1
+                              ? model::predict_multi_socket(
+                                    in, params, env.sockets, s.alpha_adj)
+                              : model::predict_single_socket(in, params);
+
+        const Measured m = measure_two_phase(adj, o, env.runs, env.seed);
+        const double meas_cpe =
+            m.sec_per_edge * freq * 1e9;  // host cycles per edge
+
+        const double mt = pred.total();
+        auto pct = [](double x) { return TextTable::num(x * 100.0, 0); };
+        t.add_row(
+            {is_rmat ? "RMAT" : "UR", TextTable::num(std::uint64_t{paper_v}),
+             TextTable::num(std::uint64_t{deg}),
+             TextTable::num(pred.phase1, 2), TextTable::num(pred.phase2(), 2),
+             TextTable::num(pred.rearrange, 2), TextTable::num(mt, 2),
+             TextTable::num(meas_cpe, 2),
+             pct(m.phase1_frac) + "/" + pct(mt > 0 ? pred.phase1 / mt : 0),
+             pct(m.phase2_frac) + "/" + pct(mt > 0 ? pred.phase2() / mt : 0),
+             pct(m.rearrange_frac) + "/" +
+                 pct(mt > 0 ? pred.rearrange / mt : 0)});
+      }
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\n'model *' columns: cycles/edge from Sec. IV with Table I constants\n"
+      "and this run's measured |V'|,|E'|,D,alpha_Adj. 'meas c/e' converts\n"
+      "wall time with the host clock (%.2f GHz). 'X%% m/M' compares the\n"
+      "measured vs model share of time per phase — the platform-portable\n"
+      "shape of Fig. 8. The 5-10%% absolute claim is reproduced in\n"
+      "tests/test_model.cpp against the paper's own worked example.\n",
+      freq);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Kernel-level microbenchmarks (google-benchmark).
+//
+// The end-to-end figures on a one-core VM are noisy; these isolate the
+// paper's kernel-level claims where they are crisp:
+//   - SIMD vs scalar neighbour binning (Sec. III-C.4: "overall
+//     instruction reduction of 1.3-2x");
+//   - atomic-free vs LOCK-prefixed VIS updates (Sec. III-A / Fig. 2:
+//     atomics "behave as memory fences that lead to serialization");
+//   - the rearrangement pass cost (Sec. III-B3b: 24 bytes/vertex);
+//   - Chase-Lev deque ops (the work-stealing baseline's substrate).
+// Run: ./bench_kernels [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/work_stealing_deque.h"
+#include "core/rearrange.h"
+#include "core/vis.h"
+#include "gen/rmat.h"
+#include "graph/adjacency_array.h"
+#include "graph/bfs_result.h"
+#include "simd/binning.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+namespace {
+
+std::vector<vid_t> random_ids(std::size_t n, vid_t max_id) {
+  Xoshiro256 rng(7);
+  std::vector<vid_t> ids(n);
+  for (auto& id : ids) id = static_cast<vid_t>(rng.next_below(max_id));
+  return ids;
+}
+
+struct BinFixture {
+  explicit BinFixture(unsigned n_bins, std::size_t n)
+      : ids(random_ids(n, 1u << 20)),
+        storage(n_bins, std::vector<svid_t>(n)),
+        cursors(n_bins, 0) {
+    for (auto& s : storage) ptrs.push_back(s.data());
+  }
+  std::vector<vid_t> ids;
+  std::vector<std::vector<svid_t>> storage;
+  std::vector<svid_t*> ptrs;
+  std::vector<std::uint32_t> cursors;
+};
+
+void BM_BinningScalar(benchmark::State& state) {
+  const auto n_bins = static_cast<unsigned>(state.range(0));
+  const unsigned shift = 20 - floor_log2(n_bins);
+  BinFixture f(n_bins, 1 << 16);
+  for (auto _ : state) {
+    std::fill(f.cursors.begin(), f.cursors.end(), 0);
+    append_binned_scalar(f.ids.data(), f.ids.size(), shift, f.ptrs.data(),
+                         f.cursors.data());
+    benchmark::DoNotOptimize(f.cursors.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ids.size()));
+}
+BENCHMARK(BM_BinningScalar)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_BinningSse(benchmark::State& state) {
+  const auto n_bins = static_cast<unsigned>(state.range(0));
+  const unsigned shift = 20 - floor_log2(n_bins);
+  BinFixture f(n_bins, 1 << 16);
+  for (auto _ : state) {
+    std::fill(f.cursors.begin(), f.cursors.end(), 0);
+    append_binned_sse(f.ids.data(), f.ids.size(), shift, f.ptrs.data(),
+                      f.cursors.data());
+    benchmark::DoNotOptimize(f.cursors.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ids.size()));
+}
+BENCHMARK(BM_BinningSse)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_VisAtomicFree(benchmark::State& state) {
+  VisArray vis(1 << 20, VisArray::Kind::kBit);
+  const auto ids = random_ids(1 << 16, 1 << 20);
+  for (auto _ : state) {
+    for (const vid_t v : ids) {
+      if (!vis.test(v)) vis.set(v);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ids.size()));
+}
+BENCHMARK(BM_VisAtomicFree);
+
+void BM_VisAtomic(benchmark::State& state) {
+  VisArray vis(1 << 20, VisArray::Kind::kBit);
+  const auto ids = random_ids(1 << 16, 1 << 20);
+  for (auto _ : state) {
+    for (const vid_t v : ids) {
+      benchmark::DoNotOptimize(vis.test_and_set_atomic(v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ids.size()));
+}
+BENCHMARK(BM_VisAtomic);
+
+void BM_DpProbe(benchmark::State& state) {
+  // The no-VIS alternative: an 8-byte DP probe per edge.
+  DepthParent dp(1 << 20);
+  const auto ids = random_ids(1 << 16, 1 << 20);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const vid_t v : ids) acc += dp.visited(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ids.size()));
+}
+BENCHMARK(BM_DpProbe);
+
+void BM_Rearrange(benchmark::State& state) {
+  static const CsrGraph g = rmat_graph(16, 8, 3);
+  static const AdjacencyArray adj(g, 2);
+  CacheGeometry c;
+  c.tlb_entries = 8;
+  Rearranger r(adj, c);
+  const auto base = random_ids(1 << 16, g.n_vertices());
+  std::vector<vid_t> bv, scratch;
+  std::vector<std::uint32_t> hist;
+  for (auto _ : state) {
+    bv = base;
+    r.rearrange(bv, scratch, hist);
+    benchmark::DoNotOptimize(bv.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_Rearrange);
+
+void BM_DequePushPop(benchmark::State& state) {
+  baseline::WorkStealingDeque d(1 << 16);
+  for (auto _ : state) {
+    for (vid_t i = 0; i < 1024; ++i) d.push(i);
+    for (vid_t i = 0; i < 1024; ++i) benchmark::DoNotOptimize(d.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_DequePushPop);
+
+}  // namespace
+}  // namespace fastbfs
+
+BENCHMARK_MAIN();

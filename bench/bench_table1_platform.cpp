@@ -1,0 +1,64 @@
+// Table I: platform characteristics.
+//
+// Prints the paper's dual-socket Xeon X5570 figures (encoded as the
+// analytical model's default PlatformParams) next to bandwidths measured
+// on this host with STREAM-style kernels. The host numbers are what you
+// would substitute into model::PlatformParams to recalibrate the Sec. IV
+// model for this machine.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/platform_params.h"
+#include "platform/cache_info.h"
+#include "util/aligned_buffer.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace fastbfs;
+  using namespace fastbfs::bench;
+  const CliArgs args(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(args);
+  env.print_header("Table I: platform characteristics",
+                   "dual-socket Intel Xeon X5570 (Nehalem-EP), 8 cores @ "
+                   "2.93 GHz, 96 GB RAM");
+
+  const auto p = model::nehalem_ep();
+  const CacheGeometry host = host_cache_geometry();
+
+  // Host measurements: a DRAM-sized working set for main-memory bandwidth
+  // and a half-L2-sized set for cache bandwidth.
+  const std::size_t big = 256u << 20;
+  const std::size_t small = host.l2_bytes / 2;
+  const double host_read = bench::read_bandwidth(big, 3);
+  const double host_write = bench::write_bandwidth(big, 3);
+  const double host_copy = bench::copy_bandwidth(big, 3);
+  const double cache_read = bench::read_bandwidth(small, 2000);
+  const double cache_write = bench::write_bandwidth(small, 2000);
+
+  TextTable t({"characteristic", "paper (Table I)", "this host (measured)"});
+  t.add_row({"core frequency (GHz)", TextTable::num(p.freq_ghz, 2),
+             TextTable::num(host_freq_ghz(), 2)});
+  t.add_row({"achievable DDR read BW (GB/s, per socket)",
+             TextTable::num(p.b_mem, 1), TextTable::num(host_read, 1)});
+  t.add_row({"DDR write BW (GB/s)", "(within 2x22 total)",
+             TextTable::num(host_write, 1)});
+  t.add_row({"DDR copy BW (GB/s, r+w)", "(peak 2 x 32)",
+             TextTable::num(host_copy, 1)});
+  t.add_row({"read BW LLC->L2 (GB/s)", TextTable::num(p.b_llc_to_l2, 1),
+             TextTable::num(cache_read, 1) + " (L2-resident)"});
+  t.add_row({"write BW L2->LLC (GB/s)", TextTable::num(p.b_l2_to_llc, 1),
+             TextTable::num(cache_write, 1) + " (L2-resident)"});
+  t.add_row({"QPI BW per direction (GB/s)", TextTable::num(p.b_qpi, 1),
+             "n/a (single physical socket; simulated)"});
+  t.add_row({"LLC size (MB per socket)",
+             TextTable::num(p.llc_bytes / 1048576.0, 1),
+             TextTable::num(host.llc_bytes / 1048576.0, 1)});
+  t.add_row({"L2 size (KB per core)", TextTable::num(p.l2_bytes / 1024.0, 0),
+             TextTable::num(host.l2_bytes / 1024.0, 0)});
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nnote: the model's Table I constants are unit-tested against the\n"
+      "paper's worked examples (tests/test_model.cpp); host numbers above\n"
+      "recalibrate PlatformParams when modelling this machine.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Multi-node simulation: why an efficient single node matters.
+//
+//   ./multi_node_sim [--scale=16] [--max-ranks=16]
+//
+// The paper's cost argument (Sec. I): its dual-socket node matched a
+// 256-node cluster from the Nov 2010 Graph500 list, because 1-D
+// distributed BFS pays one network message for almost every traversed
+// edge once the cluster grows. This example quantifies that trade-off on
+// a Graph500-class R-MAT graph: sweep the simulated node count, measure
+// cross-node messages per traversed edge, and compare against the
+// traversal running entirely inside one (multi-socket) node with the
+// paper's engine — where the same traffic moves at cache/DRAM speed.
+#include <cstdio>
+
+#include "core/api.h"
+#include "dist/cluster.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace fastbfs;
+  const CliArgs args(argc, argv);
+  const unsigned scale = static_cast<unsigned>(args.get_int("scale", 16));
+  const unsigned max_ranks =
+      static_cast<unsigned>(args.get_int("max-ranks", 16));
+
+  const CsrGraph g = rmat_graph(scale, 16, /*seed=*/5);
+  const vid_t root = pick_nonisolated_root(g, 1);
+  std::printf("R-MAT scale %u: %u vertices, %llu arcs\n\n", scale,
+              g.n_vertices(), static_cast<unsigned long long>(g.n_edges()));
+
+  // Single-node reference: the paper's engine, all traffic on-node.
+  BfsRunner runner(g);
+  const BfsResult single = runner.run(root);
+  std::printf(
+      "single node (two-phase engine): %.1f MTEPS, 0 network bytes\n\n",
+      mteps(single.edges_traversed, single.seconds));
+
+  std::printf("%-8s %-14s %-16s %-18s %s\n", "nodes", "messages",
+              "msgs/edge", "wire bytes", "bytes per node per step");
+  for (unsigned ranks = 1; ranks <= max_ranks; ranks *= 2) {
+    dist::DistributedBfs cluster(g, ranks);
+    const BfsResult r = cluster.run(root);
+    const auto& s = cluster.last_stats();
+    const double per_node_step =
+        s.supersteps == 0 || ranks == 0
+            ? 0.0
+            : static_cast<double>(s.total_message_bytes) /
+                  (static_cast<double>(ranks) * s.supersteps);
+    std::printf("%-8u %-14llu %-16.3f %-18llu %.0f\n", ranks,
+                static_cast<unsigned long long>(s.total_messages),
+                s.messages_per_edge(r.edges_traversed),
+                static_cast<unsigned long long>(s.total_message_bytes),
+                per_node_step);
+  }
+  std::printf(
+      "\nreading: messages/edge approaches 1 as nodes are added — nearly\n"
+      "every traversed edge becomes wire traffic. Packing more traversal\n"
+      "into each node (this library's purpose) removes that traffic\n"
+      "entirely, which is how one well-driven dual-socket node kept pace\n"
+      "with a 256-node cluster on the Nov 2010 Graph500 list.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Social-network analysis: degrees of separation on a scale-free graph.
+//
+//   ./social_network [--scale=18] [--samples=8]
+//
+// The workload the paper's introduction motivates: reachability queries on
+// a social graph (Orkut/Twitter/Facebook in Table II). This example builds
+// an Orkut-class R-MAT proxy and uses repeated BFS to compute
+//   - the degrees-of-separation histogram from sampled users,
+//   - the effective diameter estimate (99th-percentile depth),
+//   - the size of the giant component.
+// Demonstrates reusing one BfsRunner across many roots (construction cost
+// is paid once) and reading per-vertex depths from BfsResult.
+#include <cstdio>
+#include <vector>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace fastbfs;
+  const CliArgs args(argc, argv);
+  const unsigned scale = static_cast<unsigned>(args.get_int("scale", 18));
+  const unsigned samples = static_cast<unsigned>(args.get_int("samples", 8));
+
+  // Orkut-class: heavy edge factor (Table II: 3M users, 223M friendships).
+  std::printf("building social graph (R-MAT scale %u, edge factor 36)...\n",
+              scale);
+  const CsrGraph g = rmat_graph(scale, 36, /*seed=*/777);
+  const DegreeStats ds = degree_stats(g);
+  std::printf("users: %u; friendships (arcs/2): %llu; max degree %u; "
+              "isolated %llu\n",
+              g.n_vertices(),
+              static_cast<unsigned long long>(g.n_edges() / 2),
+              ds.max_degree,
+              static_cast<unsigned long long>(ds.isolated_vertices));
+
+  BfsRunner runner(g);
+  std::vector<std::uint64_t> separation_hist;
+  std::uint64_t giant = 0;
+  double total_seconds = 0.0;
+  std::uint64_t total_edges = 0;
+
+  for (unsigned i = 0; i < samples; ++i) {
+    const vid_t root = pick_nonisolated_root(g, 1000 + i);
+    const BfsResult r = runner.run(root);
+    total_seconds += r.seconds;
+    total_edges += r.edges_traversed;
+    giant = std::max(giant, r.vertices_visited);
+    if (separation_hist.size() < r.depth_reached + 1) {
+      separation_hist.resize(r.depth_reached + 1, 0);
+    }
+    for (vid_t v = 0; v < g.n_vertices(); ++v) {
+      if (r.dp.visited(v)) ++separation_hist[r.dp.depth(v)];
+    }
+  }
+
+  std::printf("\ndegrees-of-separation histogram (over %u sampled users):\n",
+              samples);
+  std::uint64_t total_pairs = 0;
+  for (const auto c : separation_hist) total_pairs += c;
+  std::uint64_t cumulative = 0;
+  for (std::size_t d = 0; d < separation_hist.size(); ++d) {
+    cumulative += separation_hist[d];
+    const double pct =
+        100.0 * static_cast<double>(separation_hist[d]) /
+        static_cast<double>(total_pairs);
+    std::printf("  %2zu hops: %10llu reachable (%.1f%%)\n", d,
+                static_cast<unsigned long long>(separation_hist[d]), pct);
+    if (100.0 * static_cast<double>(cumulative) /
+            static_cast<double>(total_pairs) >= 99.0) {
+      std::printf("  -> effective diameter (99%%): %zu hops\n", d);
+      break;
+    }
+  }
+  std::printf("\ngiant component: %llu of %u users (%.1f%%)\n",
+              static_cast<unsigned long long>(giant), g.n_vertices(),
+              100.0 * static_cast<double>(giant) / g.n_vertices());
+  std::printf("traversal rate: %.1f MTEPS over %u runs\n",
+              mteps(total_edges, total_seconds), samples);
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every reproduced table/figure (DESIGN.md experiment index)
+# and the full test suite, teeing into test_output.txt / bench_output.txt
+# at the repository root.
+#
+# Usage: scripts/run_all_experiments.sh [extra bench flags...]
+#   e.g. scripts/run_all_experiments.sh --scale=paper --runs=5
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+
+cmake -B "$build" -G Ninja
+cmake --build "$build"
+
+ctest --test-dir "$build" 2>&1 | tee "$repo/test_output.txt"
+
+: > "$repo/bench_output.txt"
+for b in "$build"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "### $(basename "$b") $*" | tee -a "$repo/bench_output.txt"
+  "$b" "$@" 2>&1 | tee -a "$repo/bench_output.txt"
+  echo | tee -a "$repo/bench_output.txt"
+done

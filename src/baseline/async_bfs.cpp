@@ -1,0 +1,108 @@
+#include "baseline/async_bfs.h"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/work_stealing_deque.h"
+#include "thread/thread_pool.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fastbfs::baseline {
+
+BfsResult async_bfs(const CsrGraph& g, vid_t root, unsigned n_threads) {
+  if (root >= g.n_vertices()) {
+    throw std::invalid_argument("async_bfs: root out of range");
+  }
+  BfsResult result;
+  result.root = root;
+  result.dp = DepthParent(g.n_vertices());
+  DepthParent& dp = result.dp;
+
+  SocketTopology topo(1, n_threads);
+  ThreadPool pool(topo);
+
+  struct Worker {
+    std::unique_ptr<WorkStealingDeque> deque;
+    std::uint64_t relaxations = 0;
+    std::vector<vid_t> overflow;  // deque-full fallback (rare)
+  };
+  std::vector<Worker> workers(n_threads);
+  for (auto& w : workers) {
+    // Re-enqueues can exceed |V| transiently; size generously.
+    w.deque = std::make_unique<WorkStealingDeque>(
+        std::max<std::size_t>(2 * g.n_vertices(), 1024));
+  }
+
+  dp.store(root, 0, root);
+  workers[0].deque->push(root);
+  // Exact termination: +1 per enqueue, -1 after a vertex is processed.
+  std::atomic<std::int64_t> in_flight{1};
+
+  Timer timer;
+  pool.run([&](const ThreadContext& ctx) {
+    Worker& me = workers[ctx.thread_id];
+    Xoshiro256 rng(0xa51cull + ctx.thread_id);
+
+    auto enqueue = [&](vid_t v) {
+      in_flight.fetch_add(1, std::memory_order_acq_rel);
+      if (!me.deque->push(v)) me.overflow.push_back(v);
+    };
+
+    while (in_flight.load(std::memory_order_acquire) > 0) {
+      // Consume own work FIFO (steal from our own top): label correcting
+      // converges in near-BFS order then, instead of the pathological
+      // depth-first re-relaxation cascade LIFO consumption causes.
+      std::optional<vid_t> u = me.deque->steal();
+      if (!u && !me.overflow.empty()) {
+        u = me.overflow.back();
+        me.overflow.pop_back();
+      }
+      if (!u && ctx.n_threads > 1) {
+        const unsigned victim =
+            static_cast<unsigned>(rng.next_below(ctx.n_threads));
+        if (victim != ctx.thread_id) u = workers[victim].deque->steal();
+      }
+      if (!u) {
+        std::this_thread::yield();
+        continue;
+      }
+      // Relax all neighbours from u's *current* depth. u may have been
+      // improved again after this enqueue; the stale pass is then
+      // redundant but harmless (monotone min updates).
+      const std::uint64_t du_packed = dp.load(*u);
+      const depth_t du = DepthParent::depth_of(du_packed);
+      if (du != kInfDepth) {
+        for (const vid_t v : g.neighbors(*u)) {
+          ++me.relaxations;
+          const depth_t candidate = du + 1;
+          std::uint64_t cur = dp.load(v);
+          while (DepthParent::depth_of(cur) > candidate ||
+                 cur == DepthParent::kInf) {
+            if (dp.compare_exchange(v, cur, candidate, *u)) {
+              enqueue(v);
+              break;
+            }
+            // cur was reloaded by the failed CAS; loop re-checks.
+          }
+        }
+      }
+      in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  });
+  result.seconds = timer.seconds();
+  for (const auto& w : workers) result.edges_traversed += w.relaxations;
+  depth_t max_depth = 0;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (dp.visited(v)) {
+      ++result.vertices_visited;
+      max_depth = std::max(max_depth, dp.depth(v));
+    }
+  }
+  result.depth_reached = max_depth;
+  return result;
+}
+
+}  // namespace fastbfs::baseline

@@ -1,0 +1,30 @@
+// Asynchronous (barrier-free, label-correcting) BFS — the related-work
+// alternative of Sec. VI.
+//
+// The paper chooses *synchronous* BFS because it is work-efficient: every
+// vertex's depth is written exactly once. Asynchronous approaches
+// ([27],[28],[29] in the paper) drop the per-level barriers — attractive
+// for large-diameter graphs where barriers dominate — at the price of
+// re-relaxations: a vertex settled at a provisional depth may be improved
+// later and its neighbourhood reprocessed.
+//
+// This implementation is a Bellman-Ford-style label corrector over unit
+// weights: workers draw vertices FIFO from per-thread deques (with
+// stealing — SPFA-like order, which keeps re-relaxation bounded), relax
+// each neighbour with a 64-bit CAS on the packed depth+parent word, and
+// re-enqueue improved vertices. Termination is
+// exact via an in-flight counter. The final depths equal BFS depths (unit
+// weights => label correcting converges to shortest hop counts), so the
+// standard validators apply; `BfsResult::edges_traversed` counts actual
+// relaxations, making the paper's work-efficiency argument measurable:
+// the async/sync edge ratio *is* the wasted work.
+#pragma once
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs::baseline {
+
+BfsResult async_bfs(const CsrGraph& g, vid_t root, unsigned n_threads);
+
+}  // namespace fastbfs::baseline

@@ -1,0 +1,14 @@
+#include "baseline/no_vis_bfs.h"
+
+#include "baseline/single_phase_bfs.h"
+
+namespace fastbfs::baseline {
+
+BfsResult no_vis_bfs(const CsrGraph& g, vid_t root, unsigned n_threads) {
+  SinglePhaseOptions opts;
+  opts.n_threads = n_threads;
+  opts.vis_mode = VisMode::kNone;
+  return single_phase_bfs(g, root, opts);
+}
+
+}  // namespace fastbfs::baseline

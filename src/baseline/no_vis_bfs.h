@@ -1,0 +1,13 @@
+// The "no VIS array" scheme of Fig. 4: every edge probes the DP array
+// directly. Competitive while DP fits in cache, 1.7-2.7x slower once it
+// spills (the figure's headline observation).
+#pragma once
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs::baseline {
+
+BfsResult no_vis_bfs(const CsrGraph& g, vid_t root, unsigned n_threads);
+
+}  // namespace fastbfs::baseline

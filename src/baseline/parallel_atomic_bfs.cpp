@@ -1,0 +1,15 @@
+#include "baseline/parallel_atomic_bfs.h"
+
+#include "baseline/single_phase_bfs.h"
+
+namespace fastbfs::baseline {
+
+BfsResult parallel_atomic_bfs(const CsrGraph& g, vid_t root,
+                              unsigned n_threads) {
+  SinglePhaseOptions opts;
+  opts.n_threads = n_threads;
+  opts.vis_mode = VisMode::kAtomicBit;
+  return single_phase_bfs(g, root, opts);
+}
+
+}  // namespace fastbfs::baseline

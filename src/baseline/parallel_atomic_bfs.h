@@ -1,0 +1,18 @@
+// The Agarwal et al. (SC'10)-style comparison point of Fig. 6.
+//
+// Lock-free but *atomic-heavy*: a shared bit array updated with
+// LOCK-prefixed test-and-set filters visited vertices; no PBV binning, no
+// socket-locality, no prefetch, no SIMD, no rearrangement. This is the
+// "previous best reported numbers on the same platform" bar that the
+// paper beats by 1.5-3x.
+#pragma once
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs::baseline {
+
+BfsResult parallel_atomic_bfs(const CsrGraph& g, vid_t root,
+                              unsigned n_threads);
+
+}  // namespace fastbfs::baseline

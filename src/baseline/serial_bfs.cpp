@@ -1,0 +1,13 @@
+#include "baseline/serial_bfs.h"
+
+#include "graph/stats.h"
+
+namespace fastbfs::baseline {
+
+BfsResult serial_bfs(const CsrGraph& g, vid_t root) {
+  // reference_bfs implements exactly Fig. 1's level-synchronous loop; the
+  // baseline namespace re-exports it so benches read naturally.
+  return reference_bfs(g, root);
+}
+
+}  // namespace fastbfs::baseline

@@ -1,0 +1,15 @@
+// The unoptimized sequential BFS of Fig. 1.
+//
+// The per-step boundary-set structure (BV_C / BV_N, DP updates) matches
+// the paper's code snippet; this is both the correctness oracle for every
+// parallel engine and the "1 thread, no tricks" bar in the benches.
+#pragma once
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs::baseline {
+
+BfsResult serial_bfs(const CsrGraph& g, vid_t root);
+
+}  // namespace fastbfs::baseline

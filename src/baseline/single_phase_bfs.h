@@ -1,0 +1,29 @@
+// Single-phase parallel BFS — the prior-work shape (Agarwal et al. and
+// the non-binned comparison points of Fig. 4).
+//
+// Structure: per-thread frontier queues, the union of queues divided
+// evenly among threads each step, neighbours checked and updated *in
+// place* (no PBV binning, no socket awareness). The visited check is
+// pluggable with the same VisMode enum as the core engine:
+//   kNone       — probe DP per edge (Fig. 4's "no VIS" bar),
+//   kAtomicBit  — lock-prefixed fetch_or on a bit array (Fig. 2(a),
+//                 Agarwal et al.'s scheme),
+//   kByte/kBit  — the atomic-free check-then-recheck protocol, but
+//                 without the two-phase machinery.
+#pragma once
+
+#include "core/options.h"
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs::baseline {
+
+struct SinglePhaseOptions {
+  unsigned n_threads = 4;
+  VisMode vis_mode = VisMode::kAtomicBit;
+};
+
+BfsResult single_phase_bfs(const CsrGraph& g, vid_t root,
+                           const SinglePhaseOptions& opts);
+
+}  // namespace fastbfs::baseline

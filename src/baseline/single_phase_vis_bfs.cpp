@@ -1,0 +1,137 @@
+#include "baseline/single_phase_bfs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/vis.h"
+#include "thread/thread_pool.h"
+#include "util/timer.h"
+
+namespace fastbfs::baseline {
+namespace {
+
+struct ThreadQueues {
+  std::vector<vid_t> cur;
+  std::vector<vid_t> next;
+  std::uint64_t edges = 0;
+};
+
+/// Maps the global frontier range [lo, hi) (over the concatenation of all
+/// threads' queues) onto per-source segments and invokes fn(src, b, e).
+template <typename Fn>
+void for_segments(const std::vector<ThreadQueues>& qs, std::uint64_t lo,
+                  std::uint64_t hi, Fn&& fn) {
+  std::uint64_t pre = 0;
+  for (unsigned src = 0; src < qs.size() && pre < hi; ++src) {
+    const std::uint64_t n = qs[src].cur.size();
+    const std::uint64_t s_lo = std::max(lo, pre);
+    const std::uint64_t s_hi = std::min(hi, pre + n);
+    if (s_lo < s_hi) fn(src, s_lo - pre, s_hi - pre);
+    pre += n;
+  }
+}
+
+}  // namespace
+
+BfsResult single_phase_bfs(const CsrGraph& g, vid_t root,
+                           const SinglePhaseOptions& opts) {
+  if (root >= g.n_vertices()) {
+    throw std::invalid_argument("single_phase_bfs: root out of range");
+  }
+  if (opts.vis_mode == VisMode::kPartitionedBit) {
+    throw std::invalid_argument(
+        "single_phase_bfs: partitioning requires the two-phase engine");
+  }
+
+  BfsResult result;
+  result.root = root;
+  result.dp = DepthParent(g.n_vertices());
+  DepthParent& dp = result.dp;
+
+  std::unique_ptr<VisArray> vis;
+  if (opts.vis_mode == VisMode::kByte) {
+    vis = std::make_unique<VisArray>(g.n_vertices(), VisArray::Kind::kByte);
+  } else if (opts.vis_mode != VisMode::kNone) {
+    vis = std::make_unique<VisArray>(g.n_vertices(), VisArray::Kind::kBit);
+  }
+
+  // Single logical socket: prior work did not partition memory.
+  SocketTopology topo(1, opts.n_threads);
+  ThreadPool pool(topo);
+  std::vector<ThreadQueues> qs(opts.n_threads);
+
+  dp.store(root, 0, root);
+  if (vis) vis->set(root);
+  qs[0].cur.push_back(root);
+
+  std::atomic<unsigned> final_step{0};
+  Timer timer;
+  pool.run([&](const ThreadContext& ctx) {
+    ThreadQueues& me = qs[ctx.thread_id];
+    SpinBarrier& bar = pool.barrier();
+    for (depth_t step = 1;; ++step) {
+      bar.arrive_and_wait();  // all queues for this step published
+      std::uint64_t total = 0;
+      for (const auto& q : qs) total += q.cur.size();
+      if (total == 0) {
+        if (ctx.thread_id == 0) {
+          final_step.store(step, std::memory_order_relaxed);
+        }
+        return;
+      }
+      const std::uint64_t lo = total * ctx.thread_id / ctx.n_threads;
+      const std::uint64_t hi = total * (ctx.thread_id + 1) / ctx.n_threads;
+      for_segments(qs, lo, hi, [&](unsigned src, std::uint64_t b,
+                                   std::uint64_t e) {
+        const vid_t* frontier = qs[src].cur.data();
+        for (std::uint64_t i = b; i < e; ++i) {
+          const vid_t u = frontier[i];
+          for (const vid_t v : g.neighbors(u)) {
+            ++me.edges;
+            switch (opts.vis_mode) {
+              case VisMode::kNone:
+                if (!dp.visited(v)) {
+                  dp.store(v, step, u);
+                  me.next.push_back(v);
+                }
+                break;
+              case VisMode::kAtomicBit:
+                if (!vis->test_and_set_atomic(v)) {
+                  dp.store(v, step, u);
+                  me.next.push_back(v);
+                }
+                break;
+              default:  // atomic-free byte/bit: Fig. 2(b) protocol
+                if (!vis->test(v)) {
+                  vis->set(v);
+                  if (!dp.visited(v)) {
+                    dp.store(v, step, u);
+                    me.next.push_back(v);
+                  }
+                }
+                break;
+            }
+          }
+        }
+      });
+      bar.arrive_and_wait();  // everyone done reading cur queues
+      me.cur.swap(me.next);
+      me.next.clear();
+    }
+  });
+  result.seconds = timer.seconds();
+  // The loop detects emptiness at the *top* of step s, meaning no vertex
+  // holds depth s-1; the deepest assigned depth is therefore s-2.
+  const unsigned fs = final_step.load(std::memory_order_relaxed);
+  result.depth_reached = fs >= 2 ? fs - 2 : 0;
+  for (const auto& q : qs) result.edges_traversed += q.edges;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (dp.visited(v)) ++result.vertices_visited;
+  }
+  return result;
+}
+
+}  // namespace fastbfs::baseline

@@ -1,0 +1,23 @@
+// Statically-partitioned BFS in the style of Xia & Prasanna (PDCS'09) and
+// the special-purpose platforms of Sec. VI.
+//
+// Vertices are partitioned by contiguous id range, one range per thread,
+// and each thread is the *only* writer of depths in its range — no locks,
+// no atomics, by exclusive ownership. The price (Sec. II "Some of the
+// previous schemes perform a static partitioning of vertices between
+// threads to avoid locks... this leads to increased load-imbalance"):
+// every thread must scan the whole frontier's adjacency to find the edges
+// landing in its range, so work is duplicated n_threads-fold and skewed
+// frontiers idle most threads. The paper reports ~10.5x over this class
+// of scheme on UR graphs.
+#pragma once
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs::baseline {
+
+BfsResult static_partition_bfs(const CsrGraph& g, vid_t root,
+                               unsigned n_threads);
+
+}  // namespace fastbfs::baseline

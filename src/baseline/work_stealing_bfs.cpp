@@ -1,0 +1,111 @@
+#include "baseline/work_stealing_bfs.h"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/work_stealing_deque.h"
+#include "core/vis.h"
+#include "thread/thread_pool.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fastbfs::baseline {
+
+BfsResult work_stealing_bfs(const CsrGraph& g, vid_t root,
+                            unsigned n_threads) {
+  if (root >= g.n_vertices()) {
+    throw std::invalid_argument("work_stealing_bfs: root out of range");
+  }
+  BfsResult result;
+  result.root = root;
+  result.dp = DepthParent(g.n_vertices());
+  DepthParent& dp = result.dp;
+  VisArray vis(g.n_vertices(), VisArray::Kind::kBit);
+
+  SocketTopology topo(1, n_threads);
+  ThreadPool pool(topo);
+
+  struct Worker {
+    std::unique_ptr<WorkStealingDeque> deque;
+    std::vector<vid_t> discovered;  // next level, appended lock-free
+    std::uint64_t edges = 0;
+  };
+  std::vector<Worker> workers(n_threads);
+  for (auto& w : workers) {
+    w.deque = std::make_unique<WorkStealingDeque>(
+        std::max<std::size_t>(g.n_vertices(), 1024));
+  }
+
+  dp.store(root, 0, root);
+  vis.set(root);
+  workers[0].deque->push(root);
+
+  // Remaining unprocessed items in the current level; threads spin on it
+  // between steal attempts so a level ends exactly when the last in-flight
+  // vertex finishes, not merely when the deques look empty.
+  std::atomic<std::int64_t> level_remaining{1};
+  std::atomic<unsigned> final_depth{0};
+
+  Timer timer;
+  pool.run([&](const ThreadContext& ctx) {
+    Worker& me = workers[ctx.thread_id];
+    Xoshiro256 rng(0x5157ull + ctx.thread_id);
+    SpinBarrier& bar = pool.barrier();
+
+    for (depth_t depth = 1;; ++depth) {
+      // --- consume the current level with stealing ---
+      while (level_remaining.load(std::memory_order_acquire) > 0) {
+        std::optional<vid_t> u = me.deque->pop();
+        if (!u && ctx.n_threads > 1) {
+          const unsigned victim = static_cast<unsigned>(
+              rng.next_below(ctx.n_threads));
+          if (victim != ctx.thread_id) {
+            u = workers[victim].deque->steal();
+          }
+        }
+        if (!u) {
+          std::this_thread::yield();
+          continue;
+        }
+        for (const vid_t v : g.neighbors(*u)) {
+          ++me.edges;
+          if (!vis.test_and_set_atomic(v)) {
+            dp.store(v, depth, *u);
+            me.discovered.push_back(v);
+          }
+        }
+        level_remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      bar.arrive_and_wait();  // level fully drained everywhere
+
+      // --- publish the next level ---
+      std::uint64_t next_total = 0;
+      for (const auto& w : workers) next_total += w.discovered.size();
+      if (next_total == 0) {
+        if (ctx.thread_id == 0) {
+          final_depth.store(depth - 1, std::memory_order_relaxed);
+        }
+        return;
+      }
+      bar.arrive_and_wait();  // sums done; mutation may start
+      for (const vid_t v : me.discovered) me.deque->push(v);
+      me.discovered.clear();
+      if (ctx.thread_id == 0) {
+        level_remaining.store(static_cast<std::int64_t>(next_total),
+                              std::memory_order_release);
+      }
+      bar.arrive_and_wait();  // deques and the counter are ready
+    }
+  });
+  result.seconds = timer.seconds();
+  result.depth_reached = final_depth.load(std::memory_order_relaxed);
+  for (const auto& w : workers) result.edges_traversed += w.edges;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (dp.visited(v)) ++result.vertices_visited;
+  }
+  return result;
+}
+
+}  // namespace fastbfs::baseline

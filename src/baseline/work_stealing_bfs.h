@@ -1,0 +1,22 @@
+// Work-stealing parallel BFS — the Leiserson & Schardl (SPAA'10) PBFS
+// comparison point of Fig. 7.
+//
+// Level-synchronous like every engine here, but *within* a level the
+// frontier is consumed through per-thread Chase-Lev deques with random
+// stealing, emulating a Cilk++-style dynamically load-balanced schedule
+// (rather than the paper's static even division). Visited filtering uses
+// the atomic bitmap — the prior-work mechanism — so the measured gap to
+// the two-phase engine isolates exactly what the paper claims over this
+// line of work: no bandwidth-shaping (bitmaps spill, no binning, no
+// prefetch), only good load balance.
+#pragma once
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs::baseline {
+
+BfsResult work_stealing_bfs(const CsrGraph& g, vid_t root,
+                            unsigned n_threads);
+
+}  // namespace fastbfs::baseline

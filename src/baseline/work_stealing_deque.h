@@ -1,0 +1,116 @@
+// Chase-Lev work-stealing deque (Dynamic Circular Work-Stealing Deque,
+// SPAA'05), fixed-capacity variant.
+//
+// Substrate for the work-stealing BFS baseline (baseline/
+// work_stealing_bfs.h), which stands in for Leiserson & Schardl's
+// Cilk++-scheduled PBFS — the comparison point for the UF graphs in
+// Fig. 7 (the paper reports a 2-10x gap to that line of work).
+//
+// Single owner thread push()es/pop()s at the bottom; any thread steal()s
+// from the top. Memory ordering follows the Le/Pop/Cohen/Nardelli
+// C11-formalization (PPoPP'13):
+//   - push: relaxed store of the element, release fence on bottom;
+//   - pop: SC exchange on bottom, CAS on top only for the last element;
+//   - steal: acquire loads of top/bottom, SC CAS on top.
+// Capacity is fixed (the BFS bounds the queue by |V|), so the dynamic
+// growth of the original is unnecessary; push() reports overflow instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "util/aligned_buffer.h"
+#include "util/types.h"
+
+namespace fastbfs::baseline {
+
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t capacity)
+      : mask_(ceil_pow2(capacity < 2 ? 2 : capacity) - 1),
+        buffer_(mask_ + 1) {}
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Owner only. Returns false when full.
+  bool push(vid_t item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > static_cast<std::int64_t>(mask_)) return false;  // full
+    slot(b).store(item, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner only. Empty -> nullopt.
+  std::optional<vid_t> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const vid_t item = slot(b).load(std::memory_order_relaxed);
+    if (t != b) return item;  // more than one element: no race possible
+    // Last element: race with steal() via CAS on top.
+    std::optional<vid_t> result = item;
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      result = std::nullopt;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return result;
+  }
+
+  /// Any thread. Empty or lost race -> nullopt.
+  std::optional<vid_t> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    const vid_t item = slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost to the owner or another thief
+    }
+    return item;
+  }
+
+  /// Approximate (racy) size; exact when quiescent.
+  std::int64_t size_approx() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+  bool empty_approx() const { return size_approx() <= 0; }
+
+  /// Owner only, quiescent only.
+  void reset() {
+    bottom_.store(0, std::memory_order_relaxed);
+    top_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Plain storage accessed through atomic_ref (same pattern as the VIS
+  // and DP arrays): avoids constructing std::atomic objects in raw
+  // aligned storage while keeping every slot access atomic.
+  std::atomic_ref<vid_t> slot(std::int64_t index) {
+    return std::atomic_ref<vid_t>(
+        buffer_[static_cast<std::size_t>(index) & mask_]);
+  }
+
+  const std::size_t mask_;
+  AlignedBuffer<vid_t> buffer_;
+  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace fastbfs::baseline

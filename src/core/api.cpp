@@ -1,0 +1,56 @@
+#include "core/api.h"
+
+#include <algorithm>
+
+#include "graph/stats.h"
+#include "graph/validate.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+
+BfsRunner::BfsRunner(const CsrGraph& csr, const BfsOptions& opts)
+    : adj_(std::make_unique<AdjacencyArray>(csr, opts.n_sockets)),
+      engine_(std::make_unique<TwoPhaseBfs>(*adj_, opts)) {}
+
+BfsRunner::~BfsRunner() = default;
+
+BfsResult BfsRunner::run(vid_t root) { return engine_->run(root); }
+
+const RunStats& BfsRunner::last_run_stats() const {
+  return engine_->last_run_stats();
+}
+
+const BfsOptions& BfsRunner::options() const { return engine_->options(); }
+
+BatchResult BfsRunner::run_batch(const CsrGraph& csr, unsigned n_roots,
+                                 std::uint64_t seed, bool validate) {
+  BatchResult batch;
+  Xoshiro256 rng(seed);
+  double sum = 0.0, inv_sum = 0.0;
+  for (unsigned i = 0; i < n_roots; ++i) {
+    const vid_t root = pick_nonisolated_root(csr, rng.next());
+    if (root == kInvalidVertex) break;
+    batch.roots.push_back(root);
+    const BfsResult r = run(root);
+    ++batch.runs;
+    if (validate) {
+      if (validate_bfs_tree(csr, r).ok) ++batch.validated;
+    }
+    if (r.seconds <= 0.0 || r.edges_traversed == 0) continue;
+    // Graph500 counts each undirected edge once: halve traversed arcs.
+    const double teps =
+        static_cast<double>(r.edges_traversed) / 2.0 / r.seconds;
+    batch.min_teps =
+        batch.min_teps == 0.0 ? teps : std::min(batch.min_teps, teps);
+    batch.max_teps = std::max(batch.max_teps, teps);
+    sum += teps;
+    inv_sum += 1.0 / teps;
+  }
+  if (batch.runs > 0) {
+    batch.mean_teps = sum / batch.runs;
+    if (inv_sum > 0.0) batch.harmonic_teps = batch.runs / inv_sum;
+  }
+  return batch;
+}
+
+}  // namespace fastbfs

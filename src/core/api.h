@@ -1,0 +1,69 @@
+// Public one-stop API of the library.
+//
+// Most users want exactly this:
+//
+//   #include "core/api.h"
+//   CsrGraph g = rmat_graph(20, 16, /*seed=*/42);
+//   BfsRunner runner(g);                  // defaults: 2 sockets, 4 threads
+//   BfsResult r = runner.run(source);
+//   r.dp.depth(v);  r.dp.parent(v);
+//
+// BfsRunner owns the socket-partitioned adjacency array and a persistent
+// engine, so repeated traversals (the common case: Graph500 runs 64
+// roots) pay construction once. For direct control over every knob use
+// TwoPhaseBfs from core/two_phase_bfs.h.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "core/two_phase_bfs.h"
+#include "graph/adjacency_array.h"
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs {
+
+/// Aggregate of a Graph500-style batch (one BFS per sampled key).
+struct BatchResult {
+  unsigned runs = 0;
+  unsigned validated = 0;        // runs passing the BFS-tree validator
+  double min_teps = 0.0;         // TEPS in Graph500's halved convention
+  double max_teps = 0.0;
+  double mean_teps = 0.0;
+  double harmonic_teps = 0.0;    // the statistic Graph500 reports
+  std::vector<vid_t> roots;
+};
+
+class BfsRunner {
+ public:
+  /// Builds the NUMA-partitioned adjacency representation from `csr` and
+  /// prepares the engine. The CSR is not retained.
+  explicit BfsRunner(const CsrGraph& csr, const BfsOptions& opts = {});
+  ~BfsRunner();
+
+  BfsRunner(const BfsRunner&) = delete;
+  BfsRunner& operator=(const BfsRunner&) = delete;
+
+  /// One full BFS from `root`; thread-compatible with repeated calls but
+  /// not concurrent ones.
+  BfsResult run(vid_t root);
+
+  /// The Graph500 kernel-2 procedure: sample `n_roots` distinct
+  /// non-isolated search keys (seeded), run one BFS per key, validate
+  /// each tree, and aggregate TEPS statistics. Requires the original CSR
+  /// for validation, which BfsRunner does not retain.
+  BatchResult run_batch(const CsrGraph& csr, unsigned n_roots,
+                        std::uint64_t seed, bool validate = true);
+
+  const RunStats& last_run_stats() const;
+  const AdjacencyArray& adjacency() const { return *adj_; }
+  const BfsOptions& options() const;
+
+ private:
+  std::unique_ptr<AdjacencyArray> adj_;
+  std::unique_ptr<TwoPhaseBfs> engine_;
+};
+
+}  // namespace fastbfs

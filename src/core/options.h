@@ -1,0 +1,72 @@
+// Every knob of the paper's algorithm, one struct.
+//
+// Each field corresponds to a design choice the evaluation ablates:
+// Fig. 4 sweeps vis_mode, Fig. 5 sweeps scheme, Sec. V-A's latency-hiding
+// paragraph toggles use_simd / use_prefetch / rearrange. Tests inject a
+// tiny llc_bytes_override to force the partitioned-VIS and multi-bin code
+// paths on graphs small enough to validate exhaustively.
+#pragma once
+
+#include <cstddef>
+
+#include "platform/cache_info.h"
+#include "platform/prefetch.h"
+
+namespace fastbfs {
+
+/// How visited vertices are tracked (Sec. III-A / Fig. 4).
+enum class VisMode {
+  kNone,            // probe DP directly, no auxiliary structure
+  kAtomicBit,       // bit array updated with lock-prefixed fetch_or (Fig. 2a)
+  kByte,            // atomic-free byte per vertex
+  kBit,             // atomic-free bit per vertex, single partition
+  kPartitionedBit,  // atomic-free bits, N_VIS cache-resident partitions
+  kAuto,            // paper's selection rule: byte when |V| <= |C|
+                    // (footnote 2), partitioned bits otherwise
+};
+
+/// Multi-socket work division (Sec. III-B3a / Fig. 5).
+enum class SocketScheme {
+  kNone,          // no binning: one PBV bin, work divided ignoring sockets
+  kSocketAware,   // bins statically owned by their socket (locality only)
+  kLoadBalanced,  // the paper's scheme: even split, <=2 shared bins/socket
+};
+
+/// PBV stream encoding (Sec. III-C item 4 + footnote 4).
+enum class PbvEncoding {
+  kAuto,     // markers when N_PBV < average degree, else pairs
+  kMarkers,  // parent marker (bitwise-NOT id) interleaved before children
+  kPairs,    // explicit (parent, child) pairs
+};
+
+struct BfsOptions {
+  unsigned n_threads = 4;
+  unsigned n_sockets = 2;
+
+  VisMode vis_mode = VisMode::kPartitionedBit;
+  SocketScheme scheme = SocketScheme::kLoadBalanced;
+  PbvEncoding pbv_encoding = PbvEncoding::kAuto;
+
+  bool use_simd = true;
+  bool use_prefetch = true;
+  int prefetch_distance = kDefaultPrefetchDistance;
+  bool rearrange = true;
+  /// Pin worker threads to CPUs (socket-major round robin); off by
+  /// default because pinning hurts on oversubscribed hosts.
+  bool pin_threads = false;
+
+  /// Cache geometry used for N_VIS and rearrangement-bin sizing.
+  CacheGeometry cache = nehalem_x5570_cache();
+  /// When non-zero, pretend the LLC has this many bytes (tests use tiny
+  /// values to force N_VIS > 1 on small graphs).
+  std::size_t llc_bytes_override = 0;
+
+  /// Collect per-phase timings and the local/remote traffic audit.
+  bool collect_stats = true;
+
+  std::size_t effective_llc_bytes() const {
+    return llc_bytes_override != 0 ? llc_bytes_override : cache.llc_bytes;
+  }
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,56 @@
+#include "core/pbv.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fastbfs {
+
+void PbvBin::reserve_extra(std::uint32_t current, std::uint32_t extra) {
+  const std::uint64_t need = static_cast<std::uint64_t>(current) + extra;
+  if (need <= buf_.size()) return;
+  std::uint64_t cap = std::max<std::uint64_t>(buf_.size() * 2, 1024);
+  cap = std::max(cap, need);
+  AlignedBuffer<svid_t> grown(cap, kCacheLine);
+  if (current != 0) {
+    std::memcpy(grown.data(), buf_.data(), current * sizeof(svid_t));
+  }
+  buf_ = std::move(grown);
+}
+
+PbvBinSet::PbvBinSet(unsigned n_bins)
+    : bins_(n_bins),
+      bin_ptrs_(n_bins, nullptr),
+      cursors_(n_bins, 0),
+      caps_(n_bins, 0) {}
+
+void PbvBinSet::clear_all() {
+  for (auto& b : bins_) b.clear();
+}
+
+void PbvBinSet::begin_appends() {
+  for (unsigned b = 0; b < bins_.size(); ++b) {
+    bin_ptrs_[b] = bins_[b].data();
+    cursors_[b] = bins_[b].size();
+    caps_[b] = bins_[b].capacity();
+  }
+}
+
+void PbvBinSet::commit_appends() {
+  for (unsigned b = 0; b < bins_.size(); ++b) {
+    bins_[b].set_size(cursors_[b]);
+  }
+}
+
+void PbvBinSet::grow(unsigned b, std::uint32_t extra) {
+  bins_[b].reserve_extra(cursors_[b], extra);
+  bin_ptrs_[b] = bins_[b].data();
+  caps_[b] = bins_[b].capacity();
+}
+
+std::uint64_t PbvBinSet::total_entries() const {
+  std::uint64_t total = 0;
+  for (const auto& b : bins_) total += b.size();
+  return total;
+}
+
+}  // namespace fastbfs

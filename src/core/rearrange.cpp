@@ -1,0 +1,32 @@
+#include "core/rearrange.h"
+
+#include <algorithm>
+
+namespace fastbfs {
+
+Rearranger::Rearranger(const AdjacencyArray& adj, const CacheGeometry& cache)
+    : adj_(&adj), page_bytes_(cache.page_bytes) {
+  const std::size_t pages = std::max<std::size_t>(adj.total_pages(page_bytes_), 1);
+  // One bin per TLB-reach worth of pages (Sec. III-B3b).
+  pages_per_bin_ = std::max<std::size_t>(cache.tlb_entries, 1);
+  n_bins_ = static_cast<unsigned>(ceil_div(pages, pages_per_bin_));
+}
+
+void Rearranger::rearrange(std::vector<vid_t>& bv, std::vector<vid_t>& scratch,
+                           std::vector<std::uint32_t>& histogram) const {
+  if (bv.size() < 2 || n_bins_ < 2) return;
+  histogram.assign(n_bins_, 0);
+  for (const vid_t v : bv) ++histogram[bin_of(v)];
+  // Exclusive prefix sum -> scatter cursors.
+  std::uint32_t run = 0;
+  for (unsigned b = 0; b < n_bins_; ++b) {
+    const std::uint32_t c = histogram[b];
+    histogram[b] = run;
+    run += c;
+  }
+  scratch.resize(bv.size());
+  for (const vid_t v : bv) scratch[histogram[bin_of(v)]++] = v;
+  std::copy(scratch.begin(), scratch.end(), bv.begin());
+}
+
+}  // namespace fastbfs

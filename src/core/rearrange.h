@@ -1,0 +1,49 @@
+// TLB-aware rearrangement of the next frontier (Sec. III-B3b).
+//
+// After Phase-II each thread reorders its BV_N so that the *next* step's
+// adjacency reads walk Adj in page order: vertices whose blocks share a
+// TLB-reach-sized window of pages become contiguous in the frontier. The
+// method is Kim et al.'s one-pass radix partition — histogram over page
+// bins, scatter into a temporary array, copy back — costing (4+8+4+8)
+// bytes per frontier vertex (Eqn. IV.1d's 24 B/|V'|).
+//
+// Bin count = pages(Adj) / TLB-resident pages. Because block byte offsets
+// are monotone in vertex id, the counting sort is stable *and* its key is
+// a coarsening of vertex order, so rearrangement preserves the PBV-bin
+// grouping the next Phase-I division depends on (DESIGN.md invariant 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency_array.h"
+#include "platform/cache_info.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+class Rearranger {
+ public:
+  Rearranger(const AdjacencyArray& adj, const CacheGeometry& cache);
+
+  unsigned n_bins() const { return n_bins_; }
+
+  unsigned bin_of(vid_t v) const {
+    const std::size_t page = adj_->block_byte_offset(v) / page_bytes_;
+    const auto b = static_cast<unsigned>(page / pages_per_bin_);
+    return b < n_bins_ ? b : n_bins_ - 1;
+  }
+
+  /// Stable counting sort of bv by bin_of. scratch/histogram are caller
+  /// scratch (per-thread) so repeated calls allocate nothing.
+  void rearrange(std::vector<vid_t>& bv, std::vector<vid_t>& scratch,
+                 std::vector<std::uint32_t>& histogram) const;
+
+ private:
+  const AdjacencyArray* adj_;
+  std::size_t page_bytes_;
+  std::size_t pages_per_bin_;
+  unsigned n_bins_;
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,456 @@
+#include "core/two_phase_bfs.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "platform/prefetch.h"
+#include "simd/binning.h"
+#include "util/timer.h"
+
+namespace fastbfs {
+
+namespace {
+/// Phase-I reserves bin capacity per frontier vertex, so a chunk constant
+/// is not needed; this caps the prefetch lookahead clamp instead.
+constexpr std::uint32_t kMinPrefetchWindow = 1;
+}  // namespace
+
+void RunStats::write_steps_csv(std::ostream& out) const {
+  out << "step,frontier,binned_items,phase1_s,phase2_s,rearrange_s,"
+         "phase1_imbalance,phase2_imbalance\n";
+  for (const StepStats& s : steps) {
+    out << s.step << ',' << s.frontier_size << ',' << s.binned_items << ','
+        << s.phase1_seconds << ',' << s.phase2_seconds << ','
+        << s.rearrange_seconds << ',' << s.phase1_imbalance << ','
+        << s.phase2_imbalance << '\n';
+  }
+}
+
+struct TwoPhaseBfs::ThreadState {
+  std::vector<vid_t> bv_c;                 // current frontier (bin-grouped)
+  std::vector<vid_t> bv_n;                 // next frontier
+  std::vector<std::uint32_t> bvc_counts;   // frontier entries per bin
+  std::vector<std::uint32_t> bvn_counts;
+  std::vector<std::uint32_t> bvc_offsets;  // exclusive prefix of bvc_counts
+  PbvBinSet pbv;
+  std::vector<std::uint32_t> pbv_items;    // per bin, in decode items
+
+  std::vector<vid_t> scratch;              // rearrangement temp
+  std::vector<std::uint32_t> hist;
+
+  TrafficCounter t1, t2, t2u, tr;
+  std::uint64_t edges = 0;
+  double rearrange_seconds = 0.0;
+  std::vector<std::uint64_t> adj_bytes_by_socket;
+
+  void reset(unsigned n_bins, unsigned n_sockets) {
+    bv_c.clear();
+    bv_n.clear();
+    bvc_counts.assign(n_bins, 0);
+    bvn_counts.assign(n_bins, 0);
+    bvc_offsets.assign(n_bins, 0);
+    if (pbv.n_bins() != n_bins) pbv = PbvBinSet(n_bins);
+    pbv.clear_all();
+    pbv_items.assign(n_bins, 0);
+    t1 = t2 = t2u = tr = TrafficCounter{};
+    edges = 0;
+    rearrange_seconds = 0.0;
+    adj_bytes_by_socket.assign(n_sockets, 0);
+  }
+
+  void compute_bvc_offsets() {
+    std::uint32_t run = 0;
+    for (std::size_t b = 0; b < bvc_counts.size(); ++b) {
+      bvc_offsets[b] = run;
+      run += bvc_counts[b];
+    }
+  }
+};
+
+TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
+    : adj_(adj),
+      opts_(opts),
+      topo_(opts.n_sockets, opts.n_threads),
+      pool_(topo_, opts.pin_threads),
+      rearranger_(adj, opts.cache),
+      dp_(adj.n_vertices()) {
+  if (adj.partition().n_sockets() != opts.n_sockets) {
+    throw std::invalid_argument(
+        "TwoPhaseBfs: adjacency array built for a different socket count");
+  }
+
+  // Footnote 2's selection rule: a byte per vertex while the whole byte
+  // array fits the LLC, bits (partitioned as needed) beyond that.
+  if (opts_.vis_mode == VisMode::kAuto) {
+    opts_.vis_mode = adj.n_vertices() <= opts_.effective_llc_bytes()
+                         ? VisMode::kByte
+                         : VisMode::kPartitionedBit;
+  }
+
+  // N_VIS (Sec. III-A): only the partitioned mode partitions.
+  n_vis_ = 1;
+  if (opts_.vis_mode == VisMode::kPartitionedBit) {
+    n_vis_ = vis_partitions(adj.n_vertices(), opts_.effective_llc_bytes());
+    // Bins are vertex-range shifts: cannot have more VIS partitions than
+    // vertices per socket.
+    const std::uint64_t v_ns = adj.partition().vertices_per_socket();
+    n_vis_ = static_cast<unsigned>(
+        std::min<std::uint64_t>(n_vis_, v_ns));
+  }
+
+  // N_PBV = N_S * N_VIS (Sec. III-B3); the no-optimization scheme uses a
+  // single undifferentiated bin.
+  if (opts_.scheme == SocketScheme::kNone) {
+    n_bins_ = 1;
+    bin_shift_ = 31;  // every id (< 2^31) maps to bin 0
+  } else {
+    n_bins_ = opts_.n_sockets * n_vis_;
+    bin_shift_ = adj.partition().shift() - floor_log2(n_vis_);
+  }
+
+  // Footnote 4: pairs are more space-efficient once a marker per bin per
+  // vertex exceeds the neighbours a vertex contributes.
+  switch (opts_.pbv_encoding) {
+    case PbvEncoding::kMarkers:
+      use_pairs_ = false;
+      break;
+    case PbvEncoding::kPairs:
+      use_pairs_ = true;
+      break;
+    case PbvEncoding::kAuto:
+      use_pairs_ =
+          static_cast<double>(n_bins_) >= adj_.average_degree_or_one();
+      break;
+  }
+
+  switch (opts_.vis_mode) {
+    case VisMode::kNone:
+      break;
+    case VisMode::kByte:
+      vis_ = std::make_unique<VisArray>(adj.n_vertices(),
+                                        VisArray::Kind::kByte);
+      break;
+    case VisMode::kAtomicBit:
+    case VisMode::kBit:
+      vis_ = std::make_unique<VisArray>(adj.n_vertices(),
+                                        VisArray::Kind::kBit);
+      break;
+    case VisMode::kPartitionedBit:
+      vis_ = std::make_unique<VisArray>(adj.n_vertices(),
+                                        VisArray::Kind::kBit, n_vis_);
+      break;
+    case VisMode::kAuto:
+      // Resolved to a concrete mode above.
+      break;
+  }
+
+  states_.reserve(opts_.n_threads);
+  for (unsigned t = 0; t < opts_.n_threads; ++t) {
+    states_.push_back(std::make_unique<ThreadState>());
+  }
+}
+
+TwoPhaseBfs::~TwoPhaseBfs() = default;
+
+DivisionPlan TwoPhaseBfs::plan_phase1() const {
+  std::vector<std::uint32_t> counts(
+      static_cast<std::size_t>(opts_.n_threads) * n_bins_);
+  for (unsigned src = 0; src < opts_.n_threads; ++src) {
+    const auto& c = states_[src]->bvc_counts;
+    std::copy(c.begin(), c.end(),
+              counts.begin() + static_cast<std::size_t>(src) * n_bins_);
+  }
+  return divide_bins(counts, opts_.n_threads, n_bins_, topo_, opts_.scheme);
+}
+
+DivisionPlan TwoPhaseBfs::plan_phase2() const {
+  std::vector<std::uint32_t> counts(
+      static_cast<std::size_t>(opts_.n_threads) * n_bins_);
+  for (unsigned src = 0; src < opts_.n_threads; ++src) {
+    const auto& c = states_[src]->pbv_items;
+    std::copy(c.begin(), c.end(),
+              counts.begin() + static_cast<std::size_t>(src) * n_bins_);
+  }
+  return divide_bins(counts, opts_.n_threads, n_bins_, topo_, opts_.scheme);
+}
+
+void TwoPhaseBfs::phase1(const ThreadContext& ctx, depth_t /*step*/) {
+  ThreadState& me = *states_[ctx.thread_id];
+  const DivisionPlan plan = plan_phase1();
+  if (ctx.thread_id == 0 && opts_.collect_stats) {
+    StepStats& cur = run_stats_.steps.back();
+    cur.frontier_size = plan.total_items;
+    cur.phase1_imbalance = plan.socket_imbalance();
+  }
+
+  me.pbv.begin_appends();
+  svid_t* const* ptrs = me.pbv.bin_ptrs();
+  std::uint32_t* cur = me.pbv.cursors();
+  const unsigned pfd = static_cast<unsigned>(
+      std::max(opts_.prefetch_distance, 1));
+
+  for (const BinSlice& sl : plan.per_thread[ctx.thread_id]) {
+    ThreadState& src = *states_[sl.src];
+    const vid_t* base =
+        src.bv_c.data() + src.bvc_offsets[sl.bin] + sl.begin;
+    const std::uint32_t n = sl.size();
+    const bool src_local =
+        topo_.socket_of_thread(sl.src) == ctx.socket_id;
+    me.t1.add(src_local, 4ull * n);
+
+    std::uint64_t adj_local = 0, adj_remote = 0, pbv_bytes = 0, edges = 0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (opts_.use_prefetch) {
+        // Two-level prefetch (Sec. III-C.3): the block-pointer slot at
+        // full distance, the neighbour block at half distance (when its
+        // pointer is likely resident).
+        const std::uint32_t pf_slot = k + pfd;
+        if (pf_slot < n) prefetch_read(adj_.block_slot(base[pf_slot]));
+        const std::uint32_t pf_blk = k + std::max(pfd / 2, kMinPrefetchWindow);
+        if (pf_blk < n) prefetch_read(adj_.block(base[pf_blk]));
+      }
+      const vid_t u = base[k];
+      const auto nbrs = adj_.neighbors(u);
+      const auto deg = static_cast<std::uint32_t>(nbrs.size());
+      edges += deg;
+      const unsigned u_socket = adj_.socket_of(u);
+      const std::uint64_t adj_bytes = 8 + 4ull * (1 + deg);
+      (u_socket == ctx.socket_id ? adj_local : adj_remote) += adj_bytes;
+      me.adj_bytes_by_socket[u_socket] += adj_bytes;
+
+      if (use_pairs_) {
+        for (unsigned b = 0; b < n_bins_; ++b) me.pbv.ensure(b, 2 * deg);
+        for (const vid_t w : nbrs) {
+          const std::uint32_t b = w >> bin_shift_;
+          ptrs[b][cur[b]++] = static_cast<svid_t>(u);
+          ptrs[b][cur[b]++] = static_cast<svid_t>(w);
+        }
+        pbv_bytes += 8ull * deg;
+      } else {
+        // Marker to every bin (Sec. III-C.4), then SIMD-bin the children.
+        const svid_t marker = static_cast<svid_t>(~u);
+        for (unsigned b = 0; b < n_bins_; ++b) {
+          me.pbv.ensure(b, 1 + deg);
+          ptrs[b][cur[b]++] = marker;
+        }
+        append_binned(nbrs.data(), deg, bin_shift_, ptrs, cur,
+                      opts_.use_simd);
+        pbv_bytes += 4ull * (n_bins_ + deg);
+      }
+    }
+    me.t1.local_bytes += adj_local + pbv_bytes;  // PBV writes are local
+    me.t1.remote_bytes += adj_remote;
+    me.edges += edges;
+  }
+  me.pbv.commit_appends();
+  for (unsigned b = 0; b < n_bins_; ++b) {
+    const std::uint32_t sz = me.pbv.bin(b).size();
+    me.pbv_items[b] = use_pairs_ ? sz / 2 : sz;
+  }
+}
+
+void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
+  ThreadState& me = *states_[ctx.thread_id];
+  const DivisionPlan plan = plan_phase2();
+  if (ctx.thread_id == 0 && opts_.collect_stats) {
+    StepStats& cur = run_stats_.steps.back();
+    cur.binned_items = plan.total_items;
+    cur.phase2_imbalance = plan.socket_imbalance();
+  }
+
+  VisArray* vis = vis_.get();
+  std::uint64_t upd_local = 0, upd_remote = 0;
+
+  const auto update = [&](vid_t parent, vid_t child, unsigned bin) {
+    std::uint64_t bytes = 0;
+    bool updated = false;
+    switch (opts_.vis_mode) {
+      case VisMode::kNone:
+        bytes = 8;  // DP probe
+        if (!dp_.visited(child)) {
+          dp_.store(child, step, parent);
+          updated = true;
+        }
+        break;
+      case VisMode::kAtomicBit:
+        bytes = 1;  // VIS byte
+        if (!vis->test_and_set_atomic(child)) {
+          dp_.store(child, step, parent);
+          bytes += 8;
+          updated = true;
+        }
+        break;
+      default:  // the atomic-free schemes, Fig. 2(b)
+        bytes = 1;
+        if (!vis->test(child)) {
+          vis->set(child);
+          bytes += 8;  // DP probe
+          if (!dp_.visited(child)) {
+            dp_.store(child, step, parent);
+            updated = true;
+          }
+        }
+        break;
+    }
+    const bool local = adj_.socket_of(child) == ctx.socket_id;
+    (local ? upd_local : upd_remote) += bytes;
+    if (updated) {
+      me.bv_n.push_back(child);
+      ++me.bvn_counts[bin];
+      upd_local += 4;  // BV_N append is always thread-local
+    }
+  };
+
+  for (const BinSlice& sl : plan.per_thread[ctx.thread_id]) {
+    ThreadState& src = *states_[sl.src];
+    const svid_t* base = src.pbv.bin(sl.bin).data();
+    const bool src_local =
+        topo_.socket_of_thread(sl.src) == ctx.socket_id;
+    const std::uint64_t entry_count =
+        use_pairs_ ? 2ull * sl.size() : sl.size();
+    me.t2.add(src_local, 4ull * entry_count);
+    const unsigned bin = sl.bin;
+    if (use_pairs_) {
+      decode_pair_slice(base, sl.begin, sl.end,
+                        [&](vid_t p, vid_t c) { update(p, c, bin); });
+    } else {
+      decode_marker_slice(base, sl.begin, sl.end,
+                          [&](vid_t p, vid_t c) { update(p, c, bin); });
+    }
+  }
+  me.t2u.local_bytes += upd_local;
+  me.t2u.remote_bytes += upd_remote;
+
+  if (opts_.rearrange) {
+    Timer t;
+    rearranger_.rearrange(me.bv_n, me.scratch, me.hist);
+    me.rearrange_seconds += t.seconds();
+    me.tr.local_bytes += 24ull * me.bv_n.size();  // Eqn. IV.1d accounting
+  }
+}
+
+void TwoPhaseBfs::worker(const ThreadContext& ctx) {
+  ThreadState& me = *states_[ctx.thread_id];
+  SpinBarrier& bar = pool_.barrier();
+  Timer timer;  // used by thread 0 only
+
+  for (depth_t step = 1;; ++step) {
+    if (ctx.thread_id == 0 && opts_.collect_stats) {
+      run_stats_.steps.push_back(StepStats{});
+      run_stats_.steps.back().step = step;
+    }
+    bar.arrive_and_wait();  // all frontier state for this step is published
+
+    if (ctx.thread_id == 0) timer.reset();
+    const double rearr_before = me.rearrange_seconds;
+    phase1(ctx, step);
+    bar.arrive_and_wait();  // PBV bins published
+    double p1 = 0.0;
+    if (ctx.thread_id == 0) {
+      p1 = timer.seconds();
+      timer.reset();
+    }
+
+    phase2(ctx, step);
+    bar.arrive_and_wait();  // BV_N published
+    if (ctx.thread_id == 0 && opts_.collect_stats) {
+      const double p2_total = timer.seconds();
+      const double rearr = me.rearrange_seconds - rearr_before;
+      StepStats& cur = run_stats_.steps.back();
+      cur.phase1_seconds = p1;
+      cur.rearrange_seconds = rearr;
+      cur.phase2_seconds = std::max(p2_total - rearr, 0.0);
+    }
+
+    // Everyone computes the same termination sum; reads are safe until the
+    // next barrier because no thread mutates before passing it.
+    std::uint64_t next_total = 0;
+    for (const auto& s : states_) next_total += s->bv_n.size();
+    if (next_total == 0) {
+      // The final step scanned the deepest frontier and found nothing new;
+      // it did real Phase-I work, so its StepStats entry is kept.
+      if (ctx.thread_id == 0) final_step_ = step;
+      return;
+    }
+    bar.arrive_and_wait();  // all sums done; mutation may begin
+
+    std::swap(me.bv_c, me.bv_n);
+    me.bv_n.clear();
+    std::swap(me.bvc_counts, me.bvn_counts);
+    std::fill(me.bvn_counts.begin(), me.bvn_counts.end(), 0);
+    me.compute_bvc_offsets();
+    me.pbv.clear_all();
+    std::fill(me.pbv_items.begin(), me.pbv_items.end(), 0);
+  }
+}
+
+BfsResult TwoPhaseBfs::run(vid_t root) {
+  if (root >= adj_.n_vertices()) {
+    throw std::invalid_argument("TwoPhaseBfs::run: root out of range");
+  }
+  run_stats_ = RunStats{};
+  final_step_ = 0;
+  dp_.reset();
+  if (vis_) vis_->clear();
+  for (auto& s : states_) s->reset(n_bins_, opts_.n_sockets);
+
+  // Seed the root on the first thread of its owning socket.
+  dp_.store(root, 0, root);
+  if (vis_) vis_->set(root);
+  const unsigned owner =
+      topo_.first_thread_of_socket(adj_.socket_of(root));
+  states_[owner]->bv_c.push_back(root);
+  states_[owner]->bvc_counts[bin_of(root)] = 1;
+  states_[owner]->compute_bvc_offsets();
+
+  Timer timer;
+  pool_.run([this](const ThreadContext& ctx) { worker(ctx); });
+  const double seconds = timer.seconds();
+
+  // Aggregate run statistics.
+  run_stats_.total_seconds = seconds;
+  std::vector<std::uint64_t> adj_by_socket(opts_.n_sockets, 0);
+  for (const auto& s : states_) {
+    run_stats_.traffic.phase1 += s->t1;
+    run_stats_.traffic.phase2 += s->t2;
+    run_stats_.traffic.phase2_update += s->t2u;
+    run_stats_.traffic.rearrange += s->tr;
+    for (unsigned k = 0; k < opts_.n_sockets; ++k) {
+      adj_by_socket[k] += s->adj_bytes_by_socket[k];
+    }
+  }
+  std::uint64_t adj_total = 0;
+  for (const auto b : adj_by_socket) adj_total += b;
+  if (adj_total > 0) {
+    run_stats_.alpha_adj =
+        static_cast<double>(
+            *std::max_element(adj_by_socket.begin(), adj_by_socket.end())) /
+        static_cast<double>(adj_total);
+  }
+  for (const auto& st : run_stats_.steps) {
+    run_stats_.phase1_seconds += st.phase1_seconds;
+    run_stats_.phase2_seconds += st.phase2_seconds;
+    run_stats_.rearrange_seconds += st.rearrange_seconds;
+  }
+
+  BfsResult result;
+  result.root = root;
+  result.seconds = seconds;
+  for (const auto& s : states_) result.edges_traversed += s->edges;
+  result.depth_reached = final_step_ > 0 ? final_step_ - 1 : 0;
+  result.dp = std::move(dp_);
+  for (vid_t v = 0; v < adj_.n_vertices(); ++v) {
+    if (result.dp.visited(v)) ++result.vertices_visited;
+  }
+  dp_ = DepthParent(adj_.n_vertices());
+  return result;
+}
+
+BfsResult two_phase_bfs(const AdjacencyArray& adj, vid_t root,
+                        const BfsOptions& opts) {
+  TwoPhaseBfs engine(adj, opts);
+  return engine.run(root);
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,127 @@
+// The paper's BFS engine: two-phase, lock-free, atomic-free, locality-
+// aware, load-balanced (Sec. III, Fig. 3).
+//
+// Per step:
+//   Phase-I   divide the bin-grouped frontier among threads (Sec.
+//             III-B3a), scan each assigned vertex's adjacency block with
+//             software prefetch (III-C.3), and bin neighbours into the
+//             per-thread PBV arrays with the SIMD kernel (III-C.4);
+//   barrier;
+//   Phase-II  divide the PBV bins among sockets/threads, decode parent
+//             markers (III-C.6), and perform the atomic-free VIS filter +
+//             DP update of Fig. 2(b), emitting the next frontier;
+//   rearrange each thread's next frontier by Adj page bin (III-B3b);
+//   barrier;  sum frontier sizes; swap; repeat until empty.
+//
+// Engine-level derived quantities:
+//   N_VIS  = vis_partitions(|V|, |C|)      (1 unless kPartitionedBit)
+//   N_PBV  = N_S * N_VIS                   (1 when scheme == kNone)
+//   bin(v) = v >> (log2|V_NS| - log2 N_VIS) — one shift, because both the
+//            socket partition and the VIS partition are power-of-two
+//            vertex ranges.
+//
+// The engine also runs the Fig. 4 comparison points (no-VIS, atomic-bit,
+// byte, bit) by swapping the Phase-II update kernel, so the VIS axis is
+// isolated from everything else.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/divide.h"
+#include "core/options.h"
+#include "core/pbv.h"
+#include "core/rearrange.h"
+#include "core/vis.h"
+#include "graph/adjacency_array.h"
+#include "graph/bfs_result.h"
+#include "platform/traffic.h"
+#include "thread/thread_pool.h"
+
+namespace fastbfs {
+
+/// Per-step diagnostics (Fig. 8 measures the per-phase split).
+struct StepStats {
+  unsigned step = 0;
+  std::uint64_t frontier_size = 0;   // vertices entering Phase-I
+  std::uint64_t binned_items = 0;    // PBV items produced
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  double rearrange_seconds = 0.0;
+  double phase1_imbalance = 1.0;     // max socket share / even share
+  double phase2_imbalance = 1.0;
+};
+
+struct RunStats {
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  double rearrange_seconds = 0.0;
+  double total_seconds = 0.0;
+  PhaseTraffic traffic;              // local/remote byte audit
+  /// Max over sockets of the fraction of adjacency bytes served by that
+  /// socket's memory — the model's alpha_Adj (Sec. IV).
+  double alpha_adj = 0.0;
+  std::vector<StepStats> steps;      // filled when opts.collect_stats
+
+  /// Per-step CSV (header + one row per BFS level) for offline analysis
+  /// of frontier shapes and phase costs.
+  void write_steps_csv(std::ostream& out) const;
+};
+
+class TwoPhaseBfs {
+ public:
+  /// The adjacency array must outlive the engine and must have been built
+  /// with the same socket count as opts.n_sockets.
+  TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts);
+  ~TwoPhaseBfs();
+
+  TwoPhaseBfs(const TwoPhaseBfs&) = delete;
+  TwoPhaseBfs& operator=(const TwoPhaseBfs&) = delete;
+
+  BfsResult run(vid_t root);
+
+  const RunStats& last_run_stats() const { return run_stats_; }
+
+  unsigned n_vis_partitions() const { return n_vis_; }
+  unsigned n_pbv_bins() const { return n_bins_; }
+  bool uses_pair_encoding() const { return use_pairs_; }
+  const BfsOptions& options() const { return opts_; }
+
+ private:
+  struct ThreadState;
+
+  void worker(const ThreadContext& ctx);
+  void phase1(const ThreadContext& ctx, depth_t step);
+  void phase2(const ThreadContext& ctx, depth_t step);
+  DivisionPlan plan_phase1() const;
+  DivisionPlan plan_phase2() const;
+
+  unsigned bin_of(vid_t v) const { return static_cast<unsigned>(v >> bin_shift_); }
+
+  const AdjacencyArray& adj_;
+  BfsOptions opts_;
+  SocketTopology topo_;
+  ThreadPool pool_;
+  Rearranger rearranger_;
+
+  unsigned n_vis_ = 1;     // N_VIS
+  unsigned n_bins_ = 1;    // N_PBV
+  unsigned bin_shift_ = 31;
+  bool use_pairs_ = false;
+
+  std::unique_ptr<VisArray> vis_;  // null for VisMode::kNone
+  DepthParent dp_;
+
+  std::vector<std::unique_ptr<ThreadState>> states_;
+  RunStats run_stats_;
+  unsigned final_step_ = 0;  // step at which the frontier emptied
+};
+
+/// One-call convenience wrapper (see core/api.h for the documented entry
+/// point); constructs an engine and runs a single traversal.
+BfsResult two_phase_bfs(const AdjacencyArray& adj, vid_t root,
+                        const BfsOptions& opts);
+
+}  // namespace fastbfs

@@ -1,0 +1,65 @@
+#include "core/vis.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace fastbfs {
+
+unsigned vis_partitions(std::uint64_t n_vertices, std::size_t llc_bytes) {
+  if (llc_bytes == 0) throw std::invalid_argument("llc_bytes must be > 0");
+  const std::uint64_t vis_bytes = ceil_div(n_vertices, 8);
+  // Sec. III-A: at least ceil(|V| / 4|C|) partitions == each partition at
+  // most half the LLC; rounded up to a power of two so partition_of is a
+  // shift and partitions compose with the socket partition into PBV bins.
+  const std::uint64_t needed = std::max<std::uint64_t>(
+      1, ceil_div(vis_bytes, std::max<std::size_t>(1, llc_bytes / 2)));
+  return static_cast<unsigned>(ceil_pow2(needed));
+}
+
+VisArray::VisArray(std::uint64_t n_vertices, Kind kind, unsigned n_partitions)
+    : n_vertices_(n_vertices), kind_(kind), n_partitions_(n_partitions) {
+  if (n_partitions == 0 || (n_partitions & (n_partitions - 1)) != 0) {
+    throw std::invalid_argument("n_partitions must be a power of two");
+  }
+  if (kind == Kind::kByte && n_partitions != 1) {
+    throw std::invalid_argument("byte VIS arrays are not partitioned");
+  }
+  // Partition span: vertices per partition, power-of-two so partition_of
+  // is a single shift. ceil_pow2 keeps the last partition possibly short.
+  const std::uint64_t span =
+      ceil_pow2(ceil_div(std::max<std::uint64_t>(n_vertices, 1),
+                         n_partitions));
+  partition_span_ = span;
+  partition_shift_ = floor_log2(span);
+  const std::uint64_t bytes =
+      kind == Kind::kByte ? n_vertices : ceil_div(n_vertices, 8);
+  bytes_ = AlignedBuffer<std::uint8_t>(bytes, kCacheLine);
+  clear();
+}
+
+void VisArray::clear() { bytes_.zero(); }
+
+std::uint8_t VisArray::relaxed_load(std::uint64_t i) const {
+  return std::atomic_ref<const std::uint8_t>(bytes_[i])
+      .load(std::memory_order_relaxed);
+}
+
+void VisArray::relaxed_store(std::uint64_t i, std::uint8_t value) {
+  std::atomic_ref<std::uint8_t>(bytes_[i])
+      .store(value, std::memory_order_relaxed);
+}
+
+bool VisArray::test_and_set_atomic(vid_t v) {
+  if (kind_ == Kind::kByte) {
+    return std::atomic_ref<std::uint8_t>(bytes_[v])
+               .exchange(1, std::memory_order_relaxed) != 0;
+  }
+  const std::uint64_t byte = v >> 3;
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (v & 7));
+  const std::uint8_t prev = std::atomic_ref<std::uint8_t>(bytes_[byte])
+                                .fetch_or(mask, std::memory_order_relaxed);
+  return (prev & mask) != 0;
+}
+
+}  // namespace fastbfs

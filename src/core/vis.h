@@ -1,0 +1,86 @@
+// The VIS visited-structure of Sec. III-A, in all the paper's variants.
+//
+// The atomic-free protocol: test() and set() are plain (relaxed) byte
+// loads/stores — never a LOCK-prefixed instruction. Two threads racing on
+// bits of the same byte can lose each other's set (scenario 2 of
+// Sec. III-A); the engine therefore re-checks the DP array before
+// publishing, so VIS is a *filter*, not the source of truth:
+//   bit == 1  =>  depth definitely assigned (by end of the step),
+//   bit == 0  =>  depth possibly assigned (rare; DP check catches it).
+// The atomic variant (Fig. 2a, used by the Agarwal-style baseline and the
+// Fig. 4 comparison) uses fetch_or and needs no DP re-check.
+//
+// Partitioning: N_VIS = ceil(|V|/8 / (|C|/2)) rounded up to a power of two
+// so a vertex's partition (and its PBV bin) is a single shift. Each
+// partition is at most half the LLC, the paper's residency margin.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned_buffer.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+/// N_VIS for a bit-structure over n_vertices with the given LLC size,
+/// already rounded up to a power of two (>= 1).
+unsigned vis_partitions(std::uint64_t n_vertices, std::size_t llc_bytes);
+
+class VisArray {
+ public:
+  enum class Kind { kByte, kBit };
+
+  /// n_partitions must be a power of two; byte arrays are never
+  /// partitioned (pass 1).
+  VisArray(std::uint64_t n_vertices, Kind kind, unsigned n_partitions = 1);
+
+  Kind kind() const { return kind_; }
+  unsigned n_partitions() const { return n_partitions_; }
+  std::uint64_t n_vertices() const { return n_vertices_; }
+
+  /// Bytes of backing storage (|VIS| in the model: |V|/8 for bits).
+  std::size_t storage_bytes() const { return bytes_.size(); }
+
+  /// Vertices per partition (power of two except possibly the last).
+  std::uint64_t partition_span() const { return partition_span_; }
+  unsigned partition_of(vid_t v) const {
+    return static_cast<unsigned>(v >> partition_shift_);
+  }
+
+  void clear();
+
+  bool test(vid_t v) const {
+    if (kind_ == Kind::kByte) {
+      return relaxed_load(v) != 0;
+    }
+    return (relaxed_load(v >> 3) >> (v & 7)) & 1u;
+  }
+
+  /// Atomic-free set (Fig. 2b): plain read-modify-write on the byte. May
+  /// drop a concurrent sibling bit — by design; see header comment.
+  void set(vid_t v) {
+    if (kind_ == Kind::kByte) {
+      relaxed_store(v, 1);
+      return;
+    }
+    const std::uint64_t byte = v >> 3;
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (v & 7));
+    relaxed_store(byte, static_cast<std::uint8_t>(relaxed_load(byte) | mask));
+  }
+
+  /// Atomic set (Fig. 2a). Returns the previous bit value.
+  bool test_and_set_atomic(vid_t v);
+
+ private:
+  std::uint8_t relaxed_load(std::uint64_t i) const;
+  void relaxed_store(std::uint64_t i, std::uint8_t value);
+
+  std::uint64_t n_vertices_;
+  Kind kind_;
+  unsigned n_partitions_;
+  unsigned partition_shift_;
+  std::uint64_t partition_span_;
+  AlignedBuffer<std::uint8_t> bytes_;
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,113 @@
+#include "dist/cluster.h"
+
+#include <stdexcept>
+
+#include "core/vis.h"
+#include "util/timer.h"
+
+namespace fastbfs::dist {
+namespace {
+
+/// A (discovered vertex, proposed parent) wire message.
+struct Msg {
+  vid_t vertex;
+  vid_t parent;
+};
+
+}  // namespace
+
+DistributedBfs::DistributedBfs(const CsrGraph& g, unsigned n_ranks)
+    : g_(g), part_(g.n_vertices(), n_ranks) {
+  if (n_ranks == 0) {
+    throw std::invalid_argument("DistributedBfs: need at least one rank");
+  }
+}
+
+BfsResult DistributedBfs::run(vid_t root) {
+  if (root >= g_.n_vertices()) {
+    throw std::invalid_argument("DistributedBfs: root out of range");
+  }
+  const unsigned ranks = n_ranks();
+  stats_ = DistBfsStats{};
+  stats_.n_ranks = ranks;
+  stats_.sent_by_rank.assign(ranks, 0);
+
+  BfsResult result;
+  result.root = root;
+  result.dp = DepthParent(g_.n_vertices());
+  DepthParent& dp = result.dp;
+
+  // Per-rank state. VIS is per-rank over owned vertices only — each node
+  // of a real cluster holds just its slice (global vertex id indexing is
+  // a simulation convenience; test() / set() touch only owned ids).
+  VisArray vis(g_.n_vertices(), VisArray::Kind::kBit);
+  std::vector<std::vector<vid_t>> frontier(ranks), next_frontier(ranks);
+  std::vector<std::vector<std::vector<Msg>>> outbox(
+      ranks, std::vector<std::vector<Msg>>(ranks));
+  std::vector<std::vector<Msg>> pending(ranks);  // self-deliveries
+
+  dp.store(root, 0, root);
+  vis.set(root);
+  frontier[owner_of(root)].push_back(root);
+  result.vertices_visited = 1;
+
+  Timer timer;
+  for (depth_t depth = 1;; ++depth) {
+    SuperstepStats step;
+    for (const auto& f : frontier) step.frontier += f.size();
+    if (step.frontier == 0) break;
+
+    // --- compute phase: each rank scans ONLY its owned frontier ---
+    for (unsigned r = 0; r < ranks; ++r) {
+      for (const vid_t u : frontier[r]) {
+        for (const vid_t v : g_.neighbors(u)) {
+          ++result.edges_traversed;
+          const unsigned dest = owner_of(v);
+          if (dest == r) {
+            pending[r].push_back({v, u});
+          } else {
+            outbox[r][dest].push_back({v, u});
+            ++stats_.sent_by_rank[r];
+          }
+        }
+      }
+      frontier[r].clear();
+    }
+
+    // --- exchange phase: route outboxes; count wire traffic ---
+    for (unsigned r = 0; r < ranks; ++r) {
+      for (unsigned d = 0; d < ranks; ++d) {
+        if (r == d || outbox[r][d].empty()) continue;
+        step.messages += outbox[r][d].size();
+        auto& in = pending[d];
+        in.insert(in.end(), outbox[r][d].begin(), outbox[r][d].end());
+        outbox[r][d].clear();
+      }
+    }
+
+    // --- update phase: each rank applies deliveries to owned state ---
+    for (unsigned r = 0; r < ranks; ++r) {
+      for (const Msg& m : pending[r]) {
+        if (!vis.test(m.vertex)) {
+          vis.set(m.vertex);
+          dp.store(m.vertex, depth, m.parent);
+          next_frontier[r].push_back(m.vertex);
+          ++result.vertices_visited;
+          ++step.local_updates;
+        }
+      }
+      pending[r].clear();
+      std::swap(frontier[r], next_frontier[r]);
+    }
+
+    stats_.total_messages += step.messages;
+    stats_.steps.push_back(step);
+    ++stats_.supersteps;
+    if (step.local_updates > 0) result.depth_reached = depth;
+  }
+  result.seconds = timer.seconds();
+  stats_.total_message_bytes = stats_.total_messages * sizeof(Msg);
+  return result;
+}
+
+}  // namespace fastbfs::dist

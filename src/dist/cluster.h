@@ -1,0 +1,74 @@
+// Simulated distributed-memory (multi-node) BFS.
+//
+// The paper's closing argument (Sec. I, Sec. VII) is that an efficient
+// single-node traversal is the building block for multi-node
+// implementations (Yoo et al.'s BlueGene/L BFS [8], Pregel [10],
+// Buluc & Madduri [11]) — the cluster's per-node work is exactly the
+// kernel this library optimizes. This module provides the cluster-side
+// substrate as a *simulation*: the classic 1-D vertex-partitioned BSP
+// BFS, with explicit per-superstep message exchange and byte accounting,
+// so the node-count-vs-communication trade-off the paper cites (a
+// dual-socket node matching a 256-node cluster) can be explored without
+// a cluster.
+//
+// Discipline enforced by the implementation (and asserted in tests):
+//   - rank r reads adjacency only for vertices it owns;
+//   - rank r writes depth/parent only for vertices it owns;
+//   - discovery of a remote vertex ALWAYS crosses the (simulated) network
+//     as an 8-byte (vertex, parent) message, even if redundant — exactly
+//     what a real 1-D implementation pays before aggregation tricks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+#include "numa/topology.h"
+
+namespace fastbfs::dist {
+
+struct SuperstepStats {
+  std::uint64_t frontier = 0;       // global frontier entering the step
+  std::uint64_t messages = 0;       // cross-rank (vertex,parent) messages
+  std::uint64_t local_updates = 0;  // vertices discovered this superstep
+};
+
+struct DistBfsStats {
+  unsigned n_ranks = 0;
+  unsigned supersteps = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_message_bytes = 0;
+  std::vector<std::uint64_t> sent_by_rank;   // messages originated per rank
+  std::vector<SuperstepStats> steps;
+
+  /// Messages per traversed edge — the communication intensity a real
+  /// cluster pays over the wire.
+  double messages_per_edge(std::uint64_t edges) const {
+    return edges == 0 ? 0.0
+                      : static_cast<double>(total_messages) /
+                            static_cast<double>(edges);
+  }
+};
+
+class DistributedBfs {
+ public:
+  /// 1-D partitions `g` over n_ranks simulated nodes (power-of-two vertex
+  /// ranges, the same scheme the single-node engine uses for sockets).
+  DistributedBfs(const CsrGraph& g, unsigned n_ranks);
+
+  /// Full BFS; the returned result is globally assembled and validates
+  /// against the same rules as every other engine.
+  BfsResult run(vid_t root);
+
+  const DistBfsStats& last_stats() const { return stats_; }
+  unsigned n_ranks() const { return part_.n_sockets(); }
+  unsigned owner_of(vid_t v) const { return part_.socket_of_vertex(v); }
+
+ private:
+  const CsrGraph& g_;
+  VertexPartition part_;  // rank == "socket" in the partition's terms
+  DistBfsStats stats_;
+};
+
+}  // namespace fastbfs::dist

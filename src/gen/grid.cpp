@@ -1,0 +1,40 @@
+#include "gen/grid.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fastbfs {
+
+EdgeList generate_grid(vid_t width, vid_t height, double keep_prob,
+                       std::uint64_t seed) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("grid: dimensions must be positive");
+  }
+  if (static_cast<std::uint64_t>(width) * height > kMaxVertexId) {
+    throw std::invalid_argument("grid: too many vertices");
+  }
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(width) * height * 2);
+  auto id = [width](vid_t x, vid_t y) { return y * width + x; };
+  for (vid_t y = 0; y < height; ++y) {
+    for (vid_t x = 0; x < width; ++x) {
+      if (x + 1 < width && rng.next_double() < keep_prob) {
+        edges.push_back({id(x, y), id(x + 1, y)});
+      }
+      if (y + 1 < height && rng.next_double() < keep_prob) {
+        edges.push_back({id(x, y), id(x, y + 1)});
+      }
+    }
+  }
+  return edges;
+}
+
+CsrGraph grid_graph(vid_t width, vid_t height, double keep_prob,
+                    std::uint64_t seed) {
+  return build_csr(generate_grid(width, height, keep_prob, seed),
+                   width * height);
+}
+
+}  // namespace fastbfs

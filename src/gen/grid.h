@@ -1,0 +1,25 @@
+// Road-network-like graphs: 2-D grids with random edge deletions.
+//
+// The USA road graphs in Table II have very low average degree (~2.4) and
+// huge diameter (2873 / 6230 levels) — the opposite regime from R-MAT.
+// A width x height 4-connected grid with a fraction of edges knocked out
+// reproduces both properties (diameter ~ width+height, degree <= 4) and
+// is the standard synthetic stand-in for road networks.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+/// 4-connected grid; each lattice edge kept with probability keep_prob
+/// (1.0 = full grid). Vertex (x, y) has id y * width + x.
+EdgeList generate_grid(vid_t width, vid_t height, double keep_prob,
+                       std::uint64_t seed);
+
+CsrGraph grid_graph(vid_t width, vid_t height, double keep_prob = 1.0,
+                    std::uint64_t seed = 1);
+
+}  // namespace fastbfs

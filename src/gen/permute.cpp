@@ -1,0 +1,35 @@
+#include "gen/permute.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace fastbfs {
+
+std::vector<vid_t> random_permutation(vid_t n, std::uint64_t seed) {
+  std::vector<vid_t> perm(n);
+  for (vid_t i = 0; i < n; ++i) perm[i] = i;
+  Xoshiro256 rng(seed);
+  for (vid_t i = n; i > 1; --i) {
+    const vid_t j = static_cast<vid_t>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+void permute_vertices(EdgeList& edges, const std::vector<vid_t>& perm) {
+  for (Edge& e : edges) {
+    if (e.u >= perm.size() || e.v >= perm.size()) {
+      throw std::invalid_argument("permute_vertices: endpoint out of range");
+    }
+    e.u = perm[e.u];
+    e.v = perm[e.v];
+  }
+}
+
+void permute_vertices(EdgeList& edges, vid_t n_vertices, std::uint64_t seed) {
+  permute_vertices(edges, random_permutation(n_vertices, seed));
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,143 @@
+#include "gen/proxies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/rmat.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+
+EdgeList generate_layered(vid_t n_vertices, unsigned layers,
+                          double avg_out_degree, std::uint64_t seed) {
+  if (layers == 0) throw std::invalid_argument("layered: layers must be > 0");
+  if (n_vertices < layers + 1) {
+    throw std::invalid_argument("layered: need at least one vertex per layer");
+  }
+  // Layer 0 is the single designated root (vertex 0); layers 1..L split
+  // the remaining vertices into near-equal slabs. Every vertex in layer
+  // k >= 1 receives one guaranteed in-edge from a random layer-(k-1)
+  // vertex. Induction then pins BFS-from-0 depths exactly: the lower
+  // bound is the layer index (edges only join adjacent layers) and the
+  // guaranteed in-edge gives the matching upper bound — zigzag paths
+  // through the symmetrized graph can never help.
+  const vid_t rest = n_vertices - 1;
+  const vid_t base = rest / layers;
+  const vid_t extra = rest % layers;
+  auto layer_begin = [&](vid_t i) {  // i in [1, layers+1)
+    return 1 + (i - 1) * base + std::min(i - 1, extra);
+  };
+
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(
+      static_cast<double>(n_vertices) * (avg_out_degree + 1.0)));
+  for (vid_t layer = 1; layer <= layers; ++layer) {
+    const vid_t lb = layer_begin(layer), le = layer_begin(layer + 1);
+    const vid_t prev_lb = layer == 1 ? 0 : layer_begin(layer - 1);
+    const vid_t prev_size = lb - prev_lb;
+    for (vid_t v = lb; v < le; ++v) {
+      // Guaranteed in-edge from the previous layer.
+      const vid_t u =
+          prev_lb + static_cast<vid_t>(rng.next_below(prev_size));
+      edges.push_back({u, v});
+      // Extra edges beyond the guaranteed one, Bernoulli-rounded so that
+      // the average arc count per vertex approximates avg_out_degree
+      // (clamped below at the 1 mandatory arc).
+      const double extra_deg = avg_out_degree - 1.0;
+      if (extra_deg > 0.0) {
+        unsigned deg = static_cast<unsigned>(extra_deg);
+        if (rng.next_double() < extra_deg - deg) ++deg;
+        for (unsigned k = 0; k < deg; ++k) {
+          const vid_t w =
+              prev_lb + static_cast<vid_t>(rng.next_below(prev_size));
+          edges.push_back({w, v});
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+CsrGraph layered_graph(vid_t n_vertices, unsigned layers,
+                       double avg_out_degree, std::uint64_t seed) {
+  return build_csr(generate_layered(n_vertices, layers, avg_out_degree, seed),
+                   n_vertices);
+}
+
+vid_t attach_tail(EdgeList& edges, vid_t n_vertices, vid_t anchor,
+                  unsigned tail_len) {
+  vid_t prev = anchor;
+  for (unsigned i = 0; i < tail_len; ++i) {
+    const vid_t next = n_vertices++;
+    edges.push_back({prev, next});
+    prev = next;
+  }
+  return n_vertices;
+}
+
+const std::vector<ProxySpec>& table2_specs() {
+  static const std::vector<ProxySpec> specs = {
+      // UF sparse matrix collection
+      {"FreeScale1", "UF-sparse", 3430000, 17100000, 128,
+       ProxyRecipe::kLayered},
+      {"Wikipedia", "UF-sparse", 2400000, 41900000, 460,
+       ProxyRecipe::kRmatWithTail, 9},
+      {"Cage15", "UF-sparse", 5150000, 99200000, 50, ProxyRecipe::kLayered},
+      {"Nlpkkt160", "UF-sparse", 8350000, 225400000, 163,
+       ProxyRecipe::kLayered},
+      // USA road networks (DIMACS)
+      {"USA-West", "road", 6260000, 15240000, 2873, ProxyRecipe::kLayered},
+      {"USA-All", "road", 23940000, 58330000, 6230, ProxyRecipe::kLayered},
+      // Social networks
+      {"Orkut", "social", 3070000, 223500000, 7, ProxyRecipe::kRmat, 36},
+      {"Twitter", "social", 61570000, 1468360000, 13, ProxyRecipe::kRmat, 12},
+      {"Facebook", "social", 2940000, 41920000, 11, ProxyRecipe::kRmat, 7},
+      // Graph500 Toy++ (scale 28, edgefactor 16)
+      {"Toy++", "graph500", 268435456, 4294967296ull, 6, ProxyRecipe::kRmat,
+       16},
+  };
+  return specs;
+}
+
+CsrGraph make_proxy(const ProxySpec& spec, unsigned scale_div,
+                    std::uint64_t seed) {
+  if (scale_div == 0) throw std::invalid_argument("scale_div must be >= 1");
+  const std::uint64_t target_v =
+      std::max<std::uint64_t>(spec.paper_vertices / scale_div, 1024);
+
+  switch (spec.recipe) {
+    case ProxyRecipe::kLayered: {
+      // Arcs per vertex: Table II counts each undirected edge once, the
+      // generator emits directed arcs that get symmetrized, so divide by 2.
+      const double arcs_per_vertex =
+          static_cast<double>(spec.paper_edges) / spec.paper_vertices / 2.0;
+      // Keep the exact paper depth, shrink layer width.
+      const vid_t n =
+          static_cast<vid_t>(std::max<std::uint64_t>(
+              target_v, static_cast<std::uint64_t>(spec.paper_depth) + 1));
+      return layered_graph(n, spec.paper_depth, arcs_per_vertex, seed);
+    }
+    case ProxyRecipe::kRmat: {
+      const unsigned scale =
+          static_cast<unsigned>(std::ceil(std::log2(
+              static_cast<double>(target_v))));
+      return rmat_graph(scale, spec.rmat_edge_factor, seed);
+    }
+    case ProxyRecipe::kRmatWithTail: {
+      const unsigned scale =
+          static_cast<unsigned>(std::ceil(std::log2(
+              static_cast<double>(target_v))));
+      EdgeList edges = generate_rmat(scale, spec.rmat_edge_factor, seed);
+      // Hang the depth-setting tail off vertex 0, the densest hub under
+      // the Graph500 R-MAT parameters (a > b,c,d biases mass to low ids).
+      const vid_t n = attach_tail(edges, static_cast<vid_t>(1u << scale),
+                                  /*anchor=*/0, spec.paper_depth);
+      return build_csr(edges, n);
+    }
+  }
+  throw std::logic_error("unknown proxy recipe");
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,75 @@
+// Synthetic proxies for the real-world graphs of Table II.
+//
+// The paper's real inputs (UF sparse matrices, DIMACS USA roads, Orkut /
+// Twitter / Facebook crawls, Graph500 Toy++) are not redistributable with
+// this repository, and the largest need ~100 GB. Per DESIGN.md each is
+// replaced by a generated proxy that matches the three axes that govern
+// this algorithm's behaviour:
+//   |V| and |E|  -> working-set sizes (VIS residency, bandwidth demand),
+//   BFS depth    -> number of steps, frontier widths, per-step overheads,
+//   degree skew  -> PBV bin imbalance (the Fig. 5 load-balance axis).
+// Two generator families cover all ten rows:
+//   - layered graphs: L+1 layers with edges only between adjacent layers;
+//     the BFS from layer 0 has depth exactly L, so meshes (Cage15,
+//     Nlpkkt160, FreeScale1) and the extreme-diameter road networks get
+//     their published depth *exactly* while |V|,|E| scale to fit the VM.
+//     Layers also alternate socket ownership pressure, reproducing the
+//     Nlpkkt160 behaviour the paper likens to its stress case.
+//   - R-MAT (+ optional pendant tail): the social networks and Toy++ keep
+//     their Graph500 parameters; a pendant path pinned to the densest
+//     vertex reproduces outlier depths (Wikipedia's 460) without
+//     disturbing the degree distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+/// Layered random graph: layer 0 is the single root (vertex 0); layers
+/// 1..L split the remaining vertices evenly. Every layer-k vertex gets one
+/// guaranteed in-edge from layer k-1 plus Bernoulli-rounded extras so the
+/// arc count per vertex approximates avg_out_degree. BFS from vertex 0
+/// assigns depth == layer index to every vertex *deterministically*
+/// (reaches depth exactly `layers`, visits all vertices).
+EdgeList generate_layered(vid_t n_vertices, unsigned layers,
+                          double avg_out_degree, std::uint64_t seed);
+
+CsrGraph layered_graph(vid_t n_vertices, unsigned layers,
+                       double avg_out_degree, std::uint64_t seed);
+
+/// Appends a pendant path of `tail_len` new vertices hanging off `anchor`;
+/// returns the new vertex count. Used to pin a proxy's BFS depth.
+vid_t attach_tail(EdgeList& edges, vid_t n_vertices, vid_t anchor,
+                  unsigned tail_len);
+
+enum class ProxyRecipe {
+  kLayered,      // meshes, matrices, road networks
+  kRmat,         // social networks, Graph500
+  kRmatWithTail  // R-MAT plus pendant path to hit an outlier depth
+};
+
+struct ProxySpec {
+  std::string name;
+  std::string category;
+  std::uint64_t paper_vertices;
+  std::uint64_t paper_edges;  // as printed in Table II (undirected count)
+  unsigned paper_depth;
+  ProxyRecipe recipe;
+  // kLayered: layers = paper_depth; kRmat*: edge factor below.
+  unsigned rmat_edge_factor = 16;
+};
+
+/// The ten rows of Table II, in paper order.
+const std::vector<ProxySpec>& table2_specs();
+
+/// Builds the proxy scaled down by `scale_div` (vertices and edges divided
+/// by it; depth-defining structure preserved). scale_div must be >= 1.
+CsrGraph make_proxy(const ProxySpec& spec, unsigned scale_div,
+                    std::uint64_t seed);
+
+}  // namespace fastbfs

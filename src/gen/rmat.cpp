@@ -1,0 +1,68 @@
+#include "gen/rmat.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fastbfs {
+
+EdgeList generate_rmat(unsigned scale, unsigned edge_factor,
+                       std::uint64_t seed, const RmatParams& params) {
+  if (scale == 0 || scale > 30) {
+    throw std::invalid_argument("rmat: scale must be in [1, 30]");
+  }
+  const double sum = params.a + params.b + params.c + params.d;
+  if (sum < 0.999 || sum > 1.001) {
+    throw std::invalid_argument("rmat: parameters must sum to 1");
+  }
+  const std::uint64_t n = 1ull << scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(edge_factor) * n;
+  Xoshiro256 rng(seed);
+
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (unsigned level = 0; level < scale; ++level) {
+      // Perturb the quadrant probabilities per level, then renormalize —
+      // this is GTGraph's smoothing that keeps degree sequences from
+      // collapsing onto exact powers.
+      double a = params.a, b = params.b, c = params.c, d = params.d;
+      if (params.noise > 0.0) {
+        const double na = 1.0 + params.noise * (2.0 * rng.next_double() - 1.0);
+        const double nb = 1.0 + params.noise * (2.0 * rng.next_double() - 1.0);
+        const double nc = 1.0 + params.noise * (2.0 * rng.next_double() - 1.0);
+        const double nd = 1.0 + params.noise * (2.0 * rng.next_double() - 1.0);
+        a *= na; b *= nb; c *= nc; d *= nd;
+        const double s = a + b + c + d;
+        a /= s; b /= s; c /= s; d /= s;
+      }
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v)});
+  }
+  return edges;
+}
+
+CsrGraph rmat_graph(unsigned scale, unsigned edge_factor, std::uint64_t seed,
+                    const RmatParams& params) {
+  const EdgeList edges = generate_rmat(scale, edge_factor, seed, params);
+  BuildOptions opt;
+  opt.symmetrize = true;
+  opt.remove_self_loops = true;
+  return build_csr(edges, static_cast<vid_t>(1u << scale), opt);
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,37 @@
+// R-MAT scale-free graph generator (Chakrabarti et al., SDM'04).
+//
+// Sec. V uses R-MAT with a=0.57, b=c=0.19, d=0.05 — the Graph500 Kronecker
+// parameters — as the primary skewed workload: power-law degrees create
+// the bin imbalance that the load-balanced division (Fig. 5) targets, and
+// leave many isolated vertices (App. D notes |V'| = |V|/2 for the worked
+// example). The generator recursively descends the adjacency-matrix
+// quadrants with per-level parameter noise, like GTGraph.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Multiplicative noise applied to (a,b,c,d) per recursion level, as in
+  /// GTGraph / the Graph500 reference, to avoid exact self-similarity.
+  double noise = 0.1;
+};
+
+/// 2^scale vertices, edge_factor * 2^scale undirected edges (before
+/// symmetrization). Deterministic for a fixed seed.
+EdgeList generate_rmat(unsigned scale, unsigned edge_factor,
+                       std::uint64_t seed, const RmatParams& params = {});
+
+/// Convenience: generate + build a symmetrized CSR.
+CsrGraph rmat_graph(unsigned scale, unsigned edge_factor, std::uint64_t seed,
+                    const RmatParams& params = {});
+
+}  // namespace fastbfs

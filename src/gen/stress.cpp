@@ -1,0 +1,34 @@
+#include "gen/stress.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fastbfs {
+
+EdgeList generate_stress_bipartite(vid_t n_vertices, unsigned degree,
+                                   std::uint64_t seed) {
+  if (n_vertices < 4) {
+    throw std::invalid_argument("stress: need at least 4 vertices");
+  }
+  const vid_t half = n_vertices / 2;
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(half) * degree);
+  for (vid_t u = 0; u < half; ++u) {
+    for (unsigned k = 0; k < degree; ++k) {
+      const vid_t v =
+          half + static_cast<vid_t>(rng.next_below(n_vertices - half));
+      edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+CsrGraph stress_bipartite_graph(vid_t n_vertices, unsigned degree,
+                                std::uint64_t seed) {
+  return build_csr(generate_stress_bipartite(n_vertices, degree, seed),
+                   n_vertices);
+}
+
+}  // namespace fastbfs

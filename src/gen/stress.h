@@ -1,0 +1,28 @@
+// The stress-case bipartite graph of Sec. V-A.
+//
+// "a bipartite graph where all vertices in the BV_C array are either small
+// or large (at alternate depths) — and hence always belong to one of the
+// two sockets". We build a complete-bipartite-ish graph between a block of
+// low-numbered vertices (owned by socket 0 under the power-of-two vertex
+// partition) and a block of high-numbered vertices (owned by the last
+// socket): every BFS level alternates sides, so a purely socket-aware
+// division leaves all but one socket idle — the worst case the
+// load-balanced scheme (Fig. 5, ~30% win) was designed for.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+/// n_vertices total (half low block, half high block); each low vertex
+/// gets `degree` random neighbours in the high block.
+EdgeList generate_stress_bipartite(vid_t n_vertices, unsigned degree,
+                                   std::uint64_t seed);
+
+CsrGraph stress_bipartite_graph(vid_t n_vertices, unsigned degree,
+                                std::uint64_t seed);
+
+}  // namespace fastbfs

@@ -1,0 +1,58 @@
+#include "gen/uniform.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fastbfs {
+
+EdgeList generate_uniform(vid_t n_vertices, unsigned degree,
+                          std::uint64_t seed) {
+  if (n_vertices < 2) {
+    throw std::invalid_argument("uniform: need at least 2 vertices");
+  }
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n_vertices) * degree);
+  for (vid_t u = 0; u < n_vertices; ++u) {
+    for (unsigned k = 0; k < degree; ++k) {
+      vid_t v;
+      do {
+        v = static_cast<vid_t>(rng.next_below(n_vertices));
+      } while (v == u);
+      edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+EdgeList generate_random_endpoint(vid_t n_vertices, eid_t n_edges,
+                                  std::uint64_t seed) {
+  if (n_vertices < 2) {
+    throw std::invalid_argument("random_endpoint: need at least 2 vertices");
+  }
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(n_edges);
+  for (eid_t e = 0; e < n_edges; ++e) {
+    const vid_t u = static_cast<vid_t>(rng.next_below(n_vertices));
+    vid_t v;
+    do {
+      v = static_cast<vid_t>(rng.next_below(n_vertices));
+    } while (v == u);
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+CsrGraph uniform_graph(vid_t n_vertices, unsigned degree, std::uint64_t seed) {
+  return build_csr(generate_uniform(n_vertices, degree, seed), n_vertices);
+}
+
+CsrGraph random_endpoint_graph(vid_t n_vertices, eid_t n_edges,
+                               std::uint64_t seed) {
+  return build_csr(generate_random_endpoint(n_vertices, n_edges, seed),
+                   n_vertices);
+}
+
+}  // namespace fastbfs

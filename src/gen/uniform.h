@@ -1,0 +1,32 @@
+// Uniformly-random graph generators (Sec. V "Benchmarks").
+//
+// Two flavours the paper evaluates:
+//   - UR graphs: every vertex has exactly degree d, each of its d
+//     neighbours chosen uniformly at random — the load-balanced workload
+//     of Figs. 4-6 (no bin skew by construction);
+//   - random-endpoint graphs: both endpoints of each edge uniform (the
+//     footnote-5 variant whose results the paper says match UR).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+/// n_vertices vertices, each the source of exactly `degree` edges with
+/// uniformly random targets (self-loops re-drawn). Symmetrization at
+/// build time doubles stored arcs, as in the paper's convention.
+EdgeList generate_uniform(vid_t n_vertices, unsigned degree,
+                          std::uint64_t seed);
+
+/// n_edges edges with both endpoints uniform — footnote 5's variant.
+EdgeList generate_random_endpoint(vid_t n_vertices, eid_t n_edges,
+                                  std::uint64_t seed);
+
+CsrGraph uniform_graph(vid_t n_vertices, unsigned degree, std::uint64_t seed);
+CsrGraph random_endpoint_graph(vid_t n_vertices, eid_t n_edges,
+                               std::uint64_t seed);
+
+}  // namespace fastbfs

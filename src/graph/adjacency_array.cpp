@@ -1,0 +1,50 @@
+#include "graph/adjacency_array.h"
+
+#include <stdexcept>
+
+namespace fastbfs {
+
+AdjacencyArray::AdjacencyArray(const CsrGraph& csr, unsigned n_sockets)
+    : n_vertices_(csr.n_vertices()),
+      n_edges_(csr.n_edges()),
+      part_(csr.n_vertices(), n_sockets),
+      arena_(n_sockets),
+      blocks_(csr.n_vertices()) {
+  if (n_vertices_ > kMaxVertexId) {
+    throw std::invalid_argument(
+        "AdjacencyArray: vertex ids must fit the PBV sign-bit encoding");
+  }
+  slabs_.resize(n_sockets);
+  slab_byte_base_.resize(n_sockets, 0);
+  for (unsigned s = 0; s < n_sockets; ++s) {
+    const vid_t first = part_.first_vertex_of(s);
+    const vid_t end = part_.end_vertex_of(s);
+    // Each block stores 1 count word + degree neighbour words.
+    std::size_t words = 0;
+    for (vid_t v = first; v < end; ++v) {
+      words += 1 + csr.degree(v);
+    }
+    if (s > 0) {
+      slab_byte_base_[s] =
+          slab_byte_base_[s - 1] + slabs_[s - 1].size() * sizeof(vid_t);
+    }
+    slabs_[s] = arena_.alloc_on_socket<vid_t>(words, s);
+    vid_t* cursor = slabs_[s].data();
+    for (vid_t v = first; v < end; ++v) {
+      const auto nbrs = csr.neighbors(v);
+      blocks_[v] = cursor;
+      *cursor++ = static_cast<vid_t>(nbrs.size());
+      for (const vid_t w : nbrs) *cursor++ = w;
+    }
+  }
+}
+
+std::size_t AdjacencyArray::total_pages(std::size_t page_bytes) const {
+  std::size_t bytes = 0;
+  for (std::size_t s = 0; s < slabs_.size(); ++s) {
+    bytes += slabs_[s].size() * sizeof(vid_t);
+  }
+  return ceil_div(bytes, page_bytes);
+}
+
+}  // namespace fastbfs

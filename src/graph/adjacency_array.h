@@ -1,0 +1,90 @@
+// The paper's 2-D Adjacency Array (Sec. III-B2), socket-partitioned.
+//
+// Adj[i] is a contiguous block [degree, n0, n1, ...] — Adj[i][0] stores
+// the neighbour count, matching the paper's layout exactly. Blocks for
+// vertices owned by socket s live in a slab allocated on (logically) that
+// socket through the SocketArena, so Phase-I's adjacency reads can be
+// audited as local or remote, and each socket's slab can be scanned with
+// full "local" bandwidth as the paper intends.
+//
+// A per-vertex pointer table (blocks_) gives O(1) lookup; reading that
+// pointer is the "reading address of the location storing neighbours"
+// traffic item 1.2 of Appendix A.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "numa/arena.h"
+#include "numa/topology.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+class AdjacencyArray {
+ public:
+  /// Builds from a CSR, splitting vertex ownership across n_sockets using
+  /// the paper's power-of-two VertexPartition.
+  AdjacencyArray(const CsrGraph& csr, unsigned n_sockets);
+
+  vid_t n_vertices() const { return n_vertices_; }
+  eid_t n_edges() const { return n_edges_; }
+  const VertexPartition& partition() const { return part_; }
+
+  /// Average degree, clamped to >= 1 (used to pick the PBV encoding).
+  double average_degree_or_one() const {
+    if (n_vertices_ == 0) return 1.0;
+    const double avg =
+        static_cast<double>(n_edges_) / static_cast<double>(n_vertices_);
+    return avg < 1.0 ? 1.0 : avg;
+  }
+
+  vid_t degree(vid_t v) const { return blocks_[v][0]; }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    const vid_t* b = blocks_[v];
+    return {b + 1, b[0]};
+  }
+
+  /// Raw block pointer ([degree, n0, ...]) for software prefetch.
+  const vid_t* block(vid_t v) const { return blocks_[v]; }
+
+  /// Address of the block-pointer slot itself — the first prefetch target
+  /// of Sec. III-C item (3) (Adj + BV[k+PREF_DIST]).
+  const vid_t* const* block_slot(vid_t v) const { return &blocks_[v]; }
+
+  /// Logical socket owning vertex v's adjacency block.
+  unsigned socket_of(vid_t v) const { return part_.socket_of_vertex(v); }
+
+  /// Bytes of adjacency data owned by each socket (slab sizes).
+  std::size_t slab_bytes(unsigned socket) const {
+    return slabs_[socket].size() * sizeof(vid_t);
+  }
+
+  /// Total pages spanned by the adjacency storage; input to the
+  /// TLB-rearrangement bin count (Sec. III-B3b).
+  std::size_t total_pages(std::size_t page_bytes) const;
+
+  /// Byte offset of vertex v's block within the (logically concatenated)
+  /// adjacency storage. Monotone in v, so sorting the frontier by the page
+  /// this offset falls on is the paper's TLB rearrangement key.
+  std::size_t block_byte_offset(vid_t v) const {
+    const unsigned s = socket_of(v);
+    return slab_byte_base_[s] +
+           static_cast<std::size_t>(blocks_[v] - slabs_[s].data()) *
+               sizeof(vid_t);
+  }
+
+ private:
+  vid_t n_vertices_ = 0;
+  eid_t n_edges_ = 0;
+  VertexPartition part_;
+  SocketArena arena_;
+  std::vector<std::span<vid_t>> slabs_;       // one slab per socket
+  std::vector<std::size_t> slab_byte_base_;   // cumulative slab byte offsets
+  AlignedBuffer<const vid_t*> blocks_;        // per-vertex block pointer
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,101 @@
+// The DP (depth + parent) array and the result type every BFS returns.
+//
+// Sec. III-A stores depth and parent *together* so one store publishes
+// both: "using 8/16/32/64-bits to represent the depth and parent values
+// ensures that the updates to DP are always consistent". We pack
+// depth<<32 | parent into one 64-bit word and access it through
+// std::atomic_ref with relaxed ordering — that compiles to plain 8-byte
+// movs (no LOCK prefix, the paper's atomic-free requirement) while staying
+// data-race-free under the C++ memory model. Benign multi-writer races
+// (several threads assigning the same depth with different parents in the
+// same step) leave a valid BFS tree either way, exactly the paper's
+// argument.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/aligned_buffer.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+class DepthParent {
+ public:
+  static constexpr std::uint64_t kInf = ~std::uint64_t{0};
+
+  DepthParent() = default;
+  explicit DepthParent(std::size_t n_vertices) : dp_(n_vertices) {
+    reset();
+  }
+
+  std::size_t size() const { return dp_.size(); }
+
+  /// Re-initializes every vertex to "unvisited" (INF).
+  void reset() {
+    for (std::size_t i = 0; i < dp_.size(); ++i) {
+      dp_[i] = kInf;
+    }
+  }
+
+  static constexpr std::uint64_t pack(depth_t depth, vid_t parent) {
+    return (static_cast<std::uint64_t>(depth) << 32) | parent;
+  }
+  static constexpr depth_t depth_of(std::uint64_t dp) {
+    return static_cast<depth_t>(dp >> 32);
+  }
+  static constexpr vid_t parent_of(std::uint64_t dp) {
+    return static_cast<vid_t>(dp & 0xffffffffull);
+  }
+
+  std::uint64_t load(vid_t v) const {
+    return std::atomic_ref<const std::uint64_t>(dp_[v])
+        .load(std::memory_order_relaxed);
+  }
+
+  void store(vid_t v, depth_t depth, vid_t parent) {
+    std::atomic_ref<std::uint64_t>(dp_[v])
+        .store(pack(depth, parent), std::memory_order_relaxed);
+  }
+
+  /// CAS used only by the *atomic* baseline (Fig. 2a); the paper's scheme
+  /// never calls this.
+  bool compare_exchange(vid_t v, std::uint64_t& expected, depth_t depth,
+                        vid_t parent) {
+    return std::atomic_ref<std::uint64_t>(dp_[v])
+        .compare_exchange_strong(expected, pack(depth, parent),
+                                 std::memory_order_relaxed);
+  }
+
+  bool visited(vid_t v) const { return load(v) != kInf; }
+
+  depth_t depth(vid_t v) const {
+    const std::uint64_t dp = load(v);
+    return dp == kInf ? kInfDepth : depth_of(dp);
+  }
+
+  vid_t parent(vid_t v) const {
+    const std::uint64_t dp = load(v);
+    return dp == kInf ? kInvalidVertex : parent_of(dp);
+  }
+
+  std::uint64_t* data() { return dp_.data(); }
+  const std::uint64_t* data() const { return dp_.data(); }
+
+ private:
+  // mutable storage accessed via atomic_ref; the buffer itself is plain
+  // uint64_t so it can be bulk-initialized.
+  mutable AlignedBuffer<std::uint64_t> dp_;
+};
+
+/// Everything a BFS run returns: the DP array plus traversal counters.
+struct BfsResult {
+  DepthParent dp;
+  vid_t root = 0;
+  std::uint64_t vertices_visited = 0;  // |V'| in Sec. IV
+  std::uint64_t edges_traversed = 0;   // |E'| in Sec. IV
+  unsigned depth_reached = 0;          // D: number of BFS levels - 1
+  double seconds = 0.0;
+};
+
+}  // namespace fastbfs

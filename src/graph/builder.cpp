@@ -1,0 +1,65 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fastbfs {
+
+CsrGraph build_csr(const EdgeList& edges, vid_t n_vertices,
+                   const BuildOptions& options) {
+  for (const Edge& e : edges) {
+    if (e.u >= n_vertices || e.v >= n_vertices) {
+      throw std::invalid_argument("build_csr: edge endpoint out of range");
+    }
+  }
+
+  // Materialize the directed arc list (possibly doubled by symmetrize).
+  EdgeList arcs;
+  arcs.reserve(edges.size() * (options.symmetrize ? 2 : 1));
+  for (const Edge& e : edges) {
+    if (options.remove_self_loops && e.u == e.v) continue;
+    arcs.push_back(e);
+    if (options.symmetrize) arcs.push_back({e.v, e.u});
+  }
+
+  if (options.dedup) {
+    std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+    arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }),
+               arcs.end());
+  }
+
+  // Counting sort by source: one pass for degrees, one scatter pass.
+  AlignedBuffer<eid_t> offsets(static_cast<std::size_t>(n_vertices) + 1);
+  offsets.zero();
+  for (const Edge& e : arcs) ++offsets[e.u + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  AlignedBuffer<vid_t> targets(arcs.size());
+  // cursor[i] tracks the next write slot for vertex i; reuse a scratch copy
+  // of the offsets to avoid a second allocation pass.
+  std::vector<eid_t> cursor(offsets.data(), offsets.data() + n_vertices);
+  for (const Edge& e : arcs) targets[cursor[e.u]++] = e.v;
+
+  if (options.sort_neighbors) {
+    for (vid_t v = 0; v < n_vertices; ++v) {
+      std::sort(targets.data() + offsets[v], targets.data() + offsets[v + 1]);
+    }
+  }
+
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+CsrGraph build_csr_auto(const EdgeList& edges, const BuildOptions& options) {
+  vid_t n = 0;
+  for (const Edge& e : edges) {
+    n = std::max({n, static_cast<vid_t>(e.u + 1), static_cast<vid_t>(e.v + 1)});
+  }
+  return build_csr(edges, n, options);
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,41 @@
+// Edge-list to CSR construction.
+//
+// Generators emit raw (u,v) pairs; this builder produces the CSR the
+// engines consume. Symmetrization matters for reproducing the paper: its
+// synthetic instances follow the Graph500 convention (undirected graphs,
+// each edge stored in both directions), while the DIMACS road graphs are
+// already symmetric arc lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+struct Edge {
+  vid_t u;
+  vid_t v;
+};
+
+using EdgeList = std::vector<Edge>;
+
+struct BuildOptions {
+  bool symmetrize = true;        // insert (v,u) for every (u,v)
+  bool remove_self_loops = true;
+  bool dedup = false;            // drop parallel edges (O(E log E))
+  bool sort_neighbors = false;   // ascending adjacency lists
+};
+
+/// Builds a CSR over vertex ids [0, n_vertices). Edges referencing ids
+/// >= n_vertices throw std::invalid_argument.
+CsrGraph build_csr(const EdgeList& edges, vid_t n_vertices,
+                   const BuildOptions& options = {});
+
+/// Convenience: n_vertices = 1 + max id appearing in edges (0 when empty).
+CsrGraph build_csr_auto(const EdgeList& edges,
+                        const BuildOptions& options = {});
+
+}  // namespace fastbfs

@@ -1,0 +1,68 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fastbfs {
+
+std::size_t Components::giant_index() const {
+  if (info.empty()) throw std::logic_error("no components");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < info.size(); ++i) {
+    if (info[i].n_vertices > info[best].n_vertices) best = i;
+  }
+  return best;
+}
+
+double Components::giant_edge_fraction(const CsrGraph& g) const {
+  if (g.n_edges() == 0 || info.empty()) return 0.0;
+  return static_cast<double>(info[giant_index()].n_arcs) /
+         static_cast<double>(g.n_edges());
+}
+
+Components connected_components(const CsrGraph& g, bool skip_isolated) {
+  Components out;
+  out.component_of.assign(g.n_vertices(), Components::kNoComponent);
+  std::vector<vid_t> stack;
+  for (vid_t start = 0; start < g.n_vertices(); ++start) {
+    if (out.component_of[start] != Components::kNoComponent) continue;
+    if (skip_isolated && g.degree(start) == 0) continue;
+    const auto id = static_cast<std::uint32_t>(out.info.size());
+    ComponentInfo info;
+    info.representative = start;
+    stack.push_back(start);
+    out.component_of[start] = id;
+    while (!stack.empty()) {
+      const vid_t u = stack.back();
+      stack.pop_back();
+      ++info.n_vertices;
+      info.n_arcs += g.degree(u);
+      for (const vid_t v : g.neighbors(u)) {
+        if (out.component_of[v] == Components::kNoComponent) {
+          out.component_of[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+    out.info.push_back(info);
+  }
+  return out;
+}
+
+vid_t pick_giant_component_root(const CsrGraph& g, const Components& comps,
+                                std::uint64_t seed) {
+  if (comps.info.empty()) return kInvalidVertex;
+  const auto giant = static_cast<std::uint32_t>(comps.giant_index());
+  Xoshiro256 rng(seed);
+  const vid_t start = static_cast<vid_t>(rng.next_below(g.n_vertices()));
+  for (vid_t i = 0; i < g.n_vertices(); ++i) {
+    const vid_t v = static_cast<vid_t>(
+        (static_cast<std::uint64_t>(start) + i) % g.n_vertices());
+    if (comps.component_of[v] == giant) return v;
+  }
+  return kInvalidVertex;
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,25 @@
+#include "graph/csr.h"
+
+#include <stdexcept>
+
+namespace fastbfs {
+
+CsrGraph::CsrGraph(AlignedBuffer<eid_t> offsets, AlignedBuffer<vid_t> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  if (offsets_.empty()) {
+    if (!targets_.empty()) {
+      throw std::invalid_argument("CSR: targets without offsets");
+    }
+    return;
+  }
+  if (offsets_[0] != 0 || offsets_[offsets_.size() - 1] != targets_.size()) {
+    throw std::invalid_argument("CSR: offsets do not frame targets");
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) {
+      throw std::invalid_argument("CSR: offsets must be non-decreasing");
+    }
+  }
+}
+
+}  // namespace fastbfs

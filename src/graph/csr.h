@@ -1,0 +1,53 @@
+// Compressed-sparse-row graph: the canonical in-memory representation.
+//
+// Builders, generators, baselines and the validator all speak CSR; the
+// paper's socket-partitioned 2-D adjacency array (adjacency_array.h) is
+// constructed *from* a CSR. Neighbour ids are 32-bit (util/types.h),
+// offsets 64-bit so |E| can exceed 4G.
+#pragma once
+
+#include <span>
+
+#include "util/aligned_buffer.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Takes ownership of prebuilt arrays. offsets has n_vertices+1 entries,
+  /// offsets[n_vertices] == targets.size().
+  CsrGraph(AlignedBuffer<eid_t> offsets, AlignedBuffer<vid_t> targets);
+
+  vid_t n_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<vid_t>(offsets_.size() - 1);
+  }
+  eid_t n_edges() const { return targets_.size(); }
+
+  vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {targets_.data() + offsets_[v], degree(v)};
+  }
+
+  std::span<const eid_t> offsets() const { return offsets_.span(); }
+  std::span<const vid_t> targets() const { return targets_.span(); }
+
+  /// Average out-degree over all vertices (2|E|/|V| for symmetrized graphs
+  /// counts each undirected edge twice, matching the paper's convention).
+  double average_degree() const {
+    return n_vertices() == 0
+               ? 0.0
+               : static_cast<double>(n_edges()) / n_vertices();
+  }
+
+ private:
+  AlignedBuffer<eid_t> offsets_;
+  AlignedBuffer<vid_t> targets_;
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,146 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fastbfs {
+namespace {
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return in;
+}
+
+bool is_comment(const std::string& line, const char* extra = "") {
+  if (line.empty()) return true;
+  const char c = line[0];
+  if (c == '#' || c == '%') return true;
+  for (const char* p = extra; *p; ++p) {
+    if (c == *p) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EdgeList read_edge_list(std::istream& in) {
+  EdgeList edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) continue;
+    if (u > kMaxVertexId || v > kMaxVertexId) {
+      throw std::runtime_error("edge list: vertex id too large");
+    }
+    edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v)});
+  }
+  return edges;
+}
+
+EdgeList read_edge_list_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& edges) {
+  for (const Edge& e : edges) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+DimacsGraph read_dimacs(std::istream& in) {
+  DimacsGraph g;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line, "c")) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      std::uint64_t n = 0, m = 0;
+      ls >> kind >> n >> m;
+      if (n > static_cast<std::uint64_t>(kMaxVertexId) + 1) {
+        throw std::runtime_error("dimacs: too many vertices");
+      }
+      g.n_vertices = static_cast<vid_t>(n);
+      g.edges.reserve(m);
+    } else if (tag == 'a' || tag == 'e') {
+      std::uint64_t u = 0, v = 0;
+      if (!(ls >> u >> v)) throw std::runtime_error("dimacs: malformed arc");
+      if (u == 0 || v == 0) throw std::runtime_error("dimacs: ids are 1-based");
+      g.edges.push_back(
+          {static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1)});
+    }
+  }
+  return g;
+}
+
+DimacsGraph read_dimacs_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_dimacs(in);
+}
+
+DimacsGraph read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("matrix market: missing banner");
+  }
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+
+  // Skip remaining comments, then read the dimensions line.
+  while (std::getline(in, line)) {
+    if (!is_comment(line)) break;
+  }
+  std::istringstream dims(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  if (!(dims >> rows >> cols >> nnz)) {
+    throw std::runtime_error("matrix market: malformed dimensions");
+  }
+  DimacsGraph g;
+  g.n_vertices = static_cast<vid_t>(std::max(rows, cols));
+  g.edges.reserve(symmetric ? nnz * 2 : nnz);
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ls(line);
+    std::uint64_t r = 0, c = 0;
+    if (!(ls >> r >> c)) continue;
+    if (r == 0 || c == 0) {
+      throw std::runtime_error("matrix market: ids are 1-based");
+    }
+    const vid_t u = static_cast<vid_t>(r - 1);
+    const vid_t v = static_cast<vid_t>(c - 1);
+    g.edges.push_back({u, v});
+    if (symmetric && u != v) g.edges.push_back({v, u});
+  }
+  return g;
+}
+
+DimacsGraph read_matrix_market_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_matrix_market(in);
+}
+
+void write_dimacs(std::ostream& out, const EdgeList& edges,
+                  vid_t n_vertices) {
+  out << "p sp " << n_vertices << ' ' << edges.size() << '\n';
+  for (const Edge& e : edges) {
+    out << "a " << (e.u + 1) << ' ' << (e.v + 1) << " 1\n";
+  }
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& edges,
+                         vid_t n_vertices) {
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << n_vertices << ' ' << n_vertices << ' ' << edges.size() << '\n';
+  for (const Edge& e : edges) {
+    out << (e.u + 1) << ' ' << (e.v + 1) << '\n';
+  }
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,45 @@
+// Graph file loaders and writers.
+//
+// The paper evaluates on DIMACS road networks (.gr), University-of-Florida
+// sparse matrices (MatrixMarket) and SNAP-style edge lists; these loaders
+// let the real files be dropped into the benches when available (our
+// default runs use synthetic proxies — see gen/proxies.h and DESIGN.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+
+namespace fastbfs {
+
+/// Plain edge list: one "u v" pair per line, '#' or '%' comments,
+/// whitespace-separated, 0-based ids. Extra columns (weights) ignored.
+EdgeList read_edge_list(std::istream& in);
+EdgeList read_edge_list_file(const std::string& path);
+void write_edge_list(std::ostream& out, const EdgeList& edges);
+
+/// DIMACS shortest-path format (.gr): "p sp <n> <m>" header, "a u v w"
+/// arcs with 1-based ids (weights ignored). Returns the arc list and the
+/// declared vertex count.
+struct DimacsGraph {
+  EdgeList edges;
+  vid_t n_vertices = 0;
+};
+DimacsGraph read_dimacs(std::istream& in);
+DimacsGraph read_dimacs_file(const std::string& path);
+
+/// MatrixMarket coordinate format: pattern or value entries, 1-based;
+/// "symmetric" in the header duplicates entries below the diagonal.
+DimacsGraph read_matrix_market(std::istream& in);
+DimacsGraph read_matrix_market_file(const std::string& path);
+
+/// Writers (arc lists as-is; unit weight 1 where the format requires
+/// one). Round trips with the corresponding readers.
+void write_dimacs(std::ostream& out, const EdgeList& edges,
+                  vid_t n_vertices);
+void write_matrix_market(std::ostream& out, const EdgeList& edges,
+                         vid_t n_vertices);
+
+}  // namespace fastbfs

@@ -1,0 +1,87 @@
+#include "graph/parallel_builder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "thread/thread_pool.h"
+
+namespace fastbfs {
+
+CsrGraph build_csr_parallel(const EdgeList& edges, vid_t n_vertices,
+                            const BuildOptions& options, unsigned n_threads) {
+  if (options.dedup) {
+    throw std::invalid_argument(
+        "build_csr_parallel: dedup requires the serial builder");
+  }
+  if (n_threads == 0) n_threads = 1;
+  for (const Edge& e : edges) {
+    if (e.u >= n_vertices || e.v >= n_vertices) {
+      throw std::invalid_argument(
+          "build_csr_parallel: edge endpoint out of range");
+    }
+  }
+
+  SocketTopology topo(1, n_threads);
+  ThreadPool pool(topo);
+
+  // Pass 1: per-arc degree counting. Each input edge contributes one arc
+  // (or two when symmetrizing); self-loops may be skipped.
+  AlignedBuffer<eid_t> degrees(n_vertices);
+  degrees.zero();
+  const bool sym = options.symmetrize;
+  const bool drop_loops = options.remove_self_loops;
+  auto count_of = [&](vid_t v) {
+    return std::atomic_ref<eid_t>(degrees[v]);
+  };
+  pool.run([&](const ThreadContext& ctx) {
+    const Range r = split_range(edges.size(), ctx.n_threads, ctx.thread_id);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const Edge& e = edges[i];
+      if (drop_loops && e.u == e.v) continue;
+      count_of(e.u).fetch_add(1, std::memory_order_relaxed);
+      if (sym) count_of(e.v).fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Pass 2: exclusive prefix sum into the offsets array.
+  AlignedBuffer<eid_t> offsets(static_cast<std::size_t>(n_vertices) + 1);
+  eid_t run = 0;
+  for (vid_t v = 0; v < n_vertices; ++v) {
+    offsets[v] = run;
+    run += degrees[v];
+  }
+  offsets[n_vertices] = run;
+
+  // Pass 3: parallel scatter; per-vertex cursors claimed with fetch_add.
+  // `degrees` is reused as the cursor array (reset to the offsets).
+  for (vid_t v = 0; v < n_vertices; ++v) degrees[v] = offsets[v];
+  AlignedBuffer<vid_t> targets(run);
+  pool.run([&](const ThreadContext& ctx) {
+    const Range r = split_range(edges.size(), ctx.n_threads, ctx.thread_id);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const Edge& e = edges[i];
+      if (drop_loops && e.u == e.v) continue;
+      const eid_t slot_u =
+          count_of(e.u).fetch_add(1, std::memory_order_relaxed);
+      targets[slot_u] = e.v;
+      if (sym) {
+        const eid_t slot_v =
+            count_of(e.v).fetch_add(1, std::memory_order_relaxed);
+        targets[slot_v] = e.u;
+      }
+    }
+  });
+
+  if (options.sort_neighbors) {
+    pool.run([&](const ThreadContext& ctx) {
+      const Range r = split_range(n_vertices, ctx.n_threads, ctx.thread_id);
+      for (std::size_t v = r.begin; v < r.end; ++v) {
+        std::sort(targets.data() + offsets[v], targets.data() + offsets[v + 1]);
+      }
+    });
+  }
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,27 @@
+// Parallel CSR construction (Graph500 kernel 1).
+//
+// The paper's evaluation graphs reach 4G edges; serial counting-sort
+// construction then dominates end-to-end time. This builder parallelizes
+// both passes with the same thread pool the traversal uses:
+//   1. per-thread degree counting over an even split of the arc list,
+//      merged into a shared degree array with relaxed atomic adds;
+//   2. prefix sum (serial — O(|V|) and memory-bound);
+//   3. parallel scatter, where each thread claims slots with a relaxed
+//      fetch_add on per-vertex cursors.
+// The neighbour order within a vertex differs from the serial builder's
+// (scatter order is nondeterministic across threads) — callers that need
+// canonical adjacency order pass sort_neighbors, exactly as with
+// build_csr. Vertex sets, degrees and the edge multiset are identical.
+#pragma once
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+
+namespace fastbfs {
+
+/// Parallel equivalent of build_csr. `n_threads` == 0 means one thread.
+/// dedup is not supported in parallel (throws); run build_csr for that.
+CsrGraph build_csr_parallel(const EdgeList& edges, vid_t n_vertices,
+                            const BuildOptions& options, unsigned n_threads);
+
+}  // namespace fastbfs

@@ -1,0 +1,81 @@
+#include "graph/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fastbfs {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'B', 'F', 'S', 'C', 'S', 'R', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in, const char* what) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error(std::string("csr binary: truncated ") + what);
+  return v;
+}
+
+}  // namespace
+
+void write_csr_binary(std::ostream& out, const CsrGraph& g) {
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, g.n_vertices());
+  write_u64(out, g.n_edges());
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(eid_t)));
+  out.write(reinterpret_cast<const char*>(g.targets().data()),
+            static_cast<std::streamsize>(g.targets().size() * sizeof(vid_t)));
+  if (!out) throw std::runtime_error("csr binary: write failed");
+}
+
+void write_csr_binary_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("csr binary: cannot open " + path);
+  write_csr_binary(out, g);
+}
+
+CsrGraph read_csr_binary(std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("csr binary: bad magic (not a FBFSCSR1 file)");
+  }
+  const std::uint64_t n = read_u64(in, "vertex count");
+  const std::uint64_t m = read_u64(in, "edge count");
+  if (n > static_cast<std::uint64_t>(kMaxVertexId) + 1) {
+    throw std::runtime_error("csr binary: vertex count out of range");
+  }
+
+  AlignedBuffer<eid_t> offsets(n + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(eid_t)));
+  if (!in) throw std::runtime_error("csr binary: truncated offsets");
+  if (offsets[0] != 0 || offsets[n] != m) {
+    throw std::runtime_error("csr binary: offsets inconsistent with header");
+  }
+
+  AlignedBuffer<vid_t> targets(m);
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(m * sizeof(vid_t)));
+  if (!in) throw std::runtime_error("csr binary: truncated targets");
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (targets[i] >= n) {
+      throw std::runtime_error("csr binary: target vertex out of range");
+    }
+  }
+  // The CsrGraph constructor re-validates offset monotonicity.
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+CsrGraph read_csr_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csr binary: cannot open " + path);
+  return read_csr_binary(in);
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,29 @@
+// Compact binary CSR serialization.
+//
+// Generating the paper-scale synthetic graphs (minutes for a 2G-edge
+// R-MAT) dominates bench turnaround; this format reloads them at disk
+// bandwidth. Layout (little-endian, the only layout this library
+// targets):
+//   magic "FBFSCSR1"          8 bytes
+//   n_vertices                u64
+//   n_edges                   u64
+//   offsets                   (n_vertices+1) * u64
+//   targets                   n_edges * u32
+// Integrity: sizes are cross-checked against the offsets array on load;
+// truncated or corrupted files throw with a specific message.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.h"
+
+namespace fastbfs {
+
+void write_csr_binary(std::ostream& out, const CsrGraph& g);
+void write_csr_binary_file(const std::string& path, const CsrGraph& g);
+
+CsrGraph read_csr_binary(std::istream& in);
+CsrGraph read_csr_binary_file(const std::string& path);
+
+}  // namespace fastbfs

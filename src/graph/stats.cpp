@@ -1,0 +1,99 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fastbfs {
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  if (g.n_vertices() == 0) return s;
+  s.min_degree = kInvalidVertex;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    const vid_t d = g.degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_vertices;
+  }
+  s.avg_degree = g.average_degree();
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram_log2(const CsrGraph& g) {
+  std::vector<std::uint64_t> buckets;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    const vid_t d = g.degree(v);
+    const std::size_t bucket = d == 0 ? 0 : 1 + floor_log2(d);
+    if (buckets.size() <= bucket) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+BfsResult reference_bfs(const CsrGraph& g, vid_t root) {
+  BfsResult r;
+  r.root = root;
+  r.dp = DepthParent(g.n_vertices());
+  if (g.n_vertices() == 0) return r;
+
+  Timer timer;
+  std::vector<vid_t> frontier{root};
+  std::vector<vid_t> next;
+  r.dp.store(root, 0, root);
+  r.vertices_visited = 1;
+  depth_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const vid_t u : frontier) {
+      for (const vid_t v : g.neighbors(u)) {
+        ++r.edges_traversed;
+        if (!r.dp.visited(v)) {
+          r.dp.store(v, depth, u);
+          ++r.vertices_visited;
+          next.push_back(v);
+        }
+      }
+    }
+    std::swap(frontier, next);
+    if (!frontier.empty()) r.depth_reached = depth;
+  }
+  r.seconds = timer.seconds();
+  return r;
+}
+
+unsigned bfs_depth_from(const CsrGraph& g, vid_t root) {
+  return reference_bfs(g, root).depth_reached;
+}
+
+unsigned probe_depth(const CsrGraph& g, unsigned samples, std::uint64_t seed) {
+  if (g.n_vertices() == 0) return 0;
+  Xoshiro256 rng(seed);
+  unsigned best = 0;
+  for (unsigned i = 0; i < samples; ++i) {
+    const vid_t root = pick_nonisolated_root(g, rng.next());
+    if (root == kInvalidVertex) return 0;
+    best = std::max(best, bfs_depth_from(g, root));
+  }
+  return best;
+}
+
+std::uint64_t reachable_count(const CsrGraph& g, vid_t root) {
+  return reference_bfs(g, root).vertices_visited;
+}
+
+vid_t pick_nonisolated_root(const CsrGraph& g, std::uint64_t seed) {
+  if (g.n_vertices() == 0) return kInvalidVertex;
+  Xoshiro256 rng(seed);
+  const vid_t start = static_cast<vid_t>(rng.next_below(g.n_vertices()));
+  for (vid_t i = 0; i < g.n_vertices(); ++i) {
+    const vid_t v = static_cast<vid_t>(
+        (static_cast<std::uint64_t>(start) + i) % g.n_vertices());
+    if (g.degree(v) > 0) return v;
+  }
+  return kInvalidVertex;
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,51 @@
+// Graph statistics: degree distribution and BFS-depth probes.
+//
+// Table II characterizes each evaluation graph by |V|, |E| and "Depth"
+// (the number of BFS levels from a representative root); these helpers
+// compute the same characterization for generated graphs so the Table II
+// bench can print paper-vs-ours side by side. The internal queue BFS here
+// is also the library's reference traversal for tests and the validator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+struct DegreeStats {
+  vid_t min_degree = 0;
+  vid_t max_degree = 0;
+  double avg_degree = 0.0;
+  std::uint64_t isolated_vertices = 0;  // degree-0 (RMAT produces many)
+};
+
+DegreeStats degree_stats(const CsrGraph& g);
+
+/// Log2-bucketed degree histogram: bucket[0] counts degree-0 vertices,
+/// bucket[k] (k >= 1) counts degrees in [2^(k-1), 2^k). The shape check
+/// for R-MAT's power law (a straight-ish line in log-log).
+std::vector<std::uint64_t> degree_histogram_log2(const CsrGraph& g);
+
+/// Reference sequential BFS (textbook queue). Depth/parent semantics match
+/// every optimized engine; used as ground truth in tests.
+BfsResult reference_bfs(const CsrGraph& g, vid_t root);
+
+/// Number of BFS levels - 1 from `root` (the paper's "Depth" column).
+unsigned bfs_depth_from(const CsrGraph& g, vid_t root);
+
+/// Max bfs_depth_from over `samples` pseudo-random roots — a cheap lower
+/// bound on the diameter, the way Table II's Depth values behave.
+unsigned probe_depth(const CsrGraph& g, unsigned samples, std::uint64_t seed);
+
+/// Vertices reachable from root (including root).
+std::uint64_t reachable_count(const CsrGraph& g, vid_t root);
+
+/// A root with non-zero degree (Graph500 requires sampling such roots);
+/// scans from `seed`-derived start. Returns kInvalidVertex if none exists.
+vid_t pick_nonisolated_root(const CsrGraph& g, std::uint64_t seed);
+
+}  // namespace fastbfs

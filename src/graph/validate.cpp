@@ -1,0 +1,78 @@
+#include "graph/validate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/stats.h"
+
+namespace fastbfs {
+namespace {
+
+ValidationReport fail(const std::string& msg) { return {false, msg}; }
+
+std::string vdesc(vid_t v) { return "vertex " + std::to_string(v); }
+
+}  // namespace
+
+ValidationReport validate_bfs_tree(const CsrGraph& g, const BfsResult& result) {
+  const DepthParent& dp = result.dp;
+  if (dp.size() != g.n_vertices()) {
+    return fail("result size does not match graph");
+  }
+  if (g.n_vertices() == 0) return {};
+
+  const vid_t root = result.root;
+  if (!dp.visited(root) || dp.depth(root) != 0 || dp.parent(root) != root) {
+    return fail("root must have depth 0 and be its own parent");
+  }
+
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (!dp.visited(v)) continue;
+    const depth_t d = dp.depth(v);
+    const vid_t p = dp.parent(v);
+    if (v != root) {
+      if (d == 0) return fail(vdesc(v) + ": non-root with depth 0");
+      if (!dp.visited(p)) return fail(vdesc(v) + ": parent unvisited");
+      if (dp.depth(p) + 1 != d) {
+        return fail(vdesc(v) + ": depth not parent depth + 1");
+      }
+      // Tree edge must exist: v must appear in p's adjacency.
+      const auto nbrs = g.neighbors(p);
+      if (std::find(nbrs.begin(), nbrs.end(), v) == nbrs.end()) {
+        return fail(vdesc(v) + ": tree edge (parent,v) not in graph");
+      }
+    }
+    // Level completeness + the |Δdepth| <= 1 rule on traversed edges.
+    for (const vid_t w : g.neighbors(v)) {
+      if (!dp.visited(w)) {
+        return fail(vdesc(w) + ": unvisited neighbor of visited " + vdesc(v));
+      }
+      const depth_t dw = dp.depth(w);
+      if (dw + 1 < d || d + 1 < dw) {
+        std::ostringstream os;
+        os << "edge (" << v << "," << w << "): depths differ by more than 1";
+        return fail(os.str());
+      }
+    }
+  }
+  return {};
+}
+
+ValidationReport validate_depths_match(const CsrGraph& g,
+                                       const BfsResult& result) {
+  const BfsResult ref = reference_bfs(g, result.root);
+  if (result.dp.size() != ref.dp.size()) {
+    return fail("result size does not match graph");
+  }
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (result.dp.depth(v) != ref.dp.depth(v)) {
+      std::ostringstream os;
+      os << "depth mismatch at vertex " << v << ": got "
+         << result.dp.depth(v) << ", reference " << ref.dp.depth(v);
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,37 @@
+// Graph500-style BFS tree validation.
+//
+// Every engine in this library (the two-phase core, all baselines) must
+// satisfy the same contract, checked here per the Graph500 spec rules:
+//   1. the root's depth is 0 and it is its own parent;
+//   2. every visited non-root vertex v has a visited parent p with
+//      depth[v] == depth[p] + 1 and (p, v) an edge of the graph;
+//   3. every vertex adjacent to a visited vertex is itself visited
+//      (levels are complete — a vertex cannot be skipped);
+//   4. for every traversed edge (u, v), |depth[u] - depth[v]| <= 1;
+//   5. unvisited vertices have INF depth and no parent.
+// Depths are additionally *unique*: any valid BFS assigns each vertex the
+// same depth (only parents may differ), so validators can compare against
+// reference_bfs exactly.
+#pragma once
+
+#include <string>
+
+#include "graph/bfs_result.h"
+#include "graph/csr.h"
+
+namespace fastbfs {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string error;  // first violated rule, empty when ok
+};
+
+/// Full validation of `result` as a BFS tree of `g` rooted at result.root.
+ValidationReport validate_bfs_tree(const CsrGraph& g, const BfsResult& result);
+
+/// Depth-only equivalence against the reference BFS (rule: depths are a
+/// function of the graph and root, independent of traversal order).
+ValidationReport validate_depths_match(const CsrGraph& g,
+                                       const BfsResult& result);
+
+}  // namespace fastbfs

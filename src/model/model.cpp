@@ -1,0 +1,168 @@
+#include "model/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastbfs::model {
+namespace {
+
+/// The (1 - |L2| / (|VIS|/N_VIS)) L2-residency factor of Eqn IV.1c,
+/// clamped to [0, 1] (the paper assumes |VIS| >= |L2|; smaller VIS means
+/// it always fits and the LLC term vanishes).
+double l2_miss_factor(const ModelInput& in, double effective_l2_bytes) {
+  const double part = in.vis_bytes / static_cast<double>(in.n_vis);
+  if (part <= 0.0) return 0.0;
+  return std::clamp(1.0 - effective_l2_bytes / part, 0.0, 1.0);
+}
+
+}  // namespace
+
+TrafficPrediction predict_traffic(const ModelInput& in,
+                                  const PlatformParams& p) {
+  TrafficPrediction t;
+  const double rho = in.rho();
+  if (rho <= 0.0) return t;
+  const double L = p.line_bytes;
+
+  // Eqn IV.1a.
+  t.phase1_ddr = 12.0 + (4.0 + 2.0 * L + 8.0 * in.n_pbv) / rho;
+
+  // Eqn IV.1b: the VIS reload term reads all N_VIS partitions once per
+  // step: D * |VIS| bytes total == (|V|/|V'|) * (D/8) per vertex for a
+  // bit-structure; expressed via vis_bytes to stay exact for byte VIS.
+  const double vis_reload_per_vertex =
+      in.v_assigned == 0
+          ? 0.0
+          : static_cast<double>(in.depth) * in.vis_bytes /
+                static_cast<double>(in.v_assigned);
+  t.phase2_ddr = 4.0 + (8.0 + 2.0 * L + 4.0 * in.n_pbv +
+                        vis_reload_per_vertex) / rho;
+
+  // Eqn IV.1c.
+  t.phase2_llc = l2_miss_factor(in, p.l2_bytes) * (L / rho + L);
+
+  // Eqn IV.1d.
+  t.rearrange_ddr = 24.0 / rho;
+  return t;
+}
+
+TimePrediction predict_single_socket(const ModelInput& in,
+                                     const PlatformParams& p) {
+  TimePrediction out;
+  const double rho = in.rho();
+  if (rho <= 0.0) return out;
+  const TrafficPrediction t = predict_traffic(in, p);
+  const double cyc_per_byte_mem = p.freq_ghz / p.b_mem;
+
+  out.phase1 = cyc_per_byte_mem * t.phase1_ddr;
+  out.phase2_ddr = cyc_per_byte_mem * t.phase2_ddr;
+  // Eqn IV.2's LLC term: writes at B_L2->LLC, reads at B_LLC->L2.
+  out.phase2_llc =
+      l2_miss_factor(in, p.l2_bytes) *
+      ((p.freq_ghz / p.b_l2_to_llc) * (p.line_bytes / rho) +
+       (p.freq_ghz / p.b_llc_to_l2) * p.line_bytes);
+  out.rearrange = cyc_per_byte_mem * t.rearrange_ddr;
+  return out;
+}
+
+double effective_bandwidth_static(double alpha, const PlatformParams& p) {
+  return p.b_mem / std::max(alpha, 1e-9);
+}
+
+double effective_bandwidth_balanced(double alpha, unsigned n_sockets,
+                                    const PlatformParams& p) {
+  const double ns = static_cast<double>(n_sockets);
+  if (n_sockets <= 1) return p.b_mem;
+  if (alpha <= 1.0 / ns) return p.b_mem * ns;  // perfectly spread already
+
+  // Eqn IV.3: alpha' is the per-remote-socket overflow fraction.
+  const double alpha_p = (alpha - 1.0 / ns) / (ns - 1.0);
+  const double qpi_limited =
+      std::min(p.b_qpi, alpha_p * p.b_mem_max / (1.0 / ns + alpha_p));
+  const double inv =
+      1.0 / (ns * p.b_llc_to_l2) + alpha_p / qpi_limited;
+  return 1.0 / inv;
+}
+
+double effective_vis_bandwidth(double rho, unsigned n_sockets,
+                               const PlatformParams& p) {
+  // Eqn IV.4.
+  const double per_edge = std::max(rho / p.b_llc_to_l2 + 1.0 / p.b_l2_to_llc,
+                                   1.0 / p.b_qpi);
+  return rho * static_cast<double>(n_sockets) / per_edge;
+}
+
+const char* BottleneckReport::dominant() const {
+  const char* name = "DDR bandwidth";
+  double best = ddr_bandwidth;
+  if (llc_read_bandwidth > best) {
+    best = llc_read_bandwidth;
+    name = "LLC->L2 read bandwidth";
+  }
+  if (llc_write_bandwidth > best) {
+    best = llc_write_bandwidth;
+    name = "L2->LLC write bandwidth";
+  }
+  if (l2_capacity > best) {
+    best = l2_capacity;
+    name = "L2 capacity";
+  }
+  return name;
+}
+
+BottleneckReport analyze_bottlenecks(const ModelInput& in,
+                                     const PlatformParams& p) {
+  BottleneckReport report;
+  const double base = predict_single_socket(in, p).total();
+  if (base <= 0.0) return report;
+  const auto speedup_with = [&](PlatformParams varied) {
+    const double t = predict_single_socket(in, varied).total();
+    return t > 0.0 ? base / t : 1.0;
+  };
+  PlatformParams ddr = p;
+  ddr.b_mem *= 2.0;
+  ddr.b_mem_max *= 2.0;
+  report.ddr_bandwidth = speedup_with(ddr);
+  PlatformParams rd = p;
+  rd.b_llc_to_l2 *= 2.0;
+  report.llc_read_bandwidth = speedup_with(rd);
+  PlatformParams wr = p;
+  wr.b_l2_to_llc *= 2.0;
+  report.llc_write_bandwidth = speedup_with(wr);
+  PlatformParams l2 = p;
+  l2.l2_bytes *= 2.0;
+  report.l2_capacity = speedup_with(l2);
+  return report;
+}
+
+TimePrediction predict_multi_socket(const ModelInput& in,
+                                    const PlatformParams& p,
+                                    unsigned n_sockets, double alpha_adj) {
+  const TimePrediction single = predict_single_socket(in, p);
+  if (n_sockets <= 1) return single;
+  const double ns = static_cast<double>(n_sockets);
+  const double gain =
+      effective_bandwidth_balanced(alpha_adj, n_sockets, p) / p.b_mem;
+
+  TimePrediction out;
+  // DDR-bound parts scale with the effective bandwidth gain (App. D).
+  out.phase1 = single.phase1 / gain;
+  out.phase2_ddr = single.phase2_ddr / gain;
+
+  // LLC-bound part: both internal bandwidths scale with the socket count,
+  // and the residency factor widens because the combined L2 capacity
+  // doubles relative to one VIS partition (App. D: (1-1/4) -> (1-1/2)).
+  const double rho = in.rho();
+  if (rho > 0.0) {
+    out.phase2_llc =
+        l2_miss_factor(in, p.l2_bytes * ns) *
+        ((p.freq_ghz / (ns * p.b_l2_to_llc)) * (p.line_bytes / rho) +
+         (p.freq_ghz / (ns * p.b_llc_to_l2)) * p.line_bytes);
+  }
+
+  // Rearrangement is thread-local and scales linearly (App. D).
+  out.rearrange = single.rearrange / ns;
+  return out;
+}
+
+}  // namespace fastbfs::model

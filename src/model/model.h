@@ -1,0 +1,113 @@
+// The analytical performance model of Sec. IV and Appendices A-D.
+//
+// Outputs are in the paper's units: bytes per traversed edge for traffic,
+// cycles per traversed edge for time. Fidelity notes, each pinned by a
+// unit test against the paper's own printed numbers:
+//   - Eqns IV.1a-IV.1d reproduce App. D's worked example (RMAT |V|=8M,
+//     deg 8): 21.7 / 13.54 / 51.1 / 1.6 bytes per edge;
+//   - Eqn IV.2 reproduces 2.88 cycles/edge Phase-I, 1.8 + (1-1/4)*2.67 =
+//     3.80 cycles/edge Phase-II on one socket;
+//   - Eqn IV.3 reproduces App. C's example: N_S=4, alpha=0.7 =>
+//     2.7*B_M load-balanced vs 1.42*B_M non-balanced;
+//   - the App. D two-socket composition lands at 3.47 cycles/edge ==
+//     844 M edges/s.
+// In the paper "|VIS|" is measured in *bits* in the prose but enters
+// IV.1b/IV.1c in bytes; this API takes vis_bytes explicitly to avoid the
+// ambiguity.
+#pragma once
+
+#include <cstdint>
+
+#include "model/platform_params.h"
+
+namespace fastbfs::model {
+
+/// Graph/traversal quantities the model consumes (Sec. IV notation).
+struct ModelInput {
+  std::uint64_t n_vertices = 0;   // |V|
+  std::uint64_t v_assigned = 0;   // |V'|: vertices assigned a depth
+  std::uint64_t e_traversed = 0;  // |E'|: traversed edges
+  unsigned depth = 0;             // D: BFS depth of the traversal
+  unsigned n_pbv = 1;             // N_PBV bins
+  unsigned n_vis = 1;             // N_VIS partitions
+  double vis_bytes = 0.0;         // |VIS| backing storage in bytes
+
+  /// rho': average degree of the vertices assigned a depth.
+  double rho() const {
+    return v_assigned == 0
+               ? 0.0
+               : static_cast<double>(e_traversed) /
+                     static_cast<double>(v_assigned);
+  }
+};
+
+/// Eqns IV.1a-IV.1d: traffic per traversed edge, in bytes.
+struct TrafficPrediction {
+  double phase1_ddr = 0.0;   // IV.1a
+  double phase2_ddr = 0.0;   // IV.1b
+  double phase2_llc = 0.0;   // IV.1c (LLC <-> L2)
+  double rearrange_ddr = 0.0;  // IV.1d
+};
+
+TrafficPrediction predict_traffic(const ModelInput& in,
+                                  const PlatformParams& p);
+
+/// Cycles per traversed edge; total = phase1 + phase2 + rearrange.
+struct TimePrediction {
+  double phase1 = 0.0;
+  double phase2_ddr = 0.0;
+  double phase2_llc = 0.0;
+  double rearrange = 0.0;
+
+  double phase2() const { return phase2_ddr + phase2_llc; }
+  double total() const { return phase1 + phase2() + rearrange; }
+  /// Traversal rate implied by total(), in million edges per second.
+  double mteps(double freq_ghz) const {
+    return total() <= 0.0 ? 0.0 : freq_ghz * 1e3 / total();
+  }
+};
+
+/// Eqn IV.2: single-socket execution time.
+TimePrediction predict_single_socket(const ModelInput& in,
+                                     const PlatformParams& p);
+
+/// Eqn IV.3: effective bandwidth (GB/s) for a structure spread across
+/// n_sockets with max access fraction `alpha` under load-balancing.
+double effective_bandwidth_balanced(double alpha, unsigned n_sockets,
+                                    const PlatformParams& p);
+
+/// The non-load-balanced comparison in App. C: all accesses local, the
+/// hottest socket serves alpha of them => B_M / alpha.
+double effective_bandwidth_static(double alpha, const PlatformParams& p);
+
+/// Eqn IV.4: effective bandwidth for VIS accesses on n_sockets.
+double effective_vis_bandwidth(double rho, unsigned n_sockets,
+                               const PlatformParams& p);
+
+/// App. C/D composition: scale the single-socket prediction by the
+/// effective bandwidth gain (Eqn IV.3 with `alpha_adj`), double the
+/// internal LLC bandwidths, and widen the effective L2 by the socket
+/// count.
+TimePrediction predict_multi_socket(const ModelInput& in,
+                                    const PlatformParams& p,
+                                    unsigned n_sockets, double alpha_adj);
+
+/// Bottleneck analysis — the model use the paper's conclusion promises
+/// ("provides suggestions for improving graph traversal performance on
+/// future architectures"). For each platform resource, the relative
+/// speedup of the whole traversal if that resource alone were doubled
+/// (1.0 = no effect, 2.0 = the traversal is purely bound by it).
+struct BottleneckReport {
+  double ddr_bandwidth = 1.0;     // doubling B_M / B_Mmax
+  double llc_read_bandwidth = 1.0;   // doubling B_LLC->L2
+  double llc_write_bandwidth = 1.0;  // doubling B_L2->LLC
+  double l2_capacity = 1.0;       // doubling |L2|
+
+  /// Name of the dominant resource.
+  const char* dominant() const;
+};
+
+BottleneckReport analyze_bottlenecks(const ModelInput& in,
+                                     const PlatformParams& p);
+
+}  // namespace fastbfs::model

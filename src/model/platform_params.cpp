@@ -1,0 +1,7 @@
+#include "model/platform_params.h"
+
+namespace fastbfs::model {
+
+PlatformParams nehalem_ep() { return PlatformParams{}; }
+
+}  // namespace fastbfs::model

@@ -1,0 +1,28 @@
+// Platform parameters of the analytical model (Table I + Sec. IV notation).
+//
+// All bandwidths are *achievable* per-socket figures in GB/s as Table I
+// reports them for the dual-socket Xeon X5570 (following Molka et al.'s
+// Nehalem benchmarking): the model multiplies by the socket count where
+// the paper's equations do.
+#pragma once
+
+namespace fastbfs::model {
+
+struct PlatformParams {
+  double freq_ghz = 2.93;        // Freq: core clock
+  double b_mem = 22.0;           // B_M: achievable DDR B/W per socket
+  double b_mem_max = 32.0;       // B_Mmax: peak DDR->LLC B/W per socket
+  double b_llc_to_l2 = 85.0;     // B_LLC->L2: read B/W per socket
+  double b_l2_to_llc = 26.0;     // B_L2->LLC: write B/W per socket
+  double b_qpi = 11.0;           // B_QPI: cross-socket B/W per direction
+  double l2_bytes = 256.0 * 1024.0;         // |L2| private per core
+  double llc_bytes = 8.0 * 1024.0 * 1024.0; // |C| shared per socket
+  double line_bytes = 64.0;      // L: cache line
+  unsigned n_sockets = 2;
+  double gflops_per_socket = 94.0;  // Table I, context only
+};
+
+/// Table I exactly: the paper's dual-socket Nehalem-EP evaluation system.
+PlatformParams nehalem_ep();
+
+}  // namespace fastbfs::model

@@ -1,0 +1,53 @@
+#include "numa/arena.h"
+
+#include <stdexcept>
+
+namespace fastbfs {
+
+void SocketArena::register_block(void* p, std::size_t size, unsigned socket,
+                                 AlignedBuffer<std::byte> storage) {
+  if (socket >= n_sockets_) {
+    throw std::invalid_argument("alloc_on_socket: socket out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.emplace(p, Block{size, socket, std::move(storage)});
+}
+
+unsigned SocketArena::socket_of(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Find the last block whose base is <= addr, then check it covers addr.
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) return kUnknownSocket;
+  --it;
+  const auto* base = static_cast<const std::byte*>(it->first);
+  const auto* p = static_cast<const std::byte*>(addr);
+  if (p < base + it->second.size) return it->second.socket;
+  return kUnknownSocket;
+}
+
+std::size_t SocketArena::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [p, b] : blocks_) {
+    (void)p;
+    total += b.size;
+  }
+  return total;
+}
+
+std::size_t SocketArena::allocated_bytes_on(unsigned socket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [p, b] : blocks_) {
+    (void)p;
+    if (b.socket == socket) total += b.size;
+  }
+  return total;
+}
+
+void SocketArena::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.clear();
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,70 @@
+// Socket-tagged allocation: the reproduction's stand-in for libnuma.
+//
+// The paper allocates Adj/DP/VIS slices and per-thread BV/PBV arrays on
+// specific sockets via numa_alloc_onnode (Sec. III-B footnote 3). On this
+// VM there is one physical memory domain, so SocketArena performs ordinary
+// aligned allocations but *records* the logical owner socket of every
+// block. The traversal engine consults that record to classify each bulk
+// access as socket-local or remote for the traffic audit, which is exactly
+// the information a real NUMA system would express as latency/bandwidth.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <span>
+
+#include "util/aligned_buffer.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+class SocketArena {
+ public:
+  explicit SocketArena(unsigned n_sockets) : n_sockets_(n_sockets) {}
+
+  SocketArena(const SocketArena&) = delete;
+  SocketArena& operator=(const SocketArena&) = delete;
+
+  /// Allocates `count` T's logically owned by `socket`. The returned span
+  /// stays valid until the arena is destroyed or reset().
+  template <typename T>
+  std::span<T> alloc_on_socket(std::size_t count, unsigned socket,
+                               std::size_t alignment = kCacheLine) {
+    AlignedBuffer<std::byte> buf(count * sizeof(T),
+                                 std::max(alignment, alignof(T)));
+    T* p = reinterpret_cast<T*>(buf.data());
+    register_block(p, count * sizeof(T), socket, std::move(buf));
+    return {p, count};
+  }
+
+  /// Logical owner socket of an address previously allocated here;
+  /// returns kUnknownSocket for foreign addresses.
+  unsigned socket_of(const void* addr) const;
+
+  static constexpr unsigned kUnknownSocket = ~0u;
+
+  unsigned n_sockets() const { return n_sockets_; }
+  std::size_t allocated_bytes() const;
+  std::size_t allocated_bytes_on(unsigned socket) const;
+
+  /// Frees every allocation.
+  void reset();
+
+ private:
+  struct Block {
+    std::size_t size;
+    unsigned socket;
+    AlignedBuffer<std::byte> storage;
+  };
+
+  void register_block(void* p, std::size_t size, unsigned socket,
+                      AlignedBuffer<std::byte> storage);
+
+  unsigned n_sockets_;
+  mutable std::mutex mu_;
+  std::map<const void*, Block> blocks_;  // keyed by base address
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,58 @@
+#include "numa/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fastbfs {
+
+SocketTopology::SocketTopology(unsigned n_sockets, unsigned n_threads)
+    : n_sockets_(n_sockets), n_threads_(n_threads) {
+  if (n_sockets == 0) throw std::invalid_argument("n_sockets must be > 0");
+  if (n_threads == 0) throw std::invalid_argument("n_threads must be > 0");
+  if (n_sockets > n_threads) {
+    throw std::invalid_argument("need at least one thread per socket");
+  }
+}
+
+// Threads are split into n_sockets contiguous blocks whose sizes differ by
+// at most one: the first (n_threads % n_sockets) sockets get one extra.
+unsigned SocketTopology::threads_on_socket(unsigned socket) const {
+  const unsigned base = n_threads_ / n_sockets_;
+  return base + (socket < n_threads_ % n_sockets_ ? 1 : 0);
+}
+
+unsigned SocketTopology::socket_of_thread(unsigned thread) const {
+  const unsigned base = n_threads_ / n_sockets_;
+  const unsigned extra = n_threads_ % n_sockets_;
+  const unsigned fat_block = extra * (base + 1);
+  if (thread < fat_block) return thread / (base + 1);
+  return extra + (thread - fat_block) / base;
+}
+
+unsigned SocketTopology::first_thread_of_socket(unsigned socket) const {
+  const unsigned base = n_threads_ / n_sockets_;
+  const unsigned extra = n_threads_ % n_sockets_;
+  return socket * base + std::min(socket, extra);
+}
+
+VertexPartition::VertexPartition(std::uint64_t n_vertices, unsigned n_sockets)
+    : n_vertices_(n_vertices), n_sockets_(n_sockets) {
+  if (n_sockets == 0) throw std::invalid_argument("n_sockets must be > 0");
+  const std::uint64_t per = ceil_div(std::max<std::uint64_t>(n_vertices, 1),
+                                     n_sockets);
+  v_ns_ = ceil_pow2(per);
+  shift_ = floor_log2(v_ns_);
+}
+
+vid_t VertexPartition::first_vertex_of(unsigned socket) const {
+  const std::uint64_t first = static_cast<std::uint64_t>(socket) * v_ns_;
+  return static_cast<vid_t>(std::min<std::uint64_t>(first, n_vertices_));
+}
+
+vid_t VertexPartition::end_vertex_of(unsigned socket) const {
+  if (socket + 1 == n_sockets_) return static_cast<vid_t>(n_vertices_);
+  const std::uint64_t end = static_cast<std::uint64_t>(socket + 1) * v_ns_;
+  return static_cast<vid_t>(std::min<std::uint64_t>(end, n_vertices_));
+}
+
+}  // namespace fastbfs

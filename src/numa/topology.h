@@ -1,0 +1,79 @@
+// Simulated multi-socket topology and the paper's vertex->socket mapping.
+//
+// The paper targets a physical dual-socket Nehalem; this reproduction runs
+// on a single-socket VM, so "sockets" here are *logical*: a partitioning
+// of threads and of the address ranges owned by each data structure. All
+// the algorithmic decisions the paper derives from sockets — per-socket
+// Adj/DP/VIS slices, bin->socket assignment, the load-balanced division —
+// are pure index arithmetic and run unchanged; the logical topology makes
+// their traffic consequences observable (see platform/traffic.h).
+//
+// Sec. III-C item (1): |V_NS| is rounded to the nearest power of two
+// >= |V|/N_S so that socket_of_vertex is a single shift:
+//   Socket_Id(v) = v >> log2(|V_NS|).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace fastbfs {
+
+class SocketTopology {
+ public:
+  /// n_sockets logical sockets, n_threads total worker threads. Threads
+  /// are assigned to sockets in contiguous blocks (threads 0..k-1 on
+  /// socket 0, etc.), mirroring how libnuma-pinned threads were laid out.
+  SocketTopology(unsigned n_sockets, unsigned n_threads);
+
+  unsigned n_sockets() const { return n_sockets_; }
+  unsigned n_threads() const { return n_threads_; }
+
+  /// Threads per socket (the last socket may hold fewer when n_threads is
+  /// not a multiple of n_sockets).
+  unsigned threads_on_socket(unsigned socket) const;
+
+  unsigned socket_of_thread(unsigned thread) const;
+
+  /// First thread id on a socket (threads are blocked per socket).
+  unsigned first_thread_of_socket(unsigned socket) const;
+
+ private:
+  unsigned n_sockets_;
+  unsigned n_threads_;
+};
+
+/// The paper's power-of-two vertex partition across sockets (Sec. III-C).
+class VertexPartition {
+ public:
+  VertexPartition() = default;
+  VertexPartition(std::uint64_t n_vertices, unsigned n_sockets);
+
+  std::uint64_t n_vertices() const { return n_vertices_; }
+  unsigned n_sockets() const { return n_sockets_; }
+
+  /// |V_NS|: vertices per socket, rounded up to a power of two.
+  std::uint64_t vertices_per_socket() const { return v_ns_; }
+
+  /// log2(|V_NS|), the shift used by socket_of_vertex.
+  unsigned shift() const { return shift_; }
+
+  unsigned socket_of_vertex(vid_t v) const {
+    const unsigned s = static_cast<unsigned>(v >> shift_);
+    // Vertices past the last full partition (possible only when |V| is not
+    // a multiple of |V_NS|) belong to the last socket.
+    return s < n_sockets_ ? s : n_sockets_ - 1;
+  }
+
+  /// Half-open vertex range [first, last) owned by a socket.
+  vid_t first_vertex_of(unsigned socket) const;
+  vid_t end_vertex_of(unsigned socket) const;
+
+ private:
+  std::uint64_t n_vertices_ = 0;
+  unsigned n_sockets_ = 1;
+  std::uint64_t v_ns_ = 1;
+  unsigned shift_ = 0;
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,63 @@
+#include "platform/cache_info.h"
+
+#include <fstream>
+#include <string>
+
+namespace fastbfs {
+namespace {
+
+// Reads e.g. "8192K" or "32M" from sysfs cache size files; 0 on failure.
+std::size_t read_sysfs_size(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string s;
+  in >> s;
+  if (s.empty()) return 0;
+  char suffix = s.back();
+  std::size_t mult = 1;
+  if (suffix == 'K' || suffix == 'k') mult = 1024;
+  else if (suffix == 'M' || suffix == 'm') mult = 1024 * 1024;
+  if (mult != 1) s.pop_back();
+  try {
+    return static_cast<std::size_t>(std::stoull(s)) * mult;
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+CacheGeometry nehalem_x5570_cache() {
+  CacheGeometry g;
+  g.l1_bytes = 32 * 1024;
+  g.l2_bytes = 256 * 1024;
+  g.llc_bytes = 8 * 1024 * 1024;
+  g.line_bytes = 64;
+  g.page_bytes = 4096;
+  g.tlb_entries = 64;  // Nehalem DTLB0: 64 entries for 4K pages
+  return g;
+}
+
+CacheGeometry host_cache_geometry() {
+  CacheGeometry g = nehalem_x5570_cache();
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  // Indices 0..3 are typically L1d, L1i, L2, L3 but we match by level file.
+  for (int idx = 0; idx < 6; ++idx) {
+    const std::string dir = base + "index" + std::to_string(idx) + "/";
+    std::ifstream level_in(dir + "level");
+    std::ifstream type_in(dir + "type");
+    if (!level_in || !type_in) continue;
+    int level = 0;
+    std::string type;
+    level_in >> level;
+    type_in >> type;
+    const std::size_t size = read_sysfs_size(dir + "size");
+    if (size == 0) continue;
+    if (level == 1 && type == "Data") g.l1_bytes = size;
+    if (level == 2) g.l2_bytes = size;
+    if (level == 3) g.llc_bytes = size;
+  }
+  return g;
+}
+
+}  // namespace fastbfs

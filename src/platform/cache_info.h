@@ -1,0 +1,33 @@
+// Cache and TLB geometry used to size the VIS partitions and the
+// TLB-aware rearrangement bins.
+//
+// Sec. III-A sizes N_VIS from the LLC size |C| (N_VIS = ceil(|V|/(4|C|)))
+// and Sec. III-B3b sizes rearrangement bins from "pages in Adj divided by
+// simultaneous TLB-resident pages". Both are policy inputs, so they live
+// in a plain geometry struct: the engine takes a CacheGeometry, the
+// defaults below describe (a) the paper's Nehalem X5570 and (b) a best
+// guess at the host, and tests can inject tiny geometries to force the
+// partitioned code paths on small graphs.
+#pragma once
+
+#include <cstddef>
+
+namespace fastbfs {
+
+struct CacheGeometry {
+  std::size_t l1_bytes = 32 * 1024;
+  std::size_t l2_bytes = 256 * 1024;      // private per-core L2 (|L2| in Sec. IV)
+  std::size_t llc_bytes = 8 * 1024 * 1024;  // shared per-socket LLC (|C|)
+  std::size_t line_bytes = 64;             // L in Sec. IV
+  std::size_t page_bytes = 4096;
+  std::size_t tlb_entries = 64;             // simultaneous data-TLB pages
+};
+
+/// The paper's evaluation platform: Intel Xeon X5570 (Nehalem-EP), Sec. V.
+CacheGeometry nehalem_x5570_cache();
+
+/// Geometry of the machine we are running on, read from sysfs where
+/// possible with Nehalem-like fallbacks. Never throws.
+CacheGeometry host_cache_geometry();
+
+}  // namespace fastbfs

@@ -1,0 +1,4 @@
+#include "platform/traffic.h"
+
+// Header-only today; this TU anchors the library target and reserves a
+// home for heavier reporting helpers.

@@ -1,0 +1,67 @@
+// Byte-traffic accounting that makes the paper's locality claims testable.
+//
+// The real machine's cross-socket (QPI) traffic is invisible to us on a
+// single-socket VM, so the engine instead *accounts* for it: each phase
+// reports how many bytes it moved, split by whether the touched structure
+// lives on the accessing thread's logical socket. Counters are incremented
+// in bulk (once per processed chunk, never per element) so the audit adds
+// no measurable overhead, and they feed both the Fig. 5 cross-socket
+// comparison and the model-vs-measured traffic checks of Fig. 8.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fastbfs {
+
+/// Per-thread traffic tally for one phase. Plain (non-atomic) because each
+/// thread owns its own instance; aggregation happens after the barrier.
+struct TrafficCounter {
+  std::uint64_t local_bytes = 0;    // touched data owned by my socket
+  std::uint64_t remote_bytes = 0;   // touched data owned by another socket
+  std::uint64_t llc_bytes = 0;      // modelled LLC<->L2 traffic (VIS access)
+
+  void add(bool is_local, std::uint64_t bytes) {
+    if (is_local) local_bytes += bytes;
+    else remote_bytes += bytes;
+  }
+
+  TrafficCounter& operator+=(const TrafficCounter& o) {
+    local_bytes += o.local_bytes;
+    remote_bytes += o.remote_bytes;
+    llc_bytes += o.llc_bytes;
+    return *this;
+  }
+};
+
+/// Traffic for the three phases of one BFS step/run. phase2 covers the
+/// PBV stream reads; phase2_update isolates the VIS/DP/BV_N accesses so
+/// the socket-locality invariant (DESIGN.md #7) is directly observable.
+struct PhaseTraffic {
+  TrafficCounter phase1;
+  TrafficCounter phase2;
+  TrafficCounter phase2_update;
+  TrafficCounter rearrange;
+
+  PhaseTraffic& operator+=(const PhaseTraffic& o) {
+    phase1 += o.phase1;
+    phase2 += o.phase2;
+    phase2_update += o.phase2_update;
+    rearrange += o.rearrange;
+    return *this;
+  }
+
+  std::uint64_t total_bytes() const {
+    return phase1.local_bytes + phase1.remote_bytes + phase2.local_bytes +
+           phase2.remote_bytes + phase2_update.local_bytes +
+           phase2_update.remote_bytes + rearrange.local_bytes +
+           rearrange.remote_bytes;
+  }
+
+  std::uint64_t total_remote_bytes() const {
+    return phase1.remote_bytes + phase2.remote_bytes +
+           phase2_update.remote_bytes + rearrange.remote_bytes;
+  }
+};
+
+}  // namespace fastbfs

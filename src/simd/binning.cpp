@@ -1,0 +1,94 @@
+#include "simd/binning.h"
+
+#include <cstddef>
+
+#if defined(__SSE4_2__)
+#include <smmintrin.h>
+#define FASTBFS_HAVE_SSE42 1
+#else
+#define FASTBFS_HAVE_SSE42 0
+#endif
+
+namespace fastbfs {
+
+bool simd_binning_available() {
+#if FASTBFS_HAVE_SSE42
+  // Compiled with -march that includes SSE4.2; the binary will not run on
+  // a CPU without it, so compile-time presence implies runtime support.
+  return true;
+#else
+  return false;
+#endif
+}
+
+void bin_indices_scalar(const vid_t* ids, std::size_t n, unsigned shift,
+                        std::uint32_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ids[i] >> shift;
+  }
+}
+
+void append_binned_scalar(const vid_t* ids, std::size_t n, unsigned shift,
+                          svid_t* const* bins, std::uint32_t* cursors) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t b = ids[i] >> shift;
+    bins[b][cursors[b]++] = static_cast<svid_t>(ids[i]);
+  }
+}
+
+#if FASTBFS_HAVE_SSE42
+
+void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
+                     std::uint32_t* out) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m128i b = _mm_srl_epi32(v, sh);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), b);
+  }
+  for (; i < n; ++i) out[i] = ids[i] >> shift;
+}
+
+void append_binned_sse(const vid_t* ids, std::size_t n, unsigned shift,
+                       svid_t* const* bins, std::uint32_t* cursors) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m128i b = _mm_srl_epi32(v, sh);
+    // The scatter itself must stay scalar on SSE (no scatter instruction),
+    // but extracting lanes from the vector avoids recomputing the shifts
+    // and lets the compiler keep the ids in registers.
+    const std::uint32_t b0 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 0));
+    const std::uint32_t b1 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 1));
+    const std::uint32_t b2 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 2));
+    const std::uint32_t b3 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 3));
+    bins[b0][cursors[b0]++] = static_cast<svid_t>(_mm_extract_epi32(v, 0));
+    bins[b1][cursors[b1]++] = static_cast<svid_t>(_mm_extract_epi32(v, 1));
+    bins[b2][cursors[b2]++] = static_cast<svid_t>(_mm_extract_epi32(v, 2));
+    bins[b3][cursors[b3]++] = static_cast<svid_t>(_mm_extract_epi32(v, 3));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t b = ids[i] >> shift;
+    bins[b][cursors[b]++] = static_cast<svid_t>(ids[i]);
+  }
+}
+
+#else  // !FASTBFS_HAVE_SSE42
+
+void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
+                     std::uint32_t* out) {
+  bin_indices_scalar(ids, n, shift, out);
+}
+
+void append_binned_sse(const vid_t* ids, std::size_t n, unsigned shift,
+                       svid_t* const* bins, std::uint32_t* cursors) {
+  append_binned_scalar(ids, n, shift, bins, cursors);
+}
+
+#endif  // FASTBFS_HAVE_SSE42
+
+}  // namespace fastbfs

@@ -1,0 +1,40 @@
+#include "thread/affinity.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace fastbfs {
+
+unsigned online_cpu_count() {
+#if defined(__linux__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<unsigned>(n) : 1;
+#else
+  return 1;
+#endif
+}
+
+bool pin_current_thread_to_cpu(unsigned cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % online_cpu_count(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool pin_current_thread_for(unsigned thread_id, unsigned n_threads) {
+  if (n_threads == 0) return false;
+  const unsigned cpus = online_cpu_count();
+  return pin_current_thread_to_cpu(
+      static_cast<unsigned>(static_cast<unsigned long long>(thread_id) *
+                            cpus / n_threads));
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,25 @@
+// Thread pinning — the libnuma thread-placement half of the paper's setup.
+//
+// The paper pins threads to sockets so that per-thread allocations and
+// the per-socket work division line up with physical memory controllers.
+// On Linux we expose the same capability via sched_setaffinity; the pool
+// applies it when BfsOptions-style callers ask (it is a no-op on hosts
+// with fewer CPUs than workers, and never fails the traversal — pinning
+// is an optimization, not a correctness requirement).
+#pragma once
+
+namespace fastbfs {
+
+/// Number of CPUs available to this process (>=1).
+unsigned online_cpu_count();
+
+/// Pins the calling thread to `cpu` (mod the online count). Returns
+/// false (without throwing) when the platform refuses.
+bool pin_current_thread_to_cpu(unsigned cpu);
+
+/// Round-robin placement: thread t of n on a machine with c CPUs goes to
+/// CPU (t * c / n) — contiguous blocks, mirroring the socket-major
+/// thread numbering of SocketTopology.
+bool pin_current_thread_for(unsigned thread_id, unsigned n_threads);
+
+}  // namespace fastbfs

@@ -1,0 +1,48 @@
+// Sense-reversing spin barrier for the per-step Phase-I/Phase-II fences.
+//
+// The algorithm (Fig. 3) has two barriers per BFS step. std::barrier parks
+// threads in the kernel, which costs microseconds per wake — visible at
+// the paper's per-step granularity — so the pool uses a spin barrier with
+// an exponential-backoff yield for the oversubscribed case (this VM has
+// fewer hardware threads than workers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace fastbfs {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned n_threads)
+      : n_threads_(n_threads), waiting_(0), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all n_threads have arrived. Safe to reuse immediately.
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_threads_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      // Spin briefly, then yield: on an oversubscribed host pure spinning
+      // deadlocks progress until the scheduler preempts us.
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 256) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  const unsigned n_threads_;
+  std::atomic<unsigned> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,64 @@
+#include "thread/thread_pool.h"
+
+#include "thread/affinity.h"
+
+namespace fastbfs {
+
+ThreadPool::ThreadPool(const SocketTopology& topo, bool pin_threads)
+    : topo_(topo),
+      pin_threads_(pin_threads),
+      start_barrier_(topo.n_threads()),
+      finish_barrier_(topo.n_threads()),
+      inner_barrier_(topo.n_threads()) {
+  workers_.reserve(topo.n_threads() - 1);
+  for (unsigned t = 1; t < topo.n_threads(); ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
+  if (topo_.n_threads() > 1) {
+    // Release workers blocked on the start barrier so they can observe
+    // shutdown and exit.
+    start_barrier_.arrive_and_wait();
+  }
+  for (auto& w : workers_) w.join();
+}
+
+ThreadContext ThreadPool::make_context(unsigned thread_id) const {
+  ThreadContext ctx;
+  ctx.thread_id = thread_id;
+  ctx.socket_id = topo_.socket_of_thread(thread_id);
+  ctx.n_threads = topo_.n_threads();
+  ctx.n_sockets = topo_.n_sockets();
+  ctx.threads_on_socket = topo_.threads_on_socket(ctx.socket_id);
+  ctx.rank_on_socket = thread_id - topo_.first_thread_of_socket(ctx.socket_id);
+  return ctx;
+}
+
+void ThreadPool::worker_loop(unsigned thread_id) {
+  if (pin_threads_) {
+    pin_current_thread_for(thread_id, topo_.n_threads());
+  }
+  const ThreadContext ctx = make_context(thread_id);
+  for (;;) {
+    start_barrier_.arrive_and_wait();
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    (*job_)(ctx);
+    finish_barrier_.arrive_and_wait();
+  }
+}
+
+void ThreadPool::run(const std::function<void(const ThreadContext&)>& fn) {
+  job_ = &fn;
+  if (topo_.n_threads() == 1) {
+    fn(make_context(0));
+    return;
+  }
+  start_barrier_.arrive_and_wait();  // releases workers into the job
+  fn(make_context(0));               // caller acts as worker 0
+  finish_barrier_.arrive_and_wait();
+}
+
+}  // namespace fastbfs

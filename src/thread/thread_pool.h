@@ -1,0 +1,85 @@
+// Fork-join thread pool with persistent, socket-mapped workers.
+//
+// The traversal runs the *same* function on every worker (SPMD style, as
+// the paper's Fig. 3 pseudocode implies) with explicit barriers inside the
+// function; a task-queue pool would add per-step scheduling latency. The
+// pool keeps its workers alive across the whole BFS so per-step dispatch
+// is a single atomic epoch bump, and each worker knows its thread id and
+// logical socket (numa/topology.h) just as a libnuma-pinned thread would.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "numa/topology.h"
+#include "thread/barrier.h"
+
+namespace fastbfs {
+
+/// Identity handed to the SPMD function on each worker.
+struct ThreadContext {
+  unsigned thread_id = 0;        // 0 .. n_threads-1
+  unsigned socket_id = 0;        // logical socket of this thread
+  unsigned n_threads = 1;
+  unsigned n_sockets = 1;
+  unsigned threads_on_socket = 1;
+  unsigned rank_on_socket = 0;   // 0 .. threads_on_socket-1
+};
+
+class ThreadPool {
+ public:
+  /// pin_threads: pin each worker to a CPU (socket-major round robin,
+  /// thread/affinity.h). The calling thread (worker 0) is never pinned —
+  /// pinning it would outlive the pool.
+  explicit ThreadPool(const SocketTopology& topo, bool pin_threads = false);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(ctx) on every worker (including reusing the calling thread as
+  /// worker 0) and returns when all have finished.
+  void run(const std::function<void(const ThreadContext&)>& fn);
+
+  /// Barrier shared by all workers for use *inside* an SPMD function.
+  SpinBarrier& barrier() { return inner_barrier_; }
+
+  const SocketTopology& topology() const { return topo_; }
+  unsigned n_threads() const { return topo_.n_threads(); }
+
+ private:
+  void worker_loop(unsigned thread_id);
+  ThreadContext make_context(unsigned thread_id) const;
+
+  SocketTopology topo_;
+  bool pin_threads_;
+  SpinBarrier start_barrier_;   // all workers + caller enter a job
+  SpinBarrier finish_barrier_;  // all workers + caller leave a job
+  SpinBarrier inner_barrier_;   // workers only, used by SPMD code
+  const std::function<void(const ThreadContext&)>* job_ = nullptr;
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::thread> workers_;  // n_threads-1 helpers
+};
+
+/// Splits [0, n) into n_parts nearly-equal chunks; returns [begin, end)
+/// of chunk `part`. Chunks differ in size by at most one.
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t size() const { return end - begin; }
+};
+
+inline Range split_range(std::size_t n, unsigned n_parts, unsigned part) {
+  const std::size_t base = n / n_parts;
+  const std::size_t extra = n % n_parts;
+  const std::size_t begin =
+      static_cast<std::size_t>(part) * base + std::min<std::size_t>(part, extra);
+  const std::size_t len = base + (part < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,86 @@
+// RAII buffer with explicit alignment, used for all bulk graph storage.
+//
+// The traversal kernels rely on cache-line-aligned bases so that the
+// bytes-per-edge accounting of the analytical model (Sec. IV, Appendix A)
+// maps one-to-one onto whole-line transfers, and on page alignment for the
+// TLB-aware rearrangement (Sec. III-B3b) whose bins are page-granular.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "util/types.h"
+
+namespace fastbfs {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Owning, aligned, non-copyable buffer of trivially-copyable T.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kCacheLine)
+      : size_(count) {
+    if (count == 0) return;
+    // Round the byte size up to the alignment so the allocation satisfies
+    // the aligned-alloc contract on all platforms.
+    std::size_t bytes = count * sizeof(T);
+    bytes = (bytes + alignment - 1) / alignment * alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  void fill(const T& value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+  void zero() {
+    if (data_ != nullptr) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,63 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fastbfs {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        // Bare flag: --foo means foo=true.
+        kv_[arg.substr(2)] = "true";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  queried_[key] = true;
+  return kv_.count(key) != 0;
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& def) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t def) const {
+  const std::string v = get(key);
+  if (v.empty()) return def;
+  return std::strtoll(v.c_str(), nullptr, 0);
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  const std::string v = get(key);
+  if (v.empty()) return def;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  const std::string v = get(key);
+  if (v.empty()) return def;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> CliArgs::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    if (queried_.find(k) == queried_.end()) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace fastbfs

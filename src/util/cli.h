@@ -1,0 +1,37 @@
+// Minimal --key=value command-line parsing shared by benches and examples.
+//
+// Every bench accepts the same core flags (--scale, --threads, --sockets,
+// --seed) so the experiment harness in EXPERIMENTS.md can drive them
+// uniformly; this tiny parser keeps those binaries dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fastbfs {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Arguments that were not --key=value pairs, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were present but never queried — typo detection for benches.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fastbfs

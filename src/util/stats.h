@@ -1,0 +1,37 @@
+// Small descriptive-statistics helpers for benchmark reporting.
+//
+// The paper reports averages over five BFS runs from distinct roots
+// (Sec. V); benches use these helpers to summarise repeated runs the same
+// way, plus geometric means for cross-graph speedup aggregation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fastbfs {
+
+double mean(std::span<const double> xs);
+double geo_mean(std::span<const double> xs);
+double stdev(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: needs to sort
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Online accumulator for min/max/mean without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fastbfs

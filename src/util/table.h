@@ -1,0 +1,31 @@
+// Fixed-width text table printer used by every bench binary.
+//
+// Benches print one row per experimental point with the paper's reported
+// value beside ours; a single shared formatter keeps bench output uniform
+// and machine-greppable (pipe-free, space-aligned columns).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastbfs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline; ends with newline.
+  std::string to_string() const;
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastbfs

@@ -1,0 +1,59 @@
+// Fundamental integer types and constants shared across the library.
+//
+// The paper (Sec. III-B2) uses 32-bit vertex ids throughout: the adjacency
+// array stores 4-byte neighbour ids, and the PBV streams interleave parent
+// markers by negating the id, so a signed 32-bit view must be able to
+// represent every vertex. That caps |V| at 2^31 - 1, the same limit the
+// paper's data layout implies.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fastbfs {
+
+/// Vertex identifier. 32-bit per the paper's 4-bytes-per-id accounting.
+using vid_t = std::uint32_t;
+
+/// Signed view of a vertex id used inside PBV streams, where a negative
+/// value marks "the following entries' parent" (Sec. III-C item 4).
+using svid_t = std::int32_t;
+
+/// Edge index / counter. 64-bit: the paper's largest graph has 4G edges.
+using eid_t = std::uint64_t;
+
+/// BFS depth. 32-bit; INF (= kInfDepth) marks "not reached".
+using depth_t = std::uint32_t;
+
+inline constexpr vid_t kInvalidVertex = std::numeric_limits<vid_t>::max();
+inline constexpr depth_t kInfDepth = std::numeric_limits<depth_t>::max();
+
+/// Largest vertex id representable once the PBV sign-bit encoding is
+/// applied (ids are negated, so they must fit in a positive int32).
+inline constexpr vid_t kMaxVertexId =
+    static_cast<vid_t>(std::numeric_limits<svid_t>::max()) - 1;
+
+/// Cache-line size assumed by the traffic model (L in Sec. IV).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Returns the smallest power of two >= x (x > 0). Used for |V_NS|
+/// rounding in Sec. III-C item (1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) {
+  std::uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  unsigned l = 0;
+  while (x >>= 1) ++l;
+  return l;
+}
+
+/// Integer ceil division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace fastbfs

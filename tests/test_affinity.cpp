@@ -1,0 +1,38 @@
+// Tests for thread pinning (best-effort by design: pinning must never be
+// required for correctness, so the API reports rather than throws).
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+#include "thread/affinity.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(Affinity, OnlineCpuCountPositive) {
+  EXPECT_GE(online_cpu_count(), 1u);
+}
+
+TEST(Affinity, PinWrapsAroundCpuCount) {
+  // Pinning to any index must succeed on Linux (indices wrap).
+  EXPECT_TRUE(pin_current_thread_to_cpu(0));
+  EXPECT_TRUE(pin_current_thread_to_cpu(online_cpu_count() + 3));
+  EXPECT_TRUE(pin_current_thread_for(1, 4));
+  EXPECT_FALSE(pin_current_thread_for(0, 0));
+}
+
+TEST(Affinity, PinnedEngineStaysCorrect) {
+  const CsrGraph g = rmat_graph(9, 8, 81);
+  BfsOptions opts;
+  opts.n_threads = 4;
+  opts.n_sockets = 2;
+  opts.pin_threads = true;
+  BfsRunner runner(g, opts);
+  const BfsResult r = runner.run(pick_nonisolated_root(g, 1));
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,55 @@
+// Tests for the public BfsRunner facade.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(BfsRunner, DefaultsJustWork) {
+  const CsrGraph g = rmat_graph(10, 8, 55);
+  BfsRunner runner(g);
+  const vid_t root = pick_nonisolated_root(g, 1);
+  const BfsResult r = runner.run(root);
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+  EXPECT_EQ(runner.options().n_sockets, 2u);
+  EXPECT_EQ(runner.adjacency().n_vertices(), g.n_vertices());
+}
+
+TEST(BfsRunner, Graph500StyleManyRoots) {
+  const CsrGraph g = rmat_graph(10, 8, 56);
+  BfsRunner runner(g);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const vid_t root = pick_nonisolated_root(g, seed);
+    const BfsResult r = runner.run(root);
+    const auto rep = validate_bfs_tree(g, r);
+    ASSERT_TRUE(rep.ok) << "root " << root << ": " << rep.error;
+  }
+}
+
+TEST(BfsRunner, StatsAvailableAfterRun) {
+  const CsrGraph g = rmat_graph(9, 8, 57);
+  BfsRunner runner(g);
+  runner.run(pick_nonisolated_root(g, 2));
+  EXPECT_GT(runner.last_run_stats().traffic.total_bytes(), 0u);
+  EXPECT_FALSE(runner.last_run_stats().steps.empty());
+}
+
+TEST(BfsRunner, HonoursCustomOptions) {
+  const CsrGraph g = rmat_graph(9, 8, 58);
+  BfsOptions opts;
+  opts.n_threads = 2;
+  opts.n_sockets = 1;
+  opts.vis_mode = VisMode::kByte;
+  opts.rearrange = false;
+  BfsRunner runner(g, opts);
+  const BfsResult r = runner.run(pick_nonisolated_root(g, 3));
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+  EXPECT_EQ(runner.options().vis_mode, VisMode::kByte);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,71 @@
+// Unit tests for the socket-tagged arena (the libnuma stand-in).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "numa/arena.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(SocketArena, TagsAllocationsWithOwnerSocket) {
+  SocketArena arena(2);
+  auto a = arena.alloc_on_socket<std::uint32_t>(100, 0);
+  auto b = arena.alloc_on_socket<std::uint64_t>(50, 1);
+  EXPECT_EQ(arena.socket_of(a.data()), 0u);
+  EXPECT_EQ(arena.socket_of(a.data() + 99), 0u);
+  EXPECT_EQ(arena.socket_of(b.data()), 1u);
+  EXPECT_EQ(arena.socket_of(b.data() + 49), 1u);
+}
+
+TEST(SocketArena, ForeignAddressUnknown) {
+  SocketArena arena(2);
+  int local = 0;
+  EXPECT_EQ(arena.socket_of(&local), SocketArena::kUnknownSocket);
+  auto a = arena.alloc_on_socket<std::uint8_t>(16, 0);
+  // One past the end is not inside the block.
+  EXPECT_EQ(arena.socket_of(a.data() + 16), SocketArena::kUnknownSocket);
+}
+
+TEST(SocketArena, ByteAccounting) {
+  SocketArena arena(2);
+  arena.alloc_on_socket<std::uint32_t>(100, 0);  // 400 bytes
+  arena.alloc_on_socket<std::uint8_t>(64, 1);
+  EXPECT_EQ(arena.allocated_bytes_on(0), 400u);
+  EXPECT_EQ(arena.allocated_bytes_on(1), 64u);
+  EXPECT_EQ(arena.allocated_bytes(), 464u);
+  arena.reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+}
+
+TEST(SocketArena, AllocationsAreWritable) {
+  SocketArena arena(1);
+  auto s = arena.alloc_on_socket<std::uint32_t>(1000, 0);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < s.size(); ++i) ASSERT_EQ(s[i], i);
+}
+
+TEST(SocketArena, RejectsOutOfRangeSocket) {
+  SocketArena arena(2);
+  EXPECT_THROW(arena.alloc_on_socket<int>(1, 2), std::invalid_argument);
+}
+
+TEST(SocketArena, ZeroSizedAllocation) {
+  SocketArena arena(1);
+  auto s = arena.alloc_on_socket<int>(0, 0);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SocketArena, ManyBlocksLookup) {
+  SocketArena arena(4);
+  std::vector<std::span<std::uint16_t>> blocks;
+  for (unsigned i = 0; i < 64; ++i) {
+    blocks.push_back(arena.alloc_on_socket<std::uint16_t>(17 + i, i % 4));
+  }
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(arena.socket_of(blocks[i].data() + i % 17), i % 4);
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,125 @@
+// Correctness tests for every baseline engine: all must agree with the
+// reference BFS depths on diverse graphs.
+#include <gtest/gtest.h>
+
+#include "baseline/no_vis_bfs.h"
+#include "baseline/parallel_atomic_bfs.h"
+#include "baseline/serial_bfs.h"
+#include "baseline/single_phase_bfs.h"
+#include "baseline/static_partition_bfs.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+
+namespace fastbfs {
+namespace {
+
+const CsrGraph& test_rmat() {
+  static const CsrGraph g = rmat_graph(10, 8, 21);
+  return g;
+}
+
+TEST(SerialBfs, MatchesReference) {
+  const CsrGraph& g = test_rmat();
+  const vid_t root = pick_nonisolated_root(g, 1);
+  const BfsResult r = baseline::serial_bfs(g, root);
+  EXPECT_TRUE(validate_bfs_tree(g, r).ok);
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+}
+
+class SinglePhaseModes : public ::testing::TestWithParam<VisMode> {};
+
+TEST_P(SinglePhaseModes, MatchesReferenceAcrossGraphs) {
+  baseline::SinglePhaseOptions opts;
+  opts.n_threads = 4;
+  opts.vis_mode = GetParam();
+  const CsrGraph graphs[] = {rmat_graph(9, 8, 31), uniform_graph(1500, 5, 32),
+                             grid_graph(30, 30, 1.0, 33)};
+  for (const CsrGraph& g : graphs) {
+    const vid_t root = pick_nonisolated_root(g, 2);
+    const BfsResult r = baseline::single_phase_bfs(g, root, opts);
+    const auto rep = validate_depths_match(g, r);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    ASSERT_TRUE(validate_bfs_tree(g, r).ok);
+    const BfsResult ref = reference_bfs(g, root);
+    EXPECT_EQ(r.vertices_visited, ref.vertices_visited);
+    EXPECT_EQ(r.depth_reached, ref.depth_reached);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SinglePhaseModes,
+                         ::testing::Values(VisMode::kNone, VisMode::kAtomicBit,
+                                           VisMode::kByte, VisMode::kBit));
+
+TEST(SinglePhase, RejectsPartitionedMode) {
+  baseline::SinglePhaseOptions opts;
+  opts.vis_mode = VisMode::kPartitionedBit;
+  EXPECT_THROW(baseline::single_phase_bfs(test_rmat(), 0, opts),
+               std::invalid_argument);
+}
+
+TEST(SinglePhase, RejectsBadRoot) {
+  baseline::SinglePhaseOptions opts;
+  EXPECT_THROW(
+      baseline::single_phase_bfs(test_rmat(), test_rmat().n_vertices(), opts),
+      std::invalid_argument);
+}
+
+TEST(ParallelAtomicBfs, WrapperMatchesReference) {
+  const CsrGraph& g = test_rmat();
+  const vid_t root = pick_nonisolated_root(g, 3);
+  const BfsResult r = baseline::parallel_atomic_bfs(g, root, 4);
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+  // Atomic scheme never duplicates: traversed edges == reference exactly.
+  const BfsResult ref = reference_bfs(g, root);
+  EXPECT_EQ(r.edges_traversed, ref.edges_traversed);
+}
+
+TEST(NoVisBfs, WrapperMatchesReference) {
+  const CsrGraph& g = test_rmat();
+  const vid_t root = pick_nonisolated_root(g, 4);
+  const BfsResult r = baseline::no_vis_bfs(g, root, 4);
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+}
+
+class StaticPartitionThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StaticPartitionThreads, MatchesReference) {
+  const CsrGraph& g = test_rmat();
+  const vid_t root = pick_nonisolated_root(g, 5);
+  const BfsResult r =
+      baseline::static_partition_bfs(g, root, GetParam());
+  const auto rep = validate_depths_match(g, r);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  ASSERT_TRUE(validate_bfs_tree(g, r).ok);
+  // Exclusive ownership: logical edge count matches the reference.
+  const BfsResult ref = reference_bfs(g, root);
+  EXPECT_EQ(r.edges_traversed, ref.edges_traversed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, StaticPartitionThreads,
+                         ::testing::Values(1, 2, 4));
+
+TEST(StaticPartition, IsolatedRoot) {
+  const CsrGraph g = build_csr({{1, 2}}, 4);
+  const BfsResult r = baseline::static_partition_bfs(g, 0, 2);
+  EXPECT_EQ(r.vertices_visited, 1u);
+  EXPECT_EQ(r.depth_reached, 0u);
+}
+
+TEST(Baselines, AgreeWithEachOtherOnDepthCounts) {
+  const CsrGraph g = uniform_graph(3000, 6, 77);
+  const vid_t root = pick_nonisolated_root(g, 6);
+  const BfsResult serial = baseline::serial_bfs(g, root);
+  const BfsResult atomic = baseline::parallel_atomic_bfs(g, root, 3);
+  const BfsResult novis = baseline::no_vis_bfs(g, root, 3);
+  EXPECT_EQ(serial.vertices_visited, atomic.vertices_visited);
+  EXPECT_EQ(serial.vertices_visited, novis.vertices_visited);
+  EXPECT_EQ(serial.depth_reached, atomic.depth_reached);
+  EXPECT_EQ(serial.depth_reached, novis.depth_reached);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,67 @@
+// Tests for the Graph500 batch runner and the footnote-2 auto VIS rule.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(RunBatch, ValidatesAndAggregates) {
+  const CsrGraph g = rmat_graph(10, 8, 61);
+  BfsRunner runner(g);
+  const BatchResult b = runner.run_batch(g, 6, /*seed=*/5);
+  EXPECT_EQ(b.runs, 6u);
+  EXPECT_EQ(b.validated, 6u);
+  EXPECT_EQ(b.roots.size(), 6u);
+  EXPECT_GT(b.min_teps, 0.0);
+  EXPECT_GE(b.mean_teps, b.min_teps);
+  EXPECT_GE(b.max_teps, b.mean_teps);
+  // Harmonic <= arithmetic mean, always.
+  EXPECT_LE(b.harmonic_teps, b.mean_teps + 1e-9);
+  EXPECT_GE(b.harmonic_teps, b.min_teps - 1e-9);
+  for (const vid_t root : b.roots) {
+    EXPECT_GT(g.degree(root), 0u);
+  }
+}
+
+TEST(RunBatch, EdgelessGraphProducesNoRuns) {
+  const CsrGraph g = build_csr({}, 16);
+  BfsRunner runner(g);
+  const BatchResult b = runner.run_batch(g, 4, 1);
+  EXPECT_EQ(b.runs, 0u);
+  EXPECT_DOUBLE_EQ(b.harmonic_teps, 0.0);
+}
+
+TEST(AutoVis, PicksByteWhenVerticesFitLlc) {
+  const CsrGraph g = rmat_graph(10, 8, 62);  // 1024 vertices
+  const AdjacencyArray adj(g, 2);
+  BfsOptions o;
+  o.n_threads = 2;
+  o.n_sockets = 2;
+  o.vis_mode = VisMode::kAuto;
+  o.llc_bytes_override = 1u << 20;  // |V| = 1024 <= 1MB -> byte
+  TwoPhaseBfs engine(adj, o);
+  EXPECT_EQ(engine.options().vis_mode, VisMode::kByte);
+  EXPECT_EQ(engine.n_vis_partitions(), 1u);
+}
+
+TEST(AutoVis, PicksPartitionedBitsWhenLarge) {
+  const CsrGraph g = rmat_graph(10, 8, 62);
+  const AdjacencyArray adj(g, 2);
+  BfsOptions o;
+  o.n_threads = 2;
+  o.n_sockets = 2;
+  o.vis_mode = VisMode::kAuto;
+  o.llc_bytes_override = 64;  // |V| = 1024 > 64 bytes -> partitioned
+  TwoPhaseBfs engine(adj, o);
+  EXPECT_EQ(engine.options().vis_mode, VisMode::kPartitionedBit);
+  EXPECT_GT(engine.n_vis_partitions(), 1u);
+  // And it still traverses correctly.
+  const BfsResult r = engine.run(pick_nonisolated_root(g, 1));
+  EXPECT_GT(r.vertices_visited, 1u);
+}
+
+}  // namespace
+}  // namespace fastbfs

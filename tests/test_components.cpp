@@ -1,0 +1,82 @@
+// Tests for connected components and giant-component root sampling.
+#include <gtest/gtest.h>
+
+#include "gen/rmat.h"
+#include "graph/components.h"
+#include "graph/stats.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(Components, TwoIslandsAndIsolated) {
+  // {0,1,2} triangle, {4,5} edge, 3 isolated.
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {0, 2}, {4, 5}}, 6);
+  const Components c = connected_components(g);
+  ASSERT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[0], c.component_of[2]);
+  EXPECT_EQ(c.component_of[4], c.component_of[5]);
+  EXPECT_NE(c.component_of[0], c.component_of[4]);
+  EXPECT_EQ(c.component_of[3], Components::kNoComponent);
+
+  const auto giant = c.giant_index();
+  EXPECT_EQ(c.info[giant].n_vertices, 3u);
+  EXPECT_EQ(c.info[giant].n_arcs, 6u);  // triangle symmetrized
+  EXPECT_DOUBLE_EQ(c.giant_edge_fraction(g), 6.0 / 8.0);
+}
+
+TEST(Components, IsolatedAsSingletonsWhenAsked) {
+  const CsrGraph g = build_csr({{0, 1}}, 4);
+  const Components with = connected_components(g, /*skip_isolated=*/false);
+  EXPECT_EQ(with.count(), 3u);  // {0,1}, {2}, {3}
+  const Components without = connected_components(g, /*skip_isolated=*/true);
+  EXPECT_EQ(without.count(), 1u);
+}
+
+TEST(Components, ConnectedGraphIsOneComponent) {
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {2, 3}}, 4);
+  const Components c = connected_components(g);
+  ASSERT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.info[0].n_vertices, 4u);
+  EXPECT_EQ(c.info[0].n_arcs, g.n_edges());
+  EXPECT_DOUBLE_EQ(c.giant_edge_fraction(g), 1.0);
+}
+
+TEST(Components, RmatGiantCoversMostEdges) {
+  // The paper's ">98% of edges traversed" methodology relies on the RMAT
+  // giant component holding almost all edges.
+  const CsrGraph g = rmat_graph(12, 16, 71);
+  const Components c = connected_components(g);
+  EXPECT_GT(c.giant_edge_fraction(g), 0.98);
+}
+
+TEST(Components, GiantRootSampling) {
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {5, 6}}, 8);
+  const Components c = connected_components(g);
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const vid_t root = pick_giant_component_root(g, c, seed);
+    ASSERT_NE(root, kInvalidVertex);
+    EXPECT_LE(root, 2u) << "root outside the giant component";
+  }
+}
+
+TEST(Components, ReferenceBfsVisitsExactlyTheRootComponent) {
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {5, 6}, {6, 7}}, 9);
+  const Components c = connected_components(g);
+  const BfsResult r = reference_bfs(g, 5);
+  const std::uint32_t root_comp = c.component_of[5];
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    EXPECT_EQ(r.dp.visited(v), c.component_of[v] == root_comp) << v;
+  }
+}
+
+TEST(Components, EmptyGraph) {
+  const CsrGraph g = build_csr({}, 0);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_DOUBLE_EQ(c.giant_edge_fraction(g), 0.0);
+  EXPECT_EQ(pick_giant_component_root(g, c, 1), kInvalidVertex);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,107 @@
+// Tests for the simulated distributed (multi-node) BFS.
+#include <gtest/gtest.h>
+
+#include "dist/cluster.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+
+namespace fastbfs {
+namespace {
+
+class DistRanks : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DistRanks, MatchesReferenceAcrossGraphs) {
+  const unsigned ranks = GetParam();
+  const CsrGraph graphs[] = {rmat_graph(10, 8, 41), uniform_graph(1500, 5, 42),
+                             grid_graph(30, 30, 1.0, 43)};
+  for (const CsrGraph& g : graphs) {
+    dist::DistributedBfs cluster(g, ranks);
+    const vid_t root = pick_nonisolated_root(g, 3);
+    const BfsResult r = cluster.run(root);
+    const auto rep = validate_depths_match(g, r);
+    ASSERT_TRUE(rep.ok) << "ranks=" << ranks << ": " << rep.error;
+    ASSERT_TRUE(validate_bfs_tree(g, r).ok);
+    const BfsResult ref = reference_bfs(g, root);
+    EXPECT_EQ(r.vertices_visited, ref.vertices_visited);
+    EXPECT_EQ(r.depth_reached, ref.depth_reached);
+    EXPECT_EQ(r.edges_traversed, ref.edges_traversed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistRanks, ::testing::Values(1, 2, 3, 8));
+
+TEST(DistBfs, SingleRankSendsNoMessages) {
+  const CsrGraph g = rmat_graph(9, 8, 44);
+  dist::DistributedBfs cluster(g, 1);
+  cluster.run(pick_nonisolated_root(g, 1));
+  EXPECT_EQ(cluster.last_stats().total_messages, 0u);
+}
+
+TEST(DistBfs, MessageAccountingIsConsistent) {
+  const CsrGraph g = uniform_graph(2000, 6, 45);
+  dist::DistributedBfs cluster(g, 4);
+  const vid_t root = pick_nonisolated_root(g, 2);
+  const BfsResult r = cluster.run(root);
+  const auto& s = cluster.last_stats();
+  // Totals match the per-rank and per-step breakdowns.
+  std::uint64_t by_rank = 0;
+  for (const auto x : s.sent_by_rank) by_rank += x;
+  EXPECT_EQ(by_rank, s.total_messages);
+  std::uint64_t by_step = 0, discovered = 0;
+  for (const auto& st : s.steps) {
+    by_step += st.messages;
+    discovered += st.local_updates;
+  }
+  EXPECT_EQ(by_step, s.total_messages);
+  EXPECT_EQ(discovered + 1, r.vertices_visited);  // +1 for the root
+  EXPECT_EQ(s.total_message_bytes, s.total_messages * 8);
+  // Every traversed edge is either a message or an on-rank delivery.
+  EXPECT_LE(s.total_messages, r.edges_traversed);
+  EXPECT_EQ(s.supersteps, s.steps.size());
+  EXPECT_GT(s.messages_per_edge(r.edges_traversed), 0.0);
+}
+
+TEST(DistBfs, MessageVolumeGrowsWithRanks) {
+  // With uniform random neighbours a fraction (1 - 1/R) of edges cross
+  // ranks, so message volume must increase monotonically in R.
+  const CsrGraph g = uniform_graph(4096, 8, 46);
+  const vid_t root = pick_nonisolated_root(g, 4);
+  std::uint64_t prev = 0;
+  for (const unsigned ranks : {2u, 4u, 8u}) {
+    dist::DistributedBfs cluster(g, ranks);
+    const BfsResult r = cluster.run(root);
+    const std::uint64_t msgs = cluster.last_stats().total_messages;
+    EXPECT_GT(msgs, prev) << ranks << " ranks";
+    prev = msgs;
+    // Expected crossing fraction ~ (1 - 1/R); allow wide slack.
+    const double frac = static_cast<double>(msgs) /
+                        static_cast<double>(r.edges_traversed);
+    EXPECT_NEAR(frac, 1.0 - 1.0 / ranks, 0.1) << ranks << " ranks";
+  }
+}
+
+TEST(DistBfs, IsolatedRootAndBadRoot) {
+  const CsrGraph g = build_csr({{1, 2}}, 4);
+  dist::DistributedBfs cluster(g, 2);
+  const BfsResult r = cluster.run(0);
+  EXPECT_EQ(r.vertices_visited, 1u);
+  // One superstep runs (scanning the root's empty adjacency), then the
+  // frontier is empty.
+  EXPECT_EQ(cluster.last_stats().supersteps, 1u);
+  EXPECT_EQ(cluster.last_stats().total_messages, 0u);
+  EXPECT_THROW(cluster.run(9), std::invalid_argument);
+}
+
+TEST(DistBfs, OwnershipFollowsPowerOfTwoPartition) {
+  const CsrGraph g = build_csr({{0, 1}}, 6);
+  dist::DistributedBfs cluster(g, 2);
+  EXPECT_EQ(cluster.owner_of(0), 0u);
+  EXPECT_EQ(cluster.owner_of(3), 0u);  // |V_NS| = 4
+  EXPECT_EQ(cluster.owner_of(4), 1u);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,204 @@
+// Unit and property tests for the load-balanced, locality-aware work
+// division (Sec. III-B3a): coverage, balance, and the "at most two partial
+// bins per socket" guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/divide.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+namespace {
+
+using Counts = std::vector<std::uint32_t>;
+
+/// Checks that the plan's slices cover each (src, bin) item range exactly
+/// once, with no overlap and no gap.
+void expect_exact_cover(const DivisionPlan& plan, const Counts& counts,
+                        unsigned n_src, unsigned n_bins) {
+  std::map<std::pair<unsigned, unsigned>, std::vector<std::pair<int, int>>>
+      ranges;
+  for (const auto& slices : plan.per_thread) {
+    for (const BinSlice& s : slices) {
+      ASSERT_LE(s.begin, s.end);
+      ASSERT_LE(s.end, counts[static_cast<std::size_t>(s.src) * n_bins + s.bin]);
+      ranges[{s.src, s.bin}].push_back({static_cast<int>(s.begin),
+                                        static_cast<int>(s.end)});
+    }
+  }
+  for (unsigned src = 0; src < n_src; ++src) {
+    for (unsigned b = 0; b < n_bins; ++b) {
+      const std::uint32_t c = counts[static_cast<std::size_t>(src) * n_bins + b];
+      auto it = ranges.find({src, b});
+      std::vector<std::pair<int, int>> rs =
+          it == ranges.end() ? std::vector<std::pair<int, int>>{} : it->second;
+      std::sort(rs.begin(), rs.end());
+      int cursor = 0;
+      for (const auto& [lo, hi] : rs) {
+        ASSERT_EQ(lo, cursor) << "gap/overlap at src " << src << " bin " << b;
+        cursor = hi;
+      }
+      ASSERT_EQ(cursor, static_cast<int>(c))
+          << "uncovered items at src " << src << " bin " << b;
+    }
+  }
+}
+
+Counts random_counts(unsigned n_src, unsigned n_bins, std::uint64_t seed,
+                     std::uint32_t max_count) {
+  Xoshiro256 rng(seed);
+  Counts c(static_cast<std::size_t>(n_src) * n_bins);
+  for (auto& x : c) x = static_cast<std::uint32_t>(rng.next_below(max_count));
+  return c;
+}
+
+TEST(Divide, EmptyInputYieldsEmptyPlan) {
+  SocketTopology topo(2, 4);
+  const Counts counts(4 * 4, 0);
+  const auto plan =
+      divide_bins(counts, 4, 4, topo, SocketScheme::kLoadBalanced);
+  EXPECT_EQ(plan.total_items, 0u);
+  for (const auto& s : plan.per_thread) EXPECT_TRUE(s.empty());
+}
+
+TEST(Divide, ShapeMismatchThrows) {
+  SocketTopology topo(1, 1);
+  EXPECT_THROW(divide_bins(Counts(3, 0), 2, 2, topo,
+                           SocketScheme::kLoadBalanced),
+               std::invalid_argument);
+}
+
+TEST(Divide, SocketAwareAssignsBinsToOwners) {
+  SocketTopology topo(2, 2);
+  // 1 src, 4 bins: bins 0,1 -> socket 0; bins 2,3 -> socket 1.
+  const Counts counts = {10, 20, 30, 40};
+  const auto plan =
+      divide_bins(counts, 1, 4, topo, SocketScheme::kSocketAware);
+  for (unsigned w = 0; w < 2; ++w) {
+    for (const BinSlice& s : plan.per_thread[w]) {
+      EXPECT_EQ(s.bin / 2, topo.socket_of_thread(w));
+    }
+  }
+  EXPECT_EQ(plan.per_socket_items[0], 30u);
+  EXPECT_EQ(plan.per_socket_items[1], 70u);
+  expect_exact_cover(plan, counts, 1, 4);
+}
+
+TEST(Divide, SocketAwareRequiresDivisibleBins) {
+  SocketTopology topo(2, 2);
+  EXPECT_THROW(divide_bins(Counts(3, 1), 1, 3, topo,
+                           SocketScheme::kSocketAware),
+               std::invalid_argument);
+}
+
+TEST(Divide, LoadBalancedEvensOutSkew) {
+  SocketTopology topo(2, 2);
+  // All mass in socket 0's bins: socket-aware would idle socket 1.
+  const Counts counts = {100, 100, 0, 0};
+  const auto aware =
+      divide_bins(counts, 1, 4, topo, SocketScheme::kSocketAware);
+  EXPECT_EQ(aware.per_socket_items[1], 0u);
+  EXPECT_DOUBLE_EQ(aware.socket_imbalance(), 2.0);
+
+  const auto balanced =
+      divide_bins(counts, 1, 4, topo, SocketScheme::kLoadBalanced);
+  EXPECT_EQ(balanced.per_socket_items[0], 100u);
+  EXPECT_EQ(balanced.per_socket_items[1], 100u);
+  EXPECT_DOUBLE_EQ(balanced.socket_imbalance(), 1.0);
+  expect_exact_cover(balanced, counts, 1, 4);
+}
+
+TEST(Divide, NoneSchemeIgnoresSockets) {
+  SocketTopology topo(2, 4);
+  const Counts counts = {100};  // 1 src, 1 bin
+  const auto plan = divide_bins(counts, 1, 1, topo, SocketScheme::kNone);
+  expect_exact_cover(plan, counts, 1, 1);
+  // All four threads get exactly 25 items.
+  for (const auto& slices : plan.per_thread) {
+    std::uint64_t items = 0;
+    for (const auto& s : slices) items += s.size();
+    EXPECT_EQ(items, 25u);
+  }
+}
+
+struct DivideCase {
+  unsigned sockets, threads, srcs, bins;
+  std::uint64_t seed;
+  SocketScheme scheme;
+};
+
+class DivideProperty : public ::testing::TestWithParam<DivideCase> {};
+
+TEST_P(DivideProperty, CoversExactlyAndBalances) {
+  const auto c = GetParam();
+  SocketTopology topo(c.sockets, c.threads);
+  const Counts counts = random_counts(c.srcs, c.bins, c.seed, 50);
+  const auto plan = divide_bins(counts, c.srcs, c.bins, topo, c.scheme);
+  expect_exact_cover(plan, counts, c.srcs, c.bins);
+
+  std::uint64_t total = 0;
+  for (const auto x : counts) total += x;
+  EXPECT_EQ(plan.total_items, total);
+
+  if (c.scheme == SocketScheme::kLoadBalanced && total > 0) {
+    // Socket shares differ from the even share by less than one item of
+    // rounding (the cuts are at exact positions s*T/N_S).
+    for (unsigned s = 0; s < c.sockets; ++s) {
+      const std::uint64_t lo = total * s / c.sockets;
+      const std::uint64_t hi = total * (s + 1) / c.sockets;
+      EXPECT_EQ(plan.per_socket_items[s], hi - lo);
+    }
+    // At most two partial bins per socket (DESIGN invariant 5): count
+    // bins whose items are split across sockets.
+    std::vector<std::map<unsigned, std::uint64_t>> bin_by_socket(c.bins);
+    for (unsigned w = 0; w < c.threads; ++w) {
+      for (const BinSlice& s : plan.per_thread[w]) {
+        bin_by_socket[s.bin][topo.socket_of_thread(w)] += s.size();
+      }
+    }
+    std::map<unsigned, int> partial_bins_of_socket;
+    for (unsigned b = 0; b < c.bins; ++b) {
+      if (bin_by_socket[b].size() > 1) {
+        for (const auto& [sock, cnt] : bin_by_socket[b]) {
+          (void)cnt;
+          ++partial_bins_of_socket[sock];
+        }
+      }
+    }
+    for (const auto& [sock, n_partial] : partial_bins_of_socket) {
+      EXPECT_LE(n_partial, 2) << "socket " << sock;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DivideProperty,
+    ::testing::Values(
+        DivideCase{1, 1, 1, 1, 1, SocketScheme::kLoadBalanced},
+        DivideCase{2, 4, 4, 4, 2, SocketScheme::kLoadBalanced},
+        DivideCase{2, 4, 4, 8, 3, SocketScheme::kLoadBalanced},
+        DivideCase{4, 8, 8, 16, 4, SocketScheme::kLoadBalanced},
+        DivideCase{3, 6, 6, 9, 5, SocketScheme::kLoadBalanced},
+        DivideCase{2, 4, 4, 4, 6, SocketScheme::kSocketAware},
+        DivideCase{4, 4, 4, 8, 7, SocketScheme::kSocketAware},
+        DivideCase{2, 5, 5, 1, 8, SocketScheme::kNone},
+        DivideCase{2, 4, 4, 6, 9, SocketScheme::kNone},
+        DivideCase{2, 8, 8, 32, 10, SocketScheme::kLoadBalanced}));
+
+TEST(Divide, SlicesArriveInBinMajorOrder) {
+  SocketTopology topo(2, 2);
+  const Counts counts = random_counts(2, 8, 77, 20);
+  const auto plan =
+      divide_bins(counts, 2, 8, topo, SocketScheme::kLoadBalanced);
+  for (const auto& slices : plan.per_thread) {
+    for (std::size_t i = 1; i < slices.size(); ++i) {
+      EXPECT_GE(slices[i].bin, slices[i - 1].bin);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,126 @@
+// Structural edge cases for the two-phase engine: extreme hubs, complete
+// graphs, long paths, tiny-cache geometries — the shapes that stress bin
+// growth, marker density and the per-step control path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/two_phase_bfs.h"
+#include "gen/proxies.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+
+namespace fastbfs {
+namespace {
+
+BfsOptions opts_with(unsigned threads, unsigned sockets) {
+  BfsOptions o;
+  o.n_threads = threads;
+  o.n_sockets = sockets;
+  return o;
+}
+
+void expect_engine_ok(const CsrGraph& g, vid_t root, const BfsOptions& o) {
+  const AdjacencyArray adj(g, o.n_sockets);
+  TwoPhaseBfs engine(adj, o);
+  const BfsResult r = engine.run(root);
+  const auto depths = validate_depths_match(g, r);
+  ASSERT_TRUE(depths.ok) << depths.error;
+  const auto tree = validate_bfs_tree(g, r);
+  ASSERT_TRUE(tree.ok) << tree.error;
+}
+
+TEST(EngineEdge, GiantStarHub) {
+  // One vertex adjacent to everyone: a single frontier vertex produces
+  // the entire second level, exercising single-slice bin growth.
+  EdgeList e;
+  const vid_t n = 20000;
+  for (vid_t v = 1; v < n; ++v) e.push_back({0, v});
+  const CsrGraph g = build_csr(e, n);
+  expect_engine_ok(g, 0, opts_with(4, 2));
+  expect_engine_ok(g, n - 1, opts_with(4, 2));  // leaf root: hub at depth 1
+}
+
+TEST(EngineEdge, CompleteGraph) {
+  EdgeList e;
+  const vid_t n = 150;
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) e.push_back({u, v});
+  }
+  const CsrGraph g = build_csr(e, n);
+  expect_engine_ok(g, 7, opts_with(4, 2));
+}
+
+TEST(EngineEdge, LongPath) {
+  EdgeList e;
+  const vid_t n = 3000;
+  for (vid_t v = 0; v + 1 < n; ++v) e.push_back({v, v + 1});
+  const CsrGraph g = build_csr(e, n);
+  // Frontier of size 1 for thousands of steps: most threads idle every
+  // step; the division must hand out empty work gracefully.
+  expect_engine_ok(g, 0, opts_with(4, 2));
+  expect_engine_ok(g, n / 2, opts_with(3, 3));
+}
+
+TEST(EngineEdge, TwoVertexGraph) {
+  const CsrGraph g = build_csr({{0, 1}}, 2);
+  expect_engine_ok(g, 0, opts_with(2, 2));
+  expect_engine_ok(g, 1, opts_with(1, 1));
+}
+
+TEST(EngineEdge, ParallelEdgesAndSelfLoops) {
+  BuildOptions keep;
+  keep.remove_self_loops = false;
+  const CsrGraph g =
+      build_csr({{0, 1}, {0, 1}, {0, 1}, {1, 2}, {2, 2}}, 3, keep);
+  expect_engine_ok(g, 0, opts_with(4, 2));
+}
+
+TEST(EngineEdge, MoreSocketsThanUsefulBins) {
+  // 8 logical sockets over a graph of 100 vertices: most sockets own
+  // nearly nothing.
+  const CsrGraph g = layered_graph(100, 5, 2.0, 9);
+  expect_engine_ok(g, 0, opts_with(8, 8));
+}
+
+TEST(EngineEdge, TinyPagesStressRearrangement) {
+  const CsrGraph g = layered_graph(5000, 40, 3.0, 10);
+  BfsOptions o = opts_with(4, 2);
+  o.cache.page_bytes = 64;   // pathological page size
+  o.cache.tlb_entries = 1;   // one page per rearrangement bin
+  expect_engine_ok(g, 0, o);
+}
+
+TEST(EngineEdge, HugePagesDisableRearrangementBins) {
+  const CsrGraph g = layered_graph(5000, 40, 3.0, 11);
+  BfsOptions o = opts_with(4, 2);
+  o.cache.page_bytes = 2 * 1024 * 1024;  // 2 MB huge pages -> 1 bin
+  expect_engine_ok(g, 0, o);
+}
+
+TEST(EngineEdge, PrefetchDistanceExtremes) {
+  const CsrGraph g = layered_graph(4000, 20, 3.0, 12);
+  for (const int dist : {1, 1000}) {
+    BfsOptions o = opts_with(4, 2);
+    o.prefetch_distance = dist;
+    expect_engine_ok(g, 0, o);
+  }
+}
+
+TEST(EngineEdge, StepsCsvDump) {
+  const CsrGraph g = layered_graph(2000, 10, 2.5, 13);
+  const AdjacencyArray adj(g, 2);
+  TwoPhaseBfs engine(adj, opts_with(4, 2));
+  engine.run(0);
+  std::ostringstream csv;
+  engine.last_run_stats().write_steps_csv(csv);
+  const std::string s = csv.str();
+  EXPECT_NE(s.find("step,frontier"), std::string::npos);
+  // Header + one line per recorded step (depth levels + final empty scan).
+  const auto lines = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(lines, 1 + static_cast<long>(
+                           engine.last_run_stats().steps.size()));
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,144 @@
+// Engine-internal accounting invariants (DESIGN.md invariants 3-5) and
+// determinism-of-depths stress under repeated concurrent runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/two_phase_bfs.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(EngineInvariants, MarkerModeBinsEdgesPlusMarkers) {
+  // In marker encoding, every frontier vertex writes one marker to every
+  // bin and every edge contributes one child entry:
+  //   binned_items(step) == frontier * N_PBV + edges_scanned(step).
+  const CsrGraph g = uniform_graph(4000, 6, 11);
+  const AdjacencyArray adj(g, 2);
+  BfsOptions o;
+  o.n_threads = 4;
+  o.n_sockets = 2;
+  o.pbv_encoding = PbvEncoding::kMarkers;
+  TwoPhaseBfs engine(adj, o);
+  ASSERT_FALSE(engine.uses_pair_encoding());
+  const vid_t root = pick_nonisolated_root(g, 1);
+  engine.run(root);
+  const unsigned n_pbv = engine.n_pbv_bins();
+
+  for (const StepStats& st : engine.last_run_stats().steps) {
+    // Edges scanned this step: recover from the identity itself using the
+    // known degree regularity of the uniform graph is fragile; instead
+    // check the divisibility structure: markers are exactly
+    // frontier * N_PBV of the items.
+    ASSERT_GE(st.binned_items, st.frontier_size * n_pbv) << st.step;
+  }
+}
+
+TEST(EngineInvariants, PairModeBinsExactlyTheEdges) {
+  // In pair encoding each scanned edge produces exactly one item.
+  const CsrGraph g = uniform_graph(4000, 6, 12);
+  const AdjacencyArray adj(g, 2);
+  BfsOptions o;
+  o.n_threads = 4;
+  o.n_sockets = 2;
+  o.pbv_encoding = PbvEncoding::kPairs;
+  TwoPhaseBfs engine(adj, o);
+  const vid_t root = pick_nonisolated_root(g, 2);
+  const BfsResult r = engine.run(root);
+  std::uint64_t binned = 0;
+  for (const StepStats& st : engine.last_run_stats().steps) {
+    binned += st.binned_items;
+  }
+  EXPECT_EQ(binned, r.edges_traversed);
+}
+
+TEST(EngineInvariants, FrontiersSumToVisitedVertices) {
+  // Without benign-race duplicates (single thread), every visited vertex
+  // enters the frontier exactly once.
+  const CsrGraph g = rmat_graph(11, 8, 13);
+  const AdjacencyArray adj(g, 1);
+  BfsOptions o;
+  o.n_threads = 1;
+  o.n_sockets = 1;
+  TwoPhaseBfs engine(adj, o);
+  const BfsResult r = engine.run(pick_nonisolated_root(g, 3));
+  std::uint64_t frontier_total = 0;
+  for (const StepStats& st : engine.last_run_stats().steps) {
+    frontier_total += st.frontier_size;
+  }
+  EXPECT_EQ(frontier_total, r.vertices_visited);
+}
+
+TEST(EngineInvariants, DepthsDeterministicAcrossRepeats) {
+  // 10 repeated concurrent runs must give identical depth arrays (the
+  // benign races may change parents and work counts, never depths).
+  const CsrGraph g = rmat_graph(11, 12, 14);
+  const AdjacencyArray adj(g, 2);
+  BfsOptions o;
+  o.n_threads = 6;
+  o.n_sockets = 2;
+  TwoPhaseBfs engine(adj, o);
+  const vid_t root = pick_nonisolated_root(g, 4);
+  const BfsResult first = engine.run(root);
+  for (int rep = 0; rep < 9; ++rep) {
+    const BfsResult again = engine.run(root);
+    for (vid_t v = 0; v < g.n_vertices(); ++v) {
+      ASSERT_EQ(first.dp.depth(v), again.dp.depth(v))
+          << "rep " << rep << " vertex " << v;
+    }
+  }
+}
+
+TEST(EngineInvariants, TrafficAuditNonTrivialAndConsistent) {
+  const CsrGraph g = rmat_graph(11, 8, 15);
+  const AdjacencyArray adj(g, 2);
+  BfsOptions o;
+  o.n_threads = 4;
+  o.n_sockets = 2;
+  TwoPhaseBfs engine(adj, o);
+  const BfsResult r = engine.run(pick_nonisolated_root(g, 5));
+  const PhaseTraffic& t = engine.last_run_stats().traffic;
+  // Phase-I must read at least 4 bytes per traversed edge of adjacency.
+  EXPECT_GE(t.phase1.local_bytes + t.phase1.remote_bytes,
+            4 * r.edges_traversed);
+  // Phase-II reads the streams Phase-I wrote: at least 4 bytes per edge.
+  EXPECT_GE(t.phase2.local_bytes + t.phase2.remote_bytes,
+            4 * r.edges_traversed);
+  // Updates: one VIS byte per edge minimum.
+  EXPECT_GE(t.phase2_update.local_bytes + t.phase2_update.remote_bytes,
+            r.edges_traversed);
+  // Rearrangement writes 24 bytes per frontier vertex.
+  EXPECT_GE(t.rearrange.local_bytes, 24 * r.vertices_visited - 24);
+  EXPECT_EQ(t.rearrange.remote_bytes, 0u);
+}
+
+TEST(IoWriters, DimacsRoundTrip) {
+  const EdgeList edges = {{0, 1}, {2, 0}, {3, 4}};
+  std::stringstream buf;
+  write_dimacs(buf, edges, 5);
+  const DimacsGraph back = read_dimacs(buf);
+  EXPECT_EQ(back.n_vertices, 5u);
+  ASSERT_EQ(back.edges.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(back.edges[i].u, edges[i].u);
+    EXPECT_EQ(back.edges[i].v, edges[i].v);
+  }
+}
+
+TEST(IoWriters, MatrixMarketRoundTrip) {
+  const EdgeList edges = {{0, 1}, {4, 2}};
+  std::stringstream buf;
+  write_matrix_market(buf, edges, 6);
+  const DimacsGraph back = read_matrix_market(buf);
+  EXPECT_EQ(back.n_vertices, 6u);
+  ASSERT_EQ(back.edges.size(), edges.size());
+  EXPECT_EQ(back.edges[1].u, 4u);
+  EXPECT_EQ(back.edges[1].v, 2u);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,103 @@
+// Randomized cross-engine equivalence: every engine in the library must
+// produce identical depth arrays on randomly generated graphs.
+//
+// This is the strongest property the library offers (DESIGN invariant 1):
+// BFS depths are a pure function of (graph, root), so eight
+// implementations with completely different parallelization strategies
+// give byte-identical depth arrays — any divergence is a bug in exactly
+// one of them.
+#include <gtest/gtest.h>
+
+#include "baseline/async_bfs.h"
+#include "baseline/no_vis_bfs.h"
+#include "baseline/parallel_atomic_bfs.h"
+#include "baseline/static_partition_bfs.h"
+#include "baseline/work_stealing_bfs.h"
+#include "core/api.h"
+#include "dist/cluster.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+namespace {
+
+/// A random small graph with randomized shape parameters.
+CsrGraph random_graph(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const vid_t n = 64 + static_cast<vid_t>(rng.next_below(2000));
+  const eid_t m = n / 2 + rng.next_below(8 * n);
+  switch (rng.next_below(3)) {
+    case 0: {
+      // Random-endpoint graph.
+      return random_endpoint_graph(n, m, rng.next());
+    }
+    case 1: {
+      // R-MAT with randomized skew.
+      RmatParams p;
+      p.a = 0.4 + 0.3 * rng.next_double();
+      p.b = p.c = (1.0 - p.a) / 3.0;
+      p.d = 1.0 - p.a - p.b - p.c;
+      const unsigned scale = 7 + static_cast<unsigned>(rng.next_below(4));
+      return rmat_graph(scale, 4 + static_cast<unsigned>(rng.next_below(8)),
+                        rng.next(), p);
+    }
+    default: {
+      // Sparse random-endpoint graph with many components.
+      return random_endpoint_graph(n, n / 2 + rng.next_below(n), rng.next());
+    }
+  }
+}
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, AllEnginesAgreeOnDepths) {
+  const std::uint64_t seed = GetParam();
+  const CsrGraph g = random_graph(seed);
+  const vid_t root = pick_nonisolated_root(g, seed ^ 0xabcdef);
+  if (root == kInvalidVertex) GTEST_SKIP() << "edgeless random graph";
+  const BfsResult ref = reference_bfs(g, root);
+
+  auto check = [&](const BfsResult& r, const char* engine) {
+    ASSERT_EQ(r.dp.size(), ref.dp.size()) << engine;
+    for (vid_t v = 0; v < g.n_vertices(); ++v) {
+      ASSERT_EQ(r.dp.depth(v), ref.dp.depth(v))
+          << engine << " diverges at vertex " << v << " (seed " << seed
+          << ")";
+    }
+  };
+
+  // The paper's engine in a configuration randomized per seed.
+  {
+    Xoshiro256 rng(seed ^ 0x777);
+    BfsOptions o;
+    o.n_threads = 1 + static_cast<unsigned>(rng.next_below(6));
+    o.n_sockets = 1 + static_cast<unsigned>(rng.next_below(
+                          std::min(o.n_threads, 3u)));
+    o.vis_mode = static_cast<VisMode>(rng.next_below(5));
+    o.scheme = static_cast<SocketScheme>(rng.next_below(3));
+    o.use_simd = rng.next_below(2) != 0;
+    o.rearrange = rng.next_below(2) != 0;
+    if (o.vis_mode == VisMode::kPartitionedBit && rng.next_below(2) != 0) {
+      o.llc_bytes_override = 32 << rng.next_below(6);
+    }
+    BfsRunner runner(g, o);
+    check(runner.run(root), "two-phase");
+  }
+  check(baseline::parallel_atomic_bfs(g, root, 3), "atomic");
+  check(baseline::no_vis_bfs(g, root, 3), "no-vis");
+  check(baseline::static_partition_bfs(g, root, 3), "static");
+  check(baseline::work_stealing_bfs(g, root, 3), "work-stealing");
+  check(baseline::async_bfs(g, root, 3), "async");
+  {
+    dist::DistributedBfs cluster(g, 1 + static_cast<unsigned>(seed % 5));
+    check(cluster.run(root), "distributed");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace fastbfs

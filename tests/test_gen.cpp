@@ -1,0 +1,210 @@
+// Unit tests for the graph generators and the Table II proxy recipes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "gen/grid.h"
+#include "gen/proxies.h"
+#include "gen/rmat.h"
+#include "gen/stress.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(Rmat, DeterministicForSeed) {
+  const EdgeList a = generate_rmat(10, 4, 42);
+  const EdgeList b = generate_rmat(10, 4, 42);
+  const EdgeList c = generate_rmat(10, 4, 43);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].u != b[i].u || a[i].v != b[i].v) all_equal = false;
+  }
+  EXPECT_TRUE(all_equal);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a[i].u != c[i].u || a[i].v != c[i].v) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rmat, EdgeCountAndRange) {
+  const unsigned scale = 12, ef = 8;
+  const EdgeList e = generate_rmat(scale, ef, 7);
+  EXPECT_EQ(e.size(), static_cast<std::size_t>(ef) << scale);
+  for (const Edge& x : e) {
+    EXPECT_LT(x.u, 1u << scale);
+    EXPECT_LT(x.v, 1u << scale);
+  }
+}
+
+TEST(Rmat, PowerLawSkew) {
+  // With a=0.57 the Graph500 parameters concentrate mass on low ids: the
+  // max degree must far exceed the average, and isolated vertices exist.
+  const CsrGraph g = rmat_graph(13, 16, 123);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.max_degree, 20 * s.avg_degree);
+  EXPECT_GT(s.isolated_vertices, 0u);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW(generate_rmat(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(generate_rmat(31, 4, 1), std::invalid_argument);
+  RmatParams p;
+  p.a = 0.9;  // sums to > 1 with defaults
+  EXPECT_THROW(generate_rmat(8, 4, 1, p), std::invalid_argument);
+}
+
+TEST(Uniform, ExactOutDegrees) {
+  const vid_t n = 1000;
+  const unsigned d = 7;
+  const EdgeList e = generate_uniform(n, d, 5);
+  EXPECT_EQ(e.size(), static_cast<std::size_t>(n) * d);
+  std::vector<unsigned> out(n, 0);
+  for (const Edge& x : e) {
+    EXPECT_NE(x.u, x.v);  // no self loops
+    EXPECT_LT(x.v, n);
+    ++out[x.u];
+  }
+  for (const unsigned c : out) EXPECT_EQ(c, d);
+}
+
+TEST(Uniform, RandomEndpointCounts) {
+  const EdgeList e = generate_random_endpoint(500, 2000, 9);
+  EXPECT_EQ(e.size(), 2000u);
+  for (const Edge& x : e) {
+    EXPECT_NE(x.u, x.v);
+    EXPECT_LT(x.u, 500u);
+    EXPECT_LT(x.v, 500u);
+  }
+}
+
+TEST(Uniform, RejectsTinyGraphs) {
+  EXPECT_THROW(generate_uniform(1, 3, 1), std::invalid_argument);
+}
+
+TEST(Stress, BipartiteStructure) {
+  const vid_t n = 1024;
+  const EdgeList e = generate_stress_bipartite(n, 4, 3);
+  for (const Edge& x : e) {
+    EXPECT_LT(x.u, n / 2);   // sources in the low block
+    EXPECT_GE(x.v, n / 2);   // targets in the high block
+  }
+  // BFS levels must alternate blocks: depth parity == block.
+  const CsrGraph g = stress_bipartite_graph(n, 4, 3);
+  const BfsResult r = reference_bfs(g, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    if (!r.dp.visited(v)) continue;
+    const bool high_block = v >= n / 2;
+    EXPECT_EQ(r.dp.depth(v) % 2 == 1, high_block) << "vertex " << v;
+  }
+}
+
+TEST(Grid, FullGridDegreesAndDiameter) {
+  const CsrGraph g = grid_graph(10, 10);
+  EXPECT_EQ(g.n_vertices(), 100u);
+  // 4-connected grid: corner degree 2, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(5 * 10 + 5), 4u);
+  // Diameter from a corner = width-1 + height-1.
+  EXPECT_EQ(bfs_depth_from(g, 0), 18u);
+}
+
+TEST(Grid, KeepProbabilityThinsEdges) {
+  const EdgeList full = generate_grid(50, 50, 1.0, 2);
+  const EdgeList thin = generate_grid(50, 50, 0.6, 2);
+  EXPECT_LT(thin.size(), full.size());
+  EXPECT_GT(thin.size(), full.size() / 3);
+}
+
+TEST(Layered, DepthIsExact) {
+  for (const unsigned layers : {1u, 7u, 33u}) {
+    const CsrGraph g = layered_graph(4000, layers, 2.5, layers);
+    EXPECT_EQ(bfs_depth_from(g, 0), layers) << layers << " layers";
+  }
+}
+
+TEST(Layered, EdgesOnlyBetweenAdjacentLayers) {
+  const vid_t n = 1200;
+  const unsigned layers = 5;
+  const CsrGraph g = layered_graph(n, layers, 3.0, 17);
+  const BfsResult r = reference_bfs(g, 0);
+  // In a layered graph the depth equals the layer index for reachable
+  // vertices, so every edge connects consecutive depths.
+  for (vid_t v = 0; v < n; ++v) {
+    if (!r.dp.visited(v)) continue;
+    for (const vid_t w : g.neighbors(v)) {
+      if (!r.dp.visited(w)) continue;
+      const int dd = static_cast<int>(r.dp.depth(v)) -
+                     static_cast<int>(r.dp.depth(w));
+      EXPECT_EQ(std::abs(dd), 1);
+    }
+  }
+}
+
+TEST(Layered, RejectsImpossibleShapes) {
+  EXPECT_THROW(generate_layered(3, 5, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(generate_layered(10, 0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(AttachTail, ExtendsDepth) {
+  EdgeList e = {{0, 1}};
+  const vid_t n = attach_tail(e, 2, /*anchor=*/1, /*tail_len=*/5);
+  EXPECT_EQ(n, 7u);
+  const CsrGraph g = build_csr(e, n);
+  EXPECT_EQ(bfs_depth_from(g, 0), 6u);
+}
+
+TEST(Proxies, TableTwoHasAllTenRows) {
+  const auto& specs = table2_specs();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs[0].name, "FreeScale1");
+  EXPECT_EQ(specs[9].name, "Toy++");
+  EXPECT_EQ(specs[5].paper_depth, 6230u);  // USA-All
+  EXPECT_EQ(specs[9].paper_edges, 4294967296ull);
+}
+
+class ProxyBuild : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProxyBuild, ScaledProxyMatchesDepthClass) {
+  const ProxySpec& spec = table2_specs()[GetParam()];
+  // Aggressive scale-down so the test stays fast.
+  const unsigned div = 256;
+  const CsrGraph g = make_proxy(spec, div, 99);
+  EXPECT_GT(g.n_vertices(), 0u);
+  EXPECT_GT(g.n_edges(), 0u);
+  const unsigned depth = bfs_depth_from(g, 0);
+  switch (spec.recipe) {
+    case ProxyRecipe::kLayered:
+      EXPECT_EQ(depth, spec.paper_depth) << spec.name;
+      break;
+    case ProxyRecipe::kRmatWithTail:
+      EXPECT_GE(depth, spec.paper_depth) << spec.name;
+      break;
+    case ProxyRecipe::kRmat:
+      // Small-world: depth stays within a small factor of the paper's.
+      EXPECT_LE(depth, 4 * spec.paper_depth + 8) << spec.name;
+      break;
+  }
+}
+
+// Rows 0..8; Toy++ (row 9) is covered at div=4096 below to bound memory.
+INSTANTIATE_TEST_SUITE_P(Rows, ProxyBuild,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Proxies, ToyPlusPlusHeavilyScaled) {
+  const ProxySpec& spec = table2_specs()[9];
+  const CsrGraph g = make_proxy(spec, 4096, 1);
+  EXPECT_GE(g.n_vertices(), 65536u);
+  EXPECT_LE(bfs_depth_from(g, pick_nonisolated_root(g, 1)), 24u);
+}
+
+TEST(Proxies, RejectsZeroDivisor) {
+  EXPECT_THROW(make_proxy(table2_specs()[0], 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastbfs

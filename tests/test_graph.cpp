@@ -1,0 +1,166 @@
+// Unit tests for CSR construction, the edge-list builder, and the
+// socket-partitioned 2-D adjacency array.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/rmat.h"
+#include "graph/adjacency_array.h"
+#include "graph/builder.h"
+#include "graph/csr.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(Builder, SymmetrizeDoublesArcs) {
+  const EdgeList edges = {{0, 1}, {1, 2}};
+  const CsrGraph g = build_csr(edges, 3);
+  EXPECT_EQ(g.n_vertices(), 3u);
+  EXPECT_EQ(g.n_edges(), 4u);  // each undirected edge stored twice
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+  EXPECT_EQ(g.neighbors(1)[1], 2u);
+}
+
+TEST(Builder, DirectedKeepsArcsAsGiven) {
+  BuildOptions opt;
+  opt.symmetrize = false;
+  const CsrGraph g = build_csr({{0, 1}, {0, 2}, {2, 1}}, 3, opt);
+  EXPECT_EQ(g.n_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(Builder, RemovesSelfLoopsByDefault) {
+  const CsrGraph g = build_csr({{0, 0}, {0, 1}}, 2);
+  EXPECT_EQ(g.n_edges(), 2u);  // only the 0-1 edge, both directions
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  BuildOptions opt;
+  opt.remove_self_loops = false;
+  opt.symmetrize = false;
+  const CsrGraph g = build_csr({{0, 0}, {0, 1}}, 2, opt);
+  EXPECT_EQ(g.n_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Builder, DedupDropsParallelEdges) {
+  BuildOptions opt;
+  opt.symmetrize = false;
+  opt.dedup = true;
+  const CsrGraph g = build_csr({{0, 1}, {0, 1}, {0, 2}, {0, 1}}, 3, opt);
+  EXPECT_EQ(g.n_edges(), 2u);
+}
+
+TEST(Builder, SortNeighbors) {
+  BuildOptions opt;
+  opt.symmetrize = false;
+  opt.sort_neighbors = true;
+  const CsrGraph g = build_csr({{0, 5}, {0, 2}, {0, 9}, {0, 1}}, 10, opt);
+  const auto n = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(build_csr({{0, 5}}, 3), std::invalid_argument);
+}
+
+TEST(Builder, AutoSizesVertexCount) {
+  const CsrGraph g = build_csr_auto({{3, 7}});
+  EXPECT_EQ(g.n_vertices(), 8u);
+}
+
+TEST(Builder, EmptyGraph) {
+  const CsrGraph g = build_csr({}, 0);
+  EXPECT_EQ(g.n_vertices(), 0u);
+  EXPECT_EQ(g.n_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Csr, RejectsMalformedOffsets) {
+  AlignedBuffer<eid_t> offsets(3);
+  offsets[0] = 0;
+  offsets[1] = 5;
+  offsets[2] = 2;  // decreasing
+  AlignedBuffer<vid_t> targets(2);
+  EXPECT_THROW(CsrGraph(std::move(offsets), std::move(targets)),
+               std::invalid_argument);
+}
+
+TEST(Csr, AverageDegree) {
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {2, 3}}, 4);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 4.0);
+}
+
+class AdjacencyArraySockets : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AdjacencyArraySockets, MatchesCsrExactly) {
+  const unsigned sockets = GetParam();
+  const CsrGraph g = rmat_graph(/*scale=*/10, /*edge_factor=*/8, /*seed=*/3);
+  const AdjacencyArray adj(g, sockets);
+  ASSERT_EQ(adj.n_vertices(), g.n_vertices());
+  ASSERT_EQ(adj.n_edges(), g.n_edges());
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    ASSERT_EQ(adj.degree(v), g.degree(v)) << "vertex " << v;
+    const auto a = adj.neighbors(v);
+    const auto c = g.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), c.begin(), c.end()))
+        << "vertex " << v;
+    // Block layout: [degree, neighbours...].
+    EXPECT_EQ(adj.block(v)[0], g.degree(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AdjacencyArraySockets,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(AdjacencyArray, SocketOwnershipFollowsPartition) {
+  const CsrGraph g = rmat_graph(8, 4, 5);
+  const AdjacencyArray adj(g, 2);
+  const VertexPartition& p = adj.partition();
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    EXPECT_EQ(adj.socket_of(v), p.socket_of_vertex(v));
+  }
+  // Slab accounting: 1 count word + degree words per vertex.
+  std::size_t total_words = 0;
+  for (unsigned s = 0; s < 2; ++s) total_words += adj.slab_bytes(s) / 4;
+  EXPECT_EQ(total_words, g.n_vertices() + g.n_edges());
+}
+
+TEST(AdjacencyArray, BlockByteOffsetsAreMonotone) {
+  const CsrGraph g = rmat_graph(9, 6, 11);
+  const AdjacencyArray adj(g, 2);
+  std::size_t prev = 0;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    const std::size_t off = adj.block_byte_offset(v);
+    if (v > 0) {
+      EXPECT_GT(off, prev);
+    }
+    prev = off;
+  }
+}
+
+TEST(AdjacencyArray, TotalPages) {
+  const CsrGraph g = build_csr({{0, 1}}, 2);
+  const AdjacencyArray adj(g, 1);
+  // 2 vertices: blocks (1+1) + (1+1) = 4 words = 16 bytes -> 1 page.
+  EXPECT_EQ(adj.total_pages(4096), 1u);
+  EXPECT_EQ(adj.total_pages(8), 2u);
+}
+
+TEST(AdjacencyArray, IsolatedVerticesHaveEmptyBlocks) {
+  const CsrGraph g = build_csr({{0, 1}}, 5);
+  const AdjacencyArray adj(g, 2);
+  for (vid_t v = 2; v < 5; ++v) {
+    EXPECT_EQ(adj.degree(v), 0u);
+    EXPECT_TRUE(adj.neighbors(v).empty());
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

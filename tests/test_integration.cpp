@@ -1,0 +1,112 @@
+// Cross-module integration: larger graphs, the Table II proxies, the
+// traffic audit against the analytical model, and engine-vs-baseline
+// agreement at scale.
+#include <gtest/gtest.h>
+
+#include "baseline/parallel_atomic_bfs.h"
+#include "core/api.h"
+#include "gen/proxies.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+#include "model/model.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(Integration, MediumRmatAllEnginesAgree) {
+  const CsrGraph g = rmat_graph(14, 16, 201);  // 16K vertices, 512K arcs
+  BfsRunner runner(g);
+  const vid_t root = pick_nonisolated_root(g, 1);
+  const BfsResult ours = runner.run(root);
+  const BfsResult atomic = baseline::parallel_atomic_bfs(g, root, 4);
+  const BfsResult ref = reference_bfs(g, root);
+  for (vid_t v = 0; v < g.n_vertices(); v += 7) {
+    ASSERT_EQ(ours.dp.depth(v), ref.dp.depth(v)) << v;
+    ASSERT_EQ(atomic.dp.depth(v), ref.dp.depth(v)) << v;
+  }
+  EXPECT_TRUE(validate_bfs_tree(g, ours).ok);
+  // The paper traverses >98% of edges; on the giant component of an RMAT
+  // graph we should too (duplicate isolated vertices aside).
+  EXPECT_GT(static_cast<double>(ours.vertices_visited),
+            0.4 * g.n_vertices());
+}
+
+TEST(Integration, TableTwoProxiesTraverseCorrectly) {
+  for (const std::size_t row : {0ul, 4ul, 6ul}) {  // mesh, road, social
+    const ProxySpec& spec = table2_specs()[row];
+    const CsrGraph g = make_proxy(spec, /*scale_div=*/512, 17);
+    BfsRunner runner(g);
+    const BfsResult r = runner.run(0);
+    const auto rep = validate_depths_match(g, r);
+    ASSERT_TRUE(rep.ok) << spec.name << ": " << rep.error;
+    if (spec.recipe == ProxyRecipe::kLayered) {
+      EXPECT_EQ(r.depth_reached, spec.paper_depth) << spec.name;
+    }
+  }
+}
+
+TEST(Integration, TrafficAuditTracksModelShape) {
+  // The byte audit and the analytical model count different things
+  // (touched bytes vs cache-line transfers), but both must scale with
+  // |E'| and phase-1 must dominate phase-2's stream reads for marker
+  // encoding on a low-bin configuration.
+  const CsrGraph g = uniform_graph(1u << 14, 8, 301);
+  BfsOptions opts;
+  opts.n_threads = 4;
+  opts.n_sockets = 2;
+  BfsRunner runner(g, opts);
+  const BfsResult r = runner.run(pick_nonisolated_root(g, 1));
+  const RunStats& s = runner.last_run_stats();
+
+  const std::uint64_t p1 =
+      s.traffic.phase1.local_bytes + s.traffic.phase1.remote_bytes;
+  // Phase-I touches at least 4 bytes per traversed edge (the neighbour
+  // ids) plus per-vertex overheads.
+  EXPECT_GT(p1, 4 * r.edges_traversed);
+  // Uniform graphs spread adjacency evenly: alpha_adj near 1/N_S.
+  EXPECT_NEAR(s.alpha_adj, 0.5, 0.05);
+
+  // Model sanity on the same run.
+  model::ModelInput in;
+  in.n_vertices = g.n_vertices();
+  in.v_assigned = r.vertices_visited;
+  in.e_traversed = r.edges_traversed;
+  in.depth = r.depth_reached;
+  in.n_pbv = 2;
+  in.n_vis = 1;
+  in.vis_bytes = static_cast<double>(g.n_vertices()) / 8.0;
+  const auto pred = model::predict_traffic(in, model::nehalem_ep());
+  EXPECT_GT(pred.phase1_ddr, 12.0);  // >= the 12 B/edge floor of IV.1a
+  EXPECT_GT(pred.phase2_ddr, 4.0);
+}
+
+TEST(Integration, HighDiameterGraphManySteps) {
+  // Road-like proxy: thousands of BFS steps exercise the per-step
+  // control path (barriers, swaps, stats) heavily.
+  const CsrGraph g = layered_graph(20000, 500, 1.3, 401);
+  BfsRunner runner(g);
+  const BfsResult r = runner.run(0);
+  EXPECT_EQ(r.depth_reached, 500u);
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+  EXPECT_EQ(runner.last_run_stats().steps.size(), 501u);
+}
+
+TEST(Integration, PartitionedVisOnMediumGraphWithTinyLlc) {
+  // Force the full N_VIS > 1 partitioned path at integration scale.
+  const CsrGraph g = rmat_graph(13, 8, 501);
+  BfsOptions opts;
+  opts.n_threads = 4;
+  opts.n_sockets = 2;
+  opts.vis_mode = VisMode::kPartitionedBit;
+  opts.llc_bytes_override = 256;  // |VIS|=1KB -> 8 partitions
+  BfsRunner runner(g, opts);
+  const vid_t root = pick_nonisolated_root(g, 2);
+  const BfsResult r = runner.run(root);
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+  EXPECT_TRUE(validate_bfs_tree(g, r).ok);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,123 @@
+// Unit tests for the graph file loaders (edge list, DIMACS, MatrixMarket).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(EdgeListIo, ParsesWithCommentsAndExtraColumns) {
+  std::istringstream in(
+      "# comment\n"
+      "% another comment\n"
+      "0 1\n"
+      "2 3 17.5\n"   // weight column ignored
+      "\n"
+      "4 0\n");
+  const EdgeList e = read_edge_list(in);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].u, 0u);
+  EXPECT_EQ(e[0].v, 1u);
+  EXPECT_EQ(e[1].u, 2u);
+  EXPECT_EQ(e[1].v, 3u);
+  EXPECT_EQ(e[2].u, 4u);
+  EXPECT_EQ(e[2].v, 0u);
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  const EdgeList e = {{0, 1}, {5, 2}, {3, 3}};
+  std::ostringstream out;
+  write_edge_list(out, e);
+  std::istringstream in(out.str());
+  const EdgeList back = read_edge_list(in);
+  ASSERT_EQ(back.size(), e.size());
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(back[i].u, e[i].u);
+    EXPECT_EQ(back[i].v, e[i].v);
+  }
+}
+
+TEST(EdgeListIo, RejectsHugeIds) {
+  std::istringstream in("0 99999999999\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(DimacsIo, ParsesHeaderAndArcs) {
+  std::istringstream in(
+      "c USA-road-d style file\n"
+      "p sp 4 3\n"
+      "a 1 2 50\n"
+      "a 2 3 40\n"
+      "a 4 1 10\n");
+  const DimacsGraph g = read_dimacs(in);
+  EXPECT_EQ(g.n_vertices, 4u);
+  ASSERT_EQ(g.edges.size(), 3u);
+  // 1-based -> 0-based
+  EXPECT_EQ(g.edges[0].u, 0u);
+  EXPECT_EQ(g.edges[0].v, 1u);
+  EXPECT_EQ(g.edges[2].u, 3u);
+  EXPECT_EQ(g.edges[2].v, 0u);
+}
+
+TEST(DimacsIo, RejectsZeroBasedIds) {
+  std::istringstream in("p sp 2 1\na 0 1 5\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(DimacsIo, AcceptsEdgeTag) {
+  std::istringstream in("p edge 3 2\ne 1 2\ne 2 3\n");
+  const DimacsGraph g = read_dimacs(in);
+  EXPECT_EQ(g.edges.size(), 2u);
+}
+
+TEST(MatrixMarketIo, ParsesGeneralPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% comment\n"
+      "3 3 2\n"
+      "1 2\n"
+      "3 1\n");
+  const DimacsGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.n_vertices, 3u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_EQ(g.edges[0].u, 0u);
+  EXPECT_EQ(g.edges[0].v, 1u);
+}
+
+TEST(MatrixMarketIo, SymmetricDuplicatesOffDiagonal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "2 1 1.5\n"
+      "3 1 2.5\n"
+      "2 2 9.0\n");  // diagonal entry: not duplicated
+  const DimacsGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.edges.size(), 5u);  // 2 off-diagonal doubled + 1 diagonal
+}
+
+TEST(MatrixMarketIo, RectangularUsesMaxDimension) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 5 1\n"
+      "1 5\n");
+  const DimacsGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.n_vertices, 5u);
+}
+
+TEST(MatrixMarketIo, RejectsMissingBanner) {
+  std::istringstream in("3 3 1\n1 2\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/file.txt"),
+               std::runtime_error);
+  EXPECT_THROW(read_dimacs_file("/nonexistent/file.gr"), std::runtime_error);
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fastbfs

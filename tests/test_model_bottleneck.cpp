@@ -1,0 +1,89 @@
+// Tests for the model's bottleneck analysis and the degree histogram.
+#include <gtest/gtest.h>
+
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "model/model.h"
+
+namespace fastbfs {
+namespace {
+
+model::ModelInput worked_example() {
+  model::ModelInput in;
+  in.n_vertices = 8ull << 20;
+  in.v_assigned = 4ull << 20;
+  in.e_traversed = static_cast<std::uint64_t>(15.3 * (4ull << 20));
+  in.depth = 6;
+  in.n_pbv = 2;
+  in.n_vis = 1;
+  in.vis_bytes = (8ull << 20) / 8.0;
+  return in;
+}
+
+TEST(Bottleneck, WorkedExampleIsDdrBound) {
+  // In the App. D trace, DDR terms (2.88 + 1.8 + 0.21) dominate the LLC
+  // term (2.0): doubling DDR bandwidth must be the biggest lever.
+  const auto r =
+      model::analyze_bottlenecks(worked_example(), model::nehalem_ep());
+  EXPECT_STREQ(r.dominant(), "DDR bandwidth");
+  EXPECT_GT(r.ddr_bandwidth, 1.3);
+  EXPECT_LT(r.ddr_bandwidth, 2.0);
+  // Every speedup is in [1, 2]: doubling one resource can at most double.
+  for (const double s : {r.ddr_bandwidth, r.llc_read_bandwidth,
+                         r.llc_write_bandwidth, r.l2_capacity}) {
+    EXPECT_GE(s, 1.0 - 1e-9);
+    EXPECT_LE(s, 2.0 + 1e-9);
+  }
+}
+
+TEST(Bottleneck, LlcBoundWhenDdrIsHuge) {
+  auto p = model::nehalem_ep();
+  p.b_mem *= 100.0;
+  p.b_mem_max *= 100.0;
+  const auto r = model::analyze_bottlenecks(worked_example(), p);
+  EXPECT_STREQ(r.dominant(), "LLC->L2 read bandwidth");
+}
+
+TEST(Bottleneck, L2CapacityMattersWhenVisBarelySpills) {
+  // VIS partition slightly larger than L2: doubling |L2| makes it fully
+  // resident and kills the entire LLC term.
+  model::ModelInput in = worked_example();
+  in.vis_bytes = 1.5 * 256.0 * 1024.0;
+  auto p = model::nehalem_ep();
+  p.b_mem *= 100.0;  // silence the DDR term
+  p.b_mem_max *= 100.0;
+  const auto r = model::analyze_bottlenecks(in, p);
+  EXPECT_STREQ(r.dominant(), "L2 capacity");
+}
+
+TEST(Bottleneck, DegenerateInputSafe) {
+  const auto r =
+      model::analyze_bottlenecks(model::ModelInput{}, model::nehalem_ep());
+  EXPECT_DOUBLE_EQ(r.ddr_bandwidth, 1.0);
+}
+
+TEST(DegreeHistogram, BucketsAreLog2) {
+  // Degrees: v0 has 3 (bucket 2), v1..v3 have 1 (bucket 1), v4 isolated.
+  const CsrGraph g = build_csr({{0, 1}, {0, 2}, {0, 3}}, 5);
+  const auto h = degree_histogram_log2(g);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 1u);  // isolated
+  EXPECT_EQ(h[1], 3u);  // degree 1
+  EXPECT_EQ(h[2], 1u);  // degree in [2,4)
+}
+
+TEST(DegreeHistogram, RmatHasHeavyTailUniformDoesNot) {
+  const auto rmat_h = degree_histogram_log2(rmat_graph(12, 16, 3));
+  const auto ur_h = degree_histogram_log2(uniform_graph(4096, 16, 3));
+  // R-MAT: some vertex reaches degree >= 256 (bucket >= 9); UR degrees
+  // concentrate near 32 (buckets 5-7 only).
+  EXPECT_GE(rmat_h.size(), 9u);
+  EXPECT_LT(ur_h.size(), 9u);
+  std::uint64_t total = 0;
+  for (const auto c : ur_h) total += c;
+  EXPECT_EQ(total, 4096u);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,161 @@
+// Unit tests for the PBV bins and the marker/pair stream encodings,
+// including the mid-run lookback that Phase-II's work division relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pbv.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(PbvBin, GrowsGeometricallyPreservingContents) {
+  PbvBin bin;
+  EXPECT_EQ(bin.capacity(), 0u);
+  bin.reserve_extra(0, 10);
+  EXPECT_GE(bin.capacity(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) bin.data()[i] = static_cast<svid_t>(i);
+  bin.set_size(10);
+  const std::uint32_t old_cap = bin.capacity();
+  bin.reserve_extra(10, old_cap * 4);
+  EXPECT_GE(bin.capacity(), 10 + old_cap * 4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(bin.data()[i], static_cast<svid_t>(i));
+  }
+}
+
+TEST(PbvBinSet, AppendProtocol) {
+  PbvBinSet set(3);
+  set.begin_appends();
+  auto* ptrs = set.bin_ptrs();
+  auto* cur = set.cursors();
+  set.ensure(0, 2);
+  set.ensure(2, 1);
+  ptrs[0][cur[0]++] = 11;
+  ptrs[0][cur[0]++] = 12;
+  ptrs[2][cur[2]++] = 13;
+  set.commit_appends();
+  EXPECT_EQ(set.bin(0).size(), 2u);
+  EXPECT_EQ(set.bin(1).size(), 0u);
+  EXPECT_EQ(set.bin(2).size(), 1u);
+  EXPECT_EQ(set.total_entries(), 3u);
+  EXPECT_EQ(set.bin(0).data()[1], 12);
+
+  set.clear_all();
+  EXPECT_EQ(set.total_entries(), 0u);
+}
+
+TEST(PbvBinSet, EnsureGrowsMidStream) {
+  PbvBinSet set(1);
+  set.begin_appends();
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    set.ensure(0, 1);
+    set.bin_ptrs()[0][set.cursors()[0]++] = static_cast<svid_t>(i);
+  }
+  set.commit_appends();
+  ASSERT_EQ(set.bin(0).size(), 10000u);
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(set.bin(0).data()[i], static_cast<svid_t>(i));
+  }
+}
+
+TEST(PbvBinSet, AppendsAccumulateAcrossProtocolRounds) {
+  PbvBinSet set(1);
+  for (int round = 0; round < 3; ++round) {
+    set.begin_appends();
+    set.ensure(0, 2);
+    set.bin_ptrs()[0][set.cursors()[0]++] = round;
+    set.bin_ptrs()[0][set.cursors()[0]++] = round + 100;
+    set.commit_appends();
+  }
+  EXPECT_EQ(set.bin(0).size(), 6u);
+  EXPECT_EQ(set.bin(0).data()[4], 2);
+  EXPECT_EQ(set.bin(0).data()[5], 102);
+}
+
+// --- marker stream decoding -------------------------------------------
+
+std::vector<svid_t> marker_stream() {
+  // parent 7 -> children 1,2 ; parent 0 -> child 3 ; parent 9 -> (none) ;
+  // parent 4 -> children 5,6.  Markers are ~parent.
+  return {~svid_t{7}, 1, 2, ~svid_t{0}, 3, ~svid_t{9}, ~svid_t{4}, 5, 6};
+}
+
+using PairVec = std::vector<std::pair<vid_t, vid_t>>;
+
+PairVec decode_markers(const std::vector<svid_t>& s, std::uint32_t b,
+                       std::uint32_t e) {
+  PairVec out;
+  decode_marker_slice(s.data(), b, e,
+                      [&](vid_t p, vid_t c) { out.push_back({p, c}); });
+  return out;
+}
+
+TEST(MarkerDecode, FullStream) {
+  const auto got = decode_markers(marker_stream(), 0, 9);
+  const PairVec want = {{7, 1}, {7, 2}, {0, 3}, {4, 5}, {4, 6}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(MarkerDecode, MidRunStartLooksBackForParent) {
+  // Start at index 2 (child '2' of parent 7): the backward scan must find
+  // marker ~7 at index 0.
+  const auto got = decode_markers(marker_stream(), 2, 5);
+  const PairVec want = {{7, 2}, {0, 3}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(MarkerDecode, StartAtMarker) {
+  const auto got = decode_markers(marker_stream(), 3, 9);
+  const PairVec want = {{0, 3}, {4, 5}, {4, 6}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(MarkerDecode, VertexZeroParentIsRepresentable) {
+  // The bitwise-NOT encoding must distinguish parent 0 (the paper's
+  // negation cannot).
+  const std::vector<svid_t> s = {~svid_t{0}, 42};
+  const auto got = decode_markers(s, 0, 2);
+  const PairVec want = {{0, 42}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(MarkerDecode, EmptyAndMarkerOnlySlices) {
+  EXPECT_TRUE(decode_markers(marker_stream(), 4, 4).empty());
+  // Slice covering only the childless marker ~9.
+  EXPECT_TRUE(decode_markers(marker_stream(), 5, 6).empty());
+}
+
+TEST(MarkerDecode, SliceBoundariesTileTheStream) {
+  // Any partition of [0,9) into slices must decode to the same multiset
+  // as the full stream — this is what the thread division relies on.
+  const auto whole = decode_markers(marker_stream(), 0, 9);
+  for (std::uint32_t cut1 = 0; cut1 <= 9; ++cut1) {
+    for (std::uint32_t cut2 = cut1; cut2 <= 9; ++cut2) {
+      PairVec merged = decode_markers(marker_stream(), 0, cut1);
+      const auto mid = decode_markers(marker_stream(), cut1, cut2);
+      const auto tail = decode_markers(marker_stream(), cut2, 9);
+      merged.insert(merged.end(), mid.begin(), mid.end());
+      merged.insert(merged.end(), tail.begin(), tail.end());
+      EXPECT_EQ(merged, whole) << "cuts " << cut1 << "," << cut2;
+    }
+  }
+}
+
+TEST(PairDecode, FullAndPartial) {
+  const std::vector<svid_t> s = {7, 1, 7, 2, 0, 3};
+  PairVec out;
+  decode_pair_slice(s.data(), 0, 3,
+                    [&](vid_t p, vid_t c) { out.push_back({p, c}); });
+  const PairVec want = {{7, 1}, {7, 2}, {0, 3}};
+  EXPECT_EQ(out, want);
+
+  out.clear();
+  decode_pair_slice(s.data(), 1, 2,
+                    [&](vid_t p, vid_t c) { out.push_back({p, c}); });
+  const PairVec want_mid = {{7, 2}};
+  EXPECT_EQ(out, want_mid);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,80 @@
+// Tests for the Graph500-style vertex relabeling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/permute.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(Permute, IsAPermutation) {
+  const auto perm = random_permutation(1000, 9);
+  std::set<vid_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(Permute, DeterministicPerSeed) {
+  EXPECT_EQ(random_permutation(64, 1), random_permutation(64, 1));
+  EXPECT_NE(random_permutation(64, 1), random_permutation(64, 2));
+}
+
+TEST(Permute, PreservesGraphStructure) {
+  // The relabeled graph is isomorphic: same degree multiset, same BFS
+  // depth histogram from corresponding roots.
+  EdgeList edges = generate_rmat(10, 8, 33);
+  const CsrGraph before = build_csr(edges, 1 << 10);
+  const auto perm = random_permutation(1 << 10, 4);
+  permute_vertices(edges, perm);
+  const CsrGraph after = build_csr(edges, 1 << 10);
+
+  // Degrees transport through the permutation vertex-by-vertex.
+  for (vid_t v = 0; v < before.n_vertices(); ++v) {
+    ASSERT_EQ(before.degree(v), after.degree(perm[v])) << v;
+  }
+  // Depths transport too.
+  const vid_t root = pick_nonisolated_root(before, 2);
+  const BfsResult rb = reference_bfs(before, root);
+  const BfsResult ra = reference_bfs(after, perm[root]);
+  for (vid_t v = 0; v < before.n_vertices(); ++v) {
+    ASSERT_EQ(rb.dp.depth(v), ra.dp.depth(perm[v])) << v;
+  }
+}
+
+TEST(Permute, ScrubsIdLocality) {
+  // R-MAT concentrates hubs at low ids; after permutation the heavy
+  // vertices are spread out. Check the mass of the lowest id quartile.
+  EdgeList edges = generate_rmat(12, 8, 5);
+  const CsrGraph before = build_csr(edges, 1 << 12);
+  permute_vertices(edges, 1 << 12, 6);
+  const CsrGraph after = build_csr(edges, 1 << 12);
+  auto low_quartile_arcs = [](const CsrGraph& g) {
+    eid_t arcs = 0;
+    for (vid_t v = 0; v < g.n_vertices() / 4; ++v) arcs += g.degree(v);
+    return arcs;
+  };
+  const double before_frac = static_cast<double>(low_quartile_arcs(before)) /
+                             static_cast<double>(before.n_edges());
+  const double after_frac = static_cast<double>(low_quartile_arcs(after)) /
+                            static_cast<double>(after.n_edges());
+  EXPECT_GT(before_frac, 0.4);              // skewed toward low ids
+  EXPECT_NEAR(after_frac, 0.25, 0.05);       // uniform after scrubbing
+}
+
+TEST(Permute, RejectsOutOfRangeEndpoints) {
+  EdgeList edges = {{0, 5}};
+  EXPECT_THROW(permute_vertices(edges, random_permutation(3, 1)),
+               std::invalid_argument);
+}
+
+TEST(Permute, TrivialSizes) {
+  EXPECT_TRUE(random_permutation(0, 1).empty());
+  EXPECT_EQ(random_permutation(1, 1), std::vector<vid_t>{0});
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,157 @@
+// Unit tests for the TLB-aware frontier rearrangement (Sec. III-B3b):
+// permutation, page-bin ordering, stability, and preservation of the
+// PBV-bin grouping (DESIGN invariant 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/rearrange.h"
+#include "gen/rmat.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+namespace {
+
+CacheGeometry tiny_cache() {
+  CacheGeometry c;
+  c.page_bytes = 256;   // force many page bins on small graphs
+  c.tlb_entries = 2;
+  return c;
+}
+
+TEST(Rearranger, BinCountFollowsPagesOverTlb) {
+  const CsrGraph g = rmat_graph(10, 8, 3);
+  const AdjacencyArray adj(g, 2);
+  const CacheGeometry c = tiny_cache();
+  Rearranger r(adj, c);
+  const std::size_t pages = adj.total_pages(c.page_bytes);
+  EXPECT_EQ(r.n_bins(), ceil_div(pages, c.tlb_entries));
+}
+
+TEST(Rearranger, BinOfIsMonotoneInVertexId) {
+  const CsrGraph g = rmat_graph(10, 8, 5);
+  const AdjacencyArray adj(g, 2);
+  Rearranger r(adj, tiny_cache());
+  unsigned prev = 0;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    const unsigned b = r.bin_of(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, r.n_bins());
+    prev = b;
+  }
+}
+
+TEST(Rearranger, ProducesSortedPermutation) {
+  const CsrGraph g = rmat_graph(11, 8, 7);
+  const AdjacencyArray adj(g, 2);
+  Rearranger r(adj, tiny_cache());
+  ASSERT_GT(r.n_bins(), 4u) << "test needs multiple page bins";
+
+  Xoshiro256 rng(1);
+  std::vector<vid_t> bv;
+  for (int i = 0; i < 5000; ++i) {
+    bv.push_back(static_cast<vid_t>(rng.next_below(g.n_vertices())));
+  }
+  std::vector<vid_t> original = bv;
+  std::vector<vid_t> scratch;
+  std::vector<std::uint32_t> hist;
+  r.rearrange(bv, scratch, hist);
+
+  // Permutation: same multiset.
+  std::vector<vid_t> a = original, b = bv;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+
+  // Sorted by page bin.
+  for (std::size_t i = 1; i < bv.size(); ++i) {
+    EXPECT_LE(r.bin_of(bv[i - 1]), r.bin_of(bv[i])) << "position " << i;
+  }
+}
+
+TEST(Rearranger, StableWithinBin) {
+  const CsrGraph g = rmat_graph(10, 8, 9);
+  const AdjacencyArray adj(g, 1);
+  Rearranger r(adj, tiny_cache());
+  // Duplicate-rich input: relative order of equal-bin entries preserved.
+  std::vector<vid_t> bv;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    bv.push_back(static_cast<vid_t>(rng.next_below(g.n_vertices())));
+  }
+  std::vector<vid_t> original = bv;
+  std::vector<vid_t> scratch;
+  std::vector<std::uint32_t> hist;
+  r.rearrange(bv, scratch, hist);
+  // Extract the subsequence of `original` belonging to each bin; it must
+  // appear contiguously and in order in the output.
+  std::size_t pos = 0;
+  for (unsigned bin = 0; bin < r.n_bins(); ++bin) {
+    for (const vid_t v : original) {
+      if (r.bin_of(v) == bin) {
+        ASSERT_LT(pos, bv.size());
+        EXPECT_EQ(bv[pos], v) << "bin " << bin << " pos " << pos;
+        ++pos;
+      }
+    }
+  }
+  EXPECT_EQ(pos, bv.size());
+}
+
+TEST(Rearranger, TrivialInputsUntouched) {
+  const CsrGraph g = rmat_graph(8, 4, 1);
+  const AdjacencyArray adj(g, 1);
+  Rearranger r(adj, tiny_cache());
+  std::vector<vid_t> empty, scratch;
+  std::vector<std::uint32_t> hist;
+  r.rearrange(empty, scratch, hist);
+  EXPECT_TRUE(empty.empty());
+  std::vector<vid_t> one = {5};
+  r.rearrange(one, scratch, hist);
+  EXPECT_EQ(one, std::vector<vid_t>{5});
+}
+
+TEST(Rearranger, SingleBinGeometryIsNoop) {
+  const CsrGraph g = rmat_graph(8, 4, 2);
+  const AdjacencyArray adj(g, 1);
+  CacheGeometry c;  // default: huge pages-per-bin -> 1 bin
+  c.tlb_entries = 1u << 20;
+  Rearranger r(adj, c);
+  EXPECT_EQ(r.n_bins(), 1u);
+  std::vector<vid_t> bv = {9, 3, 7};
+  const std::vector<vid_t> want = bv;
+  std::vector<vid_t> scratch;
+  std::vector<std::uint32_t> hist;
+  r.rearrange(bv, scratch, hist);
+  EXPECT_EQ(bv, want);
+}
+
+TEST(Rearranger, PreservesCoarserVertexRangeGrouping) {
+  // DESIGN invariant 6: input grouped by a power-of-two vertex range
+  // (the PBV bin) stays grouped after page-bin sorting.
+  const CsrGraph g = rmat_graph(11, 8, 13);
+  const AdjacencyArray adj(g, 2);
+  Rearranger r(adj, tiny_cache());
+  const unsigned pbv_shift = adj.partition().shift();  // 2 PBV bins
+
+  std::vector<vid_t> bv;
+  Xoshiro256 rng(3);
+  // Build bin-grouped input: all PBV-bin-0 vertices first.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 2000; ++i) {
+      const vid_t v = static_cast<vid_t>(rng.next_below(g.n_vertices()));
+      if (static_cast<int>(v >> pbv_shift) == pass) bv.push_back(v);
+    }
+  }
+  std::vector<vid_t> scratch;
+  std::vector<std::uint32_t> hist;
+  r.rearrange(bv, scratch, hist);
+  for (std::size_t i = 1; i < bv.size(); ++i) {
+    EXPECT_LE(bv[i - 1] >> pbv_shift, bv[i] >> pbv_shift)
+        << "PBV grouping broken at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

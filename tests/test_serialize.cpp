@@ -1,0 +1,88 @@
+// Tests for the binary CSR format: round trips and corruption handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/rmat.h"
+#include "graph/serialize.h"
+
+namespace fastbfs {
+namespace {
+
+void expect_graphs_equal(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.n_vertices(), b.n_vertices());
+  ASSERT_EQ(a.n_edges(), b.n_edges());
+  for (vid_t v = 0; v < a.n_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "vertex " << v;
+  }
+}
+
+TEST(CsrBinary, RoundTripRmat) {
+  const CsrGraph g = rmat_graph(10, 8, 91);
+  std::stringstream buf;
+  write_csr_binary(buf, g);
+  const CsrGraph back = read_csr_binary(buf);
+  expect_graphs_equal(g, back);
+}
+
+TEST(CsrBinary, RoundTripTinyAndEmpty) {
+  const CsrGraph tiny = build_csr({{0, 1}, {1, 2}}, 3);
+  std::stringstream buf;
+  write_csr_binary(buf, tiny);
+  expect_graphs_equal(tiny, read_csr_binary(buf));
+
+  const CsrGraph empty = build_csr({}, 0);
+  std::stringstream buf2;
+  write_csr_binary(buf2, empty);
+  const CsrGraph back = read_csr_binary(buf2);
+  EXPECT_EQ(back.n_vertices(), 0u);
+  EXPECT_EQ(back.n_edges(), 0u);
+}
+
+TEST(CsrBinary, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOTACSRF garbage";
+  EXPECT_THROW(read_csr_binary(buf), std::runtime_error);
+}
+
+TEST(CsrBinary, RejectsTruncation) {
+  const CsrGraph g = rmat_graph(8, 4, 92);
+  std::stringstream buf;
+  write_csr_binary(buf, g);
+  const std::string full = buf.str();
+  // Cut at several points: header, offsets, targets.
+  for (const std::size_t cut :
+       {std::size_t{4}, std::size_t{20}, full.size() / 2, full.size() - 3}) {
+    std::stringstream cut_buf(full.substr(0, cut));
+    EXPECT_THROW(read_csr_binary(cut_buf), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CsrBinary, RejectsOutOfRangeTargets) {
+  const CsrGraph g = build_csr({{0, 1}}, 2);
+  std::stringstream buf;
+  write_csr_binary(buf, g);
+  std::string bytes = buf.str();
+  // Corrupt the last target word to a huge vertex id.
+  bytes[bytes.size() - 1] = '\x7f';
+  bytes[bytes.size() - 2] = '\x7f';
+  bytes[bytes.size() - 3] = '\x7f';
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_csr_binary(corrupt), std::runtime_error);
+}
+
+TEST(CsrBinary, FileRoundTrip) {
+  const CsrGraph g = rmat_graph(9, 6, 93);
+  const std::string path = ::testing::TempDir() + "/fastbfs_roundtrip.csr";
+  write_csr_binary_file(path, g);
+  expect_graphs_equal(g, read_csr_binary_file(path));
+  EXPECT_THROW(read_csr_binary_file("/nonexistent/x.csr"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fastbfs

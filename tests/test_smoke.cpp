@@ -1,0 +1,32 @@
+// End-to-end smoke: the full engine on a small R-MAT graph agrees with the
+// reference BFS and produces a valid BFS tree.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(Smoke, TwoPhaseMatchesReferenceOnRmat) {
+  const CsrGraph g = rmat_graph(/*scale=*/12, /*edge_factor=*/8, /*seed=*/7);
+  BfsOptions opts;
+  opts.n_threads = 4;
+  opts.n_sockets = 2;
+  BfsRunner runner(g, opts);
+  const vid_t root = pick_nonisolated_root(g, 1);
+  ASSERT_NE(root, kInvalidVertex);
+  const BfsResult r = runner.run(root);
+
+  const auto tree = validate_bfs_tree(g, r);
+  EXPECT_TRUE(tree.ok) << tree.error;
+  const auto depths = validate_depths_match(g, r);
+  EXPECT_TRUE(depths.ok) << depths.error;
+  EXPECT_GT(r.vertices_visited, 0u);
+  EXPECT_GT(r.edges_traversed, 0u);
+}
+
+}  // namespace
+}  // namespace fastbfs

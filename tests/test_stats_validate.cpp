@@ -1,0 +1,177 @@
+// Unit tests for graph statistics, the reference BFS and the BFS-tree
+// validator (including that each validation rule actually fires).
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+
+namespace fastbfs {
+namespace {
+
+CsrGraph path_graph(vid_t n) {
+  EdgeList e;
+  for (vid_t i = 0; i + 1 < n; ++i) e.push_back({i, i + 1});
+  return build_csr(e, n);
+}
+
+CsrGraph star_graph(vid_t leaves) {
+  EdgeList e;
+  for (vid_t i = 1; i <= leaves; ++i) e.push_back({0, i});
+  return build_csr(e, leaves + 1);
+}
+
+TEST(ReferenceBfs, PathDepths) {
+  const CsrGraph g = path_graph(5);
+  const BfsResult r = reference_bfs(g, 0);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(r.dp.depth(v), v);
+  EXPECT_EQ(r.depth_reached, 4u);
+  EXPECT_EQ(r.vertices_visited, 5u);
+  EXPECT_EQ(r.edges_traversed, 8u);  // symmetrized path has 8 arcs
+  EXPECT_EQ(r.dp.parent(0), 0u);
+  EXPECT_EQ(r.dp.parent(3), 2u);
+}
+
+TEST(ReferenceBfs, MiddleRoot) {
+  const CsrGraph g = path_graph(5);
+  const BfsResult r = reference_bfs(g, 2);
+  EXPECT_EQ(r.dp.depth(0), 2u);
+  EXPECT_EQ(r.dp.depth(2), 0u);
+  EXPECT_EQ(r.dp.depth(4), 2u);
+  EXPECT_EQ(r.depth_reached, 2u);
+}
+
+TEST(ReferenceBfs, DisconnectedLeavesInf) {
+  const CsrGraph g = build_csr({{0, 1}, {2, 3}}, 4);
+  const BfsResult r = reference_bfs(g, 0);
+  EXPECT_EQ(r.dp.depth(1), 1u);
+  EXPECT_EQ(r.dp.depth(2), kInfDepth);
+  EXPECT_EQ(r.dp.depth(3), kInfDepth);
+  EXPECT_FALSE(r.dp.visited(2));
+  EXPECT_EQ(r.dp.parent(2), kInvalidVertex);
+  EXPECT_EQ(r.vertices_visited, 2u);
+}
+
+TEST(ReferenceBfs, StarDepthOne) {
+  const CsrGraph g = star_graph(10);
+  const BfsResult r = reference_bfs(g, 0);
+  EXPECT_EQ(r.depth_reached, 1u);
+  for (vid_t v = 1; v <= 10; ++v) {
+    EXPECT_EQ(r.dp.depth(v), 1u);
+    EXPECT_EQ(r.dp.parent(v), 0u);
+  }
+}
+
+TEST(DegreeStats, Basics) {
+  const CsrGraph g = build_csr({{0, 1}, {0, 2}, {0, 3}}, 5);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_EQ(s.min_degree, 0u);
+  EXPECT_EQ(s.isolated_vertices, 1u);  // vertex 4
+  EXPECT_DOUBLE_EQ(s.avg_degree, 6.0 / 5.0);
+}
+
+TEST(Probes, DepthAndReachability) {
+  const CsrGraph g = path_graph(9);
+  EXPECT_EQ(bfs_depth_from(g, 0), 8u);
+  EXPECT_EQ(bfs_depth_from(g, 4), 4u);
+  EXPECT_GE(probe_depth(g, 4, 1), 4u);
+  EXPECT_EQ(reachable_count(g, 0), 9u);
+}
+
+TEST(Probes, PickNonisolatedRoot) {
+  const CsrGraph g = build_csr({{3, 4}}, 10);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const vid_t r = pick_nonisolated_root(g, seed);
+    EXPECT_TRUE(r == 3 || r == 4);
+  }
+  const CsrGraph empty = build_csr({}, 4);
+  EXPECT_EQ(pick_nonisolated_root(empty, 1), kInvalidVertex);
+}
+
+TEST(Validator, AcceptsReferenceResult) {
+  const CsrGraph g = star_graph(6);
+  const BfsResult r = reference_bfs(g, 0);
+  EXPECT_TRUE(validate_bfs_tree(g, r).ok);
+  EXPECT_TRUE(validate_depths_match(g, r).ok);
+}
+
+TEST(Validator, CatchesBadRoot) {
+  const CsrGraph g = path_graph(3);
+  BfsResult r = reference_bfs(g, 0);
+  r.dp.store(0, 1, 0);  // root depth corrupted
+  const auto rep = validate_bfs_tree(g, r);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("root"), std::string::npos);
+}
+
+TEST(Validator, CatchesWrongParentDepth) {
+  const CsrGraph g = path_graph(4);
+  BfsResult r = reference_bfs(g, 0);
+  r.dp.store(3, 3, 0);  // parent 0 has depth 0, not 2
+  EXPECT_FALSE(validate_bfs_tree(g, r).ok);
+}
+
+TEST(Validator, CatchesNonEdgeParent) {
+  const CsrGraph g = path_graph(4);
+  BfsResult r = reference_bfs(g, 0);
+  r.dp.store(3, 1, 0);  // (0,3) is not an edge
+  EXPECT_FALSE(validate_bfs_tree(g, r).ok);
+}
+
+TEST(Validator, CatchesSkippedVertex) {
+  const CsrGraph g = path_graph(3);
+  // Vertex 2 left unvisited although its neighbor 1 was visited.
+  BfsResult broken;
+  broken.root = 0;
+  broken.dp = DepthParent(3);
+  broken.dp.store(0, 0, 0);
+  broken.dp.store(1, 1, 0);
+  const auto rep = validate_bfs_tree(g, broken);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("unvisited neighbor"), std::string::npos);
+}
+
+TEST(Validator, CatchesDepthJumpAcrossEdge) {
+  // Triangle: all depths must be within 1 across every edge.
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {0, 2}}, 3);
+  BfsResult r;
+  r.root = 0;
+  r.dp = DepthParent(3);
+  r.dp.store(0, 0, 0);
+  r.dp.store(1, 1, 0);
+  r.dp.store(2, 3, 1);  // depth 3 adjacent to depth 0 — and wrong vs parent
+  EXPECT_FALSE(validate_bfs_tree(g, r).ok);
+}
+
+TEST(Validator, CatchesDepthMismatchVsReference) {
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {0, 2}}, 3);
+  BfsResult r = reference_bfs(g, 0);
+  // A *valid-looking* tree with a suboptimal depth: vertex 2 via 1.
+  r.dp.store(2, 2, 1);
+  EXPECT_FALSE(validate_depths_match(g, r).ok);
+}
+
+TEST(Validator, SizeMismatchRejected) {
+  const CsrGraph g = path_graph(3);
+  BfsResult r;
+  r.root = 0;
+  r.dp = DepthParent(2);
+  EXPECT_FALSE(validate_bfs_tree(g, r).ok);
+}
+
+TEST(DepthParent, PackingRoundTrip) {
+  EXPECT_EQ(DepthParent::depth_of(DepthParent::pack(7, 12345)), 7u);
+  EXPECT_EQ(DepthParent::parent_of(DepthParent::pack(7, 12345)), 12345u);
+  DepthParent dp(4);
+  EXPECT_FALSE(dp.visited(0));
+  dp.store(2, 9, 1);
+  EXPECT_TRUE(dp.visited(2));
+  EXPECT_EQ(dp.depth(2), 9u);
+  EXPECT_EQ(dp.parent(2), 1u);
+  dp.reset();
+  EXPECT_FALSE(dp.visited(2));
+}
+
+}  // namespace
+}  // namespace fastbfs

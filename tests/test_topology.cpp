@@ -1,0 +1,141 @@
+// Unit tests for the simulated socket topology and the paper's
+// power-of-two vertex partition (Sec. III-C item 1).
+#include <gtest/gtest.h>
+
+#include "numa/topology.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(SocketTopology, DualSocketEvenThreads) {
+  SocketTopology t(2, 8);
+  EXPECT_EQ(t.n_sockets(), 2u);
+  EXPECT_EQ(t.n_threads(), 8u);
+  EXPECT_EQ(t.threads_on_socket(0), 4u);
+  EXPECT_EQ(t.threads_on_socket(1), 4u);
+  EXPECT_EQ(t.socket_of_thread(0), 0u);
+  EXPECT_EQ(t.socket_of_thread(3), 0u);
+  EXPECT_EQ(t.socket_of_thread(4), 1u);
+  EXPECT_EQ(t.socket_of_thread(7), 1u);
+  EXPECT_EQ(t.first_thread_of_socket(0), 0u);
+  EXPECT_EQ(t.first_thread_of_socket(1), 4u);
+}
+
+TEST(SocketTopology, UnevenThreadCount) {
+  SocketTopology t(2, 5);  // 3 + 2
+  EXPECT_EQ(t.threads_on_socket(0), 3u);
+  EXPECT_EQ(t.threads_on_socket(1), 2u);
+  EXPECT_EQ(t.socket_of_thread(2), 0u);
+  EXPECT_EQ(t.socket_of_thread(3), 1u);
+  EXPECT_EQ(t.socket_of_thread(4), 1u);
+}
+
+TEST(SocketTopology, SingleSocket) {
+  SocketTopology t(1, 3);
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(t.socket_of_thread(i), 0u);
+  EXPECT_EQ(t.threads_on_socket(0), 3u);
+}
+
+TEST(SocketTopology, RejectsInvalid) {
+  EXPECT_THROW(SocketTopology(0, 1), std::invalid_argument);
+  EXPECT_THROW(SocketTopology(1, 0), std::invalid_argument);
+  EXPECT_THROW(SocketTopology(4, 2), std::invalid_argument);
+}
+
+struct TopoCase {
+  unsigned sockets;
+  unsigned threads;
+};
+
+class TopologyProperty : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(TopologyProperty, ThreadsPartitionedContiguously) {
+  const auto [sockets, threads] = GetParam();
+  SocketTopology t(sockets, threads);
+  unsigned covered = 0;
+  for (unsigned s = 0; s < sockets; ++s) {
+    const unsigned first = t.first_thread_of_socket(s);
+    const unsigned count = t.threads_on_socket(s);
+    EXPECT_GE(count, 1u) << "socket " << s << " has no threads";
+    for (unsigned r = 0; r < count; ++r) {
+      EXPECT_EQ(t.socket_of_thread(first + r), s);
+    }
+    covered += count;
+  }
+  EXPECT_EQ(covered, threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopologyProperty,
+                         ::testing::Values(TopoCase{1, 1}, TopoCase{1, 7},
+                                           TopoCase{2, 2}, TopoCase{2, 7},
+                                           TopoCase{3, 8}, TopoCase{4, 4},
+                                           TopoCase{4, 9}, TopoCase{4, 16}));
+
+TEST(VertexPartition, PaperShiftFormula) {
+  // |V| = 6, N_S = 2: |V_NS| = pow2(ceil(6/2)) = 4.
+  VertexPartition p(6, 2);
+  EXPECT_EQ(p.vertices_per_socket(), 4u);
+  EXPECT_EQ(p.shift(), 2u);
+  EXPECT_EQ(p.socket_of_vertex(0), 0u);
+  EXPECT_EQ(p.socket_of_vertex(3), 0u);
+  EXPECT_EQ(p.socket_of_vertex(4), 1u);
+  EXPECT_EQ(p.socket_of_vertex(5), 1u);
+  EXPECT_EQ(p.first_vertex_of(0), 0u);
+  EXPECT_EQ(p.end_vertex_of(0), 4u);
+  EXPECT_EQ(p.first_vertex_of(1), 4u);
+  EXPECT_EQ(p.end_vertex_of(1), 6u);
+}
+
+TEST(VertexPartition, ExactPowerOfTwo) {
+  VertexPartition p(16, 2);
+  EXPECT_EQ(p.vertices_per_socket(), 8u);
+  EXPECT_EQ(p.socket_of_vertex(7), 0u);
+  EXPECT_EQ(p.socket_of_vertex(8), 1u);
+}
+
+TEST(VertexPartition, VertexCountBelowSocketCount) {
+  // 2 vertices on 4 sockets: sockets 2,3 own nothing.
+  VertexPartition p(2, 4);
+  EXPECT_EQ(p.vertices_per_socket(), 1u);
+  EXPECT_EQ(p.socket_of_vertex(0), 0u);
+  EXPECT_EQ(p.socket_of_vertex(1), 1u);
+  EXPECT_EQ(p.first_vertex_of(2), 2u);
+  EXPECT_EQ(p.end_vertex_of(2), 2u);
+}
+
+struct PartCase {
+  std::uint64_t vertices;
+  unsigned sockets;
+};
+
+class PartitionProperty : public ::testing::TestWithParam<PartCase> {};
+
+TEST_P(PartitionProperty, RangesTileTheVertexSpace) {
+  const auto [n, sockets] = GetParam();
+  VertexPartition p(n, sockets);
+  // |V_NS| is a power of two and >= ceil(n / sockets).
+  const auto v_ns = p.vertices_per_socket();
+  EXPECT_EQ(v_ns & (v_ns - 1), 0u);
+  EXPECT_GE(v_ns * sockets, n);
+  EXPECT_EQ(std::uint64_t{1} << p.shift(), v_ns);
+
+  vid_t expected_first = 0;
+  for (unsigned s = 0; s < sockets; ++s) {
+    EXPECT_EQ(p.first_vertex_of(s), expected_first);
+    const vid_t end = p.end_vertex_of(s);
+    for (vid_t v = p.first_vertex_of(s); v < end; ++v) {
+      EXPECT_EQ(p.socket_of_vertex(v), s);
+    }
+    expected_first = end;
+  }
+  EXPECT_EQ(expected_first, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Values(PartCase{1, 1}, PartCase{100, 1}, PartCase{5, 2},
+                      PartCase{1024, 2}, PartCase{1000, 3}, PartCase{7, 4},
+                      PartCase{65536, 4}, PartCase{65537, 4}));
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,130 @@
+// Unit tests for the VIS structure: partition sizing (the paper's
+// arithmetic), byte/bit semantics, and the benign-race tolerance that the
+// atomic-free protocol depends on.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/vis.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(VisPartitions, PaperExample) {
+  // Sec. III-A: |V| = 256M, |C| = 16MB -> |VIS| = 32MB -> 4 partitions.
+  EXPECT_EQ(vis_partitions(256ull << 20, 16ull << 20), 4u);
+}
+
+TEST(VisPartitions, FitsInHalfLlcMeansOne) {
+  // 8M vertices -> 1MB bits; 8MB LLC -> half is 4MB -> one partition.
+  EXPECT_EQ(vis_partitions(8ull << 20, 8ull << 20), 1u);
+}
+
+TEST(VisPartitions, RoundsUpToPowerOfTwo) {
+  // 3x half-LLC worth of bits -> 3 needed -> rounded to 4.
+  const std::uint64_t llc = 1 << 20;
+  const std::uint64_t vertices = 8ull * 3 * (llc / 2);  // |VIS| = 3*llc/2
+  EXPECT_EQ(vis_partitions(vertices, llc), 4u);
+}
+
+TEST(VisPartitions, EachPartitionAtMostHalfLlc) {
+  for (const std::uint64_t v : {1ull << 10, 1ull << 20, 5ull << 20,
+                                (1ull << 24) + 3}) {
+    for (const std::size_t llc : {std::size_t{1} << 14, std::size_t{1} << 18}) {
+      const unsigned n = vis_partitions(v, llc);
+      EXPECT_LE(ceil_div(ceil_div(v, 8), n), llc / 2)
+          << "v=" << v << " llc=" << llc;
+      EXPECT_EQ(n & (n - 1), 0u);
+    }
+  }
+}
+
+TEST(VisArray, ByteSemantics) {
+  VisArray vis(100, VisArray::Kind::kByte);
+  EXPECT_EQ(vis.storage_bytes(), 100u);
+  EXPECT_FALSE(vis.test(42));
+  vis.set(42);
+  EXPECT_TRUE(vis.test(42));
+  EXPECT_FALSE(vis.test(41));
+  EXPECT_FALSE(vis.test(43));
+  vis.clear();
+  EXPECT_FALSE(vis.test(42));
+}
+
+TEST(VisArray, BitSemantics) {
+  VisArray vis(100, VisArray::Kind::kBit);
+  EXPECT_EQ(vis.storage_bytes(), 13u);  // ceil(100/8)
+  for (const vid_t v : {0u, 7u, 8u, 63u, 64u, 99u}) {
+    EXPECT_FALSE(vis.test(v));
+    vis.set(v);
+    EXPECT_TRUE(vis.test(v));
+  }
+  // Neighbours within the same byte unaffected.
+  EXPECT_FALSE(vis.test(1));
+  EXPECT_FALSE(vis.test(9));
+}
+
+TEST(VisArray, AtomicTestAndSetReturnsPrevious) {
+  VisArray vis(64, VisArray::Kind::kBit);
+  EXPECT_FALSE(vis.test_and_set_atomic(5));
+  EXPECT_TRUE(vis.test_and_set_atomic(5));
+  EXPECT_TRUE(vis.test(5));
+  VisArray byte_vis(64, VisArray::Kind::kByte);
+  EXPECT_FALSE(byte_vis.test_and_set_atomic(5));
+  EXPECT_TRUE(byte_vis.test_and_set_atomic(5));
+}
+
+TEST(VisArray, PartitionMapping) {
+  VisArray vis(1024, VisArray::Kind::kBit, 4);
+  EXPECT_EQ(vis.n_partitions(), 4u);
+  EXPECT_EQ(vis.partition_span(), 256u);
+  EXPECT_EQ(vis.partition_of(0), 0u);
+  EXPECT_EQ(vis.partition_of(255), 0u);
+  EXPECT_EQ(vis.partition_of(256), 1u);
+  EXPECT_EQ(vis.partition_of(1023), 3u);
+}
+
+TEST(VisArray, RejectsInvalidConfig) {
+  EXPECT_THROW(VisArray(8, VisArray::Kind::kBit, 3), std::invalid_argument);
+  EXPECT_THROW(VisArray(8, VisArray::Kind::kByte, 2), std::invalid_argument);
+}
+
+TEST(VisArray, AtomicSetsNeverLoseBitsUnderContention) {
+  // fetch_or is immune to the lost-update race by construction; all bits
+  // must survive even with every thread hammering the same byte range.
+  VisArray vis(64, VisArray::Kind::kBit);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&vis, t] {
+      for (vid_t v = static_cast<vid_t>(t); v < 64; v += 4) {
+        vis.test_and_set_atomic(v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (vid_t v = 0; v < 64; ++v) EXPECT_TRUE(vis.test(v)) << v;
+}
+
+TEST(VisArray, AtomicFreeSetsMayRaceButNeverFabricate) {
+  // The atomic-free protocol tolerates *lost* sets (bit stays 0) but must
+  // never show a bit for a vertex nobody set. Threads set disjoint
+  // vertices that share bytes; afterwards every set bit must belong to
+  // the set universe and un-set vertices outside it must read 0.
+  VisArray vis(256, VisArray::Kind::kBit);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&vis, t] {
+      for (vid_t v = static_cast<vid_t>(t); v < 128; v += 4) {
+        vis.set(v);  // only vertices < 128 are ever set
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (vid_t v = 128; v < 256; ++v) {
+    EXPECT_FALSE(vis.test(v)) << "fabricated bit " << v;
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,145 @@
+// Tests for the Chase-Lev deque and the work-stealing BFS baseline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baseline/work_stealing_bfs.h"
+#include "baseline/work_stealing_deque.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+
+namespace fastbfs {
+namespace {
+
+using baseline::WorkStealingDeque;
+
+TEST(WorkStealingDeque, LifoForOwner) {
+  WorkStealingDeque d(16);
+  EXPECT_FALSE(d.pop().has_value());
+  EXPECT_TRUE(d.push(1));
+  EXPECT_TRUE(d.push(2));
+  EXPECT_TRUE(d.push(3));
+  EXPECT_EQ(d.pop().value(), 3u);
+  EXPECT_EQ(d.pop().value(), 2u);
+  EXPECT_EQ(d.pop().value(), 1u);
+  EXPECT_FALSE(d.pop().has_value());
+}
+
+TEST(WorkStealingDeque, FifoForThief) {
+  WorkStealingDeque d(16);
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.steal().value(), 1u);
+  EXPECT_EQ(d.steal().value(), 2u);
+  EXPECT_EQ(d.pop().value(), 3u);
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(WorkStealingDeque, CapacityRoundsUpAndRejectsOverflow) {
+  WorkStealingDeque d(5);
+  EXPECT_EQ(d.capacity(), 8u);
+  for (vid_t i = 0; i < 8; ++i) EXPECT_TRUE(d.push(i));
+  EXPECT_FALSE(d.push(99));
+  EXPECT_EQ(d.pop().value(), 7u);
+  EXPECT_TRUE(d.push(99));  // space freed
+}
+
+TEST(WorkStealingDeque, WrapsAroundTheRing) {
+  WorkStealingDeque d(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(d.push(static_cast<vid_t>(round)));
+    EXPECT_TRUE(d.push(static_cast<vid_t>(round + 100)));
+    EXPECT_EQ(d.steal().value(), static_cast<vid_t>(round));
+    EXPECT_EQ(d.pop().value(), static_cast<vid_t>(round + 100));
+  }
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(WorkStealingDeque, EveryItemDeliveredExactlyOnceUnderContention) {
+  // Owner pushes 1..N while thieves steal; the union of all received
+  // items must be exactly {0..N-1}, no loss, no duplication. This is the
+  // property the level-termination counter in the BFS depends on.
+  constexpr vid_t kN = 20000;
+  WorkStealingDeque d(kN);
+  std::vector<std::vector<vid_t>> stolen(3);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&, t] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = d.steal()) stolen[t].push_back(*v);
+      }
+      // Drain what is left after the owner stops.
+      while (auto v = d.steal()) stolen[t].push_back(*v);
+    });
+  }
+  std::vector<vid_t> popped;
+  for (vid_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(d.push(i));
+    if (i % 3 == 0) {
+      if (auto v = d.pop()) popped.push_back(*v);
+    }
+  }
+  while (auto v = d.pop()) popped.push_back(*v);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  std::set<vid_t> all(popped.begin(), popped.end());
+  std::size_t total = popped.size();
+  for (const auto& s : stolen) {
+    all.insert(s.begin(), s.end());
+    total += s.size();
+  }
+  EXPECT_EQ(total, kN) << "lost or duplicated items";
+  EXPECT_EQ(all.size(), kN);
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), kN - 1);
+}
+
+class WorkStealingBfsGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkStealingBfsGraphs, MatchesReference) {
+  CsrGraph g;
+  switch (GetParam()) {
+    case 0: g = rmat_graph(10, 8, 61); break;
+    case 1: g = uniform_graph(2000, 5, 62); break;
+    case 2: g = grid_graph(40, 40, 0.95, 63); break;
+    default: g = rmat_graph(8, 4, 64); break;
+  }
+  for (const unsigned threads : {1u, 4u}) {
+    const vid_t root = pick_nonisolated_root(g, 7);
+    const BfsResult r = baseline::work_stealing_bfs(g, root, threads);
+    const auto rep = validate_depths_match(g, r);
+    ASSERT_TRUE(rep.ok) << "threads=" << threads << ": " << rep.error;
+    ASSERT_TRUE(validate_bfs_tree(g, r).ok);
+    const BfsResult ref = reference_bfs(g, root);
+    EXPECT_EQ(r.vertices_visited, ref.vertices_visited);
+    EXPECT_EQ(r.depth_reached, ref.depth_reached);
+    EXPECT_EQ(r.edges_traversed, ref.edges_traversed);  // atomic claim
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, WorkStealingBfsGraphs,
+                         ::testing::Values(0, 1, 2));
+
+TEST(WorkStealingBfs, IsolatedRoot) {
+  const CsrGraph g = build_csr({{1, 2}}, 4);
+  const BfsResult r = baseline::work_stealing_bfs(g, 0, 2);
+  EXPECT_EQ(r.vertices_visited, 1u);
+  EXPECT_EQ(r.depth_reached, 0u);
+}
+
+TEST(WorkStealingBfs, RejectsBadRoot) {
+  const CsrGraph g = build_csr({{0, 1}}, 2);
+  EXPECT_THROW(baseline::work_stealing_bfs(g, 5, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastbfs

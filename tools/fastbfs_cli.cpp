@@ -1,0 +1,259 @@
+// fastbfs — command-line driver for the library.
+//
+//   fastbfs gen   --kind=rmat|uniform|grid|stress --out=g.csr [...]
+//   fastbfs info  --in=g.csr|g.txt|g.gr|g.mtx
+//   fastbfs bfs   --in=... [--root=N] [--roots=K] [--threads=] [--sockets=]
+//                 [--vis=none|atomic|byte|bit|partitioned]
+//                 [--scheme=none|aware|balanced] [--validate]
+//   fastbfs convert --in=g.txt --out=g.csr
+//
+// Input format is chosen by extension: .csr (binary, graph/serialize.h),
+// .gr (DIMACS), .mtx (MatrixMarket), anything else = text edge list.
+#include <cstdio>
+#include <string>
+
+#include "core/api.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "gen/stress.h"
+#include "gen/uniform.h"
+#include "graph/components.h"
+#include "graph/io.h"
+#include "graph/serialize.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fastbfs;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+CsrGraph load_graph(const std::string& path) {
+  if (ends_with(path, ".csr")) return read_csr_binary_file(path);
+  if (ends_with(path, ".gr")) {
+    const DimacsGraph d = read_dimacs_file(path);
+    BuildOptions opt;
+    opt.symmetrize = false;  // DIMACS lists both directions
+    return build_csr(d.edges, d.n_vertices, opt);
+  }
+  if (ends_with(path, ".mtx")) {
+    const DimacsGraph d = read_matrix_market_file(path);
+    BuildOptions opt;
+    opt.symmetrize = false;  // symmetric banners are expanded on read
+    return build_csr(d.edges, d.n_vertices, opt);
+  }
+  return build_csr_auto(read_edge_list_file(path));
+}
+
+VisMode parse_vis(const std::string& v) {
+  if (v == "none") return VisMode::kNone;
+  if (v == "atomic") return VisMode::kAtomicBit;
+  if (v == "byte") return VisMode::kByte;
+  if (v == "bit") return VisMode::kBit;
+  if (v == "partitioned") return VisMode::kPartitionedBit;
+  throw std::runtime_error("unknown --vis value: " + v);
+}
+
+SocketScheme parse_scheme(const std::string& s) {
+  if (s == "none") return SocketScheme::kNone;
+  if (s == "aware") return SocketScheme::kSocketAware;
+  if (s == "balanced") return SocketScheme::kLoadBalanced;
+  throw std::runtime_error("unknown --scheme value: " + s);
+}
+
+int cmd_gen(const CliArgs& args) {
+  const std::string kind = args.get("kind", "rmat");
+  const std::string out = args.get("out");
+  if (out.empty()) throw std::runtime_error("gen: --out=FILE is required");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  CsrGraph g;
+  if (kind == "rmat") {
+    const unsigned scale = static_cast<unsigned>(args.get_int("gscale", 18));
+    const unsigned ef =
+        static_cast<unsigned>(args.get_int("edge-factor", 16));
+    g = rmat_graph(scale, ef, seed);
+  } else if (kind == "uniform") {
+    const vid_t n = static_cast<vid_t>(args.get_int("vertices", 1 << 18));
+    const unsigned deg = static_cast<unsigned>(args.get_int("degree", 8));
+    g = uniform_graph(n, deg, seed);
+  } else if (kind == "grid") {
+    const vid_t w = static_cast<vid_t>(args.get_int("width", 512));
+    const vid_t h = static_cast<vid_t>(args.get_int("height", 512));
+    g = grid_graph(w, h, args.get_double("keep", 1.0), seed);
+  } else if (kind == "stress") {
+    const vid_t n = static_cast<vid_t>(args.get_int("vertices", 1 << 18));
+    const unsigned deg = static_cast<unsigned>(args.get_int("degree", 8));
+    g = stress_bipartite_graph(n, deg, seed);
+  } else {
+    throw std::runtime_error("gen: unknown --kind " + kind);
+  }
+  write_csr_binary_file(out, g);
+  std::printf("wrote %s: %u vertices, %llu arcs\n", out.c_str(),
+              g.n_vertices(), static_cast<unsigned long long>(g.n_edges()));
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const std::string in = args.get("in");
+  if (in.empty()) throw std::runtime_error("info: --in=FILE is required");
+  const CsrGraph g = load_graph(in);
+  const DegreeStats ds = degree_stats(g);
+  std::printf("file:      %s\n", in.c_str());
+  std::printf("vertices:  %u\n", g.n_vertices());
+  std::printf("arcs:      %llu (avg degree %.2f, max %u, isolated %llu)\n",
+              static_cast<unsigned long long>(g.n_edges()), ds.avg_degree,
+              ds.max_degree,
+              static_cast<unsigned long long>(ds.isolated_vertices));
+  const Components comps = connected_components(g);
+  if (comps.count() > 0) {
+    const auto& giant = comps.info[comps.giant_index()];
+    std::printf("components: %zu (giant: %llu vertices, %.1f%% of arcs)\n",
+                comps.count(),
+                static_cast<unsigned long long>(giant.n_vertices),
+                100.0 * comps.giant_edge_fraction(g));
+  }
+  std::printf("depth probe (4 samples): %u\n",
+              probe_depth(g, 4, static_cast<std::uint64_t>(
+                                    args.get_int("seed", 1))));
+  if (args.get_bool("histogram", false)) {
+    const auto hist = degree_histogram_log2(g);
+    std::printf("degree histogram (log2 buckets):\n");
+    for (std::size_t b = 0; b < hist.size(); ++b) {
+      if (hist[b] == 0) continue;
+      if (b == 0) {
+        std::printf("  deg 0        : %llu\n",
+                    static_cast<unsigned long long>(hist[b]));
+      } else {
+        std::printf("  deg [%u,%u): %llu\n", 1u << (b - 1), 1u << b,
+                    static_cast<unsigned long long>(hist[b]));
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_batch(const CliArgs& args) {
+  const std::string in = args.get("in");
+  if (in.empty()) throw std::runtime_error("batch: --in=FILE is required");
+  const CsrGraph g = load_graph(in);
+  BfsOptions opts;
+  opts.n_threads = static_cast<unsigned>(args.get_int("threads", 4));
+  opts.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
+  BfsRunner runner(g, opts);
+  const unsigned n_roots = static_cast<unsigned>(args.get_int("roots", 16));
+  const BatchResult b = runner.run_batch(
+      g, n_roots, static_cast<std::uint64_t>(args.get_int("seed", 1)),
+      args.get_bool("validate", true));
+  std::printf("runs %u, validated %u\n", b.runs, b.validated);
+  std::printf("TEPS min %.3e  mean %.3e  harmonic %.3e  max %.3e\n",
+              b.min_teps, b.mean_teps, b.harmonic_teps, b.max_teps);
+  return b.validated == b.runs ? 0 : 1;
+}
+
+int cmd_bfs(const CliArgs& args) {
+  const std::string in = args.get("in");
+  if (in.empty()) throw std::runtime_error("bfs: --in=FILE is required");
+  Timer load_timer;
+  const CsrGraph g = load_graph(in);
+  std::printf("loaded %u vertices / %llu arcs in %.2f s\n", g.n_vertices(),
+              static_cast<unsigned long long>(g.n_edges()),
+              load_timer.seconds());
+
+  BfsOptions opts;
+  opts.n_threads = static_cast<unsigned>(args.get_int("threads", 4));
+  opts.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
+  opts.vis_mode = parse_vis(args.get("vis", "partitioned"));
+  opts.scheme = parse_scheme(args.get("scheme", "balanced"));
+  opts.use_simd = args.get_bool("simd", true);
+  opts.use_prefetch = args.get_bool("prefetch", true);
+  opts.rearrange = args.get_bool("rearrange", true);
+  opts.pin_threads = args.get_bool("pin", false);
+  BfsRunner runner(g, opts);
+
+  const unsigned n_roots = static_cast<unsigned>(args.get_int("roots", 1));
+  const bool validate = args.get_bool("validate", false);
+  for (unsigned i = 0; i < n_roots; ++i) {
+    vid_t root;
+    if (args.has("root") && i == 0) {
+      root = static_cast<vid_t>(args.get_int("root", 0));
+    } else {
+      root = pick_nonisolated_root(
+          g, static_cast<std::uint64_t>(args.get_int("seed", 1)) + i);
+    }
+    const BfsResult r = runner.run(root);
+    std::printf(
+        "root %-10u depth %-5u visited %-10llu edges %-12llu %8.1f MTEPS",
+        root, r.depth_reached,
+        static_cast<unsigned long long>(r.vertices_visited),
+        static_cast<unsigned long long>(r.edges_traversed),
+        mteps(r.edges_traversed, r.seconds));
+    if (validate) {
+      const auto rep = validate_bfs_tree(g, r);
+      std::printf("  [%s]", rep.ok ? "valid" : rep.error.c_str());
+      if (!rep.ok) {
+        std::printf("\n");
+        return 1;
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_convert(const CliArgs& args) {
+  const std::string in = args.get("in");
+  const std::string out = args.get("out");
+  if (in.empty() || out.empty()) {
+    throw std::runtime_error("convert: --in=FILE and --out=FILE required");
+  }
+  const CsrGraph g = load_graph(in);
+  write_csr_binary_file(out, g);
+  std::printf("converted %s -> %s (%u vertices, %llu arcs)\n", in.c_str(),
+              out.c_str(), g.n_vertices(),
+              static_cast<unsigned long long>(g.n_edges()));
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: fastbfs <gen|info|bfs|batch|convert> [--key=value ...]\n"
+      "  gen     --kind=rmat|uniform|grid|stress --out=g.csr\n"
+      "          [--gscale=18 --edge-factor=16 | --vertices=N --degree=D |\n"
+      "           --width=W --height=H --keep=P] [--seed=S]\n"
+      "  info    --in=FILE [--histogram]\n"
+      "  batch   --in=FILE [--roots=16] [--validate=1]   (Graph500 kernel 2)\n"
+      "  bfs     --in=FILE [--root=N|--roots=K] [--threads=4 --sockets=2]\n"
+      "          [--vis=partitioned] [--scheme=balanced] [--validate]\n"
+      "          [--simd=1 --prefetch=1 --rearrange=1 --pin=0]\n"
+      "  convert --in=FILE --out=g.csr\n"
+      "formats by extension: .csr binary, .gr DIMACS, .mtx MatrixMarket,\n"
+      "otherwise text edge list.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const CliArgs args(argc - 1, argv + 1);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "bfs") return cmd_bfs(args);
+    if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "convert") return cmd_convert(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fastbfs %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
