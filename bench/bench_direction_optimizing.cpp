@@ -1,0 +1,120 @@
+// Direction-optimizing traversal (DESIGN.md "Direction-optimizing
+// extension"; Beamer et al., SC'12, adapted to the paper's two-phase
+// engine).
+//
+// Claim under test: on low-diameter scale-free graphs (R-MAT), the kAuto
+// per-step heuristic beats the paper's pure top-down engine by >= 1.3x in
+// Graph500 harmonic-mean TEPS, because the few huge middle levels run
+// bottom-up and skip most frontier edges. On high-diameter graphs (grid)
+// kAuto must *match* top-down — the heuristic never fires there, by
+// construction of the beta guard.
+//
+// Two tables:
+//   1. per-graph run_batch comparison of the three DirectionModes
+//      (harmonic TEPS + the per-step direction log of one sample run);
+//   2. alpha/beta sensitivity sweep on R-MAT.
+//
+// The acceptance configuration is R-MAT scale-18 ef-16: run with --div=1
+// (or --scale=paper) to measure it unscaled.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace fastbfs;
+  using namespace fastbfs::bench;
+  const CliArgs args(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(args);
+  env.print_header(
+      "Direction-optimizing traversal: top-down vs bottom-up vs auto",
+      "Beamer SC'12 heuristic grafted onto the two-phase engine; "
+      "acceptance: auto/td >= 1.3x harmonic TEPS on RMAT-18 ef-16");
+
+  const vid_t n = env.scaled_vertices(1u << 18);
+  const unsigned scale = floor_log2(ceil_pow2(n));
+  const unsigned side = 1u << (scale / 2);
+  const CsrGraph rmat = rmat_graph(scale, 16, env.seed);
+  const CsrGraph ur = uniform_graph(n, 16, env.seed);
+  const CsrGraph grid = grid_graph(side, side, 1.0, env.seed);
+  const unsigned n_roots = env.runs > 4 ? env.runs : 4;
+
+  struct Workload {
+    const char* name;
+    const CsrGraph* g;
+  };
+  const Workload workloads[] = {
+      {"RMAT ef-16", &rmat}, {"UR deg-16", &ur}, {"grid", &grid}};
+
+  struct Mode {
+    const char* name;
+    DirectionMode mode;
+  };
+  const Mode modes[] = {{"top-down", DirectionMode::kTopDown},
+                        {"bottom-up", DirectionMode::kBottomUp},
+                        {"auto", DirectionMode::kAuto}};
+
+  TextTable t({"graph", "mode", "harm MTEPS", "vs td", "valid", "sample dirs"});
+  double rmat_speedup = 0.0;
+  for (const Workload& w : workloads) {
+    double td_teps = 0.0;
+    for (const Mode& m : modes) {
+      BfsOptions o = env.engine_options();
+      o.direction = m.mode;
+      BfsRunner runner(*w.g, o);
+      const BatchResult b =
+          runner.run_batch(*w.g, n_roots, env.seed, /*validate=*/true);
+      // One extra run so the direction log of a representative root is
+      // available (run_batch overwrites last_run_stats per root).
+      runner.run(b.roots.empty() ? 0 : b.roots.front());
+      const RunStats& s = runner.last_run_stats();
+      if (m.mode == DirectionMode::kTopDown) td_teps = b.harmonic_teps;
+      const double ratio =
+          td_teps > 0.0 ? b.harmonic_teps / td_teps : 0.0;
+      if (m.mode == DirectionMode::kAuto && w.g == &rmat) {
+        rmat_speedup = ratio;
+      }
+      char valid[16];
+      std::snprintf(valid, sizeof valid, "%u/%u", b.validated, b.runs);
+      std::string dirs = s.direction_string();
+      if (dirs.size() > 24) dirs = dirs.substr(0, 21) + "...";
+      t.add_row({w.name, m.name, TextTable::num(b.harmonic_teps / 1e6, 1),
+                 TextTable::num(ratio, 2), valid, dirs});
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nacceptance (RMAT auto/td >= 1.3x): %.2fx  [%s]\n",
+              rmat_speedup, rmat_speedup >= 1.3 ? "PASS" : "FAIL");
+
+  // Alpha/beta sensitivity on the R-MAT workload. alpha gates TD->BU
+  // (larger = later switch-down), beta gates both the all-arcs share
+  // guard and BU->TD (larger = earlier switch-down, later switch-up).
+  {
+    const AdjacencyArray adj(rmat, env.sockets);
+    TextTable sweep({"alpha", "beta", "MTEPS", "switches", "dirs"});
+    for (const double alpha : {4.0, 15.0, 30.0, 60.0}) {
+      for (const double beta : {4.0, 18.0, 40.0}) {
+        BfsOptions o = env.engine_options();
+        o.direction = DirectionMode::kAuto;
+        o.alpha = alpha;
+        o.beta = beta;
+        o.collect_stats = true;
+        const Measured m = measure_two_phase(adj, o, env.runs, env.seed);
+        TwoPhaseBfs engine(adj, o);
+        engine.run(pick_nonisolated_root(rmat, env.seed));
+        const RunStats& s = engine.last_run_stats();
+        sweep.add_row({TextTable::num(alpha, 0), TextTable::num(beta, 0),
+                       TextTable::num(m.mteps, 1),
+                       TextTable::num(std::uint64_t(s.direction_switches)),
+                       s.direction_string()});
+      }
+    }
+    std::printf("\nalpha/beta sweep (RMAT, one-run direction log):\n%s",
+                sweep.to_string().c_str());
+  }
+  return 0;
+}

@@ -5,15 +5,21 @@
 #
 # Usage: scripts/run_all_experiments.sh [extra bench flags...]
 #   e.g. scripts/run_all_experiments.sh --scale=paper --runs=5
+# Set RUN_SANITIZERS=1 to also run the TSan/ASan+UBSan sweep
+# (scripts/run_sanitizers.sh) before the benches.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build"
 
-cmake -B "$build" -G Ninja
+cmake -B "$build" -S "$repo" -G Ninja
 cmake --build "$build"
 
 ctest --test-dir "$build" 2>&1 | tee "$repo/test_output.txt"
+
+if [ "${RUN_SANITIZERS:-0}" = "1" ]; then
+  "$repo/scripts/run_sanitizers.sh" all 2>&1 | tee "$repo/sanitizer_output.txt"
+fi
 
 : > "$repo/bench_output.txt"
 for b in "$build"/bench/bench_*; do

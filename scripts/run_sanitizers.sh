@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Sanitizer sweep over the test suite, two builds (CMakePresets.json):
+#   build-tsan   -fsanitize=thread            engine/concurrency tests —
+#                SPMD workers, barriers, atomic-free DP/VIS stores, the
+#                direction-optimizing bitmap handoff;
+#   build-asan   -fsanitize=address,undefined everything labelled tier1.
+#
+# -march=native is disabled in both (FASTBFS_NATIVE=OFF): sanitizers and
+# the hand-vectorized binning kernels interact badly, and races/overflows
+# live in the scalar control logic anyway.
+#
+# Usage: scripts/run_sanitizers.sh [tsan|asan|all]   (default: all)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+what="${1:-all}"
+
+# Engine/concurrency test selection for TSan (full tier1 under TSan is
+# slow; these are the suites that exercise multi-threaded code paths).
+engine_filter='TwoPhase|Direction|Thread|Dist|Async|WorkStealing|EngineFuzz|Affinity|ParallelBuilder|Batch'
+
+run_tsan() {
+  cmake -S "$repo" -B "$repo/build-tsan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFASTBFS_NATIVE=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$repo/build-tsan" -j --target fastbfs_tests
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$repo/build-tsan" -R "$engine_filter" \
+      --output-on-failure -j "$(nproc)"
+}
+
+run_asan() {
+  cmake -S "$repo" -B "$repo/build-asan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFASTBFS_NATIVE=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build "$repo/build-asan" -j --target fastbfs_tests
+  UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
+    ctest --test-dir "$repo/build-asan" -L tier1 \
+      --output-on-failure -j "$(nproc)"
+}
+
+case "$what" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all)  run_tsan; run_asan ;;
+  *) echo "usage: $0 [tsan|asan|all]" >&2; exit 2 ;;
+esac

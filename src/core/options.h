@@ -39,6 +39,17 @@ enum class PbvEncoding {
   kPairs,    // explicit (parent, child) pairs
 };
 
+/// Traversal direction policy (Beamer-style direction optimization; see
+/// DESIGN.md "Direction-optimizing extension"). Bottom-up steps walk each
+/// socket's local vertex range and probe the frontier as a dense bitmap,
+/// so they require a symmetric (undirected) adjacency — the convention of
+/// every generator and builder in this library.
+enum class DirectionMode {
+  kTopDown,   // the paper's two-phase engine on every step (default)
+  kBottomUp,  // force a bottom-up step at every level
+  kAuto,      // per-step heuristic switch (alpha/beta thresholds below)
+};
+
 struct BfsOptions {
   unsigned n_threads = 4;
   unsigned n_sockets = 2;
@@ -46,6 +57,14 @@ struct BfsOptions {
   VisMode vis_mode = VisMode::kPartitionedBit;
   SocketScheme scheme = SocketScheme::kLoadBalanced;
   PbvEncoding pbv_encoding = PbvEncoding::kAuto;
+
+  DirectionMode direction = DirectionMode::kTopDown;
+  /// kAuto switches top-down -> bottom-up when the frontier's out-edges
+  /// exceed 1/alpha of the still-unexplored edges (and 1/beta of all
+  /// arcs); it switches back when the frontier shrinks below |V|/beta
+  /// vertices. Defaults follow Beamer et al. (alpha=15, beta=18).
+  double alpha = 15.0;
+  double beta = 18.0;
 
   bool use_simd = true;
   bool use_prefetch = true;

@@ -16,14 +16,47 @@ namespace {
 constexpr std::uint32_t kMinPrefetchWindow = 1;
 }  // namespace
 
+StepDirection decide_direction(StepDirection prev,
+                               std::uint64_t frontier_edges,
+                               std::uint64_t unexplored_edges,
+                               std::uint64_t frontier_vertices,
+                               std::uint64_t n_vertices,
+                               std::uint64_t total_arcs, double alpha,
+                               double beta) {
+  const double m_f = static_cast<double>(frontier_edges);
+  if (prev == StepDirection::kTopDown) {
+    return m_f * alpha > static_cast<double>(unexplored_edges) &&
+                   m_f * beta > static_cast<double>(total_arcs)
+               ? StepDirection::kBottomUp
+               : StepDirection::kTopDown;
+  }
+  return static_cast<double>(frontier_vertices) * beta <
+                 static_cast<double>(n_vertices)
+             ? StepDirection::kTopDown
+             : StepDirection::kBottomUp;
+}
+
+std::string RunStats::direction_string() const {
+  std::string s;
+  s.reserve(steps.size());
+  for (const StepStats& st : steps) {
+    s.push_back(st.direction == StepDirection::kBottomUp ? 'B' : 'T');
+  }
+  return s;
+}
+
 void RunStats::write_steps_csv(std::ostream& out) const {
-  out << "step,frontier,binned_items,phase1_s,phase2_s,rearrange_s,"
+  out << "step,direction,frontier,binned_items,frontier_edges,"
+         "unexplored_edges,bottom_up_probes,phase1_s,phase2_s,rearrange_s,"
          "phase1_imbalance,phase2_imbalance\n";
   for (const StepStats& s : steps) {
-    out << s.step << ',' << s.frontier_size << ',' << s.binned_items << ','
-        << s.phase1_seconds << ',' << s.phase2_seconds << ','
-        << s.rearrange_seconds << ',' << s.phase1_imbalance << ','
-        << s.phase2_imbalance << '\n';
+    out << s.step << ','
+        << (s.direction == StepDirection::kBottomUp ? "BU" : "TD") << ','
+        << s.frontier_size << ',' << s.binned_items << ','
+        << s.frontier_edges << ',' << s.unexplored_edges << ','
+        << s.bottom_up_probes << ',' << s.phase1_seconds << ','
+        << s.phase2_seconds << ',' << s.rearrange_seconds << ','
+        << s.phase1_imbalance << ',' << s.phase2_imbalance << '\n';
   }
 }
 
@@ -41,6 +74,10 @@ struct TwoPhaseBfs::ThreadState {
 
   TrafficCounter t1, t2, t2u, tr;
   std::uint64_t edges = 0;
+  /// Sum of degrees of the vertices this thread appended to bv_n this
+  /// step — the increment feeding the direction heuristic's edge counts.
+  std::uint64_t bvn_edges = 0;
+  std::uint64_t bu_probes = 0;  // neighbour probes in this step's BU scan
   double rearrange_seconds = 0.0;
   std::vector<std::uint64_t> adj_bytes_by_socket;
 
@@ -55,6 +92,8 @@ struct TwoPhaseBfs::ThreadState {
     pbv_items.assign(n_bins, 0);
     t1 = t2 = t2u = tr = TrafficCounter{};
     edges = 0;
+    bvn_edges = 0;
+    bu_probes = 0;
     rearrange_seconds = 0.0;
     adj_bytes_by_socket.assign(n_sockets, 0);
   }
@@ -78,6 +117,16 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
   if (adj.partition().n_sockets() != opts.n_sockets) {
     throw std::invalid_argument(
         "TwoPhaseBfs: adjacency array built for a different socket count");
+  }
+
+  // Bottom-up steps need *some* visited structure to skip claimed
+  // vertices cheaply and to keep invariant 3 (depth assigned => bit set)
+  // for any later top-down step; VisMode::kNone has none, so it is
+  // transparently upgraded to the single-partition bit array. Pinned by
+  // tests/test_direction.cpp.
+  if (opts_.direction != DirectionMode::kTopDown &&
+      opts_.vis_mode == VisMode::kNone) {
+    opts_.vis_mode = VisMode::kBit;
   }
 
   // Footnote 2's selection rule: a byte per vertex while the whole byte
@@ -143,6 +192,20 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
     case VisMode::kAuto:
       // Resolved to a concrete mode above.
       break;
+  }
+
+  if (opts_.direction != DirectionMode::kTopDown) {
+    if (!(opts_.alpha > 0.0) || !(opts_.beta > 0.0)) {
+      throw std::invalid_argument(
+          "TwoPhaseBfs: direction thresholds alpha/beta must be positive");
+    }
+    // Same partition count as VIS so a hot bottom-up scan keeps at most
+    // one frontier-bitmap partition resident per socket.
+    front_cur_ = std::make_unique<VisArray>(adj.n_vertices(),
+                                            VisArray::Kind::kBit, n_vis_);
+    front_next_ = std::make_unique<VisArray>(adj.n_vertices(),
+                                             VisArray::Kind::kBit, n_vis_);
+    bu_serial_ = adj.partition().vertices_per_socket() < 8;
   }
 
   states_.reserve(opts_.n_threads);
@@ -298,6 +361,7 @@ void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
     if (updated) {
       me.bv_n.push_back(child);
       ++me.bvn_counts[bin];
+      me.bvn_edges += adj_.degree(child);
       upd_local += 4;  // BV_N append is always thread-local
     }
   };
@@ -330,29 +394,146 @@ void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
   }
 }
 
+Range TwoPhaseBfs::bottom_up_range(const ThreadContext& ctx) const {
+  // Degenerate partitions (< 8 vertices per socket, i.e. toy graphs) can
+  // place two sockets' vertices in the same bitmap byte; one thread then
+  // scans everything rather than sprinkling atomics over the hot path.
+  if (bu_serial_) {
+    if (ctx.thread_id != 0) return {0, 0};
+    return {0, static_cast<std::size_t>(adj_.n_vertices())};
+  }
+  const VertexPartition& part = adj_.partition();
+  const std::uint64_t lo = part.first_vertex_of(ctx.socket_id);
+  const std::uint64_t hi = part.end_vertex_of(ctx.socket_id);
+  if (lo >= hi) return {0, 0};
+  // Split the socket range among its threads in whole 64-vertex blocks so
+  // distinct threads never share a bitmap byte.
+  const std::uint64_t n_blocks = ceil_div(hi - lo, 64);
+  const Range blocks = split_range(static_cast<std::size_t>(n_blocks),
+                                   ctx.threads_on_socket,
+                                   ctx.rank_on_socket);
+  return {static_cast<std::size_t>(std::min<std::uint64_t>(
+              lo + 64 * blocks.begin, hi)),
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              lo + 64 * blocks.end, hi))};
+}
+
+void TwoPhaseBfs::bottom_up_step(const ThreadContext& ctx, depth_t step) {
+  ThreadState& me = *states_[ctx.thread_id];
+  SpinBarrier& bar = pool_.barrier();
+  const Range range = bottom_up_range(ctx);
+
+  // --- frontier representation upkeep -----------------------------------
+  // Zero this thread's byte span of the bitmaps that will be (re)filled,
+  // then convert the sparse per-thread BV_C into the dense bitmap when the
+  // previous step left only a sparse frontier. Conversion uses atomic bit
+  // sets because a thread's bv_c holds arbitrary vertex ids.
+  front_next_->zero_vertex_range(range.begin, range.end);
+  if (!dense_frontier_valid_) {
+    front_cur_->zero_vertex_range(range.begin, range.end);
+    bar.arrive_and_wait();  // all spans zeroed before any bit lands
+    for (const vid_t v : me.bv_c) front_cur_->test_and_set_atomic(v);
+  }
+  bar.arrive_and_wait();  // dense BV_C published
+
+  if (ctx.thread_id == 0 && opts_.collect_stats) {
+    run_stats_.steps.back().frontier_size = frontier_vertices_;
+  }
+
+  // --- the scan ----------------------------------------------------------
+  // Owner-computes: only this thread examines vertices in [begin, end) and
+  // the spans never share a bitmap byte, so DP stores, VIS sets and
+  // next-frontier bits need no atomics. The scan order is fixed, so the
+  // claimed parent — the first frontier neighbour in adjacency order — is
+  // deterministic regardless of thread count.
+  VisArray* vis = vis_.get();
+  const VisArray* front = front_cur_.get();
+  std::uint64_t probes = 0, found = 0, found_edges = 0, adj_bytes = 0;
+  for (vid_t v = static_cast<vid_t>(range.begin);
+       v < static_cast<vid_t>(range.end); ++v) {
+    if (dp_.visited(v)) continue;
+    const auto nbrs = adj_.neighbors(v);
+    adj_bytes += 8 + 4ull * (1 + nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      ++probes;
+      const vid_t w = nbrs[k];
+      if (!front->test(w)) continue;
+      dp_.store(v, step, w);
+      if (vis) vis->set(v);
+      front_next_->set(v);
+      // Sparse mirror of the new frontier: ascending v keeps bv_n
+      // bin-grouped, so a following top-down step consumes it as-is.
+      me.bv_n.push_back(v);
+      ++me.bvn_counts[bin_of(v)];
+      ++found;
+      found_edges += nbrs.size();
+      break;
+    }
+  }
+  me.bvn_edges += found_edges;
+  me.bu_probes += probes;
+  // Adjacency reads are socket-local by construction (owner-computes);
+  // frontier-bitmap probes and DP/BV_N writes are modelled at one byte
+  // and 12 bytes respectively, mirroring the Phase-II accounting.
+  me.t1.add(true, adj_bytes);
+  me.adj_bytes_by_socket[ctx.socket_id] += adj_bytes;
+  me.t2u.local_bytes += probes + 12 * found;
+}
+
+void TwoPhaseBfs::begin_step(depth_t step) {
+  StepDirection want = step_dir_;
+  switch (opts_.direction) {
+    case DirectionMode::kTopDown:
+      want = StepDirection::kTopDown;
+      break;
+    case DirectionMode::kBottomUp:
+      want = StepDirection::kBottomUp;
+      break;
+    case DirectionMode::kAuto:
+      want = decide_direction(step_dir_, frontier_edges_, unexplored_edges_,
+                              frontier_vertices_, adj_.n_vertices(),
+                              adj_.n_edges(), opts_.alpha, opts_.beta);
+      break;
+  }
+  if (step > 1 && want != step_dir_) ++run_stats_.direction_switches;
+  step_dir_ = want;
+  if (opts_.collect_stats) {
+    run_stats_.steps.push_back(StepStats{});
+    StepStats& cur = run_stats_.steps.back();
+    cur.step = step;
+    cur.direction = step_dir_;
+    cur.frontier_edges = frontier_edges_;
+    cur.unexplored_edges = unexplored_edges_;
+  }
+}
+
 void TwoPhaseBfs::worker(const ThreadContext& ctx) {
   ThreadState& me = *states_[ctx.thread_id];
   SpinBarrier& bar = pool_.barrier();
   Timer timer;  // used by thread 0 only
 
   for (depth_t step = 1;; ++step) {
-    if (ctx.thread_id == 0 && opts_.collect_stats) {
-      run_stats_.steps.push_back(StepStats{});
-      run_stats_.steps.back().step = step;
-    }
-    bar.arrive_and_wait();  // all frontier state for this step is published
+    // Thread 0 decides this step's direction here: every other thread is
+    // between the previous termination barrier and barrier A, so the
+    // heuristic state and step_dir_ are safely single-writer.
+    if (ctx.thread_id == 0) begin_step(step);
+    bar.arrive_and_wait();  // frontier state + step_dir_ published
+    const StepDirection dir = step_dir_;
 
     if (ctx.thread_id == 0) timer.reset();
     const double rearr_before = me.rearrange_seconds;
-    phase1(ctx, step);
-    bar.arrive_and_wait();  // PBV bins published
     double p1 = 0.0;
-    if (ctx.thread_id == 0) {
-      p1 = timer.seconds();
-      timer.reset();
+    if (dir == StepDirection::kTopDown) {
+      phase1(ctx, step);
+      bar.arrive_and_wait();  // PBV bins published
+      if (ctx.thread_id == 0) {
+        p1 = timer.seconds();
+        timer.reset();
+      }
+      phase2(ctx, step);
+    } else {
+      bottom_up_step(ctx, step);  // internal barriers publish the bitmap
     }
-
-    phase2(ctx, step);
     bar.arrive_and_wait();  // BV_N published
     if (ctx.thread_id == 0 && opts_.collect_stats) {
       const double p2_total = timer.seconds();
@@ -361,15 +542,37 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
       cur.phase1_seconds = p1;
       cur.rearrange_seconds = rearr;
       cur.phase2_seconds = std::max(p2_total - rearr, 0.0);
+      if (dir == StepDirection::kBottomUp) {
+        for (const auto& s : states_) cur.bottom_up_probes += s->bu_probes;
+      }
     }
 
     // Everyone computes the same termination sum; reads are safe until the
-    // next barrier because no thread mutates before passing it.
+    // next barrier because no thread mutates before passing it. Thread 0
+    // additionally folds the step's discoveries into the heuristic
+    // counters in the same read-safe window.
     std::uint64_t next_total = 0;
     for (const auto& s : states_) next_total += s->bv_n.size();
+    if (ctx.thread_id == 0) {
+      // A bottom-up step "traverses" the consumed frontier's out-edges —
+      // the arcs a top-down step would have scanned — keeping
+      // edges_traversed (and TEPS) comparable across directions; the
+      // probes actually performed are reported separately in RunStats.
+      if (dir == StepDirection::kBottomUp) {
+        bu_consumed_edges_ += frontier_edges_;
+      }
+      std::uint64_t next_edges = 0;
+      for (const auto& s : states_) next_edges += s->bvn_edges;
+      unexplored_edges_ -= std::min(unexplored_edges_, next_edges);
+      frontier_edges_ = next_edges;
+      frontier_vertices_ = next_total;
+      dense_frontier_valid_ = dir == StepDirection::kBottomUp;
+      if (dense_frontier_valid_) std::swap(front_cur_, front_next_);
+    }
     if (next_total == 0) {
       // The final step scanned the deepest frontier and found nothing new;
-      // it did real Phase-I work, so its StepStats entry is kept.
+      // it did real work (Phase-I or a bottom-up sweep), so its StepStats
+      // entry is kept.
       if (ctx.thread_id == 0) final_step_ = step;
       return;
     }
@@ -382,6 +585,8 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
     me.compute_bvc_offsets();
     me.pbv.clear_all();
     std::fill(me.pbv_items.begin(), me.pbv_items.end(), 0);
+    me.bvn_edges = 0;
+    me.bu_probes = 0;
   }
 }
 
@@ -394,6 +599,18 @@ BfsResult TwoPhaseBfs::run(vid_t root) {
   dp_.reset();
   if (vis_) vis_->clear();
   for (auto& s : states_) s->reset(n_bins_, opts_.n_sockets);
+
+  // Direction-heuristic state: frontier = {root}, everything unexplored.
+  // The dense bitmaps need no clearing here — each bottom-up step zeroes
+  // exactly the spans it is about to fill.
+  step_dir_ = opts_.direction == DirectionMode::kBottomUp
+                  ? StepDirection::kBottomUp
+                  : StepDirection::kTopDown;
+  dense_frontier_valid_ = false;
+  frontier_vertices_ = 1;
+  frontier_edges_ = adj_.degree(root);
+  unexplored_edges_ = adj_.n_edges() - frontier_edges_;
+  bu_consumed_edges_ = 0;
 
   // Seed the root on the first thread of its owning socket.
   dp_.store(root, 0, root);
@@ -429,14 +646,20 @@ BfsResult TwoPhaseBfs::run(vid_t root) {
         static_cast<double>(adj_total);
   }
   for (const auto& st : run_stats_.steps) {
-    run_stats_.phase1_seconds += st.phase1_seconds;
-    run_stats_.phase2_seconds += st.phase2_seconds;
+    if (st.direction == StepDirection::kBottomUp) {
+      run_stats_.bottom_up_seconds += st.phase2_seconds;
+      run_stats_.bottom_up_probes += st.bottom_up_probes;
+    } else {
+      run_stats_.phase1_seconds += st.phase1_seconds;
+      run_stats_.phase2_seconds += st.phase2_seconds;
+    }
     run_stats_.rearrange_seconds += st.rearrange_seconds;
   }
 
   BfsResult result;
   result.root = root;
   result.seconds = seconds;
+  result.edges_traversed = bu_consumed_edges_;
   for (const auto& s : states_) result.edges_traversed += s->edges;
   result.depth_reached = final_step_ > 0 ? final_step_ - 1 : 0;
   result.dp = std::move(dp_);

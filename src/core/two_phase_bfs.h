@@ -23,11 +23,22 @@
 // The engine also runs the Fig. 4 comparison points (no-VIS, atomic-bit,
 // byte, bit) by swapping the Phase-II update kernel, so the VIS axis is
 // isolated from everything else.
+//
+// Direction optimization (DESIGN.md "Direction-optimizing extension"):
+// when opts.direction allows it, a step may instead run *bottom-up* —
+// every thread walks an aligned slice of its socket's vertex range and
+// probes each unvisited vertex's neighbours against the current frontier
+// held as a dense bitmap (the VIS bit-array machinery reused), claiming
+// depth/parent with the same atomic-free owner-computes stores as
+// Phase-II. kAuto picks per step via decide_direction() below, driven by
+// incrementally tracked frontier/unexplored edge counts. Bottom-up
+// requires a symmetric adjacency (the library's builder convention).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/divide.h"
@@ -42,13 +53,42 @@
 
 namespace fastbfs {
 
+/// Direction a single BFS step executed in.
+enum class StepDirection { kTopDown, kBottomUp };
+
+/// The DirectionMode::kAuto decision rule, exposed as a pure function so
+/// tests can replay it step-for-step against the RunStats log:
+///   top-down -> bottom-up  when  frontier_edges * alpha > unexplored_edges
+///                          and   frontier_edges * beta  > total_arcs
+///   bottom-up -> top-down  when  frontier_vertices * beta < n_vertices
+/// The first clause is Beamer's alpha test (the frontier is about to touch
+/// a large share of the remaining edges); the second keeps high-diameter
+/// graphs (grids, roads) strictly top-down — their frontiers never carry a
+/// meaningful share of all arcs, even near exhaustion when
+/// unexplored_edges alone would trigger the alpha test.
+StepDirection decide_direction(StepDirection prev,
+                               std::uint64_t frontier_edges,
+                               std::uint64_t unexplored_edges,
+                               std::uint64_t frontier_vertices,
+                               std::uint64_t n_vertices,
+                               std::uint64_t total_arcs, double alpha,
+                               double beta);
+
 /// Per-step diagnostics (Fig. 8 measures the per-phase split).
 struct StepStats {
   unsigned step = 0;
-  std::uint64_t frontier_size = 0;   // vertices entering Phase-I
-  std::uint64_t binned_items = 0;    // PBV items produced
+  StepDirection direction = StepDirection::kTopDown;
+  std::uint64_t frontier_size = 0;   // vertices entering the step
+  std::uint64_t binned_items = 0;    // PBV items produced (top-down only)
+  /// Heuristic inputs, sampled when the step's direction was decided:
+  /// out-edges of the entering frontier and edges of still-unvisited
+  /// vertices. frontier_edges of step k+1 is exactly what step k removed
+  /// from unexplored_edges (tests pin this bookkeeping identity).
+  std::uint64_t frontier_edges = 0;
+  std::uint64_t unexplored_edges = 0;
+  std::uint64_t bottom_up_probes = 0;  // neighbour probes (bottom-up only)
   double phase1_seconds = 0.0;
-  double phase2_seconds = 0.0;
+  double phase2_seconds = 0.0;       // bottom-up scan time on BU steps
   double rearrange_seconds = 0.0;
   double phase1_imbalance = 1.0;     // max socket share / even share
   double phase2_imbalance = 1.0;
@@ -58,12 +98,18 @@ struct RunStats {
   double phase1_seconds = 0.0;
   double phase2_seconds = 0.0;
   double rearrange_seconds = 0.0;
+  double bottom_up_seconds = 0.0;
   double total_seconds = 0.0;
   PhaseTraffic traffic;              // local/remote byte audit
   /// Max over sockets of the fraction of adjacency bytes served by that
   /// socket's memory — the model's alpha_Adj (Sec. IV).
   double alpha_adj = 0.0;
+  unsigned direction_switches = 0;   // kAuto direction changes
+  std::uint64_t bottom_up_probes = 0;
   std::vector<StepStats> steps;      // filled when opts.collect_stats
+
+  /// Compact per-step direction log, e.g. "TTBBT" — one letter per step.
+  std::string direction_string() const;
 
   /// Per-step CSV (header + one row per BFS level) for offline analysis
   /// of frontier shapes and phase costs.
@@ -95,8 +141,20 @@ class TwoPhaseBfs {
   void worker(const ThreadContext& ctx);
   void phase1(const ThreadContext& ctx, depth_t step);
   void phase2(const ThreadContext& ctx, depth_t step);
+  /// One Beamer-style bottom-up level: scan this thread's aligned slice of
+  /// its socket's vertex range, probe unvisited vertices' neighbours
+  /// against the dense frontier bitmap, claim parents without atomics
+  /// (owner-computes: each vertex is examined by exactly one thread).
+  void bottom_up_step(const ThreadContext& ctx, depth_t step);
+  /// Decide + record this step's direction (thread 0, between barriers).
+  void begin_step(depth_t step);
   DivisionPlan plan_phase1() const;
   DivisionPlan plan_phase2() const;
+
+  /// This thread's vertex range for bottom-up work: its share of its
+  /// socket's partition, aligned to 64-vertex blocks so no two threads
+  /// ever touch the same VIS/frontier bitmap byte.
+  Range bottom_up_range(const ThreadContext& ctx) const;
 
   unsigned bin_of(vid_t v) const { return static_cast<unsigned>(v >> bin_shift_); }
 
@@ -113,6 +171,23 @@ class TwoPhaseBfs {
 
   std::unique_ptr<VisArray> vis_;  // null for VisMode::kNone
   DepthParent dp_;
+
+  // Direction optimization. The dense frontier bitmaps reuse the VIS
+  // bit-array machinery (cache-resident partitions, relaxed byte access);
+  // they are allocated only when opts.direction != kTopDown.
+  std::unique_ptr<VisArray> front_cur_;   // frontier entering a BU step
+  std::unique_ptr<VisArray> front_next_;  // frontier a BU step emits
+  StepDirection step_dir_ = StepDirection::kTopDown;  // t0 writes, all read
+  bool dense_frontier_valid_ = false;  // front_cur_ holds BV_C already
+  /// True only on degenerate partitions (< 8 vertices per socket, i.e.
+  /// toy graphs) where alignment cannot separate sockets' bitmap bytes;
+  /// thread 0 then scans the whole vertex range alone.
+  bool bu_serial_ = false;
+  // Incremental heuristic bookkeeping (thread 0 only, barrier-protected).
+  std::uint64_t frontier_edges_ = 0;     // m_f: out-edges of BV_C
+  std::uint64_t unexplored_edges_ = 0;   // m_u: edges of unvisited vertices
+  std::uint64_t frontier_vertices_ = 0;  // n_f: |BV_C|
+  std::uint64_t bu_consumed_edges_ = 0;  // edges_traversed credit, BU steps
 
   std::vector<std::unique_ptr<ThreadState>> states_;
   RunStats run_stats_;

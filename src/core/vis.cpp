@@ -40,6 +40,16 @@ VisArray::VisArray(std::uint64_t n_vertices, Kind kind, unsigned n_partitions)
 
 void VisArray::clear() { bytes_.zero(); }
 
+void VisArray::zero_vertex_range(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  const std::uint64_t first =
+      kind_ == Kind::kByte ? begin : begin >> 3;
+  const std::uint64_t last =
+      kind_ == Kind::kByte ? end : ceil_div(end, 8);
+  std::fill(bytes_.data() + first, bytes_.data() + last,
+            static_cast<std::uint8_t>(0));
+}
+
 std::uint8_t VisArray::relaxed_load(std::uint64_t i) const {
   return std::atomic_ref<const std::uint8_t>(bytes_[i])
       .load(std::memory_order_relaxed);

@@ -49,6 +49,13 @@ class VisArray {
 
   void clear();
 
+  /// Zeroes the storage covering vertices [begin, end) — the per-thread
+  /// reset a bottom-up step performs on its slice of the dense frontier
+  /// bitmaps. For bit arrays the caller must ensure concurrent callers'
+  /// ranges do not share a byte (8-vertex granularity; the engine aligns
+  /// slices to 64 vertices).
+  void zero_vertex_range(std::uint64_t begin, std::uint64_t end);
+
   bool test(vid_t v) const {
     if (kind_ == Kind::kByte) {
       return relaxed_load(v) != 0;

@@ -115,7 +115,7 @@ TEST(EngineEdge, StepsCsvDump) {
   std::ostringstream csv;
   engine.last_run_stats().write_steps_csv(csv);
   const std::string s = csv.str();
-  EXPECT_NE(s.find("step,frontier"), std::string::npos);
+  EXPECT_NE(s.find("step,direction,frontier"), std::string::npos);
   // Header + one line per recorded step (depth levels + final empty scan).
   const auto lines = std::count(s.begin(), s.end(), '\n');
   EXPECT_EQ(lines, 1 + static_cast<long>(

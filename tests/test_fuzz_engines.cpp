@@ -68,7 +68,10 @@ TEST_P(EngineFuzz, AllEnginesAgreeOnDepths) {
     }
   };
 
-  // The paper's engine in a configuration randomized per seed.
+  // The paper's engine in a configuration randomized per seed, once per
+  // traversal direction mode. alpha/beta are drawn from wide ranges
+  // (including degenerate always-switch / never-switch extremes) so the
+  // heuristic can never affect the computed depths, only the schedule.
   {
     Xoshiro256 rng(seed ^ 0x777);
     BfsOptions o;
@@ -82,8 +85,19 @@ TEST_P(EngineFuzz, AllEnginesAgreeOnDepths) {
     if (o.vis_mode == VisMode::kPartitionedBit && rng.next_below(2) != 0) {
       o.llc_bytes_override = 32 << rng.next_below(6);
     }
-    BfsRunner runner(g, o);
-    check(runner.run(root), "two-phase");
+    o.alpha = 0.5 + 30.0 * rng.next_double();
+    o.beta = 0.5 + 40.0 * rng.next_double();
+    for (const DirectionMode mode :
+         {DirectionMode::kTopDown, DirectionMode::kBottomUp,
+          DirectionMode::kAuto}) {
+      o.direction = mode;
+      BfsRunner runner(g, o);
+      const char* name = mode == DirectionMode::kTopDown ? "two-phase td"
+                         : mode == DirectionMode::kBottomUp
+                             ? "two-phase bu"
+                             : "two-phase auto";
+      check(runner.run(root), name);
+    }
   }
   check(baseline::parallel_atomic_bfs(g, root, 3), "atomic");
   check(baseline::no_vis_bfs(g, root, 3), "no-vis");
@@ -97,7 +111,7 @@ TEST_P(EngineFuzz, AllEnginesAgreeOnDepths) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
-                         ::testing::Range<std::uint64_t>(1, 25));
+                         ::testing::Range<std::uint64_t>(1, 102));
 
 }  // namespace
 }  // namespace fastbfs

@@ -5,6 +5,7 @@
 //   fastbfs bfs   --in=... [--root=N] [--roots=K] [--threads=] [--sockets=]
 //                 [--vis=none|atomic|byte|bit|partitioned]
 //                 [--scheme=none|aware|balanced] [--validate]
+//                 [--direction=td|bu|auto] [--alpha=15] [--beta=18]
 //   fastbfs convert --in=g.txt --out=g.csr
 //
 // Input format is chosen by extension: .csr (binary, graph/serialize.h),
@@ -65,6 +66,19 @@ SocketScheme parse_scheme(const std::string& s) {
   if (s == "aware") return SocketScheme::kSocketAware;
   if (s == "balanced") return SocketScheme::kLoadBalanced;
   throw std::runtime_error("unknown --scheme value: " + s);
+}
+
+DirectionMode parse_direction(const std::string& d) {
+  if (d == "td" || d == "topdown") return DirectionMode::kTopDown;
+  if (d == "bu" || d == "bottomup") return DirectionMode::kBottomUp;
+  if (d == "auto") return DirectionMode::kAuto;
+  throw std::runtime_error("unknown --direction value: " + d);
+}
+
+void apply_direction_flags(const CliArgs& args, BfsOptions& opts) {
+  opts.direction = parse_direction(args.get("direction", "td"));
+  opts.alpha = args.get_double("alpha", opts.alpha);
+  opts.beta = args.get_double("beta", opts.beta);
 }
 
 int cmd_gen(const CliArgs& args) {
@@ -147,6 +161,7 @@ int cmd_batch(const CliArgs& args) {
   BfsOptions opts;
   opts.n_threads = static_cast<unsigned>(args.get_int("threads", 4));
   opts.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
+  apply_direction_flags(args, opts);
   BfsRunner runner(g, opts);
   const unsigned n_roots = static_cast<unsigned>(args.get_int("roots", 16));
   const BatchResult b = runner.run_batch(
@@ -176,10 +191,12 @@ int cmd_bfs(const CliArgs& args) {
   opts.use_prefetch = args.get_bool("prefetch", true);
   opts.rearrange = args.get_bool("rearrange", true);
   opts.pin_threads = args.get_bool("pin", false);
+  apply_direction_flags(args, opts);
   BfsRunner runner(g, opts);
 
   const unsigned n_roots = static_cast<unsigned>(args.get_int("roots", 1));
   const bool validate = args.get_bool("validate", false);
+  const bool show_directions = args.get_bool("directions", false);
   for (unsigned i = 0; i < n_roots; ++i) {
     vid_t root;
     if (args.has("root") && i == 0) {
@@ -195,6 +212,11 @@ int cmd_bfs(const CliArgs& args) {
         static_cast<unsigned long long>(r.vertices_visited),
         static_cast<unsigned long long>(r.edges_traversed),
         mteps(r.edges_traversed, r.seconds));
+    if (show_directions) {
+      const RunStats& s = runner.last_run_stats();
+      std::printf("  dir %s (%u switches)", s.direction_string().c_str(),
+                  s.direction_switches);
+    }
     if (validate) {
       const auto rep = validate_bfs_tree(g, r);
       std::printf("  [%s]", rep.ok ? "valid" : rep.error.c_str());
@@ -230,9 +252,11 @@ int usage() {
       "           --width=W --height=H --keep=P] [--seed=S]\n"
       "  info    --in=FILE [--histogram]\n"
       "  batch   --in=FILE [--roots=16] [--validate=1]   (Graph500 kernel 2)\n"
+      "          [--direction=td|bu|auto --alpha=15 --beta=18]\n"
       "  bfs     --in=FILE [--root=N|--roots=K] [--threads=4 --sockets=2]\n"
       "          [--vis=partitioned] [--scheme=balanced] [--validate]\n"
       "          [--simd=1 --prefetch=1 --rearrange=1 --pin=0]\n"
+      "          [--direction=td|bu|auto --alpha=15 --beta=18 --directions]\n"
       "  convert --in=FILE --out=g.csr\n"
       "formats by extension: .csr binary, .gr DIMACS, .mtx MatrixMarket,\n"
       "otherwise text edge list.\n");
