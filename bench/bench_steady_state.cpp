@@ -1,0 +1,187 @@
+// Zero-allocation steady state (DESIGN.md "Engine workspace lifecycle").
+//
+// Claim under test: the shared-plan + reusable-workspace engine serves a
+// warm query stream faster than the pre-refactor engine (grid-512 per-run
+// latency is the cross-build acceptance number — compare Table 1's warm
+// run_into() row against the same row from a pre-refactor build), and
+// in-binary the recycled run_into() path is at parity with the
+// allocate-per-call run() path (both share the engine gains; run_into()
+// additionally performs zero heap allocations, enforced by
+// tests/test_steady_state.cpp) with Graph500 harmonic TEPS on RMAT-18 no
+// worse than per-call.
+//
+// Three tables:
+//   1. per-graph query-serving latency: run() per call vs warm run_into(),
+//      with the engine's reusable-workspace footprint;
+//   2. warm-up profile: latency of run 1..8 on a cold runner (run 1 pays
+//      all construction; the curve must flatten immediately after);
+//   3. RMAT run_batch harmonic TEPS, per-call vs recycled.
+//
+// The acceptance configurations are grid-512 and RMAT scale-18 ef-16: run
+// with --div=1 (or --scale=paper) to measure them unscaled.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fastbfs;
+
+/// Seconds for one call of `fn`, appended to `out`.
+template <typename F>
+void time_once(std::vector<double>& out, F&& fn) {
+  Timer t;
+  fn();
+  out.push_back(t.seconds());
+}
+
+/// Median of a sample vector (robust to scheduler noise on a shared host).
+double median_seconds(std::vector<double> s) {
+  std::sort(s.begin(), s.end());
+  const std::size_t n = s.size();
+  return n == 0 ? 0.0 : (s[(n - 1) / 2] + s[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fastbfs::bench;
+  const CliArgs args(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(args);
+  env.print_header(
+      "Zero-allocation steady state: warm run_into() vs per-call run()",
+      "acceptance: grid-512 warm latency improved, RMAT-18 harmonic "
+      "TEPS no worse");
+
+  const vid_t grid_n = env.scaled_vertices(512u * 512u);
+  const unsigned grid_side = 1u << (floor_log2(ceil_pow2(grid_n)) / 2);
+  const unsigned rmat_scale = floor_log2(ceil_pow2(env.scaled_vertices(1u << 18)));
+  const CsrGraph grid = grid_graph(grid_side, grid_side, 1.0, env.seed);
+  const CsrGraph rmat = rmat_graph(rmat_scale, 16, env.seed);
+  const unsigned iters = std::max(env.runs * 8u, 16u);
+
+  struct Workload {
+    const char* name;
+    const CsrGraph* g;
+  };
+  const Workload workloads[] = {{"grid-512", &grid}, {"RMAT ef-16", &rmat}};
+
+  double grid_speedup = 0.0;
+  {
+    TextTable t({"graph", "mode", "median us/query", "speedup", "MTEPS",
+                 "workspace KiB"});
+    for (const Workload& w : workloads) {
+      const vid_t root = pick_nonisolated_root(*w.g, env.seed);
+      BfsRunner runner(*w.g, env.engine_options());
+
+      // Per-call path: run() returns a fresh BfsResult — every query pays
+      // a |V|-sized depth/parent allocation + INF fill. Recycled path: one
+      // BfsResult for the whole query stream. The two are interleaved
+      // call-by-call with alternating order (a block of one mode then a
+      // block of the other would fold host scheduling drift into the
+      // comparison) and summarized by the median.
+      runner.run(root);  // engine warm-up, excluded from both timings
+      BfsResult out;
+      runner.run_into(root, out);  // buffer warm-up
+      double edges = 0.0;
+      std::vector<double> cold_s, warm_s;
+      const auto one_cold = [&] {
+        time_once(cold_s, [&] {
+          const BfsResult r = runner.run(root);
+          edges = static_cast<double>(r.edges_traversed);
+        });
+      };
+      const auto one_warm = [&] {
+        time_once(warm_s, [&] { runner.run_into(root, out); });
+      };
+      for (unsigned i = 0; i < iters; ++i) {
+        if (i % 2 == 0) {
+          one_cold();
+          one_warm();
+        } else {
+          one_warm();
+          one_cold();
+        }
+      }
+      const double cold = median_seconds(cold_s);
+      const double warm = median_seconds(warm_s);
+
+      const double speedup = warm > 0.0 ? cold / warm : 0.0;
+      if (w.g == &grid) grid_speedup = speedup;
+      t.add_row({w.name, "run()", TextTable::num(cold * 1e6, 1), "1.00",
+                 TextTable::num(edges / cold / 1e6, 1), ""});
+      t.add_row({w.name, "run_into()", TextTable::num(warm * 1e6, 1),
+                 TextTable::num(speedup, 2),
+                 TextTable::num(edges / warm / 1e6, 1),
+                 TextTable::num(runner.workspace_bytes() / 1024.0, 0)});
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    // In-binary gate: parity (>= 0.95x). Both modes run the shared-plan
+    // engine, so the refactor's latency win only shows against a
+    // pre-refactor build; what must hold here is that recycling buffers
+    // never costs a query stream measurable latency.
+    std::printf(
+        "\nacceptance (grid-512 recycled vs per-call, in-binary parity): "
+        "%.2fx  [%s]\n",
+        grid_speedup, grid_speedup >= 0.95 ? "PASS" : "FAIL");
+  }
+
+  // Warm-up profile: the first traversal pays every workspace allocation;
+  // the steady state must be reached within a couple of runs, not
+  // asymptotically.
+  {
+    TextTable t({"graph", "run1 us", "run2 us", "run3 us", "run8 us"});
+    for (const Workload& w : workloads) {
+      const vid_t root = pick_nonisolated_root(*w.g, env.seed);
+      BfsRunner runner(*w.g, env.engine_options());
+      BfsResult out;
+      std::vector<double> us;
+      for (int i = 0; i < 8; ++i) {
+        Timer timer;
+        runner.run_into(root, out);
+        us.push_back(timer.seconds() * 1e6);
+      }
+      t.add_row({w.name, TextTable::num(us[0], 1), TextTable::num(us[1], 1),
+                 TextTable::num(us[2], 1), TextTable::num(us[7], 1)});
+    }
+    std::printf("\ncold-to-warm latency profile (run_into, same root):\n%s",
+                t.to_string().c_str());
+  }
+
+  // Graph500 batch: run_batch now routes through run_into with a single
+  // recycled result; its harmonic TEPS must be no worse than running the
+  // same roots through the per-call API.
+  {
+    const unsigned n_roots = std::max(env.runs, 8u);
+    BfsRunner batch_runner(rmat, env.engine_options());
+    const BatchResult recycled =
+        batch_runner.run_batch(rmat, n_roots, env.seed, /*validate=*/true);
+
+    BfsRunner percall_runner(rmat, env.engine_options());
+    double inv_sum = 0.0;
+    unsigned counted = 0;
+    for (const vid_t root : recycled.roots) {
+      const BfsResult r = percall_runner.run(root);
+      if (r.seconds <= 0.0 || r.edges_traversed == 0) continue;
+      inv_sum += 2.0 * r.seconds / static_cast<double>(r.edges_traversed);
+      ++counted;
+    }
+    const double percall_harm = counted > 0 && inv_sum > 0.0
+                                    ? counted / inv_sum
+                                    : 0.0;
+    const double ratio =
+        percall_harm > 0.0 ? recycled.harmonic_teps / percall_harm : 0.0;
+    std::printf(
+        "\nRMAT-%u run_batch harmonic TEPS  recycled %.1f M  per-call %.1f M"
+        "  ratio %.2fx  valid %u/%u  [%s]\n",
+        rmat_scale, recycled.harmonic_teps / 1e6, percall_harm / 1e6, ratio,
+        recycled.validated, recycled.runs, ratio >= 0.95 ? "PASS" : "FAIL");
+  }
+  return 0;
+}

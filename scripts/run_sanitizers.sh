@@ -17,7 +17,7 @@ what="${1:-all}"
 
 # Engine/concurrency test selection for TSan (full tier1 under TSan is
 # slow; these are the suites that exercise multi-threaded code paths).
-engine_filter='TwoPhase|Direction|Thread|Dist|Async|WorkStealing|EngineFuzz|Affinity|ParallelBuilder|Batch'
+engine_filter='TwoPhase|Direction|Thread|Dist|Async|WorkStealing|EngineFuzz|Affinity|ParallelBuilder|Batch|SteadyState'
 
 run_tsan() {
   cmake -S "$repo" -B "$repo/build-tsan" \

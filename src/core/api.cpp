@@ -16,22 +16,35 @@ BfsRunner::~BfsRunner() = default;
 
 BfsResult BfsRunner::run(vid_t root) { return engine_->run(root); }
 
+void BfsRunner::run_into(vid_t root, BfsResult& out) {
+  engine_->run_into(root, out);
+}
+
 const RunStats& BfsRunner::last_run_stats() const {
   return engine_->last_run_stats();
 }
 
 const BfsOptions& BfsRunner::options() const { return engine_->options(); }
 
+std::uint64_t BfsRunner::workspace_bytes() const {
+  return engine_->workspace_bytes();
+}
+
 BatchResult BfsRunner::run_batch(const CsrGraph& csr, unsigned n_roots,
                                  std::uint64_t seed, bool validate) {
   BatchResult batch;
+  batch.roots.reserve(n_roots);
   Xoshiro256 rng(seed);
   double sum = 0.0, inv_sum = 0.0;
+  // One result buffer for the whole batch: after the first traversal,
+  // run_into recycles its depth/parent array, so the batch's steady state
+  // is allocation-free (modulo the optional validator).
+  BfsResult r;
   for (unsigned i = 0; i < n_roots; ++i) {
     const vid_t root = pick_nonisolated_root(csr, rng.next());
     if (root == kInvalidVertex) break;
     batch.roots.push_back(root);
-    const BfsResult r = run(root);
+    run_into(root, r);
     ++batch.runs;
     if (validate) {
       if (validate_bfs_tree(csr, r).ok) ++batch.validated;

@@ -50,6 +50,12 @@ class BfsRunner {
   /// not concurrent ones.
   BfsResult run(vid_t root);
 
+  /// Buffer-recycling run: fills `out` in place, reusing its depth/parent
+  /// array when sized for this graph. A warm runner serving repeated
+  /// queries through run_into allocates nothing per traversal — the
+  /// steady-state mode run_batch and query-serving loops should use.
+  void run_into(vid_t root, BfsResult& out);
+
   /// The Graph500 kernel-2 procedure: sample `n_roots` distinct
   /// non-isolated search keys (seeded), run one BFS per key, validate
   /// each tree, and aggregate TEPS statistics. Requires the original CSR
@@ -60,6 +66,10 @@ class BfsRunner {
   const RunStats& last_run_stats() const;
   const AdjacencyArray& adjacency() const { return *adj_; }
   const BfsOptions& options() const;
+
+  /// Bytes of reusable engine workspace currently held (see
+  /// TwoPhaseBfs::workspace_bytes); plateaus once the runner is warm.
+  std::uint64_t workspace_bytes() const;
 
  private:
   std::unique_ptr<AdjacencyArray> adj_;

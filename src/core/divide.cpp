@@ -1,12 +1,15 @@
 #include "core/divide.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "thread/thread_pool.h"
 
 namespace fastbfs {
 namespace {
+
+std::atomic<std::uint64_t> g_invocations{0};
 
 /// Maps a bin-local item range [lo, hi) onto per-source slices (sources
 /// are concatenated in id order within the bin) and appends them to `out`.
@@ -26,7 +29,23 @@ void emit_slices(std::span<const std::uint32_t> counts, unsigned n_bins,
   }
 }
 
+/// Total items all sources produced into `bin`. Computed on demand so the
+/// division needs no per-bin totals vector — the reuse path stays
+/// allocation-free; overall cost is still one pass over `counts`.
+std::uint64_t bin_total(std::span<const std::uint32_t> counts,
+                        unsigned n_bins, unsigned n_src, unsigned bin) {
+  std::uint64_t t = 0;
+  for (unsigned src = 0; src < n_src; ++src) {
+    t += counts[static_cast<std::size_t>(src) * n_bins + bin];
+  }
+  return t;
+}
+
 }  // namespace
+
+std::uint64_t divide_bins_invocations() {
+  return g_invocations.load(std::memory_order_relaxed);
+}
 
 double DivisionPlan::socket_imbalance() const {
   if (total_items == 0 || per_socket_items.empty()) return 1.0;
@@ -37,29 +56,29 @@ double DivisionPlan::socket_imbalance() const {
   return static_cast<double>(worst) / even;
 }
 
-DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
-                         unsigned n_src, unsigned n_bins,
-                         const SocketTopology& topo, SocketScheme scheme) {
+void DivisionPlan::clear(unsigned n_threads, unsigned n_sockets) {
+  per_thread.resize(n_threads);
+  for (auto& slices : per_thread) slices.clear();
+  per_socket_items.assign(n_sockets, 0);
+  total_items = 0;
+}
+
+void divide_bins_into(std::span<const std::uint32_t> counts, unsigned n_src,
+                      unsigned n_bins, const SocketTopology& topo,
+                      SocketScheme scheme, DivisionPlan& plan) {
   if (counts.size() != static_cast<std::size_t>(n_src) * n_bins) {
     throw std::invalid_argument("divide_bins: counts shape mismatch");
   }
+  g_invocations.fetch_add(1, std::memory_order_relaxed);
   const unsigned n_threads = topo.n_threads();
   const unsigned n_sockets = topo.n_sockets();
 
-  DivisionPlan plan;
-  plan.per_thread.resize(n_threads);
-  plan.per_socket_items.assign(n_sockets, 0);
+  plan.clear(n_threads, n_sockets);
 
-  std::vector<std::uint64_t> bin_totals(n_bins, 0);
-  for (unsigned src = 0; src < n_src; ++src) {
-    for (unsigned b = 0; b < n_bins; ++b) {
-      bin_totals[b] += counts[static_cast<std::size_t>(src) * n_bins + b];
-    }
-  }
   std::uint64_t total = 0;
-  for (const auto t : bin_totals) total += t;
+  for (const auto c : counts) total += c;
   plan.total_items = total;
-  if (total == 0) return plan;
+  if (total == 0) return;
 
   if (scheme == SocketScheme::kNone) {
     // Cut the bin-major sequence into n_threads equal ranges; no
@@ -67,7 +86,7 @@ DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
     std::uint64_t prefix = 0;
     for (unsigned b = 0; b < n_bins; ++b) {
       const std::uint64_t bin_lo = prefix;
-      const std::uint64_t bin_hi = prefix + bin_totals[b];
+      const std::uint64_t bin_hi = prefix + bin_total(counts, n_bins, n_src, b);
       for (unsigned w = 0; w < n_threads; ++w) {
         const std::uint64_t c_lo = total * w / n_threads;
         const std::uint64_t c_hi = total * (w + 1) / n_threads;
@@ -81,7 +100,7 @@ DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
       }
       prefix = bin_hi;
     }
-    return plan;
+    return;
   }
 
   if (scheme == SocketScheme::kSocketAware && n_bins % n_sockets != 0) {
@@ -92,7 +111,7 @@ DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
 
   std::uint64_t prefix = 0;
   for (unsigned b = 0; b < n_bins; ++b) {
-    const std::uint64_t bt = bin_totals[b];
+    const std::uint64_t bt = bin_total(counts, n_bins, n_src, b);
     for (unsigned s = 0; s < n_sockets; ++s) {
       // The portion of bin b owned by socket s, in bin-local item offsets.
       std::uint64_t lo = 0, hi = 0;
@@ -125,6 +144,13 @@ DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
     }
     prefix += bt;
   }
+}
+
+DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
+                         unsigned n_src, unsigned n_bins,
+                         const SocketTopology& topo, SocketScheme scheme) {
+  DivisionPlan plan;
+  divide_bins_into(counts, n_src, n_bins, topo, scheme, plan);
   return plan;
 }
 

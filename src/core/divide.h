@@ -50,6 +50,11 @@ struct DivisionPlan {
 
   /// max(per_socket_items) / (total / n_sockets); 1.0 == perfectly even.
   double socket_imbalance() const;
+
+  /// Empties the plan for refilling while keeping every vector's capacity,
+  /// so a steady-state caller (the engine replans every BFS step) never
+  /// reallocates once warm.
+  void clear(unsigned n_threads, unsigned n_sockets);
 };
 
 /// counts is row-major [n_src][n_bins]: items produced by source thread
@@ -58,5 +63,18 @@ struct DivisionPlan {
 DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
                          unsigned n_src, unsigned n_bins,
                          const SocketTopology& topo, SocketScheme scheme);
+
+/// Reuse form of divide_bins: clear()s and refills a caller-owned plan
+/// instead of constructing a fresh one. Allocation-free once `plan` has
+/// been through one call of the same shape (same thread count and a
+/// per-thread slice count no larger than previously seen).
+void divide_bins_into(std::span<const std::uint32_t> counts, unsigned n_src,
+                      unsigned n_bins, const SocketTopology& topo,
+                      SocketScheme scheme, DivisionPlan& plan);
+
+/// Process-wide count of divide_bins/divide_bins_into calls (relaxed
+/// atomic). Tests use deltas of this to pin the engine's plan-sharing
+/// contract: one division per phase per step, independent of thread count.
+std::uint64_t divide_bins_invocations();
 
 }  // namespace fastbfs

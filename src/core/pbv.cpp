@@ -53,4 +53,10 @@ std::uint64_t PbvBinSet::total_entries() const {
   return total;
 }
 
+std::uint64_t PbvBinSet::capacity_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : bins_) total += b.capacity() * sizeof(svid_t);
+  return total;
+}
+
 }  // namespace fastbfs

@@ -80,6 +80,11 @@ class PbvBinSet {
 
   std::uint64_t total_entries() const;
 
+  /// Bytes of backing storage across all bins (capacities, not sizes).
+  /// Feeds the engine's workspace_bytes() steady-state audit: once warm,
+  /// this plateaus — repeated runs reuse, never regrow, the bins.
+  std::uint64_t capacity_bytes() const;
+
  private:
   void grow(unsigned b, std::uint32_t extra);
 

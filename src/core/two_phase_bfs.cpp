@@ -1,6 +1,7 @@
 #include "core/two_phase_bfs.h"
 
 #include <algorithm>
+#include <bit>
 #include <ostream>
 #include <stdexcept>
 
@@ -43,6 +44,19 @@ std::string RunStats::direction_string() const {
     s.push_back(st.direction == StepDirection::kBottomUp ? 'B' : 'T');
   }
   return s;
+}
+
+void RunStats::reset() {
+  phase1_seconds = 0.0;
+  phase2_seconds = 0.0;
+  rearrange_seconds = 0.0;
+  bottom_up_seconds = 0.0;
+  total_seconds = 0.0;
+  traffic = PhaseTraffic{};
+  alpha_adj = 0.0;
+  direction_switches = 0;
+  bottom_up_probes = 0;
+  steps.clear();  // capacity kept: a warm same-depth run re-pushes in place
 }
 
 void RunStats::write_steps_csv(std::ostream& out) const {
@@ -112,8 +126,7 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
       opts_(opts),
       topo_(opts.n_sockets, opts.n_threads),
       pool_(topo_, opts.pin_threads),
-      rearranger_(adj, opts.cache),
-      dp_(adj.n_vertices()) {
+      rearranger_(adj, opts.cache) {
   if (adj.partition().n_sockets() != opts.n_sockets) {
     throw std::invalid_argument(
         "TwoPhaseBfs: adjacency array built for a different socket count");
@@ -212,35 +225,33 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
   for (unsigned t = 0; t < opts_.n_threads; ++t) {
     states_.push_back(std::make_unique<ThreadState>());
   }
+
+  // Steady-state workspace: the plan/counts staging buffers live on the
+  // engine and are refilled in place every step, and the SPMD job closure
+  // is built once so repeated runs construct no std::function.
+  counts_scratch_.resize(static_cast<std::size_t>(opts_.n_threads) * n_bins_);
+  adj_by_socket_scratch_.resize(opts_.n_sockets);
+  plan1_.clear(opts_.n_threads, opts_.n_sockets);
+  plan2_.clear(opts_.n_threads, opts_.n_sockets);
+  job_ = [this](const ThreadContext& ctx) { worker(ctx); };
 }
 
 TwoPhaseBfs::~TwoPhaseBfs() = default;
 
-DivisionPlan TwoPhaseBfs::plan_phase1() const {
-  std::vector<std::uint32_t> counts(
-      static_cast<std::size_t>(opts_.n_threads) * n_bins_);
+void TwoPhaseBfs::build_shared_plan(
+    std::vector<std::uint32_t> ThreadState::* counts, DivisionPlan& plan) {
   for (unsigned src = 0; src < opts_.n_threads; ++src) {
-    const auto& c = states_[src]->bvc_counts;
+    const auto& c = (*states_[src]).*counts;
     std::copy(c.begin(), c.end(),
-              counts.begin() + static_cast<std::size_t>(src) * n_bins_);
+              counts_scratch_.begin() + static_cast<std::size_t>(src) * n_bins_);
   }
-  return divide_bins(counts, opts_.n_threads, n_bins_, topo_, opts_.scheme);
-}
-
-DivisionPlan TwoPhaseBfs::plan_phase2() const {
-  std::vector<std::uint32_t> counts(
-      static_cast<std::size_t>(opts_.n_threads) * n_bins_);
-  for (unsigned src = 0; src < opts_.n_threads; ++src) {
-    const auto& c = states_[src]->pbv_items;
-    std::copy(c.begin(), c.end(),
-              counts.begin() + static_cast<std::size_t>(src) * n_bins_);
-  }
-  return divide_bins(counts, opts_.n_threads, n_bins_, topo_, opts_.scheme);
+  divide_bins_into(counts_scratch_, opts_.n_threads, n_bins_, topo_,
+                   opts_.scheme, plan);
 }
 
 void TwoPhaseBfs::phase1(const ThreadContext& ctx, depth_t /*step*/) {
   ThreadState& me = *states_[ctx.thread_id];
-  const DivisionPlan plan = plan_phase1();
+  const DivisionPlan& plan = plan1_;
   if (ctx.thread_id == 0 && opts_.collect_stats) {
     StepStats& cur = run_stats_.steps.back();
     cur.frontier_size = plan.total_items;
@@ -315,7 +326,7 @@ void TwoPhaseBfs::phase1(const ThreadContext& ctx, depth_t /*step*/) {
 
 void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
   ThreadState& me = *states_[ctx.thread_id];
-  const DivisionPlan plan = plan_phase2();
+  const DivisionPlan& plan = plan2_;
   if (ctx.thread_id == 0 && opts_.collect_stats) {
     StepStats& cur = run_stats_.steps.back();
     cur.binned_items = plan.total_items;
@@ -324,6 +335,24 @@ void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
 
   VisArray* vis = vis_.get();
   std::uint64_t upd_local = 0, upd_remote = 0;
+
+  // Reserve BV_N (and the rearrange scratch that mirrors it) to this
+  // thread's assigned decode items — one append per item is the hard
+  // ceiling. The *claimed* count is race-dependent (whichever consumer of
+  // a shared bin tests the VIS bit first wins the child), so sizing by
+  // observed growth would let an unlucky run reallocate forever; the
+  // assigned bound is plan-determined up to slice-rounding jitter, so
+  // reserving its bit_ceil (capacity buckets, like vector's own doubling)
+  // makes warm capacities converge and keeps the steady state
+  // allocation-free.
+  std::size_t assigned = 0;
+  for (const BinSlice& sl : plan.per_thread[ctx.thread_id]) {
+    assigned += sl.size();
+  }
+  if (me.bv_n.capacity() < assigned) me.bv_n.reserve(std::bit_ceil(assigned));
+  if (me.scratch.capacity() < assigned) {
+    me.scratch.reserve(std::bit_ceil(assigned));
+  }
 
   const auto update = [&](vid_t parent, vid_t child, unsigned bin) {
     std::uint64_t bytes = 0;
@@ -525,9 +554,16 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
     double p1 = 0.0;
     if (dir == StepDirection::kTopDown) {
       phase1(ctx, step);
-      bar.arrive_and_wait();  // PBV bins published
+      // PBV-publication barrier. Its completion hook folds the published
+      // pbv_items into the step's single shared Phase-II plan — the last
+      // thread to arrive builds it while the rest spin, so the sharing
+      // costs no extra fence over the seed engine's barrier (previously
+      // each thread recomputed the identical division inside phase2).
+      pool_.publish([this] {
+        build_shared_plan(&ThreadState::pbv_items, plan2_);
+      });
       if (ctx.thread_id == 0) {
-        p1 = timer.seconds();
+        p1 = timer.seconds();  // includes the shared plan-2 build
         timer.reset();
       }
       phase2(ctx, step);
@@ -576,6 +612,14 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
       if (ctx.thread_id == 0) final_step_ = step;
       return;
     }
+    // Still in the read-safe window: thread 0 turns the published
+    // bvn_counts into the *next* step's shared Phase-I plan (the swap
+    // below makes them that step's bvc_counts). Skipped when every step is
+    // forced bottom-up; under kAuto a plan for a step that then runs
+    // bottom-up is simply unused.
+    if (ctx.thread_id == 0 && opts_.direction != DirectionMode::kBottomUp) {
+      build_shared_plan(&ThreadState::bvn_counts, plan1_);
+    }
     bar.arrive_and_wait();  // all sums done; mutation may begin
 
     std::swap(me.bv_c, me.bv_n);
@@ -590,19 +634,26 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
   }
 }
 
-BfsResult TwoPhaseBfs::run(vid_t root) {
-  if (root >= adj_.n_vertices()) {
-    throw std::invalid_argument("TwoPhaseBfs::run: root out of range");
-  }
-  run_stats_ = RunStats{};
-  final_step_ = 0;
-  dp_.reset();
-  if (vis_) vis_->clear();
+void TwoPhaseBfs::prepare_run(vid_t root) {
+  // ---- the reset()-lifecycle audit --------------------------------------
+  // Reused as-is across runs (capacity retained, never re-zeroed here):
+  //   * PBV bin storage, bv_c/bv_n, rearrange scratch/hist — cleared by
+  //     ThreadState::reset / the per-step epilogue, capacities persist;
+  //   * the dense frontier bitmaps front_cur_/front_next_ — each
+  //     bottom-up step zeroes exactly the spans it is about to fill, and
+  //     dense_frontier_valid_ = false below forces that re-zeroing on the
+  //     first bottom-up step of a new run;
+  //   * plan1_/plan2_/counts_scratch_ — refilled in place per step;
+  //   * the RunStats steps vector's capacity and the pool's workers.
+  // Re-zeroed for every run (each line is one cross-run contamination bug
+  // if dropped; tests/test_steady_state.cpp pins them):
+  run_stats_.reset();       // timings, traffic audit, switches, steps
+  final_step_ = 0;          // else depth_reached leaks from the last run
+  dp_.reset();              // every vertex back to unvisited
+  if (vis_) vis_->clear();  // VIS filter bits from the last run's tree
   for (auto& s : states_) s->reset(n_bins_, opts_.n_sockets);
 
   // Direction-heuristic state: frontier = {root}, everything unexplored.
-  // The dense bitmaps need no clearing here — each bottom-up step zeroes
-  // exactly the spans it is about to fill.
   step_dir_ = opts_.direction == DirectionMode::kBottomUp
                   ? StepDirection::kBottomUp
                   : StepDirection::kTopDown;
@@ -621,13 +672,34 @@ BfsResult TwoPhaseBfs::run(vid_t root) {
   states_[owner]->bvc_counts[bin_of(root)] = 1;
   states_[owner]->compute_bvc_offsets();
 
+  // Step 1's shared Phase-I plan (later steps build theirs in the
+  // end-of-step window; see worker()).
+  if (opts_.direction != DirectionMode::kBottomUp) {
+    build_shared_plan(&ThreadState::bvc_counts, plan1_);
+  }
+}
+
+void TwoPhaseBfs::run_into(vid_t root, BfsResult& out) {
+  if (root >= adj_.n_vertices()) {
+    throw std::invalid_argument("TwoPhaseBfs::run: root out of range");
+  }
+  // Recycle the caller's depth/parent buffer when it already has the right
+  // size (any prior result from this graph qualifies); allocate only
+  // otherwise. The engine traverses directly into it and hands it back.
+  if (out.dp.size() != adj_.n_vertices()) {
+    out.dp = DepthParent(adj_.n_vertices());
+  }
+  dp_ = std::move(out.dp);
+  prepare_run(root);
+
   Timer timer;
-  pool_.run([this](const ThreadContext& ctx) { worker(ctx); });
+  pool_.run(job_);
   const double seconds = timer.seconds();
 
   // Aggregate run statistics.
   run_stats_.total_seconds = seconds;
-  std::vector<std::uint64_t> adj_by_socket(opts_.n_sockets, 0);
+  std::vector<std::uint64_t>& adj_by_socket = adj_by_socket_scratch_;
+  std::fill(adj_by_socket.begin(), adj_by_socket.end(), 0);
   for (const auto& s : states_) {
     run_stats_.traffic.phase1 += s->t1;
     run_stats_.traffic.phase2 += s->t2;
@@ -656,18 +728,52 @@ BfsResult TwoPhaseBfs::run(vid_t root) {
     run_stats_.rearrange_seconds += st.rearrange_seconds;
   }
 
-  BfsResult result;
-  result.root = root;
-  result.seconds = seconds;
-  result.edges_traversed = bu_consumed_edges_;
-  for (const auto& s : states_) result.edges_traversed += s->edges;
-  result.depth_reached = final_step_ > 0 ? final_step_ - 1 : 0;
-  result.dp = std::move(dp_);
+  out.root = root;
+  out.seconds = seconds;
+  out.edges_traversed = bu_consumed_edges_;
+  for (const auto& s : states_) out.edges_traversed += s->edges;
+  out.depth_reached = final_step_ > 0 ? final_step_ - 1 : 0;
+  out.vertices_visited = 0;
   for (vid_t v = 0; v < adj_.n_vertices(); ++v) {
-    if (result.dp.visited(v)) ++result.vertices_visited;
+    if (dp_.visited(v)) ++out.vertices_visited;
   }
-  dp_ = DepthParent(adj_.n_vertices());
+  out.dp = std::move(dp_);
+}
+
+BfsResult TwoPhaseBfs::run(vid_t root) {
+  BfsResult result;
+  run_into(root, result);
   return result;
+}
+
+std::uint64_t TwoPhaseBfs::workspace_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : states_) {
+    total += s->pbv.capacity_bytes();
+    total += (s->bv_c.capacity() + s->bv_n.capacity() + s->scratch.capacity()) *
+             sizeof(vid_t);
+    total += (s->bvc_counts.capacity() + s->bvn_counts.capacity() +
+              s->bvc_offsets.capacity() + s->pbv_items.capacity() +
+              s->hist.capacity()) *
+             sizeof(std::uint32_t);
+    total += s->adj_bytes_by_socket.capacity() * sizeof(std::uint64_t);
+  }
+  if (vis_) total += vis_->storage_bytes();
+  if (front_cur_) total += front_cur_->storage_bytes();
+  if (front_next_) total += front_next_->storage_bytes();
+  const auto plan_bytes = [](const DivisionPlan& p) {
+    std::uint64_t b = p.per_socket_items.capacity() * sizeof(std::uint64_t);
+    for (const auto& slices : p.per_thread) {
+      b += slices.capacity() * sizeof(BinSlice);
+    }
+    return b;
+  };
+  total += plan_bytes(plan1_) + plan_bytes(plan2_);
+  total += counts_scratch_.capacity() * sizeof(std::uint32_t);
+  // dp_ is empty between runs: the depth/parent buffer lives in the
+  // caller's BfsResult, which run_into recycles.
+  total += dp_.size() * sizeof(std::uint64_t);
+  return total;
 }
 
 BfsResult two_phase_bfs(const AdjacencyArray& adj, vid_t root,

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -114,6 +115,10 @@ struct RunStats {
   /// Per-step CSV (header + one row per BFS level) for offline analysis
   /// of frontier shapes and phase costs.
   void write_steps_csv(std::ostream& out) const;
+
+  /// Re-zeroes every counter for a new run, keeping the steps vector's
+  /// capacity so a warm engine's stats collection allocates nothing.
+  void reset();
 };
 
 class TwoPhaseBfs {
@@ -127,6 +132,19 @@ class TwoPhaseBfs {
   TwoPhaseBfs& operator=(const TwoPhaseBfs&) = delete;
 
   BfsResult run(vid_t root);
+
+  /// Buffer-recycling form of run(): fills `out` in place, reusing its
+  /// depth/parent array when it already has the right size (out.dp from a
+  /// previous run on the same graph qualifies). On a warm engine this —
+  /// and the whole traversal behind it — performs no heap allocation; see
+  /// DESIGN.md "Engine workspace lifecycle".
+  void run_into(vid_t root, BfsResult& out);
+
+  /// Bytes of reusable workspace the engine currently holds (PBV bins,
+  /// frontier vectors, VIS + dense-frontier bitmaps, plan/scratch
+  /// buffers). Plateaus after the first run from a given root; the
+  /// steady-state bench reports it next to RSS.
+  std::uint64_t workspace_bytes() const;
 
   const RunStats& last_run_stats() const { return run_stats_; }
 
@@ -148,8 +166,17 @@ class TwoPhaseBfs {
   void bottom_up_step(const ThreadContext& ctx, depth_t step);
   /// Decide + record this step's direction (thread 0, between barriers).
   void begin_step(depth_t step);
-  DivisionPlan plan_phase1() const;
-  DivisionPlan plan_phase2() const;
+
+  /// Resets all per-run state (the reset()-lifecycle audit lives here) and
+  /// seeds the root; dp_ must already hold the run's depth/parent buffer.
+  void prepare_run(vid_t root);
+
+  /// Gathers every thread's per-bin counts (`counts` selects which
+  /// ThreadState array) into counts_scratch_ and refills `plan` via
+  /// divide_bins_into. Thread 0 only, inside a barrier-protected window;
+  /// allocation-free once warm.
+  void build_shared_plan(std::vector<std::uint32_t> ThreadState::* counts,
+                         DivisionPlan& plan);
 
   /// This thread's vertex range for bottom-up work: its share of its
   /// socket's partition, aligned to 64-vertex blocks so no two threads
@@ -192,6 +219,22 @@ class TwoPhaseBfs {
   std::vector<std::unique_ptr<ThreadState>> states_;
   RunStats run_stats_;
   unsigned final_step_ = 0;  // step at which the frontier emptied
+
+  // Shared per-step division plans (Sec. III-B3a), computed once by
+  // thread 0 and read by all workers, instead of N_T redundant
+  // divide_bins calls per phase per step:
+  //   plan1_  built in the end-of-step read-safe window (from bvn_counts,
+  //           which the swap turns into the next step's bvc_counts), and
+  //           in prepare_run for step 1;
+  //   plan2_  built after the PBV-publication barrier, published to the
+  //           other workers through ThreadPool::publish.
+  // Both are refilled in place (divide_bins_into) so a warm engine's
+  // steady state allocates nothing.
+  DivisionPlan plan1_;
+  DivisionPlan plan2_;
+  std::vector<std::uint32_t> counts_scratch_;      // [n_threads][n_bins]
+  std::vector<std::uint64_t> adj_by_socket_scratch_;
+  std::function<void(const ThreadContext&)> job_;  // built once in ctor
 };
 
 /// One-call convenience wrapper (see core/api.h for the documented entry

@@ -29,13 +29,21 @@ bool is_comment(const std::string& line, const char* extra = "") {
 EdgeList read_edge_list(std::istream& in) {
   EdgeList edges;
   std::string line;
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (is_comment(line)) continue;
     std::istringstream ls(line);
     std::uint64_t u = 0, v = 0;
-    if (!(ls >> u >> v)) continue;
+    if (!(ls >> u >> v)) {
+      // Silently skipping a malformed line would load a truncated or
+      // corrupted file as a smaller graph with no warning.
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": malformed edge '" + line + "'");
+    }
     if (u > kMaxVertexId || v > kMaxVertexId) {
-      throw std::runtime_error("edge list: vertex id too large");
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": vertex id too large");
     }
     edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v)});
   }
@@ -56,7 +64,10 @@ void write_edge_list(std::ostream& out, const EdgeList& edges) {
 DimacsGraph read_dimacs(std::istream& in) {
   DimacsGraph g;
   std::string line;
+  std::uint64_t line_no = 0;
+  bool saw_problem_line = false;
   while (std::getline(in, line)) {
+    ++line_no;
     if (is_comment(line, "c")) continue;
     std::istringstream ls(line);
     char tag = 0;
@@ -64,16 +75,40 @@ DimacsGraph read_dimacs(std::istream& in) {
     if (tag == 'p') {
       std::string kind;
       std::uint64_t n = 0, m = 0;
-      ls >> kind >> n >> m;
+      if (!(ls >> kind >> n >> m)) {
+        throw std::runtime_error("dimacs line " + std::to_string(line_no) +
+                                 ": malformed problem line '" + line + "'");
+      }
       if (n > static_cast<std::uint64_t>(kMaxVertexId) + 1) {
-        throw std::runtime_error("dimacs: too many vertices");
+        throw std::runtime_error("dimacs line " + std::to_string(line_no) +
+                                 ": too many vertices");
       }
       g.n_vertices = static_cast<vid_t>(n);
       g.edges.reserve(m);
+      saw_problem_line = true;
     } else if (tag == 'a' || tag == 'e') {
       std::uint64_t u = 0, v = 0;
-      if (!(ls >> u >> v)) throw std::runtime_error("dimacs: malformed arc");
-      if (u == 0 || v == 0) throw std::runtime_error("dimacs: ids are 1-based");
+      if (!(ls >> u >> v)) {
+        throw std::runtime_error("dimacs line " + std::to_string(line_no) +
+                                 ": malformed arc '" + line + "'");
+      }
+      if (u == 0 || v == 0) {
+        throw std::runtime_error("dimacs line " + std::to_string(line_no) +
+                                 ": ids are 1-based");
+      }
+      if (!saw_problem_line) {
+        throw std::runtime_error("dimacs line " + std::to_string(line_no) +
+                                 ": arc before the p problem line");
+      }
+      // Validate endpoints against the p line here, where the file and
+      // line number are known — otherwise an out-of-range id surfaces
+      // later as a generic build_csr error with no context.
+      if (u > g.n_vertices || v > g.n_vertices) {
+        throw std::runtime_error(
+            "dimacs line " + std::to_string(line_no) + ": arc endpoint " +
+            std::to_string(std::max(u, v)) + " out of range (p line says " +
+            std::to_string(g.n_vertices) + " vertices)");
+      }
       g.edges.push_back(
           {static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1)});
     }
@@ -88,6 +123,7 @@ DimacsGraph read_dimacs_file(const std::string& path) {
 
 DimacsGraph read_matrix_market(std::istream& in) {
   std::string line;
+  std::uint64_t line_no = 1;
   if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
     throw std::runtime_error("matrix market: missing banner");
   }
@@ -95,6 +131,7 @@ DimacsGraph read_matrix_market(std::istream& in) {
 
   // Skip remaining comments, then read the dimensions line.
   while (std::getline(in, line)) {
+    ++line_no;
     if (!is_comment(line)) break;
   }
   std::istringstream dims(line);
@@ -106,12 +143,19 @@ DimacsGraph read_matrix_market(std::istream& in) {
   g.n_vertices = static_cast<vid_t>(std::max(rows, cols));
   g.edges.reserve(symmetric ? nnz * 2 : nnz);
   while (std::getline(in, line)) {
+    ++line_no;
     if (is_comment(line)) continue;
     std::istringstream ls(line);
     std::uint64_t r = 0, c = 0;
-    if (!(ls >> r >> c)) continue;
+    if (!(ls >> r >> c)) {
+      throw std::runtime_error("matrix market line " +
+                               std::to_string(line_no) +
+                               ": malformed entry '" + line + "'");
+    }
     if (r == 0 || c == 0) {
-      throw std::runtime_error("matrix market: ids are 1-based");
+      throw std::runtime_error("matrix market line " +
+                               std::to_string(line_no) +
+                               ": ids are 1-based");
     }
     const vid_t u = static_cast<vid_t>(r - 1);
     const vid_t v = static_cast<vid_t>(c - 1);

@@ -23,8 +23,20 @@ class SpinBarrier {
 
   /// Blocks until all n_threads have arrived. Safe to reuse immediately.
   void arrive_and_wait() {
+    arrive_and_wait_then([] {});
+  }
+
+  /// Like arrive_and_wait, but the last thread to arrive runs `f()` before
+  /// releasing the others — std::barrier's completion-function semantics
+  /// without the kernel parking. Everything written by any thread before
+  /// its arrival happens-before `f`, and `f` happens-before every thread's
+  /// return. All threads must pass the same program point (the completion
+  /// runs once per barrier crossing, on whichever thread arrives last).
+  template <typename F>
+  void arrive_and_wait_then(F&& f) {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_threads_) {
+      f();
       waiting_.store(0, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {

@@ -48,6 +48,18 @@ class ThreadPool {
   /// Barrier shared by all workers for use *inside* an SPMD function.
   SpinBarrier& barrier() { return inner_barrier_; }
 
+  /// Single-writer publication window for SPMD code: the last worker to
+  /// arrive runs `f` inside the barrier (completion-function semantics),
+  /// so every thread observes its writes after the call — one fence, not
+  /// a fence plus a dedicated writer round. The engine uses this to
+  /// compute each step's shared Phase-II DivisionPlan exactly once
+  /// instead of once per thread. Every worker must call publish at the
+  /// same point in the SPMD program.
+  template <typename F>
+  void publish(F&& f) {
+    inner_barrier_.arrive_and_wait_then(std::forward<F>(f));
+  }
+
   const SocketTopology& topology() const { return topo_; }
   unsigned n_threads() const { return topo_.n_threads(); }
 

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -36,19 +37,48 @@ std::string CliArgs::get(const std::string& key, const std::string& def) const {
 std::int64_t CliArgs::get_int(const std::string& key, std::int64_t def) const {
   const std::string v = get(key);
   if (v.empty()) return def;
-  return std::strtoll(v.c_str(), nullptr, 0);
+  // Strict parse: the whole value must be one integer. strtoll with a
+  // null endptr would silently turn --threads=8x into 8 and --alpha=abc
+  // into 0 — reject trailing garbage and out-of-range values instead,
+  // naming the offending flag.
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 0);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + key + ": expected an integer, got '" +
+                                v + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::out_of_range("--" + key + ": integer out of range: '" + v +
+                            "'");
+  }
+  return x;
 }
 
 double CliArgs::get_double(const std::string& key, double def) const {
   const std::string v = get(key);
   if (v.empty()) return def;
-  return std::strtod(v.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                v + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::out_of_range("--" + key + ": number out of range: '" + v +
+                            "'");
+  }
+  return x;
 }
 
 bool CliArgs::get_bool(const std::string& key, bool def) const {
   const std::string v = get(key);
   if (v.empty()) return def;
-  return v == "1" || v == "true" || v == "yes" || v == "on";
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("--" + key + ": expected a boolean, got '" + v +
+                              "'");
 }
 
 std::vector<std::string> CliArgs::unused_keys() const {

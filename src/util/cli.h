@@ -18,6 +18,12 @@ class CliArgs {
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& def = "") const;
+
+  /// Typed getters return `def` when the flag is absent (or given an empty
+  /// value) and parse strictly otherwise: a malformed value ("abc", "8x")
+  /// throws std::invalid_argument and an out-of-range one throws
+  /// std::out_of_range, both naming the flag — a typo'd --n-threads=8x
+  /// must fail loudly, not silently run with 8.
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;

@@ -1,0 +1,26 @@
+// Test-only allocation counter.
+//
+// tests/alloc_count.cpp replaces the global operator new/delete family
+// (when built with -DFASTBFS_COUNT_ALLOCS, which tests/CMakeLists.txt sets
+// for the test binary) with malloc-backed versions that bump a relaxed
+// atomic counter. Tests read deltas of allocation_count() around a code
+// region to *prove* it performed no heap allocation — the enforcement
+// mechanism behind the engine's zero-allocation steady-state contract.
+//
+// When the flag is off, allocation_count() stays at zero; callers must
+// probe with allocation_counting_active() and skip rather than vacuously
+// pass.
+#pragma once
+
+#include <cstdint>
+
+namespace fastbfs::testing {
+
+/// Global operator-new invocations since process start (all threads).
+std::uint64_t allocation_count();
+
+/// True when the counting operator new is actually linked in. Implemented
+/// as a volatile-pointer new/delete probe so the compiler cannot elide it.
+bool allocation_counting_active();
+
+}  // namespace fastbfs::testing

@@ -188,6 +188,112 @@ INSTANTIATE_TEST_SUITE_P(
         DivideCase{2, 4, 4, 6, 9, SocketScheme::kNone},
         DivideCase{2, 8, 8, 32, 10, SocketScheme::kLoadBalanced}));
 
+/// Per-socket accounting invariant shared by all schemes: the items a
+/// socket's threads receive sum exactly to per_socket_items, and sockets
+/// together receive total_items.
+void expect_socket_sums(const DivisionPlan& plan, const SocketTopology& topo) {
+  std::vector<std::uint64_t> by_socket(topo.n_sockets(), 0);
+  for (unsigned w = 0; w < topo.n_threads(); ++w) {
+    for (const BinSlice& s : plan.per_thread[w]) {
+      by_socket[topo.socket_of_thread(w)] += s.size();
+    }
+  }
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < topo.n_sockets(); ++s) {
+    EXPECT_EQ(by_socket[s], plan.per_socket_items[s]) << "socket " << s;
+    total += by_socket[s];
+  }
+  EXPECT_EQ(total, plan.total_items);
+}
+
+void expect_plans_equal(const DivisionPlan& a, const DivisionPlan& b) {
+  EXPECT_EQ(a.total_items, b.total_items);
+  EXPECT_EQ(a.per_socket_items, b.per_socket_items);
+  ASSERT_EQ(a.per_thread.size(), b.per_thread.size());
+  for (std::size_t w = 0; w < a.per_thread.size(); ++w) {
+    EXPECT_EQ(a.per_thread[w], b.per_thread[w]) << "thread " << w;
+  }
+}
+
+/// Randomized sweep over topologies, shapes and all three SocketSchemes —
+/// the guard for the tentpole's plan-sharing refactor: exact single
+/// coverage of every (src, bin) item, per-socket sums, and the reuse API
+/// (divide_bins_into on a recycled plan) bit-identical to a fresh plan.
+TEST(DivideFuzz, AllSchemesCoverExactlyAndReuseMatchesFresh) {
+  Xoshiro256 rng(20260806);
+  DivisionPlan reused;  // deliberately recycled across every iteration
+  constexpr SocketScheme kSchemes[] = {
+      SocketScheme::kNone, SocketScheme::kSocketAware,
+      SocketScheme::kLoadBalanced};
+  for (int iter = 0; iter < 300; ++iter) {
+    const unsigned sockets = 1 + static_cast<unsigned>(rng.next_below(4));
+    const unsigned threads =
+        sockets + static_cast<unsigned>(rng.next_below(8));
+    const SocketScheme scheme = kSchemes[rng.next_below(3)];
+    unsigned bins = 1 + static_cast<unsigned>(rng.next_below(24));
+    if (scheme == SocketScheme::kSocketAware) {
+      bins = sockets * (1 + static_cast<unsigned>(rng.next_below(6)));
+    }
+    const unsigned srcs = 1 + static_cast<unsigned>(rng.next_below(8));
+    SocketTopology topo(sockets, threads);
+    // Mix dense, sparse and empty count matrices (empty rows/bins are the
+    // common small-frontier steady state the engine replans every step).
+    const std::uint32_t max_count =
+        1 + static_cast<std::uint32_t>(rng.next_below(100));
+    Counts counts(static_cast<std::size_t>(srcs) * bins, 0);
+    for (auto& c : counts) {
+      if (rng.next_below(4) != 0) {
+        c = static_cast<std::uint32_t>(rng.next_below(max_count));
+      }
+    }
+
+    const auto fresh = divide_bins(counts, srcs, bins, topo, scheme);
+    expect_exact_cover(fresh, counts, srcs, bins);
+    expect_socket_sums(fresh, topo);
+
+    if (scheme == SocketScheme::kSocketAware) {
+      const unsigned bins_per_socket = bins / sockets;
+      for (unsigned w = 0; w < threads; ++w) {
+        for (const BinSlice& s : fresh.per_thread[w]) {
+          EXPECT_EQ(s.bin / bins_per_socket, topo.socket_of_thread(w));
+        }
+      }
+    }
+
+    divide_bins_into(counts, srcs, bins, topo, scheme, reused);
+    expect_plans_equal(reused, fresh);
+  }
+}
+
+TEST(Divide, ReusedPlanShrinksAndGrowsAcrossShapes) {
+  // A plan recycled across different topologies must not leak stale
+  // threads, sockets or slices from a previous (larger) shape.
+  DivisionPlan plan;
+  SocketTopology big(4, 8);
+  divide_bins_into(random_counts(8, 16, 11, 50), 8, 16, big,
+                   SocketScheme::kLoadBalanced, plan);
+  EXPECT_EQ(plan.per_thread.size(), 8u);
+
+  SocketTopology small(1, 2);
+  const Counts counts = random_counts(2, 4, 12, 50);
+  divide_bins_into(counts, 2, 4, small, SocketScheme::kLoadBalanced, plan);
+  EXPECT_EQ(plan.per_thread.size(), 2u);
+  EXPECT_EQ(plan.per_socket_items.size(), 1u);
+  expect_exact_cover(plan, counts, 2, 4);
+  expect_plans_equal(
+      plan, divide_bins(counts, 2, 4, small, SocketScheme::kLoadBalanced));
+}
+
+TEST(Divide, InvocationCounterAdvances) {
+  SocketTopology topo(1, 1);
+  const Counts counts = {5};
+  const auto before = divide_bins_invocations();
+  (void)divide_bins(counts, 1, 1, topo, SocketScheme::kNone);
+  DivisionPlan p;
+  divide_bins_into(counts, 1, 1, topo, SocketScheme::kNone, p);
+  EXPECT_EQ(divide_bins_invocations() - before, 2u);
+}
+
 TEST(Divide, SlicesArriveInBinMajorOrder) {
   SocketTopology topo(2, 2);
   const Counts counts = random_counts(2, 8, 77, 20);

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "graph/io.h"
 
@@ -44,6 +46,33 @@ TEST(EdgeListIo, RejectsHugeIds) {
   EXPECT_THROW(read_edge_list(in), std::runtime_error);
 }
 
+TEST(EdgeListIo, MalformedLineThrowsWithLineNumber) {
+  // A truncated/corrupted file must not silently load as a smaller graph.
+  std::istringstream in(
+      "# header\n"
+      "0 1\n"
+      "garbage here\n"
+      "2 3\n");
+  try {
+    read_edge_list(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("garbage"), std::string::npos) << msg;
+  }
+}
+
+TEST(EdgeListIo, TruncatedEdgeThrows) {
+  std::istringstream in("0 1\n2\n");  // second line lost its endpoint
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListIo, BlankAndCommentLinesStillSkipped) {
+  std::istringstream in("\n# c\n% c\n0 1\n\n");
+  EXPECT_EQ(read_edge_list(in).size(), 1u);
+}
+
 TEST(DimacsIo, ParsesHeaderAndArcs) {
   std::istringstream in(
       "c USA-road-d style file\n"
@@ -70,6 +99,46 @@ TEST(DimacsIo, AcceptsEdgeTag) {
   std::istringstream in("p edge 3 2\ne 1 2\ne 2 3\n");
   const DimacsGraph g = read_dimacs(in);
   EXPECT_EQ(g.edges.size(), 2u);
+}
+
+TEST(DimacsIo, RejectsEndpointBeyondProblemLine) {
+  // Without parse-time validation this only surfaces later as a generic
+  // build_csr error with no file context.
+  std::istringstream in(
+      "c comment\n"
+      "p sp 4 2\n"
+      "a 1 2 10\n"
+      "a 2 5 10\n");  // endpoint 5 > 4 declared vertices
+  try {
+    read_dimacs(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dimacs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  }
+}
+
+TEST(DimacsIo, RejectsArcBeforeProblemLine) {
+  std::istringstream in("a 1 2 10\np sp 4 1\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsMalformedProblemLine) {
+  std::istringstream in("p sp four\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(DimacsIo, MalformedArcNamesLine) {
+  std::istringstream in("p sp 3 1\na 1\n");
+  try {
+    read_dimacs(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(MatrixMarketIo, ParsesGeneralPattern) {
@@ -104,6 +173,22 @@ TEST(MatrixMarketIo, RectangularUsesMaxDimension) {
       "1 5\n");
   const DimacsGraph g = read_matrix_market(in);
   EXPECT_EQ(g.n_vertices, 5u);
+}
+
+TEST(MatrixMarketIo, MalformedEntryThrowsWithLineNumber) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n"
+      "oops\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+  }
 }
 
 TEST(MatrixMarketIo, RejectsMissingBanner) {

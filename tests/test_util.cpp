@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/aligned_buffer.h"
 #include "util/cli.h"
@@ -175,6 +177,50 @@ TEST(Cli, ParsesKeyValueAndFlags) {
   EXPECT_EQ(args.get("missing", "fallback"), "fallback");
   ASSERT_EQ(args.positional().size(), 1u);
   EXPECT_EQ(args.positional()[0], "input.gr");
+}
+
+TEST(Cli, RejectsTrailingGarbageInNumbers) {
+  const char* argv[] = {"prog", "--n-threads=8x", "--alpha=abc",
+                        "--beta=1.5е"};  // Cyrillic е: classic paste typo
+  CliArgs args(4, argv);
+  EXPECT_THROW((void)args.get_int("n-threads", 1), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("alpha", 15.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("beta", 18.0), std::invalid_argument);
+}
+
+TEST(Cli, ErrorNamesTheFlag) {
+  const char* argv[] = {"prog", "--n-threads=8x"};
+  CliArgs args(2, argv);
+  try {
+    (void)args.get_int("n-threads", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("n-threads"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("8x"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsOutOfRangeNumbers) {
+  const char* argv[] = {"prog", "--big=99999999999999999999999",
+                        "--huge=1e99999"};
+  CliArgs args(3, argv);
+  EXPECT_THROW((void)args.get_int("big", 0), std::out_of_range);
+  EXPECT_THROW((void)args.get_double("huge", 0.0), std::out_of_range);
+}
+
+TEST(Cli, AcceptsHexOctalAndNegatives) {
+  const char* argv[] = {"prog", "--mask=0x10", "--neg=-3", "--sci=2.5e-2"};
+  CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int("mask", 0), 16);
+  EXPECT_EQ(args.get_int("neg", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("sci", 0.0), 0.025);
+}
+
+TEST(Cli, RejectsMalformedBool) {
+  const char* argv[] = {"prog", "--flag=maybe", "--off=off"};
+  CliArgs args(3, argv);
+  EXPECT_THROW((void)args.get_bool("flag", true), std::invalid_argument);
+  EXPECT_FALSE(args.get_bool("off", true));
 }
 
 TEST(Cli, UnusedKeyDetection) {
