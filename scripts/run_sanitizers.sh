@@ -24,10 +24,19 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFASTBFS_NATIVE=OFF \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$repo/build-tsan" -j --target fastbfs_tests
+  cmake --build "$repo/build-tsan" -j --target fastbfs_tests \
+    --target fastbfs_torture
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$repo/build-tsan" -R "$engine_filter" \
       --output-on-failure -j "$(nproc)"
+  # Torture sweep with the chaos hooks live: the perturbed schedules widen
+  # the racy windows TSan watches (VIS test/set, plan-2 publication, the
+  # bottom-up ownership claim). Two seeds per config keep the budget
+  # TSan-sized; TortureMutation is excluded — the mutants break the
+  # protocol on purpose, so their reports would be noise.
+  FASTBFS_TORTURE_SEEDS=2 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$repo/build-tsan" -L tier2-stress -E TortureMutation \
+      --output-on-failure
 }
 
 run_asan() {

@@ -26,6 +26,10 @@ const RunStats& BfsRunner::last_run_stats() const {
 
 const BfsOptions& BfsRunner::options() const { return engine_->options(); }
 
+VisAudit BfsRunner::audit_vis(const BfsResult& result) const {
+  return engine_->audit_vis(result);
+}
+
 std::uint64_t BfsRunner::workspace_bytes() const {
   return engine_->workspace_bytes();
 }

@@ -67,6 +67,10 @@ class BfsRunner {
   const AdjacencyArray& adjacency() const { return *adj_; }
   const BfsOptions& options() const;
 
+  /// Cross-checks the VIS filter left by this runner's most recent run
+  /// against that run's result (see VisAudit in core/two_phase_bfs.h).
+  VisAudit audit_vis(const BfsResult& result) const;
+
   /// Bytes of reusable engine workspace currently held (see
   /// TwoPhaseBfs::workspace_bytes); plateaus once the runner is warm.
   std::uint64_t workspace_bytes() const;

@@ -7,6 +7,7 @@
 
 #include "platform/prefetch.h"
 #include "simd/binning.h"
+#include "thread/chaos.h"
 #include "util/timer.h"
 
 namespace fastbfs {
@@ -376,9 +377,15 @@ void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
       default:  // the atomic-free schemes, Fig. 2(b)
         bytes = 1;
         if (!vis->test(child)) {
-          vis->set(child);
+          // Benign-race window: another thread can pass the same test
+          // before our set lands (same bit), or erase our bit with its
+          // own byte RMW (sibling bit). Either way the DP re-check below
+          // keeps the published depths correct.
+          FASTBFS_CHAOS_POINT(kVisTestSet);
+          if (!FASTBFS_CHAOS_MUTATION(kDropVisStore)) vis->set(child);
+          FASTBFS_CHAOS_POINT(kDpRecheck);
           bytes += 8;  // DP probe
-          if (!dp_.visited(child)) {
+          if (FASTBFS_CHAOS_MUTATION(kSkipDpRecheck) || !dp_.visited(child)) {
             dp_.store(child, step, parent);
             updated = true;
           }
@@ -460,9 +467,11 @@ void TwoPhaseBfs::bottom_up_step(const ThreadContext& ctx, depth_t step) {
   front_next_->zero_vertex_range(range.begin, range.end);
   if (!dense_frontier_valid_) {
     front_cur_->zero_vertex_range(range.begin, range.end);
+    FASTBFS_CHAOS_POINT(kBarrierArrive);
     bar.arrive_and_wait();  // all spans zeroed before any bit lands
     for (const vid_t v : me.bv_c) front_cur_->test_and_set_atomic(v);
   }
+  FASTBFS_CHAOS_POINT(kBarrierArrive);
   bar.arrive_and_wait();  // dense BV_C published
 
   if (ctx.thread_id == 0 && opts_.collect_stats) {
@@ -487,6 +496,7 @@ void TwoPhaseBfs::bottom_up_step(const ThreadContext& ctx, depth_t step) {
       ++probes;
       const vid_t w = nbrs[k];
       if (!front->test(w)) continue;
+      FASTBFS_CHAOS_POINT(kBottomUpClaim);
       dp_.store(v, step, w);
       if (vis) vis->set(v);
       front_next_->set(v);
@@ -537,6 +547,7 @@ void TwoPhaseBfs::begin_step(depth_t step) {
 }
 
 void TwoPhaseBfs::worker(const ThreadContext& ctx) {
+  FASTBFS_CHAOS_REGISTER(ctx.thread_id);
   ThreadState& me = *states_[ctx.thread_id];
   SpinBarrier& bar = pool_.barrier();
   Timer timer;  // used by thread 0 only
@@ -546,6 +557,7 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
     // between the previous termination barrier and barrier A, so the
     // heuristic state and step_dir_ are safely single-writer.
     if (ctx.thread_id == 0) begin_step(step);
+    FASTBFS_CHAOS_POINT(kBarrierArrive);
     bar.arrive_and_wait();  // frontier state + step_dir_ published
     const StepDirection dir = step_dir_;
 
@@ -559,6 +571,7 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
       // thread to arrive builds it while the rest spin, so the sharing
       // costs no extra fence over the seed engine's barrier (previously
       // each thread recomputed the identical division inside phase2).
+      FASTBFS_CHAOS_POINT(kPbvPublish);
       pool_.publish([this] {
         build_shared_plan(&ThreadState::pbv_items, plan2_);
       });
@@ -570,6 +583,7 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
     } else {
       bottom_up_step(ctx, step);  // internal barriers publish the bitmap
     }
+    FASTBFS_CHAOS_POINT(kPhase2Barrier);
     bar.arrive_and_wait();  // BV_N published
     if (ctx.thread_id == 0 && opts_.collect_stats) {
       const double p2_total = timer.seconds();
@@ -620,6 +634,7 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
     if (ctx.thread_id == 0 && opts_.direction != DirectionMode::kBottomUp) {
       build_shared_plan(&ThreadState::bvn_counts, plan1_);
     }
+    FASTBFS_CHAOS_POINT(kBarrierArrive);
     bar.arrive_and_wait();  // all sums done; mutation may begin
 
     std::swap(me.bv_c, me.bv_n);
@@ -774,6 +789,26 @@ std::uint64_t TwoPhaseBfs::workspace_bytes() const {
   // caller's BfsResult, which run_into recycles.
   total += dp_.size() * sizeof(std::uint64_t);
   return total;
+}
+
+VisAudit TwoPhaseBfs::audit_vis(const BfsResult& result) const {
+  VisAudit audit;
+  if (!vis_ || result.dp.size() != adj_.n_vertices()) return audit;
+  audit.audited = true;
+  // kByte stores whole bytes and kAtomicBit uses fetch_or — neither can
+  // lose a concurrent sibling's store, so every assigned depth must have
+  // its bit. The plain-RMW bit modes can (Sec. III-A scenario 2); only the
+  // reverse direction is an invariant there. Note opts_ reflects any
+  // kNone -> kBit direction upgrade, so the mode tested is the mode run.
+  audit.strict = opts_.vis_mode == VisMode::kByte ||
+                 opts_.vis_mode == VisMode::kAtomicBit;
+  for (vid_t v = 0; v < adj_.n_vertices(); ++v) {
+    const bool bit = vis_->test(v);
+    const bool assigned = result.dp.visited(v);
+    if (assigned && !bit) ++audit.missing;
+    if (!assigned && bit) ++audit.spurious;
+  }
+  return audit;
 }
 
 BfsResult two_phase_bfs(const AdjacencyArray& adj, vid_t root,

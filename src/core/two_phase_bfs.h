@@ -95,6 +95,23 @@ struct StepStats {
   double phase2_imbalance = 1.0;
 };
 
+/// Post-run cross-check of the VIS filter against the published depths —
+/// the machine-checkable form of the Sec. III-A benign-race contract:
+///   bit == 1  =>  depth definitely assigned   (spurious must be 0, always)
+///   bit == 0  =>  depth possibly assigned     (missing > 0 only where a
+///                 sibling-bit/byte race can lose a store)
+/// `strict` marks modes where no loss is possible (kByte: whole-byte
+/// stores; kAtomicBit: fetch_or), so there `missing` must also be 0. The
+/// torture harness uses this to flag a dropped VIS store, which is
+/// otherwise invisible in the depth array (the DP re-check compensates —
+/// that is exactly why the benign race is benign).
+struct VisAudit {
+  bool audited = false;  // false for VisMode::kNone or a foreign result
+  bool strict = false;   // missing == 0 is an invariant for this mode
+  std::uint64_t missing = 0;   // depth assigned but filter bit clear
+  std::uint64_t spurious = 0;  // filter bit set but no depth assigned
+};
+
 struct RunStats {
   double phase1_seconds = 0.0;
   double phase2_seconds = 0.0;
@@ -147,6 +164,11 @@ class TwoPhaseBfs {
   std::uint64_t workspace_bytes() const;
 
   const RunStats& last_run_stats() const { return run_stats_; }
+
+  /// Compares the VIS bits left by the engine's most recent run against
+  /// `result`'s depth array (which that run must have produced — the run
+  /// moves dp out, so the engine cannot check by itself). See VisAudit.
+  VisAudit audit_vis(const BfsResult& result) const;
 
   unsigned n_vis_partitions() const { return n_vis_; }
   unsigned n_pbv_bins() const { return n_bins_; }

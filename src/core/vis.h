@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "thread/chaos.h"
 #include "util/aligned_buffer.h"
 #include "util/types.h"
 
@@ -72,7 +73,11 @@ class VisArray {
     }
     const std::uint64_t byte = v >> 3;
     const std::uint8_t mask = static_cast<std::uint8_t>(1u << (v & 7));
-    relaxed_store(byte, static_cast<std::uint8_t>(relaxed_load(byte) | mask));
+    const std::uint8_t loaded = relaxed_load(byte);
+    // The lost-sibling-bit window: a concurrent set of another bit in
+    // this byte between our load and store is erased by our store.
+    FASTBFS_CHAOS_POINT(kVisSetRmw);
+    relaxed_store(byte, static_cast<std::uint8_t>(loaded | mask));
   }
 
   /// Atomic set (Fig. 2a). Returns the previous bit value.

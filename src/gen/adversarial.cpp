@@ -1,0 +1,99 @@
+#include "gen/adversarial.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace fastbfs {
+
+namespace {
+
+// Keeps hostile test parameters from silently requesting gigabyte graphs;
+// the harness uses thousands of runs, not thousands of megabytes.
+constexpr std::uint64_t kMaxEdges = 1ull << 28;
+
+void check_edge_budget(std::uint64_t edges, const char* what) {
+  if (edges > kMaxEdges) {
+    throw std::invalid_argument(std::string(what) +
+                                ": edge count exceeds the generator cap");
+  }
+}
+
+}  // namespace
+
+EdgeList generate_star(vid_t n_leaves) {
+  if (n_leaves == 0) {
+    throw std::invalid_argument("generate_star: need at least one leaf");
+  }
+  check_edge_budget(n_leaves, "generate_star");
+  EdgeList edges;
+  edges.reserve(n_leaves);
+  for (vid_t l = 1; l <= n_leaves; ++l) edges.push_back({0, l});
+  return edges;
+}
+
+CsrGraph star_graph(vid_t n_leaves) {
+  return build_csr(generate_star(n_leaves), n_leaves + 1);
+}
+
+EdgeList generate_collider(vid_t n_hubs, vid_t n_leaves, bool leaf_ring) {
+  if (n_hubs == 0 || n_leaves == 0) {
+    throw std::invalid_argument(
+        "generate_collider: need at least one hub and one leaf");
+  }
+  const std::uint64_t count = static_cast<std::uint64_t>(n_hubs) +
+                              static_cast<std::uint64_t>(n_hubs) * n_leaves +
+                              (leaf_ring ? n_leaves : 0);
+  check_edge_budget(count, "generate_collider");
+  EdgeList edges;
+  edges.reserve(count);
+  const vid_t first_leaf = 1 + n_hubs;
+  for (vid_t h = 1; h <= n_hubs; ++h) edges.push_back({0, h});
+  for (vid_t h = 1; h <= n_hubs; ++h) {
+    for (vid_t l = 0; l < n_leaves; ++l) {
+      edges.push_back({h, first_leaf + l});
+    }
+  }
+  if (leaf_ring && n_leaves >= 2) {
+    for (vid_t l = 0; l < n_leaves; ++l) {
+      edges.push_back({first_leaf + l, first_leaf + (l + 1) % n_leaves});
+    }
+  }
+  return edges;
+}
+
+CsrGraph collider_graph(vid_t n_hubs, vid_t n_leaves, bool leaf_ring) {
+  return build_csr(generate_collider(n_hubs, n_leaves, leaf_ring),
+                   1 + n_hubs + n_leaves);
+}
+
+EdgeList generate_deep_path(vid_t levels, vid_t width) {
+  if (levels == 0 || width == 0) {
+    throw std::invalid_argument(
+        "generate_deep_path: need at least one level of width >= 1");
+  }
+  const std::uint64_t count =
+      width + static_cast<std::uint64_t>(levels - 1) * width * width;
+  check_edge_budget(count, "generate_deep_path");
+  EdgeList edges;
+  edges.reserve(count);
+  const auto level_base = [width](vid_t level) {
+    return 1 + (level - 1) * width;
+  };
+  for (vid_t i = 0; i < width; ++i) edges.push_back({0, level_base(1) + i});
+  for (vid_t level = 2; level <= levels; ++level) {
+    const vid_t prev = level_base(level - 1);
+    const vid_t cur = level_base(level);
+    for (vid_t i = 0; i < width; ++i) {
+      for (vid_t j = 0; j < width; ++j) {
+        edges.push_back({prev + i, cur + j});
+      }
+    }
+  }
+  return edges;
+}
+
+CsrGraph deep_path_graph(vid_t levels, vid_t width) {
+  return build_csr(generate_deep_path(levels, width), 1 + levels * width);
+}
+
+}  // namespace fastbfs

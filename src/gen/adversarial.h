@@ -1,0 +1,51 @@
+// Adversarial topologies for the schedule-perturbation (torture) harness.
+//
+// The benign VIS race (Sec. III-A) only matters when distinct threads
+// concurrently touch the *same visited-bitmap byte* — which random graphs
+// do rarely and these shapes do constantly:
+//
+//   star      one hub, K contiguous leaves: the entire second frontier is
+//             claimed in one step out of a single adjacency block, so every
+//             thread's Phase-II stream lands in the same dense id range
+//             (8 leaves per VIS byte).
+//   collider  a butterfly: root -> m hubs -> the *same* K contiguous
+//             leaves. Every leaf appears in m per-source PBV streams, so
+//             multiple threads decode the same vertex id concurrently — the
+//             same-bit test/set window — while the contiguity keeps
+//             sibling-bit RMW collisions constant. The optional leaf ring
+//             adds same-level edges, so every leaf is re-offered at
+//             depth+1: exactly the encounter a missing DP re-check turns
+//             into a depth overwrite.
+//   deep path levels x width layered chain: maximizes step count (barrier
+//             crossings, arrival-order shuffles) instead of per-step
+//             contention; width > 1 packs each level into shared bytes.
+//
+// All shapes are connected from root 0 and symmetric (library builder
+// convention), so they are valid inputs for every engine and direction
+// mode, and reference depths are trivial to state in closed form.
+#pragma once
+
+#include "graph/builder.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+/// Star: center 0, leaves 1..n_leaves (depths: 0, then all 1).
+EdgeList generate_star(vid_t n_leaves);
+CsrGraph star_graph(vid_t n_leaves);
+
+/// Collider/butterfly: root 0; hubs 1..n_hubs; leaves occupy the
+/// contiguous range [1+n_hubs, 1+n_hubs+n_leaves). Every hub connects to
+/// every leaf; leaf_ring adds the cycle over the leaves (same-level
+/// edges). Depths: root 0, hubs 1, leaves 2.
+EdgeList generate_collider(vid_t n_hubs, vid_t n_leaves, bool leaf_ring);
+CsrGraph collider_graph(vid_t n_hubs, vid_t n_leaves, bool leaf_ring = true);
+
+/// Layered deep path: root 0, then `levels` levels of `width` vertices
+/// each (level l occupies [1+(l-1)*width, 1+l*width)); consecutive levels
+/// are completely connected. Depth of a level-l vertex is l; the BFS runs
+/// exactly `levels` + 1 steps.
+EdgeList generate_deep_path(vid_t levels, vid_t width);
+CsrGraph deep_path_graph(vid_t levels, vid_t width = 1);
+
+}  // namespace fastbfs

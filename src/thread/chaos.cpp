@@ -1,0 +1,177 @@
+#include "thread/chaos.h"
+
+#include <chrono>
+#include <thread>
+
+namespace fastbfs::chaos {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<unsigned> g_mutation{static_cast<unsigned>(Mutation::kNone)};
+}  // namespace detail
+
+namespace {
+
+constexpr unsigned kPointCount = static_cast<unsigned>(Point::kCount);
+
+// Action encoding (see header): kind in bits 24..27, parameter in 0..23.
+constexpr std::uint32_t kKindNone = 0;
+constexpr std::uint32_t kKindYield = 1;
+constexpr std::uint32_t kKindSpin = 2;
+constexpr std::uint32_t kKindSleep = 3;
+
+constexpr std::uint32_t encode(std::uint32_t kind, std::uint32_t param) {
+  return (kind << 24) | (param & 0x00ffffffu);
+}
+
+// Lanes are written only by their owning (registered) thread during a run;
+// cross-thread reads (visit_count, trace) happen after the pool's finish
+// barrier, which establishes the necessary happens-before.
+struct alignas(64) Lane {
+  std::uint64_t visits[kPointCount] = {};
+  std::vector<std::uint32_t> trace;
+};
+
+Config g_cfg;
+Lane g_lanes[kMaxThreads];
+std::atomic<std::uint64_t> g_injected{0};
+thread_local unsigned t_tid = 0;
+
+// The splitmix64 output mix (no state advance): a strong 64-bit finalizer.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool barrier_family(Point p) {
+  return p == Point::kPbvPublish || p == Point::kPhase2Barrier ||
+         p == Point::kBarrierArrive;
+}
+
+}  // namespace
+
+const char* point_name(Point p) {
+  switch (p) {
+    case Point::kVisTestSet: return "vis-test-set";
+    case Point::kVisSetRmw: return "vis-set-rmw";
+    case Point::kDpRecheck: return "dp-recheck";
+    case Point::kPbvPublish: return "pbv-publish";
+    case Point::kPhase2Barrier: return "phase2-barrier";
+    case Point::kBottomUpClaim: return "bottom-up-claim";
+    case Point::kBarrierArrive: return "barrier-arrive";
+    case Point::kCount: break;
+  }
+  return "?";
+}
+
+void reset_run() {
+  for (Lane& lane : g_lanes) {
+    for (std::uint64_t& v : lane.visits) v = 0;
+    lane.trace.clear();
+  }
+  g_injected.store(0, std::memory_order_relaxed);
+}
+
+void enable(const Config& cfg) {
+  g_cfg = cfg;
+  reset_run();
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() { detail::g_enabled.store(false, std::memory_order_release); }
+
+void set_mutation(Mutation m) {
+  detail::g_mutation.store(static_cast<unsigned>(m),
+                           std::memory_order_relaxed);
+}
+
+Mutation mutation() {
+  return static_cast<Mutation>(
+      detail::g_mutation.load(std::memory_order_relaxed));
+}
+
+void register_thread(unsigned tid) { t_tid = tid & (kMaxThreads - 1); }
+
+unsigned current_thread() { return t_tid; }
+
+std::uint32_t action_for(const Config& cfg, Point point, unsigned tid,
+                         std::uint64_t visit) {
+  // Hash the full coordinate so per-(thread, point) streams are
+  // independent and any seed change reshuffles every decision.
+  std::uint64_t z = cfg.seed;
+  z ^= (static_cast<std::uint64_t>(point) + 1) * 0x9e3779b97f4a7c15ull;
+  z ^= (static_cast<std::uint64_t>(tid) + 1) * 0xbf58476d1ce4e5b9ull;
+  z ^= (visit + 1) * 0x94d049bb133111ebull;
+  const std::uint64_t gate = mix64(z);
+  if ((gate & 0xff) >= cfg.act_per_256) return encode(kKindNone, 0);
+
+  const std::uint64_t r = mix64(z ^ 0xd6e8feb86659fd93ull);
+  if (((r >> 8) & 0xff) < cfg.sleep_per_256 && cfg.max_sleep_us > 0) {
+    // Barrier-family points get 4x longer sleeps: long stalls right before
+    // arrival are what shuffle barrier arrival order.
+    const std::uint32_t scale = barrier_family(point) ? 4 : 1;
+    const std::uint32_t us =
+        1 + static_cast<std::uint32_t>((r >> 16) % cfg.max_sleep_us);
+    return encode(kKindSleep, us * scale);
+  }
+  if ((r >> 63) != 0 && cfg.max_yields > 0) {
+    return encode(kKindYield,
+                  1 + static_cast<std::uint32_t>((r >> 16) % cfg.max_yields));
+  }
+  if (cfg.max_spins == 0) return encode(kKindNone, 0);
+  return encode(kKindSpin,
+                16 + static_cast<std::uint32_t>((r >> 16) % cfg.max_spins));
+}
+
+void perform_action(std::uint32_t action) {
+  const std::uint32_t param = action & 0x00ffffffu;
+  switch (action >> 24) {
+    case kKindYield:
+      for (std::uint32_t i = 0; i < param; ++i) std::this_thread::yield();
+      break;
+    case kKindSpin: {
+      // Data-dependent busy loop the optimizer cannot elide.
+      volatile std::uint32_t sink = 0;
+      for (std::uint32_t i = 0; i < param; ++i) sink = sink + i;
+      break;
+    }
+    case kKindSleep:
+      std::this_thread::sleep_for(std::chrono::microseconds(param));
+      break;
+    default:
+      break;
+  }
+}
+
+void on_point(Point p) {
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+  Lane& lane = g_lanes[t_tid];
+  const std::uint64_t visit = lane.visits[static_cast<unsigned>(p)]++;
+  const std::uint32_t action = action_for(g_cfg, p, t_tid, visit);
+  if (g_cfg.record_trace && lane.trace.size() < g_cfg.trace_limit) {
+    lane.trace.push_back((static_cast<std::uint32_t>(p) << 28) |
+                         (action & 0x0fffffffu));
+  }
+  if ((action >> 24) == kKindNone) return;
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  perform_action(action);
+}
+
+std::uint64_t injected_total() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+std::uint64_t visit_count(Point p) {
+  std::uint64_t total = 0;
+  for (const Lane& lane : g_lanes) {
+    total += lane.visits[static_cast<unsigned>(p)];
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> trace(unsigned tid) {
+  return g_lanes[tid & (kMaxThreads - 1)].trace;
+}
+
+}  // namespace fastbfs::chaos

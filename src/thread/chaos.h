@@ -1,0 +1,157 @@
+// Schedule-perturbation & fault-injection hooks for the atomic-free engine.
+//
+// The engine's headline mechanism (Sec. III-A) is an *intentionally racy*
+// visited filter whose correctness rests on a DP re-check — a property that
+// passes every quiet CI run and only fails under an adversarial
+// interleaving. TSan tolerates the benign race but cannot *steer* schedules
+// into the nasty windows. This layer makes the windows steerable:
+//
+//   - Named interleaving points (`Point`) mark the benign VIS test/set
+//     window, the set()'s byte read-modify-write, the DP re-check, PBV
+//     publication, the Phase-II barrier, bottom-up ownership claims, and
+//     generic barrier arrivals.
+//   - `FASTBFS_CHAOS_POINT(p)` expands to a controller call only when the
+//     translation unit is compiled with -DFASTBFS_CHAOS=1; by default it is
+//     `((void)0)` and the engine is bit-for-bit the production build (the
+//     steady-state allocation tests and bench gates pin this).
+//   - `FASTBFS_CHAOS_MUTATION(m)` gates the deliberate "broken engine"
+//     variants (skip the DP re-check; drop a VIS store) used by the
+//     mutation-smoke tests; it folds to `false` in production builds so the
+//     mutated branches are compiled away.
+//
+// Determinism contract: what the controller *decides* at a hook is a pure
+// function of (seed, point, thread, per-thread visit index) — see
+// action_for(). Per-(thread, point) decision streams therefore replay
+// byte-identically from the seed; only the OS-level interleaving that the
+// injected delays provoke remains nondeterministic, which is the point.
+// The controller itself (chaos.cpp) is always compiled into fastbfs_thread;
+// only the *hooks* are compile-time gated, so tier-1 tests can exercise the
+// controller without paying for instrumented engines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fastbfs::chaos {
+
+/// Named interleaving points. Order is part of the trace encoding; append
+/// only.
+enum class Point : unsigned {
+  kVisTestSet = 0,  // phase-II update: between VIS test() and set()
+  kVisSetRmw,       // inside VisArray::set(): between byte load and store
+  kDpRecheck,       // phase-II update: between VIS set() and the DP re-check
+  kPbvPublish,      // before the plan-building PBV publication barrier
+  kPhase2Barrier,   // before the barrier that publishes BV_N
+  kBottomUpClaim,   // bottom-up scan: before claiming depth/parent
+  kBarrierArrive,   // any other engine barrier arrival
+  kCount
+};
+
+const char* point_name(Point p);
+
+/// Compile-time-gated engine mutations (fault injection). Exactly one can
+/// be armed at a time; kNone disarms.
+enum class Mutation : unsigned {
+  kNone = 0,
+  kSkipDpRecheck,  // publish depth/parent without re-checking DP (Fig. 2b
+                   // without the re-check — the bug class the re-check
+                   // exists to prevent)
+  kDropVisStore,   // claim a vertex without setting its VIS bit (a lost
+                   // filter store beyond what the benign race can lose)
+};
+
+/// Controller tuning. All probabilities are numerators over 256.
+struct Config {
+  std::uint64_t seed = 1;
+  unsigned act_per_256 = 48;    // P(inject anything at a visited point)
+  unsigned sleep_per_256 = 64;  // P(sleep | acting); else yield/spin 50:50
+  unsigned max_yields = 6;      // yield count in [1, max_yields]
+  unsigned max_spins = 2048;    // spin count in [16, 16+max_spins)
+  unsigned max_sleep_us = 20;   // sleep in [1, max_sleep_us] µs (barrier
+                                // points are stretched 4x to shuffle
+                                // arrival order)
+  bool record_trace = true;     // keep per-thread (point, action) traces
+  std::size_t trace_limit = 1u << 14;  // per-thread trace cap
+};
+
+/// Threads the controller can track; engine thread ids are masked into
+/// this range (the engine never exceeds it).
+inline constexpr unsigned kMaxThreads = 64;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<unsigned> g_mutation;
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when mutation `m` is armed. Orthogonal to enable(): mutations can
+/// fire without perturbation and vice versa.
+inline bool mutation_active(Mutation m) {
+  return detail::g_mutation.load(std::memory_order_relaxed) ==
+         static_cast<unsigned>(m);
+}
+
+/// Arm the controller with `cfg` and clear all per-run state (visit
+/// counters, traces, injection counter). Call while no instrumented engine
+/// is running.
+void enable(const Config& cfg);
+void disable();
+
+/// Clear per-run state without touching the config or enabled flag.
+void reset_run();
+
+void set_mutation(Mutation m);
+Mutation mutation();
+
+/// Bind the calling thread to controller lane `tid` (the engine passes its
+/// SPMD thread id). Unregistered threads use lane 0.
+void register_thread(unsigned tid);
+unsigned current_thread();
+
+/// The pure decision function: what would the controller do at `point` on
+/// thread `tid`'s `visit`-th arrival there, under `cfg`? Encoding:
+/// bits 24..27 = kind (0 none, 1 yield, 2 spin, 3 sleep), bits 0..23 =
+/// parameter (count / µs). Deterministic by construction.
+std::uint32_t action_for(const Config& cfg, Point point, unsigned tid,
+                         std::uint64_t visit);
+
+/// Execute an encoded action (yield loop / pause-spin / sleep). Public so
+/// tests can drive perturbation from action_for() without global state.
+void perform_action(std::uint32_t action);
+
+/// Hook entry: no-op unless enabled. Counts the visit, records it in the
+/// calling thread's trace, and performs the decided action.
+void on_point(Point p);
+
+/// Total actions injected (kind != none) since enable()/reset_run().
+std::uint64_t injected_total();
+
+/// Total visits to `p` across all lanes since enable()/reset_run().
+std::uint64_t visit_count(Point p);
+
+/// Copy of lane `tid`'s trace. Entries pack (point << 28) | action.
+std::vector<std::uint32_t> trace(unsigned tid);
+
+inline Point trace_point(std::uint32_t entry) {
+  return static_cast<Point>(entry >> 28);
+}
+inline std::uint32_t trace_action(std::uint32_t entry) {
+  return entry & 0x0fffffffu;
+}
+
+}  // namespace fastbfs::chaos
+
+#if defined(FASTBFS_CHAOS)
+#define FASTBFS_CHAOS_POINT(p) ::fastbfs::chaos::on_point(::fastbfs::chaos::Point::p)
+#define FASTBFS_CHAOS_REGISTER(tid) ::fastbfs::chaos::register_thread(tid)
+#define FASTBFS_CHAOS_MUTATION(m) \
+  ::fastbfs::chaos::mutation_active(::fastbfs::chaos::Mutation::m)
+#else
+#define FASTBFS_CHAOS_POINT(p) ((void)0)
+#define FASTBFS_CHAOS_REGISTER(tid) ((void)0)
+#define FASTBFS_CHAOS_MUTATION(m) false
+#endif

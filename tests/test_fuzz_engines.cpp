@@ -15,6 +15,7 @@
 #include "baseline/work_stealing_bfs.h"
 #include "core/api.h"
 #include "dist/cluster.h"
+#include "gen/adversarial.h"
 #include "gen/rmat.h"
 #include "gen/uniform.h"
 #include "graph/stats.h"
@@ -28,7 +29,7 @@ CsrGraph random_graph(std::uint64_t seed) {
   Xoshiro256 rng(seed);
   const vid_t n = 64 + static_cast<vid_t>(rng.next_below(2000));
   const eid_t m = n / 2 + rng.next_below(8 * n);
-  switch (rng.next_below(3)) {
+  switch (rng.next_below(6)) {
     case 0: {
       // Random-endpoint graph.
       return random_endpoint_graph(n, m, rng.next());
@@ -42,6 +43,22 @@ CsrGraph random_graph(std::uint64_t seed) {
       const unsigned scale = 7 + static_cast<unsigned>(rng.next_below(4));
       return rmat_graph(scale, 4 + static_cast<unsigned>(rng.next_below(8)),
                         rng.next(), p);
+    }
+    case 2: {
+      // Star: the whole second frontier claimed from one adjacency block.
+      return star_graph(64 + static_cast<vid_t>(rng.next_below(2000)));
+    }
+    case 3: {
+      // Collider: maximal same-VIS-byte contention, same-level ring edges
+      // (see gen/adversarial.h).
+      return collider_graph(2 + static_cast<vid_t>(rng.next_below(6)),
+                            64 + static_cast<vid_t>(rng.next_below(1000)),
+                            rng.next_below(2) != 0);
+    }
+    case 4: {
+      // Deep layered path: many steps, shared VIS bytes within each level.
+      return deep_path_graph(16 + static_cast<vid_t>(rng.next_below(120)),
+                             1 + static_cast<vid_t>(rng.next_below(3)));
     }
     default: {
       // Sparse random-endpoint graph with many components.

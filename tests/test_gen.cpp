@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "gen/adversarial.h"
 #include "gen/grid.h"
 #include "gen/proxies.h"
 #include "gen/rmat.h"
@@ -13,6 +14,74 @@
 
 namespace fastbfs {
 namespace {
+
+TEST(Adversarial, StarShape) {
+  const CsrGraph g = star_graph(1000);
+  ASSERT_EQ(g.n_vertices(), 1001u);
+  EXPECT_EQ(g.degree(0), 1000u);
+  for (vid_t l = 1; l <= 1000; ++l) EXPECT_EQ(g.degree(l), 1u);
+  const BfsResult r = reference_bfs(g, 0);
+  EXPECT_EQ(bfs_depth_from(g, 0), 1u);
+  EXPECT_EQ(r.vertices_visited, 1001u);
+}
+
+TEST(Adversarial, ColliderSharedLeavesAndRing) {
+  constexpr vid_t kHubs = 4, kLeaves = 64;
+  const CsrGraph g = collider_graph(kHubs, kLeaves, /*leaf_ring=*/true);
+  ASSERT_EQ(g.n_vertices(), 1 + kHubs + kLeaves);
+  const BfsResult r = reference_bfs(g, 0);
+  // Root 0, hubs depth 1, leaves depth 2 — and the leaf range is
+  // contiguous (ids [1+kHubs, 1+kHubs+kLeaves)), which is what packs 8
+  // leaves per VIS byte and makes the sibling-bit race constant.
+  for (vid_t h = 1; h <= kHubs; ++h) EXPECT_EQ(r.dp.depth(h), 1u);
+  const vid_t first_leaf = 1 + kHubs;
+  for (vid_t l = 0; l < kLeaves; ++l) {
+    const vid_t leaf = first_leaf + l;
+    EXPECT_EQ(r.dp.depth(leaf), 2u);
+    // Every hub offers every leaf: degree = hubs + 2 ring neighbours.
+    EXPECT_EQ(g.degree(leaf), kHubs + 2);
+    // The ring edges are same-level: both neighbours also sit at depth 2
+    // — the re-offer that turns a skipped DP re-check into a wrong depth.
+    bool same_level_neighbor = false;
+    for (const vid_t w : g.neighbors(leaf)) {
+      if (r.dp.depth(w) == 2u) same_level_neighbor = true;
+    }
+    EXPECT_TRUE(same_level_neighbor);
+  }
+}
+
+TEST(Adversarial, ColliderWithoutRing) {
+  const CsrGraph g = collider_graph(2, 16, /*leaf_ring=*/false);
+  for (vid_t l = 3; l < 19; ++l) EXPECT_EQ(g.degree(l), 2u);
+}
+
+TEST(Adversarial, DeepPathLevels) {
+  constexpr vid_t kLevels = 50, kWidth = 3;
+  const CsrGraph g = deep_path_graph(kLevels, kWidth);
+  ASSERT_EQ(g.n_vertices(), 1 + kLevels * kWidth);
+  EXPECT_EQ(bfs_depth_from(g, 0), kLevels);
+  const BfsResult r = reference_bfs(g, 0);
+  for (vid_t level = 1; level <= kLevels; ++level) {
+    for (vid_t i = 0; i < kWidth; ++i) {
+      EXPECT_EQ(r.dp.depth(1 + (level - 1) * kWidth + i), level);
+    }
+  }
+  // width = 1 degenerates to a simple chain.
+  const CsrGraph chain = deep_path_graph(10, 1);
+  EXPECT_EQ(bfs_depth_from(chain, 0), 10u);
+  EXPECT_EQ(chain.degree(10), 1u);  // the far end
+}
+
+TEST(Adversarial, RejectsDegenerateParameters) {
+  EXPECT_THROW(generate_star(0), std::invalid_argument);
+  EXPECT_THROW(generate_collider(0, 8, true), std::invalid_argument);
+  EXPECT_THROW(generate_collider(8, 0, true), std::invalid_argument);
+  EXPECT_THROW(generate_deep_path(0, 1), std::invalid_argument);
+  EXPECT_THROW(generate_deep_path(1, 0), std::invalid_argument);
+  // The edge-budget cap rejects accidental gigabyte graphs.
+  EXPECT_THROW(generate_collider(1u << 15, 1u << 15, false),
+               std::invalid_argument);
+}
 
 TEST(Rmat, DeterministicForSeed) {
   const EdgeList a = generate_rmat(10, 4, 42);

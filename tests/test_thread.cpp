@@ -1,11 +1,14 @@
-// Unit tests for the SPMD thread pool, spin barrier and range splitting.
+// Unit tests for the SPMD thread pool, spin barrier, range splitting and
+// the chaos (schedule-perturbation) controller.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "thread/barrier.h"
+#include "thread/chaos.h"
 #include "thread/thread_pool.h"
 
 namespace fastbfs {
@@ -106,6 +109,109 @@ TEST(ThreadPool, SingleThreadRunsInline) {
     ran = true;
   });
   EXPECT_TRUE(ran);
+}
+
+TEST(SpinBarrier, CompletionHookUnderPerturbedArrivalOrder) {
+  // The engine's plan-2 sharing rests on arrive_and_wait_then: whichever
+  // thread arrives last runs the completion function, and its plain
+  // (non-atomic) writes are visible to every thread after release. Here
+  // each thread delays its arrival by a seeded chaos action drawn from a
+  // per-(thread, round) stream, so over the rounds every thread gets to be
+  // the last arriver — the hook must still run exactly once per crossing
+  // and its writes must be visible without extra synchronization.
+  constexpr unsigned kThreads = 4;
+  constexpr int kRounds = 96;
+  SpinBarrier bar(kThreads);
+  std::vector<int> plan(kRounds, -1);  // stands in for the shared plan2_
+  std::atomic<int> hook_runs{0};
+  std::atomic<int> visibility_errors{0};
+  chaos::Config cfg;
+  cfg.seed = 2026;
+  cfg.act_per_256 = 256;  // perturb every arrival
+  cfg.max_sleep_us = 5;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        chaos::perform_action(chaos::action_for(
+            cfg, chaos::Point::kBarrierArrive, t, static_cast<unsigned>(r)));
+        bar.arrive_and_wait_then([&, r] {
+          hook_runs.fetch_add(1, std::memory_order_relaxed);
+          plan[r] = r * 31 + 7;
+        });
+        if (plan[r] != r * 31 + 7) {
+          visibility_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        bar.arrive_and_wait();  // keep plan[r] reads inside round r
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(hook_runs.load(), kRounds);
+  EXPECT_EQ(visibility_errors.load(), 0);
+}
+
+TEST(Chaos, ActionStreamIsAPureFunctionOfTheSeed) {
+  chaos::Config a;
+  a.seed = 7;
+  chaos::Config b;
+  b.seed = 7;
+  chaos::Config c;
+  c.seed = 8;
+  bool any_action = false;
+  bool seeds_differ = false;
+  for (unsigned p = 0; p < static_cast<unsigned>(chaos::Point::kCount); ++p) {
+    const auto point = static_cast<chaos::Point>(p);
+    for (const unsigned tid : {0u, 3u}) {
+      for (std::uint64_t visit = 0; visit < 200; ++visit) {
+        const std::uint32_t x = chaos::action_for(a, point, tid, visit);
+        EXPECT_EQ(x, chaos::action_for(b, point, tid, visit));
+        any_action |= x != 0;
+        seeds_differ |= x != chaos::action_for(c, point, tid, visit);
+      }
+    }
+  }
+  EXPECT_TRUE(any_action);
+  EXPECT_TRUE(seeds_differ);
+}
+
+TEST(Chaos, DisabledControllerIgnoresHooks) {
+  ASSERT_FALSE(chaos::enabled());
+  const std::uint64_t before = chaos::injected_total();
+  chaos::on_point(chaos::Point::kVisTestSet);
+  EXPECT_EQ(chaos::injected_total(), before);
+}
+
+TEST(Chaos, EnabledControllerCountsAndRecordsVisits) {
+  chaos::Config cfg;
+  cfg.seed = 11;
+  cfg.act_per_256 = 256;
+  cfg.max_sleep_us = 1;  // keep the injected delays negligible
+  cfg.max_yields = 1;
+  cfg.max_spins = 16;
+  chaos::enable(cfg);
+  chaos::register_thread(2);
+  for (int i = 0; i < 50; ++i) chaos::on_point(chaos::Point::kDpRecheck);
+  EXPECT_EQ(chaos::visit_count(chaos::Point::kDpRecheck), 50u);
+  EXPECT_EQ(chaos::injected_total(), 50u);  // act_per_256 = 256: all act
+  const std::vector<std::uint32_t> trace = chaos::trace(2);
+  ASSERT_EQ(trace.size(), 50u);
+  for (const std::uint32_t entry : trace) {
+    EXPECT_EQ(chaos::trace_point(entry), chaos::Point::kDpRecheck);
+  }
+  chaos::disable();
+  chaos::register_thread(0);  // restore this thread's default lane
+  EXPECT_EQ(chaos::current_thread(), 0u);
+}
+
+TEST(Chaos, MutationArmsAndDisarms) {
+  ASSERT_TRUE(chaos::mutation_active(chaos::Mutation::kNone));
+  chaos::set_mutation(chaos::Mutation::kSkipDpRecheck);
+  EXPECT_TRUE(chaos::mutation_active(chaos::Mutation::kSkipDpRecheck));
+  EXPECT_FALSE(chaos::mutation_active(chaos::Mutation::kDropVisStore));
+  chaos::set_mutation(chaos::Mutation::kNone);
+  EXPECT_TRUE(chaos::mutation_active(chaos::Mutation::kNone));
 }
 
 TEST(ThreadPool, ManyBarrierRounds) {

@@ -1,0 +1,77 @@
+// Tier-1 coverage for the VIS/DP cross-check (TwoPhaseBfs::audit_vis) —
+// the torture harness's detector for dropped VIS stores. Uninstrumented
+// builds must satisfy the same contract the chaos builds are audited
+// against: no spurious bits ever, and no missing bits in the lossless
+// (byte / atomic-bit) modes.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+
+namespace fastbfs {
+namespace {
+
+VisAudit run_and_audit(const CsrGraph& g, BfsOptions o) {
+  BfsRunner runner(g, o);
+  const vid_t root = pick_nonisolated_root(g, 3);
+  const BfsResult r = runner.run(root);
+  return runner.audit_vis(r);
+}
+
+TEST(VisAudit, ByteModeIsStrictAndClean) {
+  const VisAudit a = run_and_audit(grid_graph(20, 20), [] {
+    BfsOptions o;
+    o.vis_mode = VisMode::kByte;
+    return o;
+  }());
+  ASSERT_TRUE(a.audited);
+  EXPECT_TRUE(a.strict);
+  EXPECT_EQ(a.missing, 0u);
+  EXPECT_EQ(a.spurious, 0u);
+}
+
+TEST(VisAudit, AtomicBitModeIsStrictAndClean) {
+  const VisAudit a = run_and_audit(rmat_graph(9, 8, 5), [] {
+    BfsOptions o;
+    o.vis_mode = VisMode::kAtomicBit;
+    return o;
+  }());
+  ASSERT_TRUE(a.audited);
+  EXPECT_TRUE(a.strict);
+  EXPECT_EQ(a.missing, 0u);
+  EXPECT_EQ(a.spurious, 0u);
+}
+
+TEST(VisAudit, BitModeNeverHasSpuriousBits) {
+  // The racy bit modes may lose stores (missing > 0 is legal — the DP
+  // re-check absorbs it) but a set bit without an assigned depth is
+  // impossible for any schedule.
+  BfsOptions o;
+  o.vis_mode = VisMode::kBit;
+  o.direction = DirectionMode::kAuto;
+  const VisAudit a = run_and_audit(rmat_graph(9, 8, 5), o);
+  ASSERT_TRUE(a.audited);
+  EXPECT_FALSE(a.strict);
+  EXPECT_EQ(a.spurious, 0u);
+}
+
+TEST(VisAudit, NoneModeIsNotAudited) {
+  BfsOptions o;
+  o.vis_mode = VisMode::kNone;
+  const VisAudit a = run_and_audit(grid_graph(8, 8), o);
+  EXPECT_FALSE(a.audited);
+}
+
+TEST(VisAudit, ForeignResultIsNotAudited) {
+  const CsrGraph g = grid_graph(8, 8);
+  BfsOptions o;
+  o.vis_mode = VisMode::kByte;
+  BfsRunner runner(g, o);
+  runner.run(0);
+  EXPECT_FALSE(runner.audit_vis(BfsResult{}).audited);
+}
+
+}  // namespace
+}  // namespace fastbfs
