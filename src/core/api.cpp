@@ -31,42 +31,136 @@ VisAudit BfsRunner::audit_vis(const BfsResult& result) const {
 }
 
 std::uint64_t BfsRunner::workspace_bytes() const {
-  return engine_->workspace_bytes();
+  std::uint64_t total = engine_->workspace_bytes();
+  if (ms_engine_) total += ms_engine_->workspace_bytes();
+  for (const BfsResult& r : batch_results_) {
+    total += r.dp.size() * sizeof(std::uint64_t);
+  }
+  return total;
+}
+
+namespace {
+
+bool contains(const std::vector<vid_t>& taken, vid_t v) {
+  return std::find(taken.begin(), taken.end(), v) != taken.end();
+}
+
+/// Samples the next *distinct* non-isolated search key (the api.h
+/// contract): a bounded number of rng draws, then a deterministic circular
+/// scan from a random start, so a graph with K distinct non-isolated
+/// vertices yields exactly min(n_roots, K) keys. Returns kInvalidVertex
+/// when none remain. Allocation-free.
+vid_t pick_distinct_root(const CsrGraph& csr, Xoshiro256& rng,
+                         const std::vector<vid_t>& taken) {
+  constexpr int kRetries = 32;
+  for (int attempt = 0; attempt < kRetries; ++attempt) {
+    const vid_t r = pick_nonisolated_root(csr, rng.next());
+    if (r == kInvalidVertex) return r;
+    if (!contains(taken, r)) return r;
+  }
+  const vid_t n = csr.n_vertices();
+  const vid_t start = static_cast<vid_t>(rng.next() % n);
+  for (vid_t i = 0; i < n; ++i) {
+    const vid_t v = start + i < n ? start + i : start + i - n;
+    if (csr.degree(v) > 0 && !contains(taken, v)) return v;
+  }
+  return kInvalidVertex;
+}
+
+}  // namespace
+
+void BatchResult::reset() {
+  runs = 0;
+  validated = 0;
+  waves = 0;
+  min_teps = 0.0;
+  max_teps = 0.0;
+  mean_teps = 0.0;
+  harmonic_teps = 0.0;
+  roots.clear();  // capacity kept: a warm same-size batch re-pushes in place
+}
+
+void BfsRunner::ensure_ms_engine() {
+  if (!ms_engine_) {
+    // Built from the primary engine's *resolved* options (kAuto modes
+    // already concretized), so both batch modes see the same knobs.
+    ms_engine_ = std::make_unique<MsBfs>(*adj_, options());
+  }
+  if (batch_results_.size() < kMsWaveWidth) {
+    batch_results_.resize(kMsWaveWidth);
+  }
+  wave_ptrs_.resize(kMsWaveWidth);
+  for (unsigned s = 0; s < kMsWaveWidth; ++s) {
+    wave_ptrs_[s] = &batch_results_[s];
+  }
+}
+
+void BfsRunner::run_batch_into(const CsrGraph& csr, unsigned n_roots,
+                               std::uint64_t seed, BatchResult& out,
+                               bool validate) {
+  out.reset();
+  if (out.roots.capacity() < n_roots) out.roots.reserve(n_roots);
+  Xoshiro256 rng(seed);
+  for (unsigned i = 0; i < n_roots; ++i) {
+    const vid_t root = pick_distinct_root(csr, rng, out.roots);
+    if (root == kInvalidVertex) break;
+    out.roots.push_back(root);
+  }
+
+  double sum = 0.0, inv_sum = 0.0;
+  const auto account = [&](const BfsResult& r, double seconds) {
+    ++out.runs;
+    if (validate && validate_bfs_tree_into(csr, r, validation_ws_).ok) {
+      ++out.validated;
+    }
+    if (seconds <= 0.0 || r.edges_traversed == 0) return;
+    // Graph500 counts each undirected edge once: halve traversed arcs.
+    const double teps =
+        static_cast<double>(r.edges_traversed) / 2.0 / seconds;
+    out.min_teps =
+        out.min_teps == 0.0 ? teps : std::min(out.min_teps, teps);
+    out.max_teps = std::max(out.max_teps, teps);
+    sum += teps;
+    inv_sum += 1.0 / teps;
+  };
+
+  if (options().batch_mode == BatchMode::kMs64 && !out.roots.empty()) {
+    // Wave scheduling: keys are answered in waves of up to 64; a 65-key
+    // batch runs one full wave plus a 1-key wave. Each result's .seconds
+    // is the wave wall time (the latency the key actually observed), but
+    // TEPS charges each key its amortized 1/k share of the wave — the
+    // wave answers k keys in one set of edge sweeps, so the batch
+    // throughput statistics reflect that sharing.
+    ensure_ms_engine();
+    const unsigned total = static_cast<unsigned>(out.roots.size());
+    for (unsigned off = 0; off < total; off += kMsWaveWidth) {
+      const unsigned k = std::min(kMsWaveWidth, total - off);
+      ms_engine_->run_wave(out.roots.data() + off, k, wave_ptrs_.data());
+      ++out.waves;
+      for (unsigned s = 0; s < k; ++s) {
+        account(batch_results_[s], batch_results_[s].seconds / k);
+      }
+    }
+  } else {
+    // One result buffer for the whole batch: after the first traversal,
+    // run_into recycles its depth/parent array.
+    if (batch_results_.empty()) batch_results_.resize(1);
+    BfsResult& r = batch_results_.front();
+    for (const vid_t root : out.roots) {
+      run_into(root, r);
+      account(r, r.seconds);
+    }
+  }
+  if (out.runs > 0) {
+    out.mean_teps = sum / out.runs;
+    if (inv_sum > 0.0) out.harmonic_teps = out.runs / inv_sum;
+  }
 }
 
 BatchResult BfsRunner::run_batch(const CsrGraph& csr, unsigned n_roots,
                                  std::uint64_t seed, bool validate) {
   BatchResult batch;
-  batch.roots.reserve(n_roots);
-  Xoshiro256 rng(seed);
-  double sum = 0.0, inv_sum = 0.0;
-  // One result buffer for the whole batch: after the first traversal,
-  // run_into recycles its depth/parent array, so the batch's steady state
-  // is allocation-free (modulo the optional validator).
-  BfsResult r;
-  for (unsigned i = 0; i < n_roots; ++i) {
-    const vid_t root = pick_nonisolated_root(csr, rng.next());
-    if (root == kInvalidVertex) break;
-    batch.roots.push_back(root);
-    run_into(root, r);
-    ++batch.runs;
-    if (validate) {
-      if (validate_bfs_tree(csr, r).ok) ++batch.validated;
-    }
-    if (r.seconds <= 0.0 || r.edges_traversed == 0) continue;
-    // Graph500 counts each undirected edge once: halve traversed arcs.
-    const double teps =
-        static_cast<double>(r.edges_traversed) / 2.0 / r.seconds;
-    batch.min_teps =
-        batch.min_teps == 0.0 ? teps : std::min(batch.min_teps, teps);
-    batch.max_teps = std::max(batch.max_teps, teps);
-    sum += teps;
-    inv_sum += 1.0 / teps;
-  }
-  if (batch.runs > 0) {
-    batch.mean_teps = sum / batch.runs;
-    if (inv_sum > 0.0) batch.harmonic_teps = batch.runs / inv_sum;
-  }
+  run_batch_into(csr, n_roots, seed, batch, validate);
   return batch;
 }
 

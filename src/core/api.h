@@ -17,11 +17,13 @@
 #include <memory>
 #include <vector>
 
+#include "core/ms_bfs.h"
 #include "core/options.h"
 #include "core/two_phase_bfs.h"
 #include "graph/adjacency_array.h"
 #include "graph/bfs_result.h"
 #include "graph/csr.h"
+#include "graph/validate.h"
 
 namespace fastbfs {
 
@@ -29,11 +31,16 @@ namespace fastbfs {
 struct BatchResult {
   unsigned runs = 0;
   unsigned validated = 0;        // runs passing the BFS-tree validator
+  unsigned waves = 0;            // MS-BFS waves executed (0 in sequential)
   double min_teps = 0.0;         // TEPS in Graph500's halved convention
   double max_teps = 0.0;
   double mean_teps = 0.0;
   double harmonic_teps = 0.0;    // the statistic Graph500 reports
   std::vector<vid_t> roots;
+
+  /// Re-zeroes every counter for a new batch, keeping the roots vector's
+  /// capacity so a warm run_batch_into allocates nothing.
+  void reset();
 };
 
 class BfsRunner {
@@ -56,12 +63,26 @@ class BfsRunner {
   /// steady-state mode run_batch and query-serving loops should use.
   void run_into(vid_t root, BfsResult& out);
 
-  /// The Graph500 kernel-2 procedure: sample `n_roots` distinct
-  /// non-isolated search keys (seeded), run one BFS per key, validate
-  /// each tree, and aggregate TEPS statistics. Requires the original CSR
-  /// for validation, which BfsRunner does not retain.
+  /// The Graph500 kernel-2 procedure: sample `n_roots` *distinct*
+  /// non-isolated search keys (seeded; bounded rng retries with a
+  /// deterministic scan fallback, so a graph with fewer distinct
+  /// non-isolated vertices yields exactly that many runs), run one BFS per
+  /// key, validate each tree, and aggregate TEPS statistics. Requires the
+  /// original CSR for validation, which BfsRunner does not retain.
+  /// Executed per opts.batch_mode: kSequential answers keys one at a time
+  /// through run_into; kMs64 packs them into bit-parallel MS-BFS waves of
+  /// up to 64 (core/ms_bfs.h) so all keys of a wave share each edge sweep.
   BatchResult run_batch(const CsrGraph& csr, unsigned n_roots,
                         std::uint64_t seed, bool validate = true);
+
+  /// Buffer-recycling form of run_batch: fills `out` in place. A warm
+  /// runner serving repeated batches through this (either mode, validation
+  /// on) performs zero heap allocations — the batch extension of the
+  /// run_into steady-state guarantee, enforced by the alloc-interposer
+  /// tests.
+  void run_batch_into(const CsrGraph& csr, unsigned n_roots,
+                      std::uint64_t seed, BatchResult& out,
+                      bool validate = true);
 
   const RunStats& last_run_stats() const;
   const AdjacencyArray& adjacency() const { return *adj_; }
@@ -72,12 +93,28 @@ class BfsRunner {
   VisAudit audit_vis(const BfsResult& result) const;
 
   /// Bytes of reusable engine workspace currently held (see
-  /// TwoPhaseBfs::workspace_bytes); plateaus once the runner is warm.
+  /// TwoPhaseBfs::workspace_bytes; includes the MS-BFS engine once a
+  /// kMs64 batch has built it); plateaus once the runner is warm.
   std::uint64_t workspace_bytes() const;
 
+  /// The MS-BFS engine, or null until the first kMs64 batch constructs it.
+  const MsBfs* ms_engine() const { return ms_engine_.get(); }
+
  private:
+  /// Lazily constructs the MS-BFS engine and the per-wave recycled result
+  /// buffers (first kMs64 batch only; sequential-only users never pay).
+  void ensure_ms_engine();
+
   std::unique_ptr<AdjacencyArray> adj_;
   std::unique_ptr<TwoPhaseBfs> engine_;
+  std::unique_ptr<MsBfs> ms_engine_;
+
+  // Recycled batch workspace: per-wave BfsResult buffers (their DP arrays
+  // persist across batches), the pointer table run_wave consumes, and the
+  // validator's per-vertex scratch.
+  std::vector<BfsResult> batch_results_;
+  std::vector<BfsResult*> wave_ptrs_;
+  ValidationWorkspace validation_ws_;
 };
 
 }  // namespace fastbfs

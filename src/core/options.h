@@ -39,6 +39,14 @@ enum class PbvEncoding {
   kPairs,    // explicit (parent, child) pairs
 };
 
+/// How BfsRunner::run_batch executes a Graph500-style batch of search
+/// keys (see DESIGN.md "Multi-source batching").
+enum class BatchMode {
+  kSequential,  // one run_into per key through the single-source engine
+  kMs64,        // bit-parallel MS-BFS: waves of up to 64 keys share one
+                // edge sweep via per-vertex 64-bit source masks
+};
+
 /// Traversal direction policy (Beamer-style direction optimization; see
 /// DESIGN.md "Direction-optimizing extension"). Bottom-up steps walk each
 /// socket's local vertex range and probe the frontier as a dense bitmap,
@@ -59,6 +67,9 @@ struct BfsOptions {
   PbvEncoding pbv_encoding = PbvEncoding::kAuto;
 
   DirectionMode direction = DirectionMode::kTopDown;
+  /// Batch execution mode used by BfsRunner::run_batch; single-source
+  /// runs (run / run_into) ignore it.
+  BatchMode batch_mode = BatchMode::kSequential;
   /// kAuto switches top-down -> bottom-up when the frontier's out-edges
   /// exceed 1/alpha of the still-unexplored edges (and 1/beta of all
   /// arcs); it switches back when the frontier shrinks below |V|/beta

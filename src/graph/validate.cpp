@@ -58,6 +58,63 @@ ValidationReport validate_bfs_tree(const CsrGraph& g, const BfsResult& result) {
   return {};
 }
 
+ValidationReport validate_bfs_tree_into(const CsrGraph& g,
+                                        const BfsResult& result,
+                                        ValidationWorkspace& ws) {
+  const DepthParent& dp = result.dp;
+  if (dp.size() != g.n_vertices()) {
+    return fail("result size does not match graph");
+  }
+  if (g.n_vertices() == 0) return {};
+
+  const vid_t root = result.root;
+  if (!dp.visited(root) || dp.depth(root) != 0 || dp.parent(root) != root) {
+    return fail("root must have depth 0 and be its own parent");
+  }
+
+  // Local depth/parent rules first (cheap, no adjacency access).
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (!dp.visited(v) || v == root) continue;
+    const depth_t d = dp.depth(v);
+    const vid_t p = dp.parent(v);
+    if (d == 0) return fail(vdesc(v) + ": non-root with depth 0");
+    if (!dp.visited(p)) return fail(vdesc(v) + ": parent unvisited");
+    if (dp.depth(p) + 1 != d) {
+      return fail(vdesc(v) + ": depth not parent depth + 1");
+    }
+  }
+
+  // One sweep over the arcs of visited vertices checks level completeness
+  // and |Δdepth| <= 1, and *witnesses* tree edges as a side effect: when
+  // v's arc list contains a w that claims v as parent one level deeper,
+  // w's tree edge exists. Each arc is touched once — the O(|V| + |E|)
+  // replacement for searching parent adjacency per vertex.
+  ws.confirmed.assign(g.n_vertices(), 0);
+  ws.confirmed[root] = 1;
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (!dp.visited(v)) continue;
+    const depth_t d = dp.depth(v);
+    for (const vid_t w : g.neighbors(v)) {
+      if (!dp.visited(w)) {
+        return fail(vdesc(w) + ": unvisited neighbor of visited " + vdesc(v));
+      }
+      const depth_t dw = dp.depth(w);
+      if (dw + 1 < d || d + 1 < dw) {
+        std::ostringstream os;
+        os << "edge (" << v << "," << w << "): depths differ by more than 1";
+        return fail(os.str());
+      }
+      if (dw == d + 1 && dp.parent(w) == v) ws.confirmed[w] = 1;
+    }
+  }
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    if (dp.visited(v) && !ws.confirmed[v]) {
+      return fail(vdesc(v) + ": tree edge (parent,v) not in graph");
+    }
+  }
+  return {};
+}
+
 ValidationReport validate_depths_match(const CsrGraph& g,
                                        const BfsResult& result) {
   const BfsResult ref = reference_bfs(g, result.root);

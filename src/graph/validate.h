@@ -14,7 +14,9 @@
 // reference_bfs exactly.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/bfs_result.h"
 #include "graph/csr.h"
@@ -26,8 +28,25 @@ struct ValidationReport {
   std::string error;  // first violated rule, empty when ok
 };
 
+/// Reusable per-vertex scratch for validate_bfs_tree_into. Sized on first
+/// use and recycled after, so a warm validation loop (run_batch with
+/// validation on) performs no heap allocation.
+struct ValidationWorkspace {
+  std::vector<std::uint8_t> confirmed;
+};
+
 /// Full validation of `result` as a BFS tree of `g` rooted at result.root.
 ValidationReport validate_bfs_tree(const CsrGraph& g, const BfsResult& result);
+
+/// Workspace form of validate_bfs_tree, and the stronger implementation:
+/// tree-edge existence is confirmed while sweeping each visited vertex's
+/// arcs once — O(|V| + |E|) total — instead of searching parent adjacency
+/// lists per vertex (which degenerates to quadratic on star graphs).
+/// Same rules, same error messages; allocation-free once `ws` is warm for
+/// this vertex count.
+ValidationReport validate_bfs_tree_into(const CsrGraph& g,
+                                        const BfsResult& result,
+                                        ValidationWorkspace& ws);
 
 /// Depth-only equivalence against the reference BFS (rule: depths are a
 /// function of the graph and root, independent of traversal order).

@@ -36,6 +36,21 @@ void append_binned_scalar(const vid_t* ids, std::size_t n, unsigned shift,
   }
 }
 
+void append_binned_mask_scalar(const vid_t* ids, std::size_t n,
+                               unsigned shift, vid_t parent,
+                               std::uint64_t mask, vid_t* const* child_bins,
+                               vid_t* const* parent_bins,
+                               std::uint64_t* const* mask_bins,
+                               std::uint32_t* cursors) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t b = ids[i] >> shift;
+    const std::uint32_t c = cursors[b]++;
+    child_bins[b][c] = ids[i];
+    parent_bins[b][c] = parent;
+    mask_bins[b][c] = mask;
+  }
+}
+
 #if FASTBFS_HAVE_SSE42
 
 void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
@@ -77,6 +92,51 @@ void append_binned_sse(const vid_t* ids, std::size_t n, unsigned shift,
   }
 }
 
+void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
+                            vid_t parent, std::uint64_t mask,
+                            vid_t* const* child_bins,
+                            vid_t* const* parent_bins,
+                            std::uint64_t* const* mask_bins,
+                            std::uint32_t* cursors) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m128i b = _mm_srl_epi32(v, sh);
+    const std::uint32_t b0 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 0));
+    const std::uint32_t b1 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 1));
+    const std::uint32_t b2 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 2));
+    const std::uint32_t b3 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 3));
+    // The child store comes from the vector lane; parent/mask are loop
+    // constants the compiler keeps in registers, so the widened record
+    // costs two extra stores per child, no extra shifts.
+    std::uint32_t c = cursors[b0]++;
+    child_bins[b0][c] = static_cast<vid_t>(_mm_extract_epi32(v, 0));
+    parent_bins[b0][c] = parent;
+    mask_bins[b0][c] = mask;
+    c = cursors[b1]++;
+    child_bins[b1][c] = static_cast<vid_t>(_mm_extract_epi32(v, 1));
+    parent_bins[b1][c] = parent;
+    mask_bins[b1][c] = mask;
+    c = cursors[b2]++;
+    child_bins[b2][c] = static_cast<vid_t>(_mm_extract_epi32(v, 2));
+    parent_bins[b2][c] = parent;
+    mask_bins[b2][c] = mask;
+    c = cursors[b3]++;
+    child_bins[b3][c] = static_cast<vid_t>(_mm_extract_epi32(v, 3));
+    parent_bins[b3][c] = parent;
+    mask_bins[b3][c] = mask;
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t b = ids[i] >> shift;
+    const std::uint32_t c = cursors[b]++;
+    child_bins[b][c] = ids[i];
+    parent_bins[b][c] = parent;
+    mask_bins[b][c] = mask;
+  }
+}
+
 #else  // !FASTBFS_HAVE_SSE42
 
 void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
@@ -87,6 +147,16 @@ void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
 void append_binned_sse(const vid_t* ids, std::size_t n, unsigned shift,
                        svid_t* const* bins, std::uint32_t* cursors) {
   append_binned_scalar(ids, n, shift, bins, cursors);
+}
+
+void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
+                            vid_t parent, std::uint64_t mask,
+                            vid_t* const* child_bins,
+                            vid_t* const* parent_bins,
+                            std::uint64_t* const* mask_bins,
+                            std::uint32_t* cursors) {
+  append_binned_mask_scalar(ids, n, shift, parent, mask, child_bins,
+                            parent_bins, mask_bins, cursors);
 }
 
 #endif  // FASTBFS_HAVE_SSE42

@@ -55,4 +55,47 @@ inline void append_binned(const vid_t* ids, std::size_t n, unsigned shift,
   }
 }
 
+// ---- 64-bit-mask-carrying variants (MS-BFS, core/ms_bfs.h) -------------
+//
+// The multi-source engine bins (child, parent, source-mask) records into
+// three parallel per-bin streams that share one cursor: `child_bins[b][c]`
+// / `parent_bins[b][c]` / `mask_bins[b][c]` form record c of bin b.
+// `parent` and `mask` are loop constants — the frontier vertex being
+// expanded and the 64-bit set of sources it is on the frontier of — so
+// only the child ids need the vectorized shift. Same bit-identical
+// scalar/SSE contract as append_binned.
+
+/// Scalar reference for the mask-carrying append.
+void append_binned_mask_scalar(const vid_t* ids, std::size_t n,
+                               unsigned shift, vid_t parent,
+                               std::uint64_t mask, vid_t* const* child_bins,
+                               vid_t* const* parent_bins,
+                               std::uint64_t* const* mask_bins,
+                               std::uint32_t* cursors);
+
+/// SSE variant: bin indices for 4 children computed per vector op, stores
+/// issued from the lanes. Bit-identical to the scalar version.
+void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
+                            vid_t parent, std::uint64_t mask,
+                            vid_t* const* child_bins,
+                            vid_t* const* parent_bins,
+                            std::uint64_t* const* mask_bins,
+                            std::uint32_t* cursors);
+
+/// Dispatches to the SSE mask kernel when available and enabled.
+inline void append_binned_mask(const vid_t* ids, std::size_t n,
+                               unsigned shift, vid_t parent,
+                               std::uint64_t mask, vid_t* const* child_bins,
+                               vid_t* const* parent_bins,
+                               std::uint64_t* const* mask_bins,
+                               std::uint32_t* cursors, bool use_simd) {
+  if (use_simd && simd_binning_available()) {
+    append_binned_mask_sse(ids, n, shift, parent, mask, child_bins,
+                           parent_bins, mask_bins, cursors);
+  } else {
+    append_binned_mask_scalar(ids, n, shift, parent, mask, child_bins,
+                              parent_bins, mask_bins, cursors);
+  }
+}
+
 }  // namespace fastbfs

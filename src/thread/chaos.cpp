@@ -46,7 +46,7 @@ std::uint64_t mix64(std::uint64_t z) {
 
 bool barrier_family(Point p) {
   return p == Point::kPbvPublish || p == Point::kPhase2Barrier ||
-         p == Point::kBarrierArrive;
+         p == Point::kBarrierArrive || p == Point::kMsPublish;
 }
 
 }  // namespace
@@ -60,6 +60,8 @@ const char* point_name(Point p) {
     case Point::kPhase2Barrier: return "phase2-barrier";
     case Point::kBottomUpClaim: return "bottom-up-claim";
     case Point::kBarrierArrive: return "barrier-arrive";
+    case Point::kMsMaskOr: return "ms-mask-or";
+    case Point::kMsPublish: return "ms-publish";
     case Point::kCount: break;
   }
   return "?";

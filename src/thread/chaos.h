@@ -45,6 +45,10 @@ enum class Point : unsigned {
   kPhase2Barrier,   // before the barrier that publishes BV_N
   kBottomUpClaim,   // bottom-up scan: before claiming depth/parent
   kBarrierArrive,   // any other engine barrier arrival
+  kMsMaskOr,        // MS-BFS phase-II: between seen-mask load and OR store
+                    // (the lost-sibling-mask window; per-source DP claims
+                    // repair it, mirroring kVisSetRmw/kDpRecheck)
+  kMsPublish,       // before the MS-BFS PBV publication barrier
   kCount
 };
 

@@ -116,6 +116,45 @@ TEST_P(EngineFuzz, AllEnginesAgreeOnDepths) {
       check(runner.run(root), name);
     }
   }
+  // The bit-parallel multi-source engine: the fuzz root plus a random
+  // number of extra keys (duplicates allowed — the engine must tolerate
+  // them) ride one wave; every source's depth array must match its own
+  // serial reference, which subsumes the single-source check for slot 0.
+  {
+    Xoshiro256 rng(seed ^ 0x5151);
+    std::vector<vid_t> roots{root};
+    const unsigned extra =
+        static_cast<unsigned>(rng.next_below(kMsWaveWidth));
+    for (unsigned i = 0; i < extra; ++i) {
+      const vid_t r = pick_nonisolated_root(g, rng.next());
+      if (r != kInvalidVertex) roots.push_back(r);
+    }
+    BfsOptions o;
+    o.n_threads = 1 + static_cast<unsigned>(rng.next_below(6));
+    o.n_sockets = 1 + static_cast<unsigned>(rng.next_below(
+                          std::min(o.n_threads, 3u)));
+    o.scheme = static_cast<SocketScheme>(rng.next_below(3));
+    o.use_simd = rng.next_below(2) != 0;
+    if (rng.next_below(2) != 0) {
+      o.llc_bytes_override = 512 << rng.next_below(6);
+    }
+    const AdjacencyArray adj(g, o.n_sockets);
+    MsBfs ms(adj, o);
+    std::vector<BfsResult> results(roots.size());
+    std::vector<BfsResult*> ptrs;
+    for (auto& r : results) ptrs.push_back(&r);
+    ms.run_wave(roots.data(), static_cast<unsigned>(roots.size()),
+                ptrs.data());
+    for (std::size_t s = 0; s < roots.size(); ++s) {
+      const BfsResult source_ref = reference_bfs(g, roots[s]);
+      ASSERT_EQ(results[s].dp.size(), source_ref.dp.size()) << "ms-bfs";
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_EQ(results[s].dp.depth(v), source_ref.dp.depth(v))
+            << "ms-bfs source " << s << " (root " << roots[s]
+            << ") diverges at vertex " << v << " (seed " << seed << ")";
+      }
+    }
+  }
   check(baseline::parallel_atomic_bfs(g, root, 3), "atomic");
   check(baseline::no_vis_bfs(g, root, 3), "no-vis");
   check(baseline::static_partition_bfs(g, root, 3), "static");

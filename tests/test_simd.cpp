@@ -98,6 +98,89 @@ TEST(Binning, ShiftThirtyOneMapsEverythingToBinZero) {
   EXPECT_EQ(s.cursors[0], 100u);
 }
 
+// --------------------------------------------------------------------------
+// Mask-carrying kernel (MS-BFS): three parallel streams per bin behind one
+// cursor; SSE must stay bit-identical to scalar on all of them.
+
+struct MaskBinSetup {
+  explicit MaskBinSetup(unsigned n_bins, std::size_t capacity)
+      : child_storage(n_bins, std::vector<vid_t>(capacity)),
+        parent_storage(n_bins, std::vector<vid_t>(capacity)),
+        mask_storage(n_bins, std::vector<std::uint64_t>(capacity)),
+        cursors(n_bins, 0) {
+    for (auto& s : child_storage) child_ptrs.push_back(s.data());
+    for (auto& s : parent_storage) parent_ptrs.push_back(s.data());
+    for (auto& s : mask_storage) mask_ptrs.push_back(s.data());
+  }
+  std::vector<std::vector<vid_t>> child_storage, parent_storage;
+  std::vector<std::vector<std::uint64_t>> mask_storage;
+  std::vector<vid_t*> child_ptrs, parent_ptrs;
+  std::vector<std::uint64_t*> mask_ptrs;
+  std::vector<std::uint32_t> cursors;
+};
+
+TEST(MaskBinning, SseMatchesScalarAcrossSizesAndShifts) {
+  for (const auto& [n, shift] :
+       {std::pair{0ul, 17u}, std::pair{1ul, 17u}, std::pair{3ul, 17u},
+        std::pair{4ul, 18u}, std::pair{5ul, 18u}, std::pair{1000ul, 16u},
+        std::pair{4096ul, 19u}, std::pair{10000ul, 15u}}) {
+    const unsigned n_bins = 1u << (20 - shift);
+    const auto ids = random_ids(n, 1u << 20, /*seed=*/7 * n + shift);
+    // Two append rounds of n records each land in the same bins.
+    MaskBinSetup a(n_bins, 2 * n), b(n_bins, 2 * n);
+    // A couple of appends per setup: cursors must carry across calls and
+    // every stream must stay in lockstep.
+    for (const auto& [parent, mask] :
+         {std::pair<vid_t, std::uint64_t>{41u, 0x8000000000000001ull},
+          std::pair<vid_t, std::uint64_t>{7u, 0x00f0ff00a5a5a5a5ull}}) {
+      const std::size_t half = n / 2;
+      append_binned_mask_scalar(ids.data(), half, shift, parent, mask,
+                                a.child_ptrs.data(), a.parent_ptrs.data(),
+                                a.mask_ptrs.data(), a.cursors.data());
+      append_binned_mask_scalar(ids.data() + half, n - half, shift, parent,
+                                mask, a.child_ptrs.data(),
+                                a.parent_ptrs.data(), a.mask_ptrs.data(),
+                                a.cursors.data());
+      append_binned_mask_sse(ids.data(), half, shift, parent, mask,
+                             b.child_ptrs.data(), b.parent_ptrs.data(),
+                             b.mask_ptrs.data(), b.cursors.data());
+      append_binned_mask_sse(ids.data() + half, n - half, shift, parent,
+                             mask, b.child_ptrs.data(), b.parent_ptrs.data(),
+                             b.mask_ptrs.data(), b.cursors.data());
+    }
+    ASSERT_EQ(a.cursors, b.cursors) << "n=" << n << " shift=" << shift;
+    for (unsigned bin = 0; bin < n_bins; ++bin) {
+      for (std::uint32_t i = 0; i < a.cursors[bin]; ++i) {
+        ASSERT_EQ(a.child_storage[bin][i], b.child_storage[bin][i])
+            << "bin " << bin << " slot " << i;
+        ASSERT_EQ(a.parent_storage[bin][i], b.parent_storage[bin][i])
+            << "bin " << bin << " slot " << i;
+        ASSERT_EQ(a.mask_storage[bin][i], b.mask_storage[bin][i])
+            << "bin " << bin << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(MaskBinning, RoutesAndPreservesOrderWithinBin) {
+  const std::vector<vid_t> ids = {5, 3, 20, 1, 4, 21};
+  MaskBinSetup s(2, ids.size());
+  append_binned_mask(ids.data(), ids.size(), /*shift=*/4, /*parent=*/99,
+                     /*mask=*/0xdeadbeefcafef00dull, s.child_ptrs.data(),
+                     s.parent_ptrs.data(), s.mask_ptrs.data(),
+                     s.cursors.data(), /*use_simd=*/true);
+  ASSERT_EQ(s.cursors[0], 4u);
+  ASSERT_EQ(s.cursors[1], 2u);
+  EXPECT_EQ(s.child_storage[0],
+            (std::vector<vid_t>{5, 3, 1, 4, 0, 0}));  // stable order
+  EXPECT_EQ(s.child_storage[1][0], 20u);
+  EXPECT_EQ(s.child_storage[1][1], 21u);
+  for (std::uint32_t i = 0; i < s.cursors[0]; ++i) {
+    EXPECT_EQ(s.parent_storage[0][i], 99u);
+    EXPECT_EQ(s.mask_storage[0][i], 0xdeadbeefcafef00dull);
+  }
+}
+
 TEST(Binning, AvailabilityIsConsistent) {
   // Whatever the host supports, the dispatcher must not crash and must
   // produce scalar-identical results.

@@ -105,6 +105,48 @@ TEST(SteadyState, WarmAutoDirectionRunAllocatesNothing) {
       << "test graph was meant to exercise bottom-up steps";
 }
 
+// Shared body of the warm-batch gates: run_batch_into (validation on, the
+// expensive configuration) must stop touching the heap once the runner and
+// the recycled BatchResult are warm — the batch extension of the run_into
+// zero-allocation contract, in both batch modes.
+void expect_warm_batches_allocate_nothing(BatchMode mode) {
+  const CsrGraph g = rmat_graph(10, 8, /*seed=*/13);
+  BfsOptions opts = steady_opts();
+  opts.batch_mode = mode;
+  BfsRunner runner(g, opts);
+
+  if (!testing::allocation_counting_active()) {
+    GTEST_SKIP() << "allocation-counting operator new not linked in";
+  }
+
+  BatchResult out;
+  runner.run_batch_into(g, 12, /*seed=*/21, out, /*validate=*/true);
+  ASSERT_EQ(out.validated, out.runs);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t probe = testing::allocation_count();
+    runner.run_batch_into(g, 12, 21, out, true);
+    runner.run_batch_into(g, 7, 22, out, true);
+    if (testing::allocation_count() == probe) break;
+  }
+
+  const std::uint64_t before = testing::allocation_count();
+  runner.run_batch_into(g, 12, 21, out, true);
+  runner.run_batch_into(g, 7, 22, out, true);
+  const std::uint64_t after = testing::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a warm validated run_batch_into must not touch the heap";
+  EXPECT_EQ(out.runs, 7u);
+  EXPECT_EQ(out.validated, 7u);
+}
+
+TEST(SteadyState, WarmSequentialBatchAllocatesNothing) {
+  expect_warm_batches_allocate_nothing(BatchMode::kSequential);
+}
+
+TEST(SteadyState, WarmMs64BatchAllocatesNothing) {
+  expect_warm_batches_allocate_nothing(BatchMode::kMs64);
+}
+
 TEST(SteadyState, DividePlansOncePerPhasePerStep) {
   // High-diameter grid: stays strictly top-down, many steps. An all-top-
   // down run of S steps computes exactly 2*S plans — one plan1 per step

@@ -23,6 +23,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -306,6 +307,141 @@ std::string run_one(const TortureGraph& tg, const EngineAxis& axis,
   ++stats->runs;
   chaos::disable();
   return failure;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-source engine enrollment: one wave of kMsTortureSources per
+// perturbed schedule, every source checked against its own precomputed
+// serial oracle plus the tree validator. The MS axes drop the VIS/direction
+// dimensions (masks replace VIS; waves are always top-down) and instead
+// vary the scheme / thread / mask-tiling knobs the engine actually has.
+
+constexpr unsigned kMsTortureSources = 16;
+
+struct MsOracle {
+  std::vector<vid_t> roots;
+  std::vector<BfsResult> refs;
+};
+
+const MsOracle& ms_oracle(const TortureGraph& tg) {
+  static std::map<std::string, MsOracle>* cache =
+      new std::map<std::string, MsOracle>;
+  auto it = cache->find(tg.name);
+  if (it != cache->end()) return it->second;
+  MsOracle o;
+  o.roots.push_back(tg.root);
+  for (vid_t v = 0; v < tg.graph.n_vertices() &&
+                    o.roots.size() < kMsTortureSources;
+       ++v) {
+    if (tg.graph.degree(v) > 0 && v != tg.root) o.roots.push_back(v);
+  }
+  for (const vid_t r : o.roots) o.refs.push_back(reference_bfs(tg.graph, r));
+  return cache->emplace(tg.name, std::move(o)).first->second;
+}
+
+std::vector<EngineAxis> ms_axes() {
+  using S = SocketScheme;
+  using V = VisMode;
+  using D = DirectionMode;
+  return {
+      {S::kLoadBalanced, V::kBit, D::kTopDown, 4, 2, 0},
+      {S::kLoadBalanced, V::kBit, D::kTopDown, 3, 1, 2048},  // multi-tile
+      {S::kSocketAware, V::kBit, D::kTopDown, 4, 2, 512},
+      {S::kNone, V::kBit, D::kTopDown, 2, 1, 0},  // single-bin path
+  };
+}
+
+std::string run_one_ms(const TortureGraph& tg, const EngineAxis& axis,
+                       const chaos::Config& cfg, SweepStats* stats) {
+  const MsOracle& oracle = ms_oracle(tg);
+  chaos::enable(cfg);
+  std::string failure;
+  {
+    const AdjacencyArray adj(tg.graph, axis.sockets);
+    MsBfs engine(adj, axis_options(axis));
+    std::vector<BfsResult> results(oracle.roots.size());
+    std::vector<BfsResult*> ptrs;
+    for (auto& r : results) ptrs.push_back(&r);
+    engine.run_wave(oracle.roots.data(),
+                    static_cast<unsigned>(oracle.roots.size()), ptrs.data());
+    ValidationWorkspace ws;
+    for (std::size_t s = 0; s < oracle.roots.size() && failure.empty();
+         ++s) {
+      for (vid_t v = 0; v < tg.graph.n_vertices(); ++v) {
+        if (results[s].dp.depth(v) != oracle.refs[s].dp.depth(v)) {
+          std::ostringstream fail;
+          fail << "ms-bfs source " << s << " (root " << oracle.roots[s]
+               << ") depth mismatch at vertex " << v << ": engine "
+               << results[s].dp.depth(v) << ", oracle "
+               << oracle.refs[s].dp.depth(v);
+          failure = fail.str();
+          break;
+        }
+      }
+      if (failure.empty()) {
+        const ValidationReport report =
+            validate_bfs_tree_into(tg.graph, results[s], ws);
+        if (!report.ok) {
+          failure = "ms-bfs source " + std::to_string(s) +
+                    " invalid tree: " + report.error;
+        }
+      }
+    }
+  }
+  stats->injected += chaos::injected_total();
+  ++stats->runs;
+  chaos::disable();
+  return failure;
+}
+
+TEST(Torture, MsEngineSurvivesPerturbedSchedules) {
+  const bool full = full_sweep();
+  const unsigned seeds = env_unsigned("FASTBFS_TORTURE_SEEDS", full ? 40 : 6);
+  SweepStats stats;
+  for (const TortureGraph& tg : corpus()) {
+    for (const EngineAxis& axis : ms_axes()) {
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const chaos::Config cfg = sweep_config(seed);
+        const std::string failure = run_one_ms(tg, axis, cfg, &stats);
+        if (!failure.empty()) {
+          const ReplaySpec spec{tg.name, axis, seed, cfg.act_per_256};
+          ADD_FAILURE() << failure << "\n  " << spec.to_string();
+        }
+      }
+    }
+  }
+  std::cout << "[torture] ms-bfs: " << stats.runs
+            << " perturbed waves x " << kMsTortureSources << " sources, "
+            << stats.injected << " injected events\n";
+}
+
+// The MS hooks must sit inside the windows they claim to perturb: the
+// seen[] load->OR->store gap (kMsMaskOr), the record-publication barrier
+// (kMsPublish), and the shared DP re-check/phase-2 points.
+TEST(Torture, ChaosReachesTheMsRacyWindows) {
+  chaos::Config cfg = sweep_config(11);
+  cfg.act_per_256 = 256;
+  chaos::enable(cfg);
+  {
+    const TortureGraph& tg = corpus_entry("collider-4x2048");
+    const AdjacencyArray adj(tg.graph, 2);
+    MsBfs engine(adj, axis_options({SocketScheme::kLoadBalanced,
+                                    VisMode::kBit, DirectionMode::kTopDown,
+                                    4, 2, 0}));
+    const MsOracle& oracle = ms_oracle(tg);
+    std::vector<BfsResult> results(oracle.roots.size());
+    std::vector<BfsResult*> ptrs;
+    for (auto& r : results) ptrs.push_back(&r);
+    engine.run_wave(oracle.roots.data(),
+                    static_cast<unsigned>(oracle.roots.size()), ptrs.data());
+    EXPECT_GT(chaos::visit_count(chaos::Point::kMsMaskOr), 0u);
+    EXPECT_GT(chaos::visit_count(chaos::Point::kMsPublish), 0u);
+    EXPECT_GT(chaos::visit_count(chaos::Point::kDpRecheck), 0u);
+    EXPECT_GT(chaos::visit_count(chaos::Point::kPhase2Barrier), 0u);
+    EXPECT_GT(chaos::visit_count(chaos::Point::kBarrierArrive), 0u);
+    EXPECT_GT(chaos::injected_total(), 0u);
+  }
+  chaos::disable();
 }
 
 class MutationGuard {

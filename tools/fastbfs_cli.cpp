@@ -68,6 +68,12 @@ SocketScheme parse_scheme(const std::string& s) {
   throw std::runtime_error("unknown --scheme value: " + s);
 }
 
+BatchMode parse_batch_mode(const std::string& m) {
+  if (m == "seq" || m == "sequential") return BatchMode::kSequential;
+  if (m == "ms64" || m == "ms") return BatchMode::kMs64;
+  throw std::runtime_error("unknown --batch-mode value: " + m);
+}
+
 DirectionMode parse_direction(const std::string& d) {
   if (d == "td" || d == "topdown") return DirectionMode::kTopDown;
   if (d == "bu" || d == "bottomup") return DirectionMode::kBottomUp;
@@ -162,12 +168,18 @@ int cmd_batch(const CliArgs& args) {
   opts.n_threads = static_cast<unsigned>(args.get_int("threads", 4));
   opts.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
   apply_direction_flags(args, opts);
+  opts.batch_mode = parse_batch_mode(args.get("batch-mode", "seq"));
   BfsRunner runner(g, opts);
   const unsigned n_roots = static_cast<unsigned>(args.get_int("roots", 16));
   const BatchResult b = runner.run_batch(
       g, n_roots, static_cast<std::uint64_t>(args.get_int("seed", 1)),
       args.get_bool("validate", true));
-  std::printf("runs %u, validated %u\n", b.runs, b.validated);
+  if (b.waves > 0) {
+    std::printf("runs %u, validated %u (ms64: %u waves)\n", b.runs,
+                b.validated, b.waves);
+  } else {
+    std::printf("runs %u, validated %u\n", b.runs, b.validated);
+  }
   std::printf("TEPS min %.3e  mean %.3e  harmonic %.3e  max %.3e\n",
               b.min_teps, b.mean_teps, b.harmonic_teps, b.max_teps);
   return b.validated == b.runs ? 0 : 1;
@@ -252,6 +264,7 @@ int usage() {
       "           --width=W --height=H --keep=P] [--seed=S]\n"
       "  info    --in=FILE [--histogram]\n"
       "  batch   --in=FILE [--roots=16] [--validate=1]   (Graph500 kernel 2)\n"
+      "          [--batch-mode=seq|ms64]   (ms64: 64-wide bit-parallel MS-BFS)\n"
       "          [--direction=td|bu|auto --alpha=15 --beta=18]\n"
       "  bfs     --in=FILE [--root=N|--roots=K] [--threads=4 --sockets=2]\n"
       "          [--vis=partitioned] [--scheme=balanced] [--validate]\n"
