@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 
 #include "graph/stats.h"
-#include "platform/cache_info.h"
-#include "util/aligned_buffer.h"
+#include "model/calibrate.h"
 #include "util/timer.h"
 
 namespace fastbfs::bench {
@@ -164,78 +162,117 @@ Measured measure_serial(const CsrGraph& g, unsigned runs, std::uint64_t seed) {
                       });
 }
 
+// Host calibration moved into the library (model/calibrate.h) so the CLI
+// can use it too; these forwarders keep every existing bench call site.
 double read_bandwidth(std::size_t bytes, int reps) {
-  AlignedBuffer<std::uint64_t> buf(bytes / 8, kPageSize);
-  buf.fill(1);
-  volatile std::uint64_t sink = 0;
-  double best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    std::uint64_t sum = 0;
-    for (std::size_t i = 0; i < buf.size(); ++i) sum += buf[i];
-    const double s = t.seconds();
-    sink = sink + sum;
-    best = std::max(best, static_cast<double>(bytes) / s / 1e9);
-  }
-  return best;
+  return model::read_bandwidth(bytes, reps);
 }
 
 double write_bandwidth(std::size_t bytes, int reps) {
-  AlignedBuffer<std::uint64_t> buf(bytes / 8, kPageSize);
-  double best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = i;
-    const double s = t.seconds();
-    best = std::max(best, static_cast<double>(bytes) / s / 1e9);
-  }
-  return best;
+  return model::write_bandwidth(bytes, reps);
 }
 
 double copy_bandwidth(std::size_t bytes, int reps) {
-  AlignedBuffer<std::uint64_t> a(bytes / 16, kPageSize);
-  AlignedBuffer<std::uint64_t> b(bytes / 16, kPageSize);
-  a.fill(3);
-  double best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    for (std::size_t i = 0; i < a.size(); ++i) b[i] = a[i];
-    const double s = t.seconds();
-    // Copy moves read + write traffic.
-    best = std::max(best, static_cast<double>(a.size() * 16) / s / 1e9);
-  }
-  return best;
+  return model::copy_bandwidth(bytes, reps);
 }
 
 model::PlatformParams calibrated_host_params() {
-  const CacheGeometry host = host_cache_geometry();
-  model::PlatformParams p = model::nehalem_ep();
-  p.freq_ghz = host_freq_ghz();
-  const std::size_t big = 128u << 20;
-  const std::size_t small = host.l2_bytes / 2;
-  p.b_mem = read_bandwidth(big, 2);
-  p.b_mem_max = std::max(p.b_mem, copy_bandwidth(big, 2));
-  p.b_llc_to_l2 = read_bandwidth(small, 500);
-  p.b_l2_to_llc = write_bandwidth(small, 500);
-  p.l2_bytes = static_cast<double>(host.l2_bytes);
-  p.llc_bytes = static_cast<double>(host.llc_bytes);
-  p.n_sockets = 1;
-  return p;
+  return model::calibrated_host_params();
 }
 
-double host_freq_ghz() {
-  std::ifstream in("/proc/cpuinfo");
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.rfind("cpu MHz", 0) == 0) {
-      const auto colon = line.find(':');
-      if (colon != std::string::npos) {
-        const double mhz = std::strtod(line.c_str() + colon + 1, nullptr);
-        if (mhz > 100.0) return mhz / 1000.0;
-      }
+double host_freq_ghz() { return model::host_freq_ghz(); }
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
-  return 2.0;
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  // JSON has no inf/nan literals; null is the conventional stand-in.
+  for (const char* p = buf; *p; ++p) {
+    if (*p == 'n' || *p == 'i') return "null";
+  }
+  return buf;
+}
+
+}  // namespace
+
+JsonFields& JsonFields::add_str(const std::string& key,
+                                const std::string& v) {
+  fields_.emplace_back(key, "\"" + json_escape(v) + "\"");
+  return *this;
+}
+
+JsonFields& JsonFields::add_int(const std::string& key, std::int64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+JsonFields& JsonFields::add_uint(const std::string& key, std::uint64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+JsonFields& JsonFields::add_num(const std::string& key, double v) {
+  fields_.emplace_back(key, json_double(v));
+  return *this;
+}
+
+JsonFields& JsonFields::add_bool(const std::string& key, bool v) {
+  fields_.emplace_back(key, v ? "true" : "false");
+  return *this;
+}
+
+JsonFields& JsonFields::add_raw(const std::string& key,
+                                const std::string& raw_json) {
+  fields_.emplace_back(key, raw_json);
+  return *this;
+}
+
+std::string JsonFields::str() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+bool write_bench_json(const std::string& path, const std::string& name,
+                      std::int64_t timestamp, const JsonFields& config,
+                      const JsonFields& metrics) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << json_escape(name) << "\",\n"
+      << "  \"timestamp\": " << timestamp << ",\n"
+      << "  \"config\": " << config.str() << ",\n"
+      << "  \"metrics\": " << metrics.str() << "\n}\n";
+  return out.good();
 }
 
 }  // namespace fastbfs::bench

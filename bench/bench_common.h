@@ -10,7 +10,10 @@
 // run from several distinct non-isolated roots and averaged.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/single_phase_bfs.h"
 #include "core/api.h"
@@ -85,5 +88,32 @@ double copy_bandwidth(std::size_t bytes, int reps);
 /// L2-resident sweep, QPI kept at the Nehalem value (no second socket to
 /// measure). Lets the Sec. IV model predict *this* machine.
 fastbfs::model::PlatformParams calibrated_host_params();
+
+/// Minimal insertion-ordered JSON object builder for the shared bench
+/// reporter: each add_* renders the value immediately, str() wraps the
+/// fields in braces. Strings are escaped; add_raw splices a pre-rendered
+/// JSON fragment (nested object/array) verbatim.
+class JsonFields {
+ public:
+  JsonFields& add_str(const std::string& key, const std::string& v);
+  JsonFields& add_int(const std::string& key, std::int64_t v);
+  JsonFields& add_uint(const std::string& key, std::uint64_t v);
+  JsonFields& add_num(const std::string& key, double v);
+  JsonFields& add_bool(const std::string& key, bool v);
+  JsonFields& add_raw(const std::string& key, const std::string& raw_json);
+  std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// The one bench JSON schema (CI parses these artifacts uniformly):
+///   {"bench": <name>, "timestamp": <unix seconds>,
+///    "config": {...}, "metrics": {...}}
+/// Returns false (after printing a warning) when `path` cannot be opened —
+/// benches keep running; the artifact is best-effort.
+bool write_bench_json(const std::string& path, const std::string& name,
+                      std::int64_t timestamp, const JsonFields& config,
+                      const JsonFields& metrics);
 
 }  // namespace fastbfs::bench

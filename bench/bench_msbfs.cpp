@@ -13,6 +13,8 @@
 // --div=1 (or --scale=paper) to measure it unscaled.
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -121,35 +123,35 @@ int main(int argc, char** argv) {
       "%.2fx  [%s]\n",
       scale, speedup, pass ? "PASS" : "FAIL");
 
-  FILE* json = std::fopen("BENCH_msbfs.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"msbfs\",\n"
-                 "  \"graph\": \"rmat\",\n"
-                 "  \"scale\": %u,\n"
-                 "  \"edge_factor\": 16,\n"
-                 "  \"threads\": %u,\n"
-                 "  \"sockets\": %u,\n"
-                 "  \"acceptance_speedup_k64\": %.4f,\n"
-                 "  \"acceptance_pass\": %s,\n"
-                 "  \"batches\": [\n",
-                 scale, env.threads, env.sockets, speedup,
-                 pass ? "true" : "false");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(
-          json,
-          "    {\"k\": %u, \"seq_harmonic_teps\": %.1f, "
-          "\"ms64_harmonic_teps\": %.1f, \"seq_batch_seconds\": %.6f, "
-          "\"ms64_batch_seconds\": %.6f, \"ms64_waves\": %u, "
-          "\"seq_validated\": %u, \"ms64_validated\": %u, \"runs\": %u}%s\n",
-          r.k, r.seq.harmonic_teps, r.ms.harmonic_teps, r.seq.seconds,
-          r.ms.seconds, r.ms.waves, r.seq.validated, r.ms.validated,
-          r.seq.runs, i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+  JsonFields config;
+  config.add_str("graph", "rmat")
+      .add_uint("scale", scale)
+      .add_int("edge_factor", 16)
+      .add_uint("threads", env.threads)
+      .add_uint("sockets", env.sockets);
+  std::string batches = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    JsonFields b;
+    b.add_uint("k", r.k)
+        .add_num("seq_harmonic_teps", r.seq.harmonic_teps)
+        .add_num("ms64_harmonic_teps", r.ms.harmonic_teps)
+        .add_num("seq_batch_seconds", r.seq.seconds)
+        .add_num("ms64_batch_seconds", r.ms.seconds)
+        .add_uint("ms64_waves", r.ms.waves)
+        .add_uint("seq_validated", r.seq.validated)
+        .add_uint("ms64_validated", r.ms.validated)
+        .add_uint("runs", r.seq.runs);
+    if (i > 0) batches += ", ";
+    batches += b.str();
+  }
+  batches += "]";
+  JsonFields metrics;
+  metrics.add_num("acceptance_speedup_k64", speedup)
+      .add_bool("acceptance_pass", pass)
+      .add_raw("batches", batches);
+  if (write_bench_json("BENCH_msbfs.json", "msbfs", std::time(nullptr),
+                       config, metrics)) {
     std::printf("wrote BENCH_msbfs.json\n");
   }
   return pass ? 0 : 1;

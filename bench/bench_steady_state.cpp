@@ -21,6 +21,7 @@
 // with --div=1 (or --scale=paper) to measure them unscaled.
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <vector>
 
 #include "bench_common.h"
@@ -157,6 +158,7 @@ int main(int argc, char** argv) {
   // Graph500 batch: run_batch now routes through run_into with a single
   // recycled result; its harmonic TEPS must be no worse than running the
   // same roots through the per-call API.
+  double batch_ratio = 0.0, recycled_harm = 0.0, percall_harm = 0.0;
   {
     const unsigned n_roots = std::max(env.runs, 8u);
     BfsRunner batch_runner(rmat, env.engine_options());
@@ -172,16 +174,34 @@ int main(int argc, char** argv) {
       inv_sum += 2.0 * r.seconds / static_cast<double>(r.edges_traversed);
       ++counted;
     }
-    const double percall_harm = counted > 0 && inv_sum > 0.0
-                                    ? counted / inv_sum
-                                    : 0.0;
-    const double ratio =
+    percall_harm = counted > 0 && inv_sum > 0.0 ? counted / inv_sum : 0.0;
+    recycled_harm = recycled.harmonic_teps;
+    batch_ratio =
         percall_harm > 0.0 ? recycled.harmonic_teps / percall_harm : 0.0;
     std::printf(
         "\nRMAT-%u run_batch harmonic TEPS  recycled %.1f M  per-call %.1f M"
         "  ratio %.2fx  valid %u/%u  [%s]\n",
-        rmat_scale, recycled.harmonic_teps / 1e6, percall_harm / 1e6, ratio,
-        recycled.validated, recycled.runs, ratio >= 0.95 ? "PASS" : "FAIL");
+        rmat_scale, recycled.harmonic_teps / 1e6, percall_harm / 1e6,
+        batch_ratio, recycled.validated, recycled.runs,
+        batch_ratio >= 0.95 ? "PASS" : "FAIL");
+  }
+
+  JsonFields config;
+  config.add_uint("grid_side", grid_side)
+      .add_uint("rmat_scale", rmat_scale)
+      .add_uint("threads", env.threads)
+      .add_uint("sockets", env.sockets)
+      .add_uint("iters", iters);
+  JsonFields metrics;
+  metrics.add_num("grid_recycled_speedup", grid_speedup)
+      .add_num("batch_recycled_harmonic_teps", recycled_harm)
+      .add_num("batch_percall_harmonic_teps", percall_harm)
+      .add_num("batch_teps_ratio", batch_ratio)
+      .add_bool("acceptance_pass",
+                grid_speedup >= 0.95 && batch_ratio >= 0.95);
+  if (write_bench_json("BENCH_steady_state.json", "steady_state",
+                       std::time(nullptr), config, metrics)) {
+    std::printf("wrote BENCH_steady_state.json\n");
   }
   return 0;
 }

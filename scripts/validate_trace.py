@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a fastbfs Chrome trace-event JSON export.
+
+Checks, beyond "it parses":
+  - the envelope: traceEvents list, displayTimeUnit, otherData.dropped;
+  - every event has the fields its phase requires (M metadata, X complete
+    spans with positive dur, i instants with scope "t");
+  - per (pid, tid) track, "X" spans form a proper containment hierarchy
+    (partial overlap on one thread's track means the recorder or exporter
+    corrupted span boundaries);
+  - optionally (--expect-spans) that the trace is non-empty and contains
+    the engine's span names — used by the CI trace-smoke job against a
+    -DFASTBFS_TRACE=ON binary.
+
+Exit code 0 on a valid trace, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+# Independently rounded %.3f microsecond timestamps can disagree by one
+# printed unit on each endpoint.
+EPS = 2e-3
+
+ENGINE_SPANS = {"run", "step", "phase1", "phase2"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--expect-spans",
+        action="store_true",
+        help="require a non-empty trace containing the engine span names",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    if not isinstance(root, dict) or "traceEvents" not in root:
+        fail("missing traceEvents")
+    events = root["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+    if root.get("displayTimeUnit") != "ms":
+        fail("missing displayTimeUnit")
+    dropped = root.get("otherData", {}).get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        fail("otherData.dropped missing or negative")
+
+    tracks = collections.defaultdict(list)
+    names = set()
+    counts = collections.Counter()
+    for i, e in enumerate(events):
+        where = f"event {i}: {e}"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(f"missing {key} in {where}")
+        ph = e["ph"]
+        counts[ph] += 1
+        if ph == "M":
+            if not e.get("args", {}).get("name"):
+                fail(f"metadata without args.name in {where}")
+            continue
+        if ph not in ("X", "i"):
+            fail(f"unexpected ph {ph!r} in {where}")
+        if e.get("cat") != "fastbfs":
+            fail(f"missing cat in {where}")
+        if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+            fail(f"bad ts in {where}")
+        if "step" not in e.get("args", {}):
+            fail(f"missing args.step in {where}")
+        names.add(e["name"])
+        if ph == "i":
+            if e.get("s") != "t":
+                fail(f"instant without thread scope in {where}")
+        else:
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] <= 0:
+                fail(f"bad dur in {where}")
+            tracks[(e["pid"], e["tid"])].append((e["ts"], e["ts"] + e["dur"]))
+
+    for key, spans in tracks.items():
+        # The exporter writes globally start-sorted events, so each track is
+        # already ts-ordered; re-sort defensively, then check containment.
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for ts, end in spans:
+            while stack and ts >= stack[-1][1] - EPS:
+                stack.pop()
+            if stack and end > stack[-1][1] + EPS:
+                fail(
+                    f"track {key}: span [{ts}, {end}) partially overlaps "
+                    f"[{stack[-1][0]}, {stack[-1][1]})"
+                )
+            stack.append((ts, end))
+
+    if args.expect_spans:
+        missing = ENGINE_SPANS - names
+        if missing:
+            fail(
+                f"expected engine spans missing: {sorted(missing)} "
+                f"(got {sorted(names)})"
+            )
+
+    n_spans = counts["X"] + counts["i"]
+    print(
+        f"validate_trace: OK: {n_spans} spans/instants, {counts['M']} "
+        f"metadata events, {len(tracks)} thread tracks, {dropped} dropped"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,16 @@ const RunStats& BfsRunner::last_run_stats() const {
 
 const BfsOptions& BfsRunner::options() const { return engine_->options(); }
 
+unsigned BfsRunner::n_vis_partitions() const {
+  return engine_->n_vis_partitions();
+}
+
+unsigned BfsRunner::n_pbv_bins() const { return engine_->n_pbv_bins(); }
+
+std::uint64_t BfsRunner::vis_storage_bytes() const {
+  return engine_->vis_storage_bytes();
+}
+
 VisAudit BfsRunner::audit_vis(const BfsResult& result) const {
   return engine_->audit_vis(result);
 }

@@ -88,6 +88,12 @@ class BfsRunner {
   const AdjacencyArray& adjacency() const { return *adj_; }
   const BfsOptions& options() const;
 
+  /// Engine-derived configuration (N_VIS, N_PBV, VIS storage bytes) —
+  /// what the Sec. IV model and `--model-check` need to describe a run.
+  unsigned n_vis_partitions() const;
+  unsigned n_pbv_bins() const;
+  std::uint64_t vis_storage_bytes() const;
+
   /// Cross-checks the VIS filter left by this runner's most recent run
   /// against that run's result (see VisAudit in core/two_phase_bfs.h).
   VisAudit audit_vis(const BfsResult& result) const;

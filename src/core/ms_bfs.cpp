@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "core/vis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/prefetch.h"
 #include "simd/binning.h"
 #include "thread/chaos.h"
@@ -377,6 +379,7 @@ void MsBfs::phase2(const ThreadContext& ctx, depth_t step) {
 
 void MsBfs::worker(const ThreadContext& ctx) {
   FASTBFS_CHAOS_REGISTER(ctx.thread_id);
+  FASTBFS_TRACE_REGISTER(ctx.thread_id, ctx.socket_id);
   ThreadState& me = *states_[ctx.thread_id];
   SpinBarrier& bar = pool_.barrier();
 
@@ -387,13 +390,16 @@ void MsBfs::worker(const ThreadContext& ctx) {
   // loop's first barrier publishes them.
   const Range vr =
       split_range(adj_.n_vertices(), ctx.n_threads, ctx.thread_id);
-  for (unsigned s = 0; s < wave_sources_; ++s) {
-    std::uint64_t* d = dp_[s]->data();
-    std::fill(d + vr.begin, d + vr.end, DepthParent::kInf);
-  }
-  if (vr.end > vr.begin) {
-    std::memset(seen_.data() + vr.begin, 0,
-                (vr.end - vr.begin) * sizeof(source_mask_t));
+  {
+    FASTBFS_SPAN(kMsInit, 0);
+    for (unsigned s = 0; s < wave_sources_; ++s) {
+      std::uint64_t* d = dp_[s]->data();
+      std::fill(d + vr.begin, d + vr.end, DepthParent::kInf);
+    }
+    if (vr.end > vr.begin) {
+      std::memset(seen_.data() + vr.begin, 0,
+                  (vr.end - vr.begin) * sizeof(source_mask_t));
+    }
   }
   FASTBFS_CHAOS_POINT(kBarrierArrive);
   bar.arrive_and_wait();  // all resets done before any seed lands
@@ -402,14 +408,20 @@ void MsBfs::worker(const ThreadContext& ctx) {
   for (depth_t step = 1;; ++step) {
     FASTBFS_CHAOS_POINT(kBarrierArrive);
     bar.arrive_and_wait();  // frontier + plan1_ published
-    phase1(ctx);
+    {
+      FASTBFS_SPAN(kMsPhase1, step);
+      phase1(ctx);
+    }
     // Record-publication barrier; the completion hook builds the step's
     // shared Phase-II plan exactly once (ThreadPool::publish).
     FASTBFS_CHAOS_POINT(kMsPublish);
     pool_.publish([this] {
       build_shared_plan(&ThreadState::pbv_items, plan2_);
     });
-    phase2(ctx, step);
+    {
+      FASTBFS_SPAN(kMsPhase2, step);
+      phase2(ctx, step);
+    }
     FASTBFS_CHAOS_POINT(kPhase2Barrier);
     bar.arrive_and_wait();  // next frontier published
 
@@ -440,6 +452,7 @@ void MsBfs::worker(const ThreadContext& ctx) {
   // (vertex, source) claim from two threads, so claim counting would
   // overcount; a disjoint-range DP scan (all stores happen-before the
   // termination barrier) is exact, like the single-source engine's scan.
+  FASTBFS_SPAN(kMsExtract, 0);
   for (vid_t v = static_cast<vid_t>(vr.begin);
        v < static_cast<vid_t>(vr.end); ++v) {
     for (unsigned s = 0; s < wave_sources_; ++s) {
@@ -474,7 +487,10 @@ void MsBfs::run_wave(const vid_t* roots, unsigned n_roots,
   for (auto& st : states_) st->reset(n_bins_, adj_.n_vertices());
 
   Timer timer;
-  pool_.run(job_);
+  {
+    FASTBFS_SPAN(kMsWave, wave_sources_);
+    pool_.run(job_);
+  }
   const double seconds = timer.seconds();
 
   wave_stats_.seconds = seconds;
@@ -482,6 +498,23 @@ void MsBfs::run_wave(const vid_t* roots, unsigned n_roots,
     wave_stats_.edges_scanned += st->edges_scanned;
     wave_stats_.records_binned += st->records;
   }
+  // One metrics batch per wave (handles cached, obs/metrics.h contract).
+  static struct {
+    obs::Counter* waves = obs::metrics().counter("fastbfs_ms_waves_total");
+    obs::Counter* sources =
+        obs::metrics().counter("fastbfs_ms_sources_total");
+    obs::Counter* edges =
+        obs::metrics().counter("fastbfs_ms_edges_scanned_total");
+    obs::Counter* records =
+        obs::metrics().counter("fastbfs_ms_records_binned_total");
+    obs::Gauge* last_seconds =
+        obs::metrics().gauge("fastbfs_ms_last_wave_seconds");
+  } const mm;
+  mm.waves->inc();
+  mm.sources->add(wave_stats_.n_sources);
+  mm.edges->add(wave_stats_.edges_scanned);
+  mm.records->add(wave_stats_.records_binned);
+  mm.last_seconds->set(seconds);
   for (unsigned s = 0; s < n_roots; ++s) {
     BfsResult& r = *results[s];
     r.root = roots[s];

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/prefetch.h"
 #include "simd/binning.h"
 #include "thread/chaos.h"
@@ -63,7 +65,7 @@ void RunStats::reset() {
 void RunStats::write_steps_csv(std::ostream& out) const {
   out << "step,direction,frontier,binned_items,frontier_edges,"
          "unexplored_edges,bottom_up_probes,phase1_s,phase2_s,rearrange_s,"
-         "phase1_imbalance,phase2_imbalance\n";
+         "phase1_imbalance,phase2_imbalance,pbv_bin_skew\n";
   for (const StepStats& s : steps) {
     out << s.step << ','
         << (s.direction == StepDirection::kBottomUp ? "BU" : "TD") << ','
@@ -71,7 +73,8 @@ void RunStats::write_steps_csv(std::ostream& out) const {
         << s.frontier_edges << ',' << s.unexplored_edges << ','
         << s.bottom_up_probes << ',' << s.phase1_seconds << ','
         << s.phase2_seconds << ',' << s.rearrange_seconds << ','
-        << s.phase1_imbalance << ',' << s.phase2_imbalance << '\n';
+        << s.phase1_imbalance << ',' << s.phase2_imbalance << ','
+        << s.pbv_bin_skew << '\n';
   }
 }
 
@@ -248,6 +251,25 @@ void TwoPhaseBfs::build_shared_plan(
   }
   divide_bins_into(counts_scratch_, opts_.n_threads, n_bins_, topo_,
                    opts_.scheme, plan);
+
+  // Phase-II plans carry the step's PBV occupancy; fold its skew into the
+  // step record while still inside the barrier's exclusive window.
+  if (&plan == &plan2_ && opts_.collect_stats && !run_stats_.steps.empty()) {
+    std::uint64_t total = 0, max_bin = 0;
+    for (unsigned b = 0; b < n_bins_; ++b) {
+      std::uint64_t bin_total = 0;
+      for (unsigned t = 0; t < opts_.n_threads; ++t) {
+        bin_total +=
+            counts_scratch_[static_cast<std::size_t>(t) * n_bins_ + b];
+      }
+      total += bin_total;
+      max_bin = std::max(max_bin, bin_total);
+    }
+    if (total > 0) {
+      run_stats_.steps.back().pbv_bin_skew =
+          static_cast<double>(max_bin) * n_bins_ / static_cast<double>(total);
+    }
+  }
 }
 
 void TwoPhaseBfs::phase1(const ThreadContext& ctx, depth_t /*step*/) {
@@ -423,6 +445,7 @@ void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
   me.t2u.remote_bytes += upd_remote;
 
   if (opts_.rearrange) {
+    FASTBFS_SPAN(kRearrange, step);
     Timer t;
     rearranger_.rearrange(me.bv_n, me.scratch, me.hist);
     me.rearrange_seconds += t.seconds();
@@ -534,7 +557,10 @@ void TwoPhaseBfs::begin_step(depth_t step) {
                               adj_.n_edges(), opts_.alpha, opts_.beta);
       break;
   }
-  if (step > 1 && want != step_dir_) ++run_stats_.direction_switches;
+  if (step > 1 && want != step_dir_) {
+    ++run_stats_.direction_switches;
+    FASTBFS_EVENT(kDirectionSwitch, step);
+  }
   step_dir_ = want;
   if (opts_.collect_stats) {
     run_stats_.steps.push_back(StepStats{});
@@ -548,11 +574,13 @@ void TwoPhaseBfs::begin_step(depth_t step) {
 
 void TwoPhaseBfs::worker(const ThreadContext& ctx) {
   FASTBFS_CHAOS_REGISTER(ctx.thread_id);
+  FASTBFS_TRACE_REGISTER(ctx.thread_id, ctx.socket_id);
   ThreadState& me = *states_[ctx.thread_id];
   SpinBarrier& bar = pool_.barrier();
   Timer timer;  // used by thread 0 only
 
   for (depth_t step = 1;; ++step) {
+    FASTBFS_SPAN(kStep, step);
     // Thread 0 decides this step's direction here: every other thread is
     // between the previous termination barrier and barrier A, so the
     // heuristic state and step_dir_ are safely single-writer.
@@ -565,7 +593,10 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
     const double rearr_before = me.rearrange_seconds;
     double p1 = 0.0;
     if (dir == StepDirection::kTopDown) {
-      phase1(ctx, step);
+      {
+        FASTBFS_SPAN(kPhase1, step);
+        phase1(ctx, step);
+      }
       // PBV-publication barrier. Its completion hook folds the published
       // pbv_items into the step's single shared Phase-II plan — the last
       // thread to arrive builds it while the rest spin, so the sharing
@@ -579,8 +610,12 @@ void TwoPhaseBfs::worker(const ThreadContext& ctx) {
         p1 = timer.seconds();  // includes the shared plan-2 build
         timer.reset();
       }
-      phase2(ctx, step);
+      {
+        FASTBFS_SPAN(kPhase2, step);
+        phase2(ctx, step);
+      }
     } else {
+      FASTBFS_SPAN(kBottomUp, step);
       bottom_up_step(ctx, step);  // internal barriers publish the bitmap
     }
     FASTBFS_CHAOS_POINT(kPhase2Barrier);
@@ -694,6 +729,69 @@ void TwoPhaseBfs::prepare_run(vid_t root) {
   }
 }
 
+namespace {
+
+/// Registry handles cached on first use (obs/metrics.h contract), so a
+/// warm run's epilogue records one batch of relaxed atomics and never
+/// touches the registry mutex.
+struct EngineMetrics {
+  obs::Counter* runs;
+  obs::Counter* steps;
+  obs::Counter* bottom_up_steps;
+  obs::Counter* direction_switches;
+  obs::Counter* edges;
+  obs::Counter* vertices;
+  obs::Counter* bottom_up_probes;
+  obs::Counter* phase1_ns;
+  obs::Counter* phase2_ns;
+  obs::Counter* rearrange_ns;
+  obs::Counter* bottom_up_ns;
+  obs::Counter* local_bytes;
+  obs::Counter* remote_bytes;
+  obs::Histogram* frontier;
+  obs::Gauge* last_seconds;
+  obs::Gauge* last_alpha_adj;
+  obs::Gauge* last_pbv_skew;
+  obs::Gauge* trace_recorded;
+  obs::Gauge* trace_dropped;
+  obs::Gauge* barrier_wait_ns;
+
+  static const EngineMetrics& get() {
+    static const EngineMetrics m = [] {
+      obs::Registry& r = obs::metrics();
+      EngineMetrics e;
+      e.runs = r.counter("fastbfs_runs_total");
+      e.steps = r.counter("fastbfs_steps_total");
+      e.bottom_up_steps = r.counter("fastbfs_bottom_up_steps_total");
+      e.direction_switches = r.counter("fastbfs_direction_switches_total");
+      e.edges = r.counter("fastbfs_edges_traversed_total");
+      e.vertices = r.counter("fastbfs_vertices_visited_total");
+      e.bottom_up_probes = r.counter("fastbfs_bottom_up_probes_total");
+      e.phase1_ns = r.counter("fastbfs_phase1_ns_total");
+      e.phase2_ns = r.counter("fastbfs_phase2_ns_total");
+      e.rearrange_ns = r.counter("fastbfs_rearrange_ns_total");
+      e.bottom_up_ns = r.counter("fastbfs_bottom_up_ns_total");
+      e.local_bytes = r.counter("fastbfs_local_bytes_total");
+      e.remote_bytes = r.counter("fastbfs_remote_bytes_total");
+      e.frontier = r.histogram("fastbfs_frontier_vertices");
+      e.last_seconds = r.gauge("fastbfs_last_run_seconds");
+      e.last_alpha_adj = r.gauge("fastbfs_last_alpha_adj");
+      e.last_pbv_skew = r.gauge("fastbfs_last_pbv_bin_skew");
+      e.trace_recorded = r.gauge("fastbfs_trace_spans_recorded");
+      e.trace_dropped = r.gauge("fastbfs_trace_spans_dropped");
+      e.barrier_wait_ns = r.gauge("fastbfs_trace_barrier_wait_ns");
+      return e;
+    }();
+    return m;
+  }
+};
+
+std::uint64_t ns_of(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
+}
+
+}  // namespace
+
 void TwoPhaseBfs::run_into(vid_t root, BfsResult& out) {
   if (root >= adj_.n_vertices()) {
     throw std::invalid_argument("TwoPhaseBfs::run: root out of range");
@@ -708,7 +806,12 @@ void TwoPhaseBfs::run_into(vid_t root, BfsResult& out) {
   prepare_run(root);
 
   Timer timer;
-  pool_.run(job_);
+  {
+    // The caller is worker 0, so the run span lands on lane 0 and the
+    // per-step spans nest inside it in the exported trace.
+    FASTBFS_SPAN(kRun, 0);
+    pool_.run(job_);
+  }
   const double seconds = timer.seconds();
 
   // Aggregate run statistics.
@@ -753,6 +856,42 @@ void TwoPhaseBfs::run_into(vid_t root, BfsResult& out) {
     if (dp_.visited(v)) ++out.vertices_visited;
   }
   out.dp = std::move(dp_);
+
+  // One metrics batch per traversal (never per edge). steps_total uses
+  // final_step_ so it is right even with collect_stats off; per-step
+  // observations come from the steps vector and simply contribute nothing
+  // in that case.
+  const EngineMetrics& em = EngineMetrics::get();
+  em.runs->inc();
+  em.steps->add(final_step_);
+  em.direction_switches->add(run_stats_.direction_switches);
+  em.edges->add(out.edges_traversed);
+  em.vertices->add(out.vertices_visited);
+  em.bottom_up_probes->add(run_stats_.bottom_up_probes);
+  em.phase1_ns->add(ns_of(run_stats_.phase1_seconds));
+  em.phase2_ns->add(ns_of(run_stats_.phase2_seconds));
+  em.rearrange_ns->add(ns_of(run_stats_.rearrange_seconds));
+  em.bottom_up_ns->add(ns_of(run_stats_.bottom_up_seconds));
+  em.local_bytes->add(run_stats_.traffic.total_bytes() -
+                      run_stats_.traffic.total_remote_bytes());
+  em.remote_bytes->add(run_stats_.traffic.total_remote_bytes());
+  em.last_seconds->set(seconds);
+  em.last_alpha_adj->set(run_stats_.alpha_adj);
+  double max_skew = 1.0;
+  std::uint64_t bu_steps = 0;
+  for (const auto& st : run_stats_.steps) {
+    em.frontier->observe(st.frontier_size);
+    max_skew = std::max(max_skew, st.pbv_bin_skew);
+    if (st.direction == StepDirection::kBottomUp) ++bu_steps;
+  }
+  em.last_pbv_skew->set(max_skew);
+  em.bottom_up_steps->add(bu_steps);
+  // Flight-recorder rollups, meaningful only while the recorder is armed
+  // (all zero otherwise — the gauges then just report "no tracing").
+  em.trace_recorded->set(static_cast<double>(obs::total_recorded()));
+  em.trace_dropped->set(static_cast<double>(obs::total_dropped()));
+  em.barrier_wait_ns->set(static_cast<double>(
+      obs::kind_total(obs::SpanKind::kBarrierWait).total_ns));
 }
 
 BfsResult TwoPhaseBfs::run(vid_t root) {
@@ -791,6 +930,10 @@ std::uint64_t TwoPhaseBfs::workspace_bytes() const {
   return total;
 }
 
+std::uint64_t TwoPhaseBfs::vis_storage_bytes() const {
+  return vis_ ? vis_->storage_bytes() : 0;
+}
+
 VisAudit TwoPhaseBfs::audit_vis(const BfsResult& result) const {
   VisAudit audit;
   if (!vis_ || result.dp.size() != adj_.n_vertices()) return audit;
@@ -808,6 +951,18 @@ VisAudit TwoPhaseBfs::audit_vis(const BfsResult& result) const {
     if (assigned && !bit) ++audit.missing;
     if (!assigned && bit) ++audit.spurious;
   }
+  // Surface the audit through the registry so torture/CI scrape VIS
+  // health the same way they scrape everything else.
+  static struct {
+    obs::Counter* audits = obs::metrics().counter("fastbfs_vis_audits_total");
+    obs::Counter* missing =
+        obs::metrics().counter("fastbfs_vis_missing_total");
+    obs::Counter* spurious =
+        obs::metrics().counter("fastbfs_vis_spurious_total");
+  } const am;
+  am.audits->inc();
+  am.missing->add(audit.missing);
+  am.spurious->add(audit.spurious);
   return audit;
 }
 

@@ -93,6 +93,10 @@ struct StepStats {
   double rearrange_seconds = 0.0;
   double phase1_imbalance = 1.0;     // max socket share / even share
   double phase2_imbalance = 1.0;
+  /// Largest PBV bin's share of the step's binned items relative to an
+  /// even spread (max bin / mean bin, 1.0 = perfectly even; top-down
+  /// steps with a non-empty PBV only). Hub-heavy graphs skew this.
+  double pbv_bin_skew = 1.0;
 };
 
 /// Post-run cross-check of the VIS filter against the published depths —
@@ -172,6 +176,9 @@ class TwoPhaseBfs {
 
   unsigned n_vis_partitions() const { return n_vis_; }
   unsigned n_pbv_bins() const { return n_bins_; }
+  /// Bytes of the VIS filter's backing store (0 for VisMode::kNone) — the
+  /// model's S_VIS input.
+  std::uint64_t vis_storage_bytes() const;
   bool uses_pair_encoding() const { return use_pairs_; }
   const BfsOptions& options() const { return opts_; }
 

@@ -1,0 +1,89 @@
+#include "model/calibrate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "platform/cache_info.h"
+#include "util/aligned_buffer.h"
+#include "util/timer.h"
+
+namespace fastbfs::model {
+
+double host_freq_ghz() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        const double mhz = std::strtod(line.c_str() + colon + 1, nullptr);
+        if (mhz > 100.0) return mhz / 1000.0;
+      }
+    }
+  }
+  return 2.0;
+}
+
+double read_bandwidth(std::size_t bytes, int reps) {
+  AlignedBuffer<std::uint64_t> buf(bytes / 8, kPageSize);
+  buf.fill(1);
+  volatile std::uint64_t sink = 0;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) sum += buf[i];
+    const double s = t.seconds();
+    sink = sink + sum;
+    best = std::max(best, static_cast<double>(bytes) / s / 1e9);
+  }
+  return best;
+}
+
+double write_bandwidth(std::size_t bytes, int reps) {
+  AlignedBuffer<std::uint64_t> buf(bytes / 8, kPageSize);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = i;
+    const double s = t.seconds();
+    best = std::max(best, static_cast<double>(bytes) / s / 1e9);
+  }
+  return best;
+}
+
+double copy_bandwidth(std::size_t bytes, int reps) {
+  AlignedBuffer<std::uint64_t> a(bytes / 16, kPageSize);
+  AlignedBuffer<std::uint64_t> b(bytes / 16, kPageSize);
+  a.fill(3);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    for (std::size_t i = 0; i < a.size(); ++i) b[i] = a[i];
+    const double s = t.seconds();
+    // Copy moves read + write traffic.
+    best = std::max(best, static_cast<double>(a.size() * 16) / s / 1e9);
+  }
+  return best;
+}
+
+PlatformParams calibrated_host_params() {
+  const CacheGeometry host = host_cache_geometry();
+  PlatformParams p = nehalem_ep();
+  p.freq_ghz = host_freq_ghz();
+  const std::size_t big = 128u << 20;
+  const std::size_t small = host.l2_bytes / 2;
+  p.b_mem = read_bandwidth(big, 2);
+  p.b_mem_max = std::max(p.b_mem, copy_bandwidth(big, 2));
+  p.b_llc_to_l2 = read_bandwidth(small, 500);
+  p.b_l2_to_llc = write_bandwidth(small, 500);
+  p.l2_bytes = static_cast<double>(host.l2_bytes);
+  p.llc_bytes = static_cast<double>(host.llc_bytes);
+  p.n_sockets = 1;
+  return p;
+}
+
+}  // namespace fastbfs::model

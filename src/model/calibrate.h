@@ -1,0 +1,33 @@
+// Host calibration for the Sec. IV model: measure this machine's clock and
+// memory-hierarchy bandwidths and produce a PlatformParams describing it.
+//
+// Lived in bench/bench_common originally; promoted into the library so
+// fastbfs_cli's --model-check can compare a run against *this* host, not
+// only the paper's Nehalem-EP (bench_common keeps thin forwarders for its
+// existing callers).
+#pragma once
+
+#include <cstddef>
+
+#include "model/platform_params.h"
+
+namespace fastbfs::model {
+
+/// Best-effort host core frequency in GHz (cpuinfo, fallback 2.0): used
+/// to express measured seconds/edge in cycles/edge next to the model.
+double host_freq_ghz();
+
+/// STREAM-style microbenchmarks (GB/s, best of `reps`): sequential sum
+/// over `bytes` of memory / sequential store / copy.
+double read_bandwidth(std::size_t bytes, int reps);
+double write_bandwidth(std::size_t bytes, int reps);
+double copy_bandwidth(std::size_t bytes, int reps);
+
+/// PlatformParams recalibrated to this host: core clock from cpuinfo,
+/// DDR bandwidths from a DRAM-sized sweep, cache bandwidths from an
+/// L2-resident sweep, QPI kept at the Nehalem value (no second socket to
+/// measure). Lets the Sec. IV model predict *this* machine. Costs a few
+/// hundred milliseconds of bandwidth probing.
+PlatformParams calibrated_host_params();
+
+}  // namespace fastbfs::model

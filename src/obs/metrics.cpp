@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace fastbfs::obs {
+
+namespace {
+
+template <typename T, typename Deque>
+T* find_or_create(Deque& deq, std::string_view name) {
+  for (auto& n : deq) {
+    if (n.name == name) return &n.instrument;
+  }
+  // emplace + assign the name: the instruments hold atomics, which are
+  // neither movable nor copyable.
+  auto& slot = deq.emplace_back();
+  slot.name = name;
+  return &slot.instrument;
+}
+
+/// le-label of histogram bucket b: buckets 0..b hold values <= 2^b - 1.
+void bucket_le(unsigned b, char* buf, std::size_t n) {
+  if (b >= 64) {
+    std::snprintf(buf, n, "+Inf");
+  } else {
+    std::snprintf(buf, n, "%" PRIu64, (std::uint64_t{1} << b) - 1);
+  }
+}
+
+}  // namespace
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create<Counter>(counters_, name);
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create<Gauge>(gauges_, name);
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create<Histogram>(histograms_, name);
+}
+
+void Registry::snapshot_into(MetricsSnapshot& snap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.clear();  // capacity kept
+  const std::size_t need =
+      counters_.size() + gauges_.size() + histograms_.size();
+  if (snap.samples.capacity() < need) snap.samples.reserve(need);
+  for (const auto& n : counters_) {
+    MetricSample s;
+    s.name = n.name.c_str();
+    s.type = MetricSample::Type::kCounter;
+    s.value = static_cast<double>(n.instrument.value());
+    snap.samples.push_back(s);
+  }
+  for (const auto& n : gauges_) {
+    MetricSample s;
+    s.name = n.name.c_str();
+    s.type = MetricSample::Type::kGauge;
+    s.value = n.instrument.value();
+    snap.samples.push_back(s);
+  }
+  for (const auto& n : histograms_) {
+    MetricSample s;
+    s.name = n.name.c_str();
+    s.type = MetricSample::Type::kHistogram;
+    s.count = n.instrument.count();
+    s.sum = n.instrument.sum();
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+      s.buckets[b] = n.instrument.bucket(b);
+    }
+    snap.samples.push_back(s);
+  }
+}
+
+void Registry::write_json(std::ostream& out) const {
+  MetricsSnapshot snap;
+  snapshot_into(snap);
+  out << "{\n  \"metrics\": {";
+  char buf[96];
+  bool first = true;
+  for (const MetricSample& s : snap.samples) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    \"" << s.name << "\": ";
+    switch (s.type) {
+      case MetricSample::Type::kCounter:
+        std::snprintf(buf, sizeof buf, "%" PRIu64,
+                      static_cast<std::uint64_t>(s.value));
+        out << buf;
+        break;
+      case MetricSample::Type::kGauge:
+        std::snprintf(buf, sizeof buf, "%.9g", s.value);
+        out << buf;
+        break;
+      case MetricSample::Type::kHistogram: {
+        out << "{\"count\": " << s.count << ", \"sum\": " << s.sum
+            << ", \"buckets\": {";
+        bool bfirst = true;
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.buckets[b] == 0) continue;
+          if (!bfirst) out << ", ";
+          bfirst = false;
+          bucket_le(b, buf, sizeof buf);
+          out << "\"" << buf << "\": " << s.buckets[b];
+        }
+        out << "}}";
+        break;
+      }
+    }
+  }
+  out << "\n  }\n}\n";
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  MetricsSnapshot snap;
+  snapshot_into(snap);
+  char buf[96];
+  for (const MetricSample& s : snap.samples) {
+    switch (s.type) {
+      case MetricSample::Type::kCounter:
+        out << "# TYPE " << s.name << " counter\n";
+        std::snprintf(buf, sizeof buf, "%" PRIu64,
+                      static_cast<std::uint64_t>(s.value));
+        out << s.name << " " << buf << "\n";
+        break;
+      case MetricSample::Type::kGauge:
+        out << "# TYPE " << s.name << " gauge\n";
+        std::snprintf(buf, sizeof buf, "%.9g", s.value);
+        out << s.name << " " << buf << "\n";
+        break;
+      case MetricSample::Type::kHistogram: {
+        out << "# TYPE " << s.name << " histogram\n";
+        std::uint64_t cum = 0;
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+          cum += s.buckets[b];
+          // Skip interior empty prefixes/suffixes to keep scrapes small;
+          // always emit +Inf.
+          if (s.buckets[b] == 0 && b + 1 < Histogram::kBuckets) continue;
+          bucket_le(b, buf, sizeof buf);
+          out << s.name << "_bucket{le=\"" << buf << "\"} " << cum << "\n";
+        }
+        out << s.name << "_sum " << s.sum << "\n";
+        out << s.name << "_count " << s.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& n : counters_) n.instrument.reset();
+  for (auto& n : gauges_) n.instrument.reset();
+  for (auto& n : histograms_) n.instrument.reset();
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+Registry& metrics() {
+  static Registry* r = new Registry;  // leaked: outlives every recorder
+  return *r;
+}
+
+}  // namespace fastbfs::obs

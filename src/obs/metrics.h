@@ -1,0 +1,151 @@
+// Allocation-free-when-warm metrics registry: named counters, gauges and
+// log2-bucketed histograms, snapshotted per run and serialized as JSON or
+// Prometheus text exposition.
+//
+// Design contract (the steady-state alloc interposer pins it):
+//   - Registration (`metrics().counter("name")`) is idempotent, mutex-
+//     guarded, and returns a *stable* pointer — instruments live in a
+//     deque so later registrations never move earlier ones. Call sites
+//     cache the pointer (typically in a function-local static struct), so
+//     the hot path never touches the registry again.
+//   - Updates are relaxed atomics: counters/gauges one RMW or store,
+//     histograms two RMWs plus a bucket increment. No locks, no
+//     allocation, safe from any thread.
+//   - snapshot_into() reuses the caller's MetricsSnapshot storage, so a
+//     warm snapshot allocates nothing; the JSON/Prometheus writers may
+//     allocate (they format strings) and are for run epilogues and
+//     scrapes, not hot paths.
+//
+// The engines record into this registry from their run epilogues (one
+// update batch per traversal, never per edge), so the registry is always
+// on — there is no compile-time gate to flip, unlike tracing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fastbfs::obs {
+
+/// Monotone event count (Prometheus counter semantics).
+class Counter {
+ public:
+  void add(std::uint64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (Prometheus gauge semantics).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log2-bucketed histogram of non-negative integer observations: bucket
+/// b counts values whose bit_width is b, i.e. [2^(b-1), 2^b). Fixed
+/// bucket array — observation is allocation-free.
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 65;  // bit_width of a u64 is 0..64
+
+  void observe(std::uint64_t v) {
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(unsigned b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One instrument's point-in-time value. `name` points at registry-owned
+/// storage (stable for the registry's lifetime — the global registry
+/// never dies).
+struct MetricSample {
+  enum class Type { kCounter, kGauge, kHistogram };
+  const char* name = nullptr;
+  Type type = Type::kCounter;
+  double value = 0.0;            // counter/gauge
+  std::uint64_t count = 0;       // histogram
+  std::uint64_t sum = 0;         // histogram
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+};
+
+/// Reusable snapshot buffer: pass the same instance repeatedly and the
+/// second and later snapshots allocate nothing (vector capacity kept).
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+};
+
+class Registry {
+ public:
+  /// Idempotent lookup-or-create; the returned pointer is stable forever.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Copies every instrument's current value into `snap` (registration
+  /// order). Allocation-free once snap's capacity has seen the current
+  /// instrument count.
+  void snapshot_into(MetricsSnapshot& snap) const;
+
+  /// {"metrics": {name: value | {count,sum,buckets}}} — one JSON object.
+  void write_json(std::ostream& out) const;
+
+  /// Prometheus text exposition (counters/gauges plain, histograms as
+  /// cumulative _bucket{le=...} series plus _sum/_count).
+  void write_prometheus(std::ostream& out) const;
+
+  /// Re-zeroes every registered instrument (tests; instruments stay
+  /// registered and pointers stay valid).
+  void reset_values();
+
+  std::size_t size() const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    T instrument;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<Histogram>> histograms_;
+};
+
+/// The process-wide registry the engines record into.
+Registry& metrics();
+
+}  // namespace fastbfs::obs

@@ -1,0 +1,185 @@
+#include "obs/model_check.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace fastbfs::obs {
+
+namespace {
+
+double safe_div(double a, double b) { return b > 0.0 ? a / b : 0.0; }
+
+bool outside(double ratio, double tol) {
+  if (ratio <= 0.0) return false;
+  return ratio > 1.0 + tol || ratio < 1.0 / (1.0 + tol);
+}
+
+std::uint64_t counter_bytes(const TrafficCounter& c) {
+  return c.local_bytes + c.remote_bytes;
+}
+
+}  // namespace
+
+ModelCheckReport check_model(const RunStats& stats, const BfsResult& result,
+                             std::uint64_t n_vertices, unsigned n_pbv,
+                             unsigned n_vis, double vis_bytes,
+                             const ModelCheckOptions& opts) {
+  ModelCheckReport rep;
+  rep.freq_ghz = opts.params.freq_ghz;
+
+  rep.input.n_vertices = n_vertices;
+  rep.input.v_assigned = result.vertices_visited;
+  rep.input.e_traversed = result.edges_traversed;
+  rep.input.depth = result.depth_reached;
+  rep.input.n_pbv = n_pbv;
+  rep.input.n_vis = n_vis;
+  rep.input.vis_bytes = vis_bytes;
+
+  rep.predicted_traffic = model::predict_traffic(rep.input, opts.params);
+  if (opts.multi_socket && opts.n_sockets > 1) {
+    // alpha_adj is measured by the run's traffic audit; a run that never
+    // audited (collect_stats off) falls back to the even split.
+    const double alpha =
+        stats.alpha_adj > 0.0 ? stats.alpha_adj : 1.0 / opts.n_sockets;
+    rep.predicted = model::predict_multi_socket(rep.input, opts.params,
+                                                opts.n_sockets, alpha);
+  } else {
+    rep.predicted = model::predict_single_socket(rep.input, opts.params);
+  }
+
+  const double edges = static_cast<double>(result.edges_traversed);
+  rep.measured_phase1_bpe =
+      safe_div(static_cast<double>(counter_bytes(stats.traffic.phase1)), edges);
+  rep.measured_phase2_bpe = safe_div(
+      static_cast<double>(counter_bytes(stats.traffic.phase2) +
+                          counter_bytes(stats.traffic.phase2_update)),
+      edges);
+  rep.measured_rearrange_bpe = safe_div(
+      static_cast<double>(counter_bytes(stats.traffic.rearrange)), edges);
+
+  const double hz = opts.params.freq_ghz * 1e9;
+  rep.measured_phase1_cpe = safe_div(stats.phase1_seconds * hz, edges);
+  rep.measured_phase2_cpe = safe_div(stats.phase2_seconds * hz, edges);
+  rep.measured_rearrange_cpe = safe_div(stats.rearrange_seconds * hz, edges);
+  rep.measured_total_cpe = rep.measured_phase1_cpe + rep.measured_phase2_cpe +
+                           rep.measured_rearrange_cpe;
+
+  rep.ratio_total = safe_div(rep.measured_total_cpe, rep.predicted.total());
+  rep.flagged = outside(rep.ratio_total, opts.tolerance);
+
+  rep.steps.clear();
+  rep.steps.reserve(stats.steps.size());
+  const double predicted_total = rep.predicted.total();
+  for (const StepStats& s : stats.steps) {
+    ModelStepCheck c;
+    c.step = s.step;
+    c.direction = s.direction == StepDirection::kBottomUp ? 'B' : 'T';
+    c.edges = s.frontier_edges;
+    c.seconds = s.phase1_seconds + s.phase2_seconds + s.rearrange_seconds;
+    c.measured_cpe =
+        safe_div(c.seconds * hz, static_cast<double>(c.edges));
+    if (c.direction == 'T') {
+      c.predicted_cpe = predicted_total;
+      c.ratio = safe_div(c.measured_cpe, c.predicted_cpe);
+      c.flagged = c.seconds >= opts.min_step_seconds && c.edges > 0 &&
+                  outside(c.ratio, opts.tolerance);
+    }
+    if (c.flagged) ++rep.flagged_steps;
+    rep.steps.push_back(c);
+  }
+  return rep;
+}
+
+void ModelCheckReport::write_text(std::ostream& out) const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "model check: |V|=%llu |V'|=%llu |E'|=%llu D=%u N_PBV=%u "
+                "N_VIS=%u @ %.2f GHz\n",
+                static_cast<unsigned long long>(input.n_vertices),
+                static_cast<unsigned long long>(input.v_assigned),
+                static_cast<unsigned long long>(input.e_traversed),
+                input.depth, input.n_pbv, input.n_vis, freq_ghz);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "%-10s %14s %14s %8s\n", "phase", "predicted", "measured",
+                "ratio");
+  out << buf;
+  const auto row = [&](const char* name, double pred, double meas,
+                       const char* unit) {
+    std::snprintf(buf, sizeof buf, "%-10s %11.2f %s %11.2f %s %8.2f\n", name,
+                  pred, unit, meas, unit, safe_div(meas, pred));
+    out << buf;
+  };
+  row("phase1", predicted.phase1, measured_phase1_cpe, "c/e");
+  row("phase2", predicted.phase2(), measured_phase2_cpe, "c/e");
+  row("rearrange", predicted.rearrange, measured_rearrange_cpe, "c/e");
+  row("total", predicted.total(), measured_total_cpe, "c/e");
+  row("p1 bytes", predicted_traffic.phase1_ddr, measured_phase1_bpe, "B/e");
+  row("p2 bytes", predicted_traffic.phase2_ddr, measured_phase2_bpe, "B/e");
+  row("rr bytes", predicted_traffic.rearrange_ddr, measured_rearrange_bpe,
+      "B/e");
+  std::snprintf(buf, sizeof buf, "run ratio %.2f%s\n", ratio_total,
+                flagged ? "  ** DEVIATION **" : "");
+  out << buf;
+  if (steps.empty()) return;
+  std::snprintf(buf, sizeof buf, "%5s %3s %12s %10s %10s %10s %6s  %s\n",
+                "step", "dir", "edges", "ms", "meas c/e", "pred c/e",
+                "ratio", "flag");
+  out << buf;
+  for (const ModelStepCheck& c : steps) {
+    std::snprintf(buf, sizeof buf,
+                  "%5u  %c  %12llu %10.3f %10.2f %10.2f %6.2f  %s\n", c.step,
+                  c.direction, static_cast<unsigned long long>(c.edges),
+                  c.seconds * 1e3, c.measured_cpe, c.predicted_cpe, c.ratio,
+                  c.flagged ? "**" : "");
+    out << buf;
+  }
+  std::snprintf(buf, sizeof buf, "%u of %zu steps deviate\n", flagged_steps,
+                steps.size());
+  out << buf;
+}
+
+void ModelCheckReport::write_json(std::ostream& out) const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n  \"input\": {\"n_vertices\": %llu, \"v_assigned\": %llu, "
+      "\"e_traversed\": %llu, \"depth\": %u, \"n_pbv\": %u, \"n_vis\": %u, "
+      "\"vis_bytes\": %.1f},\n",
+      static_cast<unsigned long long>(input.n_vertices),
+      static_cast<unsigned long long>(input.v_assigned),
+      static_cast<unsigned long long>(input.e_traversed), input.depth,
+      input.n_pbv, input.n_vis, input.vis_bytes);
+  out << buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"predicted_cpe\": {\"phase1\": %.4f, \"phase2\": %.4f, "
+      "\"rearrange\": %.4f, \"total\": %.4f},\n"
+      "  \"measured_cpe\": {\"phase1\": %.4f, \"phase2\": %.4f, "
+      "\"rearrange\": %.4f, \"total\": %.4f},\n"
+      "  \"ratio_total\": %.4f,\n  \"flagged\": %s,\n"
+      "  \"flagged_steps\": %u,\n  \"steps\": [\n",
+      predicted.phase1, predicted.phase2(), predicted.rearrange,
+      predicted.total(), measured_phase1_cpe, measured_phase2_cpe,
+      measured_rearrange_cpe, measured_total_cpe, ratio_total,
+      flagged ? "true" : "false", flagged_steps);
+  out << buf;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const ModelStepCheck& c = steps[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"step\": %u, \"dir\": \"%c\", \"edges\": %llu, "
+                  "\"seconds\": %.6f, \"measured_cpe\": %.4f, "
+                  "\"predicted_cpe\": %.4f, \"ratio\": %.4f, "
+                  "\"flagged\": %s}%s\n",
+                  c.step, c.direction,
+                  static_cast<unsigned long long>(c.edges), c.seconds,
+                  c.measured_cpe, c.predicted_cpe, c.ratio,
+                  c.flagged ? "true" : "false",
+                  i + 1 < steps.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace fastbfs::obs

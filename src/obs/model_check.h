@@ -1,0 +1,93 @@
+// Live model-vs-measured attribution: feed a run's measured PhaseTraffic
+// bytes and step timings into the Sec. IV predictor and report
+// predicted-vs-measured cycles-per-edge ratios, per phase and per step,
+// with a configurable deviation flag.
+//
+// This is the single-node analogue of the per-phase/per-rank time
+// attribution distributed-BFS papers lean on: when a run is slow, the
+// report says whether the engine drifted from the model (a regression in
+// *our* code) or the model drifted from the machine (calibration), and on
+// which steps. Surfaced through `fastbfs_cli bfs --model-check` and
+// tests/test_model_check.cpp.
+//
+// Scope: the Sec. IV equations describe the top-down two-phase pipeline.
+// Bottom-up steps are therefore reported with measured numbers only
+// (predicted_cpe = 0, never flagged); the run-level ratio compares the
+// top-down share of the run against the model.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/two_phase_bfs.h"
+#include "graph/bfs_result.h"
+#include "model/model.h"
+
+namespace fastbfs::obs {
+
+struct ModelCheckOptions {
+  /// Platform the model predicts for. Pass model::nehalem_ep() to compare
+  /// against the paper's machine or model::calibrated_host_params() to
+  /// compare against this host.
+  model::PlatformParams params;
+  unsigned n_sockets = 2;
+  /// Flag a ratio r = measured/predicted outside [1/(1+tol), 1+tol].
+  double tolerance = 0.75;
+  /// Steps shorter than this are timer noise at RMAT-18 scale; they are
+  /// reported but never flagged.
+  double min_step_seconds = 50e-6;
+  /// Compose Eqn IV.3 across sockets (uses the run's measured alpha_adj);
+  /// false = single-socket Eqn IV.2.
+  bool multi_socket = true;
+};
+
+struct ModelStepCheck {
+  unsigned step = 0;
+  char direction = 'T';        // 'T' top-down, 'B' bottom-up
+  std::uint64_t edges = 0;     // edges the step traversed (frontier edges)
+  double seconds = 0.0;        // phase1 + phase2 + rearrange of the step
+  double measured_cpe = 0.0;   // cycles per traversed edge
+  double predicted_cpe = 0.0;  // run-level model; 0 on bottom-up steps
+  double ratio = 0.0;          // measured / predicted (0 when undefined)
+  bool flagged = false;
+};
+
+struct ModelCheckReport {
+  model::ModelInput input;                     // what the model was fed
+  model::TrafficPrediction predicted_traffic;  // Eqn IV.1a-d, bytes/edge
+  model::TimePrediction predicted;             // Eqn IV.2/IV.3, cycles/edge
+  double freq_ghz = 0.0;
+
+  // Measured bytes per traversed edge from the engine's traffic audit.
+  double measured_phase1_bpe = 0.0;
+  double measured_phase2_bpe = 0.0;  // PBV reads + VIS/DP update bytes
+  double measured_rearrange_bpe = 0.0;
+
+  // Measured cycles per traversed edge (top-down phases of the run).
+  double measured_phase1_cpe = 0.0;
+  double measured_phase2_cpe = 0.0;
+  double measured_rearrange_cpe = 0.0;
+  double measured_total_cpe = 0.0;
+
+  double ratio_total = 0.0;  // measured_total_cpe / predicted.total()
+  bool flagged = false;      // run-level ratio outside tolerance
+  unsigned flagged_steps = 0;
+  std::vector<ModelStepCheck> steps;
+
+  /// Human-readable table: run-level phase rows, then one row per step
+  /// with the deviation flag in the last column.
+  void write_text(std::ostream& out) const;
+  void write_json(std::ostream& out) const;
+};
+
+/// Builds the report from a finished run. `stats` must come from the run
+/// that produced `result` (collect_stats on for per-step rows — without
+/// it only the run-level comparison is filled). n_pbv/n_vis/vis_bytes
+/// describe the engine configuration (TwoPhaseBfs::n_pbv_bins() etc.).
+ModelCheckReport check_model(const RunStats& stats, const BfsResult& result,
+                             std::uint64_t n_vertices, unsigned n_pbv,
+                             unsigned n_vis, double vis_bytes,
+                             const ModelCheckOptions& opts);
+
+}  // namespace fastbfs::obs

@@ -1,0 +1,224 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+namespace fastbfs::obs {
+
+const char* span_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRun: return "run";
+    case SpanKind::kStep: return "step";
+    case SpanKind::kPhase1: return "phase1";
+    case SpanKind::kPhase2: return "phase2";
+    case SpanKind::kRearrange: return "rearrange";
+    case SpanKind::kBottomUp: return "bottom_up";
+    case SpanKind::kBarrierWait: return "barrier_wait";
+    case SpanKind::kPlanBuild: return "plan_build";
+    case SpanKind::kDirectionSwitch: return "direction_switch";
+    case SpanKind::kMsWave: return "ms_wave";
+    case SpanKind::kMsInit: return "ms_init";
+    case SpanKind::kMsPhase1: return "ms_phase1";
+    case SpanKind::kMsPhase2: return "ms_phase2";
+    case SpanKind::kMsExtract: return "ms_extract";
+    case SpanKind::kCount: break;
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// One per-thread ring. The cursor is a relaxed atomic so lane 0 — shared
+/// by the caller thread and any unregistered worker — stays safe to write
+/// concurrently: slots are claimed by fetch_add, and the rare post-wrap
+/// slot collision can tear one diagnostic record, never corrupt the
+/// recorder. Registered engine lanes are single-writer.
+struct Lane {
+  std::vector<SpanRecord> ring;
+  std::atomic<std::uint64_t> cursor{0};
+  unsigned socket = 0;
+};
+
+std::array<Lane, kMaxLanes> g_lanes;
+std::size_t g_capacity = 0;
+std::array<std::atomic<std::uint64_t>,
+           static_cast<std::size_t>(SpanKind::kCount)>
+    g_kind_count{};
+std::array<std::atomic<std::uint64_t>,
+           static_cast<std::size_t>(SpanKind::kCount)>
+    g_kind_ns{};
+
+thread_local unsigned t_lane = 0;
+
+void zero_state() {
+  for (Lane& l : g_lanes) l.cursor.store(0, std::memory_order_relaxed);
+  for (auto& c : g_kind_count) c.store(0, std::memory_order_relaxed);
+  for (auto& c : g_kind_ns) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void record(SpanKind kind, std::uint64_t start_ns, std::uint64_t end_ns,
+            std::uint32_t arg) {
+  if (g_capacity == 0) return;
+  Lane& lane = g_lanes[t_lane];
+  const std::uint64_t idx =
+      lane.cursor.fetch_add(1, std::memory_order_relaxed);
+  SpanRecord& r = lane.ring[idx % g_capacity];
+  r.start_ns = start_ns;
+  r.end_ns = end_ns;
+  r.kind = static_cast<std::uint32_t>(kind);
+  r.arg = arg;
+  const auto k = static_cast<std::size_t>(kind);
+  g_kind_count[k].fetch_add(1, std::memory_order_relaxed);
+  g_kind_ns[k].fetch_add(end_ns - start_ns, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void enable(const TraceConfig& cfg) {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  detail::g_capacity = std::max<std::size_t>(cfg.ring_capacity, 1);
+  for (detail::Lane& l : detail::g_lanes) {
+    if (l.ring.size() != detail::g_capacity) {
+      l.ring.assign(detail::g_capacity, SpanRecord{});
+    }
+  }
+  detail::zero_state();
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void clear() { detail::zero_state(); }
+
+void register_thread(unsigned tid, unsigned socket) {
+  detail::t_lane = tid < kMaxLanes ? tid : kMaxLanes - 1;
+  detail::g_lanes[detail::t_lane].socket = socket;
+}
+
+std::uint64_t total_recorded() {
+  std::uint64_t total = 0;
+  for (const detail::Lane& l : detail::g_lanes) {
+    total += l.cursor.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t total_dropped() {
+  std::uint64_t dropped = 0;
+  for (const detail::Lane& l : detail::g_lanes) {
+    const std::uint64_t written = l.cursor.load(std::memory_order_relaxed);
+    if (written > detail::g_capacity) dropped += written - detail::g_capacity;
+  }
+  return dropped;
+}
+
+KindTotal kind_total(SpanKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  KindTotal t;
+  t.count = detail::g_kind_count[i].load(std::memory_order_relaxed);
+  t.total_ns = detail::g_kind_ns[i].load(std::memory_order_relaxed);
+  return t;
+}
+
+namespace {
+
+struct MergedSpan {
+  SpanRecord rec;
+  unsigned lane = 0;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+  // Snapshot every lane's retained records (recording should be quiescent
+  // or disabled; a racing writer can at worst tear one record).
+  std::vector<MergedSpan> spans;
+  std::vector<unsigned> live_lanes;
+  for (unsigned t = 0; t < kMaxLanes; ++t) {
+    const detail::Lane& l = detail::g_lanes[t];
+    const std::uint64_t written = l.cursor.load(std::memory_order_relaxed);
+    if (written == 0) continue;
+    live_lanes.push_back(t);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(written, detail::g_capacity);
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      spans.push_back(MergedSpan{l.ring[i], t});
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const MergedSpan& a, const MergedSpan& b) {
+              if (a.rec.start_ns != b.rec.start_ns) {
+                return a.rec.start_ns < b.rec.start_ns;
+              }
+              return a.rec.end_ns > b.rec.end_ns;  // parents before children
+            });
+  std::uint64_t t0 = 0;
+  if (!spans.empty()) t0 = spans.front().rec.start_ns;
+
+  out << "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  const auto emit = [&](const char* s) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << s;
+  };
+  for (const unsigned t : live_lanes) {
+    const unsigned socket = detail::g_lanes[t].socket;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"tid\":%u,\"args\":{\"name\":\"socket %u\"}}",
+                  socket, t, socket);
+    emit(buf);
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"tid\":%u,\"args\":{\"name\":\"worker %u\"}}",
+                  socket, t, t);
+    emit(buf);
+  }
+  for (const MergedSpan& s : spans) {
+    const unsigned socket = detail::g_lanes[s.lane].socket;
+    const double ts = static_cast<double>(s.rec.start_ns - t0) / 1e3;
+    const char* name = span_name(static_cast<SpanKind>(s.rec.kind));
+    if (s.rec.end_ns > s.rec.start_ns) {
+      const double dur =
+          static_cast<double>(s.rec.end_ns - s.rec.start_ns) / 1e3;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"fastbfs\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u,"
+                    "\"args\":{\"step\":%u}}",
+                    name, ts, dur, socket, s.lane, s.rec.arg);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"fastbfs\",\"ph\":\"i\","
+                    "\"s\":\"t\",\"ts\":%.3f,\"pid\":%u,\"tid\":%u,"
+                    "\"args\":{\"step\":%u}}",
+                    name, ts, socket, s.lane, s.rec.arg);
+    }
+    emit(buf);
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+         "{\"recorder\":\"fastbfs flight recorder\",\"dropped\":"
+      << total_dropped() << "}}\n";
+}
+
+}  // namespace fastbfs::obs

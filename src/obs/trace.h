@@ -1,0 +1,184 @@
+// Flight recorder: per-thread, fixed-capacity span/event rings for the
+// engine's phase structure, exported as Chrome trace-event JSON.
+//
+// The paper's argument is an accounting identity — Sec. IV predicts where
+// every cycle of a step goes — so the first observability question is
+// always "which phase, which thread, which step?". This layer answers it
+// with the same zero-cost discipline as thread/chaos.h:
+//
+//   - `FASTBFS_SPAN(kind, arg)` opens a RAII span on the calling thread's
+//     ring; `FASTBFS_EVENT(kind, arg)` drops an instant marker. Both
+//     expand to `((void)0)` unless the translation unit is compiled with
+//     -DFASTBFS_TRACE (the CMake option FASTBFS_TRACE sets it globally —
+//     mixing traced and untraced TUs in one binary is an ODR violation,
+//     exactly like FASTBFS_CHAOS), so the production engine is
+//     bit-for-bit the untraced build.
+//   - The recorder itself (trace.cpp) is always compiled into fastbfs_obs;
+//     only the hooks are gated. Tests and tools can therefore drive
+//     ScopedSpan/emit_event directly and exercise the exporter in every
+//     build.
+//   - Even when compiled in, a disabled recorder costs one relaxed atomic
+//     load per hook — no clock read, no ring write.
+//
+// Ring semantics ("flight recorder"): each lane (thread) owns a
+// fixed-capacity ring written with a relaxed atomic cursor; when a run
+// outgrows the ring the *oldest* records are overwritten and counted as
+// dropped, so the end of the flight is always retained. Export merges all
+// lanes, sorted by start time, keyed pid=socket / tid=thread, with the
+// BFS step in args — the JSON loads directly into Perfetto or
+// chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace fastbfs::obs {
+
+/// Span/event vocabulary. Order is part of the aggregate-counter layout;
+/// append only.
+enum class SpanKind : unsigned {
+  kRun = 0,          // whole single-source traversal (caller thread)
+  kStep,             // one BFS level on one worker
+  kPhase1,           // top-down binning (Sec. III Phase-I)
+  kPhase2,           // top-down VIS-filter + DP update (Phase-II)
+  kRearrange,        // BV_N rearrangement inside Phase-II
+  kBottomUp,         // one bottom-up scan step
+  kBarrierWait,      // inside SpinBarrier: arrival until release
+  kPlanBuild,        // shared DivisionPlan build (publication completion)
+  kDirectionSwitch,  // instant: kAuto flipped direction at this step
+  kMsWave,           // whole MS-BFS wave (caller thread)
+  kMsInit,           // MS-BFS wave init: DP fills + seen[] reset
+  kMsPhase1,         // MS-BFS record binning
+  kMsPhase2,         // MS-BFS mask filter + per-source claims
+  kMsExtract,        // MS-BFS post-wave per-source DP scan
+  kCount
+};
+
+const char* span_name(SpanKind k);
+
+/// Threads the recorder can track; engine thread ids are clamped into
+/// this range. Lane 0 doubles as the caller/unregistered lane (its ring
+/// cursor is atomic, so sharing it is safe, merely interleaved).
+inline constexpr unsigned kMaxLanes = 64;
+
+struct TraceConfig {
+  /// Spans retained per lane. ~24 B each; an RMAT-18 run emits a few
+  /// hundred spans per thread (per-phase, not per-edge), so the default
+  /// holds hundreds of runs before wrapping.
+  std::size_t ring_capacity = 1u << 12;
+};
+
+/// One closed span (start == end for instant events). `arg` carries the
+/// BFS step (or 0 where no step applies).
+struct SpanRecord {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t arg = 0;
+};
+
+/// Per-kind aggregate since enable()/clear() — the cheap rollup the
+/// metrics layer scrapes (e.g. total barrier-wait ns) without touching
+/// the rings.
+struct KindTotal {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+std::uint64_t now_ns();
+void record(SpanKind kind, std::uint64_t start_ns, std::uint64_t end_ns,
+            std::uint32_t arg);
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when this build compiled the engine hooks in (-DFASTBFS_TRACE).
+/// The recorder API works either way; this only reports whether engine
+/// code emits spans.
+#if defined(FASTBFS_TRACE)
+constexpr bool trace_compiled() { return true; }
+#else
+constexpr bool trace_compiled() { return false; }
+#endif
+
+/// Arm the recorder: (re)size every lane's ring to cfg.ring_capacity and
+/// zero all cursors, drop counts and per-kind aggregates. Call while no
+/// traced engine is running. disable() stops recording but keeps the
+/// rings for export; clear() re-zeroes state without resizing.
+void enable(const TraceConfig& cfg = {});
+void disable();
+void clear();
+
+/// Bind the calling thread to lane `tid` and tag the lane with its
+/// logical socket (export pid). Unregistered threads record into lane 0.
+void register_thread(unsigned tid, unsigned socket);
+
+/// Spans recorded / overwritten-by-wrap since enable()/clear(), across
+/// all lanes.
+std::uint64_t total_recorded();
+std::uint64_t total_dropped();
+
+KindTotal kind_total(SpanKind k);
+
+/// Merge every lane's ring into Chrome trace-event JSON:
+/// {"traceEvents":[...]} with "M" process/thread metadata, "X" complete
+/// spans (ts/dur in microseconds) and "i" instants; pid = socket,
+/// tid = lane, args.step = the span's arg. Loadable in Perfetto.
+void write_chrome_trace(std::ostream& out);
+
+/// RAII span: snapshots the clock on construction when the recorder is
+/// enabled, records on destruction. The engine macros wrap this; tests
+/// and tools may construct it directly in any build.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanKind kind, std::uint32_t arg)
+      : kind_(kind), arg_(arg), active_(enabled()) {
+    if (active_) start_ns_ = detail::now_ns();
+  }
+  ~ScopedSpan() {
+    if (active_) detail::record(kind_, start_ns_, detail::now_ns(), arg_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanKind kind_;
+  std::uint32_t arg_;
+  bool active_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Instant event (start == end), recorded only when enabled.
+inline void emit_event(SpanKind kind, std::uint32_t arg) {
+  if (enabled()) {
+    const std::uint64_t t = detail::now_ns();
+    detail::record(kind, t, t, arg);
+  }
+}
+
+}  // namespace fastbfs::obs
+
+#define FASTBFS_OBS_CAT2(a, b) a##b
+#define FASTBFS_OBS_CAT(a, b) FASTBFS_OBS_CAT2(a, b)
+
+#if defined(FASTBFS_TRACE)
+#define FASTBFS_SPAN(kind, arg)                                       \
+  ::fastbfs::obs::ScopedSpan FASTBFS_OBS_CAT(fastbfs_obs_span_,       \
+                                             __LINE__)(              \
+      ::fastbfs::obs::SpanKind::kind, static_cast<std::uint32_t>(arg))
+#define FASTBFS_EVENT(kind, arg)                       \
+  ::fastbfs::obs::emit_event(::fastbfs::obs::SpanKind::kind, \
+                             static_cast<std::uint32_t>(arg))
+#define FASTBFS_TRACE_REGISTER(tid, socket) \
+  ::fastbfs::obs::register_thread((tid), (socket))
+#else
+#define FASTBFS_SPAN(kind, arg) ((void)0)
+#define FASTBFS_EVENT(kind, arg) ((void)0)
+#define FASTBFS_TRACE_REGISTER(tid, socket) ((void)0)
+#endif

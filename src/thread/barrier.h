@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace fastbfs {
 
 class SpinBarrier {
@@ -34,6 +36,10 @@ class SpinBarrier {
   /// runs once per barrier crossing, on whichever thread arrives last).
   template <typename F>
   void arrive_and_wait_then(F&& f) {
+    // Arrival-to-release window: on the last arriver this is the
+    // completion function's runtime, on everyone else it is pure wait —
+    // exactly the imbalance the flight recorder wants to show.
+    FASTBFS_SPAN(kBarrierWait, 0);
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_threads_) {
       f();

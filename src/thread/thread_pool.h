@@ -57,7 +57,10 @@ class ThreadPool {
   /// same point in the SPMD program.
   template <typename F>
   void publish(F&& f) {
-    inner_barrier_.arrive_and_wait_then(std::forward<F>(f));
+    inner_barrier_.arrive_and_wait_then([&f] {
+      FASTBFS_SPAN(kPlanBuild, 0);
+      std::forward<F>(f)();
+    });
   }
 
   const SocketTopology& topology() const { return topo_; }

@@ -1,0 +1,183 @@
+// Model-vs-measured attribution (src/obs/model_check.h): report shape on
+// a real run, the deviation-flag semantics, the bottom-up exemption, and
+// the JSON serialization. Uses the paper platform (nehalem_ep) so the
+// predictions are deterministic — the *ratios* on this host are whatever
+// they are; the tests pin structure, finiteness and flag logic, not the
+// machine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "model/platform_params.h"
+#include "obs/model_check.h"
+
+namespace fastbfs {
+namespace {
+
+obs::ModelCheckOptions paper_opts(unsigned n_sockets) {
+  obs::ModelCheckOptions mc;
+  mc.params = model::nehalem_ep();
+  mc.n_sockets = n_sockets;
+  return mc;
+}
+
+/// One traversal with stats on; returns the report for it.
+obs::ModelCheckReport run_and_check(BfsRunner& runner, const CsrGraph& g,
+                                    const obs::ModelCheckOptions& mc,
+                                    BfsResult& out) {
+  out = runner.run(pick_nonisolated_root(g, 1));
+  return obs::check_model(runner.last_run_stats(), out, g.n_vertices(),
+                          runner.n_pbv_bins(), runner.n_vis_partitions(),
+                          static_cast<double>(runner.vis_storage_bytes()),
+                          mc);
+}
+
+TEST(ModelCheck, ReportIsFiniteAndStructured) {
+  const CsrGraph g = rmat_graph(11, 16, 3);
+  BfsOptions opts;
+  opts.direction = DirectionMode::kTopDown;  // model scope: TD pipeline
+  BfsRunner runner(g, opts);
+  BfsResult out;
+  const obs::ModelCheckReport rep =
+      run_and_check(runner, g, paper_opts(opts.n_sockets), out);
+
+  // The model side: Sec. IV predictions must be positive and finite.
+  EXPECT_GT(rep.predicted.total(), 0.0);
+  EXPECT_TRUE(std::isfinite(rep.predicted.total()));
+  EXPECT_GT(rep.predicted_traffic.phase1_ddr + rep.predicted_traffic.phase2_ddr,
+            0.0);
+  EXPECT_GT(rep.freq_ghz, 0.0);
+
+  // The measured side comes from this run's traffic audit and timings.
+  EXPECT_GT(rep.measured_phase1_bpe, 0.0);
+  EXPECT_GT(rep.measured_phase2_bpe, 0.0);
+  EXPECT_GT(rep.measured_total_cpe, 0.0);
+  EXPECT_TRUE(std::isfinite(rep.measured_total_cpe));
+  EXPECT_GT(rep.ratio_total, 0.0);
+  EXPECT_TRUE(std::isfinite(rep.ratio_total));
+
+  // collect_stats defaults on -> one row per BFS level, all top-down.
+  ASSERT_EQ(rep.steps.size(), runner.last_run_stats().steps.size());
+  ASSERT_FALSE(rep.steps.empty());
+  for (const obs::ModelStepCheck& s : rep.steps) {
+    EXPECT_EQ(s.direction, 'T');
+    EXPECT_GT(s.predicted_cpe, 0.0);
+    EXPECT_TRUE(std::isfinite(s.measured_cpe));
+    if (s.edges > 0 && s.seconds > 0.0) {
+      EXPECT_GT(s.measured_cpe, 0.0);
+      EXPECT_GT(s.ratio, 0.0);
+    }
+  }
+}
+
+TEST(ModelCheck, TinyToleranceFlagsEveryCountedStep) {
+  const CsrGraph g = rmat_graph(11, 16, 9);
+  BfsOptions opts;
+  opts.direction = DirectionMode::kTopDown;
+  BfsRunner runner(g, opts);
+  BfsResult out;
+
+  obs::ModelCheckOptions mc = paper_opts(opts.n_sockets);
+  // This host is not a 2009 Nehalem-EP: with a near-zero tolerance band
+  // the run-level ratio and every step with real signal must deviate.
+  mc.tolerance = 1e-9;
+  mc.min_step_seconds = 0.0;
+  const obs::ModelCheckReport rep = run_and_check(runner, g, mc, out);
+
+  EXPECT_TRUE(rep.flagged);
+  unsigned expected_flags = 0;
+  for (const obs::ModelStepCheck& s : rep.steps) {
+    if (s.edges > 0 && s.seconds > 0.0) {
+      EXPECT_TRUE(s.flagged) << "step " << s.step;
+      ++expected_flags;
+    } else {
+      EXPECT_FALSE(s.flagged) << "step " << s.step;
+    }
+  }
+  EXPECT_EQ(rep.flagged_steps, expected_flags);
+  EXPECT_GT(expected_flags, 0u);
+
+  // An infinite tolerance band flags nothing.
+  mc.tolerance = 1e12;
+  const obs::ModelCheckReport lax = run_and_check(runner, g, mc, out);
+  EXPECT_FALSE(lax.flagged);
+  EXPECT_EQ(lax.flagged_steps, 0u);
+}
+
+TEST(ModelCheck, MinStepSecondsSuppressesStepFlags) {
+  const CsrGraph g = rmat_graph(10, 8, 17);
+  BfsOptions opts;
+  opts.direction = DirectionMode::kTopDown;
+  BfsRunner runner(g, opts);
+  BfsResult out;
+
+  obs::ModelCheckOptions mc = paper_opts(opts.n_sockets);
+  mc.tolerance = 1e-9;
+  mc.min_step_seconds = 3600.0;  // nothing is an hour long
+  const obs::ModelCheckReport rep = run_and_check(runner, g, mc, out);
+  EXPECT_EQ(rep.flagged_steps, 0u);
+  for (const obs::ModelStepCheck& s : rep.steps) {
+    EXPECT_FALSE(s.flagged);
+  }
+  // The run-level flag is independent of the per-step noise floor.
+  EXPECT_TRUE(rep.flagged);
+}
+
+TEST(ModelCheck, BottomUpStepsAreMeasuredOnlyNeverFlagged) {
+  const CsrGraph g = rmat_graph(11, 16, 5);
+  BfsOptions opts;
+  opts.direction = DirectionMode::kAuto;  // RMAT triggers bottom-up steps
+  BfsRunner runner(g, opts);
+  BfsResult out;
+
+  obs::ModelCheckOptions mc = paper_opts(opts.n_sockets);
+  mc.tolerance = 1e-9;
+  mc.min_step_seconds = 0.0;
+  const obs::ModelCheckReport rep = run_and_check(runner, g, mc, out);
+
+  ASSERT_NE(runner.last_run_stats().direction_string().find('B'),
+            std::string::npos)
+      << "test graph was meant to exercise bottom-up steps";
+  unsigned bu_steps = 0;
+  for (const obs::ModelStepCheck& s : rep.steps) {
+    if (s.direction != 'B') continue;
+    ++bu_steps;
+    EXPECT_EQ(s.predicted_cpe, 0.0);
+    EXPECT_EQ(s.ratio, 0.0);
+    EXPECT_FALSE(s.flagged) << "Sec. IV does not model bottom-up steps";
+  }
+  EXPECT_GT(bu_steps, 0u);
+}
+
+TEST(ModelCheck, TextAndJsonOutputsCarryTheReport) {
+  const CsrGraph g = rmat_graph(10, 8, 21);
+  BfsOptions opts;
+  opts.direction = DirectionMode::kTopDown;
+  BfsRunner runner(g, opts);
+  BfsResult out;
+  const obs::ModelCheckReport rep =
+      run_and_check(runner, g, paper_opts(opts.n_sockets), out);
+
+  std::ostringstream text;
+  rep.write_text(text);
+  const std::string t = text.str();
+  EXPECT_NE(t.find("predicted"), std::string::npos);
+  EXPECT_NE(t.find("measured"), std::string::npos);
+  EXPECT_NE(t.find("phase1"), std::string::npos);
+
+  std::ostringstream json;
+  rep.write_json(json);
+  const std::string j = json.str();
+  for (const char* key :
+       {"\"ratio_total\"", "\"predicted_cpe\"", "\"measured_cpe\"",
+        "\"flagged\"", "\"flagged_steps\"", "\"steps\"", "\"input\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,166 @@
+// Metrics registry (src/obs/metrics.h): instrument semantics, idempotent
+// stable-pointer registration, the allocation-free warm-snapshot
+// contract, engine integration (run epilogues + VIS audit counters), and
+// the JSON / Prometheus serializations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alloc_count.h"
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "obs/metrics.h"
+
+namespace fastbfs {
+namespace {
+
+TEST(ObsMetrics, CounterGaugeHistogramBasics) {
+  obs::Registry r;
+  obs::Counter* c = r.counter("c");
+  c->inc();
+  c->add(41);
+  EXPECT_EQ(c->value(), 42u);
+
+  obs::Gauge* g = r.gauge("g");
+  g->set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+
+  obs::Histogram* h = r.histogram("h");
+  h->observe(0);    // bucket 0 (bit_width 0)
+  h->observe(1);    // bucket 1
+  h->observe(7);    // bucket 3: [4, 8)
+  h->observe(8);    // bucket 4: [8, 16)
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->sum(), 16u);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(3), 1u);
+  EXPECT_EQ(h->bucket(4), 1u);
+  EXPECT_EQ(r.size(), 3u);
+
+  r.reset_values();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(ObsMetrics, RegistrationIsIdempotentWithStablePointers) {
+  obs::Registry r;
+  obs::Counter* a = r.counter("same");
+  // Registering more instruments must not move earlier ones (deque), and
+  // re-registering must return the same pointer, not a twin.
+  for (int i = 0; i < 100; ++i) {
+    r.counter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(r.counter("same"), a);
+  a->inc();
+  EXPECT_EQ(r.counter("same")->value(), 1u);
+  // Same name, different type = different instrument namespace.
+  EXPECT_NE(static_cast<void*>(r.gauge("same")), static_cast<void*>(a));
+}
+
+TEST(ObsMetrics, WarmSnapshotIsAllocationFree) {
+  obs::Registry r;
+  r.counter("a")->add(1);
+  r.gauge("b")->set(2.0);
+  r.histogram("c")->observe(3);
+
+  obs::MetricsSnapshot snap;
+  r.snapshot_into(snap);  // warm-up: sizes the samples vector
+  ASSERT_EQ(snap.samples.size(), 3u);
+
+  if (!testing::allocation_counting_active()) {
+    GTEST_SKIP() << "allocation interposer not linked";
+  }
+  const std::uint64_t before = testing::allocation_count();
+  for (int i = 0; i < 16; ++i) {
+    r.counter("a")->inc();      // cached-pointer path in real call sites
+    r.snapshot_into(snap);
+  }
+  EXPECT_EQ(testing::allocation_count(), before)
+      << "warm snapshot_into or instrument updates allocated";
+  EXPECT_EQ(snap.samples.size(), 3u);
+}
+
+TEST(ObsMetrics, SnapshotCarriesValuesAndNames) {
+  obs::Registry r;
+  r.counter("hits")->add(7);
+  r.histogram("sizes")->observe(100);
+  obs::MetricsSnapshot snap;
+  r.snapshot_into(snap);
+  ASSERT_EQ(snap.samples.size(), 2u);
+  EXPECT_STREQ(snap.samples[0].name, "hits");
+  EXPECT_EQ(snap.samples[0].type, obs::MetricSample::Type::kCounter);
+  EXPECT_DOUBLE_EQ(snap.samples[0].value, 7.0);
+  EXPECT_STREQ(snap.samples[1].name, "sizes");
+  EXPECT_EQ(snap.samples[1].count, 1u);
+  EXPECT_EQ(snap.samples[1].sum, 100u);
+}
+
+TEST(ObsMetrics, JsonAndPrometheusShape) {
+  obs::Registry r;
+  r.counter("requests_total")->add(3);
+  r.gauge("temperature")->set(1.5);
+  r.histogram("latency")->observe(5);
+
+  std::ostringstream js;
+  r.write_json(js);
+  const std::string j = js.str();
+  EXPECT_NE(j.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(j.find("\"requests_total\": 3"), std::string::npos);
+  EXPECT_NE(j.find("\"temperature\": 1.5"), std::string::npos);
+  EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+
+  std::ostringstream prom;
+  r.write_prometheus(prom);
+  const std::string p = prom.str();
+  EXPECT_NE(p.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(p.find("requests_total 3"), std::string::npos);
+  EXPECT_NE(p.find("# TYPE temperature gauge"), std::string::npos);
+  EXPECT_NE(p.find("# TYPE latency histogram"), std::string::npos);
+  // 5 has bit_width 3; cumulative buckets end at +Inf with the total.
+  EXPECT_NE(p.find("latency_bucket{le=\"7\"} 1"), std::string::npos);
+  EXPECT_NE(p.find("latency_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(p.find("latency_sum 5"), std::string::npos);
+  EXPECT_NE(p.find("latency_count 1"), std::string::npos);
+}
+
+TEST(ObsMetrics, EngineRunPopulatesGlobalRegistry) {
+  const CsrGraph g = rmat_graph(10, 8, 77);
+  BfsRunner runner(g);
+  obs::Registry& r = obs::metrics();
+  const std::uint64_t runs_before = r.counter("fastbfs_runs_total")->value();
+  const std::uint64_t edges_before =
+      r.counter("fastbfs_edges_traversed_total")->value();
+
+  const vid_t root = pick_nonisolated_root(g, 1);
+  const BfsResult res = runner.run(root);
+
+  EXPECT_EQ(r.counter("fastbfs_runs_total")->value(), runs_before + 1);
+  EXPECT_EQ(r.counter("fastbfs_edges_traversed_total")->value(),
+            edges_before + res.edges_traversed);
+  EXPECT_GT(r.counter("fastbfs_steps_total")->value(), 0u);
+  EXPECT_GT(r.gauge("fastbfs_last_run_seconds")->value(), 0.0);
+  EXPECT_GE(r.gauge("fastbfs_last_pbv_bin_skew")->value(), 1.0);
+  EXPECT_GT(r.histogram("fastbfs_frontier_vertices")->count(), 0u);
+}
+
+TEST(ObsMetrics, VisAuditSurfacesThroughRegistry) {
+  const CsrGraph g = rmat_graph(9, 8, 5);
+  BfsRunner runner(g);
+  obs::Registry& r = obs::metrics();
+  const std::uint64_t audits_before =
+      r.counter("fastbfs_vis_audits_total")->value();
+
+  const BfsResult res = runner.run(pick_nonisolated_root(g, 1));
+  const VisAudit audit = runner.audit_vis(res);
+  ASSERT_TRUE(audit.audited);
+  EXPECT_EQ(r.counter("fastbfs_vis_audits_total")->value(),
+            audits_before + 1);
+  // A clean run contributes its (zero) missing/spurious counts.
+  EXPECT_EQ(audit.spurious, 0u);
+}
+
+}  // namespace
+}  // namespace fastbfs

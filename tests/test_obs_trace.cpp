@@ -1,0 +1,393 @@
+// Flight recorder (src/obs/trace.h): ring/drop semantics, per-kind
+// aggregates, and the Chrome trace-event export — round-tripped through a
+// schema-validating mini JSON parser, including the per-thread span
+// nesting invariant Perfetto relies on.
+//
+// The recorder itself is compiled into every build (only the engine hooks
+// are gated on FASTBFS_TRACE), so these tests drive ScopedSpan/emit_event
+// directly; the engine-integration test skips unless the hooks are in.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "obs/trace.h"
+
+namespace fastbfs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini JSON parser — just enough to validate the exporter's output. Throws
+// std::runtime_error on malformed input, which fails the test via ASSERT.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (i_ != s_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (i_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[i_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' got '" +
+                               s_[i_] + "' at " + std::to_string(i_));
+    }
+    ++i_;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return bool_value();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::Type::kObject;
+    expect('{');
+    if (peek() == '}') { ++i_; return v; }
+    while (true) {
+      Json key = string_value();
+      expect(':');
+      v.obj.emplace(key.str, value());
+      if (peek() == ',') { ++i_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::Type::kArray;
+    expect('[');
+    if (peek() == ']') { ++i_; return v; }
+    while (true) {
+      v.arr.push_back(value());
+      if (peek() == ',') { ++i_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json string_value() {
+    Json v;
+    v.type = Json::Type::kString;
+    expect('"');
+    while (true) {
+      if (i_ >= s_.size()) throw std::runtime_error("unterminated string");
+      char c = s_[i_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (i_ >= s_.size()) throw std::runtime_error("bad escape");
+        char e = s_[i_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'u':
+            if (i_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            i_ += 4;  // validated for shape only
+            v.str += '?';
+            break;
+          default: throw std::runtime_error("bad escape char");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+
+  Json bool_value() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (s_.compare(i_, 4, "true") == 0) { v.b = true; i_ += 4; return v; }
+    if (s_.compare(i_, 5, "false") == 0) { v.b = false; i_ += 5; return v; }
+    throw std::runtime_error("bad literal");
+  }
+
+  Json null_value() {
+    if (s_.compare(i_, 4, "null") != 0) throw std::runtime_error("bad null");
+    i_ += 4;
+    return Json{};
+  }
+
+  Json number() {
+    skip_ws();
+    std::size_t end = i_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == i_) throw std::runtime_error("bad number");
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.num = std::stod(s_.substr(i_, end - i_));
+    i_ = end;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+Json export_and_parse() {
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  return JsonParser(out.str()).parse();
+}
+
+/// Chrome trace schema checks shared by every export test: the envelope,
+/// per-event required fields, and per-(pid,tid) proper nesting of "X"
+/// complete spans (sorted by ts, intervals must form a containment
+/// hierarchy — partial overlap on one thread track is malformed).
+void validate_chrome_trace(const Json& root) {
+  ASSERT_EQ(root.type, Json::Type::kObject);
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.type, Json::Type::kArray);
+  EXPECT_EQ(root.at("displayTimeUnit").str, "ms");
+  EXPECT_EQ(root.at("otherData").at("recorder").str,
+            "fastbfs flight recorder");
+
+  struct Interval {
+    double ts, end;
+  };
+  std::map<std::pair<unsigned, unsigned>, std::vector<Interval>> tracks;
+  for (const Json& e : events.arr) {
+    ASSERT_EQ(e.type, Json::Type::kObject);
+    const std::string& ph = e.at("ph").str;
+    ASSERT_TRUE(ph == "M" || ph == "X" || ph == "i") << "ph=" << ph;
+    EXPECT_FALSE(e.at("name").str.empty());
+    const auto key = std::make_pair(
+        static_cast<unsigned>(e.at("pid").num),
+        static_cast<unsigned>(e.at("tid").num));
+    if (ph == "M") {
+      EXPECT_FALSE(e.at("args").at("name").str.empty());
+      continue;
+    }
+    EXPECT_EQ(e.at("cat").str, "fastbfs");
+    EXPECT_GE(e.at("ts").num, 0.0);
+    EXPECT_TRUE(e.at("args").has("step"));
+    if (ph == "i") {
+      EXPECT_EQ(e.at("s").str, "t");
+    } else {
+      EXPECT_GT(e.at("dur").num, 0.0);
+      tracks[key].push_back({e.at("ts").num, e.at("ts").num + e.at("dur").num});
+    }
+  }
+
+  // Export order is globally by start time, so each per-track list is
+  // already ts-sorted; spans on one track must nest. Epsilon covers the
+  // %.3f microsecond rounding of independently-rounded ts and dur.
+  const double eps = 2e-3;
+  for (const auto& [key, spans] : tracks) {
+    std::vector<Interval> stack;
+    for (const Interval& s : spans) {
+      ASSERT_TRUE(stack.empty() || s.ts + eps >= stack.back().ts)
+          << "track (" << key.first << "," << key.second
+          << ") not sorted by ts";
+      while (!stack.empty() && s.ts >= stack.back().end - eps) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        EXPECT_LE(s.end, stack.back().end + eps)
+            << "span [" << s.ts << "," << s.end << ") partially overlaps ["
+            << stack.back().ts << "," << stack.back().end << ")";
+      }
+      stack.push_back(s);
+    }
+  }
+}
+
+struct TraceGuard {
+  ~TraceGuard() { obs::disable(); }
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, DisabledRecorderRecordsNothing) {
+  TraceGuard guard;
+  obs::enable();
+  obs::disable();
+  obs::clear();
+  {
+    obs::ScopedSpan s(obs::SpanKind::kRun, 0);
+    obs::emit_event(obs::SpanKind::kDirectionSwitch, 3);
+  }
+  EXPECT_EQ(obs::total_recorded(), 0u);
+  EXPECT_EQ(obs::total_dropped(), 0u);
+}
+
+TEST(ObsTrace, RecordsSpansEventsAndKindTotals) {
+  TraceGuard guard;
+  obs::enable();
+  {
+    obs::ScopedSpan run(obs::SpanKind::kRun, 0);
+    for (std::uint32_t step = 1; step <= 3; ++step) {
+      obs::ScopedSpan s(obs::SpanKind::kStep, step);
+      obs::ScopedSpan p1(obs::SpanKind::kPhase1, step);
+    }
+    obs::emit_event(obs::SpanKind::kDirectionSwitch, 2);
+  }
+  obs::disable();
+  EXPECT_EQ(obs::total_recorded(), 8u);  // 1 run + 3 step + 3 phase1 + 1 event
+  EXPECT_EQ(obs::total_dropped(), 0u);
+  EXPECT_EQ(obs::kind_total(obs::SpanKind::kStep).count, 3u);
+  EXPECT_EQ(obs::kind_total(obs::SpanKind::kRun).count, 1u);
+  EXPECT_EQ(obs::kind_total(obs::SpanKind::kDirectionSwitch).count, 1u);
+  // A closed span's duration is positive; the run span contains the rest.
+  EXPECT_GT(obs::kind_total(obs::SpanKind::kRun).total_ns, 0u);
+  EXPECT_GE(obs::kind_total(obs::SpanKind::kRun).total_ns,
+            obs::kind_total(obs::SpanKind::kStep).total_ns);
+}
+
+TEST(ObsTrace, RingWrapsAndCountsDrops) {
+  TraceGuard guard;
+  obs::TraceConfig cfg;
+  cfg.ring_capacity = 4;
+  obs::enable(cfg);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    obs::ScopedSpan s(obs::SpanKind::kStep, i);
+  }
+  obs::disable();
+  EXPECT_EQ(obs::total_recorded(), 7u);
+  EXPECT_EQ(obs::total_dropped(), 3u);  // oldest 3 overwritten
+
+  // The export retains only ring_capacity spans and reports the drops.
+  Json root;
+  ASSERT_NO_THROW(root = export_and_parse());
+  validate_chrome_trace(root);
+  unsigned x_events = 0;
+  for (const Json& e : root.at("traceEvents").arr) {
+    if (e.at("ph").str == "X") ++x_events;
+  }
+  EXPECT_EQ(x_events, 4u);
+  EXPECT_DOUBLE_EQ(root.at("otherData").at("dropped").num, 3.0);
+}
+
+TEST(ObsTrace, ChromeTraceExportRoundTrips) {
+  TraceGuard guard;
+  obs::enable();
+  {
+    obs::ScopedSpan run(obs::SpanKind::kRun, 0);
+    for (std::uint32_t step = 1; step <= 4; ++step) {
+      obs::ScopedSpan s(obs::SpanKind::kStep, step);
+      { obs::ScopedSpan p(obs::SpanKind::kPhase1, step); }
+      { obs::ScopedSpan p(obs::SpanKind::kPhase2, step); }
+      if (step == 3) obs::emit_event(obs::SpanKind::kDirectionSwitch, step);
+    }
+  }
+  obs::disable();
+
+  Json root;
+  ASSERT_NO_THROW(root = export_and_parse());
+  validate_chrome_trace(root);
+
+  unsigned meta = 0, complete = 0, instant = 0;
+  bool saw_step = false, saw_phase1 = false;
+  for (const Json& e : root.at("traceEvents").arr) {
+    const std::string& ph = e.at("ph").str;
+    if (ph == "M") ++meta;
+    if (ph == "X") ++complete;
+    if (ph == "i") ++instant;
+    if (e.at("name").str == "step") saw_step = true;
+    if (e.at("name").str == "phase1") saw_phase1 = true;
+    // The step arg survives into args.step.
+    if (e.at("name").str == "direction_switch") {
+      EXPECT_EQ(ph, "i");
+      EXPECT_DOUBLE_EQ(e.at("args").at("step").num, 3.0);
+    }
+  }
+  EXPECT_EQ(meta, 2u);  // process_name + thread_name for the one lane
+  // 13 spans + 1 instant; a span whose two clock reads land on the same
+  // nanosecond exports as an instant, so only the total is exact.
+  EXPECT_EQ(complete + instant, 14u);
+  EXPECT_GE(instant, 1u);
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_phase1);
+}
+
+TEST(ObsTrace, EmptyExportIsValidJson) {
+  TraceGuard guard;
+  obs::enable();
+  obs::disable();
+  Json root;
+  ASSERT_NO_THROW(root = export_and_parse());
+  validate_chrome_trace(root);
+  EXPECT_TRUE(root.at("traceEvents").arr.empty());
+}
+
+TEST(ObsTrace, EngineEmitsSpansWhenCompiledIn) {
+  if (!obs::trace_compiled()) {
+    GTEST_SKIP() << "engine hooks compiled out (build with -DFASTBFS_TRACE=ON)";
+  }
+  TraceGuard guard;
+  const CsrGraph g = rmat_graph(10, 8, 11);
+  BfsRunner runner(g);
+  const vid_t root_v = pick_nonisolated_root(g, 1);
+  runner.run(root_v);  // warm-up, untraced
+
+  obs::enable();
+  runner.run(root_v);
+  obs::disable();
+
+  EXPECT_EQ(obs::kind_total(obs::SpanKind::kRun).count, 1u);
+  EXPECT_GT(obs::kind_total(obs::SpanKind::kStep).count, 0u);
+  EXPECT_GT(obs::kind_total(obs::SpanKind::kPhase1).count, 0u);
+  EXPECT_GT(obs::kind_total(obs::SpanKind::kBarrierWait).count, 0u);
+
+  Json root;
+  ASSERT_NO_THROW(root = export_and_parse());
+  validate_chrome_trace(root);
+  EXPECT_GT(root.at("traceEvents").arr.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -34,6 +34,7 @@
 #include "gen/rmat.h"
 #include "graph/stats.h"
 #include "graph/validate.h"
+#include "obs/metrics.h"
 #include "thread/chaos.h"
 
 #ifndef FASTBFS_CHAOS
@@ -460,6 +461,15 @@ TEST(Torture, CleanEngineSurvivesPerturbedSchedules) {
   const bool full = full_sweep();
   const unsigned seeds = env_unsigned("FASTBFS_TORTURE_SEEDS", full ? 40 : 6);
   const std::vector<EngineAxis> axes = full ? full_axes() : bounded_axes();
+  // The VIS audit also feeds the metrics registry (fastbfs_vis_*); scrape
+  // the sweep's delta so the registry numbers are cross-checked against
+  // the harness's own accounting below.
+  obs::Registry& reg = obs::metrics();
+  const std::uint64_t audits0 = reg.counter("fastbfs_vis_audits_total")->value();
+  const std::uint64_t missing0 =
+      reg.counter("fastbfs_vis_missing_total")->value();
+  const std::uint64_t spurious0 =
+      reg.counter("fastbfs_vis_spurious_total")->value();
   SweepStats stats;
   for (const TortureGraph& tg : corpus()) {
     for (const EngineAxis& axis : axes) {
@@ -477,6 +487,17 @@ TEST(Torture, CleanEngineSurvivesPerturbedSchedules) {
             << stats.injected << " injected events, " << stats.benign_missing
             << " benign lost VIS bits, " << stats.benign_dups
             << " benign duplicate discoveries\n";
+  const std::uint64_t missing =
+      reg.counter("fastbfs_vis_missing_total")->value() - missing0;
+  std::cout << "[torture] metrics registry: "
+            << reg.counter("fastbfs_vis_audits_total")->value() - audits0
+            << " VIS audits, " << missing << " missing, "
+            << reg.counter("fastbfs_vis_spurious_total")->value() - spurious0
+            << " spurious\n";
+  // Every run a clean sweep audits is spurious-free (check_run fails the
+  // sweep otherwise), and the registry's missing tally is exactly the
+  // benign losses the harness summed.
+  EXPECT_EQ(missing, stats.benign_missing);
 }
 
 // The hooks must actually sit in the windows the harness claims to

@@ -11,6 +11,8 @@
 // Input format is chosen by extension: .csr (binary, graph/serialize.h),
 // .gr (DIMACS), .mtx (MatrixMarket), anything else = text edge list.
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/api.h"
@@ -23,6 +25,10 @@
 #include "graph/serialize.h"
 #include "graph/stats.h"
 #include "graph/validate.h"
+#include "model/calibrate.h"
+#include "obs/metrics.h"
+#include "obs/model_check.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -85,6 +91,14 @@ void apply_direction_flags(const CliArgs& args, BfsOptions& opts) {
   opts.direction = parse_direction(args.get("direction", "td"));
   opts.alpha = args.get_double("alpha", opts.alpha);
   opts.beta = args.get_double("beta", opts.beta);
+}
+
+std::ofstream open_or_throw(const std::string& path, const char* flag) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(std::string(flag) + ": cannot open " + path);
+  }
+  return out;
 }
 
 int cmd_gen(const CliArgs& args) {
@@ -206,6 +220,36 @@ int cmd_bfs(const CliArgs& args) {
   apply_direction_flags(args, opts);
   BfsRunner runner(g, opts);
 
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string steps_csv = args.get("steps-csv", "");
+  const bool model_check = args.get_bool("model-check", false);
+  if (!trace_out.empty()) {
+    if (!obs::trace_compiled()) {
+      std::printf(
+          "warning: this binary was built without -DFASTBFS_TRACE; the "
+          "trace will contain no engine spans\n");
+    }
+    obs::enable();
+  }
+
+  // --model-check compares the run against the Sec. IV predictor. The
+  // default platform is this host (bandwidth probes, a few hundred ms);
+  // --model-params=paper uses the paper's Nehalem-EP instead.
+  obs::ModelCheckOptions mc;
+  if (model_check) {
+    const std::string params = args.get("model-params", "host");
+    if (params == "host") {
+      mc.params = model::calibrated_host_params();
+    } else if (params == "paper") {
+      mc.params = model::nehalem_ep();
+    } else {
+      throw std::runtime_error("unknown --model-params value: " + params);
+    }
+    mc.n_sockets = opts.n_sockets;
+    mc.tolerance = args.get_double("model-tol", mc.tolerance);
+  }
+
   const unsigned n_roots = static_cast<unsigned>(args.get_int("roots", 1));
   const bool validate = args.get_bool("validate", false);
   const bool show_directions = args.get_bool("directions", false);
@@ -238,6 +282,38 @@ int cmd_bfs(const CliArgs& args) {
       }
     }
     std::printf("\n");
+    if (model_check) {
+      const obs::ModelCheckReport rep = obs::check_model(
+          runner.last_run_stats(), r, g.n_vertices(), runner.n_pbv_bins(),
+          runner.n_vis_partitions(),
+          static_cast<double>(runner.vis_storage_bytes()), mc);
+      rep.write_text(std::cout);
+    }
+  }
+
+  // The sinks below describe the *last* run (trace rings and the metrics
+  // registry additionally carry everything since process start).
+  if (!steps_csv.empty()) {
+    std::ofstream out = open_or_throw(steps_csv, "--steps-csv");
+    runner.last_run_stats().write_steps_csv(out);
+    std::printf("wrote %s\n", steps_csv.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::disable();
+    std::ofstream out = open_or_throw(trace_out, "--trace-out");
+    obs::write_chrome_trace(out);
+    std::printf("wrote %s (%llu spans, %llu dropped)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(obs::total_recorded()),
+                static_cast<unsigned long long>(obs::total_dropped()));
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out = open_or_throw(metrics_out, "--metrics-out");
+    if (ends_with(metrics_out, ".json")) {
+      obs::metrics().write_json(out);
+    } else {
+      obs::metrics().write_prometheus(out);
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
   }
   return 0;
 }
@@ -270,6 +346,13 @@ int usage() {
       "          [--vis=partitioned] [--scheme=balanced] [--validate]\n"
       "          [--simd=1 --prefetch=1 --rearrange=1 --pin=0]\n"
       "          [--direction=td|bu|auto --alpha=15 --beta=18 --directions]\n"
+      "          [--steps-csv=F]    per-step CSV of the last run\n"
+      "          [--trace-out=F]    flight-recorder Chrome trace JSON\n"
+      "                             (engine spans need -DFASTBFS_TRACE)\n"
+      "          [--metrics-out=F]  registry dump; .json = JSON, else\n"
+      "                             Prometheus text exposition\n"
+      "          [--model-check --model-params=host|paper --model-tol=0.75]\n"
+      "                             Sec. IV predicted-vs-measured report\n"
       "  convert --in=FILE --out=g.csr\n"
       "formats by extension: .csr binary, .gr DIMACS, .mtx MatrixMarket,\n"
       "otherwise text edge list.\n");
