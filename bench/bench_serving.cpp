@@ -1,0 +1,564 @@
+// BFS-as-a-service load generator: sequential-only serving vs adaptive
+// MS-64 micro-batching (serve/service.h), the serving tentpole of
+// DESIGN.md §5g.
+//
+// Claim under test: at saturation (a closed loop of 64 concurrent
+// clients), coalescing concurrent queries into MS-64 waves sustains at
+// least 2x the QPS of dispatching them one at a time through the same
+// engine — the serving-path restatement of the MS-BFS amortization claim
+// (bench_msbfs). The acceptance configuration is RMAT scale-18 ef-16:
+// run with --div=1 (or --scale=paper) to measure it unscaled.
+//
+// Two arrival models, per the serving literature:
+//   closed  C clients, each submits, waits for its response, repeats —
+//           concurrency is pinned at C (rows at C = 1, 8, 64);
+//   open    queries arrive on a seeded exponential (Poisson) process at
+//           --rate-qps, regardless of completions — latency under an
+//           offered load. Default rate: half the measured adaptive
+//           saturation QPS, so the open rows are stable by construction.
+//
+// Modes:
+//   (default)        in-process: drives BfsService directly, per-config
+//                    service-side p50/p99 from the latency histogram;
+//   --connect=H:P    TCP: closed-loop clients against a running
+//                    fastbfs_serve, client-side latency percentiles
+//                    (this is what the serve-smoke CI job runs);
+//   --shutdown       after measuring, send a kShutdown frame (TCP mode).
+//
+// Emits BENCH_serving.json (write_bench_json schema) for CI trending.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "serve/proto.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace {
+
+using namespace fastbfs;
+using namespace fastbfs::bench;
+using namespace fastbfs::serve;
+
+struct LoadResult {
+  std::string mode;     // "seq" | "ms64"
+  std::string arrival;  // "closed" | "open"
+  unsigned clients = 0;  // closed: loop size; open: offered rate (qps)
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t late = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double occupancy_mean = 0.0;
+};
+
+// --- in-process driver --------------------------------------------------
+
+/// Response sink for the in-process loops: counts outcomes and, in closed
+/// mode, wakes the one client (id >> 32) whose query completed.
+class LoadSink : public ResponseSink {
+ public:
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  explicit LoadSink(unsigned n_clients) : gates_(n_clients) {}
+
+  void on_response(const ResponseView& v) override {
+    switch (v.header.status) {
+      case Status::kOk:
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        if (v.header.deadline_missed) {
+          late_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      default:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    const std::uint64_t n = responses_.fetch_add(1) + 1;
+    if (!gates_.empty()) {
+      Gate& g = gates_[v.header.id >> 32];
+      std::lock_guard<std::mutex> lk(g.mu);
+      g.done = true;
+      g.cv.notify_one();
+    }
+    std::lock_guard<std::mutex> lk(all_mu_);
+    if (n >= target_) all_cv_.notify_all();
+  }
+
+  void await_query(unsigned client) {
+    Gate& g = gates_[client];
+    std::unique_lock<std::mutex> lk(g.mu);
+    g.cv.wait(lk, [&] { return g.done; });
+    g.done = false;
+  }
+
+  void await_total(std::uint64_t target) {
+    std::unique_lock<std::mutex> lk(all_mu_);
+    target_ = target;
+    all_cv_.wait(lk, [&] { return responses_.load() >= target; });
+  }
+
+  std::uint64_t ok() const { return ok_.load(); }
+  std::uint64_t rejected() const { return rejected_.load(); }
+  std::uint64_t late() const { return late_.load(); }
+
+ private:
+  std::vector<Gate> gates_;
+  std::atomic<std::uint64_t> responses_{0}, ok_{0}, rejected_{0}, late_{0};
+  std::mutex all_mu_;
+  std::condition_variable all_cv_;
+  std::uint64_t target_ = ~0ull;
+};
+
+struct ServeParams {
+  BfsOptions engine;
+  unsigned dispatchers = 1;
+  tick_t window_ns = 200'000;
+  std::uint64_t deadline_us = 0;
+  bool sequential_only = false;
+};
+
+ServiceConfig service_config(const ServeParams& p) {
+  ServiceConfig cfg;
+  cfg.engine = p.engine;
+  cfg.n_dispatchers = p.dispatchers;
+  cfg.batcher.wave_width = p.sequential_only ? 1 : kMsWaveWidth;
+  cfg.batcher.window_ns = p.window_ns;
+  cfg.batcher.queue_capacity = 4096;
+  return cfg;
+}
+
+void finish_result(LoadResult& r, const BfsService& svc,
+                   const LoadSink& sink, double seconds) {
+  const ServeCounters c = svc.counters();
+  r.completed = c.completed;
+  r.rejected = sink.rejected();
+  r.late = sink.late();
+  r.seconds = seconds;
+  r.qps = seconds > 0.0 ? static_cast<double>(c.completed) / seconds : 0.0;
+  r.p50_ms = svc.latency_quantile_ns(0.5) / 1e6;
+  r.p99_ms = svc.latency_quantile_ns(0.99) / 1e6;
+  const std::uint64_t dispatches = c.waves + c.sequential_runs;
+  r.occupancy_mean =
+      dispatches > 0
+          ? static_cast<double>(c.completed) / static_cast<double>(dispatches)
+          : 0.0;
+}
+
+/// Closed loop, in process: `clients` threads, one outstanding query each.
+LoadResult run_closed(const CsrGraph& g, const ServeParams& params,
+                      unsigned clients, unsigned queries_per_client,
+                      std::uint64_t seed) {
+  LoadResult r;
+  r.mode = params.sequential_only ? "seq" : "ms64";
+  r.arrival = "closed";
+  r.clients = clients;
+
+  LoadSink sink(clients);
+  SteadyClock clock;
+  BfsService svc(service_config(params), clock, sink);
+  svc.add_graph(g);
+  svc.start();
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 rng(seed + c);
+      for (unsigned q = 0; q < queries_per_client; ++q) {
+        QueryRequest req;
+        req.id = (static_cast<std::uint64_t>(c) << 32) | q;
+        req.root = pick_nonisolated_root(g, rng.next());
+        req.deadline_us = params.deadline_us;
+        svc.submit(req, nullptr);  // rejections still answer the gate
+        sink.await_query(c);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+  svc.stop();
+  finish_result(r, svc, sink, seconds);
+  return r;
+}
+
+/// Open loop, in process: Poisson arrivals at `rate_qps`, completion lags
+/// arrival freely; the run is bounded by `total` queries.
+LoadResult run_open(const CsrGraph& g, const ServeParams& params,
+                    double rate_qps, std::uint64_t total,
+                    std::uint64_t seed) {
+  LoadResult r;
+  r.mode = params.sequential_only ? "seq" : "ms64";
+  r.arrival = "open";
+  r.clients = static_cast<unsigned>(rate_qps);
+
+  LoadSink sink(1);
+  SteadyClock clock;
+  BfsService svc(service_config(params), clock, sink);
+  svc.add_graph(g);
+  svc.start();
+
+  Xoshiro256 rng(seed);
+  Timer wall;
+  double next_arrival = 0.0;  // seconds since start
+  for (std::uint64_t i = 0; i < total; ++i) {
+    // Seeded exponential inter-arrival: -ln(U) / rate.
+    const double u =
+        (static_cast<double>(rng.next() >> 11) + 1.0) / 9007199254740993.0;
+    next_arrival += -std::log(u) / rate_qps;
+    const double lag = next_arrival - wall.seconds();
+    if (lag > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(static_cast<std::int64_t>(lag * 1e9)));
+    }
+    QueryRequest req;
+    req.id = i;  // id >> 32 == 0: all responses hit gate 0 (never awaited)
+    req.root = pick_nonisolated_root(g, rng.next());
+    req.deadline_us = params.deadline_us;
+    svc.submit(req, nullptr);
+  }
+  sink.await_total(total);
+  const double seconds = wall.seconds();
+  svc.stop();
+  finish_result(r, svc, sink, seconds);
+  // In a stable open loop throughput is the offered rate; what the row
+  // actually reports is the latency distribution under that load.
+  return r;
+}
+
+// --- TCP driver (serve-smoke) -------------------------------------------
+
+/// Minimal blocking client: one connection, one outstanding query.
+class SocketClient {
+ public:
+  bool connect_to(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send_frame(const std::vector<std::uint8_t>& buf) {
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t n = ::send(fd_, buf.data() + off, buf.size() - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool read_response(QueryResponse& out) {
+    for (;;) {
+      FrameView frame;
+      if (try_frame(rbuf_.data(), used_, kMaxResponsePayload, frame) ==
+          DecodeError::kNone) {
+        const bool ok =
+            decode_response(frame.payload, frame.payload_len, out) ==
+            DecodeError::kNone;
+        std::memmove(rbuf_.data(), rbuf_.data() + frame.frame_len,
+                     used_ - frame.frame_len);
+        used_ -= frame.frame_len;
+        return ok;
+      }
+      if (rbuf_.size() - used_ < 65536) rbuf_.resize(used_ + 65536);
+      const ssize_t n =
+          ::recv(fd_, rbuf_.data() + used_, rbuf_.size() - used_, 0);
+      if (n <= 0) return false;
+      used_ += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t used_ = 0;
+};
+
+/// Closed loop over TCP; latency measured client-side per query.
+LoadResult run_socket_closed(const std::string& host, std::uint16_t port,
+                             vid_t n_vertices, unsigned clients,
+                             unsigned queries_per_client,
+                             std::uint64_t seed) {
+  LoadResult r;
+  r.mode = "server";
+  r.arrival = "closed";
+  r.clients = clients;
+
+  std::vector<std::vector<double>> lat(clients);
+  std::atomic<std::uint64_t> completed{0}, rejected{0}, late{0};
+  std::atomic<bool> failed{false};
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      SocketClient client;
+      if (!client.connect_to(host, port)) {
+        failed.store(true);
+        return;
+      }
+      Xoshiro256 rng(seed + c);
+      std::vector<std::uint8_t> buf;
+      lat[c].reserve(queries_per_client);
+      for (unsigned q = 0; q < queries_per_client; ++q) {
+        QueryRequest req;
+        req.id = (static_cast<std::uint64_t>(c) << 32) | q;
+        req.root = static_cast<vid_t>(rng.next_below(n_vertices));
+        buf.clear();
+        encode_query(buf, req);
+        Timer t;
+        QueryResponse resp;
+        if (!client.send_frame(buf) || !client.read_response(resp)) {
+          failed.store(true);
+          return;
+        }
+        lat[c].push_back(t.seconds());
+        if (resp.status == Status::kOk) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (resp.deadline_missed) {
+            late.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  r.seconds = wall.seconds();
+  if (failed.load()) {
+    std::fprintf(stderr, "bench_serving: socket client failed\n");
+    return r;
+  }
+  r.completed = completed.load();
+  r.rejected = rejected.load();
+  r.late = late.load();
+  r.qps = r.seconds > 0.0 ? static_cast<double>(r.completed) / r.seconds : 0.0;
+
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  if (!all.empty()) {
+    const auto nth = [&](double q) {
+      const std::size_t i =
+          static_cast<std::size_t>(q * static_cast<double>(all.size() - 1));
+      std::nth_element(all.begin(), all.begin() + i, all.end());
+      return all[i] * 1e3;
+    };
+    r.p50_ms = nth(0.5);
+    r.p99_ms = nth(0.99);
+  }
+  return r;
+}
+
+void add_row(TextTable& t, const LoadResult& r) {
+  t.add_row({r.mode, r.arrival, TextTable::num(std::uint64_t{r.clients}),
+             TextTable::num(r.qps, 1), TextTable::num(r.p50_ms, 2),
+             TextTable::num(r.p99_ms, 2),
+             TextTable::num(r.occupancy_mean, 1),
+             TextTable::num(r.completed), TextTable::num(r.rejected)});
+}
+
+std::string rows_json(const std::vector<LoadResult>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LoadResult& r = rows[i];
+    JsonFields f;
+    f.add_str("mode", r.mode)
+        .add_str("arrival", r.arrival)
+        .add_uint("clients", r.clients)
+        .add_num("qps", r.qps)
+        .add_num("p50_ms", r.p50_ms)
+        .add_num("p99_ms", r.p99_ms)
+        .add_num("occupancy_mean", r.occupancy_mean)
+        .add_num("seconds", r.seconds)
+        .add_uint("completed", r.completed)
+        .add_uint("rejected", r.rejected)
+        .add_uint("late", r.late);
+    if (i > 0) out += ", ";
+    out += f.str();
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(args);
+
+  const std::string connect = args.get("connect");
+  const auto queries_per_client = static_cast<unsigned>(
+      args.get_int("queries-per-client", connect.empty() ? 48 : 16));
+  const auto deadline_us =
+      static_cast<std::uint64_t>(args.get_int("deadline-us", 0));
+  const bool do_shutdown = args.get_bool("shutdown", false);
+
+  TextTable table({"mode", "arrival", "clients/rate", "QPS", "p50 ms",
+                   "p99 ms", "wave occ", "done", "rej"});
+  std::vector<LoadResult> rows;
+  JsonFields config;
+  bool pass = true;
+  double speedup = 0.0;
+
+  if (!connect.empty()) {
+    // --- TCP mode: measure a running fastbfs_serve -------------------
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants host:port\n");
+      return 2;
+    }
+    const std::string host = connect.substr(0, colon);
+    const auto port =
+        static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
+    const auto n_vertices = static_cast<vid_t>(
+        args.get_int("vertices", 1 << 14));  // server's graph size
+    const auto clients =
+        static_cast<unsigned>(args.get_int("clients", 8));
+
+    std::printf("bench_serving: TCP closed loop against %s (%u clients x "
+                "%u queries)\n",
+                connect.c_str(), clients, queries_per_client);
+    LoadResult r = run_socket_closed(host, port, n_vertices, clients,
+                                     queries_per_client, env.seed);
+    rows.push_back(r);
+    add_row(table, r);
+    pass = r.completed > 0 && r.qps > 0.0;
+
+    if (do_shutdown) {
+      SocketClient admin;
+      if (admin.connect_to(host, port)) {
+        std::vector<std::uint8_t> buf;
+        encode_shutdown(buf);
+        QueryResponse resp;
+        if (admin.send_frame(buf) && admin.read_response(resp) &&
+            resp.status == Status::kShuttingDown) {
+          std::printf("server acknowledged shutdown\n");
+        } else {
+          std::fprintf(stderr, "shutdown frame not acknowledged\n");
+          pass = false;
+        }
+      }
+    }
+    config.add_str("connect", connect)
+        .add_uint("clients", clients)
+        .add_uint("queries_per_client", queries_per_client);
+  } else {
+    // --- in-process mode: sequential-only vs adaptive MS-64 ----------
+    env.print_header(
+        "BFS-as-a-service: sequential-only vs adaptive MS-64 micro-batching",
+        "acceptance: RMAT ef-16, 64-client closed loop -> ms64 QPS >= 2x");
+    const unsigned scale =
+        floor_log2(ceil_pow2(env.scaled_vertices(1u << 18)));
+    std::printf("graph: RMAT scale-%u ef-16, seed %llu\n\n", scale,
+                static_cast<unsigned long long>(env.seed));
+    const CsrGraph g = rmat_graph(scale, 16, env.seed);
+
+    ServeParams params;
+    params.engine = env.engine_options();
+    params.dispatchers =
+        static_cast<unsigned>(args.get_int("dispatchers", 1));
+    params.window_ns =
+        static_cast<tick_t>(args.get_int("window-us", 200)) * 1000;
+    params.deadline_us = deadline_us;
+
+    double seq_sat_qps = 0.0, ms_sat_qps = 0.0;
+    for (const bool sequential_only : {true, false}) {
+      params.sequential_only = sequential_only;
+      for (const unsigned clients : {1u, 8u, 64u}) {
+        LoadResult r =
+            run_closed(g, params, clients, queries_per_client, env.seed);
+        if (clients == 64) {
+          (sequential_only ? seq_sat_qps : ms_sat_qps) = r.qps;
+        }
+        rows.push_back(r);
+        add_row(table, r);
+      }
+    }
+
+    // Open-loop rows at a rate both configs can absorb: half the adaptive
+    // saturation QPS (or --rate-qps). Reported for the latency shape.
+    double rate = args.get_double("rate-qps", 0.0);
+    if (rate <= 0.0) rate = std::max(50.0, ms_sat_qps / 2.0);
+    const auto open_total =
+        static_cast<std::uint64_t>(args.get_int("open-queries", 512));
+    for (const bool sequential_only : {true, false}) {
+      params.sequential_only = sequential_only;
+      LoadResult r = run_open(g, params, rate, open_total, env.seed);
+      rows.push_back(r);
+      add_row(table, r);
+    }
+
+    speedup = seq_sat_qps > 0.0 ? ms_sat_qps / seq_sat_qps : 0.0;
+    pass = speedup >= 2.0;
+    config.add_str("graph", "rmat")
+        .add_uint("scale", scale)
+        .add_int("edge_factor", 16)
+        .add_uint("threads", env.threads)
+        .add_uint("sockets", env.sockets)
+        .add_uint("dispatchers", params.dispatchers)
+        .add_uint("window_us", params.window_ns / 1000)
+        .add_uint("deadline_us", deadline_us)
+        .add_uint("queries_per_client", queries_per_client)
+        .add_num("open_rate_qps", rate);
+  }
+
+  std::fputs(table.to_string().c_str(), stdout);
+  if (connect.empty()) {
+    std::printf(
+        "\nacceptance (64-client closed loop, ms64 QPS / seq QPS >= 2x): "
+        "%.2fx  [%s]\n",
+        speedup, pass ? "PASS" : "FAIL");
+  } else {
+    std::printf("\nsmoke (nonzero QPS over the socket): [%s]\n",
+                pass ? "PASS" : "FAIL");
+  }
+
+  JsonFields metrics;
+  metrics.add_num("acceptance_speedup", speedup)
+      .add_bool("acceptance_pass", pass)
+      .add_raw("rows", rows_json(rows));
+  if (write_bench_json("BENCH_serving.json", "serving", std::time(nullptr),
+                       config, metrics)) {
+    std::printf("wrote BENCH_serving.json\n");
+  }
+  return pass ? 0 : 1;
+}

@@ -167,6 +167,12 @@ void BfsRunner::run_batch_into(const CsrGraph& csr, unsigned n_roots,
   }
 }
 
+void BfsRunner::run_wave_into(const vid_t* roots, unsigned n_roots,
+                              BfsResult* const* results) {
+  ensure_ms_engine();
+  ms_engine_->run_wave(roots, n_roots, results);
+}
+
 BatchResult BfsRunner::run_batch(const CsrGraph& csr, unsigned n_roots,
                                  std::uint64_t seed, bool validate) {
   BatchResult batch;

@@ -84,6 +84,14 @@ class BfsRunner {
                       std::uint64_t seed, BatchResult& out,
                       bool validate = true);
 
+  /// Serving-layer entry: runs one MS-BFS wave from *explicit* roots
+  /// (1 <= n_roots <= kMsWaveWidth, duplicates tolerated) into the
+  /// caller's recycled result buffers — the query front end names its
+  /// own roots, unlike run_batch's Graph500 sampling. Lazily builds the
+  /// MS engine on first use; allocation-free once warm.
+  void run_wave_into(const vid_t* roots, unsigned n_roots,
+                     BfsResult* const* results);
+
   const RunStats& last_run_stats() const;
   const AdjacencyArray& adjacency() const { return *adj_; }
   const BfsOptions& options() const;

@@ -1,0 +1,114 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fastbfs::serve {
+
+MicroBatcher::MicroBatcher(const BatcherConfig& cfg, unsigned n_graphs)
+    : cfg_(cfg),
+      slots_(std::max(1u, cfg.queue_capacity)),
+      graphs_(std::max(1u, n_graphs)),
+      wave_cost_ns_(cfg.initial_wave_cost_ns) {
+  cfg_.wave_width = std::clamp(cfg_.wave_width, 1u, kMsWaveWidth);
+  // Thread every slot onto the free list once; admission never allocates.
+  for (std::size_t i = 0; i + 1 < slots_.size(); ++i) {
+    slots_[i].next = static_cast<std::uint32_t>(i + 1);
+  }
+  free_head_ = 0;
+}
+
+Admit MicroBatcher::admit(const PendingQuery& q, tick_t now) {
+  if (q.deadline != kTickInf && q.deadline <= now) return Admit::kExpired;
+  if (free_head_ == kNil) return Admit::kOverloaded;
+  assert(q.graph_id < graphs_.size());
+
+  const std::uint32_t idx = free_head_;
+  Slot& s = slots_[idx];
+  free_head_ = s.next;
+  s.q = q;
+  s.q.enqueued_at = now;
+  s.next = kNil;
+
+  GraphQueue& gq = graphs_[q.graph_id];
+  if (gq.tail == kNil) {
+    gq.head = gq.tail = idx;
+  } else {
+    slots_[gq.tail].next = idx;
+    gq.tail = idx;
+  }
+  ++gq.count;
+  ++n_pending_;
+  return Admit::kAdmitted;
+}
+
+tick_t MicroBatcher::graph_due(const GraphQueue& gq, tick_t now) const {
+  if (gq.count == 0) return kTickInf;
+  if (gq.count >= cfg_.wave_width) return 0;  // full wave: due now
+  tick_t due = slots_[gq.head].q.enqueued_at + cfg_.window_ns;
+  if (cfg_.adaptive) {
+    // Pressure: the latest safe dispatch instant for each deadline-bearing
+    // query is deadline - estimated wave cost; dispatch at the tightest.
+    for (std::uint32_t i = gq.head; i != kNil; i = slots_[i].next) {
+      const tick_t dl = slots_[i].q.deadline;
+      if (dl == kTickInf) continue;
+      const tick_t latest = dl > wave_cost_ns_ ? dl - wave_cost_ns_ : 0;
+      due = std::min(due, latest);
+    }
+  }
+  return due <= now ? 0 : due;
+}
+
+bool MicroBatcher::next_wave(tick_t now, WavePlan& plan) {
+  const auto n_graphs = static_cast<std::uint32_t>(graphs_.size());
+  for (std::uint32_t probe = 0; probe < n_graphs; ++probe) {
+    const std::uint32_t g = (rr_next_ + probe) % n_graphs;
+    GraphQueue& gq = graphs_[g];
+    if (graph_due(gq, now) != 0) continue;
+
+    plan.graph_id = g;
+    plan.n = 0;
+    plan.n_expired = 0;
+    while (gq.head != kNil && plan.n < cfg_.wave_width &&
+           plan.n_expired < kMsWaveWidth) {
+      const std::uint32_t idx = gq.head;
+      Slot& s = slots_[idx];
+      gq.head = s.next;
+      if (gq.head == kNil) gq.tail = kNil;
+      --gq.count;
+      --n_pending_;
+      const PendingQuery& q = s.q;
+      if (q.deadline != kTickInf && q.deadline <= now) {
+        plan.expired[plan.n_expired++] = q;
+      } else {
+        plan.queries[plan.n++] = q;
+      }
+      s.next = free_head_;
+      free_head_ = idx;
+    }
+    rr_next_ = (g + 1) % n_graphs;
+    return true;
+  }
+  return false;
+}
+
+tick_t MicroBatcher::next_due(tick_t now) const {
+  tick_t due = kTickInf;
+  for (const GraphQueue& gq : graphs_) {
+    due = std::min(due, graph_due(gq, now));
+    if (due == 0) break;
+  }
+  return due;
+}
+
+void MicroBatcher::on_wave_done(tick_t service_ns) {
+  // EWMA with 1/4 gain: smooth enough to shrug off one slow wave, fast
+  // enough to track a warming engine within a few waves.
+  wave_cost_ns_ = wave_cost_ns_ - wave_cost_ns_ / 4 + service_ns / 4;
+}
+
+std::size_t MicroBatcher::pending_for(std::uint32_t graph_id) const {
+  return graph_id < graphs_.size() ? graphs_[graph_id].count : 0;
+}
+
+}  // namespace fastbfs::serve

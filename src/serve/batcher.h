@@ -1,0 +1,143 @@
+// Adaptive micro-batcher: coalesces concurrent BFS queries into MS-64
+// waves under a latency window, with per-query deadline enforcement.
+//
+// The MS-BFS engine (core/ms_bfs.h) answers up to 64 queries for roughly
+// the edge-sweep cost of one, *if* someone packs concurrent queries into
+// a wave. This class is that someone, and it is deliberately nothing but
+// policy: pure bookkeeping over an injected clock (serve/clock.h), no
+// threads, no sockets, no engine — so every coalescing, timeout, and
+// overload decision is a deterministic function of (calls, ticks) and
+// tier-1 tests replay them exactly (tests/test_serve_batcher.cpp).
+//
+// Dispatch policy — a graph's queue becomes dispatchable when any of:
+//   full      wave_width queries are pending (a 65th query immediately
+//             opens a second wave);
+//   window    the oldest pending query has waited window_ns — the
+//             latency/throughput knob: larger windows pack denser waves,
+//             smaller windows answer sooner;
+//   pressure  (adaptive only) waiting any longer would cost some pending
+//             query its deadline: now + estimated wave cost reaches the
+//             query's deadline. The estimate is an EWMA of measured wave
+//             service times, fed back by on_wave_done — the batcher
+//             *adapts* its patience to how fast the engine actually is.
+// Deadlines are enforced twice: admit() rejects queries already past
+// their deadline (never enqueued), and collection routes queries that
+// expired while queued into WavePlan::expired rather than wasting wave
+// slots on them. Singleton dispatch (n == 1) is the service's cue to use
+// the sequential engine instead of a width-1 wave.
+//
+// Storage is a fixed slot pool threaded into per-graph FIFO lists:
+// admission and collection are allocation-free, which the steady-state
+// interposer gate extends over the whole warm serving loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/ms_bfs.h"
+#include "serve/clock.h"
+#include "util/types.h"
+
+namespace fastbfs::serve {
+
+struct BatcherConfig {
+  /// Queries per wave, clamped to [1, kMsWaveWidth]. 1 disables
+  /// coalescing entirely (the sequential-only dispatch baseline).
+  unsigned wave_width = kMsWaveWidth;
+  /// Coalescing window: how long the oldest query may wait for company.
+  tick_t window_ns = 200'000;
+  /// Admission queue slots across all graphs; admit() returns kOverloaded
+  /// beyond this.
+  unsigned queue_capacity = 1024;
+  /// Enables deadline-pressure dispatch (the EWMA wave-cost estimate).
+  bool adaptive = true;
+  /// Seed for the wave-cost EWMA before any wave has been measured.
+  tick_t initial_wave_cost_ns = 1'000'000;
+};
+
+/// One admitted query as the batcher tracks it. `deadline` is absolute
+/// ticks (kTickInf = none); `cookie` rides along untouched for the
+/// service's completion routing.
+struct PendingQuery {
+  std::uint64_t id = 0;
+  std::uint32_t graph_id = 0;
+  vid_t root = 0;
+  tick_t deadline = kTickInf;
+  tick_t enqueued_at = 0;
+  bool want_tree = false;
+  void* cookie = nullptr;
+};
+
+enum class Admit : std::uint8_t {
+  kAdmitted = 0,
+  kExpired,     // deadline already past at admission
+  kOverloaded,  // queue full
+};
+
+/// One dispatch decision: up to wave_width live queries of a single graph
+/// plus the queries collected past their deadline (answered with
+/// kDeadlineExpired, never run).
+struct WavePlan {
+  std::uint32_t graph_id = 0;
+  unsigned n = 0;
+  std::array<PendingQuery, kMsWaveWidth> queries;
+  unsigned n_expired = 0;
+  std::array<PendingQuery, kMsWaveWidth> expired;
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(const BatcherConfig& cfg, unsigned n_graphs);
+
+  /// O(1), allocation-free. The caller validates graph_id/root; the
+  /// batcher validates time and capacity.
+  Admit admit(const PendingQuery& q, tick_t now);
+
+  /// Collects the next dispatchable wave at time `now`, if any. Graphs
+  /// are served round-robin so one hot graph cannot starve another.
+  /// Returns false (plan untouched) when nothing is dispatchable yet —
+  /// next_due() says when to ask again.
+  bool next_wave(tick_t now, WavePlan& plan);
+
+  /// Earliest tick at which next_wave could return true: 0 when a wave is
+  /// dispatchable already, kTickInf when nothing is pending. The
+  /// dispatcher sleeps exactly until this.
+  tick_t next_due(tick_t now) const;
+
+  /// Feeds a measured wave service time back into the EWMA cost estimate
+  /// (pressure dispatch looks this far ahead).
+  void on_wave_done(tick_t service_ns);
+
+  std::size_t pending() const { return n_pending_; }
+  std::size_t pending_for(std::uint32_t graph_id) const;
+  tick_t wave_cost_ns() const { return wave_cost_ns_; }
+  const BatcherConfig& config() const { return cfg_; }
+
+ private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Slot {
+    PendingQuery q;
+    std::uint32_t next = kNil;
+  };
+  struct GraphQueue {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t count = 0;
+  };
+
+  /// Tick at which graph `g`'s queue becomes dispatchable (0 = now,
+  /// kTickInf = empty).
+  tick_t graph_due(const GraphQueue& gq, tick_t now) const;
+
+  BatcherConfig cfg_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<GraphQueue> graphs_;
+  std::size_t n_pending_ = 0;
+  std::uint32_t rr_next_ = 0;  // round-robin scan start
+  tick_t wave_cost_ns_;
+};
+
+}  // namespace fastbfs::serve

@@ -1,0 +1,89 @@
+// Injectable time: the seam that makes the serving layer's coalescing,
+// deadline, and overload decisions deterministically unit-testable.
+//
+// Every time-dependent decision in src/serve (when does a coalescing
+// window expire, is a query's deadline already past, how long may the
+// dispatcher sleep) is written against TickClock, never against
+// std::chrono directly. Production uses SteadyClock (monotonic wall
+// time); tier-1 tests use VirtualClock and *advance time by assignment*,
+// so a test exercises "200 µs passed" without sleeping 200 µs and every
+// schedule it drives is exactly reproducible. This is the serving-layer
+// analogue of the chaos layer's seeded schedules (DESIGN.md §5d): the
+// nondeterminism is fenced behind an interface the tests control.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace fastbfs::serve {
+
+/// Monotonic nanoseconds. All serving deadlines and windows are absolute
+/// ticks of one clock instance; ticks from different instances never mix.
+using tick_t = std::uint64_t;
+
+/// "No deadline" / "nothing scheduled".
+inline constexpr tick_t kTickInf = ~tick_t{0};
+
+class TickClock {
+ public:
+  virtual ~TickClock() = default;
+
+  virtual tick_t now() = 0;
+
+  /// Blocks the calling thread (which must hold `lk`) until `cv` is
+  /// notified or the clock reaches `t`; returns true when woken by a
+  /// notification before `t`. The dispatcher sleeps through this so a
+  /// clock decides how — or whether — threads wait.
+  virtual bool wait_until(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lk, tick_t t) = 0;
+};
+
+/// Production clock: std::chrono::steady_clock.
+class SteadyClock final : public TickClock {
+ public:
+  tick_t now() override {
+    return static_cast<tick_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  bool wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk, tick_t t) override {
+    const tick_t n = now();
+    if (t == kTickInf) {
+      cv.wait(lk);
+      return true;
+    }
+    if (t <= n) return false;
+    return cv.wait_for(lk, std::chrono::nanoseconds(t - n)) ==
+           std::cv_status::no_timeout;
+  }
+};
+
+/// Test clock: time moves only when the test calls advance()/advance_to().
+/// wait_until never blocks — a threaded dispatcher on a virtual clock
+/// degenerates to a poller, which is fine for the single-threaded pump()
+/// mode the deterministic tests actually use.
+class VirtualClock final : public TickClock {
+ public:
+  explicit VirtualClock(tick_t start = 0) : now_(start) {}
+
+  tick_t now() override { return now_; }
+
+  void advance(tick_t delta) { now_ += delta; }
+  void advance_to(tick_t t) {
+    if (t > now_) now_ = t;
+  }
+
+  bool wait_until(std::condition_variable&, std::unique_lock<std::mutex>&,
+                  tick_t) override {
+    return false;  // never sleeps; virtual time cannot pass while waiting
+  }
+
+ private:
+  tick_t now_;
+};
+
+}  // namespace fastbfs::serve

@@ -1,0 +1,242 @@
+#include "serve/proto.h"
+
+#include <cstring>
+
+namespace fastbfs::serve {
+namespace {
+
+// Little-endian scalar accessors. memcpy compiles to plain loads/stores on
+// every target this library supports; the explicit form keeps the decoder
+// free of alignment assumptions about the receive buffer.
+template <typename T>
+T load_le(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+template <typename T>
+void put_le(std::vector<std::uint8_t>& buf, T v) {
+  const auto n = buf.size();
+  buf.resize(n + sizeof v);
+  std::memcpy(buf.data() + n, &v, sizeof v);
+}
+
+/// Bounded reader over one payload: every get_* checks remaining length
+/// once, so the decoders cannot over-read no matter what the bytes say.
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t len) : p_(p), end_(p + len) {}
+
+  template <typename T>
+  bool get(T& v) {
+    if (static_cast<std::size_t>(end_ - p_) < sizeof v) return false;
+    v = load_le<T>(p_);
+    p_ += sizeof v;
+    return true;
+  }
+
+  std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  const std::uint8_t* cursor() const { return p_; }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+constexpr std::uint8_t kQueryFlagWantTree = 0x01;
+constexpr std::uint8_t kRespFlagHasTree = 0x01;
+constexpr std::uint8_t kRespFlagLate = 0x02;
+
+/// Patches the length prefix after the payload has been appended.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::vector<std::uint8_t>& buf) : buf_(buf) {
+    len_at_ = buf.size();
+    put_le<std::uint32_t>(buf_, 0);
+  }
+  ~FrameWriter() {
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(buf_.size() - len_at_ - 4);
+    std::memcpy(buf_.data() + len_at_, &payload, sizeof payload);
+  }
+
+ private:
+  std::vector<std::uint8_t>& buf_;
+  std::size_t len_at_;
+};
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kDeadlineExpired: return "deadline_expired";
+    case Status::kBadGraph: return "bad_graph";
+    case Status::kBadRoot: return "bad_root";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+const char* decode_error_name(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kBadLength: return "bad_length";
+    case DecodeError::kBadType: return "bad_type";
+    case DecodeError::kBadFlags: return "bad_flags";
+    case DecodeError::kTrailingBytes: return "trailing_bytes";
+    case DecodeError::kEmpty: return "empty";
+  }
+  return "unknown";
+}
+
+DecodeError try_frame(const std::uint8_t* data, std::size_t size,
+                      std::uint32_t max_payload, FrameView& out) {
+  if (size < 4) return DecodeError::kTruncated;
+  const std::uint32_t len = load_le<std::uint32_t>(data);
+  if (len > max_payload) return DecodeError::kBadLength;
+  if (size < 4u + len) return DecodeError::kTruncated;
+  out.payload = data + 4;
+  out.payload_len = len;
+  out.frame_len = 4u + len;
+  return DecodeError::kNone;
+}
+
+DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
+                           Request& out) {
+  Reader r(payload, len);
+  std::uint8_t type = 0;
+  if (!r.get(type)) return DecodeError::kEmpty;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kQuery: {
+      out.type = MsgType::kQuery;
+      std::uint8_t flags = 0;
+      if (!r.get(out.query.id) || !r.get(out.query.graph_id) ||
+          !r.get(out.query.root) || !r.get(out.query.deadline_us) ||
+          !r.get(flags)) {
+        return DecodeError::kTruncated;
+      }
+      if (flags & ~kQueryFlagWantTree) return DecodeError::kBadFlags;
+      out.query.want_tree = (flags & kQueryFlagWantTree) != 0;
+      break;
+    }
+    case MsgType::kMetrics:
+      out.type = MsgType::kMetrics;
+      break;
+    case MsgType::kShutdown:
+      out.type = MsgType::kShutdown;
+      break;
+    default:
+      return DecodeError::kBadType;
+  }
+  if (r.remaining() != 0) return DecodeError::kTrailingBytes;
+  return DecodeError::kNone;
+}
+
+DecodeError decode_response(const std::uint8_t* payload, std::size_t len,
+                            QueryResponse& out,
+                            std::vector<std::uint64_t>* tree_out) {
+  Reader r(payload, len);
+  std::uint8_t type = 0;
+  if (!r.get(type)) return DecodeError::kEmpty;
+  if (static_cast<MsgType>(type) != MsgType::kQueryResponse) {
+    return DecodeError::kBadType;
+  }
+  std::uint8_t status = 0, flags = 0;
+  if (!r.get(out.id) || !r.get(status) || !r.get(flags) ||
+      !r.get(out.root) || !r.get(out.depth_reached) ||
+      !r.get(out.vertices_visited) || !r.get(out.edges_traversed) ||
+      !r.get(out.wave_size)) {
+    return DecodeError::kTruncated;
+  }
+  if (status > static_cast<std::uint8_t>(Status::kMalformed)) {
+    return DecodeError::kBadType;
+  }
+  if (flags & ~(kRespFlagHasTree | kRespFlagLate)) {
+    return DecodeError::kBadFlags;
+  }
+  out.status = static_cast<Status>(status);
+  out.has_tree = (flags & kRespFlagHasTree) != 0;
+  out.deadline_missed = (flags & kRespFlagLate) != 0;
+  if (out.has_tree) {
+    std::uint32_t n = 0;
+    if (!r.get(n)) return DecodeError::kTruncated;
+    if (r.remaining() < static_cast<std::size_t>(n) * 8) {
+      return DecodeError::kTruncated;
+    }
+    if (tree_out) {
+      tree_out->resize(n);
+      std::memcpy(tree_out->data(), r.cursor(),
+                  static_cast<std::size_t>(n) * 8);
+    }
+    std::uint64_t word = 0;
+    for (std::uint32_t i = 0; i < n; ++i) r.get(word);
+  }
+  if (r.remaining() != 0) return DecodeError::kTrailingBytes;
+  return DecodeError::kNone;
+}
+
+void encode_query(std::vector<std::uint8_t>& buf, const QueryRequest& q) {
+  FrameWriter frame(buf);
+  put_le<std::uint8_t>(buf, static_cast<std::uint8_t>(MsgType::kQuery));
+  put_le(buf, q.id);
+  put_le(buf, q.graph_id);
+  put_le(buf, q.root);
+  put_le(buf, q.deadline_us);
+  put_le<std::uint8_t>(buf, q.want_tree ? kQueryFlagWantTree : 0);
+}
+
+void encode_metrics_request(std::vector<std::uint8_t>& buf) {
+  FrameWriter frame(buf);
+  put_le<std::uint8_t>(buf, static_cast<std::uint8_t>(MsgType::kMetrics));
+}
+
+void encode_shutdown(std::vector<std::uint8_t>& buf) {
+  FrameWriter frame(buf);
+  put_le<std::uint8_t>(buf, static_cast<std::uint8_t>(MsgType::kShutdown));
+}
+
+void encode_query_response(std::vector<std::uint8_t>& buf,
+                           const QueryResponse& resp,
+                           const DepthParent* dp) {
+  FrameWriter frame(buf);
+  put_le<std::uint8_t>(buf,
+                       static_cast<std::uint8_t>(MsgType::kQueryResponse));
+  put_le(buf, resp.id);
+  put_le<std::uint8_t>(buf, static_cast<std::uint8_t>(resp.status));
+  const bool tree = resp.has_tree && dp != nullptr;
+  std::uint8_t flags = tree ? kRespFlagHasTree : 0;
+  if (resp.deadline_missed) flags |= kRespFlagLate;
+  put_le<std::uint8_t>(buf, flags);
+  put_le(buf, resp.root);
+  put_le(buf, resp.depth_reached);
+  put_le(buf, resp.vertices_visited);
+  put_le(buf, resp.edges_traversed);
+  put_le(buf, resp.wave_size);
+  if (tree) {
+    const std::uint32_t n = static_cast<std::uint32_t>(dp->size());
+    put_le(buf, n);
+    const auto at = buf.size();
+    buf.resize(at + static_cast<std::size_t>(n) * 8);
+    std::memcpy(buf.data() + at, dp->data(),
+                static_cast<std::size_t>(n) * 8);
+  }
+}
+
+void encode_metrics_response(std::vector<std::uint8_t>& buf,
+                             const char* text, std::size_t text_len) {
+  FrameWriter frame(buf);
+  put_le<std::uint8_t>(
+      buf, static_cast<std::uint8_t>(MsgType::kMetricsResponse));
+  const auto at = buf.size();
+  buf.resize(at + text_len);
+  std::memcpy(buf.data() + at, text, text_len);
+}
+
+}  // namespace fastbfs::serve

@@ -1,0 +1,166 @@
+// Wire protocol of the BFS query service: length-prefixed binary frames.
+//
+// Framing: every message is  u32 payload_length  followed by exactly that
+// many payload bytes, little-endian throughout (the only layout this
+// library targets, same convention as graph/serialize.h). The first
+// payload byte is the message type; requests use types < 0x80 and their
+// responses echo the type with the high bit set.
+//
+//   Query request (kQuery):
+//     u8  type        = 0x01
+//     u64 id          client-chosen correlation id, echoed in the response
+//                     (batching reorders responses across queries)
+//     u32 graph_id    index of a graph registered with the server
+//     u32 root        search key
+//     u64 deadline_us latency budget in microseconds from admission;
+//                     0 = no deadline
+//     u8  flags       bit 0: return the full depth/parent tree, not just
+//                     the summary
+//
+//   Query response (kQueryResponse):
+//     u8  type        = 0x81
+//     u64 id          echo
+//     u8  status      Status below
+//     u8  flags       bit 0: a tree payload follows; bit 1: the query
+//                     completed past its deadline (result still valid)
+//     u32 root
+//     u32 depth_reached
+//     u64 vertices_visited
+//     u64 edges_traversed
+//     u32 wave_size   queries that shared this MS-BFS wave (1 = answered
+//                     through the sequential engine)
+//     [ u32 n_vertices, n_vertices * u64 packed depth<<32|parent ]
+//                     present iff flags bit 0
+//
+//   Metrics request (kMetrics): u8 type = 0x02.
+//   Metrics response (kMetricsResponse): u8 type = 0x82 followed by the
+//     registry's Prometheus text exposition, verbatim.
+//   Shutdown request (kShutdown): u8 type = 0x03; the server finishes
+//     in-flight queries and exits its accept loop. Response is a
+//     kQueryResponse-shaped header with id 0 and status kShuttingDown.
+//
+// The decoder is the untrusted-input boundary: random bytes, truncated
+// frames, and oversized lengths must come back as a typed DecodeError,
+// never as a crash or an over-read — tests/test_serve_proto.cpp holds it
+// to that with randomized and truncated inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/bfs_result.h"
+#include "util/types.h"
+
+namespace fastbfs::serve {
+
+/// Hard ceiling on request payloads (largest legal request is a few dozen
+/// bytes; anything bigger is garbage or abuse). Responses may be larger
+/// (tree payloads); clients use kMaxResponsePayload.
+inline constexpr std::uint32_t kMaxRequestPayload = 256;
+inline constexpr std::uint32_t kMaxResponsePayload =
+    64u * 1024 * 1024;  // a full tree of a 2^23-vertex graph
+
+enum class MsgType : std::uint8_t {
+  kQuery = 0x01,
+  kMetrics = 0x02,
+  kShutdown = 0x03,
+  kQueryResponse = 0x81,
+  kMetricsResponse = 0x82,
+};
+
+/// Per-query outcome, carried in every query response.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kDeadlineExpired = 1,  // rejected at admission or dropped at dispatch
+  kBadGraph = 2,         // graph_id not registered
+  kBadRoot = 3,          // root >= n_vertices of the graph
+  kOverloaded = 4,       // admission queue full
+  kShuttingDown = 5,     // server draining
+  kMalformed = 6,        // request did not decode
+};
+
+const char* status_name(Status s);
+
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kTruncated,      // fewer bytes than the header/frame promises
+  kBadLength,      // frame length exceeds the payload ceiling
+  kBadType,        // unknown message type byte
+  kBadFlags,       // undefined flag bits set
+  kTrailingBytes,  // well-formed message followed by extra payload bytes
+  kEmpty,          // zero-length payload (no type byte)
+};
+
+const char* decode_error_name(DecodeError e);
+
+struct QueryRequest {
+  std::uint64_t id = 0;
+  std::uint32_t graph_id = 0;
+  vid_t root = 0;
+  std::uint64_t deadline_us = 0;  // 0 = no deadline
+  bool want_tree = false;
+};
+
+/// A decoded request frame: `type` says which of the members is live
+/// (only kQuery carries a body today).
+struct Request {
+  MsgType type = MsgType::kQuery;
+  QueryRequest query;
+};
+
+struct QueryResponse {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  bool has_tree = false;
+  bool deadline_missed = false;  // completed, but past its deadline
+  vid_t root = 0;
+  std::uint32_t depth_reached = 0;
+  std::uint64_t vertices_visited = 0;
+  std::uint64_t edges_traversed = 0;
+  std::uint32_t wave_size = 0;
+};
+
+/// Frame scanner for a receive buffer: examines `size` bytes at `data`.
+/// On kNone, `payload`/`payload_len` delimit the first frame's payload and
+/// `frame_len` its total size (4 + payload_len) so the caller can consume
+/// it. On kTruncated the buffer simply needs more bytes — not an error on
+/// a live stream, fatal for a complete message. `max_payload`
+/// distinguishes the request and response directions.
+struct FrameView {
+  const std::uint8_t* payload = nullptr;
+  std::uint32_t payload_len = 0;
+  std::size_t frame_len = 0;
+};
+DecodeError try_frame(const std::uint8_t* data, std::size_t size,
+                      std::uint32_t max_payload, FrameView& out);
+
+/// Decodes one request payload (the bytes *inside* a frame). Total
+/// function: any byte string yields kNone + a filled `out`, or a typed
+/// error; never reads past `len`.
+DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
+                           Request& out);
+
+/// Decodes one response payload. When the response carries a tree and
+/// `tree_out` is non-null, the packed depth<<32|parent words are copied
+/// into it (resized to the payload's vertex count).
+DecodeError decode_response(const std::uint8_t* payload, std::size_t len,
+                            QueryResponse& out,
+                            std::vector<std::uint64_t>* tree_out = nullptr);
+
+/// Encoders append one complete frame (length prefix included) to `buf`.
+/// They reuse the vector's capacity — a warm serving loop encoding into a
+/// recycled buffer allocates nothing once the buffer has seen its
+/// high-water mark.
+void encode_query(std::vector<std::uint8_t>& buf, const QueryRequest& q);
+void encode_metrics_request(std::vector<std::uint8_t>& buf);
+void encode_shutdown(std::vector<std::uint8_t>& buf);
+
+/// `dp` supplies the tree payload when resp.has_tree; pass null otherwise.
+void encode_query_response(std::vector<std::uint8_t>& buf,
+                           const QueryResponse& resp,
+                           const DepthParent* dp = nullptr);
+void encode_metrics_response(std::vector<std::uint8_t>& buf,
+                             const char* text, std::size_t text_len);
+
+}  // namespace fastbfs::serve

@@ -1,0 +1,246 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace fastbfs::serve {
+
+namespace {
+
+/// Writes exactly `len` bytes (the fd is blocking); returns false on any
+/// error — the connection is then effectively dead and the caller drops
+/// the response. MSG_NOSIGNAL: a client that disconnected mid-batch must
+/// not SIGPIPE the dispatcher.
+bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+BfsServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+BfsServer::BfsServer(const ServerConfig& cfg, TickClock& clock)
+    : cfg_(cfg),
+      service_(std::make_unique<BfsService>(cfg.service, clock, *this)) {}
+
+BfsServer::~BfsServer() { stop(); }
+
+std::uint32_t BfsServer::add_graph(const CsrGraph& csr) {
+  return service_->add_graph(csr);
+}
+
+void BfsServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("BfsServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("BfsServer: bad host " + cfg_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("BfsServer: bind/listen failed: ") +
+                             std::strerror(errno));
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  service_->start();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void BfsServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void BfsServer::write_frame(Connection& conn, const std::uint8_t* data,
+                            std::size_t len) {
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  send_all(conn.fd, data, len);
+}
+
+void BfsServer::on_response(const ResponseView& view) {
+  // Takes ownership of the cookie allocated at decode time.
+  std::unique_ptr<Cookie> cookie(static_cast<Cookie*>(view.cookie));
+  if (!cookie || !cookie->conn) return;
+  Connection& conn = *cookie->conn;
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  conn.write_buf.clear();
+  encode_query_response(
+      conn.write_buf, view.header,
+      view.header.has_tree && view.result ? &view.result->dp : nullptr);
+  send_all(conn.fd, conn.write_buf.data(), conn.write_buf.size());
+}
+
+void BfsServer::handle_payload(const std::shared_ptr<Connection>& conn,
+                               const std::uint8_t* payload,
+                               std::size_t len) {
+  Request req;
+  const DecodeError err = decode_request(payload, len, req);
+  if (err != DecodeError::kNone) {
+    // The frame itself was well-formed (try_frame accepted it), so the
+    // stream stays aligned: answer kMalformed and keep reading.
+    QueryResponse resp;
+    resp.status = Status::kMalformed;
+    std::vector<std::uint8_t> buf;
+    encode_query_response(buf, resp);
+    write_frame(*conn, buf.data(), buf.size());
+    return;
+  }
+  switch (req.type) {
+    case MsgType::kQuery: {
+      auto* cookie = new Cookie{conn};
+      // Every submit produces exactly one sink callback (rejections
+      // synchronously on this thread), which frees the cookie.
+      service_->submit(req.query, cookie);
+      break;
+    }
+    case MsgType::kMetrics: {
+      std::ostringstream text;
+      obs::metrics().write_prometheus(text);
+      const std::string s = text.str();
+      std::vector<std::uint8_t> buf;
+      encode_metrics_response(buf, s.data(), s.size());
+      write_frame(*conn, buf.data(), buf.size());
+      break;
+    }
+    case MsgType::kShutdown: {
+      QueryResponse resp;
+      resp.status = Status::kShuttingDown;
+      std::vector<std::uint8_t> buf;
+      encode_query_response(buf, resp);
+      write_frame(*conn, buf.data(), buf.size());
+      request_stop();
+      break;
+    }
+    default:
+      break;  // responses are never valid requests; decode rejected them
+  }
+}
+
+void BfsServer::reader_loop(std::shared_ptr<Connection> conn) {
+  std::vector<std::uint8_t> buf;
+  std::size_t used = 0;
+  for (;;) {
+    if (buf.size() - used < 4096) buf.resize(used + 4096);
+    const ssize_t n =
+        ::recv(conn->fd, buf.data() + used, buf.size() - used, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or error (including shutdown() from stop())
+    }
+    used += static_cast<std::size_t>(n);
+
+    std::size_t consumed = 0;
+    for (;;) {
+      FrameView frame;
+      const DecodeError err = try_frame(buf.data() + consumed,
+                                        used - consumed,
+                                        kMaxRequestPayload, frame);
+      if (err == DecodeError::kTruncated) break;
+      if (err != DecodeError::kNone) {
+        // Oversized length: framing is unrecoverable on this stream.
+        QueryResponse resp;
+        resp.status = Status::kMalformed;
+        std::vector<std::uint8_t> out;
+        encode_query_response(out, resp);
+        write_frame(*conn, out.data(), out.size());
+        return;
+      }
+      handle_payload(conn, frame.payload, frame.payload_len);
+      consumed += frame.frame_len;
+    }
+    if (consumed > 0) {
+      std::memmove(buf.data(), buf.data() + consumed, used - consumed);
+      used -= consumed;
+    }
+  }
+}
+
+void BfsServer::wait() {
+  std::unique_lock<std::mutex> lk(stop_mu_);
+  stop_cv_.wait(lk, [this] { return stop_requested_; });
+}
+
+void BfsServer::request_stop() {
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void BfsServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  request_stop();
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Finish in-flight waves and answer the still-queued with
+  // kShuttingDown — their responses go out over still-open sockets.
+  service_->stop();
+  // Now unblock every reader and join.
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : readers_) t.join();
+  readers_.clear();
+  conns_.clear();
+}
+
+}  // namespace fastbfs::serve

@@ -1,0 +1,111 @@
+// TCP front end: frames from a loopback socket in, responses out.
+//
+// BfsServer is a thin shell around BfsService — it owns the listening
+// socket, one reader thread per connection, and the ResponseSink that
+// serializes completions back onto the right connection. All policy
+// (batching, deadlines, engine dispatch) lives in the service; the server
+// only moves bytes, so the deterministic tier-1 tests can exercise the
+// whole serving stack without it and the socket path stays small enough
+// to audit.
+//
+// Threading: the accept loop runs on its own thread; each connection gets
+// a blocking reader thread (the protocol is a few dozen bytes per query —
+// thread-per-connection is plenty for a load generator's worth of
+// clients, and keeps framing code linear). Responses are written by
+// whichever thread completes the query (dispatcher threads, or the reader
+// itself for admission rejections) under a per-connection write mutex;
+// interleaving at frame granularity is safe because every response
+// carries its correlation id. Connections are shared_ptr-owned and each
+// in-flight query's cookie holds a reference, so a response can always be
+// written even if the client half-closed first.
+//
+// Shutdown: a kShutdown frame (or request_stop()) makes run()/wait()
+// return; stop() then stops accepting, lets the service finish in-flight
+// waves, answers everything still queued with kShuttingDown, and joins
+// every thread — the clean-shutdown contract the serve-smoke CI job
+// asserts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace fastbfs::serve {
+
+struct ServerConfig {
+  ServiceConfig service;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = kernel-assigned (tests); port() tells
+};
+
+class BfsServer : public ResponseSink {
+ public:
+  BfsServer(const ServerConfig& cfg, TickClock& clock);
+  ~BfsServer() override;
+
+  /// Forwarded to the service; call before start().
+  std::uint32_t add_graph(const CsrGraph& csr);
+
+  /// Binds, listens, starts the service dispatchers and the accept loop.
+  /// Throws std::runtime_error when the socket cannot be set up.
+  void start();
+
+  /// The actual bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a kShutdown frame arrives or request_stop() is called.
+  void wait();
+
+  /// Async shutdown request (signal handlers, admin frames).
+  void request_stop();
+
+  /// Full teardown; idempotent. See class comment for ordering.
+  void stop();
+
+  const BfsService& service() const { return *service_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::vector<std::uint8_t> write_buf;
+    ~Connection();
+  };
+  struct Cookie {
+    std::shared_ptr<Connection> conn;
+  };
+
+  void on_response(const ResponseView& view) override;
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void handle_payload(const std::shared_ptr<Connection>& conn,
+                      const std::uint8_t* payload, std::size_t len);
+  void write_frame(Connection& conn, const std::uint8_t* data,
+                   std::size_t len);
+
+  ServerConfig cfg_;
+  std::unique_ptr<BfsService> service_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace fastbfs::serve

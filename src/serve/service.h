@@ -1,0 +1,191 @@
+// BFS-as-a-service: the query-serving front end over the warm engine pool.
+//
+// BfsService glues the three existing layers into a serving loop:
+//   admission   submit() validates graph/root, stamps the deadline, and
+//               hands the query to the MicroBatcher (serve/batcher.h) —
+//               already-expired and over-capacity queries are answered
+//               immediately, never enqueued;
+//   dispatch    when the batcher declares a wave due, a dispatcher runs it
+//               on its own warm BfsRunner: one query goes through the
+//               sequential run_into (no wave overhead for singletons),
+//               2..64 queries through the bit-parallel MS-64 run_wave_into
+//               (core/ms_bfs.h), all into recycled per-dispatcher
+//               BfsResult slots — the warm serving path performs zero heap
+//               allocations (tests/test_steady_state.cpp pins it);
+//   completion  every query is answered exactly once through the
+//               ResponseSink with a status, counters, wave occupancy, and
+//               a pointer to its tree.
+//
+// Two execution modes share all of that logic:
+//   pump() — the caller is the dispatcher: single-threaded, driven by an
+//            explicit `now`, deterministic under VirtualClock. The tier-1
+//            serving tests run the whole stack this way without a single
+//            real sleep.
+//   start()/stop() — n_dispatchers background threads dispatch waves as
+//            the (real) clock makes them due; concurrent waves run on
+//            distinct runners. submit() is thread-safe in both modes; in
+//            threaded mode the sink must be too (it is called from
+//            dispatcher threads and from rejecting submitters).
+//
+// Each dispatcher owns one BfsRunner per graph (adjacency replicated),
+// so size engine.n_threads * n_dispatchers to the machine. Serving
+// metrics go to service-local counters/histograms (exact, per instance)
+// and are mirrored into the global PR 5 registry as fastbfs_serve_* for
+// the Prometheus endpoint.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "obs/metrics.h"
+#include "serve/batcher.h"
+#include "serve/clock.h"
+#include "serve/proto.h"
+
+namespace fastbfs::serve {
+
+struct ServiceConfig {
+  BfsOptions engine;       // per-runner engine knobs
+  BatcherConfig batcher;   // coalescing policy
+  unsigned n_dispatchers = 1;  // threads started by start(); pump() uses
+                               // dispatcher slot 0 regardless
+};
+
+/// One completed (or rejected) query as delivered to the sink. `result`
+/// is non-null only for Status::kOk and points at a dispatcher-owned
+/// recycled buffer — valid for the duration of the callback only.
+struct ResponseView {
+  QueryResponse header;
+  const BfsResult* result = nullptr;
+  void* cookie = nullptr;
+};
+
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void on_response(const ResponseView& r) = 0;
+};
+
+/// Point-in-time copy of the service-local counters (exact, unlike the
+/// process-global registry which accumulates across service instances).
+struct ServeCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;           // answered kOk
+  std::uint64_t rejected_expired = 0;    // dead on arrival at admission
+  std::uint64_t rejected_overloaded = 0;
+  std::uint64_t rejected_bad = 0;        // bad graph id or root
+  std::uint64_t expired_at_dispatch = 0; // died waiting in the queue
+  std::uint64_t shutdown_drained = 0;
+  std::uint64_t waves = 0;               // MS-64 dispatches (n >= 2)
+  std::uint64_t sequential_runs = 0;     // singleton dispatches
+  std::uint64_t wave_queries = 0;        // queries answered via waves
+  std::uint64_t late = 0;                // kOk but past the deadline
+};
+
+class BfsService {
+ public:
+  BfsService(const ServiceConfig& cfg, TickClock& clock, ResponseSink& sink);
+  ~BfsService();
+
+  BfsService(const BfsService&) = delete;
+  BfsService& operator=(const BfsService&) = delete;
+
+  /// Registers a graph and builds its warm runner pool (one BfsRunner per
+  /// dispatcher). Must precede the first submit/pump/start. Returns the
+  /// graph id queries name.
+  std::uint32_t add_graph(const CsrGraph& csr);
+
+  unsigned n_graphs() const { return static_cast<unsigned>(graphs_.size()); }
+  vid_t graph_vertices(std::uint32_t graph_id) const;
+
+  /// Thread-safe admission. Converts the request's relative deadline_us
+  /// budget into an absolute tick deadline at the current clock. The
+  /// returned status is also delivered through the sink when it is a
+  /// rejection, so every query produces exactly one sink callback.
+  Status submit(const QueryRequest& q, void* cookie);
+
+  /// Manual dispatch: executes every wave due at `now` on the calling
+  /// thread (dispatcher slot 0) and returns how many plans ran. Must not
+  /// be mixed with start().
+  unsigned pump(tick_t now);
+
+  /// When the batcher next wants the dispatcher (see MicroBatcher).
+  tick_t next_due(tick_t now);
+
+  /// Threaded mode: start the dispatcher threads / drain and join them.
+  /// stop() answers every still-queued query with kShuttingDown.
+  void start();
+  void stop();
+
+  ServeCounters counters() const;
+
+  /// Approximate quantile (q in [0,1]) of the completion latency
+  /// distribution, from the service-local log2 histogram — the p50/p99
+  /// the metrics endpoint reports. 0 when nothing completed yet.
+  double latency_quantile_ns(double q) const;
+
+  /// Dispatcher `d`'s runner for `graph_id` (tests peek at warm state).
+  const BfsRunner& runner(std::uint32_t graph_id, unsigned d = 0) const;
+
+  const BatcherConfig& batcher_config() const { return cfg_.batcher; }
+
+ private:
+  struct Dispatcher {
+    std::array<BfsResult, kMsWaveWidth> results;
+    std::array<BfsResult*, kMsWaveWidth> ptrs{};
+    std::array<vid_t, kMsWaveWidth> roots{};
+    WavePlan plan;
+  };
+  struct GraphEntry {
+    vid_t n_vertices = 0;
+    std::vector<std::unique_ptr<BfsRunner>> runners;  // one per dispatcher
+  };
+
+  /// Cached global-registry instruments (PR 5 contract: look up once,
+  /// update lock-free forever).
+  struct RegistryHooks {
+    obs::Counter* admitted;
+    obs::Counter* completed;
+    obs::Counter* rejected;
+    obs::Counter* expired;
+    obs::Counter* waves;
+    obs::Counter* sequential;
+    obs::Counter* late;
+    obs::Histogram* occupancy;
+    obs::Histogram* latency_ns;
+    obs::Gauge* queue_depth;
+  };
+
+  void ensure_batcher();  // freezes the graph set on first use
+  void execute_plan(unsigned d, const WavePlan& plan);
+  void respond_rejection(const QueryRequest& q, Status s, void* cookie,
+                         tick_t enqueued_at);
+  void dispatcher_loop(unsigned d);
+
+  ServiceConfig cfg_;
+  TickClock& clock_;
+  ResponseSink& sink_;
+  RegistryHooks hooks_;
+
+  std::vector<GraphEntry> graphs_;
+  std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
+  std::unique_ptr<MicroBatcher> batcher_;
+
+  mutable std::mutex mu_;        // batcher + counters
+  std::condition_variable cv_;   // dispatcher wakeups
+  bool running_ = false;
+  bool accepting_ = true;        // false once stop() begins draining
+  std::vector<std::thread> threads_;
+
+  ServeCounters counts_;               // guarded by mu_
+  obs::Histogram local_latency_ns_;    // service-local, lock-free
+  obs::Histogram local_occupancy_;
+};
+
+}  // namespace fastbfs::serve

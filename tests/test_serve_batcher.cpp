@@ -1,0 +1,245 @@
+// MicroBatcher policy, replayed tick by tick on virtual time.
+//
+// Every decision the batcher makes — coalesce, dispatch, reject, drop —
+// is a function of the admit/next_wave call sequence and the tick values
+// passed in, so these tests advance a VirtualClock by assignment and
+// assert exact outcomes: no sleeps, no tolerance windows, no flakes.
+// This is the test seam the serving tentpole was built around
+// (DESIGN.md §5g): wall time never enters tier-1 serving tests.
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+#include "serve/clock.h"
+
+namespace fastbfs::serve {
+namespace {
+
+constexpr tick_t kUs = 1000;  // ticks are nanoseconds
+
+BatcherConfig test_cfg() {
+  BatcherConfig cfg;
+  cfg.wave_width = 64;
+  cfg.window_ns = 200 * kUs;
+  cfg.queue_capacity = 256;
+  cfg.adaptive = true;
+  cfg.initial_wave_cost_ns = 50 * kUs;
+  return cfg;
+}
+
+PendingQuery query(std::uint64_t id, vid_t root = 0,
+                   tick_t deadline = kTickInf, std::uint32_t graph = 0) {
+  PendingQuery q;
+  q.id = id;
+  q.graph_id = graph;
+  q.root = root;
+  q.deadline = deadline;
+  return q;
+}
+
+TEST(ServeBatcher, WindowExpiryDispatchesPartialWave) {
+  VirtualClock clock(1000);
+  MicroBatcher b(test_cfg(), 1);
+  const tick_t t0 = clock.now();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(b.admit(query(i, static_cast<vid_t>(i)), clock.now()),
+              Admit::kAdmitted);
+  }
+  EXPECT_EQ(b.pending(), 3u);
+
+  // Not full, window open, no deadlines: nothing dispatchable yet...
+  WavePlan plan;
+  EXPECT_FALSE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(b.next_due(clock.now()), t0 + 200 * kUs);
+
+  // ...one tick before expiry still nothing...
+  clock.advance_to(t0 + 200 * kUs - 1);
+  EXPECT_FALSE(b.next_wave(clock.now(), plan));
+
+  // ...and at exactly window expiry the partial wave goes out, FIFO order.
+  clock.advance(1);
+  ASSERT_TRUE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(plan.n, 3u);
+  EXPECT_EQ(plan.n_expired, 0u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(plan.queries[i].id, i);
+  EXPECT_EQ(b.pending(), 0u);
+  EXPECT_EQ(b.next_due(clock.now()), kTickInf);
+}
+
+TEST(ServeBatcher, SixtyFifthQueryOpensASecondWave) {
+  VirtualClock clock(1000);
+  MicroBatcher b(test_cfg(), 1);
+  const tick_t t0 = clock.now();
+  WavePlan plan;
+
+  // 63 queries: K=64 cap not reached, stays coalescing.
+  for (std::uint64_t i = 0; i < 63; ++i) {
+    ASSERT_EQ(b.admit(query(i), t0), Admit::kAdmitted);
+  }
+  EXPECT_FALSE(b.next_wave(t0, plan));
+
+  // The 64th fills the wave: dispatchable immediately, no window wait.
+  ASSERT_EQ(b.admit(query(63), t0), Admit::kAdmitted);
+  EXPECT_EQ(b.next_due(t0), 0u);
+
+  // The 65th concurrent query overflows into a second wave.
+  clock.advance(5);
+  ASSERT_EQ(b.admit(query(64), clock.now()), Admit::kAdmitted);
+  ASSERT_TRUE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(plan.n, 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(plan.queries[i].id, i);
+
+  // The overflow query is alone in wave 2: it waits for *its* window.
+  EXPECT_EQ(b.pending(), 1u);
+  EXPECT_FALSE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(b.next_due(clock.now()), clock.now() + 200 * kUs);
+  clock.advance(200 * kUs);
+  ASSERT_TRUE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(plan.n, 1u);
+  EXPECT_EQ(plan.queries[0].id, 64u);
+}
+
+TEST(ServeBatcher, ExpiredAtAdmissionIsRejectedNotEnqueued) {
+  VirtualClock clock(5000 * kUs);
+  MicroBatcher b(test_cfg(), 1);
+  // Deadline in the past, and exactly-now (deadlines are "complete
+  // strictly before").
+  EXPECT_EQ(b.admit(query(1, 0, clock.now() - 1), clock.now()),
+            Admit::kExpired);
+  EXPECT_EQ(b.admit(query(2, 0, clock.now()), clock.now()),
+            Admit::kExpired);
+  EXPECT_EQ(b.pending(), 0u);
+  // A future deadline admits fine.
+  EXPECT_EQ(b.admit(query(3, 0, clock.now() + kUs), clock.now()),
+            Admit::kAdmitted);
+}
+
+TEST(ServeBatcher, QueryExpiringInQueueIsRoutedToExpiredAtDispatch) {
+  VirtualClock clock(1000);
+  BatcherConfig cfg = test_cfg();
+  cfg.adaptive = false;  // pure window policy: let the deadline lapse
+  MicroBatcher b(cfg, 1);
+  const tick_t t0 = clock.now();
+
+  ASSERT_EQ(b.admit(query(0, 0, kTickInf), t0), Admit::kAdmitted);
+  ASSERT_EQ(b.admit(query(1, 1, t0 + 50 * kUs), t0), Admit::kAdmitted);
+  ASSERT_EQ(b.admit(query(2, 2, kTickInf), t0), Admit::kAdmitted);
+
+  clock.advance(200 * kUs);  // window expires; query 1 died at t0+50us
+  WavePlan plan;
+  ASSERT_TRUE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(plan.n, 2u);
+  EXPECT_EQ(plan.queries[0].id, 0u);
+  EXPECT_EQ(plan.queries[1].id, 2u);
+  ASSERT_EQ(plan.n_expired, 1u);
+  EXPECT_EQ(plan.expired[0].id, 1u);
+}
+
+TEST(ServeBatcher, AdaptiveDeadlinePressureDispatchesBeforeWindow) {
+  VirtualClock clock(1000);
+  MicroBatcher b(test_cfg(), 1);  // window 200us, est wave cost 50us
+  const tick_t t0 = clock.now();
+
+  ASSERT_EQ(b.admit(query(0, 0, kTickInf), t0), Admit::kAdmitted);
+  // Deadline 120us out: the latest safe dispatch is deadline - est cost.
+  ASSERT_EQ(b.admit(query(1, 1, t0 + 120 * kUs), t0), Admit::kAdmitted);
+  EXPECT_EQ(b.next_due(t0), t0 + 70 * kUs);
+
+  WavePlan plan;
+  clock.advance(70 * kUs - 1);
+  EXPECT_FALSE(b.next_wave(clock.now(), plan));
+  clock.advance(1);
+  ASSERT_TRUE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(plan.n, 2u);  // both ride the pressured wave, none expired
+  EXPECT_EQ(plan.n_expired, 0u);
+}
+
+TEST(ServeBatcher, NonAdaptiveIgnoresDeadlinePressure) {
+  VirtualClock clock(1000);
+  BatcherConfig cfg = test_cfg();
+  cfg.adaptive = false;
+  MicroBatcher b(cfg, 1);
+  const tick_t t0 = clock.now();
+  ASSERT_EQ(b.admit(query(1, 1, t0 + 120 * kUs), t0), Admit::kAdmitted);
+  EXPECT_EQ(b.next_due(t0), t0 + 200 * kUs);  // window, not pressure
+}
+
+TEST(ServeBatcher, OverloadBeyondCapacity) {
+  VirtualClock clock(1000);
+  BatcherConfig cfg = test_cfg();
+  cfg.queue_capacity = 4;
+  MicroBatcher b(cfg, 1);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(b.admit(query(i), clock.now()), Admit::kAdmitted);
+  }
+  EXPECT_EQ(b.admit(query(4), clock.now()), Admit::kOverloaded);
+
+  // Dispatch frees the slots for re-use (fixed pool, not a leak).
+  clock.advance(200 * kUs);
+  WavePlan plan;
+  ASSERT_TRUE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(plan.n, 4u);
+  EXPECT_EQ(b.admit(query(5), clock.now()), Admit::kAdmitted);
+}
+
+TEST(ServeBatcher, WavesNeverMixGraphsAndRoundRobin) {
+  VirtualClock clock(1000);
+  MicroBatcher b(test_cfg(), 3);
+  const tick_t t0 = clock.now();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(b.admit(query(i, 0, kTickInf, /*graph=*/0), t0),
+              Admit::kAdmitted);
+    ASSERT_EQ(b.admit(query(100 + i, 0, kTickInf, /*graph=*/2), t0),
+              Admit::kAdmitted);
+  }
+  EXPECT_EQ(b.pending_for(0), 4u);
+  EXPECT_EQ(b.pending_for(2), 4u);
+
+  clock.advance(200 * kUs);
+  WavePlan first, second;
+  ASSERT_TRUE(b.next_wave(clock.now(), first));
+  ASSERT_TRUE(b.next_wave(clock.now(), second));
+  EXPECT_NE(first.graph_id, second.graph_id);  // round-robin fairness
+  EXPECT_EQ(first.n, 4u);
+  EXPECT_EQ(second.n, 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(first.queries[i].graph_id, first.graph_id);
+    EXPECT_EQ(second.queries[i].graph_id, second.graph_id);
+  }
+  WavePlan none;
+  EXPECT_FALSE(b.next_wave(clock.now(), none));
+}
+
+TEST(ServeBatcher, WidthOneIsSequentialOnlyDispatch) {
+  VirtualClock clock(1000);
+  BatcherConfig cfg = test_cfg();
+  cfg.wave_width = 1;  // the no-batching baseline the bench compares
+  MicroBatcher b(cfg, 1);
+  ASSERT_EQ(b.admit(query(7), clock.now()), Admit::kAdmitted);
+  EXPECT_EQ(b.next_due(clock.now()), 0u);  // due instantly, no window
+  WavePlan plan;
+  ASSERT_TRUE(b.next_wave(clock.now(), plan));
+  EXPECT_EQ(plan.n, 1u);
+  EXPECT_EQ(plan.queries[0].id, 7u);
+}
+
+TEST(ServeBatcher, WaveCostEwmaTracksMeasurements) {
+  MicroBatcher b(test_cfg(), 1);  // seeded at 50us
+  EXPECT_EQ(b.wave_cost_ns(), 50 * kUs);
+  for (int i = 0; i < 32; ++i) b.on_wave_done(100 * kUs);
+  // Converges to the measured cost (within EWMA rounding).
+  EXPECT_NEAR(static_cast<double>(b.wave_cost_ns()),
+              static_cast<double>(100 * kUs), 1000.0);
+  b.on_wave_done(10 * kUs);
+  EXPECT_LT(b.wave_cost_ns(), 100 * kUs);  // single sample moves it some
+  EXPECT_GT(b.wave_cost_ns(), 50 * kUs);   // ...but not all the way
+}
+
+TEST(ServeBatcher, NextDueOnEmptyBatcherIsInfinity) {
+  MicroBatcher b(test_cfg(), 2);
+  EXPECT_EQ(b.next_due(123456), kTickInf);
+  WavePlan plan;
+  EXPECT_FALSE(b.next_wave(123456, plan));
+}
+
+}  // namespace
+}  // namespace fastbfs::serve

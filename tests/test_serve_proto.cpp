@@ -1,0 +1,273 @@
+// Wire-protocol decoder/encoder contract (serve/proto.h).
+//
+// The decoder is the service's untrusted-input boundary, so it is held to
+// a total-function contract: *any* byte string — random garbage, truncated
+// frames, oversized lengths, undefined flags, trailing bytes — must come
+// back as a typed DecodeError, never as a crash, hang, or over-read; and
+// encode -> decode must be the identity on every valid message. The
+// randomized sweeps (ServeProtoFuzz.*) run under the fuzz ctest label next
+// to the engine fuzz sweep; the deterministic cases are tier-1.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/proto.h"
+#include "util/rng.h"
+
+namespace fastbfs::serve {
+namespace {
+
+/// Frames + decodes a request buffer end-to-end, as the server does.
+DecodeError frame_and_decode(const std::vector<std::uint8_t>& buf,
+                             Request& out) {
+  FrameView frame;
+  const DecodeError fe =
+      try_frame(buf.data(), buf.size(), kMaxRequestPayload, frame);
+  if (fe != DecodeError::kNone) return fe;
+  return decode_request(frame.payload, frame.payload_len, out);
+}
+
+QueryRequest sample_query(Xoshiro256& rng) {
+  QueryRequest q;
+  q.id = rng.next();
+  q.graph_id = static_cast<std::uint32_t>(rng.next());
+  q.root = static_cast<vid_t>(rng.next());
+  q.deadline_us = rng.next() >> (rng.next() % 64);
+  q.want_tree = (rng.next() & 1) != 0;
+  return q;
+}
+
+TEST(ServeProto, QueryRoundTrip) {
+  QueryRequest q;
+  q.id = 0x1122334455667788ull;
+  q.graph_id = 3;
+  q.root = 41;
+  q.deadline_us = 2500;
+  q.want_tree = true;
+
+  std::vector<std::uint8_t> buf;
+  encode_query(buf, q);
+  ASSERT_EQ(buf.size(), 4u + 26u);  // frame prefix + fixed query payload
+
+  Request decoded;
+  ASSERT_EQ(frame_and_decode(buf, decoded), DecodeError::kNone);
+  ASSERT_EQ(decoded.type, MsgType::kQuery);
+  EXPECT_EQ(decoded.query.id, q.id);
+  EXPECT_EQ(decoded.query.graph_id, q.graph_id);
+  EXPECT_EQ(decoded.query.root, q.root);
+  EXPECT_EQ(decoded.query.deadline_us, q.deadline_us);
+  EXPECT_EQ(decoded.query.want_tree, q.want_tree);
+}
+
+TEST(ServeProto, MetricsAndShutdownRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_metrics_request(buf);
+  Request decoded;
+  ASSERT_EQ(frame_and_decode(buf, decoded), DecodeError::kNone);
+  EXPECT_EQ(decoded.type, MsgType::kMetrics);
+
+  buf.clear();
+  encode_shutdown(buf);
+  ASSERT_EQ(frame_and_decode(buf, decoded), DecodeError::kNone);
+  EXPECT_EQ(decoded.type, MsgType::kShutdown);
+}
+
+TEST(ServeProto, ResponseRoundTripSummary) {
+  QueryResponse resp;
+  resp.id = 77;
+  resp.status = Status::kDeadlineExpired;
+  resp.deadline_missed = true;
+  resp.root = 12;
+  resp.depth_reached = 9;
+  resp.vertices_visited = 1000;
+  resp.edges_traversed = 8000;
+  resp.wave_size = 17;
+
+  std::vector<std::uint8_t> buf;
+  encode_query_response(buf, resp);
+  FrameView frame;
+  ASSERT_EQ(try_frame(buf.data(), buf.size(), kMaxResponsePayload, frame),
+            DecodeError::kNone);
+  QueryResponse out;
+  ASSERT_EQ(decode_response(frame.payload, frame.payload_len, out),
+            DecodeError::kNone);
+  EXPECT_EQ(out.id, resp.id);
+  EXPECT_EQ(out.status, resp.status);
+  EXPECT_FALSE(out.has_tree);
+  EXPECT_TRUE(out.deadline_missed);
+  EXPECT_EQ(out.root, resp.root);
+  EXPECT_EQ(out.depth_reached, resp.depth_reached);
+  EXPECT_EQ(out.vertices_visited, resp.vertices_visited);
+  EXPECT_EQ(out.edges_traversed, resp.edges_traversed);
+  EXPECT_EQ(out.wave_size, resp.wave_size);
+}
+
+TEST(ServeProto, ResponseRoundTripWithTree) {
+  DepthParent dp(5);
+  dp.store(0, 0, 0);
+  dp.store(1, 1, 0);
+  dp.store(3, 2, 1);  // 2 and 4 stay INF
+
+  QueryResponse resp;
+  resp.id = 5;
+  resp.has_tree = true;
+  resp.root = 0;
+
+  std::vector<std::uint8_t> buf;
+  encode_query_response(buf, resp, &dp);
+  FrameView frame;
+  ASSERT_EQ(try_frame(buf.data(), buf.size(), kMaxResponsePayload, frame),
+            DecodeError::kNone);
+  QueryResponse out;
+  std::vector<std::uint64_t> tree;
+  ASSERT_EQ(decode_response(frame.payload, frame.payload_len, out, &tree),
+            DecodeError::kNone);
+  EXPECT_TRUE(out.has_tree);
+  ASSERT_EQ(tree.size(), 5u);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(tree[v], dp.load(v)) << v;
+}
+
+TEST(ServeProto, EveryTruncationOfAValidFrameIsTyped) {
+  QueryRequest q;
+  q.id = 9;
+  q.want_tree = true;
+  std::vector<std::uint8_t> buf;
+  encode_query(buf, q);
+
+  Request out;
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    FrameView frame;
+    const DecodeError fe = try_frame(buf.data(), len, kMaxRequestPayload, frame);
+    // A prefix of a valid frame is always "need more bytes", never valid.
+    EXPECT_EQ(fe, DecodeError::kTruncated) << "prefix " << len;
+  }
+  // And a truncated *payload* handed straight to the body decoder is a
+  // typed error too (kEmpty for the empty prefix).
+  for (std::size_t len = 4; len < buf.size(); ++len) {
+    const DecodeError err = decode_request(buf.data() + 4, len - 4, out);
+    EXPECT_EQ(err, len == 4 ? DecodeError::kEmpty : DecodeError::kTruncated)
+        << "payload prefix " << len - 4;
+  }
+}
+
+TEST(ServeProto, MalformedInputsYieldSpecificErrors) {
+  // Unknown type byte.
+  const std::uint8_t bad_type[] = {0x7f};
+  Request out;
+  EXPECT_EQ(decode_request(bad_type, 1, out), DecodeError::kBadType);
+  // A response type is not a valid request.
+  const std::uint8_t resp_type[] = {0x81};
+  EXPECT_EQ(decode_request(resp_type, 1, out), DecodeError::kBadType);
+
+  // Undefined flag bits.
+  QueryRequest q;
+  std::vector<std::uint8_t> buf;
+  encode_query(buf, q);
+  buf.back() = 0xfe;
+  FrameView frame;
+  ASSERT_EQ(try_frame(buf.data(), buf.size(), kMaxRequestPayload, frame),
+            DecodeError::kNone);
+  EXPECT_EQ(decode_request(frame.payload, frame.payload_len, out),
+            DecodeError::kBadFlags);
+
+  // Trailing bytes after a complete message.
+  buf.clear();
+  encode_query(buf, q);
+  buf.push_back(0x00);
+  std::uint32_t len = static_cast<std::uint32_t>(buf.size() - 4);
+  std::memcpy(buf.data(), &len, 4);
+  ASSERT_EQ(try_frame(buf.data(), buf.size(), kMaxRequestPayload, frame),
+            DecodeError::kNone);
+  EXPECT_EQ(decode_request(frame.payload, frame.payload_len, out),
+            DecodeError::kTrailingBytes);
+
+  // Oversized frame length: rejected before any payload is read.
+  std::uint8_t huge[8] = {};
+  len = kMaxRequestPayload + 1;
+  std::memcpy(huge, &len, 4);
+  EXPECT_EQ(try_frame(huge, sizeof huge, kMaxRequestPayload, frame),
+            DecodeError::kBadLength);
+
+  // Zero-length payload: a frame with no type byte.
+  std::uint8_t empty[4] = {};
+  EXPECT_EQ(try_frame(empty, 4, kMaxRequestPayload, frame),
+            DecodeError::kNone);
+  EXPECT_EQ(decode_request(frame.payload, frame.payload_len, out),
+            DecodeError::kEmpty);
+}
+
+// --- randomized sweeps (fuzz ctest label) -------------------------------
+
+TEST(ServeProtoFuzz, RandomBytesNeverCrashTheDecoders) {
+  Xoshiro256 rng(0xfeedULL);
+  std::vector<std::uint8_t> buf;
+  Request req;
+  QueryResponse resp;
+  std::vector<std::uint64_t> tree;
+  unsigned decoded_ok = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::size_t len = rng.next() % 64;
+    buf.resize(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+
+    FrameView frame;
+    if (try_frame(buf.data(), buf.size(), kMaxRequestPayload, frame) ==
+        DecodeError::kNone) {
+      if (decode_request(frame.payload, frame.payload_len, req) ==
+          DecodeError::kNone) {
+        ++decoded_ok;
+      }
+    }
+    // The response decoder must be equally total (clients face it).
+    decode_response(buf.data(), buf.size(), resp, &tree);
+  }
+  // Random 26-byte-ish buffers essentially never spell a valid message;
+  // the point of the counter is that the loop above really ran.
+  EXPECT_LT(decoded_ok, 100u);
+}
+
+TEST(ServeProtoFuzz, RandomValidQueriesRoundTrip) {
+  Xoshiro256 rng(0xabcdULL);
+  std::vector<std::uint8_t> buf;
+  for (int iter = 0; iter < 5000; ++iter) {
+    const QueryRequest q = sample_query(rng);
+    buf.clear();
+    encode_query(buf, q);
+    Request out;
+    ASSERT_EQ(frame_and_decode(buf, out), DecodeError::kNone) << iter;
+    ASSERT_EQ(out.type, MsgType::kQuery);
+    ASSERT_EQ(out.query.id, q.id);
+    ASSERT_EQ(out.query.graph_id, q.graph_id);
+    ASSERT_EQ(out.query.root, q.root);
+    ASSERT_EQ(out.query.deadline_us, q.deadline_us);
+    ASSERT_EQ(out.query.want_tree, q.want_tree);
+  }
+}
+
+TEST(ServeProtoFuzz, RandomTruncationsAndCorruptionsAreTyped) {
+  Xoshiro256 rng(0x5eedULL);
+  std::vector<std::uint8_t> buf;
+  Request out;
+  for (int iter = 0; iter < 5000; ++iter) {
+    buf.clear();
+    encode_query(buf, sample_query(rng));
+    // Random truncation point: framing reports "more bytes needed".
+    const std::size_t cut = rng.next() % buf.size();
+    FrameView frame;
+    EXPECT_EQ(try_frame(buf.data(), cut, kMaxRequestPayload, frame),
+              DecodeError::kTruncated);
+    // Random single-byte corruption: decodes fully or fails typed — the
+    // assertion is simply that neither path crashes or over-reads.
+    buf[rng.next() % buf.size()] ^=
+        static_cast<std::uint8_t>(1u << (rng.next() % 8));
+    if (try_frame(buf.data(), buf.size(), kMaxRequestPayload, frame) ==
+        DecodeError::kNone) {
+      decode_request(frame.payload, frame.payload_len, out);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs::serve

@@ -1,0 +1,476 @@
+// BfsService end to end on virtual time: admission, coalescing, deadline
+// status, oracle validation — plus the threaded mode and the TCP shell.
+//
+// The deterministic cases drive the whole serving stack (batcher +
+// dispatch + warm runners + responses) through pump() on a VirtualClock:
+// the test owns every tick, so wave composition and per-query deadline
+// status are exact assertions, and every surviving query's tree is
+// validated against the serial oracle (validate_bfs_tree_into). The
+// threaded and socket cases use the real clock but only assert
+// time-independent outcomes (completion, drain, round-trip identity).
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <stdexcept>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "graph/validate.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fastbfs::serve {
+namespace {
+
+BfsOptions serve_engine_opts() {
+  BfsOptions opts;
+  opts.n_threads = 4;
+  opts.n_sockets = 2;
+  opts.llc_bytes_override = 4096;  // force partitioned VIS/mask paths
+  return opts;
+}
+
+ServiceConfig base_config() {
+  ServiceConfig cfg;
+  cfg.engine = serve_engine_opts();
+  cfg.batcher.window_ns = 1'000'000;  // 1 ms
+  cfg.batcher.queue_capacity = 256;
+  cfg.batcher.adaptive = false;  // tests control timing explicitly
+  return cfg;
+}
+
+/// Records every response; validates kOk trees against the graph on the
+/// spot (the result pointer is only valid inside the callback).
+class OracleSink : public ResponseSink {
+ public:
+  explicit OracleSink(const CsrGraph* g = nullptr) : g_(g) {}
+
+  void on_response(const ResponseView& v) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    Rec rec;
+    rec.header = v.header;
+    rec.had_result = v.result != nullptr;
+    if (v.result && g_) {
+      rec.tree_valid = validate_bfs_tree_into(*g_, *v.result, ws_).ok;
+    }
+    recs_.push_back(rec);
+    cv_.notify_all();
+  }
+
+  struct Rec {
+    QueryResponse header;
+    bool had_result = false;
+    bool tree_valid = false;
+  };
+
+  std::vector<Rec> all() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return recs_;
+  }
+  const Rec* find(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Rec& r : recs_) {
+      if (r.header.id == id) return &r;
+    }
+    return nullptr;
+  }
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return recs_.size();
+  }
+  bool wait_for_count(std::size_t n, int timeout_ms) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                        [&] { return recs_.size() >= n; });
+  }
+
+ private:
+  const CsrGraph* g_;
+  ValidationWorkspace ws_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Rec> recs_;
+};
+
+QueryRequest make_query(std::uint64_t id, vid_t root,
+                        std::uint64_t deadline_us = 0,
+                        std::uint32_t graph = 0) {
+  QueryRequest q;
+  q.id = id;
+  q.graph_id = graph;
+  q.root = root;
+  q.deadline_us = deadline_us;
+  return q;
+}
+
+TEST(ServeService, SingletonFallsBackToSequentialEngine) {
+  const CsrGraph g = rmat_graph(10, 8, /*seed=*/51);
+  VirtualClock clock(1000);
+  OracleSink sink(&g);
+  BfsService svc(base_config(), clock, sink);
+  svc.add_graph(g);
+
+  const vid_t root = pick_nonisolated_root(g, 1);
+  ASSERT_EQ(svc.submit(make_query(1, root), nullptr), Status::kOk);
+  EXPECT_EQ(svc.pump(clock.now()), 0u);  // window still coalescing
+
+  clock.advance(1'000'000);
+  EXPECT_EQ(svc.pump(clock.now()), 1u);
+
+  const auto recs = sink.all();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].header.status, Status::kOk);
+  EXPECT_EQ(recs[0].header.wave_size, 1u);  // sequential path, not a wave
+  EXPECT_EQ(recs[0].header.root, root);
+  EXPECT_TRUE(recs[0].tree_valid);
+  const ServeCounters c = svc.counters();
+  EXPECT_EQ(c.sequential_runs, 1u);
+  EXPECT_EQ(c.waves, 0u);
+  EXPECT_EQ(c.completed, 1u);
+}
+
+TEST(ServeService, CoalescedWaveValidatesEveryQueryAgainstOracle) {
+  const CsrGraph g = rmat_graph(10, 8, /*seed=*/52);
+  VirtualClock clock(1000);
+  OracleSink sink(&g);
+  BfsService svc(base_config(), clock, sink);
+  svc.add_graph(g);
+
+  std::vector<vid_t> roots;
+  for (std::uint64_t s = 0; roots.size() < 6; ++s) {
+    const vid_t r = pick_nonisolated_root(g, s);
+    if (std::find(roots.begin(), roots.end(), r) == roots.end()) {
+      roots.push_back(r);
+    }
+  }
+  for (std::uint64_t i = 0; i < roots.size(); ++i) {
+    ASSERT_EQ(svc.submit(make_query(i, roots[i]), nullptr), Status::kOk);
+  }
+  clock.advance(1'000'000);
+  EXPECT_EQ(svc.pump(clock.now()), 1u);  // one coalesced MS-64 wave
+
+  const auto recs = sink.all();
+  ASSERT_EQ(recs.size(), roots.size());
+  for (const auto& rec : recs) {
+    EXPECT_EQ(rec.header.status, Status::kOk);
+    EXPECT_EQ(rec.header.wave_size, roots.size());
+    EXPECT_TRUE(rec.tree_valid) << "id " << rec.header.id;
+    EXPECT_FALSE(rec.header.deadline_missed);
+  }
+  const ServeCounters c = svc.counters();
+  EXPECT_EQ(c.waves, 1u);
+  EXPECT_EQ(c.wave_queries, roots.size());
+  EXPECT_EQ(c.sequential_runs, 0u);
+  // Latency (virtual) was the 1 ms coalescing wait: the histogram saw it.
+  EXPECT_GT(svc.latency_quantile_ns(0.5), 0.0);
+}
+
+// Satellite: mixed deadlines within one coalesced wave — per-query status
+// must be exact, and surviving queries still validate against the oracle.
+TEST(ServeService, MixedDeadlineWaveReportsPerQueryStatus) {
+  const CsrGraph g = rmat_graph(10, 8, /*seed=*/53);
+  VirtualClock clock(1000);
+  OracleSink sink(&g);
+  BfsService svc(base_config(), clock, sink);
+  svc.add_graph(g);
+
+  const vid_t r0 = pick_nonisolated_root(g, 3);
+  const vid_t r1 = pick_nonisolated_root(g, 4);
+  const vid_t r2 = pick_nonisolated_root(g, 5);
+  // id 10: no deadline; id 11: 50 us (will die in the queue); id 12:
+  // 10 ms (loose, survives).
+  ASSERT_EQ(svc.submit(make_query(10, r0, 0), nullptr), Status::kOk);
+  ASSERT_EQ(svc.submit(make_query(11, r1, 50), nullptr), Status::kOk);
+  ASSERT_EQ(svc.submit(make_query(12, r2, 10'000), nullptr), Status::kOk);
+
+  clock.advance(1'000'000);  // 1 ms: window expired, id 11 long dead
+  EXPECT_EQ(svc.pump(clock.now()), 1u);
+
+  ASSERT_EQ(sink.count(), 3u);
+  const auto* dead = sink.find(11);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->header.status, Status::kDeadlineExpired);
+  EXPECT_FALSE(dead->had_result);  // dropped before dispatch, never run
+
+  for (const std::uint64_t id : {10ull, 12ull}) {
+    const auto* rec = sink.find(id);
+    ASSERT_NE(rec, nullptr) << id;
+    EXPECT_EQ(rec->header.status, Status::kOk) << id;
+    EXPECT_EQ(rec->header.wave_size, 2u) << id;  // the survivors' wave
+    EXPECT_TRUE(rec->tree_valid) << id;
+    EXPECT_FALSE(rec->header.deadline_missed) << id;
+  }
+  const ServeCounters c = svc.counters();
+  EXPECT_EQ(c.expired_at_dispatch, 1u);
+  EXPECT_EQ(c.completed, 2u);
+}
+
+TEST(ServeService, BadGraphAndBadRootRejectedSynchronously) {
+  const CsrGraph g = rmat_graph(8, 8, /*seed=*/54);
+  VirtualClock clock(1000);
+  OracleSink sink(&g);
+  BfsService svc(base_config(), clock, sink);
+  svc.add_graph(g);
+
+  EXPECT_EQ(svc.submit(make_query(1, 0, 0, /*graph=*/9), nullptr),
+            Status::kBadGraph);
+  EXPECT_EQ(svc.submit(make_query(2, g.n_vertices()), nullptr),
+            Status::kBadRoot);
+  ASSERT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.find(1)->header.status, Status::kBadGraph);
+  EXPECT_EQ(sink.find(2)->header.status, Status::kBadRoot);
+  EXPECT_EQ(svc.counters().rejected_bad, 2u);
+  EXPECT_EQ(svc.pump(clock.now() + 10'000'000), 0u);  // nothing enqueued
+}
+
+TEST(ServeService, OverloadAnsweredImmediately) {
+  const CsrGraph g = rmat_graph(8, 8, /*seed=*/55);
+  VirtualClock clock(1000);
+  OracleSink sink(&g);
+  ServiceConfig cfg = base_config();
+  cfg.batcher.queue_capacity = 2;
+  BfsService svc(cfg, clock, sink);
+  svc.add_graph(g);
+
+  ASSERT_EQ(svc.submit(make_query(1, 0), nullptr), Status::kOk);
+  ASSERT_EQ(svc.submit(make_query(2, 1), nullptr), Status::kOk);
+  EXPECT_EQ(svc.submit(make_query(3, 2), nullptr), Status::kOverloaded);
+  EXPECT_EQ(sink.find(3)->header.status, Status::kOverloaded);
+  EXPECT_EQ(svc.counters().rejected_overloaded, 1u);
+}
+
+TEST(ServeService, MetricsSurfacedThroughRegistry) {
+  const CsrGraph g = rmat_graph(9, 8, /*seed=*/56);
+  VirtualClock clock(1000);
+  OracleSink sink(&g);
+  BfsService svc(base_config(), clock, sink);
+  svc.add_graph(g);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(svc.submit(make_query(i, pick_nonisolated_root(g, i)),
+                         nullptr),
+              Status::kOk);
+  }
+  clock.advance(2'000'000);
+  svc.pump(clock.now());
+
+  std::ostringstream prom;
+  obs::metrics().write_prometheus(prom);
+  const std::string text = prom.str();
+  for (const char* name :
+       {"fastbfs_serve_admitted_total", "fastbfs_serve_completed_total",
+        "fastbfs_serve_wave_occupancy", "fastbfs_serve_latency_ns",
+        "fastbfs_serve_queue_depth"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_GT(svc.latency_quantile_ns(0.99), 0.0);
+  EXPECT_GE(svc.latency_quantile_ns(0.99), svc.latency_quantile_ns(0.5));
+}
+
+TEST(ServeService, ThreadedModeServesAndStops) {
+  const CsrGraph g = rmat_graph(9, 8, /*seed=*/57);
+  SteadyClock clock;
+  OracleSink sink(&g);
+  ServiceConfig cfg = base_config();
+  cfg.batcher.window_ns = 0;  // dispatch as soon as the dispatcher wakes
+  cfg.n_dispatchers = 2;
+  BfsService svc(cfg, clock, sink);
+  svc.add_graph(g);
+  svc.start();
+
+  constexpr std::uint64_t kQueries = 24;
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    ASSERT_EQ(svc.submit(make_query(i, pick_nonisolated_root(g, i)),
+                         nullptr),
+              Status::kOk);
+  }
+  ASSERT_TRUE(sink.wait_for_count(kQueries, /*timeout_ms=*/30000));
+  svc.stop();
+
+  const auto recs = sink.all();
+  ASSERT_EQ(recs.size(), kQueries);
+  for (const auto& rec : recs) {
+    EXPECT_EQ(rec.header.status, Status::kOk);
+    EXPECT_TRUE(rec.tree_valid);
+  }
+  const ServeCounters c = svc.counters();
+  EXPECT_EQ(c.completed, kQueries);
+  // Every completion was served either solo or as part of a wave.
+  EXPECT_EQ(c.sequential_runs + c.wave_queries, c.completed);
+}
+
+TEST(ServeService, StopDrainsQueuedQueriesAsShuttingDown) {
+  const CsrGraph g = rmat_graph(8, 8, /*seed=*/58);
+  SteadyClock clock;
+  OracleSink sink(&g);
+  ServiceConfig cfg = base_config();
+  cfg.batcher.window_ns = 10'000'000'000ull;  // 10 s: nothing dispatches
+  BfsService svc(cfg, clock, sink);
+  svc.add_graph(g);
+  svc.start();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(svc.submit(make_query(i, 0), nullptr), Status::kOk);
+  }
+  svc.stop();
+
+  ASSERT_EQ(sink.count(), 3u);
+  for (const auto& rec : sink.all()) {
+    EXPECT_EQ(rec.header.status, Status::kShuttingDown);
+    EXPECT_FALSE(rec.had_result);
+  }
+  EXPECT_EQ(svc.counters().shutdown_drained, 3u);
+  // Post-stop submissions are refused, not enqueued.
+  EXPECT_EQ(svc.submit(make_query(9, 0), nullptr), Status::kShuttingDown);
+}
+
+// --- TCP shell smoke: the whole stack over a loopback socket ------------
+
+/// Minimal blocking client for the tests: connect, send frames, collect
+/// responses with a streaming decoder (the same try_frame the server
+/// uses, exercised from the client side).
+class TestClient {
+ public:
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_bytes(const std::vector<std::uint8_t>& buf) {
+    ASSERT_EQ(::send(fd_, buf.data(), buf.size(), 0),
+              static_cast<ssize_t>(buf.size()));
+  }
+
+  /// Blocks until one full response frame has arrived.
+  bool read_response(QueryResponse& out,
+                     std::vector<std::uint64_t>* tree = nullptr,
+                     std::string* metrics_text = nullptr) {
+    for (;;) {
+      FrameView frame;
+      if (try_frame(rbuf_.data(), used_, kMaxResponsePayload, frame) ==
+          DecodeError::kNone) {
+        bool ok = false;
+        if (frame.payload_len > 0 &&
+            static_cast<MsgType>(frame.payload[0]) ==
+                MsgType::kMetricsResponse) {
+          if (metrics_text) {
+            metrics_text->assign(
+                reinterpret_cast<const char*>(frame.payload + 1),
+                frame.payload_len - 1);
+          }
+          ok = true;
+        } else {
+          ok = decode_response(frame.payload, frame.payload_len, out,
+                               tree) == DecodeError::kNone;
+        }
+        std::memmove(rbuf_.data(), rbuf_.data() + frame.frame_len,
+                     used_ - frame.frame_len);
+        used_ -= frame.frame_len;
+        return ok;
+      }
+      if (rbuf_.size() - used_ < 65536) rbuf_.resize(used_ + 65536);
+      const ssize_t n =
+          ::recv(fd_, rbuf_.data() + used_, rbuf_.size() - used_, 0);
+      if (n <= 0) return false;
+      used_ += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t used_ = 0;
+};
+
+TEST(ServeServer, SocketRoundTripTreeAndShutdown) {
+  const CsrGraph g = rmat_graph(9, 8, /*seed=*/59);
+  SteadyClock clock;
+  ServerConfig cfg;
+  cfg.service = base_config();
+  cfg.service.batcher.window_ns = 100'000;  // 100 us
+  BfsServer server(cfg, clock);
+  server.add_graph(g);
+  try {
+    server.start();
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << e.what();
+  }
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+
+  const vid_t root = pick_nonisolated_root(g, 2);
+  QueryRequest q;
+  q.id = 42;
+  q.root = root;
+  q.want_tree = true;
+  std::vector<std::uint8_t> buf;
+  encode_query(buf, q);
+  client.send_bytes(buf);
+
+  QueryResponse resp;
+  std::vector<std::uint64_t> tree;
+  ASSERT_TRUE(client.read_response(resp, &tree));
+  EXPECT_EQ(resp.id, 42u);
+  ASSERT_EQ(resp.status, Status::kOk);
+  ASSERT_TRUE(resp.has_tree);
+  ASSERT_EQ(tree.size(), g.n_vertices());
+
+  // Reconstruct the result from the wire payload and validate it as a
+  // BFS tree of g — the full client-observable contract.
+  BfsResult from_wire;
+  from_wire.dp = DepthParent(g.n_vertices());
+  std::memcpy(from_wire.dp.data(), tree.data(), tree.size() * 8);
+  from_wire.root = resp.root;
+  from_wire.vertices_visited = resp.vertices_visited;
+  from_wire.edges_traversed = resp.edges_traversed;
+  from_wire.depth_reached = resp.depth_reached;
+  const ValidationReport report = validate_bfs_tree(g, from_wire);
+  EXPECT_TRUE(report.ok) << report.error;
+
+  // A malformed-but-framed request gets a typed error, stream survives.
+  buf.assign({1, 0, 0, 0, 0x7f});
+  client.send_bytes(buf);
+  ASSERT_TRUE(client.read_response(resp));
+  EXPECT_EQ(resp.status, Status::kMalformed);
+
+  // Metrics scrape over the wire.
+  buf.clear();
+  encode_metrics_request(buf);
+  client.send_bytes(buf);
+  std::string text;
+  ASSERT_TRUE(client.read_response(resp, nullptr, &text));
+  EXPECT_NE(text.find("fastbfs_serve_admitted_total"), std::string::npos);
+
+  // Shutdown frame: acknowledged, then the server's wait() returns.
+  buf.clear();
+  encode_shutdown(buf);
+  client.send_bytes(buf);
+  ASSERT_TRUE(client.read_response(resp));
+  EXPECT_EQ(resp.status, Status::kShuttingDown);
+  server.wait();
+  server.stop();
+  EXPECT_GE(server.service().counters().completed, 1u);
+}
+
+}  // namespace
+}  // namespace fastbfs::serve

@@ -6,6 +6,7 @@
 // per step (independent of the thread count), and a warm run must be
 // bit-identical in depths and stats to a fresh engine's run — no state may
 // leak between traversals.
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "graph/stats.h"
 #include "graph/validate.h"
 #include "obs/metrics.h"
+#include "serve/service.h"
 
 namespace fastbfs {
 namespace {
@@ -249,6 +251,83 @@ TEST(SteadyState, RunIntoAdoptsForeignBuffer) {
   ASSERT_EQ(out.dp.size(), small.n_vertices());
   const ValidationReport report = validate_bfs_tree(small, out);
   EXPECT_TRUE(report.ok) << report.error;
+}
+
+// Serving-loop extension of the zero-allocation contract (the BFS-as-a-
+// service warm path): once the service has seen both shapes of work, a
+// mixed stream of sequential singletons and coalesced MS-64 waves —
+// admission, batching, dispatch, and response fan-out included — must not
+// touch the heap. Fixed slot pools in the batcher, recycled per-dispatcher
+// result buffers, and the sink interface exist precisely for this gate.
+TEST(SteadyState, WarmServingLoopAllocatesNothing) {
+  /// Counts responses without storing them (storing would allocate).
+  class CountingSink : public serve::ResponseSink {
+   public:
+    void on_response(const serve::ResponseView& view) override {
+      ++responses;
+      if (view.header.status == serve::Status::kOk) ++ok;
+    }
+    std::uint64_t responses = 0;
+    std::uint64_t ok = 0;
+  };
+
+  const CsrGraph g = rmat_graph(10, 8, /*seed=*/17);
+  serve::VirtualClock clock(1000);
+  CountingSink sink;
+  serve::ServiceConfig cfg;
+  cfg.engine = steady_opts();
+  cfg.batcher.window_ns = 0;  // dispatch whatever is queued at each pump
+  serve::BfsService svc(cfg, clock, sink);
+  svc.add_graph(g);
+
+  if (!testing::allocation_counting_active()) {
+    GTEST_SKIP() << "allocation-counting operator new not linked in";
+  }
+
+  std::array<vid_t, 8> roots;
+  for (std::uint64_t i = 0; i < roots.size(); ++i) {
+    roots[i] = pick_nonisolated_root(g, i);
+  }
+  std::uint64_t next_id = 0;
+  // One iteration of the mixed stream: a lone query served on the
+  // sequential fallback path, then a burst coalesced into one MS-64 wave.
+  const auto serve_mixed = [&] {
+    serve::QueryRequest q;
+    q.root = roots[0];
+    q.id = next_id++;
+    ASSERT_EQ(svc.submit(q, nullptr), serve::Status::kOk);
+    ASSERT_EQ(svc.pump(clock.now()), 1u);  // singleton -> run_into
+    for (std::size_t i = 1; i < roots.size(); ++i) {
+      q.root = roots[i];
+      q.id = next_id++;
+      ASSERT_EQ(svc.submit(q, nullptr), serve::Status::kOk);
+    }
+    ASSERT_EQ(svc.pump(clock.now()), 1u);  // burst -> one wave
+    clock.advance(1'000'000);
+  };
+
+  // Warm-up (first pump builds the MS engine; buffer high-water marks can
+  // creep for a few iterations, as in the run_into gate above).
+  serve_mixed();
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t probe = testing::allocation_count();
+    serve_mixed();
+    if (testing::allocation_count() == probe) break;
+  }
+
+  const std::uint64_t before = testing::allocation_count();
+  serve_mixed();
+  serve_mixed();
+  const std::uint64_t after = testing::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a warm serving loop (admit + batch + dispatch + respond) must "
+         "not touch the heap";
+  ASSERT_EQ(sink.responses, next_id);
+  EXPECT_EQ(sink.ok, next_id);
+  const serve::ServeCounters c = svc.counters();
+  EXPECT_EQ(c.completed, next_id);
+  EXPECT_GT(c.waves, 0u);
+  EXPECT_GT(c.sequential_runs, 0u);
 }
 
 TEST(SteadyState, WorkspacePlateausWhenWarm) {

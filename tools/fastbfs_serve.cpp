@@ -1,0 +1,124 @@
+// fastbfs_serve: the BFS-as-a-service TCP daemon (serve/server.h).
+//
+// Loads (or generates) one graph, binds a loopback TCP socket, and serves
+// the length-prefixed binary protocol in serve/proto.h until a kShutdown
+// frame or SIGINT/SIGTERM arrives. The serve-smoke CI job launches this
+// against RMAT-14 and drives it with bench_serving --connect.
+//
+//   fastbfs_serve --rmat=14 [--ef=16] | --graph=path.csr
+//                 [--port=0] [--threads=N] [--sockets=N]
+//                 [--window-us=200] [--wave-width=64] [--dispatchers=1]
+//                 [--queue-cap=1024] [--sequential-only]
+//                 [--metrics-out=path]
+//
+// Prints "listening on <port>" (the kernel-assigned port when --port=0)
+// so a harness can scrape the line and connect. --metrics-out dumps the
+// final Prometheus scrape to a file on shutdown.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "gen/rmat.h"
+#include "graph/serialize.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "util/cli.h"
+
+namespace {
+
+fastbfs::serve::BfsServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fastbfs;
+  using namespace fastbfs::serve;
+  const CliArgs args(argc, argv);
+
+  CsrGraph g;
+  const std::string graph_path = args.get("graph");
+  if (!graph_path.empty()) {
+    g = read_csr_binary_file(graph_path);
+    std::printf("graph: %s (%u vertices)\n", graph_path.c_str(),
+                g.n_vertices());
+  } else {
+    const auto scale = static_cast<unsigned>(args.get_int("rmat", 14));
+    const auto ef = static_cast<unsigned>(args.get_int("ef", 16));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    g = rmat_graph(scale, ef, seed);
+    std::printf("graph: RMAT scale-%u ef-%u (%u vertices)\n", scale, ef,
+                g.n_vertices());
+  }
+
+  ServerConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  cfg.service.engine.n_threads =
+      static_cast<unsigned>(args.get_int("threads", 4));
+  cfg.service.engine.n_sockets =
+      static_cast<unsigned>(args.get_int("sockets", 1));
+  cfg.service.n_dispatchers =
+      static_cast<unsigned>(args.get_int("dispatchers", 1));
+  cfg.service.batcher.window_ns =
+      static_cast<tick_t>(args.get_int("window-us", 200)) * 1000;
+  cfg.service.batcher.wave_width = args.get_bool("sequential-only", false)
+      ? 1
+      : static_cast<unsigned>(args.get_int("wave-width", 64));
+  cfg.service.batcher.queue_capacity =
+      static_cast<unsigned>(args.get_int("queue-cap", 1024));
+  const std::string metrics_out = args.get("metrics-out");
+
+  for (const std::string& key : args.unused_keys()) {
+    std::fprintf(stderr, "fastbfs_serve: unknown flag --%s\n", key.c_str());
+    return 2;
+  }
+
+  SteadyClock clock;
+  BfsServer server(cfg, clock);
+  server.add_graph(g);
+  try {
+    server.start();
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "fastbfs_serve: %s\n", e.what());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("listening on %u\n", server.port());
+  std::fflush(stdout);
+  server.wait();
+  server.stop();
+  g_server = nullptr;
+
+  const ServeCounters c = server.service().counters();
+  std::printf(
+      "served %llu queries (%llu in %llu waves, %llu sequential), "
+      "rejected %llu, drained %llu\n",
+      static_cast<unsigned long long>(c.completed),
+      static_cast<unsigned long long>(c.wave_queries),
+      static_cast<unsigned long long>(c.waves),
+      static_cast<unsigned long long>(c.sequential_runs),
+      static_cast<unsigned long long>(c.rejected_expired +
+                                      c.rejected_overloaded +
+                                      c.rejected_bad),
+      static_cast<unsigned long long>(c.shutdown_drained));
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (out) {
+      obs::metrics().write_prometheus(out);
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "fastbfs_serve: cannot write %s\n",
+                   metrics_out.c_str());
+    }
+  }
+  return 0;
+}
