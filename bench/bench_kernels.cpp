@@ -1,26 +1,42 @@
-// Kernel-level microbenchmarks (google-benchmark).
+// Kernel-level microbenchmarks (google-benchmark + per-ISA comparison).
 //
 // The end-to-end figures on a one-core VM are noisy; these isolate the
 // paper's kernel-level claims where they are crisp:
 //   - SIMD vs scalar neighbour binning (Sec. III-C.4: "overall
-//     instruction reduction of 1.3-2x");
+//     instruction reduction of 1.3-2x"), now swept across every ISA
+//     level the host + binary can reach (scalar / SSE4.2 / AVX2 /
+//     AVX-512) through the runtime dispatch tables in simd/dispatch.h;
 //   - atomic-free vs LOCK-prefixed VIS updates (Sec. III-A / Fig. 2:
 //     atomics "behave as memory fences that lead to serialization");
 //   - the rearrangement pass cost (Sec. III-B3b: 24 bytes/vertex);
 //   - Chase-Lev deque ops (the work-stealing baseline's substrate).
+//
+// Before the google-benchmark loop runs, a fixed-rep comparison times the
+// dispatchable kernels (bin_indices / append_binned / append_binned_mask /
+// stream_copy) at each reachable level and writes BENCH_kernels.json.
+// Acceptance (checked here, exit code 1 on failure): when AVX2 is
+// reachable, bin_indices at AVX2 must beat SSE4.2 by >= 1.3x.
 // Run: ./bench_kernels [--benchmark_filter=...]
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <string>
 #include <vector>
 
 #include "baseline/work_stealing_deque.h"
+#include "bench_common.h"
 #include "core/rearrange.h"
 #include "core/vis.h"
 #include "gen/rmat.h"
 #include "graph/adjacency_array.h"
 #include "graph/bfs_result.h"
+#include "model/calibrate.h"
 #include "simd/binning.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace fastbfs {
 namespace {
@@ -45,35 +61,239 @@ struct BinFixture {
   std::vector<std::uint32_t> cursors;
 };
 
-void BM_BinningScalar(benchmark::State& state) {
-  const auto n_bins = static_cast<unsigned>(state.range(0));
-  const unsigned shift = 20 - floor_log2(n_bins);
-  BinFixture f(n_bins, 1 << 16);
-  for (auto _ : state) {
-    std::fill(f.cursors.begin(), f.cursors.end(), 0);
-    append_binned_scalar(f.ids.data(), f.ids.size(), shift, f.ptrs.data(),
-                         f.cursors.data());
-    benchmark::DoNotOptimize(f.cursors.data());
+/// Everything the mask-carrying (MS-BFS) kernel scatters into: per-bin
+/// child/parent/mask triples.
+struct MaskBinFixture {
+  explicit MaskBinFixture(unsigned n_bins, std::size_t n)
+      : ids(random_ids(n, 1u << 20)),
+        child(n_bins, std::vector<vid_t>(n)),
+        parent(n_bins, std::vector<vid_t>(n)),
+        mask(n_bins, std::vector<std::uint64_t>(n)),
+        cursors(n_bins, 0) {
+    for (auto& s : child) child_ptrs.push_back(s.data());
+    for (auto& s : parent) parent_ptrs.push_back(s.data());
+    for (auto& s : mask) mask_ptrs.push_back(s.data());
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(f.ids.size()));
-}
-BENCHMARK(BM_BinningScalar)->Arg(2)->Arg(8)->Arg(64);
+  std::vector<vid_t> ids;
+  std::vector<std::vector<vid_t>> child;
+  std::vector<std::vector<vid_t>> parent;
+  std::vector<std::vector<std::uint64_t>> mask;
+  std::vector<vid_t*> child_ptrs;
+  std::vector<vid_t*> parent_ptrs;
+  std::vector<std::uint64_t*> mask_ptrs;
+  std::vector<std::uint32_t> cursors;
+};
 
-void BM_BinningSse(benchmark::State& state) {
+/// Highest level this process can actually execute: the host capability
+/// capped by what was compiled in. kernels_for() above this would hand
+/// back instructions the CPU faults on.
+IsaLevel reachable_ceiling() {
+  return std::min(detect_isa(), compiled_isa_ceiling());
+}
+
+// ---------------------------------------------------------------------------
+// Per-ISA comparison (fixed reps, best-of) + BENCH_kernels.json.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kCmpN = 1u << 20;  // ids per timed call
+constexpr unsigned kCmpBins = 16;
+constexpr unsigned kCmpShift = 16;  // ids < kCmpBins << kCmpShift
+constexpr int kCmpReps = 9;
+
+/// Medges/s of one timed call, best of kCmpReps after one untimed warmup
+/// (faults pages, warms caches and the branch predictor).
+template <typename Fn>
+double best_meps(std::size_t n, Fn&& fn) {
+  fn();
+  double best_s = 0.0;
+  for (int r = 0; r < kCmpReps; ++r) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    if (best_s == 0.0 || s < best_s) best_s = s;
+  }
+  return static_cast<double>(n) / best_s / 1e6;
+}
+
+struct IsaRow {
+  IsaLevel level = IsaLevel::kScalar;
+  double bin_indices_meps = 0.0;
+  double append_binned_meps = 0.0;
+  double append_mask_meps = 0.0;
+  double stream_copy_gbps = 0.0;
+  double bin_cycles_per_edge = 0.0;  // the Sec. IV model constant
+};
+
+IsaRow measure_level(IsaLevel level) {
+  const BinningKernels& kern = kernels_for(level);
+  IsaRow row;
+  row.level = level;
+
+  // bin_indices is one load + one shift + one store per id, so at DRAM
+  // sizes every ISA hits the same bandwidth wall. An L1-resident working
+  // set swept repeatedly isolates the compute throughput the wider
+  // vectors actually change (the Sec. III-C.4 instruction-count claim).
+  constexpr std::size_t kIdxN = 1u << 12;  // 16 KiB in + 16 KiB out: L1
+  constexpr int kIdxPasses = 256;
+  const auto ids = random_ids(kIdxN, kCmpBins << kCmpShift);
+  std::vector<std::uint32_t> out(kIdxN);
+  row.bin_indices_meps = best_meps(kIdxN * kIdxPasses, [&] {
+    for (int p = 0; p < kIdxPasses; ++p) {
+      kern.bin_indices(ids.data(), kIdxN, kCmpShift, out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+  });
+
+  BinFixture f(kCmpBins, kCmpN);
+  row.append_binned_meps = best_meps(kCmpN, [&] {
+    std::fill(f.cursors.begin(), f.cursors.end(), 0);
+    kern.append_binned(f.ids.data(), kCmpN, kCmpShift, f.ptrs.data(),
+                       f.cursors.data());
+    benchmark::DoNotOptimize(f.cursors.data());
+  });
+
+  MaskBinFixture m(kCmpBins, kCmpN);
+  row.append_mask_meps = best_meps(kCmpN, [&] {
+    std::fill(m.cursors.begin(), m.cursors.end(), 0);
+    kern.append_binned_mask(m.ids.data(), kCmpN, kCmpShift, /*parent=*/42,
+                            /*mask=*/0x5555555555555555ull,
+                            m.child_ptrs.data(), m.parent_ptrs.data(),
+                            m.mask_ptrs.data(), m.cursors.data());
+    benchmark::DoNotOptimize(m.cursors.data());
+  });
+
+  // Large enough that the non-temporal path engages (> 1 MiB) and the
+  // destination cannot live in the LLC, which is the case the streaming
+  // stores exist for.
+  const std::size_t copy_words = (64u << 20) / 4;
+  std::vector<std::uint32_t> src(copy_words, 7), dst(copy_words);
+  const double copy_meps = best_meps(copy_words, [&] {
+    kern.stream_copy_u32(dst.data(), src.data(), copy_words);
+    benchmark::DoNotOptimize(dst.data());
+  });
+  row.stream_copy_gbps = copy_meps * 1e6 * 4.0 / 1e9;
+
+  row.bin_cycles_per_edge = model::measured_bin_cycles_per_edge(level);
+  return row;
+}
+
+std::string rows_json(const std::vector<IsaRow>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bench::JsonFields f;
+    f.add_str("isa", isa_name(rows[i].level))
+        .add_num("bin_indices_meps", rows[i].bin_indices_meps)
+        .add_num("append_binned_meps", rows[i].append_binned_meps)
+        .add_num("append_binned_mask_meps", rows[i].append_mask_meps)
+        .add_num("stream_copy_gbps", rows[i].stream_copy_gbps)
+        .add_num("bin_cycles_per_edge", rows[i].bin_cycles_per_edge);
+    if (i != 0) out += ", ";
+    out += f.str();
+  }
+  out += "]";
+  return out;
+}
+
+/// Times every reachable level, prints the comparison table, writes
+/// BENCH_kernels.json. Returns the process exit code (nonzero when the
+/// AVX2-vs-SSE4.2 acceptance ratio is measurable and missed).
+int run_isa_comparison() {
+  const IsaLevel cap = reachable_ceiling();
+  std::printf(
+      "== per-ISA kernel comparison (n=%zu ids, %u bins; best of %d) ==\n"
+      "detected %s, compiled %s, resolved %s\n",
+      kCmpN, kCmpBins, kCmpReps, isa_name(detect_isa()),
+      isa_name(compiled_isa_ceiling()), isa_name(resolved_isa()));
+  std::printf("%-8s %14s %16s %14s %12s %12s\n", "isa", "bin_idx Me/s",
+              "append_bin Me/s", "append_mask", "copy GB/s", "cyc/edge");
+
+  std::vector<IsaRow> rows;
+  for (int l = 0; l <= static_cast<int>(cap); ++l) {
+    rows.push_back(measure_level(static_cast<IsaLevel>(l)));
+    const IsaRow& r = rows.back();
+    std::printf("%-8s %14.1f %16.1f %14.1f %12.2f %12.3f\n",
+                isa_name(r.level), r.bin_indices_meps, r.append_binned_meps,
+                r.append_mask_meps, r.stream_copy_gbps,
+                r.bin_cycles_per_edge);
+  }
+
+  const auto find = [&](IsaLevel l) -> const IsaRow* {
+    for (const IsaRow& r : rows)
+      if (r.level == l) return &r;
+    return nullptr;
+  };
+  const IsaRow* sse = find(IsaLevel::kSse42);
+  const IsaRow* avx2 = find(IsaLevel::kAvx2);
+  const IsaRow* avx512 = find(IsaLevel::kAvx512);
+
+  double ratio_avx2 = 0.0, ratio_avx512 = 0.0;
+  bool pass = true;
+  if (sse != nullptr && avx2 != nullptr) {
+    ratio_avx2 = avx2->bin_indices_meps / sse->bin_indices_meps;
+    pass = ratio_avx2 >= 1.3;
+    std::printf("bin_indices avx2/sse4.2 = %.2fx (acceptance >= 1.3x: %s)\n",
+                ratio_avx2, pass ? "PASS" : "FAIL");
+  } else {
+    std::printf("bin_indices avx2/sse4.2 not measurable on this host\n");
+  }
+  if (sse != nullptr && avx512 != nullptr) {
+    ratio_avx512 = avx512->bin_indices_meps / sse->bin_indices_meps;
+    std::printf("bin_indices avx512/sse4.2 = %.2fx\n", ratio_avx512);
+  }
+
+  bench::JsonFields config;
+  config.add_uint("n_ids", kCmpN)
+      .add_uint("n_bins", kCmpBins)
+      .add_int("reps", kCmpReps)
+      .add_str("detected_isa", isa_name(detect_isa()))
+      .add_str("compiled_isa", isa_name(compiled_isa_ceiling()))
+      .add_str("resolved_isa", isa_name(resolved_isa()));
+  bench::JsonFields metrics;
+  metrics.add_num("bin_indices_avx2_vs_sse42", ratio_avx2)
+      .add_num("bin_indices_avx512_vs_sse42", ratio_avx512)
+      .add_bool("acceptance_pass", pass)
+      .add_raw("levels", rows_json(rows));
+  if (bench::write_bench_json("BENCH_kernels.json", "kernels",
+                              std::time(nullptr), config, metrics)) {
+    std::printf("wrote BENCH_kernels.json\n");
+  }
+  return pass ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark loops.
+// ---------------------------------------------------------------------------
+
+void binning_at_level(benchmark::State& state, IsaLevel level) {
   const auto n_bins = static_cast<unsigned>(state.range(0));
   const unsigned shift = 20 - floor_log2(n_bins);
+  const BinningKernels& kern = kernels_for(level);
   BinFixture f(n_bins, 1 << 16);
   for (auto _ : state) {
     std::fill(f.cursors.begin(), f.cursors.end(), 0);
-    append_binned_sse(f.ids.data(), f.ids.size(), shift, f.ptrs.data(),
-                      f.cursors.data());
+    kern.append_binned(f.ids.data(), f.ids.size(), shift, f.ptrs.data(),
+                       f.cursors.data());
     benchmark::DoNotOptimize(f.cursors.data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(f.ids.size()));
 }
-BENCHMARK(BM_BinningSse)->Arg(2)->Arg(8)->Arg(64);
+
+/// One BM_Binning/<isa> family per reachable level (registered at runtime:
+/// the set of levels depends on the host, so static BENCHMARK() cannot
+/// enumerate them).
+void register_binning_benchmarks() {
+  const IsaLevel cap = reachable_ceiling();
+  for (int l = 0; l <= static_cast<int>(cap); ++l) {
+    const auto level = static_cast<IsaLevel>(l);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Binning/") + isa_name(level)).c_str(),
+        [level](benchmark::State& state) { binning_at_level(state, level); })
+        ->Arg(2)
+        ->Arg(8)
+        ->Arg(64);
+  }
+}
 
 void BM_VisAtomicFree(benchmark::State& state) {
   VisArray vis(1 << 20, VisArray::Kind::kBit);
@@ -121,7 +341,8 @@ void BM_Rearrange(benchmark::State& state) {
   static const AdjacencyArray adj(g, 2);
   CacheGeometry c;
   c.tlb_entries = 8;
-  Rearranger r(adj, c);
+  const bool streaming = state.range(0) != 0;
+  Rearranger r(adj, c, streaming);
   const auto base = random_ids(1 << 16, g.n_vertices());
   std::vector<vid_t> bv, scratch;
   std::vector<std::uint32_t> hist;
@@ -133,7 +354,7 @@ void BM_Rearrange(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(base.size()));
 }
-BENCHMARK(BM_Rearrange);
+BENCHMARK(BM_Rearrange)->Arg(0)->Arg(1);  // 0 = plain copy, 1 = NT stores
 
 void BM_DequePushPop(benchmark::State& state) {
   baseline::WorkStealingDeque d(1 << 16);
@@ -148,4 +369,12 @@ BENCHMARK(BM_DequePushPop);
 }  // namespace
 }  // namespace fastbfs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const int rc = fastbfs::run_isa_comparison();
+  fastbfs::register_binning_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

@@ -4,13 +4,21 @@
 
 #include "graph/stats.h"
 #include "graph/validate.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace fastbfs {
 
 BfsRunner::BfsRunner(const CsrGraph& csr, const BfsOptions& opts)
     : adj_(std::make_unique<AdjacencyArray>(csr, opts.n_sockets)),
-      engine_(std::make_unique<TwoPhaseBfs>(*adj_, opts)) {}
+      engine_(std::make_unique<TwoPhaseBfs>(*adj_, opts)) {
+  // Publish which kernel variant this runner traverses with, so metrics
+  // scrapes can attribute throughput differences across a fleet (0 =
+  // scalar, 1 = sse4.2, 2 = avx2, 3 = avx512).
+  obs::metrics()
+      .gauge("fastbfs_isa_level")
+      ->set(static_cast<double>(engine_->isa_level()));
+}
 
 BfsRunner::~BfsRunner() = default;
 
@@ -35,6 +43,8 @@ unsigned BfsRunner::n_pbv_bins() const { return engine_->n_pbv_bins(); }
 std::uint64_t BfsRunner::vis_storage_bytes() const {
   return engine_->vis_storage_bytes();
 }
+
+IsaLevel BfsRunner::isa_level() const { return engine_->isa_level(); }
 
 VisAudit BfsRunner::audit_vis(const BfsResult& result) const {
   return engine_->audit_vis(result);

@@ -101,6 +101,9 @@ class BfsRunner {
   unsigned n_vis_partitions() const;
   unsigned n_pbv_bins() const;
   std::uint64_t vis_storage_bytes() const;
+  /// ISA level the engine's binning kernels run at (simd/dispatch.h);
+  /// also published as the `fastbfs_isa_level` gauge at construction.
+  IsaLevel isa_level() const;
 
   /// Cross-checks the VIS filter left by this runner's most recent run
   /// against that run's result (see VisAudit in core/two_phase_bfs.h).

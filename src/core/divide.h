@@ -66,8 +66,10 @@ DivisionPlan divide_bins(std::span<const std::uint32_t> counts,
 
 /// Reuse form of divide_bins: clear()s and refills a caller-owned plan
 /// instead of constructing a fresh one. Allocation-free once `plan` has
-/// been through one call of the same shape (same thread count and a
-/// per-thread slice count no larger than previously seen).
+/// been through one call of the same shape (same n_src, n_bins, and
+/// topology): per-thread slice vectors are reserved to the deterministic
+/// n_src * n_bins worst case up front, so race-dependent fluctuations in
+/// the actual slice counts can never force a warm reallocation.
 void divide_bins_into(std::span<const std::uint32_t> counts, unsigned n_src,
                       unsigned n_bins, const SocketTopology& topo,
                       SocketScheme scheme, DivisionPlan& plan);

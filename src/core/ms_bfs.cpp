@@ -24,7 +24,8 @@ namespace {
 /// PbvBinSet's: begin_appends / ensure / raw-table writes / commit.
 class MsPbvBins {
  public:
-  void configure(unsigned n_bins) {
+  void configure(unsigned n_bins, const BinningKernels* kern) {
+    kern_ = kern;
     if (bins_.size() == n_bins) return;
     bins_ = std::vector<Bin>(n_bins);
     sizes_.assign(n_bins, 0);
@@ -88,12 +89,15 @@ class MsPbvBins {
               AlignedBuffer<source_mask_t>(cap)};
     Bin& bin = bins_[b];
     if (cursors_[b] > 0) {
-      std::memcpy(grown.child.data(), bin.child.data(),
-                  cursors_[b] * sizeof(vid_t));
-      std::memcpy(grown.parent.data(), bin.parent.data(),
-                  cursors_[b] * sizeof(vid_t));
-      std::memcpy(grown.mask.data(), bin.mask.data(),
-                  cursors_[b] * sizeof(source_mask_t));
+      // Growth copies are sequential and only re-read after the whole bin
+      // refills — the streaming kernel (non-temporal above its threshold)
+      // keeps a big grow from flushing the seen[] working set.
+      kern_->stream_copy_u32(grown.child.data(), bin.child.data(),
+                             cursors_[b]);
+      kern_->stream_copy_u32(grown.parent.data(), bin.parent.data(),
+                             cursors_[b]);
+      kern_->stream_copy_u64(grown.mask.data(), bin.mask.data(),
+                             cursors_[b]);
     }
     bin = std::move(grown);
     caps_[b] = static_cast<std::uint32_t>(cap);
@@ -102,6 +106,7 @@ class MsPbvBins {
     mask_ptrs_[b] = bin.mask.data();
   }
 
+  const BinningKernels* kern_ = nullptr;
   std::vector<Bin> bins_;
   std::vector<std::uint32_t> sizes_, caps_, cursors_;
   std::vector<vid_t*> child_ptrs_, parent_ptrs_;
@@ -142,7 +147,8 @@ struct MsBfs::ThreadState {
   std::array<std::uint64_t, kMsWaveWidth> source_edges{};
   std::array<depth_t, kMsWaveWidth> max_depth{};
 
-  void reset(unsigned n_bins, vid_t n_vertices) {
+  void reset(unsigned n_bins, vid_t n_vertices,
+             const BinningKernels* kern) {
     bvc_v.clear();
     bvn_v.clear();
     bvc_m.clear();
@@ -151,7 +157,7 @@ struct MsBfs::ThreadState {
     bvc_counts.assign(n_bins, 0);
     bvn_counts.assign(n_bins, 0);
     bvc_offsets.assign(n_bins, 0);
-    pbv.configure(n_bins);
+    pbv.configure(n_bins, kern);
     pbv.clear_all();
     pbv_items.assign(n_bins, 0);
     edges_scanned = 0;
@@ -173,6 +179,8 @@ struct MsBfs::ThreadState {
 MsBfs::MsBfs(const AdjacencyArray& adj, const BfsOptions& opts)
     : adj_(adj),
       opts_(opts),
+      kern_(opts.use_simd ? &active_kernels()
+                          : &kernels_for(IsaLevel::kScalar)),
       topo_(opts.n_sockets, opts.n_threads),
       pool_(topo_, opts.pin_threads),
       seen_(adj.n_vertices()) {
@@ -298,8 +306,8 @@ void MsBfs::phase1(const ThreadContext& ctx) {
         me.source_edges[std::countr_zero(r)] += deg;
       }
       for (unsigned b = 0; b < n_bins_; ++b) me.pbv.ensure(b, deg);
-      append_binned_mask(nbrs.data(), deg, bin_shift_, u, m, cptr, pptr,
-                         mptr, cur, opts_.use_simd);
+      kern_->append_binned_mask(nbrs.data(), deg, bin_shift_, u, m, cptr,
+                                pptr, mptr, cur);
     }
   }
   me.pbv.commit_appends();
@@ -310,17 +318,20 @@ void MsBfs::phase2(const ThreadContext& ctx, depth_t step) {
   ThreadState& me = *states_[ctx.thread_id];
 
   // Same warm-capacity discipline as the single-source Phase-II: reserve
-  // the next frontier to the plan-assigned record count (bit_ceil), which
-  // is race-independent, so steady-state capacities converge.
+  // the next frontier to the plan-assigned record count. `assigned` is
+  // only *nearly* stable run-to-run — the benign seen[] race moves a few
+  // records between threads — so reserve with a 1/8 head-room band: once
+  // warm, the fluctuation sits inside the band instead of occasionally
+  // landing one record past a power-of-two boundary and re-allocating.
   std::size_t assigned = 0;
   for (const BinSlice& sl : plan2_.per_thread[ctx.thread_id]) {
     assigned += sl.size();
   }
   if (me.bvn_v.capacity() < assigned) {
-    me.bvn_v.reserve(std::bit_ceil(assigned));
+    me.bvn_v.reserve(std::bit_ceil(assigned + assigned / 8));
   }
   if (me.bvn_m.capacity() < assigned) {
-    me.bvn_m.reserve(std::bit_ceil(assigned));
+    me.bvn_m.reserve(std::bit_ceil(assigned + assigned / 8));
   }
 
   for (const BinSlice& sl : plan2_.per_thread[ctx.thread_id]) {
@@ -484,7 +495,13 @@ void MsBfs::run_wave(const vid_t* roots, unsigned n_roots,
   for (unsigned s = n_roots; s < kMsWaveWidth; ++s) dp_[s] = nullptr;
   wave_stats_ = MsWaveStats{};
   wave_stats_.n_sources = n_roots;
-  for (auto& st : states_) st->reset(n_bins_, adj_.n_vertices());
+  // The bins only use the kern's stream copies; honor the streaming-store
+  // ablation switch independently of use_simd.
+  const BinningKernels* grow_kern =
+      opts_.use_streaming_stores ? kern_ : &kernels_for(IsaLevel::kScalar);
+  for (auto& st : states_) {
+    st->reset(n_bins_, adj_.n_vertices(), grow_kern);
+  }
 
   Timer timer;
   {

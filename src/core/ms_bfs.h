@@ -42,6 +42,7 @@
 
 #include "core/divide.h"
 #include "core/options.h"
+#include "simd/dispatch.h"
 #include "graph/adjacency_array.h"
 #include "graph/bfs_result.h"
 #include "thread/thread_pool.h"
@@ -99,6 +100,9 @@ class MsBfs {
   unsigned n_vis_partitions() const { return n_vis_; }
   unsigned n_pbv_bins() const { return n_bins_; }
   const BfsOptions& options() const { return opts_; }
+  /// ISA level of the binning kernel table captured at construction
+  /// (kScalar when opts.use_simd is false); see simd/dispatch.h.
+  IsaLevel isa_level() const { return kern_->level; }
 
  private:
   struct ThreadState;
@@ -119,6 +123,8 @@ class MsBfs {
 
   const AdjacencyArray& adj_;
   BfsOptions opts_;
+  /// Kernel table resolved once at construction (runtime ISA dispatch).
+  const BinningKernels* kern_;
   SocketTopology topo_;
   ThreadPool pool_;
 

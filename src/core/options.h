@@ -81,6 +81,11 @@ struct BfsOptions {
   bool use_prefetch = true;
   int prefetch_distance = kDefaultPrefetchDistance;
   bool rearrange = true;
+  /// Use non-temporal streaming stores for the large sequential PBV/BV_N
+  /// copies (rearrange write-back, bin growth). The kernels fall back to
+  /// memcpy below a size threshold either way; this switch exists for
+  /// ablation benches.
+  bool use_streaming_stores = true;
   /// Pin worker threads to CPUs (socket-major round robin); off by
   /// default because pinning hurts on oversubscribed hosts.
   bool pin_threads = false;

@@ -1,7 +1,8 @@
 #include "core/pbv.h"
 
 #include <algorithm>
-#include <cstring>
+
+#include "simd/dispatch.h"
 
 namespace fastbfs {
 
@@ -12,7 +13,12 @@ void PbvBin::reserve_extra(std::uint32_t current, std::uint32_t extra) {
   cap = std::max(cap, need);
   AlignedBuffer<svid_t> grown(cap, kCacheLine);
   if (current != 0) {
-    std::memcpy(grown.data(), buf_.data(), current * sizeof(svid_t));
+    // Sequential once-written growth copy: route through the resolved
+    // streaming kernel (non-temporal above its threshold) so a large bin
+    // grow does not cycle the LLC mid-phase.
+    stream_copy_u32(reinterpret_cast<std::uint32_t*>(grown.data()),
+                    reinterpret_cast<const std::uint32_t*>(buf_.data()),
+                    current);
   }
   buf_ = std::move(grown);
 }

@@ -4,8 +4,12 @@
 
 namespace fastbfs {
 
-Rearranger::Rearranger(const AdjacencyArray& adj, const CacheGeometry& cache)
-    : adj_(&adj), page_bytes_(cache.page_bytes) {
+Rearranger::Rearranger(const AdjacencyArray& adj, const CacheGeometry& cache,
+                       bool use_streaming_stores)
+    : adj_(&adj),
+      kern_(use_streaming_stores ? &active_kernels()
+                                 : &kernels_for(IsaLevel::kScalar)),
+      page_bytes_(cache.page_bytes) {
   const std::size_t pages = std::max<std::size_t>(adj.total_pages(page_bytes_), 1);
   // One bin per TLB-reach worth of pages (Sec. III-B3b).
   pages_per_bin_ = std::max<std::size_t>(cache.tlb_entries, 1);
@@ -26,7 +30,9 @@ void Rearranger::rearrange(std::vector<vid_t>& bv, std::vector<vid_t>& scratch,
   }
   scratch.resize(bv.size());
   for (const vid_t v : bv) scratch[histogram[bin_of(v)]++] = v;
-  std::copy(scratch.begin(), scratch.end(), bv.begin());
+  // Sequential write-back of BV_N: the streaming kernel uses non-temporal
+  // stores above its size threshold, plain memcpy below it.
+  kern_->stream_copy_u32(bv.data(), scratch.data(), bv.size());
 }
 
 }  // namespace fastbfs

@@ -18,13 +18,20 @@
 
 #include "graph/adjacency_array.h"
 #include "platform/cache_info.h"
+#include "simd/dispatch.h"
 #include "util/types.h"
 
 namespace fastbfs {
 
 class Rearranger {
  public:
-  Rearranger(const AdjacencyArray& adj, const CacheGeometry& cache);
+  /// `use_streaming_stores` selects the runtime-dispatched streaming
+  /// kernel for the scatter write-back (large next frontiers are written
+  /// once and only re-read after Phase-I has cycled the cache, so
+  /// non-temporal stores avoid evicting the VIS partitions); false pins
+  /// the plain memcpy path for ablation.
+  Rearranger(const AdjacencyArray& adj, const CacheGeometry& cache,
+             bool use_streaming_stores = true);
 
   unsigned n_bins() const { return n_bins_; }
 
@@ -41,6 +48,7 @@ class Rearranger {
 
  private:
   const AdjacencyArray* adj_;
+  const BinningKernels* kern_;  // resolved once at construction
   std::size_t page_bytes_;
   std::size_t pages_per_bin_;
   unsigned n_bins_;

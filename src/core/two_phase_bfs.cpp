@@ -128,9 +128,11 @@ struct TwoPhaseBfs::ThreadState {
 TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
     : adj_(adj),
       opts_(opts),
+      kern_(opts.use_simd ? &active_kernels()
+                          : &kernels_for(IsaLevel::kScalar)),
       topo_(opts.n_sockets, opts.n_threads),
       pool_(topo_, opts.pin_threads),
-      rearranger_(adj, opts.cache) {
+      rearranger_(adj, opts.cache, opts.use_streaming_stores) {
   if (adj.partition().n_sockets() != opts.n_sockets) {
     throw std::invalid_argument(
         "TwoPhaseBfs: adjacency array built for a different socket count");
@@ -331,8 +333,7 @@ void TwoPhaseBfs::phase1(const ThreadContext& ctx, depth_t /*step*/) {
           me.pbv.ensure(b, 1 + deg);
           ptrs[b][cur[b]++] = marker;
         }
-        append_binned(nbrs.data(), deg, bin_shift_, ptrs, cur,
-                      opts_.use_simd);
+        kern_->append_binned(nbrs.data(), deg, bin_shift_, ptrs, cur);
         pbv_bytes += 4ull * (n_bins_ + deg);
       }
     }
@@ -366,15 +367,18 @@ void TwoPhaseBfs::phase2(const ThreadContext& ctx, depth_t step) {
   // observed growth would let an unlucky run reallocate forever; the
   // assigned bound is plan-determined up to slice-rounding jitter, so
   // reserving its bit_ceil (capacity buckets, like vector's own doubling)
-  // makes warm capacities converge and keeps the steady state
-  // allocation-free.
+  // with a 1/8 head-room band makes warm capacities converge and keeps
+  // the steady state allocation-free even when the jitter straddles a
+  // power-of-two boundary.
   std::size_t assigned = 0;
   for (const BinSlice& sl : plan.per_thread[ctx.thread_id]) {
     assigned += sl.size();
   }
-  if (me.bv_n.capacity() < assigned) me.bv_n.reserve(std::bit_ceil(assigned));
+  if (me.bv_n.capacity() < assigned) {
+    me.bv_n.reserve(std::bit_ceil(assigned + assigned / 8));
+  }
   if (me.scratch.capacity() < assigned) {
-    me.scratch.reserve(std::bit_ceil(assigned));
+    me.scratch.reserve(std::bit_ceil(assigned + assigned / 8));
   }
 
   const auto update = [&](vid_t parent, vid_t child, unsigned bin) {

@@ -181,6 +181,10 @@ class TwoPhaseBfs {
   std::uint64_t vis_storage_bytes() const;
   bool uses_pair_encoding() const { return use_pairs_; }
   const BfsOptions& options() const { return opts_; }
+  /// ISA level of the binning kernel table this engine captured at
+  /// construction (kScalar when opts.use_simd is false). Later force_isa()
+  /// calls do not retarget an already-built engine.
+  IsaLevel isa_level() const { return kern_->level; }
 
  private:
   struct ThreadState;
@@ -216,6 +220,9 @@ class TwoPhaseBfs {
 
   const AdjacencyArray& adj_;
   BfsOptions opts_;
+  /// Kernel table resolved once at construction (runtime ISA dispatch,
+  /// simd/dispatch.h); phase1 calls through it, never re-resolving.
+  const BinningKernels* kern_;
   SocketTopology topo_;
   ThreadPool pool_;
   Rearranger rearranger_;

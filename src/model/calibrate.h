@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "model/platform_params.h"
+#include "simd/dispatch.h"
 
 namespace fastbfs::model {
 
@@ -23,10 +24,18 @@ double read_bandwidth(std::size_t bytes, int reps);
 double write_bandwidth(std::size_t bytes, int reps);
 double copy_bandwidth(std::size_t bytes, int reps);
 
+/// Measured Phase-I binning cost (cycles/edge) of the `level` kernel
+/// table on this host: times append_binned over a synthetic LLC-sized
+/// neighbour stream spread across 16 bins, best of `reps`. Feeds
+/// PlatformParams::bin_cycles_per_edge; bench_kernels reports it per
+/// reachable level for the BENCH_kernels.json comparison.
+double measured_bin_cycles_per_edge(IsaLevel level, int reps = 3);
+
 /// PlatformParams recalibrated to this host: core clock from cpuinfo,
 /// DDR bandwidths from a DRAM-sized sweep, cache bandwidths from an
 /// L2-resident sweep, QPI kept at the Nehalem value (no second socket to
-/// measure). Lets the Sec. IV model predict *this* machine. Costs a few
+/// measure), and the Phase-I binning constant measured at the *resolved*
+/// ISA level. Lets the Sec. IV model predict *this* machine. Costs a few
 /// hundred milliseconds of bandwidth probing.
 PlatformParams calibrated_host_params();
 

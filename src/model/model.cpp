@@ -54,7 +54,11 @@ TimePrediction predict_single_socket(const ModelInput& in,
   const TrafficPrediction t = predict_traffic(in, p);
   const double cyc_per_byte_mem = p.freq_ghz / p.b_mem;
 
-  out.phase1 = cyc_per_byte_mem * t.phase1_ddr;
+  // Phase-I is bandwidth-bound in the paper's Eqn IV.2; when a measured
+  // binning-kernel cost is calibrated in (bin_cycles_per_edge > 0), the
+  // slower of the two pipelines binds.
+  out.phase1 =
+      std::max(cyc_per_byte_mem * t.phase1_ddr, p.bin_cycles_per_edge);
   out.phase2_ddr = cyc_per_byte_mem * t.phase2_ddr;
   // Eqn IV.2's LLC term: writes at B_L2->LLC, reads at B_LLC->L2.
   out.phase2_llc =

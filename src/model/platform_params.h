@@ -20,6 +20,13 @@ struct PlatformParams {
   double line_bytes = 64.0;      // L: cache line
   unsigned n_sockets = 2;
   double gflops_per_socket = 94.0;  // Table I, context only
+  /// Measured Phase-I binning cost in cycles per edge for the ISA level
+  /// the host resolved to (model/calibrate.h). The paper treats Phase-I
+  /// as purely bandwidth-bound; on wide-SIMD hosts whose DDR outruns the
+  /// scalar scatter, the kernel becomes the binding constraint, so
+  /// predict_single_socket takes max(bandwidth, this). 0 (the default,
+  /// and the paper's Table I pin) disables the compute term exactly.
+  double bin_cycles_per_edge = 0.0;
 };
 
 /// Table I exactly: the paper's dual-socket Nehalem-EP evaluation system.

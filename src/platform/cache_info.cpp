@@ -1,7 +1,12 @@
 #include "platform/cache_info.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace fastbfs {
 namespace {
@@ -25,6 +30,27 @@ std::size_t read_sysfs_size(const std::string& path) {
   }
 }
 
+/// FASTBFS_LLC_BYTES override (plain byte count). Lets containerized or
+/// cache-partitioned deployments pin |C| when sysfs reports the machine's
+/// full LLC rather than this job's share. 0 = no override.
+std::size_t llc_override_bytes() {
+  const char* env = std::getenv("FASTBFS_LLC_BYTES");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) {
+    static std::once_flag warned;
+    std::call_once(warned, [env] {
+      std::fprintf(stderr,
+                   "fastbfs: ignoring FASTBFS_LLC_BYTES=\"%s\" "
+                   "(want a positive byte count)\n",
+                   env);
+    });
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace
 
 CacheGeometry nehalem_x5570_cache() {
@@ -41,6 +67,7 @@ CacheGeometry nehalem_x5570_cache() {
 CacheGeometry host_cache_geometry() {
   CacheGeometry g = nehalem_x5570_cache();
   const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  bool llc_probed = false;
   // Indices 0..3 are typically L1d, L1i, L2, L3 but we match by level file.
   for (int idx = 0; idx < 6; ++idx) {
     const std::string dir = base + "index" + std::to_string(idx) + "/";
@@ -55,7 +82,30 @@ CacheGeometry host_cache_geometry() {
     if (size == 0) continue;
     if (level == 1 && type == "Data") g.l1_bytes = size;
     if (level == 2) g.l2_bytes = size;
-    if (level == 3) g.llc_bytes = size;
+    if (level == 3) {
+      g.llc_bytes = size;
+      llc_probed = true;
+    }
+  }
+  // The LLC size is the one input that actually steers policy (N_VIS =
+  // ceil(|V|/4|C|), Sec. III-A), so silently proceeding with the
+  // Nehalem guess on a sysfs miss makes partition-count anomalies
+  // undebuggable. Surface the fallback once on stderr and permanently in
+  // the metrics registry.
+  obs::metrics()
+      .gauge("fastbfs_cache_geometry_fallback")
+      ->set(llc_probed ? 0.0 : 1.0);
+  if (!llc_probed) {
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+      std::fprintf(stderr,
+                   "fastbfs: sysfs cache probe failed; using Nehalem X5570 "
+                   "geometry (LLC 8 MiB). Set FASTBFS_LLC_BYTES to pin the "
+                   "real LLC size.\n");
+    });
+  }
+  if (const std::size_t forced = llc_override_bytes(); forced != 0) {
+    g.llc_bytes = forced;
   }
   return g;
 }

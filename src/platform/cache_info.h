@@ -28,6 +28,13 @@ CacheGeometry nehalem_x5570_cache();
 
 /// Geometry of the machine we are running on, read from sysfs where
 /// possible with Nehalem-like fallbacks. Never throws.
+///
+/// When the sysfs LLC probe fails, a one-time warning goes to stderr and
+/// the `fastbfs_cache_geometry_fallback` gauge is set to 1 (0 when the
+/// probe succeeded) so deployments can alert on mis-sized VIS partitions.
+/// FASTBFS_LLC_BYTES=<bytes> overrides the LLC size either way — for
+/// containers / cache-partitioned hosts where sysfs reports the whole
+/// machine rather than this job's share.
 CacheGeometry host_cache_geometry();
 
 }  // namespace fastbfs

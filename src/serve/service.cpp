@@ -32,6 +32,11 @@ BfsService::BfsService(const ServiceConfig& cfg, TickClock& clock,
   hooks_.occupancy = reg.histogram("fastbfs_serve_wave_occupancy");
   hooks_.latency_ns = reg.histogram("fastbfs_serve_latency_ns");
   hooks_.queue_depth = reg.gauge("fastbfs_serve_queue_depth");
+  // Which binning-kernel ISA the serving engines will traverse with
+  // (0=scalar 1=sse4.2 2=avx2 3=avx512): scraped next to the latency
+  // histograms so fleet-level throughput deltas are attributable.
+  reg.gauge("fastbfs_isa_level")
+      ->set(static_cast<double>(resolved_isa()));
 
   const unsigned n_disp = std::max(1u, cfg_.n_dispatchers);
   dispatchers_.reserve(n_disp);

@@ -1,24 +1,24 @@
+// Scalar reference kernels plus the deprecated *_sse shims.
+//
+// This TU is compiled with NO ISA flags beyond the project baseline, so
+// the scalar bodies here are runnable on any host the binary loads on —
+// they are the floor the dispatcher's table inheritance bottoms out at,
+// and the oracle the equivalence tests compare every vector level to.
 #include "simd/binning.h"
 
 #include <cstddef>
+#include <cstring>
 
-#if defined(__SSE4_2__)
-#include <smmintrin.h>
-#define FASTBFS_HAVE_SSE42 1
-#else
-#define FASTBFS_HAVE_SSE42 0
-#endif
+#include "simd/kernels.h"
 
 namespace fastbfs {
 
 bool simd_binning_available() {
-#if FASTBFS_HAVE_SSE42
-  // Compiled with -march that includes SSE4.2; the binary will not run on
-  // a CPU without it, so compile-time presence implies runtime support.
-  return true;
-#else
-  return false;
-#endif
+  // Historical entry point, kept so existing callers/benches still link.
+  // The seed returned a compile-time constant here ("compile-time presence
+  // implies runtime support") — the bug this PR fixes. Now it reports the
+  // runtime-resolved truth, including FASTBFS_FORCE_ISA/force_isa() caps.
+  return resolved_isa() >= IsaLevel::kSse42;
 }
 
 void bin_indices_scalar(const vid_t* ids, std::size_t n, unsigned shift,
@@ -51,45 +51,18 @@ void append_binned_mask_scalar(const vid_t* ids, std::size_t n,
   }
 }
 
-#if FASTBFS_HAVE_SSE42
+// Deprecated *_sse shims: forward to the SSE4.2 table slot. kernels_for
+// clamps to the compiled ceiling, so on a build without the SSE4.2 TU
+// these degrade to the scalar implementations instead of failing to link.
 
 void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
                      std::uint32_t* out) {
-  std::size_t i = 0;
-  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
-  for (; i + 4 <= n; i += 4) {
-    const __m128i v =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
-    const __m128i b = _mm_srl_epi32(v, sh);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), b);
-  }
-  for (; i < n; ++i) out[i] = ids[i] >> shift;
+  kernels_for(IsaLevel::kSse42).bin_indices(ids, n, shift, out);
 }
 
 void append_binned_sse(const vid_t* ids, std::size_t n, unsigned shift,
                        svid_t* const* bins, std::uint32_t* cursors) {
-  std::size_t i = 0;
-  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
-  for (; i + 4 <= n; i += 4) {
-    const __m128i v =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
-    const __m128i b = _mm_srl_epi32(v, sh);
-    // The scatter itself must stay scalar on SSE (no scatter instruction),
-    // but extracting lanes from the vector avoids recomputing the shifts
-    // and lets the compiler keep the ids in registers.
-    const std::uint32_t b0 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 0));
-    const std::uint32_t b1 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 1));
-    const std::uint32_t b2 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 2));
-    const std::uint32_t b3 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 3));
-    bins[b0][cursors[b0]++] = static_cast<svid_t>(_mm_extract_epi32(v, 0));
-    bins[b1][cursors[b1]++] = static_cast<svid_t>(_mm_extract_epi32(v, 1));
-    bins[b2][cursors[b2]++] = static_cast<svid_t>(_mm_extract_epi32(v, 2));
-    bins[b3][cursors[b3]++] = static_cast<svid_t>(_mm_extract_epi32(v, 3));
-  }
-  for (; i < n; ++i) {
-    const std::uint32_t b = ids[i] >> shift;
-    bins[b][cursors[b]++] = static_cast<svid_t>(ids[i]);
-  }
+  kernels_for(IsaLevel::kSse42).append_binned(ids, n, shift, bins, cursors);
 }
 
 void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
@@ -98,67 +71,39 @@ void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
                             vid_t* const* parent_bins,
                             std::uint64_t* const* mask_bins,
                             std::uint32_t* cursors) {
-  std::size_t i = 0;
-  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
-  for (; i + 4 <= n; i += 4) {
-    const __m128i v =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
-    const __m128i b = _mm_srl_epi32(v, sh);
-    const std::uint32_t b0 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 0));
-    const std::uint32_t b1 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 1));
-    const std::uint32_t b2 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 2));
-    const std::uint32_t b3 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 3));
-    // The child store comes from the vector lane; parent/mask are loop
-    // constants the compiler keeps in registers, so the widened record
-    // costs two extra stores per child, no extra shifts.
-    std::uint32_t c = cursors[b0]++;
-    child_bins[b0][c] = static_cast<vid_t>(_mm_extract_epi32(v, 0));
-    parent_bins[b0][c] = parent;
-    mask_bins[b0][c] = mask;
-    c = cursors[b1]++;
-    child_bins[b1][c] = static_cast<vid_t>(_mm_extract_epi32(v, 1));
-    parent_bins[b1][c] = parent;
-    mask_bins[b1][c] = mask;
-    c = cursors[b2]++;
-    child_bins[b2][c] = static_cast<vid_t>(_mm_extract_epi32(v, 2));
-    parent_bins[b2][c] = parent;
-    mask_bins[b2][c] = mask;
-    c = cursors[b3]++;
-    child_bins[b3][c] = static_cast<vid_t>(_mm_extract_epi32(v, 3));
-    parent_bins[b3][c] = parent;
-    mask_bins[b3][c] = mask;
-  }
-  for (; i < n; ++i) {
-    const std::uint32_t b = ids[i] >> shift;
-    const std::uint32_t c = cursors[b]++;
-    child_bins[b][c] = ids[i];
-    parent_bins[b][c] = parent;
-    mask_bins[b][c] = mask;
-  }
+  kernels_for(IsaLevel::kSse42)
+      .append_binned_mask(ids, n, shift, parent, mask, child_bins,
+                          parent_bins, mask_bins, cursors);
 }
 
-#else  // !FASTBFS_HAVE_SSE42
+namespace detail {
+namespace {
 
-void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
-                     std::uint32_t* out) {
-  bin_indices_scalar(ids, n, shift, out);
+void stream_copy_u32_scalar(std::uint32_t* dst, const std::uint32_t* src,
+                            std::size_t n) {
+  std::memcpy(dst, src, n * sizeof(std::uint32_t));
 }
 
-void append_binned_sse(const vid_t* ids, std::size_t n, unsigned shift,
-                       svid_t* const* bins, std::uint32_t* cursors) {
-  append_binned_scalar(ids, n, shift, bins, cursors);
+void stream_copy_u64_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n) {
+  std::memcpy(dst, src, n * sizeof(std::uint64_t));
 }
 
-void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
-                            vid_t parent, std::uint64_t mask,
-                            vid_t* const* child_bins,
-                            vid_t* const* parent_bins,
-                            std::uint64_t* const* mask_bins,
-                            std::uint32_t* cursors) {
-  append_binned_mask_scalar(ids, n, shift, parent, mask, child_bins,
-                            parent_bins, mask_bins, cursors);
+}  // namespace
+
+const BinningKernels& scalar_kernel_table() {
+  static const BinningKernels table = [] {
+    BinningKernels t;
+    t.bin_indices = bin_indices_scalar;
+    t.append_binned = append_binned_scalar;
+    t.append_binned_mask = append_binned_mask_scalar;
+    t.stream_copy_u32 = stream_copy_u32_scalar;
+    t.stream_copy_u64 = stream_copy_u64_scalar;
+    t.level = IsaLevel::kScalar;
+    return t;
+  }();
+  return table;
 }
 
-#endif  // FASTBFS_HAVE_SSE42
-
+}  // namespace detail
 }  // namespace fastbfs

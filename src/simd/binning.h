@@ -4,11 +4,15 @@
 // index is a single shift of the id (bins are contiguous power-of-two
 // vertex ranges: socket partition x VIS partition). The paper computes 4
 // bin indices at a time with SSE and uses shuffle-based packed stores,
-// reporting a 1.3-2x instruction reduction. We provide:
-//   - bin_indices_scalar / append_binned_scalar: the portable reference,
-//   - bin_indices_sse / append_binned_sse: SSE4.2 kernels, bit-identical
-//     to the scalar versions (asserted by tests),
-// plus runtime selection so ablation benches can toggle the path.
+// reporting a 1.3-2x instruction reduction; this repo additionally ships
+// 8-lane AVX2 and 16-lane AVX-512 widenings.
+//
+// Kernel selection is a *runtime* decision made by simd/dispatch.h
+// (CPUID + XGETBV), never a compile-time one: every variant is compiled
+// into every build (each TU with its own -m<isa> flag) and the dispatcher
+// picks the widest one the host can actually execute. The inline
+// append_binned()/append_binned_mask() wrappers below are the hot-path
+// entry points; they read the process-wide resolved table.
 //
 // Bin *cursors* are caller-owned: the kernel appends each id to
 // bins[idx][cursor[idx]++]. All ids passed here are plain neighbour ids;
@@ -17,18 +21,23 @@
 
 #include <cstdint>
 
+#include "simd/dispatch.h"
 #include "util/types.h"
 
 namespace fastbfs {
 
-/// True when the SSE4.2 kernels were compiled in and the CPU supports them.
+/// True when the runtime dispatcher resolved at least the SSE4.2 level —
+/// i.e. vector binning kernels are compiled in AND this CPU can run them.
+/// Deprecated shim: new code should consult resolved_isa() directly,
+/// which also distinguishes AVX2/AVX-512.
 bool simd_binning_available();
 
 /// Scalar reference: out[i] = ids[i] >> shift for i in [0, n).
 void bin_indices_scalar(const vid_t* ids, std::size_t n, unsigned shift,
                         std::uint32_t* out);
 
-/// SSE version of bin_indices_scalar; requires simd_binning_available().
+/// Deprecated shim for the SSE4.2-level kernel; forwards to
+/// kernels_for(IsaLevel::kSse42). Use the dispatch table instead.
 void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
                      std::uint32_t* out);
 
@@ -38,18 +47,20 @@ void bin_indices_sse(const vid_t* ids, std::size_t n, unsigned shift,
 void append_binned_scalar(const vid_t* ids, std::size_t n, unsigned shift,
                           svid_t* const* bins, std::uint32_t* cursors);
 
-/// SIMD-assisted variant: bin indices for 4 ids are computed with SSE and
-/// the stores issued from the vector lanes. Bit-identical results to the
-/// scalar version (same bins, same order).
+/// Deprecated shim for the SSE4.2-level kernel; forwards to
+/// kernels_for(IsaLevel::kSse42). Use the dispatch table instead.
 void append_binned_sse(const vid_t* ids, std::size_t n, unsigned shift,
                        svid_t* const* bins, std::uint32_t* cursors);
 
-/// Dispatches to the SSE kernel when available and enabled, else scalar.
+/// Appends through the process-wide resolved kernel table (scalar when
+/// use_simd is false). Engines that bin in a hot loop should instead
+/// cache &active_kernels() / &kernels_for(...) once at construction and
+/// call through it — this wrapper re-reads the resolution each call.
 inline void append_binned(const vid_t* ids, std::size_t n, unsigned shift,
                           svid_t* const* bins, std::uint32_t* cursors,
                           bool use_simd) {
-  if (use_simd && simd_binning_available()) {
-    append_binned_sse(ids, n, shift, bins, cursors);
+  if (use_simd) {
+    active_kernels().append_binned(ids, n, shift, bins, cursors);
   } else {
     append_binned_scalar(ids, n, shift, bins, cursors);
   }
@@ -63,7 +74,7 @@ inline void append_binned(const vid_t* ids, std::size_t n, unsigned shift,
 // `parent` and `mask` are loop constants — the frontier vertex being
 // expanded and the 64-bit set of sources it is on the frontier of — so
 // only the child ids need the vectorized shift. Same bit-identical
-// scalar/SSE contract as append_binned.
+// scalar/SIMD contract as append_binned.
 
 /// Scalar reference for the mask-carrying append.
 void append_binned_mask_scalar(const vid_t* ids, std::size_t n,
@@ -73,8 +84,8 @@ void append_binned_mask_scalar(const vid_t* ids, std::size_t n,
                                std::uint64_t* const* mask_bins,
                                std::uint32_t* cursors);
 
-/// SSE variant: bin indices for 4 children computed per vector op, stores
-/// issued from the lanes. Bit-identical to the scalar version.
+/// Deprecated shim for the SSE4.2-level mask kernel; forwards to
+/// kernels_for(IsaLevel::kSse42). Use the dispatch table instead.
 void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
                             vid_t parent, std::uint64_t mask,
                             vid_t* const* child_bins,
@@ -82,16 +93,18 @@ void append_binned_mask_sse(const vid_t* ids, std::size_t n, unsigned shift,
                             std::uint64_t* const* mask_bins,
                             std::uint32_t* cursors);
 
-/// Dispatches to the SSE mask kernel when available and enabled.
+/// Mask-carrying append through the process-wide resolved kernel table
+/// (scalar when use_simd is false). Same caching advice as append_binned.
 inline void append_binned_mask(const vid_t* ids, std::size_t n,
                                unsigned shift, vid_t parent,
                                std::uint64_t mask, vid_t* const* child_bins,
                                vid_t* const* parent_bins,
                                std::uint64_t* const* mask_bins,
                                std::uint32_t* cursors, bool use_simd) {
-  if (use_simd && simd_binning_available()) {
-    append_binned_mask_sse(ids, n, shift, parent, mask, child_bins,
-                           parent_bins, mask_bins, cursors);
+  if (use_simd) {
+    active_kernels().append_binned_mask(ids, n, shift, parent, mask,
+                                        child_bins, parent_bins, mask_bins,
+                                        cursors);
   } else {
     append_binned_mask_scalar(ids, n, shift, parent, mask, child_bins,
                               parent_bins, mask_bins, cursors);

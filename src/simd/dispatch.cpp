@@ -1,0 +1,205 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "simd/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define FASTBFS_X86 1
+#else
+#define FASTBFS_X86 0
+#endif
+
+namespace fastbfs {
+namespace {
+
+#if FASTBFS_X86
+
+/// XGETBV(0): the XCR0 register describing which register states the OS
+/// restores on context switch. Encoded as raw bytes so no -mxsave target
+/// flag is needed in this (flag-less, always-runnable) TU.
+std::uint64_t xgetbv0() {
+  std::uint32_t eax, edx;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+// XCR0 state-component bits the kernels' registers live in.
+constexpr std::uint64_t kXcr0Sse = 0x2;          // XMM
+constexpr std::uint64_t kXcr0Avx = 0x4;          // YMM upper halves
+constexpr std::uint64_t kXcr0Avx512 = 0xE0;      // opmask + ZMM hi256 + hi16
+
+#endif  // FASTBFS_X86
+
+/// Cached resolution. kUnresolved means "resolve on next query"; any
+/// other value is the decided IsaLevel.
+constexpr int kUnresolved = -1;
+std::atomic<int> g_resolved{kUnresolved};
+std::mutex g_resolve_mu;
+
+IsaLevel capability_cap() {
+  const IsaLevel hw = detect_isa();
+  const IsaLevel compiled = compiled_isa_ceiling();
+  return hw < compiled ? hw : compiled;
+}
+
+/// First-resolution path: capability cap, then the FASTBFS_FORCE_ISA
+/// clamp. Called under g_resolve_mu.
+IsaLevel resolve_from_environment() {
+  IsaLevel level = capability_cap();
+  const char* env = std::getenv("FASTBFS_FORCE_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    IsaLevel forced;
+    if (!parse_isa(env, &forced)) {
+      std::fprintf(stderr,
+                   "fastbfs: ignoring unknown FASTBFS_FORCE_ISA value "
+                   "\"%s\" (want scalar|sse4.2|avx2|avx512|native)\n",
+                   env);
+    } else if (forced > level) {
+      std::fprintf(stderr,
+                   "fastbfs: FASTBFS_FORCE_ISA=%s exceeds this %s's "
+                   "capability; clamped to %s\n",
+                   env, FASTBFS_X86 ? "host" : "architecture",
+                   isa_name(level));
+    } else {
+      level = forced;
+    }
+  }
+  return level;
+}
+
+/// Builds the table for `level`, inheriting any kernel a level's TU did
+/// not provide from the next lower level (so every pointer is valid).
+BinningKernels build_table(IsaLevel level) {
+  BinningKernels t = detail::scalar_kernel_table();
+  const BinningKernels* layers[3] = {detail::sse42_kernel_table(),
+                                     detail::avx2_kernel_table(),
+                                     detail::avx512_kernel_table()};
+  for (int l = 1; l <= static_cast<int>(level); ++l) {
+    const BinningKernels* layer = layers[l - 1];
+    if (layer == nullptr) continue;
+    if (layer->bin_indices) t.bin_indices = layer->bin_indices;
+    if (layer->append_binned) t.append_binned = layer->append_binned;
+    if (layer->append_binned_mask) {
+      t.append_binned_mask = layer->append_binned_mask;
+    }
+    if (layer->stream_copy_u32) t.stream_copy_u32 = layer->stream_copy_u32;
+    if (layer->stream_copy_u64) t.stream_copy_u64 = layer->stream_copy_u64;
+  }
+  t.level = level;
+  return t;
+}
+
+}  // namespace
+
+const char* isa_name(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar: return "scalar";
+    case IsaLevel::kSse42: return "sse4.2";
+    case IsaLevel::kAvx2: return "avx2";
+    case IsaLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool parse_isa(std::string_view text, IsaLevel* out) {
+  const auto is = [&](const char* s) { return text == s; };
+  if (is("scalar") || is("none")) {
+    *out = IsaLevel::kScalar;
+  } else if (is("sse4.2") || is("sse42") || is("sse")) {
+    *out = IsaLevel::kSse42;
+  } else if (is("avx2") || is("avx")) {
+    *out = IsaLevel::kAvx2;
+  } else if (is("avx512") || is("avx512f") || is("avx-512")) {
+    *out = IsaLevel::kAvx512;
+  } else if (is("native") || is("auto")) {
+    *out = IsaLevel::kAvx512;  // "no constraint": capability clamps it
+  } else {
+    return false;
+  }
+  return true;
+}
+
+IsaLevel detect_isa() {
+#if FASTBFS_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  const unsigned max_leaf = __get_cpuid_max(0, nullptr);
+  if (max_leaf < 1 || !__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    return IsaLevel::kScalar;
+  }
+  if ((ecx & (1u << 20)) == 0) return IsaLevel::kScalar;  // SSE4.2
+  // AVX needs the CPUID bits *and* OSXSAVE *and* the OS actually keeping
+  // YMM state (XCR0): a CPUID-only check on a non-xsave kernel SIGILLs —
+  // the exact class of bug this dispatcher exists to kill.
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx || max_leaf < 7) return IsaLevel::kSse42;
+  const std::uint64_t xcr0 = xgetbv0();
+  if ((xcr0 & (kXcr0Sse | kXcr0Avx)) != (kXcr0Sse | kXcr0Avx)) {
+    return IsaLevel::kSse42;
+  }
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  if ((ebx & (1u << 5)) == 0) return IsaLevel::kSse42;  // AVX2
+  const bool f = (ebx & (1u << 16)) != 0;   // AVX-512F
+  const bool bw = (ebx & (1u << 30)) != 0;  // AVX-512BW
+  const bool vl = (ebx & (1u << 31)) != 0;  // AVX-512VL
+  const std::uint64_t need = kXcr0Sse | kXcr0Avx | kXcr0Avx512;
+  if (f && bw && vl && (xcr0 & need) == need) return IsaLevel::kAvx512;
+  return IsaLevel::kAvx2;
+#else
+  return IsaLevel::kScalar;
+#endif
+}
+
+IsaLevel compiled_isa_ceiling() {
+  if (detail::avx512_kernel_table() != nullptr) return IsaLevel::kAvx512;
+  if (detail::avx2_kernel_table() != nullptr) return IsaLevel::kAvx2;
+  if (detail::sse42_kernel_table() != nullptr) return IsaLevel::kSse42;
+  return IsaLevel::kScalar;
+}
+
+IsaLevel resolved_isa() {
+  int cur = g_resolved.load(std::memory_order_acquire);
+  if (cur != kUnresolved) return static_cast<IsaLevel>(cur);
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  cur = g_resolved.load(std::memory_order_acquire);
+  if (cur != kUnresolved) return static_cast<IsaLevel>(cur);
+  const IsaLevel level = resolve_from_environment();
+  g_resolved.store(static_cast<int>(level), std::memory_order_release);
+  return level;
+}
+
+bool force_isa(IsaLevel level) {
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  const IsaLevel cap = capability_cap();
+  const IsaLevel eff = level < cap ? level : cap;
+  g_resolved.store(static_cast<int>(eff), std::memory_order_release);
+  return eff == level;
+}
+
+void clear_isa_override() {
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  g_resolved.store(kUnresolved, std::memory_order_release);
+}
+
+const BinningKernels& kernels_for(IsaLevel level) {
+  // One immutable table per level, built on first use (cheap, and keeps
+  // active_kernels() at an atomic load + array index).
+  static const BinningKernels tables[4] = {
+      build_table(IsaLevel::kScalar), build_table(IsaLevel::kSse42),
+      build_table(IsaLevel::kAvx2), build_table(IsaLevel::kAvx512)};
+  int idx = static_cast<int>(level);
+  const int ceiling = static_cast<int>(compiled_isa_ceiling());
+  if (idx > ceiling) idx = ceiling;
+  if (idx < 0) idx = 0;
+  return tables[idx];
+}
+
+const BinningKernels& active_kernels() { return kernels_for(resolved_isa()); }
+
+}  // namespace fastbfs

@@ -1,0 +1,143 @@
+// Runtime ISA dispatch for the SIMD binning kernels.
+//
+// The seed code gated the SSE4.2 kernels on a *compile-time* __SSE4_2__
+// check and declared that "compile-time presence implies runtime support".
+// That is a latent portability bug in both directions: a -march=native
+// binary copied to an older host SIGILLs with no diagnostic, and a
+// portable build (FASTBFS_NATIVE=OFF) silently loses every SIMD kernel
+// because the vector bodies are preprocessed away.
+//
+// This header replaces that gate with true runtime dispatch:
+//   - detect_isa(): CPUID + XGETBV feature detection (SSE4.2 / AVX2 /
+//     AVX-512F+BW+VL, each validated against the OS-enabled XCR0 state
+//     bits, since a kernel that does not xsave the ZMM state makes the
+//     CPUID bits meaningless);
+//   - compiled_isa_ceiling(): the highest level whose kernel TU was
+//     actually compiled (each TU is built with its own -m<isa> flag, see
+//     src/CMakeLists.txt, so portable builds carry *every* variant);
+//   - resolved_isa(): the process-wide decision
+//     min(detected, compiled, forced), cached after first use;
+//   - force_isa() / FASTBFS_FORCE_ISA / --isa=: clamp the resolution down
+//     so any reachable code path can be tested on any machine (forcing
+//     *above* the host's capability is clamped, never trusted);
+//   - kernels_for(level) / active_kernels(): a function-pointer table per
+//     level with guaranteed-valid entries (missing variants fall back to
+//     the next lower level, ultimately scalar).
+//
+// Engines resolve the table once at construction (TwoPhaseBfs / MsBfs
+// cache the pointer), so force the level *before* building a runner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace fastbfs {
+
+/// Instruction-set level of a kernel variant, totally ordered: a level
+/// implies every lower one (AVX-512 here always means F+BW+VL, which
+/// subsumes our AVX2 usage, which subsumes SSE4.2).
+enum class IsaLevel : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Canonical lowercase name: "scalar", "sse4.2", "avx2", "avx512".
+const char* isa_name(IsaLevel level);
+
+/// Parses "scalar" / "sse4.2" (also "sse42", "sse") / "avx2" / "avx512"
+/// (also "avx512f") / "native" (= no constraint, the detected maximum).
+/// Returns false on anything else; *out is untouched on failure.
+bool parse_isa(std::string_view text, IsaLevel* out);
+
+/// Raw hardware+OS capability of this machine, re-queried on every call
+/// (CPUID + XGETBV; kScalar on non-x86). Ignores forcing and what was
+/// compiled in.
+IsaLevel detect_isa();
+
+/// Highest level whose kernel translation unit was compiled into this
+/// binary (depends only on the build's compiler flags, never the host).
+IsaLevel compiled_isa_ceiling();
+
+/// The process-wide resolved level: min(detect_isa(), compiled ceiling,
+/// any force in effect). First call reads FASTBFS_FORCE_ISA from the
+/// environment (unknown values warn to stderr and are ignored); the
+/// result is cached, so later environment changes have no effect.
+IsaLevel resolved_isa();
+
+/// Forces resolution to `level`, clamped to what the host and binary can
+/// actually run. Returns true when the request was honored exactly,
+/// false when it was clamped down (requesting above capability). Takes
+/// effect for *subsequent* active_kernels() calls and engine
+/// constructions; already-built engines keep their table.
+bool force_isa(IsaLevel level);
+
+/// Drops any cached resolution and any force (including one applied from
+/// FASTBFS_FORCE_ISA), so the next resolved_isa() re-resolves from
+/// scratch. Intended for tests that sweep levels.
+void clear_isa_override();
+
+/// The five kernel entry points, resolved per ISA level. Every pointer in
+/// a table returned by kernels_for()/active_kernels() is non-null: levels
+/// without a compiled variant of some kernel inherit the next lower
+/// level's implementation, so callers never branch on availability.
+struct BinningKernels {
+  using BinIndicesFn = void (*)(const vid_t* ids, std::size_t n,
+                                unsigned shift, std::uint32_t* out);
+  using AppendBinnedFn = void (*)(const vid_t* ids, std::size_t n,
+                                  unsigned shift, svid_t* const* bins,
+                                  std::uint32_t* cursors);
+  using AppendBinnedMaskFn = void (*)(const vid_t* ids, std::size_t n,
+                                      unsigned shift, vid_t parent,
+                                      std::uint64_t mask,
+                                      vid_t* const* child_bins,
+                                      vid_t* const* parent_bins,
+                                      std::uint64_t* const* mask_bins,
+                                      std::uint32_t* cursors);
+  /// Sequential bulk copy for PBV/BV_N emission paths. Bit-identical to
+  /// memcpy; large copies use non-temporal streaming stores (the data is
+  /// written once and re-read only after the working set has left the
+  /// cache anyway, so polluting the LLC with it is pure loss). The
+  /// ranges must not overlap.
+  using StreamCopy32Fn = void (*)(std::uint32_t* dst,
+                                  const std::uint32_t* src, std::size_t n);
+  using StreamCopy64Fn = void (*)(std::uint64_t* dst,
+                                  const std::uint64_t* src, std::size_t n);
+
+  BinIndicesFn bin_indices = nullptr;
+  AppendBinnedFn append_binned = nullptr;
+  AppendBinnedMaskFn append_binned_mask = nullptr;
+  StreamCopy32Fn stream_copy_u32 = nullptr;
+  StreamCopy64Fn stream_copy_u64 = nullptr;
+  /// The level this table advertises (== the requested level even when
+  /// some entries fell back to lower-level implementations).
+  IsaLevel level = IsaLevel::kScalar;
+};
+
+/// Table for an explicit level, clamped to the compiled ceiling (NOT to
+/// the host's capability — callers asking for a specific level, e.g. the
+/// equivalence tests, are expected to know the host can run it; use
+/// resolved_isa()/active_kernels() for the safe path).
+const BinningKernels& kernels_for(IsaLevel level);
+
+/// kernels_for(resolved_isa()): the table everything should use by
+/// default. Safe on any host.
+const BinningKernels& active_kernels();
+
+/// Copies n words from src to dst through the resolved level's streaming
+/// kernel (see BinningKernels::stream_copy_u32). Non-overlapping only.
+inline void stream_copy_u32(std::uint32_t* dst, const std::uint32_t* src,
+                            std::size_t n) {
+  active_kernels().stream_copy_u32(dst, src, n);
+}
+
+inline void stream_copy_u64(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n) {
+  active_kernels().stream_copy_u64(dst, src, n);
+}
+
+}  // namespace fastbfs

@@ -1,0 +1,25 @@
+// Internal seam between the dispatcher and the per-ISA kernel translation
+// units. Each SIMD TU is compiled with exactly the -m<isa> flags of its
+// level (see src/CMakeLists.txt) and reports availability *itself*: when
+// the compiler could not be given the flag (old toolchain, non-x86
+// target), the TU's feature macros are absent and its getter returns
+// nullptr instead of a table. The dispatcher never needs to agree with
+// the build system about what got compiled — it just probes.
+//
+// Not part of the public API; include simd/dispatch.h instead.
+#pragma once
+
+#include "simd/dispatch.h"
+
+namespace fastbfs::detail {
+
+/// Always available; every pointer valid. The oracle the equivalence
+/// tests compare every other level against.
+const BinningKernels& scalar_kernel_table();
+
+/// nullptr when the TU was compiled without the level's ISA flag.
+const BinningKernels* sse42_kernel_table();
+const BinningKernels* avx2_kernel_table();
+const BinningKernels* avx512_kernel_table();
+
+}  // namespace fastbfs::detail

@@ -1,0 +1,236 @@
+// AVX-512 binning kernels (16 lanes) with compress-store tail handling.
+//
+// Compiled with -mavx512f -mavx512bw -mavx512vl regardless of the global
+// -march; selected only after CPUID reports F+BW+VL *and* XGETBV shows
+// the OS keeping opmask/ZMM state (dispatch.cpp).
+//
+// Main-loop scatters extract 128-bit quarters from the ZMM registers
+// (vextracti32x4 + vpextrd) rather than spilling to a stack buffer: the
+// bin stores may legally alias a uint32 spill array, which forces
+// reloads after every scatter store (see kernels_avx2.cpp).
+//
+// Tails (n % 16) never fall back to a scalar loop here: a masked load
+// pulls the remaining lanes without reading past the buffer, the same
+// vector shift computes their bins, and vpcompressd packs the live lanes
+// to the front of a dense stack spill so the scatter loop runs over a
+// dense prefix (the tail runs at most once per call, so the spill's
+// aliasing cost is irrelevant there). The equivalence suite sweeps every
+// n % 16 x alignment combination precisely because masked/compressed
+// tails are where AVX-512 kernels classically go wrong.
+#include "simd/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+// GCC's _mm512_srl_epi32 passes _mm512_undefined_epi32() (the `__Y = __Y`
+// idiom) as the masked-off source, which -Wmaybe-uninitialized flags even
+// though no undefined lane ever reaches a result. Header-internal false
+// positive; silence it for this TU only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace fastbfs::detail {
+namespace {
+
+void bin_indices_avx512(const vid_t* ids, std::size_t n, unsigned shift,
+                        std::uint32_t* out) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 16 <= n; i += 16) {
+    const __m512i v = _mm512_loadu_si512(ids + i);
+    const __m512i b = _mm512_srl_epi32(v, sh);
+    _mm512_storeu_si512(out + i, b);
+  }
+  const unsigned rem = static_cast<unsigned>(n - i);
+  if (rem != 0) {
+    const __mmask16 m = static_cast<__mmask16>((1u << rem) - 1);
+    const __m512i v = _mm512_maskz_loadu_epi32(m, ids + i);
+    const __m512i b = _mm512_srl_epi32(v, sh);
+    _mm512_mask_storeu_epi32(out + i, m, b);
+  }
+}
+
+/// Shifts 16 (or, under `m`, fewer) ids, spills ids and bin indices to
+/// the dense stack buffers via vpcompressd, and returns the live-lane
+/// count for the scalar scatter.
+inline unsigned spill_lanes(const vid_t* src, __mmask16 m, __m128i sh,
+                            std::uint32_t* v, std::uint32_t* b) {
+  const __m512i ids16 = _mm512_maskz_loadu_epi32(m, src);
+  const __m512i bin16 = _mm512_srl_epi32(ids16, sh);
+  _mm512_mask_compressstoreu_epi32(v, m, ids16);
+  _mm512_mask_compressstoreu_epi32(b, m, bin16);
+  return static_cast<unsigned>(__builtin_popcount(m));
+}
+
+/// Scalar scatter of one 128-bit quarter straight out of the registers.
+inline void scatter4(__m128i v, __m128i b, svid_t* const* bins,
+                     std::uint32_t* cursors) {
+  const std::uint32_t b0 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 0));
+  const std::uint32_t b1 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 1));
+  const std::uint32_t b2 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 2));
+  const std::uint32_t b3 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 3));
+  bins[b0][cursors[b0]++] = static_cast<svid_t>(_mm_extract_epi32(v, 0));
+  bins[b1][cursors[b1]++] = static_cast<svid_t>(_mm_extract_epi32(v, 1));
+  bins[b2][cursors[b2]++] = static_cast<svid_t>(_mm_extract_epi32(v, 2));
+  bins[b3][cursors[b3]++] = static_cast<svid_t>(_mm_extract_epi32(v, 3));
+}
+
+void append_binned_avx512(const vid_t* ids, std::size_t n, unsigned shift,
+                          svid_t* const* bins, std::uint32_t* cursors) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 16 <= n; i += 16) {
+    const __m512i ids16 = _mm512_loadu_si512(ids + i);
+    const __m512i bin16 = _mm512_srl_epi32(ids16, sh);
+    scatter4(_mm512_castsi512_si128(ids16), _mm512_castsi512_si128(bin16),
+             bins, cursors);
+    scatter4(_mm512_extracti32x4_epi32(ids16, 1),
+             _mm512_extracti32x4_epi32(bin16, 1), bins, cursors);
+    scatter4(_mm512_extracti32x4_epi32(ids16, 2),
+             _mm512_extracti32x4_epi32(bin16, 2), bins, cursors);
+    scatter4(_mm512_extracti32x4_epi32(ids16, 3),
+             _mm512_extracti32x4_epi32(bin16, 3), bins, cursors);
+  }
+  const unsigned rem = static_cast<unsigned>(n - i);
+  if (rem != 0) {
+    alignas(64) std::uint32_t v[16];
+    alignas(64) std::uint32_t b[16];
+    const __mmask16 m = static_cast<__mmask16>((1u << rem) - 1);
+    const unsigned live = spill_lanes(ids + i, m, sh, v, b);
+    for (unsigned k = 0; k < live; ++k) {
+      bins[b[k]][cursors[b[k]]++] = static_cast<svid_t>(v[k]);
+    }
+  }
+}
+
+void append_binned_mask_avx512(const vid_t* ids, std::size_t n,
+                               unsigned shift, vid_t parent,
+                               std::uint64_t mask, vid_t* const* child_bins,
+                               vid_t* const* parent_bins,
+                               std::uint64_t* const* mask_bins,
+                               std::uint32_t* cursors) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  const auto scatter4_mask = [&](__m128i v4, __m128i b4) {
+    const std::uint32_t b0 =
+        static_cast<std::uint32_t>(_mm_extract_epi32(b4, 0));
+    const std::uint32_t b1 =
+        static_cast<std::uint32_t>(_mm_extract_epi32(b4, 1));
+    const std::uint32_t b2 =
+        static_cast<std::uint32_t>(_mm_extract_epi32(b4, 2));
+    const std::uint32_t b3 =
+        static_cast<std::uint32_t>(_mm_extract_epi32(b4, 3));
+    std::uint32_t c = cursors[b0]++;
+    child_bins[b0][c] = static_cast<vid_t>(_mm_extract_epi32(v4, 0));
+    parent_bins[b0][c] = parent;
+    mask_bins[b0][c] = mask;
+    c = cursors[b1]++;
+    child_bins[b1][c] = static_cast<vid_t>(_mm_extract_epi32(v4, 1));
+    parent_bins[b1][c] = parent;
+    mask_bins[b1][c] = mask;
+    c = cursors[b2]++;
+    child_bins[b2][c] = static_cast<vid_t>(_mm_extract_epi32(v4, 2));
+    parent_bins[b2][c] = parent;
+    mask_bins[b2][c] = mask;
+    c = cursors[b3]++;
+    child_bins[b3][c] = static_cast<vid_t>(_mm_extract_epi32(v4, 3));
+    parent_bins[b3][c] = parent;
+    mask_bins[b3][c] = mask;
+  };
+  for (; i + 16 <= n; i += 16) {
+    const __m512i ids16 = _mm512_loadu_si512(ids + i);
+    const __m512i bin16 = _mm512_srl_epi32(ids16, sh);
+    scatter4_mask(_mm512_castsi512_si128(ids16),
+                  _mm512_castsi512_si128(bin16));
+    scatter4_mask(_mm512_extracti32x4_epi32(ids16, 1),
+                  _mm512_extracti32x4_epi32(bin16, 1));
+    scatter4_mask(_mm512_extracti32x4_epi32(ids16, 2),
+                  _mm512_extracti32x4_epi32(bin16, 2));
+    scatter4_mask(_mm512_extracti32x4_epi32(ids16, 3),
+                  _mm512_extracti32x4_epi32(bin16, 3));
+  }
+  const unsigned rem = static_cast<unsigned>(n - i);
+  if (rem != 0) {
+    alignas(64) std::uint32_t v[16];
+    alignas(64) std::uint32_t b[16];
+    const __mmask16 m = static_cast<__mmask16>((1u << rem) - 1);
+    const unsigned live = spill_lanes(ids + i, m, sh, v, b);
+    for (unsigned k = 0; k < live; ++k) {
+      const std::uint32_t bin = b[k];
+      const std::uint32_t c = cursors[bin]++;
+      child_bins[bin][c] = v[k];
+      parent_bins[bin][c] = parent;
+      mask_bins[bin][c] = mask;
+    }
+  }
+}
+
+constexpr std::size_t kNtCopyBytes = std::size_t{1} << 20;
+
+void stream_copy_u32_avx512(std::uint32_t* dst, const std::uint32_t* src,
+                            std::size_t n) {
+  if (n * sizeof(std::uint32_t) < kNtCopyBytes) {
+    std::memcpy(dst, src, n * sizeof(std::uint32_t));
+    return;
+  }
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(dst + i) & 63) != 0) {
+    dst[i] = src[i];
+    ++i;
+  }
+  for (; i + 16 <= n; i += 16) {
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(dst + i),
+                        _mm512_loadu_si512(src + i));
+  }
+  _mm_sfence();
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+void stream_copy_u64_avx512(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n) {
+  if (n * sizeof(std::uint64_t) < kNtCopyBytes) {
+    std::memcpy(dst, src, n * sizeof(std::uint64_t));
+    return;
+  }
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(dst + i) & 63) != 0) {
+    dst[i] = src[i];
+    ++i;
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(dst + i),
+                        _mm512_loadu_si512(src + i));
+  }
+  _mm_sfence();
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+}  // namespace
+
+const BinningKernels* avx512_kernel_table() {
+  static const BinningKernels table = [] {
+    BinningKernels t;
+    t.bin_indices = bin_indices_avx512;
+    t.append_binned = append_binned_avx512;
+    t.append_binned_mask = append_binned_mask_avx512;
+    t.stream_copy_u32 = stream_copy_u32_avx512;
+    t.stream_copy_u64 = stream_copy_u64_avx512;
+    t.level = IsaLevel::kAvx512;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace fastbfs::detail
+
+#else  // AVX-512 F+BW+VL not available to this TU
+
+namespace fastbfs::detail {
+const BinningKernels* avx512_kernel_table() { return nullptr; }
+}  // namespace fastbfs::detail
+
+#endif

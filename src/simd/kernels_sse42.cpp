@@ -1,0 +1,171 @@
+// SSE4.2 binning kernels (4 lanes), the paper's Sec. III-C item 4 width.
+//
+// This TU is compiled with -msse4.2 regardless of the global -march (see
+// src/CMakeLists.txt), so portable FASTBFS_NATIVE=OFF builds still carry
+// it; the dispatcher only selects it after CPUID confirms the host. When
+// the compiler cannot target SSE4.2 at all (non-x86), the table getter
+// returns nullptr and the dispatcher falls back to scalar.
+#include "simd/kernels.h"
+
+#if defined(__SSE4_2__)
+
+#include <smmintrin.h>
+
+#include <cstring>
+
+namespace fastbfs::detail {
+namespace {
+
+void bin_indices_sse42(const vid_t* ids, std::size_t n, unsigned shift,
+                       std::uint32_t* out) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m128i b = _mm_srl_epi32(v, sh);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), b);
+  }
+  for (; i < n; ++i) out[i] = ids[i] >> shift;
+}
+
+void append_binned_sse42(const vid_t* ids, std::size_t n, unsigned shift,
+                         svid_t* const* bins, std::uint32_t* cursors) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m128i b = _mm_srl_epi32(v, sh);
+    // The scatter itself must stay scalar on SSE (no scatter instruction),
+    // but extracting lanes from the vector avoids recomputing the shifts
+    // and lets the compiler keep the ids in registers.
+    const std::uint32_t b0 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 0));
+    const std::uint32_t b1 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 1));
+    const std::uint32_t b2 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 2));
+    const std::uint32_t b3 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 3));
+    bins[b0][cursors[b0]++] = static_cast<svid_t>(_mm_extract_epi32(v, 0));
+    bins[b1][cursors[b1]++] = static_cast<svid_t>(_mm_extract_epi32(v, 1));
+    bins[b2][cursors[b2]++] = static_cast<svid_t>(_mm_extract_epi32(v, 2));
+    bins[b3][cursors[b3]++] = static_cast<svid_t>(_mm_extract_epi32(v, 3));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t b = ids[i] >> shift;
+    bins[b][cursors[b]++] = static_cast<svid_t>(ids[i]);
+  }
+}
+
+void append_binned_mask_sse42(const vid_t* ids, std::size_t n,
+                              unsigned shift, vid_t parent,
+                              std::uint64_t mask, vid_t* const* child_bins,
+                              vid_t* const* parent_bins,
+                              std::uint64_t* const* mask_bins,
+                              std::uint32_t* cursors) {
+  std::size_t i = 0;
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m128i b = _mm_srl_epi32(v, sh);
+    const std::uint32_t b0 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 0));
+    const std::uint32_t b1 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 1));
+    const std::uint32_t b2 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 2));
+    const std::uint32_t b3 = static_cast<std::uint32_t>(_mm_extract_epi32(b, 3));
+    // The child store comes from the vector lane; parent/mask are loop
+    // constants the compiler keeps in registers, so the widened record
+    // costs two extra stores per child, no extra shifts.
+    std::uint32_t c = cursors[b0]++;
+    child_bins[b0][c] = static_cast<vid_t>(_mm_extract_epi32(v, 0));
+    parent_bins[b0][c] = parent;
+    mask_bins[b0][c] = mask;
+    c = cursors[b1]++;
+    child_bins[b1][c] = static_cast<vid_t>(_mm_extract_epi32(v, 1));
+    parent_bins[b1][c] = parent;
+    mask_bins[b1][c] = mask;
+    c = cursors[b2]++;
+    child_bins[b2][c] = static_cast<vid_t>(_mm_extract_epi32(v, 2));
+    parent_bins[b2][c] = parent;
+    mask_bins[b2][c] = mask;
+    c = cursors[b3]++;
+    child_bins[b3][c] = static_cast<vid_t>(_mm_extract_epi32(v, 3));
+    parent_bins[b3][c] = parent;
+    mask_bins[b3][c] = mask;
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t b = ids[i] >> shift;
+    const std::uint32_t c = cursors[b]++;
+    child_bins[b][c] = ids[i];
+    parent_bins[b][c] = parent;
+    mask_bins[b][c] = mask;
+  }
+}
+
+// Streaming copies: non-temporal 16-byte stores once the copy is large
+// enough that LLC pollution costs more than the write-combining setup.
+constexpr std::size_t kNtCopyBytes = std::size_t{1} << 20;
+
+void stream_copy_u32_sse42(std::uint32_t* dst, const std::uint32_t* src,
+                           std::size_t n) {
+  if (n * sizeof(std::uint32_t) < kNtCopyBytes) {
+    std::memcpy(dst, src, n * sizeof(std::uint32_t));
+    return;
+  }
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(dst + i) & 15) != 0) {
+    dst[i] = src[i];
+    ++i;
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm_stream_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+  }
+  _mm_sfence();
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+void stream_copy_u64_sse42(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t n) {
+  if (n * sizeof(std::uint64_t) < kNtCopyBytes) {
+    std::memcpy(dst, src, n * sizeof(std::uint64_t));
+    return;
+  }
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(dst + i) & 15) != 0) {
+    dst[i] = src[i];
+    ++i;
+  }
+  for (; i + 2 <= n; i += 2) {
+    _mm_stream_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+  }
+  _mm_sfence();
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+}  // namespace
+
+const BinningKernels* sse42_kernel_table() {
+  static const BinningKernels table = [] {
+    BinningKernels t;
+    t.bin_indices = bin_indices_sse42;
+    t.append_binned = append_binned_sse42;
+    t.append_binned_mask = append_binned_mask_sse42;
+    t.stream_copy_u32 = stream_copy_u32_sse42;
+    t.stream_copy_u64 = stream_copy_u64_sse42;
+    t.level = IsaLevel::kSse42;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace fastbfs::detail
+
+#else  // !defined(__SSE4_2__)
+
+namespace fastbfs::detail {
+const BinningKernels* sse42_kernel_table() { return nullptr; }
+}  // namespace fastbfs::detail
+
+#endif

@@ -1,0 +1,162 @@
+// Unit tests for the runtime ISA dispatcher (simd/dispatch.h): detection
+// sanity, name parsing, forcing/clamping semantics, the FASTBFS_FORCE_ISA
+// environment hook, and the guaranteed-valid kernel tables.
+//
+// Forcing is process-wide state shared with every other suite in this
+// binary, so each test restores the default resolution on teardown.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "simd/binning.h"
+#include "simd/dispatch.h"
+
+namespace fastbfs {
+namespace {
+
+IsaLevel reachable_cap() {
+  return std::min(detect_isa(), compiled_isa_ceiling());
+}
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("FASTBFS_FORCE_ISA");
+    clear_isa_override();
+  }
+};
+
+TEST_F(DispatchTest, ResolutionNeverExceedsCapability) {
+  EXPECT_LE(resolved_isa(), detect_isa());
+  EXPECT_LE(resolved_isa(), compiled_isa_ceiling());
+  // x86 hosts this project targets always have SSE4.2; the portable-build
+  // CI leg asserts the same thing through `fastbfs isa --require=sse4.2`.
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_GE(detect_isa(), IsaLevel::kSse42);
+#endif
+}
+
+TEST_F(DispatchTest, DetectionIsStable) {
+  const IsaLevel first = detect_isa();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(detect_isa(), first);
+}
+
+TEST_F(DispatchTest, ParseIsaAcceptsCanonicalNamesAndAliases) {
+  const struct {
+    const char* text;
+    IsaLevel want;
+  } cases[] = {
+      {"scalar", IsaLevel::kScalar}, {"none", IsaLevel::kScalar},
+      {"sse4.2", IsaLevel::kSse42},  {"sse42", IsaLevel::kSse42},
+      {"sse", IsaLevel::kSse42},     {"avx2", IsaLevel::kAvx2},
+      {"avx", IsaLevel::kAvx2},      {"avx512", IsaLevel::kAvx512},
+      {"avx512f", IsaLevel::kAvx512}, {"avx-512", IsaLevel::kAvx512},
+  };
+  for (const auto& c : cases) {
+    IsaLevel got = IsaLevel::kScalar;
+    EXPECT_TRUE(parse_isa(c.text, &got)) << c.text;
+    EXPECT_EQ(got, c.want) << c.text;
+  }
+  // "native" = no constraint: parses to the maximum level (the resolver
+  // clamps it to the host).
+  IsaLevel native = IsaLevel::kScalar;
+  ASSERT_TRUE(parse_isa("native", &native));
+  EXPECT_EQ(native, IsaLevel::kAvx512);
+}
+
+TEST_F(DispatchTest, ParseIsaRejectsGarbageAndLeavesOutUntouched) {
+  for (const char* bad : {"", "sse5", "avx1024", "SCALAR ", "fast"}) {
+    IsaLevel out = IsaLevel::kAvx2;
+    EXPECT_FALSE(parse_isa(bad, &out)) << "'" << bad << "'";
+    EXPECT_EQ(out, IsaLevel::kAvx2);
+  }
+}
+
+TEST_F(DispatchTest, IsaNameRoundTripsThroughParse) {
+  for (int l = 0; l <= 3; ++l) {
+    const auto level = static_cast<IsaLevel>(l);
+    IsaLevel parsed = IsaLevel::kScalar;
+    ASSERT_TRUE(parse_isa(isa_name(level), &parsed)) << isa_name(level);
+    EXPECT_EQ(parsed, level);
+  }
+}
+
+TEST_F(DispatchTest, ForceIsaHonorsEveryReachableLevel) {
+  const IsaLevel cap = reachable_cap();
+  for (int l = 0; l <= static_cast<int>(cap); ++l) {
+    const auto level = static_cast<IsaLevel>(l);
+    EXPECT_TRUE(force_isa(level)) << isa_name(level);
+    EXPECT_EQ(resolved_isa(), level);
+    EXPECT_EQ(active_kernels().level, level);
+  }
+}
+
+TEST_F(DispatchTest, ForceAboveCapabilityClampsAndReportsIt) {
+  const IsaLevel cap = reachable_cap();
+  if (cap == IsaLevel::kAvx512) {
+    GTEST_SKIP() << "host reaches the top level; nothing to clamp";
+  }
+  const auto above = static_cast<IsaLevel>(static_cast<int>(cap) + 1);
+  EXPECT_FALSE(force_isa(above));
+  EXPECT_EQ(resolved_isa(), cap);  // clamped down, not trusted
+}
+
+TEST_F(DispatchTest, ClearOverrideRestoresDefaultResolution) {
+  clear_isa_override();
+  const IsaLevel def = resolved_isa();
+  ASSERT_TRUE(force_isa(IsaLevel::kScalar));
+  ASSERT_EQ(resolved_isa(), IsaLevel::kScalar);
+  clear_isa_override();
+  EXPECT_EQ(resolved_isa(), def);
+}
+
+TEST_F(DispatchTest, EnvironmentForceAppliesOnNextResolution) {
+  setenv("FASTBFS_FORCE_ISA", "scalar", /*overwrite=*/1);
+  clear_isa_override();  // next resolved_isa() re-reads the environment
+  EXPECT_EQ(resolved_isa(), IsaLevel::kScalar);
+  EXPECT_EQ(active_kernels().level, IsaLevel::kScalar);
+
+  unsetenv("FASTBFS_FORCE_ISA");
+  clear_isa_override();
+  EXPECT_EQ(resolved_isa(), reachable_cap());
+}
+
+TEST_F(DispatchTest, UnknownEnvironmentForceIsIgnored) {
+  setenv("FASTBFS_FORCE_ISA", "sse9", /*overwrite=*/1);
+  clear_isa_override();
+  EXPECT_EQ(resolved_isa(), reachable_cap());  // warned + ignored
+}
+
+TEST_F(DispatchTest, KernelTablesAreAlwaysFullyPopulated) {
+  for (int l = 0; l <= 3; ++l) {
+    const BinningKernels& t = kernels_for(static_cast<IsaLevel>(l));
+    EXPECT_NE(t.bin_indices, nullptr) << l;
+    EXPECT_NE(t.append_binned, nullptr) << l;
+    EXPECT_NE(t.append_binned_mask, nullptr) << l;
+    EXPECT_NE(t.stream_copy_u32, nullptr) << l;
+    EXPECT_NE(t.stream_copy_u64, nullptr) << l;
+    // The advertised level is the request clamped to the compiled ceiling,
+    // monotone in the request.
+    EXPECT_EQ(t.level,
+              std::min(static_cast<IsaLevel>(l), compiled_isa_ceiling()));
+  }
+}
+
+TEST_F(DispatchTest, DeprecatedAvailabilityShimTracksResolution) {
+  // simd_binning_available() predates the dispatcher; it must now answer
+  // "is anything better than scalar resolved".
+  EXPECT_EQ(simd_binning_available(), resolved_isa() >= IsaLevel::kSse42);
+  ASSERT_TRUE(force_isa(IsaLevel::kScalar));
+  EXPECT_FALSE(simd_binning_available());
+  // Neutralize any externally-set FASTBFS_FORCE_ISA (the CI forced-scalar
+  // leg) before asking for the default resolution.
+  unsetenv("FASTBFS_FORCE_ISA");
+  clear_isa_override();
+  if (reachable_cap() >= IsaLevel::kSse42) {
+    EXPECT_TRUE(simd_binning_available());
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,10 +1,15 @@
-// Unit tests for the SIMD binning kernels: the SSE path must be
-// bit-identical to the scalar reference for every size and shift.
+// Unit tests for the SIMD binning kernels: every dispatchable ISA level
+// must be bit-identical to the scalar reference for every size, shift,
+// tail length (n % 16) and input alignment. The legacy *_sse entry
+// points are covered too (they are shims over the dispatch tables now).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "simd/binning.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace fastbfs {
@@ -180,6 +185,130 @@ TEST(MaskBinning, RoutesAndPreservesOrderWithinBin) {
     EXPECT_EQ(s.mask_storage[0][i], 0xdeadbeefcafef00dull);
   }
 }
+
+// --------------------------------------------------------------------------
+// Runtime-dispatch equivalence: every reachable ISA level x tail length
+// (n % 16 in 0..15, covering both the SSE 4-lane and AVX-512 16-lane
+// remainder classes) x unaligned input offsets. Masked loads and
+// vpcompressd tails are where wide kernels classically go wrong; this is
+// the sweep the dispatch header promises.
+
+/// Highest level whose kernels this process can execute (host capability
+/// capped by what was compiled into the binary).
+IsaLevel reachable_cap() {
+  return std::min(detect_isa(), compiled_isa_ceiling());
+}
+
+class DispatchEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DispatchEquivalence, BinKernelsMatchScalarOnTailsAndAlignments) {
+  const auto level = static_cast<IsaLevel>(GetParam());
+  if (level > reachable_cap()) {
+    GTEST_SKIP() << isa_name(level) << " not reachable on this host/build";
+  }
+  const BinningKernels& kern = kernels_for(level);
+  const BinningKernels& ref = kernels_for(IsaLevel::kScalar);
+  ASSERT_EQ(kern.level, level);
+  const unsigned shift = 14;
+  const unsigned n_bins = 1u << (20 - shift);
+
+  for (const std::size_t base : {std::size_t{0}, std::size_t{64}}) {
+    for (unsigned rem = 0; rem < 16; ++rem) {
+      const std::size_t n = base + rem;
+      // Element offsets 0..3 hit every 16-byte phase; 5 additionally
+      // misaligns 32- and 64-byte vectors against a 16-byte boundary.
+      for (const std::size_t off :
+           {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+            std::size_t{5}}) {
+        const auto padded =
+            random_ids(n + off, 1u << 20, /*seed=*/n * 131 + off + 1);
+        const vid_t* ids = padded.data() + off;
+        SCOPED_TRACE(::testing::Message() << "level=" << isa_name(level)
+                                          << " n=" << n << " off=" << off);
+
+        std::vector<std::uint32_t> idx_ref(n + 1, 0xabababab);
+        std::vector<std::uint32_t> idx_simd(n + 1, 0xabababab);
+        ref.bin_indices(ids, n, shift, idx_ref.data());
+        kern.bin_indices(ids, n, shift, idx_simd.data());
+        ASSERT_EQ(idx_ref, idx_simd);  // the sentinel catches overwrites
+
+        BinSetup a(n_bins, n), b(n_bins, n);
+        ref.append_binned(ids, n, shift, a.ptrs.data(), a.cursors.data());
+        kern.append_binned(ids, n, shift, b.ptrs.data(), b.cursors.data());
+        ASSERT_EQ(a.cursors, b.cursors);
+        for (unsigned bin = 0; bin < n_bins; ++bin) {
+          for (std::uint32_t i = 0; i < a.cursors[bin]; ++i) {
+            ASSERT_EQ(a.storage[bin][i], b.storage[bin][i])
+                << "bin " << bin << " slot " << i;
+          }
+        }
+
+        MaskBinSetup ma(n_bins, n), mb(n_bins, n);
+        const vid_t parent = 77;
+        const std::uint64_t mask = 0xf00dcafe12345678ull;
+        ref.append_binned_mask(ids, n, shift, parent, mask,
+                               ma.child_ptrs.data(), ma.parent_ptrs.data(),
+                               ma.mask_ptrs.data(), ma.cursors.data());
+        kern.append_binned_mask(ids, n, shift, parent, mask,
+                                mb.child_ptrs.data(), mb.parent_ptrs.data(),
+                                mb.mask_ptrs.data(), mb.cursors.data());
+        ASSERT_EQ(ma.cursors, mb.cursors);
+        for (unsigned bin = 0; bin < n_bins; ++bin) {
+          for (std::uint32_t i = 0; i < ma.cursors[bin]; ++i) {
+            ASSERT_EQ(ma.child_storage[bin][i], mb.child_storage[bin][i]);
+            ASSERT_EQ(ma.parent_storage[bin][i], mb.parent_storage[bin][i]);
+            ASSERT_EQ(ma.mask_storage[bin][i], mb.mask_storage[bin][i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(DispatchEquivalence, StreamCopyMatchesMemcpy) {
+  const auto level = static_cast<IsaLevel>(GetParam());
+  if (level > reachable_cap()) {
+    GTEST_SKIP() << isa_name(level) << " not reachable on this host/build";
+  }
+  const BinningKernels& kern = kernels_for(level);
+  // Below the non-temporal threshold (memcpy path), just above it (NT
+  // path with head alignment + tail), and odd lengths around both.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{33}, std::size_t{4096},
+        (std::size_t{1} << 18) + 7, (std::size_t{1} << 18) + 15}) {
+    for (const std::size_t off :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      std::vector<std::uint32_t> src32(n + off);
+      for (std::size_t i = 0; i < src32.size(); ++i)
+        src32[i] = static_cast<std::uint32_t>(i * 2654435761u);
+      std::vector<std::uint32_t> dst32(n + 1, 0xcdcdcdcd);
+      kern.stream_copy_u32(dst32.data(), src32.data() + off, n);
+      EXPECT_EQ(0, std::memcmp(dst32.data(), src32.data() + off, n * 4))
+          << "u32 n=" << n << " off=" << off;
+      EXPECT_EQ(dst32[n], 0xcdcdcdcdu);  // no overwrite past the end
+
+      std::vector<std::uint64_t> src64(n + off);
+      for (std::size_t i = 0; i < src64.size(); ++i)
+        src64[i] = i * 0x9e3779b97f4a7c15ull;
+      std::vector<std::uint64_t> dst64(n + 1, 0xeeeeeeeeeeeeeeeeull);
+      kern.stream_copy_u64(dst64.data(), src64.data() + off, n);
+      EXPECT_EQ(0, std::memcmp(dst64.data(), src64.data() + off, n * 8))
+          << "u64 n=" << n << " off=" << off;
+      EXPECT_EQ(dst64[n], 0xeeeeeeeeeeeeeeeeull);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, DispatchEquivalence, ::testing::Values(0, 1, 2, 3),
+    [](const ::testing::TestParamInfo<int>& info) {
+      switch (info.param) {
+        case 0: return "scalar";
+        case 1: return "sse42";
+        case 2: return "avx2";
+        default: return "avx512";
+      }
+    });
 
 TEST(Binning, AvailabilityIsConsistent) {
   // Whatever the host supports, the dispatcher must not crash and must

@@ -29,6 +29,8 @@
 #include "obs/metrics.h"
 #include "obs/model_check.h"
 #include "obs/trace.h"
+#include "platform/cache_info.h"
+#include "simd/dispatch.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -91,6 +93,26 @@ void apply_direction_flags(const CliArgs& args, BfsOptions& opts) {
   opts.direction = parse_direction(args.get("direction", "td"));
   opts.alpha = args.get_double("alpha", opts.alpha);
   opts.beta = args.get_double("beta", opts.beta);
+}
+
+/// --isa=scalar|sse4.2|avx2|avx512|native: caps the kernel dispatch for
+/// this process. Must run before the BfsRunner is built (engines capture
+/// their kernel table at construction). Requests above the host's
+/// capability are clamped with a warning, matching FASTBFS_FORCE_ISA.
+void apply_isa_flag(const CliArgs& args) {
+  const std::string isa = args.get("isa", "");
+  if (isa.empty()) return;
+  IsaLevel level;
+  if (!parse_isa(isa, &level)) {
+    throw std::runtime_error("unknown --isa value: " + isa +
+                             " (want scalar|sse4.2|avx2|avx512|native)");
+  }
+  if (!force_isa(level)) {
+    std::fprintf(stderr,
+                 "warning: --isa=%s exceeds this host's capability; "
+                 "running at %s\n",
+                 isa.c_str(), isa_name(resolved_isa()));
+  }
 }
 
 std::ofstream open_or_throw(const std::string& path, const char* flag) {
@@ -178,9 +200,11 @@ int cmd_batch(const CliArgs& args) {
   const std::string in = args.get("in");
   if (in.empty()) throw std::runtime_error("batch: --in=FILE is required");
   const CsrGraph g = load_graph(in);
+  apply_isa_flag(args);
   BfsOptions opts;
   opts.n_threads = static_cast<unsigned>(args.get_int("threads", 4));
   opts.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
+  opts.cache = host_cache_geometry();
   apply_direction_flags(args, opts);
   opts.batch_mode = parse_batch_mode(args.get("batch-mode", "seq"));
   BfsRunner runner(g, opts);
@@ -208,6 +232,7 @@ int cmd_bfs(const CliArgs& args) {
               static_cast<unsigned long long>(g.n_edges()),
               load_timer.seconds());
 
+  apply_isa_flag(args);
   BfsOptions opts;
   opts.n_threads = static_cast<unsigned>(args.get_int("threads", 4));
   opts.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
@@ -216,9 +241,13 @@ int cmd_bfs(const CliArgs& args) {
   opts.use_simd = args.get_bool("simd", true);
   opts.use_prefetch = args.get_bool("prefetch", true);
   opts.rearrange = args.get_bool("rearrange", true);
+  opts.use_streaming_stores = args.get_bool("stream-stores", true);
   opts.pin_threads = args.get_bool("pin", false);
+  opts.cache = host_cache_geometry();
   apply_direction_flags(args, opts);
   BfsRunner runner(g, opts);
+  std::printf("isa: %s (kernel dispatch)\n",
+              isa_name(runner.isa_level()));
 
   const std::string trace_out = args.get("trace-out", "");
   const std::string metrics_out = args.get("metrics-out", "");
@@ -318,6 +347,35 @@ int cmd_bfs(const CliArgs& args) {
   return 0;
 }
 
+int cmd_isa(const CliArgs& args) {
+  // Honor FASTBFS_FORCE_ISA / --isa exactly as a traversal would, so the
+  // printed "resolved" level is the one an engine built now would use.
+  apply_isa_flag(args);
+  const IsaLevel detected = detect_isa();
+  const IsaLevel ceiling = compiled_isa_ceiling();
+  const IsaLevel resolved = resolved_isa();
+  std::printf("detected:  %s  (CPUID + XGETBV)\n", isa_name(detected));
+  std::printf("compiled:  %s  (highest kernel TU in this binary)\n",
+              isa_name(ceiling));
+  std::printf("resolved:  %s  (what engines will dispatch to)\n",
+              isa_name(resolved));
+  const std::string require = args.get("require", "");
+  if (!require.empty()) {
+    IsaLevel level;
+    if (!parse_isa(require, &level)) {
+      throw std::runtime_error("unknown --require value: " + require);
+    }
+    if (resolved < level) {
+      std::printf("FAIL: resolved %s < required %s\n", isa_name(resolved),
+                  isa_name(level));
+      return 1;
+    }
+    std::printf("OK: resolved %s >= required %s\n", isa_name(resolved),
+                isa_name(level));
+  }
+  return 0;
+}
+
 int cmd_convert(const CliArgs& args) {
   const std::string in = args.get("in");
   const std::string out = args.get("out");
@@ -334,17 +392,23 @@ int cmd_convert(const CliArgs& args) {
 
 int usage() {
   std::printf(
-      "usage: fastbfs <gen|info|bfs|batch|convert> [--key=value ...]\n"
+      "usage: fastbfs <gen|info|bfs|batch|isa|convert> [--key=value ...]\n"
       "  gen     --kind=rmat|uniform|grid|stress --out=g.csr\n"
       "          [--gscale=18 --edge-factor=16 | --vertices=N --degree=D |\n"
       "           --width=W --height=H --keep=P] [--seed=S]\n"
       "  info    --in=FILE [--histogram]\n"
       "  batch   --in=FILE [--roots=16] [--validate=1]   (Graph500 kernel 2)\n"
       "          [--batch-mode=seq|ms64]   (ms64: 64-wide bit-parallel MS-BFS)\n"
-      "          [--direction=td|bu|auto --alpha=15 --beta=18]\n"
+      "          [--direction=td|bu|auto --alpha=15 --beta=18] [--isa=LEVEL]\n"
+      "  isa     [--isa=LEVEL] [--require=LEVEL]\n"
+      "          print detected/compiled/resolved kernel ISA; with\n"
+      "          --require, exit 1 unless resolved >= LEVEL\n"
+      "          (LEVEL: scalar|sse4.2|avx2|avx512|native)\n"
       "  bfs     --in=FILE [--root=N|--roots=K] [--threads=4 --sockets=2]\n"
       "          [--vis=partitioned] [--scheme=balanced] [--validate]\n"
       "          [--simd=1 --prefetch=1 --rearrange=1 --pin=0]\n"
+      "          [--isa=LEVEL]      cap the SIMD kernel dispatch\n"
+      "          [--stream-stores=1] non-temporal frontier/bin copies\n"
       "          [--direction=td|bu|auto --alpha=15 --beta=18 --directions]\n"
       "          [--steps-csv=F]    per-step CSV of the last run\n"
       "          [--trace-out=F]    flight-recorder Chrome trace JSON\n"
@@ -370,6 +434,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "isa") return cmd_isa(args);
     if (cmd == "convert") return cmd_convert(args);
     return usage();
   } catch (const std::exception& e) {

@@ -9,6 +9,7 @@
 //                 [--port=0] [--threads=N] [--sockets=N]
 //                 [--window-us=200] [--wave-width=64] [--dispatchers=1]
 //                 [--queue-cap=1024] [--sequential-only]
+//                 [--isa=scalar|sse4.2|avx2|avx512|native]
 //                 [--metrics-out=path]
 //
 // Prints "listening on <port>" (the kernel-assigned port when --port=0)
@@ -24,6 +25,7 @@
 #include "graph/serialize.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
+#include "simd/dispatch.h"
 #include "util/cli.h"
 
 namespace {
@@ -72,6 +74,26 @@ int main(int argc, char** argv) {
   cfg.service.batcher.queue_capacity =
       static_cast<unsigned>(args.get_int("queue-cap", 1024));
   const std::string metrics_out = args.get("metrics-out");
+
+  // Cap the kernel dispatch before any engine is built (the serving
+  // engines capture their table at construction). Clamped like
+  // FASTBFS_FORCE_ISA when the host cannot honor the request.
+  const std::string isa = args.get("isa");
+  if (!isa.empty()) {
+    IsaLevel level;
+    if (!parse_isa(isa, &level)) {
+      std::fprintf(stderr, "fastbfs_serve: unknown --isa value %s\n",
+                   isa.c_str());
+      return 2;
+    }
+    if (!force_isa(level)) {
+      std::fprintf(stderr,
+                   "fastbfs_serve: --isa=%s exceeds host capability; "
+                   "running at %s\n",
+                   isa.c_str(), isa_name(resolved_isa()));
+    }
+  }
+  std::printf("isa: %s\n", isa_name(resolved_isa()));
 
   for (const std::string& key : args.unused_keys()) {
     std::fprintf(stderr, "fastbfs_serve: unknown flag --%s\n", key.c_str());
