@@ -1,0 +1,48 @@
+#include "apps/bfs.h"
+
+#include <stdexcept>
+
+namespace fastbfs::apps {
+
+EdgeMapBfs::EdgeMapBfs(const AdjacencyArray& adj, const BfsOptions& opts)
+    : adj_(adj), engine_(adj, opts) {}
+
+void EdgeMapBfs::run_into(vid_t root, BfsResult& out) {
+  if (root >= adj_.n_vertices()) {
+    throw std::invalid_argument("EdgeMapBfs::run: root out of range");
+  }
+  if (out.dp.size() != adj_.n_vertices()) {
+    out.dp = DepthParent(adj_.n_vertices());
+  }
+  dp_ = std::move(out.dp);
+  dp_.reset();
+  dp_.store(root, 0, root);
+  prog_.dp = &dp_;
+  prog_.root = root;
+  prog_.step = 0;
+
+  engine_.run(prog_);
+
+  out.root = root;
+  out.seconds = engine_.last_stats().total_seconds;
+  out.depth_reached =
+      engine_.final_step() > 0 ? engine_.final_step() - 1 : 0;
+  std::uint64_t edges = 0;
+  for (const EdgeMapStepStats& st : engine_.last_stats().steps) {
+    edges += st.frontier_edges;
+  }
+  out.edges_traversed = edges;
+  out.vertices_visited = 0;
+  for (vid_t v = 0; v < adj_.n_vertices(); ++v) {
+    if (dp_.visited(v)) ++out.vertices_visited;
+  }
+  out.dp = std::move(dp_);
+}
+
+BfsResult EdgeMapBfs::run(vid_t root) {
+  BfsResult result;
+  run_into(root, result);
+  return result;
+}
+
+}  // namespace fastbfs::apps

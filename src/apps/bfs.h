@@ -1,0 +1,62 @@
+// BFS as the first EdgeMap client (the tentpole's regression pin).
+//
+// The program reproduces the two-phase engine's update semantics exactly:
+//   sparse  — "visited?" probe then depth/parent store, the same benign
+//             race Fig. 2(b) runs (the engine's claim CAS dedups the
+//             emission, the DP store itself is last-writer-wins among
+//             same-depth parents, all of which are correct);
+//   dense   — owner-computes claim of the first frontier neighbour in
+//             adjacency order, identical to bottom_up_step.
+// tests/test_edge_map.cpp pins depths, 1-thread parents and per-step
+// direction strings against TwoPhaseBfs across the corpus.
+#pragma once
+
+#include "core/edge_map.h"
+#include "graph/adjacency_array.h"
+#include "graph/bfs_result.h"
+
+namespace fastbfs::apps {
+
+class EdgeMapBfs {
+ public:
+  EdgeMapBfs(const AdjacencyArray& adj, const BfsOptions& opts);
+
+  /// Buffer-recycling run: allocation-free once warm, like
+  /// TwoPhaseBfs::run_into.
+  void run_into(vid_t root, BfsResult& out);
+  BfsResult run(vid_t root);
+
+  const EdgeMapStats& last_stats() const { return engine_.last_stats(); }
+  unsigned n_pbv_bins() const { return engine_.n_pbv_bins(); }
+  std::uint64_t workspace_bytes() const { return engine_.workspace_bytes(); }
+
+ private:
+  struct Program {
+    DepthParent* dp = nullptr;
+    vid_t root = 0;
+    depth_t step = 0;
+
+    bool cond(vid_t d) const { return !dp->visited(d); }
+    bool update_sparse(vid_t s, vid_t d) {
+      if (dp->visited(d)) return false;
+      dp->store(d, step, s);
+      return true;
+    }
+    bool update_dense(vid_t s, vid_t d) {
+      dp->store(d, step, s);
+      return true;
+    }
+    bool refill(vid_t v) const { return v == root; }
+    void begin_step(unsigned s) { step = static_cast<depth_t>(s); }
+    StepVerdict end_step(unsigned /*step*/, std::uint64_t /*emitted*/) {
+      return StepVerdict::kContinue;
+    }
+  };
+
+  const AdjacencyArray& adj_;
+  Program prog_;
+  EdgeMapEngine<Program> engine_;
+  DepthParent dp_;  // adopted from / returned to the caller's BfsResult
+};
+
+}  // namespace fastbfs::apps

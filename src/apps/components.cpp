@@ -1,0 +1,95 @@
+#include "apps/components.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace fastbfs::apps {
+
+namespace {
+
+inline vid_t load_label(const vid_t& slot) {
+  return std::atomic_ref<const vid_t>(slot).load(std::memory_order_relaxed);
+}
+
+struct CcMetrics {
+  obs::Counter* runs;
+  obs::Counter* steps;
+  obs::Gauge* last_components;
+  obs::Gauge* last_seconds;
+
+  static const CcMetrics& get() {
+    static const CcMetrics m = [] {
+      obs::Registry& r = obs::metrics();
+      CcMetrics c;
+      c.runs = r.counter("fastbfs_app_cc_runs_total");
+      c.steps = r.counter("fastbfs_app_cc_steps_total");
+      c.last_components = r.gauge("fastbfs_app_cc_last_components");
+      c.last_seconds = r.gauge("fastbfs_app_cc_last_seconds");
+      return c;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+bool ConnectedComponents::Program::update_sparse(vid_t s, vid_t d) {
+  const vid_t ls = load_label(app->labels_[s]);
+  std::atomic_ref<vid_t> ld(app->labels_[d]);
+  vid_t cur = ld.load(std::memory_order_relaxed);
+  while (ls < cur) {
+    if (ld.compare_exchange_weak(cur, ls, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ConnectedComponents::Program::update_dense(vid_t s, vid_t d) {
+  // Owner-computes: d's slot is ours alone; the source label still races
+  // with its owner's writes, hence the relaxed load.
+  const vid_t ls = load_label(app->labels_[s]);
+  std::atomic_ref<vid_t> ld(app->labels_[d]);
+  const vid_t cur = ld.load(std::memory_order_relaxed);
+  if (ls >= cur) return false;
+  ld.store(ls, std::memory_order_relaxed);
+  return true;
+}
+
+ConnectedComponents::ConnectedComponents(const AdjacencyArray& adj,
+                                         const BfsOptions& engine_opts)
+    : adj_(adj), engine_(adj, engine_opts) {
+  prog_.app = this;
+  labels_.resize(adj.n_vertices());
+  size_scratch_.resize(adj.n_vertices());
+}
+
+void ConnectedComponents::run_into(ComponentsResult& out) {
+  const vid_t n = adj_.n_vertices();
+  for (vid_t v = 0; v < n; ++v) labels_[v] = v;
+
+  engine_.run(prog_);
+
+  if (out.label.size() != n) out.label.resize(n);
+  std::copy(labels_.begin(), labels_.end(), out.label.begin());
+  std::fill(size_scratch_.begin(), size_scratch_.end(), 0);
+  for (vid_t v = 0; v < n; ++v) ++size_scratch_[labels_[v]];
+  out.n_components = 0;
+  out.giant_size = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (size_scratch_[v] == 0) continue;
+    ++out.n_components;
+    out.giant_size = std::max(out.giant_size, size_scratch_[v]);
+  }
+  out.seconds = engine_.last_stats().total_seconds;
+
+  const CcMetrics& cm = CcMetrics::get();
+  cm.runs->inc();
+  cm.steps->add(engine_.final_step());
+  cm.last_components->set(static_cast<double>(out.n_components));
+  cm.last_seconds->set(out.seconds);
+}
+
+}  // namespace fastbfs::apps

@@ -1,0 +1,67 @@
+// Parallel connected components over EdgeMap: asynchronous min-label
+// propagation (Ligra/Blaze WCC shape; DESIGN.md Sec. 5i).
+//
+// One labels array, initialized to vertex ids. Sparse (push) mode lowers
+// a neighbour's label with a CAS-min loop; dense (pull) mode is
+// owner-computes and uses plain relaxed stores. The frontier is exactly
+// the set of vertices whose label just dropped, so the run terminates
+// when no label changes. Intermediate frontiers are schedule-dependent,
+// but the fixpoint — every vertex labelled with the minimum id of its
+// component — is deterministic, which is what the differential tests
+// compare exactly.
+//
+// This is the parallel face of src/graph/components.h: label(v) equals
+// the serial sweep's ComponentInfo::representative for v's component, and
+// the wrapper below converts labels into that serial API's shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/edge_map.h"
+#include "graph/adjacency_array.h"
+
+namespace fastbfs::apps {
+
+struct ComponentsResult {
+  /// label[v] == smallest vertex id in v's component (v itself when
+  /// isolated).
+  std::vector<vid_t> label;
+  vid_t n_components = 0;
+  /// Size of the largest component.
+  std::uint64_t giant_size = 0;
+  double seconds = 0.0;
+};
+
+class ConnectedComponents {
+ public:
+  ConnectedComponents(const AdjacencyArray& adj,
+                      const BfsOptions& engine_opts);
+
+  /// Allocation-free once warm when out.label is already |V|-sized.
+  void run_into(ComponentsResult& out);
+
+  const EdgeMapStats& last_stats() const { return engine_.last_stats(); }
+
+ private:
+  struct Program {
+    ConnectedComponents* app = nullptr;
+
+    bool cond(vid_t) const { return true; }
+    bool update_sparse(vid_t s, vid_t d);
+    bool update_dense(vid_t s, vid_t d);
+    bool refill(vid_t) const { return true; }  // initial frontier: all
+    void begin_step(unsigned) {}
+    StepVerdict end_step(unsigned, std::uint64_t) {
+      return StepVerdict::kContinue;  // empty emission set terminates
+    }
+  };
+
+  const AdjacencyArray& adj_;
+  Program prog_;
+  EdgeMapEngine<Program> engine_;
+  std::vector<vid_t> labels_;
+  std::vector<std::uint64_t> size_scratch_;  // component-size fold buffer
+};
+
+}  // namespace fastbfs::apps

@@ -1,0 +1,130 @@
+#include "apps/kcore.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace fastbfs::apps {
+
+namespace {
+
+struct KcMetrics {
+  obs::Counter* runs;
+  obs::Counter* steps;
+  obs::Gauge* last_max_core;
+  obs::Gauge* last_seconds;
+
+  static const KcMetrics& get() {
+    static const KcMetrics m = [] {
+      obs::Registry& r = obs::metrics();
+      KcMetrics k;
+      k.runs = r.counter("fastbfs_app_kcore_runs_total");
+      k.steps = r.counter("fastbfs_app_kcore_steps_total");
+      k.last_max_core = r.gauge("fastbfs_app_kcore_last_max_core");
+      k.last_seconds = r.gauge("fastbfs_app_kcore_last_seconds");
+      return k;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+void KCoreDecomposition::record_peel(vid_t v) {
+  core_[v] = k_ - 1;
+  remaining_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool KCoreDecomposition::Program::cond(vid_t d) const {
+  return !std::atomic_ref<const std::uint8_t>(app->peeled_[d])
+              .load(std::memory_order_relaxed);
+}
+
+bool KCoreDecomposition::Program::update_sparse(vid_t s, vid_t d) {
+  (void)s;
+  std::atomic_ref<vid_t> deg(app->deg_[d]);
+  const vid_t now = deg.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (now >= app->k_) return false;
+  // Racing sources can all see deg below k; the exchange elects one
+  // peeler so remaining_ and core_ are written exactly once.
+  std::atomic_ref<std::uint8_t> flag(app->peeled_[d]);
+  if (flag.exchange(1, std::memory_order_relaxed)) return false;
+  app->record_peel(d);
+  return true;
+}
+
+bool KCoreDecomposition::Program::update_dense(vid_t s, vid_t d) {
+  (void)s;
+  // Owner-computes: d's degree and peel flag are ours alone this step.
+  const vid_t now = --app->deg_[d];
+  if (now >= app->k_) return false;
+  app->peeled_[d] = 1;  // cond(d) flips false -> engine stops probing d
+  app->record_peel(d);
+  return true;
+}
+
+bool KCoreDecomposition::Program::refill(vid_t v) {
+  if (app->peeled_[v] || app->deg_[v] >= app->k_) return false;
+  app->peeled_[v] = 1;  // once-per-vertex contract makes this safe
+  app->record_peel(v);
+  return true;
+}
+
+StepVerdict KCoreDecomposition::Program::end_step(unsigned /*step*/,
+                                                  std::uint64_t emitted) {
+  if (emitted > 0) return StepVerdict::kContinue;
+  if (app->remaining_.load(std::memory_order_relaxed) == 0) {
+    return StepVerdict::kStop;
+  }
+  // Cascade dried up with survivors: every live vertex now has degree
+  // >= k, so the next peel level is 1 + the minimum surviving degree
+  // (jumping over empty levels in one hop).
+  vid_t min_deg = std::numeric_limits<vid_t>::max();
+  const vid_t n = app->adj_.n_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    if (!app->peeled_[v]) min_deg = std::min(min_deg, app->deg_[v]);
+  }
+  app->k_ = min_deg + 1;
+  return StepVerdict::kRefill;
+}
+
+KCoreDecomposition::KCoreDecomposition(const AdjacencyArray& adj,
+                                       const BfsOptions& engine_opts)
+    : adj_(adj), engine_(adj, engine_opts) {
+  prog_.app = this;
+  deg_.resize(adj.n_vertices());
+  peeled_.resize(adj.n_vertices());
+  core_.resize(adj.n_vertices());
+}
+
+void KCoreDecomposition::run_into(KCoreResult& out) {
+  const vid_t n = adj_.n_vertices();
+  vid_t min_deg = std::numeric_limits<vid_t>::max();
+  for (vid_t v = 0; v < n; ++v) {
+    deg_[v] = adj_.degree(v);
+    peeled_[v] = 0;
+    core_[v] = 0;
+    min_deg = std::min(min_deg, deg_[v]);
+  }
+  remaining_.store(n, std::memory_order_relaxed);
+  // Start at the first non-empty peel level; the initial refill pass in
+  // prepare_run peels the minimum-degree seed set.
+  k_ = (n > 0 ? min_deg : 0) + 1;
+
+  engine_.run(prog_);
+
+  if (out.core.size() != n) out.core.resize(n);
+  std::copy(core_.begin(), core_.end(), out.core.begin());
+  out.max_core = 0;
+  for (vid_t v = 0; v < n; ++v) out.max_core = std::max(out.max_core, core_[v]);
+  out.seconds = engine_.last_stats().total_seconds;
+
+  const KcMetrics& km = KcMetrics::get();
+  km.runs->inc();
+  km.steps->add(engine_.final_step());
+  km.last_max_core->set(static_cast<double>(out.max_core));
+  km.last_seconds->set(out.seconds);
+}
+
+}  // namespace fastbfs::apps

@@ -1,0 +1,75 @@
+// k-core decomposition over EdgeMap: parallel peeling (DESIGN.md Sec. 5i).
+//
+// The frontier is the set of vertices peeled in the previous step; mapping
+// over it decrements the live degree of every unpeeled neighbour, and a
+// vertex whose degree drops below the current peel level k is peeled in
+// turn (core number k-1) and emitted. When a cascade dries up, the thread-0
+// end_step hook either stops (nothing left) or advances k straight to
+// 1 + the minimum surviving degree — skipping empty levels — and rebuilds
+// the frontier through refill(), which peels the new level's seed vertices
+// as a side effect (the contract's once-per-vertex guarantee makes that
+// safe).
+//
+// Sparse (push) updates decrement with an atomic fetch_sub and peel with
+// an exchange so racing sources peel a vertex exactly once; dense (pull)
+// updates are owner-computes with plain arithmetic, and the engine's
+// cond() early-exit stops probing a vertex the moment it peels. A peeled
+// vertex's degree counter is never read again, so late decrements
+// (including unsigned wrap) are harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/edge_map.h"
+#include "graph/adjacency_array.h"
+
+namespace fastbfs::apps {
+
+struct KCoreResult {
+  /// core[v] == largest k such that v belongs to the k-core (0 for
+  /// isolated vertices).
+  std::vector<vid_t> core;
+  vid_t max_core = 0;
+  double seconds = 0.0;
+};
+
+class KCoreDecomposition {
+ public:
+  KCoreDecomposition(const AdjacencyArray& adj,
+                     const BfsOptions& engine_opts);
+
+  /// Allocation-free once warm when out.core is already |V|-sized.
+  void run_into(KCoreResult& out);
+
+  const EdgeMapStats& last_stats() const { return engine_.last_stats(); }
+
+ private:
+  struct Program {
+    KCoreDecomposition* app = nullptr;
+
+    bool cond(vid_t d) const;
+    bool update_sparse(vid_t s, vid_t d);
+    bool update_dense(vid_t s, vid_t d);
+    bool refill(vid_t v);  // peels v when deg < k (side effect)
+    void begin_step(unsigned) {}
+    StepVerdict end_step(unsigned step, std::uint64_t emitted);
+  };
+
+  /// Peel bookkeeping shared by the sparse/dense/refill paths; the caller
+  /// guarantees single-peel (exchange won or owner-computes/refill).
+  void record_peel(vid_t v);
+
+  const AdjacencyArray& adj_;
+  Program prog_;
+  EdgeMapEngine<Program> engine_;
+
+  std::vector<vid_t> deg_;        // live degree; atomic_ref'd in sparse
+  std::vector<std::uint8_t> peeled_;
+  std::vector<vid_t> core_;
+  std::atomic<std::uint64_t> remaining_{0};  // unpeeled vertex count
+  vid_t k_ = 1;                   // current peel level
+};
+
+}  // namespace fastbfs::apps

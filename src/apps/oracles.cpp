@@ -1,0 +1,107 @@
+#include "apps/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "apps/sssp.h"
+
+namespace fastbfs::apps {
+
+std::vector<vid_t> cc_oracle(const AdjacencyArray& adj) {
+  const vid_t n = adj.n_vertices();
+  std::vector<vid_t> label(n);
+  for (vid_t v = 0; v < n; ++v) label[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (vid_t v = 0; v < n; ++v) {
+      for (const vid_t w : adj.neighbors(v)) {
+        if (label[w] < label[v]) {
+          label[v] = label[w];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<double> pagerank_oracle(const AdjacencyArray& adj,
+                                    const PageRankOptions& opts) {
+  const vid_t n = adj.n_vertices();
+  const double nn = n > 0 ? static_cast<double>(n) : 1.0;
+  const double base = (1.0 - opts.damping) / nn;
+  std::vector<double> rank(n, 1.0 / nn);
+  std::vector<double> contrib(n), sums(n);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t deg = adj.degree(v);
+    contrib[v] = deg > 0 ? rank[v] / static_cast<double>(deg) : 0.0;
+  }
+  for (unsigned it = 0; it < opts.max_iterations; ++it) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (vid_t v = 0; v < n; ++v) {
+      for (const vid_t w : adj.neighbors(v)) sums[w] += contrib[v];
+    }
+    double delta = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      const double next = base + opts.damping * sums[v];
+      delta += std::abs(next - rank[v]);
+      rank[v] = next;
+      const vid_t deg = adj.degree(v);
+      contrib[v] = deg > 0 ? next / static_cast<double>(deg) : 0.0;
+    }
+    if (opts.tolerance > 0.0 && delta < opts.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<vid_t> kcore_oracle(const AdjacencyArray& adj) {
+  const vid_t n = adj.n_vertices();
+  std::vector<vid_t> deg(n), core(n, 0);
+  std::vector<std::uint8_t> alive(n, 1);
+  vid_t remaining = n;
+  for (vid_t v = 0; v < n; ++v) deg[v] = adj.degree(v);
+  for (vid_t k = 1; remaining > 0; ++k) {
+    bool peeled = true;
+    while (peeled) {
+      peeled = false;
+      for (vid_t v = 0; v < n; ++v) {
+        if (!alive[v] || deg[v] >= k) continue;
+        alive[v] = 0;
+        core[v] = k - 1;
+        --remaining;
+        peeled = true;
+        for (const vid_t w : adj.neighbors(v)) {
+          if (alive[w]) --deg[w];
+        }
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<std::uint32_t> sssp_oracle(const AdjacencyArray& adj,
+                                       vid_t source,
+                                       const WeightParams& wp) {
+  const vid_t n = adj.n_vertices();
+  std::vector<std::uint32_t> dist(n, kSsspInf);
+  dist[source] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (vid_t v = 0; v < n; ++v) {
+      if (dist[v] == kSsspInf) continue;
+      for (const vid_t w : adj.neighbors(v)) {
+        const std::uint32_t nd = dist[v] + edge_weight(v, w, wp);
+        if (nd < dist[w]) {
+          dist[w] = nd;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace fastbfs::apps

@@ -1,0 +1,39 @@
+// Naive serial oracles for the EdgeMap apps (tests/test_apps.cpp, the
+// tier2-stress sweep and bench_apps --check differential-validate against
+// these). Deliberately the textbook versions — label-propagation sweeps,
+// plain Bellman-Ford, a peel loop, power iteration — so they are
+// obviously correct and structurally unrelated to the engine under test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "apps/weights.h"
+#include "graph/adjacency_array.h"
+
+namespace fastbfs::apps {
+
+/// label[v] = smallest vertex id in v's component (serial sweeps to
+/// fixpoint).
+std::vector<vid_t> cc_oracle(const AdjacencyArray& adj);
+
+/// Power iteration with the identical recurrence and stopping rule as the
+/// parallel app (same damping/tolerance/max_iterations; dangling mass not
+/// redistributed), so differential comparison needs only floating-point
+/// tolerance for the parallel sum order.
+std::vector<double> pagerank_oracle(const AdjacencyArray& adj,
+                                    const PageRankOptions& opts = {});
+
+/// core[v] = k-core number via the naive peel loop (k = 1, 2, ...;
+/// cascade-peel everything with live degree < k before advancing).
+std::vector<vid_t> kcore_oracle(const AdjacencyArray& adj);
+
+/// dist[v] = shortest-path distance from source under the hash weights of
+/// apps/weights.h, via Bellman-Ford sweeps to fixpoint (kSsspInf == the
+/// engine's unreachable marker).
+std::vector<std::uint32_t> sssp_oracle(const AdjacencyArray& adj,
+                                       vid_t source,
+                                       const WeightParams& wp = {});
+
+}  // namespace fastbfs::apps

@@ -1,0 +1,114 @@
+#include "apps/pagerank.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace fastbfs::apps {
+
+namespace {
+
+inline void atomic_add(double& slot, double v) {
+  std::atomic_ref<double> a(slot);
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+struct PrMetrics {
+  obs::Counter* runs;
+  obs::Counter* iterations;
+  obs::Gauge* last_delta;
+  obs::Gauge* last_seconds;
+
+  static const PrMetrics& get() {
+    static const PrMetrics m = [] {
+      obs::Registry& r = obs::metrics();
+      PrMetrics p;
+      p.runs = r.counter("fastbfs_app_pagerank_runs_total");
+      p.iterations = r.counter("fastbfs_app_pagerank_iterations_total");
+      p.last_delta = r.gauge("fastbfs_app_pagerank_last_delta");
+      p.last_seconds = r.gauge("fastbfs_app_pagerank_last_seconds");
+      return p;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+bool PageRank::Program::update_sparse(vid_t s, vid_t d) {
+  atomic_add(app->sums_[d], app->contrib_[s]);
+  return true;
+}
+
+bool PageRank::Program::update_dense(vid_t s, vid_t d) {
+  app->sums_[d] += app->contrib_[s];
+  return true;
+}
+
+StepVerdict PageRank::Program::end_step(unsigned /*step*/,
+                                        std::uint64_t /*emitted*/) {
+  return app->end_iteration();
+}
+
+StepVerdict PageRank::end_iteration() {
+  const double n = static_cast<double>(adj_.n_vertices());
+  const double base = (1.0 - opts_.damping) / n;
+  double delta = 0.0;
+  for (vid_t v = 0; v < adj_.n_vertices(); ++v) {
+    const double next = base + opts_.damping * sums_[v];
+    delta += std::abs(next - rank_[v]);
+    rank_[v] = next;
+    sums_[v] = 0.0;
+    const vid_t deg = adj_.degree(v);
+    contrib_[v] = deg > 0 ? next / static_cast<double>(deg) : 0.0;
+  }
+  ++iterations_;
+  delta_ = delta;
+  if (iterations_ >= opts_.max_iterations ||
+      (opts_.tolerance > 0.0 && delta < opts_.tolerance)) {
+    return StepVerdict::kStop;
+  }
+  return StepVerdict::kRefill;
+}
+
+PageRank::PageRank(const AdjacencyArray& adj, const BfsOptions& engine_opts,
+                   const PageRankOptions& opts)
+    : adj_(adj), opts_(opts), engine_(adj, engine_opts) {
+  prog_.app = this;
+  rank_.resize(adj.n_vertices());
+  sums_.resize(adj.n_vertices());
+  contrib_.resize(adj.n_vertices());
+}
+
+void PageRank::run_into(PageRankResult& out) {
+  const vid_t n = adj_.n_vertices();
+  const double init = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    rank_[v] = init;
+    sums_[v] = 0.0;
+    const vid_t deg = adj_.degree(v);
+    contrib_[v] = deg > 0 ? init / static_cast<double>(deg) : 0.0;
+  }
+  iterations_ = 0;
+  delta_ = 0.0;
+
+  engine_.run(prog_);
+
+  if (out.rank.size() != n) out.rank.resize(n);
+  std::copy(rank_.begin(), rank_.end(), out.rank.begin());
+  out.iterations = iterations_;
+  out.delta = delta_;
+  out.seconds = engine_.last_stats().total_seconds;
+
+  const PrMetrics& pm = PrMetrics::get();
+  pm.runs->inc();
+  pm.iterations->add(iterations_);
+  pm.last_delta->set(delta_);
+  pm.last_seconds->set(out.seconds);
+}
+
+}  // namespace fastbfs::apps

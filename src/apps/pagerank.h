@@ -1,0 +1,79 @@
+// Synchronous PageRank over EdgeMap (DESIGN.md Sec. 5i).
+//
+// Every iteration maps the whole vertex set: sources push (or targets
+// pull) rank/degree contributions into a sums array, then the thread-0
+// end_step hook turns sums into the next rank vector, accumulates the L1
+// delta and decides convergence. Sparse (push) mode accumulates with a
+// CAS-loop double add — the one functor in the app set that genuinely
+// needs atomics, because distinct sources race on one target's sum; dense
+// (pull) mode is owner-computes and uses plain adds. Under kAuto the
+// full-frontier iteration flips to dense immediately (frontier edges ==
+// all arcs), which is the natural mode for PageRank.
+//
+// Dangling mass is not redistributed: a zero-degree vertex keeps the base
+// rank (1-d)/|V|. The serial oracle uses the identical recurrence, so
+// differential tests compare within floating-point tolerance only (the
+// parallel sum order is schedule-dependent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/edge_map.h"
+#include "graph/adjacency_array.h"
+
+namespace fastbfs::apps {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  /// Stop when the L1 rank delta of an iteration falls below this; 0
+  /// disables the test (fixed max_iterations — what the differential
+  /// tests use so both sides run the same iteration count).
+  double tolerance = 1e-10;
+  unsigned max_iterations = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  unsigned iterations = 0;
+  double delta = 0.0;  // L1 delta of the last iteration
+  double seconds = 0.0;
+};
+
+class PageRank {
+ public:
+  PageRank(const AdjacencyArray& adj, const BfsOptions& engine_opts,
+           const PageRankOptions& opts = {});
+
+  /// Allocation-free once warm when out.rank is already |V|-sized.
+  void run_into(PageRankResult& out);
+
+  const EdgeMapStats& last_stats() const { return engine_.last_stats(); }
+
+ private:
+  struct Program {
+    PageRank* app = nullptr;
+
+    bool cond(vid_t) const { return true; }
+    bool update_sparse(vid_t s, vid_t d);
+    bool update_dense(vid_t s, vid_t d);
+    bool refill(vid_t) const { return true; }
+    void begin_step(unsigned) {}
+    StepVerdict end_step(unsigned step, std::uint64_t emitted);
+  };
+
+  StepVerdict end_iteration();
+
+  const AdjacencyArray& adj_;
+  PageRankOptions opts_;
+  Program prog_;
+  EdgeMapEngine<Program> engine_;
+
+  std::vector<double> rank_;
+  std::vector<double> sums_;
+  std::vector<double> contrib_;  // rank / degree, refreshed per iteration
+  unsigned iterations_ = 0;
+  double delta_ = 0.0;
+};
+
+}  // namespace fastbfs::apps

@@ -1,0 +1,130 @@
+#include "apps/sssp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace fastbfs::apps {
+
+namespace {
+
+inline std::uint32_t load_dist(const std::uint32_t& slot) {
+  return std::atomic_ref<const std::uint32_t>(slot).load(
+      std::memory_order_relaxed);
+}
+
+struct SpMetrics {
+  obs::Counter* runs;
+  obs::Counter* steps;
+  obs::Gauge* last_reached;
+  obs::Gauge* last_seconds;
+
+  static const SpMetrics& get() {
+    static const SpMetrics m = [] {
+      obs::Registry& r = obs::metrics();
+      SpMetrics s;
+      s.runs = r.counter("fastbfs_app_sssp_runs_total");
+      s.steps = r.counter("fastbfs_app_sssp_steps_total");
+      s.last_reached = r.gauge("fastbfs_app_sssp_last_reached");
+      s.last_seconds = r.gauge("fastbfs_app_sssp_last_seconds");
+      return s;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+bool DeltaSteppingSssp::Program::update_sparse(vid_t s, vid_t d) {
+  const std::uint32_t ds = load_dist(app->dist_[s]);
+  const std::uint32_t w = edge_weight(s, d, app->opts_.weights);
+  if (ds >= kSsspInf - w) return false;  // unreachable source / overflow
+  const std::uint32_t nd = ds + w;
+  std::atomic_ref<std::uint32_t> dd(app->dist_[d]);
+  std::uint32_t cur = dd.load(std::memory_order_relaxed);
+  while (nd < cur) {
+    if (dd.compare_exchange_weak(cur, nd, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DeltaSteppingSssp::Program::update_dense(vid_t s, vid_t d) {
+  // Owner-computes on d; the source distance races with its owner.
+  const std::uint32_t ds = load_dist(app->dist_[s]);
+  const std::uint32_t w = edge_weight(s, d, app->opts_.weights);
+  if (ds >= kSsspInf - w) return false;
+  const std::uint32_t nd = ds + w;
+  std::atomic_ref<std::uint32_t> dd(app->dist_[d]);
+  if (nd >= dd.load(std::memory_order_relaxed)) return false;
+  dd.store(nd, std::memory_order_relaxed);
+  return true;
+}
+
+bool DeltaSteppingSssp::Program::refill(vid_t v) {
+  const std::uint32_t dv = app->dist_[v];
+  if (dv >= app->bucket_end_ || dv == app->relaxed_dist_[v]) return false;
+  app->relaxed_dist_[v] = dv;  // once-per-vertex contract makes this safe
+  return true;
+}
+
+StepVerdict DeltaSteppingSssp::Program::end_step(unsigned /*step*/,
+                                                 std::uint64_t emitted) {
+  // Emissions can land beyond the current bucket, so the frontier is
+  // always rebuilt through the bucket filter rather than adopted.
+  if (emitted > 0) return StepVerdict::kRefill;
+  // Nothing improved: all pending vertices (if any) lie past bucket_end.
+  std::uint32_t min_pending = kSsspInf;
+  const vid_t n = app->adj_.n_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    if (app->dist_[v] != app->relaxed_dist_[v]) {
+      min_pending = std::min(min_pending, app->dist_[v]);
+    }
+  }
+  if (min_pending == kSsspInf) return StepVerdict::kStop;
+  const std::uint64_t delta = std::max<std::uint32_t>(app->opts_.delta, 1);
+  app->bucket_end_ = (min_pending / delta + 1) * delta;
+  return StepVerdict::kRefill;
+}
+
+DeltaSteppingSssp::DeltaSteppingSssp(const AdjacencyArray& adj,
+                                     const BfsOptions& engine_opts,
+                                     const SsspOptions& opts)
+    : adj_(adj), opts_(opts), engine_(adj, engine_opts) {
+  prog_.app = this;
+  dist_.resize(adj.n_vertices());
+  relaxed_dist_.resize(adj.n_vertices());
+}
+
+void DeltaSteppingSssp::run_into(vid_t source, SsspResult& out) {
+  const vid_t n = adj_.n_vertices();
+  if (source >= n) {
+    throw std::out_of_range("sssp source out of range");
+  }
+  std::fill(dist_.begin(), dist_.end(), kSsspInf);
+  std::fill(relaxed_dist_.begin(), relaxed_dist_.end(), kSsspInf);
+  dist_[source] = 0;
+  relaxed_dist_[source] = 1;  // != dist -> pending, fixed by the seed refill
+  bucket_end_ = std::max<std::uint32_t>(opts_.delta, 1);
+
+  engine_.run(prog_);
+
+  if (out.dist.size() != n) out.dist.resize(n);
+  std::copy(dist_.begin(), dist_.end(), out.dist.begin());
+  out.n_reached = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (dist_[v] != kSsspInf) ++out.n_reached;
+  }
+  out.seconds = engine_.last_stats().total_seconds;
+
+  const SpMetrics& sm = SpMetrics::get();
+  sm.runs->inc();
+  sm.steps->add(engine_.final_step());
+  sm.last_reached->set(static_cast<double>(out.n_reached));
+  sm.last_seconds->set(out.seconds);
+}
+
+}  // namespace fastbfs::apps

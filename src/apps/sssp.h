@@ -1,0 +1,84 @@
+// Delta-stepping SSSP over EdgeMap (DESIGN.md Sec. 5i).
+//
+// Weights come from the deterministic hash in apps/weights.h (the CSR is
+// unweighted), so any (graph, seed) pair names the same weighted
+// instance for the engine and the Bellman-Ford oracle alike. Symmetric
+// hashing makes w(u,v) == w(v,u), which the dense (pull) relaxation
+// direction needs.
+//
+// The bucket machinery rides on a pending marker instead of explicit
+// bucket lists: a vertex is *pending* while dist != relaxed_dist, i.e.
+// its tentative distance improved since it last entered the frontier.
+// Every step relaxes the frontier's edges (CAS-min sparse, owner-computes
+// plain-min dense) and ends with kRefill; refill() selects the pending
+// vertices inside the current bucket [0, bucket_end) and snapshots
+// relaxed_dist = dist as its once-per-vertex side effect. When a step
+// relaxes nothing, every pending vertex sits beyond bucket_end, so
+// thread 0 advances bucket_end to the pending minimum's bucket — or
+// stops when nothing is pending, at which point dist is a relaxation
+// fixpoint and therefore exact.
+//
+// This is the simplified (no light/heavy split) delta-stepping of
+// Sec. VI's "other traversals" discussion: all edges relax every step;
+// delta only throttles how much of the improved set re-enters per step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/weights.h"
+#include "core/edge_map.h"
+#include "graph/adjacency_array.h"
+
+namespace fastbfs::apps {
+
+inline constexpr std::uint32_t kSsspInf = 0xFFFFFFFFu;
+
+struct SsspOptions {
+  /// Bucket width. 0 is promoted to 1 (pure Dijkstra-ish settling would
+  /// need a priority queue; width-1 buckets are the closest EdgeMap gets).
+  std::uint32_t delta = 8;
+  WeightParams weights;
+};
+
+struct SsspResult {
+  /// dist[v] == weighted shortest-path distance from the source, or
+  /// kSsspInf when unreachable.
+  std::vector<std::uint32_t> dist;
+  vid_t n_reached = 0;
+  double seconds = 0.0;
+};
+
+class DeltaSteppingSssp {
+ public:
+  DeltaSteppingSssp(const AdjacencyArray& adj, const BfsOptions& engine_opts,
+                    const SsspOptions& opts = {});
+
+  /// Allocation-free once warm when out.dist is already |V|-sized.
+  void run_into(vid_t source, SsspResult& out);
+
+  const EdgeMapStats& last_stats() const { return engine_.last_stats(); }
+
+ private:
+  struct Program {
+    DeltaSteppingSssp* app = nullptr;
+
+    bool cond(vid_t) const { return true; }
+    bool update_sparse(vid_t s, vid_t d);
+    bool update_dense(vid_t s, vid_t d);
+    bool refill(vid_t v);  // snapshots relaxed_dist (side effect)
+    void begin_step(unsigned) {}
+    StepVerdict end_step(unsigned step, std::uint64_t emitted);
+  };
+
+  const AdjacencyArray& adj_;
+  SsspOptions opts_;
+  Program prog_;
+  EdgeMapEngine<Program> engine_;
+
+  std::vector<std::uint32_t> dist_;          // atomic_ref'd in sparse
+  std::vector<std::uint32_t> relaxed_dist_;  // frontier-entry snapshot
+  std::uint64_t bucket_end_ = 0;  // 64-bit: never saturates near kSsspInf
+};
+
+}  // namespace fastbfs::apps

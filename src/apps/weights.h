@@ -1,0 +1,34 @@
+// Deterministic synthetic edge weights for SSSP over an unweighted CSR.
+//
+// The library's graphs carry no weight arrays, so delta-stepping (and its
+// Bellman-Ford oracle) derive a weight per edge from a hash of the
+// endpoint pair. Hashing min/max makes the weight symmetric — w(u,v) ==
+// w(v,u) — which the dense (pull) relaxation direction requires, and any
+// (graph, seed) pair reproduces the same weighted instance everywhere.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace fastbfs::apps {
+
+struct WeightParams {
+  std::uint64_t seed = 1;
+  std::uint32_t max_weight = 8;  // weights are uniform-ish in [1, max]
+};
+
+inline std::uint32_t edge_weight(vid_t u, vid_t v, const WeightParams& wp) {
+  const std::uint64_t a = std::min(u, v);
+  const std::uint64_t b = std::max(u, v);
+  std::uint64_t x = (a << 32) ^ b ^ (wp.seed * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return 1 + static_cast<std::uint32_t>(x % wp.max_weight);
+}
+
+}  // namespace fastbfs::apps

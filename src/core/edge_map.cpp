@@ -1,0 +1,111 @@
+#include "core/edge_map.h"
+
+#include <algorithm>
+
+namespace fastbfs {
+
+void VertexSubset::Lane::compute_offsets() {
+  offsets.resize(counts.size());
+  std::uint32_t run = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    offsets[b] = run;
+    run += counts[b];
+  }
+}
+
+void VertexSubset::Lane::clear(unsigned n_bins) {
+  verts.clear();
+  counts.assign(n_bins, 0);
+  offsets.assign(n_bins, 0);
+}
+
+VertexSubset::VertexSubset(vid_t n_vertices, unsigned n_lanes,
+                           unsigned n_bins, unsigned bin_shift,
+                           unsigned n_dense_partitions)
+    : n_vertices_(n_vertices), n_bins_(n_bins), bin_shift_(bin_shift) {
+  lanes_.resize(n_lanes);
+  for (Lane& lane : lanes_) lane.clear(n_bins);
+  if (n_dense_partitions > 0) {
+    dense_ = std::make_unique<VisArray>(n_vertices, VisArray::Kind::kBit,
+                                        n_dense_partitions);
+  }
+}
+
+void VertexSubset::swap_dense(VertexSubset& other) {
+  std::swap(dense_, other.dense_);
+  std::swap(dense_valid_, other.dense_valid_);
+}
+
+std::uint64_t VertexSubset::count() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.verts.size();
+  return total;
+}
+
+bool VertexSubset::contains(vid_t v) const {
+  if (dense_valid_ && dense_) return dense_->test(v);
+  for (const Lane& lane : lanes_) {
+    if (std::find(lane.verts.begin(), lane.verts.end(), v) !=
+        lane.verts.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void VertexSubset::clear() {
+  for (Lane& lane : lanes_) lane.clear(n_bins_);
+  if (dense_) dense_->clear();
+  dense_valid_ = false;
+}
+
+void VertexSubset::add(vid_t v, unsigned lane_hint) {
+  Lane& lane = lanes_[lane_hint % lanes_.size()];
+  lane.verts.push_back(v);
+  ++lane.counts[bin_of(v)];
+  lane.compute_offsets();
+}
+
+void VertexSubset::to_dense() {
+  for (const Lane& lane : lanes_) {
+    for (const vid_t v : lane.verts) dense_->set(v);
+  }
+  dense_valid_ = true;
+}
+
+void VertexSubset::to_sparse() {
+  for (Lane& lane : lanes_) lane.clear(n_bins_);
+  Lane& out = lanes_[0];
+  for (vid_t v = 0; v < n_vertices_; ++v) {
+    if (!dense_->test(v)) continue;
+    out.verts.push_back(v);
+    ++out.counts[bin_of(v)];
+  }
+  out.compute_offsets();
+}
+
+void VertexSubset::gather_sorted(std::vector<vid_t>& out) const {
+  out.clear();
+  for (const Lane& lane : lanes_) {
+    out.insert(out.end(), lane.verts.begin(), lane.verts.end());
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::string EdgeMapStats::direction_string() const {
+  std::string s;
+  s.reserve(steps.size());
+  for (const EdgeMapStepStats& st : steps) {
+    s.push_back(st.direction == StepDirection::kBottomUp ? 'B' : 'T');
+  }
+  return s;
+}
+
+void EdgeMapStats::reset() {
+  direction_switches = 0;
+  refills = 0;
+  total_seconds = 0.0;
+  steps.clear();  // capacity kept: warm same-shape runs re-push in place
+}
+
+}  // namespace fastbfs

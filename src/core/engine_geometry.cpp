@@ -1,0 +1,79 @@
+#include "core/engine_geometry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/vis.h"
+#include "util/types.h"
+
+namespace fastbfs {
+
+EngineGeometry resolve_engine_geometry(const AdjacencyArray& adj,
+                                       const BfsOptions& opts) {
+  if (adj.partition().n_sockets() != opts.n_sockets) {
+    throw std::invalid_argument(
+        "resolve_engine_geometry: adjacency array built for a different "
+        "socket count");
+  }
+
+  EngineGeometry geo;
+  geo.vis_mode = opts.vis_mode;
+
+  // Bottom-up steps need *some* visited structure to skip claimed
+  // vertices cheaply and to keep invariant 3 (depth assigned => bit set)
+  // for any later top-down step; VisMode::kNone has none, so it is
+  // transparently upgraded to the single-partition bit array. Pinned by
+  // tests/test_direction.cpp.
+  if (opts.direction != DirectionMode::kTopDown &&
+      geo.vis_mode == VisMode::kNone) {
+    geo.vis_mode = VisMode::kBit;
+  }
+
+  // Footnote 2's selection rule: a byte per vertex while the whole byte
+  // array fits the LLC, bits (partitioned as needed) beyond that.
+  if (geo.vis_mode == VisMode::kAuto) {
+    geo.vis_mode = adj.n_vertices() <= opts.effective_llc_bytes()
+                       ? VisMode::kByte
+                       : VisMode::kPartitionedBit;
+  }
+
+  // N_VIS (Sec. III-A): only the partitioned mode partitions.
+  geo.n_vis = 1;
+  if (geo.vis_mode == VisMode::kPartitionedBit) {
+    geo.n_vis = vis_partitions(adj.n_vertices(), opts.effective_llc_bytes());
+    // Bins are vertex-range shifts: cannot have more VIS partitions than
+    // vertices per socket.
+    const std::uint64_t v_ns = adj.partition().vertices_per_socket();
+    geo.n_vis = static_cast<unsigned>(std::min<std::uint64_t>(geo.n_vis, v_ns));
+  }
+
+  // N_PBV = N_S * N_VIS (Sec. III-B3); the no-optimization scheme uses a
+  // single undifferentiated bin.
+  if (opts.scheme == SocketScheme::kNone) {
+    geo.n_bins = 1;
+    geo.bin_shift = 31;  // every id (< 2^31) maps to bin 0
+  } else {
+    geo.n_bins = opts.n_sockets * geo.n_vis;
+    geo.bin_shift = adj.partition().shift() - floor_log2(geo.n_vis);
+  }
+
+  // Footnote 4: pairs are more space-efficient once a marker per bin per
+  // vertex exceeds the neighbours a vertex contributes.
+  switch (opts.pbv_encoding) {
+    case PbvEncoding::kMarkers:
+      geo.use_pairs = false;
+      break;
+    case PbvEncoding::kPairs:
+      geo.use_pairs = true;
+      break;
+    case PbvEncoding::kAuto:
+      geo.use_pairs =
+          static_cast<double>(geo.n_bins) >= adj.average_degree_or_one();
+      break;
+  }
+
+  geo.bu_serial = adj.partition().vertices_per_socket() < 8;
+  return geo;
+}
+
+}  // namespace fastbfs

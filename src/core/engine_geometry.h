@@ -1,0 +1,39 @@
+// Engine geometry resolution shared by TwoPhaseBfs and EdgeMapEngine.
+//
+// Both engines derive the same quantities from (graph, options):
+//   N_VIS     = vis_partitions(|V|, |C|) when partitioned bits are in play
+//   N_PBV     = N_S * N_VIS (1 when scheme == kNone)
+//   bin shift = log2|V_NS| - log2 N_VIS
+//   encoding  = markers vs (parent, child) pairs (footnote 4)
+// plus the kAuto VIS-mode resolution (footnote 2) and the kNone -> kBit
+// upgrade that direction-optimized runs need. Factoring the block out
+// guarantees the EdgeMap layer bins, plans and partitions *identically*
+// to the BFS engine — the bit-for-bit regression pin in
+// tests/test_edge_map.cpp depends on it.
+#pragma once
+
+#include "core/options.h"
+#include "graph/adjacency_array.h"
+
+namespace fastbfs {
+
+struct EngineGeometry {
+  /// opts.vis_mode with kAuto resolved to a concrete mode and kNone
+  /// upgraded to kBit when the direction mode can run bottom-up steps.
+  VisMode vis_mode = VisMode::kPartitionedBit;
+  unsigned n_vis = 1;       // N_VIS
+  unsigned n_bins = 1;      // N_PBV
+  unsigned bin_shift = 31;  // bin(v) = v >> bin_shift
+  bool use_pairs = false;   // PBV pair encoding instead of markers
+  /// Degenerate partitions (< 8 vertices per socket) cannot align two
+  /// sockets' bitmap bytes apart; dense (bottom-up) scans then run on
+  /// thread 0 alone.
+  bool bu_serial = false;
+};
+
+/// Pure function of (adj, opts); throws std::invalid_argument when the
+/// adjacency was built for a different socket count than opts.n_sockets.
+EngineGeometry resolve_engine_geometry(const AdjacencyArray& adj,
+                                       const BfsOptions& opts);
+
+}  // namespace fastbfs

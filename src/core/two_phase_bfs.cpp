@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/engine_geometry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "platform/prefetch.h"
@@ -133,64 +134,16 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
       topo_(opts.n_sockets, opts.n_threads),
       pool_(topo_, opts.pin_threads),
       rearranger_(adj, opts.cache, opts.use_streaming_stores) {
-  if (adj.partition().n_sockets() != opts.n_sockets) {
-    throw std::invalid_argument(
-        "TwoPhaseBfs: adjacency array built for a different socket count");
-  }
-
-  // Bottom-up steps need *some* visited structure to skip claimed
-  // vertices cheaply and to keep invariant 3 (depth assigned => bit set)
-  // for any later top-down step; VisMode::kNone has none, so it is
-  // transparently upgraded to the single-partition bit array. Pinned by
-  // tests/test_direction.cpp.
-  if (opts_.direction != DirectionMode::kTopDown &&
-      opts_.vis_mode == VisMode::kNone) {
-    opts_.vis_mode = VisMode::kBit;
-  }
-
-  // Footnote 2's selection rule: a byte per vertex while the whole byte
-  // array fits the LLC, bits (partitioned as needed) beyond that.
-  if (opts_.vis_mode == VisMode::kAuto) {
-    opts_.vis_mode = adj.n_vertices() <= opts_.effective_llc_bytes()
-                         ? VisMode::kByte
-                         : VisMode::kPartitionedBit;
-  }
-
-  // N_VIS (Sec. III-A): only the partitioned mode partitions.
-  n_vis_ = 1;
-  if (opts_.vis_mode == VisMode::kPartitionedBit) {
-    n_vis_ = vis_partitions(adj.n_vertices(), opts_.effective_llc_bytes());
-    // Bins are vertex-range shifts: cannot have more VIS partitions than
-    // vertices per socket.
-    const std::uint64_t v_ns = adj.partition().vertices_per_socket();
-    n_vis_ = static_cast<unsigned>(
-        std::min<std::uint64_t>(n_vis_, v_ns));
-  }
-
-  // N_PBV = N_S * N_VIS (Sec. III-B3); the no-optimization scheme uses a
-  // single undifferentiated bin.
-  if (opts_.scheme == SocketScheme::kNone) {
-    n_bins_ = 1;
-    bin_shift_ = 31;  // every id (< 2^31) maps to bin 0
-  } else {
-    n_bins_ = opts_.n_sockets * n_vis_;
-    bin_shift_ = adj.partition().shift() - floor_log2(n_vis_);
-  }
-
-  // Footnote 4: pairs are more space-efficient once a marker per bin per
-  // vertex exceeds the neighbours a vertex contributes.
-  switch (opts_.pbv_encoding) {
-    case PbvEncoding::kMarkers:
-      use_pairs_ = false;
-      break;
-    case PbvEncoding::kPairs:
-      use_pairs_ = true;
-      break;
-    case PbvEncoding::kAuto:
-      use_pairs_ =
-          static_cast<double>(n_bins_) >= adj_.average_degree_or_one();
-      break;
-  }
+  // Geometry (N_VIS, N_PBV, bin shift, encoding, VIS-mode resolution) is
+  // shared with the EdgeMap layer so both engines bin and plan
+  // identically; see core/engine_geometry.h. The throw on a socket-count
+  // mismatch lives in the helper.
+  const EngineGeometry geo = resolve_engine_geometry(adj, opts_);
+  opts_.vis_mode = geo.vis_mode;
+  n_vis_ = geo.n_vis;
+  n_bins_ = geo.n_bins;
+  bin_shift_ = geo.bin_shift;
+  use_pairs_ = geo.use_pairs;
 
   switch (opts_.vis_mode) {
     case VisMode::kNone:
@@ -224,7 +177,7 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
                                             VisArray::Kind::kBit, n_vis_);
     front_next_ = std::make_unique<VisArray>(adj.n_vertices(),
                                              VisArray::Kind::kBit, n_vis_);
-    bu_serial_ = adj.partition().vertices_per_socket() < 8;
+    bu_serial_ = geo.bu_serial;
   }
 
   states_.reserve(opts_.n_threads);

@@ -62,6 +62,8 @@ const char* point_name(Point p) {
     case Point::kBarrierArrive: return "barrier-arrive";
     case Point::kMsMaskOr: return "ms-mask-or";
     case Point::kMsPublish: return "ms-publish";
+    case Point::kEdgeMapSparseEmit: return "edge-map-sparse-emit";
+    case Point::kEdgeMapDenseClaim: return "edge-map-dense-claim";
     case Point::kCount: break;
   }
   return "?";

@@ -49,6 +49,11 @@ enum class Point : unsigned {
                     // (the lost-sibling-mask window; per-source DP claims
                     // repair it, mirroring kVisSetRmw/kDpRecheck)
   kMsPublish,       // before the MS-BFS PBV publication barrier
+  kEdgeMapSparseEmit,  // EdgeMap sparse phase-II: between the program's
+                       // update and the claim-epoch CAS that dedups the
+                       // emission into the next frontier
+  kEdgeMapDenseClaim,  // EdgeMap dense scan: between the frontier-bitmap
+                       // probe and the owner-computes update/emission
   kCount
 };
 

@@ -1,0 +1,309 @@
+// Differential tests for the EdgeMap apps (DESIGN.md Sec. 5i): each app
+// runs against its naive serial oracle (apps/oracles.h) over the graph
+// corpus, across worker counts and all three direction modes. CC, k-core
+// and SSSP results are schedule-independent fixpoints and compare
+// exactly; PageRank's parallel sum order perturbs the low bits, so it
+// compares within a floating-point tolerance under a fixed iteration
+// count (both sides run the identical recurrence).
+//
+// AppsEngineFuzz at the bottom joins the 100+-seed `fuzz` ctest label:
+// every seed draws a random graph, random engine geometry and one app.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/components.h"
+#include "apps/kcore.h"
+#include "apps/oracles.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "gen/adversarial.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+namespace {
+
+using apps::ComponentsResult;
+using apps::ConnectedComponents;
+using apps::DeltaSteppingSssp;
+using apps::KCoreDecomposition;
+using apps::KCoreResult;
+using apps::PageRank;
+using apps::PageRankOptions;
+using apps::PageRankResult;
+using apps::SsspOptions;
+using apps::SsspResult;
+
+std::vector<CsrGraph> app_corpus() {
+  std::vector<CsrGraph> out;
+  out.push_back(grid_graph(20, 20, 0.85, 5));
+  out.push_back(rmat_graph(8, 8, 11));
+  out.push_back(star_graph(700));
+  out.push_back(collider_graph(3, 200, true));
+  out.push_back(deep_path_graph(50, 2));
+  out.push_back(random_endpoint_graph(600, 1800, 13));
+  return out;
+}
+
+struct AppConfig {
+  unsigned threads;
+  DirectionMode mode;
+};
+
+std::vector<AppConfig> app_configs() {
+  std::vector<AppConfig> out;
+  for (const unsigned t : {1u, 2u, 8u}) {
+    for (const DirectionMode m :
+         {DirectionMode::kTopDown, DirectionMode::kBottomUp,
+          DirectionMode::kAuto}) {
+      out.push_back({t, m});
+    }
+  }
+  return out;
+}
+
+BfsOptions engine_opts(const AppConfig& c) {
+  BfsOptions o;
+  o.n_threads = c.threads;
+  o.n_sockets = 1;  // the shared per-graph AdjacencyArray is single-socket
+  o.direction = c.mode;
+  return o;
+}
+
+TEST(Apps, ConnectedComponentsMatchesOracle) {
+  const auto corpus = app_corpus();
+  for (std::size_t gi = 0; gi < corpus.size(); ++gi) {
+    const CsrGraph& g = corpus[gi];
+    const AdjacencyArray adj(g, 1);
+    const std::vector<vid_t> want = apps::cc_oracle(adj);
+    for (const AppConfig& c : app_configs()) {
+      ConnectedComponents cc(adj, engine_opts(c));
+      ComponentsResult r;
+      cc.run_into(r);
+      ASSERT_EQ(r.label.size(), g.n_vertices());
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_EQ(r.label[v], want[v])
+            << "graph " << gi << " threads " << c.threads << " mode "
+            << static_cast<int>(c.mode) << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(Apps, KCoreMatchesOracle) {
+  const auto corpus = app_corpus();
+  for (std::size_t gi = 0; gi < corpus.size(); ++gi) {
+    const CsrGraph& g = corpus[gi];
+    const AdjacencyArray adj(g, 1);
+    const std::vector<vid_t> want = apps::kcore_oracle(adj);
+    for (const AppConfig& c : app_configs()) {
+      KCoreDecomposition kc(adj, engine_opts(c));
+      KCoreResult r;
+      kc.run_into(r);
+      ASSERT_EQ(r.core.size(), g.n_vertices());
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_EQ(r.core[v], want[v])
+            << "graph " << gi << " threads " << c.threads << " mode "
+            << static_cast<int>(c.mode) << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(Apps, SsspMatchesBellmanFordOracle) {
+  const auto corpus = app_corpus();
+  for (std::size_t gi = 0; gi < corpus.size(); ++gi) {
+    const CsrGraph& g = corpus[gi];
+    const vid_t source = pick_nonisolated_root(g, 23 * (gi + 1));
+    ASSERT_NE(source, kInvalidVertex) << "graph " << gi;
+    const AdjacencyArray adj(g, 1);
+    SsspOptions so;
+    so.weights.seed = 100 + gi;
+    const std::vector<std::uint32_t> want =
+        apps::sssp_oracle(adj, source, so.weights);
+    for (const AppConfig& c : app_configs()) {
+      for (const std::uint32_t delta : {1u, 8u, 1u << 20}) {
+        SsspOptions opt = so;
+        opt.delta = delta;
+        DeltaSteppingSssp sssp(adj, engine_opts(c), opt);
+        SsspResult r;
+        sssp.run_into(source, r);
+        ASSERT_EQ(r.dist.size(), g.n_vertices());
+        for (vid_t v = 0; v < g.n_vertices(); ++v) {
+          ASSERT_EQ(r.dist[v], want[v])
+              << "graph " << gi << " threads " << c.threads << " mode "
+              << static_cast<int>(c.mode) << " delta " << delta
+              << " vertex " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Apps, PageRankMatchesPowerIterationOracle) {
+  const auto corpus = app_corpus();
+  for (std::size_t gi = 0; gi < corpus.size(); ++gi) {
+    const CsrGraph& g = corpus[gi];
+    const AdjacencyArray adj(g, 1);
+    PageRankOptions po;
+    po.tolerance = 0.0;  // fixed iteration count: both sides run 30
+    po.max_iterations = 30;
+    const std::vector<double> want = apps::pagerank_oracle(adj, po);
+    for (const AppConfig& c : app_configs()) {
+      PageRank pr(adj, engine_opts(c), po);
+      PageRankResult r;
+      pr.run_into(r);
+      ASSERT_EQ(r.rank.size(), g.n_vertices());
+      EXPECT_EQ(r.iterations, po.max_iterations);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_NEAR(r.rank[v], want[v], 1e-9)
+            << "graph " << gi << " threads " << c.threads << " mode "
+            << static_cast<int>(c.mode) << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(Apps, PageRankConvergesUnderTolerance) {
+  const CsrGraph g = rmat_graph(8, 8, 5);
+  const AdjacencyArray adj(g, 1);
+  PageRankOptions po;
+  po.tolerance = 1e-8;
+  po.max_iterations = 200;
+  BfsOptions o;
+  o.n_threads = 4;
+  o.n_sockets = 1;
+  PageRank pr(adj, o, po);
+  PageRankResult r;
+  pr.run_into(r);
+  EXPECT_LT(r.iterations, po.max_iterations);
+  EXPECT_LT(r.delta, po.tolerance);
+  // Ranks are a probability-ish vector: positive, sum near 1 minus the
+  // dangling leak (no dangling redistribution; see pagerank.h).
+  double sum = 0.0;
+  for (const double x : r.rank) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-6);
+  EXPECT_GT(sum, 0.1);
+}
+
+// ------------------------------------------------------------------ fuzz
+
+/// Same random-graph family as EngineFuzz (test_fuzz_engines.cpp), scaled
+/// a touch smaller: app fixpoints cost more steps than one BFS.
+CsrGraph random_app_graph(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const vid_t n = 64 + static_cast<vid_t>(rng.next_below(1200));
+  const eid_t m = n / 2 + rng.next_below(6 * n);
+  switch (rng.next_below(6)) {
+    case 0:
+      return random_endpoint_graph(n, m, rng.next());
+    case 1: {
+      RmatParams p;
+      p.a = 0.4 + 0.3 * rng.next_double();
+      p.b = p.c = (1.0 - p.a) / 3.0;
+      p.d = 1.0 - p.a - p.b - p.c;
+      const unsigned scale = 6 + static_cast<unsigned>(rng.next_below(4));
+      return rmat_graph(scale, 4 + static_cast<unsigned>(rng.next_below(6)),
+                        rng.next(), p);
+    }
+    case 2:
+      return star_graph(64 + static_cast<vid_t>(rng.next_below(1200)));
+    case 3:
+      return collider_graph(2 + static_cast<vid_t>(rng.next_below(5)),
+                            64 + static_cast<vid_t>(rng.next_below(600)),
+                            rng.next_below(2) != 0);
+    case 4:
+      return deep_path_graph(16 + static_cast<vid_t>(rng.next_below(80)),
+                             1 + static_cast<vid_t>(rng.next_below(3)));
+    default:
+      return random_endpoint_graph(n, n / 2 + rng.next_below(n), rng.next());
+  }
+}
+
+class AppsEngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AppsEngineFuzz, RandomAppAgreesWithOracle) {
+  const std::uint64_t seed = GetParam();
+  const CsrGraph g = random_app_graph(seed);
+  const AdjacencyArray adj(g, 1);
+
+  Xoshiro256 rng(seed ^ 0xA99);
+  BfsOptions o;
+  o.n_threads = 1 + static_cast<unsigned>(rng.next_below(6));
+  o.n_sockets = 1;
+  o.vis_mode = static_cast<VisMode>(rng.next_below(5));
+  o.use_simd = rng.next_below(2) != 0;
+  o.rearrange = rng.next_below(2) != 0;
+  o.direction = static_cast<DirectionMode>(rng.next_below(3));
+  o.alpha = 0.5 + 30.0 * rng.next_double();
+  o.beta = 0.5 + 40.0 * rng.next_double();
+
+  switch (seed % 4) {
+    case 0: {
+      const std::vector<vid_t> want = apps::cc_oracle(adj);
+      ConnectedComponents cc(adj, o);
+      ComponentsResult r;
+      cc.run_into(r);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_EQ(r.label[v], want[v]) << "cc seed " << seed << " v " << v;
+      }
+      break;
+    }
+    case 1: {
+      const std::vector<vid_t> want = apps::kcore_oracle(adj);
+      KCoreDecomposition kc(adj, o);
+      KCoreResult r;
+      kc.run_into(r);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_EQ(r.core[v], want[v]) << "kcore seed " << seed << " v " << v;
+      }
+      break;
+    }
+    case 2: {
+      const vid_t source = pick_nonisolated_root(g, seed ^ 0xF00);
+      if (source == kInvalidVertex) GTEST_SKIP() << "edgeless graph";
+      SsspOptions so;
+      so.weights.seed = seed;
+      so.delta = 1u << rng.next_below(8);
+      const std::vector<std::uint32_t> want =
+          apps::sssp_oracle(adj, source, so.weights);
+      DeltaSteppingSssp sssp(adj, o, so);
+      SsspResult r;
+      sssp.run_into(source, r);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_EQ(r.dist[v], want[v]) << "sssp seed " << seed << " v " << v;
+      }
+      break;
+    }
+    default: {
+      PageRankOptions po;
+      po.tolerance = 0.0;
+      po.max_iterations = 15;
+      const std::vector<double> want = apps::pagerank_oracle(adj, po);
+      PageRank pr(adj, o, po);
+      PageRankResult r;
+      pr.run_into(r);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        ASSERT_NEAR(r.rank[v], want[v], 1e-9)
+            << "pagerank seed " << seed << " v " << v;
+      }
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AppsEngineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 102));
+
+}  // namespace
+}  // namespace fastbfs

@@ -1,0 +1,279 @@
+// The EdgeMap layer's own tests (DESIGN.md Sec. 5i):
+//   - VertexSubset representation properties: sparse<->dense round trips,
+//     degeneration at the empty and full extremes, randomized fuzz;
+//   - Program-contract behaviour: a pure (never-activating) functor
+//     terminates in one step, a converged fixpoint emits nothing, warm
+//     reruns are bit-identical;
+//   - the tentpole's regression pin: BFS routed through EdgeMap must
+//     reproduce TwoPhaseBfs depths and per-step direction decisions on
+//     the whole corpus, and exact parents at one thread (where both
+//     engines' schedules are deterministic).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "core/edge_map.h"
+#include "core/two_phase_bfs.h"
+#include "gen/adversarial.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace fastbfs {
+namespace {
+
+// ---------------------------------------------------------------- subset
+
+TEST(VertexSubset, EmptyIsEmptyInBothRepresentations) {
+  VertexSubset s(256, 2, 4, 6, 1);
+  EXPECT_EQ(s.count(), 0u);
+  s.to_dense();
+  EXPECT_TRUE(s.dense_valid());
+  for (vid_t v = 0; v < 256; ++v) {
+    EXPECT_FALSE(s.contains(v)) << v;
+  }
+  s.to_sparse();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(VertexSubset, FullRoundTripsToIdentity) {
+  const vid_t n = 300;  // not a multiple of 64: tail bits must round-trip
+  VertexSubset s(n, 1, 4, 7, 1);
+  for (vid_t v = 0; v < n; ++v) s.add(v);
+  EXPECT_EQ(s.count(), n);
+  s.to_dense();
+  s.to_sparse();
+  EXPECT_EQ(s.count(), n);
+  std::vector<vid_t> got;
+  s.gather_sorted(got);
+  ASSERT_EQ(got.size(), n);
+  for (vid_t v = 0; v < n; ++v) EXPECT_EQ(got[v], v);
+}
+
+TEST(VertexSubset, SparseDenseRoundTripFuzz) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Xoshiro256 rng(seed);
+    const vid_t n = 65 + static_cast<vid_t>(rng.next_below(4000));
+    const unsigned lanes = 1 + static_cast<unsigned>(rng.next_below(7));
+    const unsigned bins = 1u << rng.next_below(3);
+    unsigned shift = 0;
+    while (((n - 1) >> shift) >= bins) ++shift;
+    VertexSubset s(n, lanes, bins, shift, 1);
+
+    // Membership by coin flip; ascending insertion order keeps each
+    // lane's bin-grouped invariant regardless of the lane hint.
+    std::vector<vid_t> want;
+    for (vid_t v = 0; v < n; ++v) {
+      if (rng.next_below(3) == 0) {
+        want.push_back(v);
+        s.add(v, static_cast<unsigned>(rng.next_below(lanes)));
+      }
+    }
+    ASSERT_EQ(s.count(), want.size()) << "seed " << seed;
+
+    s.to_dense();
+    for (const vid_t v : want) {
+      ASSERT_TRUE(s.dense()->test(v)) << "seed " << seed << " v " << v;
+    }
+    s.to_sparse();
+    std::vector<vid_t> got;
+    s.gather_sorted(got);
+    ASSERT_EQ(got, want) << "seed " << seed;
+  }
+}
+
+TEST(VertexSubset, SparseOnlySubsetHasNoBitmap) {
+  VertexSubset s(128, 1, 1, 31, 0);
+  EXPECT_EQ(s.dense(), nullptr);
+  s.add(5);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));
+}
+
+// ----------------------------------------------------- program contract
+
+/// Maps the full vertex set once and never activates anything: the engine
+/// must terminate after exactly one step regardless of graph shape, and
+/// the functor must have seen every (frontier) edge at most once per
+/// direction contract.
+struct InertProgram {
+  std::atomic<std::uint64_t>* touches = nullptr;
+
+  bool cond(vid_t) const { return true; }
+  bool update_sparse(vid_t, vid_t) {
+    touches->fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bool update_dense(vid_t, vid_t) {
+    touches->fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bool refill(vid_t) const { return true; }
+  void begin_step(unsigned) {}
+  StepVerdict end_step(unsigned, std::uint64_t) {
+    return StepVerdict::kContinue;
+  }
+};
+
+TEST(EdgeMap, InertFunctorTerminatesAfterOneStep) {
+  const CsrGraph g = grid_graph(16, 16);
+  for (const unsigned threads : {1u, 4u}) {
+    BfsOptions o;
+    o.n_threads = threads;
+    o.n_sockets = 1;
+    const AdjacencyArray adj(g, 1);
+    EdgeMapEngine<InertProgram> eng(adj, o);
+    std::atomic<std::uint64_t> touches{0};
+    InertProgram p;
+    p.touches = &touches;
+    eng.run(p);
+    EXPECT_EQ(eng.final_step(), 1u);
+    // Top-down start: every arc out of the full frontier probed once.
+    EXPECT_EQ(touches.load(), g.n_edges());
+  }
+}
+
+/// A converged min-label fixpoint must emit nothing: update returns false
+/// everywhere, which is the idempotency half of the functor contract (a
+/// second application of the step changes no state).
+struct ConvergedMinLabel {
+  std::vector<vid_t>* label = nullptr;
+
+  bool cond(vid_t) const { return true; }
+  bool update_sparse(vid_t s, vid_t d) {
+    return (*label)[s] < (*label)[d];  // false at fixpoint
+  }
+  bool update_dense(vid_t s, vid_t d) { return (*label)[s] < (*label)[d]; }
+  bool refill(vid_t) const { return true; }
+  void begin_step(unsigned) {}
+  StepVerdict end_step(unsigned, std::uint64_t) {
+    return StepVerdict::kContinue;
+  }
+};
+
+TEST(EdgeMap, ConvergedFixpointEmitsNothing) {
+  const CsrGraph g = rmat_graph(8, 8, 42);
+  const AdjacencyArray adj(g, 1);
+  std::vector<vid_t> label(g.n_vertices());
+  {
+    // Serial fixpoint.
+    for (vid_t v = 0; v < g.n_vertices(); ++v) label[v] = v;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        for (const vid_t w : g.neighbors(v)) {
+          if (label[w] < label[v]) {
+            label[v] = label[w];
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  BfsOptions o;
+  o.n_threads = 4;
+  o.n_sockets = 1;
+  EdgeMapEngine<ConvergedMinLabel> eng(adj, o);
+  ConvergedMinLabel p;
+  p.label = &label;
+  eng.run(p);
+  EXPECT_EQ(eng.final_step(), 1u);
+  ASSERT_FALSE(eng.last_stats().steps.empty());
+  EXPECT_EQ(eng.last_stats().steps.back().emitted, 0u);
+}
+
+TEST(EdgeMap, WarmRerunsAreBitIdentical) {
+  const CsrGraph g = rmat_graph(9, 8, 7);
+  const vid_t root = pick_nonisolated_root(g, 7);
+  ASSERT_NE(root, kInvalidVertex);
+  BfsOptions o;
+  o.n_threads = 4;
+  o.direction = DirectionMode::kAuto;
+  const AdjacencyArray adj(g, o.n_sockets);
+  apps::EdgeMapBfs bfs(adj, o);
+  const BfsResult first = bfs.run(root);
+  const std::string dirs = bfs.last_stats().direction_string();
+  for (int i = 0; i < 3; ++i) {
+    const BfsResult again = bfs.run(root);
+    ASSERT_EQ(again.dp.size(), first.dp.size());
+    for (vid_t v = 0; v < g.n_vertices(); ++v) {
+      ASSERT_EQ(again.dp.depth(v), first.dp.depth(v)) << "run " << i;
+    }
+    EXPECT_EQ(bfs.last_stats().direction_string(), dirs) << "run " << i;
+  }
+}
+
+// ------------------------------------------------------- regression pin
+
+/// The corpus the pin sweeps: one of each adversarial family plus two
+/// skewed R-MATs (the direction heuristic's natural prey).
+std::vector<CsrGraph> pin_corpus() {
+  std::vector<CsrGraph> out;
+  out.push_back(grid_graph(24, 24, 0.9, 3));
+  out.push_back(rmat_graph(9, 8, 1));
+  out.push_back(rmat_graph(8, 16, 2));
+  out.push_back(star_graph(900));
+  out.push_back(collider_graph(4, 300, true));
+  out.push_back(deep_path_graph(60, 2));
+  out.push_back(random_endpoint_graph(700, 2500, 3));
+  return out;
+}
+
+TEST(EdgeMapBfsPin, MatchesTwoPhaseAcrossCorpusThreadsAndModes) {
+  const auto corpus = pin_corpus();
+  for (std::size_t gi = 0; gi < corpus.size(); ++gi) {
+    const CsrGraph& g = corpus[gi];
+    const vid_t root = pick_nonisolated_root(g, 17 * (gi + 1));
+    ASSERT_NE(root, kInvalidVertex) << "graph " << gi;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      for (const DirectionMode mode :
+           {DirectionMode::kTopDown, DirectionMode::kBottomUp,
+            DirectionMode::kAuto}) {
+        BfsOptions o;
+        o.n_threads = threads;
+        o.n_sockets = threads >= 2 ? 2 : 1;
+        o.direction = mode;
+        const AdjacencyArray adj(g, o.n_sockets);
+
+        TwoPhaseBfs two_phase(adj, o);
+        const BfsResult want = two_phase.run(root);
+
+        apps::EdgeMapBfs em(adj, o);
+        const BfsResult got = em.run(root);
+
+        const auto ctx = [&] {
+          return ::testing::Message()
+                 << "graph " << gi << " threads " << threads << " mode "
+                 << static_cast<int>(mode);
+        };
+        ASSERT_EQ(got.dp.size(), want.dp.size()) << ctx();
+        for (vid_t v = 0; v < g.n_vertices(); ++v) {
+          ASSERT_EQ(got.dp.depth(v), want.dp.depth(v))
+              << ctx() << " at vertex " << v;
+        }
+        // The heuristic consumes identical incremental bookkeeping, so
+        // every per-step direction decision must match, not just depths.
+        EXPECT_EQ(em.last_stats().direction_string(),
+                  two_phase.last_run_stats().direction_string())
+            << ctx();
+        EXPECT_EQ(got.vertices_visited, want.vertices_visited) << ctx();
+        if (threads == 1) {
+          // Deterministic schedule at one worker: exact parents too.
+          for (vid_t v = 0; v < g.n_vertices(); ++v) {
+            ASSERT_EQ(got.dp.parent(v), want.dp.parent(v))
+                << ctx() << " parent at vertex " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include "alloc_count.h"
+#include "apps/components.h"
+#include "apps/pagerank.h"
 #include "core/api.h"
 #include "core/divide.h"
 #include "gen/grid.h"
@@ -335,6 +337,56 @@ TEST(SteadyState, WarmServingLoopAllocatesNothing) {
   EXPECT_EQ(c.completed, next_id);
   EXPECT_GT(c.waves, 0u);
   EXPECT_GT(c.sequential_runs, 0u);
+}
+
+// EdgeMap-app extension of the zero-allocation contract: a warm PageRank
+// or connected-components instance re-running on recycled result buffers
+// must not touch the heap. This pins the whole stack at once — the apps'
+// state vectors, the EdgeMap engine's lanes/plans/PBV streams, the claim
+// epochs (never cleared, only CAS'd forward) and the metrics epilogue.
+TEST(SteadyState, WarmEdgeMapAppAllocatesNothing) {
+  const CsrGraph g = rmat_graph(10, 8, /*seed=*/37);
+  BfsOptions opts = steady_opts();
+  opts.direction = DirectionMode::kAuto;
+  const AdjacencyArray adj(g, opts.n_sockets);
+
+  apps::PageRankOptions po;
+  po.tolerance = 0.0;  // fixed 8 iterations per run
+  po.max_iterations = 8;
+  apps::PageRank pr(adj, opts, po);
+  apps::ConnectedComponents cc(adj, opts);
+
+  if (!testing::allocation_counting_active()) {
+    GTEST_SKIP() << "allocation-counting operator new not linked in";
+  }
+
+  apps::PageRankResult pr_out;
+  apps::ComponentsResult cc_out;
+  const auto run_both = [&] {
+    pr.run_into(pr_out);
+    cc.run_into(cc_out);
+  };
+
+  // Warm-up with the stable-probe-pair discipline of the batch gates:
+  // CC claim distributions are race-dependent, so lane high-water marks
+  // can creep for a few runs.
+  run_both();
+  int stable = 0;
+  for (int i = 0; i < 40 && stable < 3; ++i) {
+    const std::uint64_t probe = testing::allocation_count();
+    run_both();
+    stable = testing::allocation_count() == probe ? stable + 1 : 0;
+  }
+  ASSERT_EQ(stable, 3) << "EdgeMap app allocations never stabilized";
+
+  const std::uint64_t before = testing::allocation_count();
+  run_both();
+  run_both();
+  const std::uint64_t after = testing::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "warm EdgeMap app runs must not touch the heap";
+  EXPECT_EQ(pr_out.iterations, po.max_iterations);
+  EXPECT_GT(cc_out.giant_size, 0u);
 }
 
 TEST(SteadyState, WorkspacePlateausWhenWarm) {

@@ -28,6 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "apps/components.h"
+#include "apps/oracles.h"
+#include "apps/pagerank.h"
 #include "core/api.h"
 #include "gen/adversarial.h"
 #include "gen/grid.h"
@@ -441,6 +444,145 @@ TEST(Torture, ChaosReachesTheMsRacyWindows) {
     EXPECT_GT(chaos::visit_count(chaos::Point::kPhase2Barrier), 0u);
     EXPECT_GT(chaos::visit_count(chaos::Point::kBarrierArrive), 0u);
     EXPECT_GT(chaos::injected_total(), 0u);
+  }
+  chaos::disable();
+}
+
+// ---------------------------------------------------------------------------
+// EdgeMap app enrollment: the vertex-program layer (core/edge_map.h) runs
+// its clients — async min-label CC (exact fixpoint) and synchronous
+// PageRank (fixed iteration count, FP tolerance) — under the same
+// perturbed schedules. This stresses the claim-epoch dedup CAS, the
+// owner-computes dense scan and the refill rebuild, none of which the BFS
+// sweeps exercise through a Program with engine-external state.
+
+struct AppsOracle {
+  std::vector<vid_t> labels;
+  std::vector<double> rank;
+};
+
+apps::PageRankOptions apps_torture_pr_options() {
+  apps::PageRankOptions po;
+  po.tolerance = 0.0;  // fixed iteration count on both sides
+  po.max_iterations = 6;
+  return po;
+}
+
+const AppsOracle& apps_oracle(const TortureGraph& tg) {
+  static std::map<std::string, AppsOracle>* cache =
+      new std::map<std::string, AppsOracle>;
+  auto it = cache->find(tg.name);
+  if (it != cache->end()) return it->second;
+  const AdjacencyArray adj(tg.graph, 1);
+  AppsOracle o;
+  o.labels = apps::cc_oracle(adj);
+  o.rank = apps::pagerank_oracle(adj, apps_torture_pr_options());
+  return cache->emplace(tg.name, std::move(o)).first->second;
+}
+
+std::vector<EngineAxis> apps_axes() {
+  using S = SocketScheme;
+  using V = VisMode;
+  using D = DirectionMode;
+  return {
+      {S::kLoadBalanced, V::kBit, D::kAuto, 4, 2, 0},
+      {S::kLoadBalanced, V::kPartitionedBit, D::kTopDown, 4, 2, 512},
+      {S::kSocketAware, V::kBit, D::kBottomUp, 4, 2, 0},
+  };
+}
+
+std::string run_one_apps(const TortureGraph& tg, const EngineAxis& axis,
+                         const chaos::Config& cfg, SweepStats* stats) {
+  const AppsOracle& oracle = apps_oracle(tg);
+  chaos::enable(cfg);
+  std::string failure;
+  {
+    const AdjacencyArray adj(tg.graph, axis.sockets);
+    const BfsOptions o = axis_options(axis);
+    apps::ConnectedComponents cc(adj, o);
+    apps::ComponentsResult cr;
+    cc.run_into(cr);
+    for (vid_t v = 0; v < tg.graph.n_vertices(); ++v) {
+      if (cr.label[v] != oracle.labels[v]) {
+        std::ostringstream fail;
+        fail << "cc label mismatch at vertex " << v << ": engine "
+             << cr.label[v] << ", oracle " << oracle.labels[v];
+        failure = fail.str();
+        break;
+      }
+    }
+    if (failure.empty()) {
+      apps::PageRank pr(adj, o, apps_torture_pr_options());
+      apps::PageRankResult prr;
+      pr.run_into(prr);
+      for (vid_t v = 0; v < tg.graph.n_vertices(); ++v) {
+        if (std::abs(prr.rank[v] - oracle.rank[v]) > 1e-9) {
+          std::ostringstream fail;
+          fail << "pagerank divergence at vertex " << v << ": engine "
+               << prr.rank[v] << ", oracle " << oracle.rank[v];
+          failure = fail.str();
+          break;
+        }
+      }
+    }
+  }
+  stats->injected += chaos::injected_total();
+  ++stats->runs;
+  chaos::disable();
+  return failure;
+}
+
+TEST(Torture, AppsSurvivePerturbedSchedules) {
+  const unsigned seeds = env_unsigned("FASTBFS_TORTURE_SEEDS", 20);
+  SweepStats stats;
+  for (const char* name : {"collider-4x2048", "grid-24", "rmat-10"}) {
+    const TortureGraph& tg = corpus_entry(name);
+    for (const EngineAxis& axis : apps_axes()) {
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const chaos::Config cfg = sweep_config(seed);
+        const std::string failure = run_one_apps(tg, axis, cfg, &stats);
+        if (!failure.empty()) {
+          const ReplaySpec spec{tg.name, axis, seed, cfg.act_per_256};
+          ADD_FAILURE() << failure << "\n  " << spec.to_string();
+        }
+      }
+    }
+  }
+  std::cout << "[torture] edge-map apps: " << stats.runs
+            << " perturbed schedules (cc + pagerank each), "
+            << stats.injected << " injected events\n";
+}
+
+// The EdgeMap hooks must sit inside the windows they claim to perturb:
+// the sparse-phase update->claim-CAS gap (kEdgeMapSparseEmit) and the
+// dense scan's frontier-probe->owner-update gap (kEdgeMapDenseClaim).
+TEST(Torture, ChaosReachesTheEdgeMapWindows) {
+  chaos::Config cfg = sweep_config(13);
+  cfg.act_per_256 = 256;
+  const TortureGraph& tg = corpus_entry("grid-24");
+  const AdjacencyArray adj(tg.graph, 2);
+
+  chaos::enable(cfg);
+  {
+    // Forced top-down keeps every step in the sparse phase-I/II path.
+    apps::ConnectedComponents cc(
+        adj, axis_options({SocketScheme::kLoadBalanced, VisMode::kBit,
+                           DirectionMode::kTopDown, 4, 2, 0}));
+    apps::ComponentsResult r;
+    cc.run_into(r);
+    EXPECT_GT(chaos::visit_count(chaos::Point::kEdgeMapSparseEmit), 0u);
+    EXPECT_GT(chaos::visit_count(chaos::Point::kBarrierArrive), 0u);
+    EXPECT_GT(chaos::injected_total(), 0u);
+  }
+  chaos::reset_run();
+  {
+    // Forced bottom-up keeps every step in the dense owner-computes scan.
+    apps::ConnectedComponents cc(
+        adj, axis_options({SocketScheme::kLoadBalanced, VisMode::kBit,
+                           DirectionMode::kBottomUp, 4, 2, 0}));
+    apps::ComponentsResult r;
+    cc.run_into(r);
+    EXPECT_GT(chaos::visit_count(chaos::Point::kEdgeMapDenseClaim), 0u);
   }
   chaos::disable();
 }

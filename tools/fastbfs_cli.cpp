@@ -15,6 +15,11 @@
 #include <iostream>
 #include <string>
 
+#include "apps/components.h"
+#include "apps/kcore.h"
+#include "apps/oracles.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
 #include "core/api.h"
 #include "gen/grid.h"
 #include "gen/rmat.h"
@@ -347,6 +352,136 @@ int cmd_bfs(const CliArgs& args) {
   return 0;
 }
 
+// fastbfs app --algo=pagerank|cc|kcore|sssp: the EdgeMap vertex-program
+// clients (core/edge_map.h). --validate re-derives the answer with the
+// naive serial oracle and exits 1 on divergence (CI's apps-smoke gate).
+int cmd_app(const CliArgs& args) {
+  const std::string in = args.get("in");
+  if (in.empty()) throw std::runtime_error("--in=FILE is required");
+  const std::string algo = args.get("algo", "pagerank");
+  Timer load_timer;
+  const CsrGraph g = load_graph(in);
+  std::printf("loaded %u vertices / %llu arcs in %.2f s\n", g.n_vertices(),
+              static_cast<unsigned long long>(g.n_edges()),
+              load_timer.seconds());
+
+  apply_isa_flag(args);
+  BfsOptions opts;
+  opts.n_threads = static_cast<unsigned>(args.get_int("threads", 4));
+  opts.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
+  opts.use_simd = args.get_bool("simd", true);
+  opts.use_prefetch = args.get_bool("prefetch", true);
+  opts.cache = host_cache_geometry();
+  // Apps default to the adaptive heuristic — dense iterations are the
+  // natural mode for full-frontier programs like PageRank.
+  opts.direction = parse_direction(args.get("direction", "auto"));
+  opts.alpha = args.get_double("alpha", opts.alpha);
+  opts.beta = args.get_double("beta", opts.beta);
+  const AdjacencyArray adj(g, opts.n_sockets);
+  const bool validate = args.get_bool("validate", false);
+  const unsigned repeat = static_cast<unsigned>(args.get_int("repeat", 1));
+
+  if (algo == "pagerank") {
+    apps::PageRankOptions po;
+    po.damping = args.get_double("damping", po.damping);
+    po.tolerance = args.get_double("tol", po.tolerance);
+    po.max_iterations =
+        static_cast<unsigned>(args.get_int("iters", po.max_iterations));
+    apps::PageRank pr(adj, opts, po);
+    apps::PageRankResult r;
+    for (unsigned i = 0; i < repeat; ++i) pr.run_into(r);
+    std::printf("pagerank: %u iterations, L1 delta %.3e, %.3f s  %8.1f MTEPS\n",
+                r.iterations, r.delta, r.seconds,
+                mteps(static_cast<std::uint64_t>(g.n_edges()) * r.iterations,
+                      r.seconds));
+    if (validate) {
+      const std::vector<double> want = apps::pagerank_oracle(adj, po);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        if (std::abs(r.rank[v] - want[v]) > 1e-8) {
+          std::printf("VALIDATE FAIL: rank[%u] engine %.12g oracle %.12g\n",
+                      v, r.rank[v], want[v]);
+          return 1;
+        }
+      }
+      std::printf("validated against power-iteration oracle\n");
+    }
+    return 0;
+  }
+  if (algo == "cc") {
+    apps::ConnectedComponents cc(adj, opts);
+    apps::ComponentsResult r;
+    for (unsigned i = 0; i < repeat; ++i) cc.run_into(r);
+    std::printf("cc: %u components (giant %llu vertices), %.3f s\n",
+                r.n_components,
+                static_cast<unsigned long long>(r.giant_size), r.seconds);
+    if (validate) {
+      const std::vector<vid_t> want = apps::cc_oracle(adj);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        if (r.label[v] != want[v]) {
+          std::printf("VALIDATE FAIL: label[%u] engine %u oracle %u\n", v,
+                      r.label[v], want[v]);
+          return 1;
+        }
+      }
+      std::printf("validated against label-propagation oracle\n");
+    }
+    return 0;
+  }
+  if (algo == "kcore") {
+    apps::KCoreDecomposition kc(adj, opts);
+    apps::KCoreResult r;
+    for (unsigned i = 0; i < repeat; ++i) kc.run_into(r);
+    std::printf("kcore: max core %u, %.3f s\n", r.max_core, r.seconds);
+    if (validate) {
+      const std::vector<vid_t> want = apps::kcore_oracle(adj);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        if (r.core[v] != want[v]) {
+          std::printf("VALIDATE FAIL: core[%u] engine %u oracle %u\n", v,
+                      r.core[v], want[v]);
+          return 1;
+        }
+      }
+      std::printf("validated against peel-loop oracle\n");
+    }
+    return 0;
+  }
+  if (algo == "sssp") {
+    apps::SsspOptions so;
+    so.delta = static_cast<std::uint32_t>(args.get_int("delta", 8));
+    so.weights.seed =
+        static_cast<std::uint64_t>(args.get_int("weight-seed", 1));
+    so.weights.max_weight =
+        static_cast<std::uint32_t>(args.get_int("max-weight", 8));
+    vid_t source;
+    if (args.has("source")) {
+      source = static_cast<vid_t>(args.get_int("source", 0));
+    } else {
+      source = pick_nonisolated_root(
+          g, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+    }
+    apps::DeltaSteppingSssp sssp(adj, opts, so);
+    apps::SsspResult r;
+    for (unsigned i = 0; i < repeat; ++i) sssp.run_into(source, r);
+    std::printf("sssp: source %u reached %u vertices, %.3f s\n", source,
+                r.n_reached, r.seconds);
+    if (validate) {
+      const std::vector<std::uint32_t> want =
+          apps::sssp_oracle(adj, source, so.weights);
+      for (vid_t v = 0; v < g.n_vertices(); ++v) {
+        if (r.dist[v] != want[v]) {
+          std::printf("VALIDATE FAIL: dist[%u] engine %u oracle %u\n", v,
+                      r.dist[v], want[v]);
+          return 1;
+        }
+      }
+      std::printf("validated against bellman-ford oracle\n");
+    }
+    return 0;
+  }
+  throw std::runtime_error("unknown --algo " + algo +
+                           " (want pagerank|cc|kcore|sssp)");
+}
+
 int cmd_isa(const CliArgs& args) {
   // Honor FASTBFS_FORCE_ISA / --isa exactly as a traversal would, so the
   // printed "resolved" level is the one an engine built now would use.
@@ -392,7 +527,7 @@ int cmd_convert(const CliArgs& args) {
 
 int usage() {
   std::printf(
-      "usage: fastbfs <gen|info|bfs|batch|isa|convert> [--key=value ...]\n"
+      "usage: fastbfs <gen|info|bfs|batch|app|isa|convert> [--key=value ...]\n"
       "  gen     --kind=rmat|uniform|grid|stress --out=g.csr\n"
       "          [--gscale=18 --edge-factor=16 | --vertices=N --degree=D |\n"
       "           --width=W --height=H --keep=P] [--seed=S]\n"
@@ -400,6 +535,13 @@ int usage() {
       "  batch   --in=FILE [--roots=16] [--validate=1]   (Graph500 kernel 2)\n"
       "          [--batch-mode=seq|ms64]   (ms64: 64-wide bit-parallel MS-BFS)\n"
       "          [--direction=td|bu|auto --alpha=15 --beta=18] [--isa=LEVEL]\n"
+      "  app     --in=FILE --algo=pagerank|cc|kcore|sssp   (EdgeMap apps)\n"
+      "          [--threads=4 --sockets=2] [--direction=auto --alpha --beta]\n"
+      "          [--validate]       compare against the naive serial oracle\n"
+      "          [--repeat=N]       re-run warm (throughput measurement)\n"
+      "          pagerank: [--damping=0.85 --tol=1e-10 --iters=100]\n"
+      "          sssp:     [--source=N --delta=8 --weight-seed=1\n"
+      "                     --max-weight=8]\n"
       "  isa     [--isa=LEVEL] [--require=LEVEL]\n"
       "          print detected/compiled/resolved kernel ISA; with\n"
       "          --require, exit 1 unless resolved >= LEVEL\n"
@@ -434,6 +576,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "app") return cmd_app(args);
     if (cmd == "isa") return cmd_isa(args);
     if (cmd == "convert") return cmd_convert(args);
     return usage();
