@@ -1,0 +1,230 @@
+// Autotuner acceptance (DESIGN.md §5j).
+//
+// The claim the planner has to earn: one shared cost model, fed nothing
+// but graph statistics, picks a configuration that is never meaningfully
+// worse than the best hand-picked fixed configuration on any graph — and
+// much better than the worst one, which is what a fixed fleet-wide config
+// degenerates to on the graph it fits worst. Corpus: an R-MAT social
+// proxy, a grid, an adversarial deep path, and a Table II layered
+// real-world proxy — shapes that want *different* knobs (direction,
+// N_VIS, rearrangement), so no single fixed row can win everywhere.
+//
+// Gates (--check, enforced only when the host has >= --threads hardware
+// threads, the bench_apps convention):
+//   per graph:  tuned MTEPS >= 0.97x the best fixed config on that graph
+//   corpus:     tuned harmonic-mean MTEPS >= 1.3x the worst fixed
+//               config's harmonic mean
+// Emits BENCH_autotune.json.
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/adversarial.h"
+#include "gen/grid.h"
+#include "gen/proxies.h"
+#include "gen/rmat.h"
+#include "platform/cache_info.h"
+#include "tune/planner.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fastbfs;
+
+struct FixedConfig {
+  std::string name;
+  std::function<void(BfsOptions&)> mutate;
+};
+
+struct GraphCase {
+  std::string name;
+  CsrGraph g;
+};
+
+double hmean(const std::vector<double>& xs) {
+  double inv = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    inv += 1.0 / x;
+  }
+  return inv > 0.0 ? static_cast<double>(xs.size()) / inv : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fastbfs::bench;
+  const CliArgs args(argc, argv);
+  const BenchEnv env = BenchEnv::from_cli(args);
+  const bool check = args.get_bool("check", false);
+  env.print_header(
+      "Autotuner: planned config vs fixed configs across a corpus",
+      "beyond the paper: Sec. IV model as a planner; gates: tuned >= "
+      "0.97x best fixed per graph, >= 1.3x worst fixed harmonic mean");
+
+  // --- Corpus -----------------------------------------------------------
+  const vid_t n = env.scaled_vertices(1u << 20);
+  const unsigned scale = floor_log2(ceil_pow2(n));
+  const vid_t side = vid_t{1} << (scale / 2);
+  std::vector<GraphCase> graphs;
+  graphs.push_back({"rmat", rmat_graph(scale, 16, env.seed)});
+  graphs.push_back({"grid", grid_graph(side, side, 1.0, env.seed)});
+  graphs.push_back({"deep-path", deep_path_graph(n / 2, 2)});
+  for (const ProxySpec& spec : table2_specs()) {
+    if (spec.recipe == ProxyRecipe::kLayered) {
+      graphs.push_back({"proxy-" + spec.name,
+                        make_proxy(spec, env.div, env.seed)});
+      break;  // one layered real-world proxy is enough corpus diversity
+    }
+  }
+
+  // --- Competitors ------------------------------------------------------
+  // Reasonable fixed configurations an operator might pick fleet-wide;
+  // each is the right call somewhere in the corpus and wrong elsewhere.
+  const std::vector<FixedConfig> fixed = {
+      {"td-default", [](BfsOptions&) {}},
+      {"auto-dir",
+       [](BfsOptions& o) { o.direction = DirectionMode::kAuto; }},
+      {"forced-bu",
+       [](BfsOptions& o) { o.direction = DirectionMode::kBottomUp; }},
+      {"no-vis", [](BfsOptions& o) { o.vis_mode = VisMode::kNone; }},
+      {"no-rearrange", [](BfsOptions& o) { o.rearrange = false; }},
+  };
+
+  // One calibration for everything the planner scores (the shared-model
+  // contract: same params drive `fastbfs tune`, --tune and this bench).
+  const model::PlatformParams params = calibrated_host_params();
+
+  BfsOptions base;
+  base.n_threads = env.threads;
+  base.n_sockets = env.sockets;
+  base.cache = host_cache_geometry();
+
+  TextTable table({"graph", "config", "MTEPS", "vs best fixed"});
+  std::vector<std::vector<double>> fixed_mteps(
+      fixed.size());                   // [config][graph]
+  std::vector<double> tuned_mteps;     // [graph]
+  std::vector<double> tuned_ratio;     // tuned / best fixed, per graph
+  std::vector<std::string> plan_lines;
+  JsonFields metrics;
+
+  for (const GraphCase& gc : graphs) {
+    const AdjacencyArray adj(gc.g, env.sockets);
+
+    double best_fixed = 0.0;
+    std::vector<double> per_config(fixed.size(), 0.0);
+    for (std::size_t c = 0; c < fixed.size(); ++c) {
+      BfsOptions opts = base;
+      fixed[c].mutate(opts);
+      const Measured m =
+          measure_two_phase(adj, opts, env.runs, env.seed);
+      per_config[c] = m.mteps;
+      fixed_mteps[c].push_back(m.mteps);
+      best_fixed = std::max(best_fixed, m.mteps);
+    }
+
+    const tune::GraphProfile prof = tune::profile_graph(gc.g, env.seed);
+    tune::PlannerConfig pc;
+    pc.n_sockets = env.sockets;
+    pc.max_threads = env.threads;
+    pc.llc_bytes = base.effective_llc_bytes();
+    const tune::TunedPlan plan = tune::plan_traversal(prof, params, pc);
+    BfsOptions tuned_opts = base;
+    plan.apply(tuned_opts);
+    const Measured tuned =
+        measure_two_phase(adj, tuned_opts, env.runs, env.seed);
+    tuned_mteps.push_back(tuned.mteps);
+    const double ratio = best_fixed > 0.0 ? tuned.mteps / best_fixed : 0.0;
+    tuned_ratio.push_back(ratio);
+
+    char plan_line[128];
+    std::snprintf(plan_line, sizeof(plan_line),
+                  "thr=%u dir=%s n_vis=%u rearr=%d",
+                  plan.chosen.n_threads,
+                  plan.chosen.direction == DirectionMode::kAuto ? "auto"
+                                                                : "td",
+                  plan.chosen.n_vis, plan.chosen.rearrange ? 1 : 0);
+    plan_lines.push_back(plan_line);
+
+    for (std::size_t c = 0; c < fixed.size(); ++c) {
+      table.add_row({gc.name, fixed[c].name,
+                     TextTable::num(per_config[c], 1),
+                     TextTable::num(best_fixed > 0.0
+                                        ? per_config[c] / best_fixed
+                                        : 0.0,
+                                    2)});
+      metrics.add_num(gc.name + "_" + fixed[c].name + "_mteps",
+                      per_config[c]);
+    }
+    table.add_row({gc.name, std::string("tuned [") + plan_line + "]",
+                   TextTable::num(tuned.mteps, 1),
+                   TextTable::num(ratio, 2)});
+    metrics.add_num(gc.name + "_tuned_mteps", tuned.mteps)
+        .add_num(gc.name + "_tuned_vs_best_fixed", ratio)
+        .add_str(gc.name + "_plan", plan_line);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // --- Gates ------------------------------------------------------------
+  const double tuned_hmean = hmean(tuned_mteps);
+  double worst_fixed_hmean = 1e300;
+  std::string worst_fixed_name;
+  for (std::size_t c = 0; c < fixed.size(); ++c) {
+    const double h = hmean(fixed_mteps[c]);
+    if (h < worst_fixed_hmean) {
+      worst_fixed_hmean = h;
+      worst_fixed_name = fixed[c].name;
+    }
+  }
+  const double min_ratio =
+      *std::min_element(tuned_ratio.begin(), tuned_ratio.end());
+  const double hmean_gain =
+      worst_fixed_hmean > 0.0 ? tuned_hmean / worst_fixed_hmean : 0.0;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool gate_enforced = hw >= env.threads;
+  const bool per_graph_ok = min_ratio >= 0.97;
+  const bool hmean_ok = hmean_gain >= 1.3;
+  const bool pass = !gate_enforced || (per_graph_ok && hmean_ok);
+
+  std::printf(
+      "\ntuned harmonic mean %.1f MTEPS; worst fixed (%s) %.1f MTEPS "
+      "(gain %.2fx, gate >= 1.3x)  [%s]\n",
+      tuned_hmean, worst_fixed_name.c_str(), worst_fixed_hmean, hmean_gain,
+      !gate_enforced ? "REPORT-ONLY" : (hmean_ok ? "PASS" : "FAIL"));
+  std::printf(
+      "worst tuned-vs-best-fixed ratio %.3f (gate >= 0.97)  [%s]\n",
+      min_ratio,
+      !gate_enforced ? "REPORT-ONLY" : (per_graph_ok ? "PASS" : "FAIL"));
+  if (!gate_enforced) {
+    std::printf(
+        "gates not enforced: host has %u hardware threads < %u configured "
+        "workers (fixed configs oversubscribe; ratios are noise)\n",
+        hw, env.threads);
+  }
+
+  JsonFields config;
+  config.add_uint("div", env.div)
+      .add_uint("threads", env.threads)
+      .add_uint("sockets", env.sockets)
+      .add_uint("runs", env.runs)
+      .add_uint("seed", env.seed);
+  metrics.add_num("tuned_hmean_mteps", tuned_hmean)
+      .add_num("worst_fixed_hmean_mteps", worst_fixed_hmean)
+      .add_str("worst_fixed_config", worst_fixed_name)
+      .add_num("hmean_gain", hmean_gain)
+      .add_num("min_tuned_vs_best_fixed", min_ratio)
+      .add_uint("hardware_threads", hw)
+      .add_bool("gate_enforced", gate_enforced)
+      .add_bool("acceptance_pass", pass);
+  if (write_bench_json("BENCH_autotune.json", "autotune",
+                       std::time(nullptr), config, metrics)) {
+    std::printf("wrote BENCH_autotune.json\n");
+  }
+  return check && !pass ? 1 : 0;
+}

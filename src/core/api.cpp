@@ -1,6 +1,8 @@
 #include "core/api.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 #include "graph/stats.h"
 #include "graph/validate.h"
@@ -26,6 +28,25 @@ BfsResult BfsRunner::run(vid_t root) { return engine_->run(root); }
 
 void BfsRunner::run_into(vid_t root, BfsResult& out) {
   engine_->run_into(root, out);
+}
+
+void BfsRunner::set_step_tuner(StepTuner tuner) {
+  engine_->set_step_tuner(std::move(tuner));
+}
+
+void BfsRunner::rebuild_with(const BfsOptions& opts) {
+  if (opts.n_sockets != adj_->partition().n_sockets()) {
+    throw std::invalid_argument(
+        "BfsRunner::rebuild_with: socket count must match the adjacency "
+        "array this runner was built with");
+  }
+  // Order matters: the old engine must be gone before the new one builds
+  // (its thread pool holds the old options by reference via the job
+  // closure). The MS engine is dropped too — ensure_ms_engine rebuilds it
+  // from the new resolved options on the next kMs64 batch/wave.
+  ms_engine_.reset();
+  engine_.reset();
+  engine_ = std::make_unique<TwoPhaseBfs>(*adj_, opts);
 }
 
 const RunStats& BfsRunner::last_run_stats() const {

@@ -92,6 +92,20 @@ class BfsRunner {
   void run_wave_into(const vid_t* roots, unsigned n_roots,
                      BfsResult* const* results);
 
+  /// Installs an online step tuner on the single-source engine (see
+  /// StepTuner in core/two_phase_bfs.h: pure, result-invariant, consulted
+  /// by thread 0 at each step boundary). Cleared by rebuild_with.
+  void set_step_tuner(StepTuner tuner);
+
+  /// Rebuilds the engines with new options over the *same* adjacency
+  /// array (no re-partitioning, so opts.n_sockets must match the count
+  /// this runner was built with — throws std::invalid_argument
+  /// otherwise). This is the run-boundary reconfiguration path the online
+  /// autotuner uses: batch buffers and validation scratch survive, the MS
+  /// engine is dropped and lazily rebuilt with the new knobs, and any
+  /// installed step tuner is cleared (it was derived from the old plan).
+  void rebuild_with(const BfsOptions& opts);
+
   const RunStats& last_run_stats() const;
   const AdjacencyArray& adjacency() const { return *adj_; }
   const BfsOptions& options() const;

@@ -37,10 +37,16 @@ EngineGeometry resolve_engine_geometry(const AdjacencyArray& adj,
                        : VisMode::kPartitionedBit;
   }
 
-  // N_VIS (Sec. III-A): only the partitioned mode partitions.
+  // N_VIS (Sec. III-A): only the partitioned mode partitions. A non-zero
+  // n_vis_override (the autotuner's N_VIS axis) replaces the LLC-derived
+  // count, normalized to the same constraints: a power of two (VisArray
+  // requires it) no larger than the per-socket vertex range.
   geo.n_vis = 1;
   if (geo.vis_mode == VisMode::kPartitionedBit) {
-    geo.n_vis = vis_partitions(adj.n_vertices(), opts.effective_llc_bytes());
+    geo.n_vis =
+        opts.n_vis_override != 0
+            ? static_cast<unsigned>(ceil_pow2(opts.n_vis_override))
+            : vis_partitions(adj.n_vertices(), opts.effective_llc_bytes());
     // Bins are vertex-range shifts: cannot have more VIS partitions than
     // vertices per socket.
     const std::uint64_t v_ns = adj.partition().vertices_per_socket();

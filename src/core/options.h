@@ -47,6 +47,17 @@ enum class BatchMode {
                 // edge sweep via per-vertex 64-bit source masks
 };
 
+/// Autotuning policy (tune/planner.h + tune/online.h; DESIGN.md §5j).
+/// Lives here as plain data so the CLI/serving layers can thread it
+/// through BfsOptions; the core engine itself never interprets it — the
+/// tune library does, by rewriting the other fields (kStatic) and/or
+/// installing a step tuner (kOnline).
+enum class TuneMode {
+  kOff,     // every knob as configured (the default)
+  kStatic,  // offline plan from graph stats + the Sec. IV model
+  kOnline,  // static plan + per-step/per-run adaptation from RunStats
+};
+
 /// Traversal direction policy (Beamer-style direction optimization; see
 /// DESIGN.md "Direction-optimizing extension"). Bottom-up steps walk each
 /// socket's local vertex range and probe the frontier as a dense bitmap,
@@ -89,6 +100,17 @@ struct BfsOptions {
   /// Pin worker threads to CPUs (socket-major round robin); off by
   /// default because pinning hurts on oversubscribed hosts.
   bool pin_threads = false;
+
+  /// How (and whether) the autotuner is consulted. The engine ignores
+  /// this field; BfsRunner-level callers (CLI, serving) act on it.
+  TuneMode tune = TuneMode::kOff;
+
+  /// When non-zero, use exactly this many VIS partitions per socket
+  /// instead of the LLC-derived vis_partitions() default (rounded up to a
+  /// power of two, clamped to the per-socket vertex count). Only
+  /// meaningful for VisMode::kPartitionedBit; the planner uses it to
+  /// sweep the N_VIS axis without faking an LLC size.
+  unsigned n_vis_override = 0;
 
   /// Cache geometry used for N_VIS and rearrangement-bin sizing.
   CacheGeometry cache = nehalem_x5570_cache();

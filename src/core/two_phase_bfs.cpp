@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/engine_geometry.h"
 #include "obs/metrics.h"
@@ -59,6 +62,8 @@ void RunStats::reset() {
   traffic = PhaseTraffic{};
   alpha_adj = 0.0;
   direction_switches = 0;
+  n_threads_effective = 0;
+  tune_step_switches = 0;
   bottom_up_probes = 0;
   steps.clear();  // capacity kept: a warm same-depth run re-pushes in place
 }
@@ -193,6 +198,30 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
   plan1_.clear(opts_.n_threads, opts_.n_sockets);
   plan2_.clear(opts_.n_threads, opts_.n_sockets);
   job_ = [this](const ThreadContext& ctx) { worker(ctx); };
+  base_tuning_ =
+      StepTuning{opts_.use_prefetch, opts_.prefetch_distance};
+
+  // Oversubscription is never silent: more workers than hardware threads
+  // means the barriers spin against the scheduler and per-edge costs
+  // degrade unpredictably. The engine still honors the request (tests
+  // deliberately run 8 workers on small hosts to exercise schedules), but
+  // it is surfaced once on stderr and permanently in the registry — the
+  // same contract as fastbfs_cache_geometry_fallback.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  obs::metrics()
+      .gauge("fastbfs_thread_oversubscription")
+      ->set(opts_.n_threads > hw ? 1.0 : 0.0);
+  if (opts_.n_threads > hw) {
+    static std::once_flag warned;
+    std::call_once(warned, [this, hw] {
+      std::fprintf(stderr,
+                   "fastbfs: %u worker threads requested but only %u "
+                   "hardware threads exist; expect degraded, noisy "
+                   "timings (RunStats::n_threads_effective records the "
+                   "count actually run).\n",
+                   opts_.n_threads, hw);
+    });
+  }
 }
 
 TwoPhaseBfs::~TwoPhaseBfs() = default;
@@ -500,6 +529,23 @@ void TwoPhaseBfs::bottom_up_step(const ThreadContext& ctx, depth_t step) {
 }
 
 void TwoPhaseBfs::begin_step(depth_t step) {
+  // Online tuning first: the just-completed step's StepStats is
+  // steps.back() (its timings were finalized by thread 0 before the
+  // termination barrier), and every other thread is parked between that
+  // barrier and barrier A, so mutating the latency-hiding knobs here is
+  // single-writer and takes effect atomically for the whole next step.
+  if (tuner_ && step > 1 && opts_.collect_stats &&
+      !run_stats_.steps.empty()) {
+    const StepTuning cur{opts_.use_prefetch, opts_.prefetch_distance};
+    const StepTuning next = tuner_(run_stats_.steps.back(), cur);
+    if (next.use_prefetch != cur.use_prefetch ||
+        next.prefetch_distance != cur.prefetch_distance) {
+      opts_.use_prefetch = next.use_prefetch;
+      opts_.prefetch_distance = next.prefetch_distance;
+      ++run_stats_.tune_step_switches;
+    }
+  }
+
   StepDirection want = step_dir_;
   switch (opts_.direction) {
     case DirectionMode::kTopDown:
@@ -655,6 +701,11 @@ void TwoPhaseBfs::prepare_run(vid_t root) {
   // Re-zeroed for every run (each line is one cross-run contamination bug
   // if dropped; tests/test_steady_state.cpp pins them):
   run_stats_.reset();       // timings, traffic audit, switches, steps
+  // Every run starts from the construction-time tuning baseline, so a
+  // warm engine's runs are deterministic no matter where the previous
+  // run's online tuning ended up.
+  opts_.use_prefetch = base_tuning_.use_prefetch;
+  opts_.prefetch_distance = base_tuning_.prefetch_distance;
   final_step_ = 0;          // else depth_reached leaks from the last run
   dp_.reset();              // every vertex back to unvisited
   if (vis_) vis_->clear();  // VIS filter bits from the last run's tree
@@ -773,6 +824,7 @@ void TwoPhaseBfs::run_into(vid_t root, BfsResult& out) {
 
   // Aggregate run statistics.
   run_stats_.total_seconds = seconds;
+  run_stats_.n_threads_effective = opts_.n_threads;
   std::vector<std::uint64_t>& adj_by_socket = adj_by_socket_scratch_;
   std::fill(adj_by_socket.begin(), adj_by_socket.end(), 0);
   for (const auto& s : states_) {

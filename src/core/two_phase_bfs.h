@@ -116,6 +116,26 @@ struct VisAudit {
   std::uint64_t spurious = 0;  // filter bit set but no depth assigned
 };
 
+/// The per-step knobs an online tuner may change *mid-run*. Restricted by
+/// design to latency-hiding toggles that alter only the memory-access
+/// pattern — never a value the traversal stores — so a tuned run's
+/// depths/parents are bit-identical to an untuned one (the DESIGN.md §5j
+/// determinism contract; anything that can steer parent choice, like
+/// direction thresholds or N_VIS, is a run-boundary decision instead).
+struct StepTuning {
+  bool use_prefetch = true;
+  int prefetch_distance = kDefaultPrefetchDistance;
+};
+
+/// Called by thread 0 at each step boundary (inside the begin_step
+/// single-writer window) with the just-completed step's stats and the
+/// currently active tuning; the returned tuning takes effect for the next
+/// step. Requires opts.collect_stats (no StepStats, no calls). Must be a
+/// pure function of its arguments for replayable runs.
+using StepTuner =
+    std::function<StepTuning(const StepStats& completed,
+                             const StepTuning& current)>;
+
 struct RunStats {
   double phase1_seconds = 0.0;
   double phase2_seconds = 0.0;
@@ -127,6 +147,13 @@ struct RunStats {
   /// socket's memory — the model's alpha_Adj (Sec. IV).
   double alpha_adj = 0.0;
   unsigned direction_switches = 0;   // kAuto direction changes
+  /// Worker threads the run actually used (== opts.n_threads; the field
+  /// exists so callers whose *requested* count was adjusted upstream —
+  /// e.g. the planner clamping to hardware_concurrency — can report what
+  /// really ran; see the fastbfs_thread_oversubscription warning).
+  unsigned n_threads_effective = 0;
+  /// Times an installed StepTuner changed the active StepTuning mid-run.
+  unsigned tune_step_switches = 0;
   std::uint64_t bottom_up_probes = 0;
   std::vector<StepStats> steps;      // filled when opts.collect_stats
 
@@ -173,6 +200,14 @@ class TwoPhaseBfs {
   /// `result`'s depth array (which that run must have produced — the run
   /// moves dp out, so the engine cannot check by itself). See VisAudit.
   VisAudit audit_vis(const BfsResult& result) const;
+
+  /// Installs (or clears, with nullptr behaviour via an empty function)
+  /// the online step tuner — see StepTuner above. The tuner is consulted
+  /// from the second step of every run; each run starts from the
+  /// construction-time StepTuning baseline, so repeated runs of the same
+  /// root are deterministic regardless of where the previous run's tuning
+  /// ended up.
+  void set_step_tuner(StepTuner tuner) { tuner_ = std::move(tuner); }
 
   unsigned n_vis_partitions() const { return n_vis_; }
   unsigned n_pbv_bins() const { return n_bins_; }
@@ -271,6 +306,12 @@ class TwoPhaseBfs {
   std::vector<std::uint32_t> counts_scratch_;      // [n_threads][n_bins]
   std::vector<std::uint64_t> adj_by_socket_scratch_;
   std::function<void(const ThreadContext&)> job_;  // built once in ctor
+
+  // Online step tuning (thread 0 only, applied in begin_step's
+  // single-writer window). base_tuning_ is the construction-time
+  // baseline prepare_run restores so every run starts identically.
+  StepTuner tuner_;
+  StepTuning base_tuning_;
 };
 
 /// One-call convenience wrapper (see core/api.h for the documented entry

@@ -1,7 +1,137 @@
 #include "model/platform_params.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
 namespace fastbfs::model {
 
 PlatformParams nehalem_ep() { return PlatformParams{}; }
+
+namespace {
+
+/// The serialized fields, in one place so the writer and the reader can
+/// never drift: name -> member pointer (n_sockets handled separately as
+/// the one integer field).
+struct DoubleField {
+  const char* name;
+  double PlatformParams::* member;
+};
+
+constexpr DoubleField kDoubleFields[] = {
+    {"freq_ghz", &PlatformParams::freq_ghz},
+    {"b_mem", &PlatformParams::b_mem},
+    {"b_mem_max", &PlatformParams::b_mem_max},
+    {"b_llc_to_l2", &PlatformParams::b_llc_to_l2},
+    {"b_l2_to_llc", &PlatformParams::b_l2_to_llc},
+    {"b_qpi", &PlatformParams::b_qpi},
+    {"l2_bytes", &PlatformParams::l2_bytes},
+    {"llc_bytes", &PlatformParams::llc_bytes},
+    {"line_bytes", &PlatformParams::line_bytes},
+    {"gflops_per_socket", &PlatformParams::gflops_per_socket},
+    {"bin_cycles_per_edge", &PlatformParams::bin_cycles_per_edge},
+};
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+}
+
+bool parse_literal(const std::string& s, std::size_t& i, char c) {
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != c) return false;
+  ++i;
+  return true;
+}
+
+bool parse_string(const std::string& s, std::size_t& i, std::string* out) {
+  if (!parse_literal(s, i, '"')) return false;
+  out->clear();
+  while (i < s.size() && s[i] != '"') out->push_back(s[i++]);
+  return parse_literal(s, i, '"');
+}
+
+bool parse_number(const std::string& s, std::size_t& i, double* out) {
+  skip_ws(s, i);
+  const char* start = s.c_str() + i;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  i += static_cast<std::size_t>(end - start);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void write_platform_params_json(std::ostream& out, const PlatformParams& p) {
+  char buf[64];
+  out << "{\n";
+  for (const DoubleField& f : kDoubleFields) {
+    // %.17g: shortest form that round-trips any double bit-exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g", p.*(f.member));
+    out << "  \"" << f.name << "\": " << buf << ",\n";
+  }
+  out << "  \"n_sockets\": " << p.n_sockets << "\n}\n";
+}
+
+bool read_platform_params_json(std::istream& in, PlatformParams* p) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string s = buf.str();
+
+  PlatformParams parsed;  // defaults for any key the file omits
+  std::size_t i = 0;
+  if (!parse_literal(s, i, '{')) return false;
+  skip_ws(s, i);
+  bool first = true;
+  while (i < s.size() && s[i] != '}') {
+    if (!first && !parse_literal(s, i, ',')) return false;
+    first = false;
+    std::string key;
+    double value = 0.0;
+    if (!parse_string(s, i, &key) || !parse_literal(s, i, ':') ||
+        !parse_number(s, i, &value)) {
+      return false;
+    }
+    bool known = false;
+    for (const DoubleField& f : kDoubleFields) {
+      if (key == f.name) {
+        parsed.*(f.member) = value;
+        known = true;
+        break;
+      }
+    }
+    if (key == "n_sockets") {
+      if (value < 1.0) return false;
+      parsed.n_sockets = static_cast<unsigned>(value);
+      known = true;
+    }
+    if (!known) return false;  // a typo'd key must fail loudly
+    skip_ws(s, i);
+  }
+  if (!parse_literal(s, i, '}')) return false;
+  *p = parsed;
+  return true;
+}
+
+bool save_platform_params(const std::string& path, const PlatformParams& p) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_platform_params_json(out, p);
+  return static_cast<bool>(out);
+}
+
+bool load_platform_params(const std::string& path, PlatformParams* p) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return read_platform_params_json(in, p);
+}
 
 }  // namespace fastbfs::model

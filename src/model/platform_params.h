@@ -6,6 +6,9 @@
 // the paper's equations do.
 #pragma once
 
+#include <iosfwd>
+#include <string>
+
 namespace fastbfs::model {
 
 struct PlatformParams {
@@ -31,5 +34,23 @@ struct PlatformParams {
 
 /// Table I exactly: the paper's dual-socket Nehalem-EP evaluation system.
 PlatformParams nehalem_ep();
+
+/// JSON persistence for calibration results (`fastbfs tune
+/// --calibrate-out` / `--model-params=FILE`): a flat {"field": number}
+/// object, one key per PlatformParams field, doubles printed with %.17g
+/// so a write/read round-trip is bit-exact. CI hosts calibrate once and
+/// reuse the file instead of paying the bandwidth probes per process.
+void write_platform_params_json(std::ostream& out, const PlatformParams& p);
+
+/// Strict parse of the write_platform_params_json format: returns false
+/// (leaving *p untouched) on malformed JSON or an unknown key; missing
+/// keys keep their default, so older files stay loadable when a field is
+/// added.
+bool read_platform_params_json(std::istream& in, PlatformParams* p);
+
+/// File helpers over the stream forms. save returns false when the path
+/// cannot be opened; load returns false on open or parse failure.
+bool save_platform_params(const std::string& path, const PlatformParams& p);
+bool load_platform_params(const std::string& path, PlatformParams* p);
 
 }  // namespace fastbfs::model

@@ -61,9 +61,33 @@ std::uint32_t BfsService::add_graph(const CsrGraph& csr) {
   }
   GraphEntry entry;
   entry.n_vertices = csr.n_vertices();
+
+  // Autotuning (DESIGN.md §5j): plan this graph once against the
+  // configured platform model and serve the planned knobs. The planner
+  // never selects more workers than the host has, which is the serving
+  // layer's guard against oversubscribing engine.n_threads across
+  // n_dispatchers runner pools.
+  BfsOptions opts = cfg_.engine;
+  tune::TunedPlan plan;
+  if (cfg_.engine.tune != TuneMode::kOff) {
+    const tune::GraphProfile prof = tune::profile_graph(csr);
+    tune::PlannerConfig pc;
+    pc.n_sockets = opts.n_sockets;
+    pc.max_threads = opts.n_threads;
+    pc.llc_bytes = opts.effective_llc_bytes();
+    plan = tune::plan_traversal(prof, cfg_.tune_params, pc);
+    plan.apply(opts);
+    tune::publish_plan_metrics(plan);  // last added graph's plan wins
+  }
+
   entry.runners.reserve(dispatchers_.size());
   for (std::size_t d = 0; d < dispatchers_.size(); ++d) {
-    entry.runners.push_back(std::make_unique<BfsRunner>(csr, cfg_.engine));
+    entry.runners.push_back(std::make_unique<BfsRunner>(csr, opts));
+    if (cfg_.engine.tune == TuneMode::kOnline) {
+      auto tuner = std::make_unique<tune::OnlineTuner>(plan);
+      tuner->attach(*entry.runners.back());
+      entry.tuners.push_back(std::move(tuner));
+    }
   }
   graphs_.push_back(std::move(entry));
   return static_cast<std::uint32_t>(graphs_.size() - 1);
@@ -175,6 +199,15 @@ void BfsService::execute_plan(unsigned d, const WavePlan& plan) {
     }
     const tick_t t1 = clock_.now();
     service_ns = t1 - t0;
+
+    // Online autotuning observes the sequential path only: MS waves run a
+    // different engine whose stats the run-boundary rules don't describe.
+    // Each tuner belongs to exactly this dispatcher's runner, so the
+    // rebuild (when one fires) races with nothing.
+    GraphEntry& ge = graphs_[plan.graph_id];
+    if (plan.n == 1 && d < ge.tuners.size() && ge.tuners[d]) {
+      ge.tuners[d]->observe_run(runner, disp.results[0]);
+    }
 
     hooks_.occupancy->observe(plan.n);
     if (plan.n == 1) {

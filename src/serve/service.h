@@ -43,18 +43,30 @@
 #include <vector>
 
 #include "core/api.h"
+#include "model/platform_params.h"
 #include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/clock.h"
 #include "serve/proto.h"
+#include "tune/online.h"
 
 namespace fastbfs::serve {
 
 struct ServiceConfig {
-  BfsOptions engine;       // per-runner engine knobs
+  /// Per-runner engine knobs. engine.tune selects the autotuning policy
+  /// (DESIGN.md §5j): kStatic plans each added graph offline against
+  /// tune_params and serves the planned knobs instead of the configured
+  /// ones (non-enumerated fields kept); kOnline additionally observes
+  /// every sequential dispatch and retunes that runner at run
+  /// boundaries; kOff serves `engine` verbatim.
+  BfsOptions engine;
   BatcherConfig batcher;   // coalescing policy
   unsigned n_dispatchers = 1;  // threads started by start(); pump() uses
                                // dispatcher slot 0 regardless
+  /// Platform model the per-graph planner scores against when
+  /// engine.tune != kOff (load a calibrated file via
+  /// model::load_platform_params for host-accurate plans).
+  model::PlatformParams tune_params = model::nehalem_ep();
 };
 
 /// One completed (or rejected) query as delivered to the sink. `result`
@@ -145,6 +157,9 @@ class BfsService {
   struct GraphEntry {
     vid_t n_vertices = 0;
     std::vector<std::unique_ptr<BfsRunner>> runners;  // one per dispatcher
+    /// kOnline only: one tuner per dispatcher (same indexing as runners;
+    /// each observes exactly its dispatcher's runner, so no locking).
+    std::vector<std::unique_ptr<tune::OnlineTuner>> tuners;
   };
 
   /// Cached global-registry instruments (PR 5 contract: look up once,

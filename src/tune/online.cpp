@@ -1,0 +1,140 @@
+#include "tune/online.h"
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace fastbfs::tune {
+
+StepTuning decide_step_tuning(const StepStats& completed,
+                              const StepTuning& current,
+                              const StepTuning& baseline,
+                              const OnlineConfig& cfg) {
+  // The just-completed step's frontier is the freshest size signal we
+  // have (the next frontier's size is not in StepStats); frontier growth
+  // and decay are gradual enough — one BFS level — that trailing by one
+  // step only shifts the toggle a level, never inverts it.
+  StepTuning next = current;
+  if (completed.frontier_size < cfg.min_prefetch_frontier) {
+    next.use_prefetch = false;
+  } else {
+    next.use_prefetch = baseline.use_prefetch;
+    next.prefetch_distance = baseline.prefetch_distance;
+  }
+  return next;
+}
+
+RunRetune decide_run_retune(const BfsOptions& current,
+                            unsigned resolved_n_vis, const RunStats& stats,
+                            std::uint64_t n_vertices, std::uint64_t n_arcs,
+                            const OnlineConfig& cfg) {
+  RunRetune r;
+  r.opts = current;
+
+  // 1. Direction demotion: kAuto paid for the dense frontier bitmaps and
+  //    never used them — no bottom-up step ran, no switch fired. The
+  //    next runs drop that machinery entirely.
+  if (current.direction == DirectionMode::kAuto &&
+      stats.direction_switches == 0 && stats.bottom_up_probes == 0) {
+    r.changed = true;
+    r.opts.direction = DirectionMode::kTopDown;
+    r.reason = "auto-direction never switched; demoting to top-down";
+    return r;
+  }
+
+  // 2. Direction promotion: the run was forced top-down but its recorded
+  //    per-step heuristic inputs would have tripped the kAuto alpha test
+  //    (both clauses of decide_direction's top-down -> bottom-up rule).
+  //    The plan under-estimated frontier density; let kAuto decide live.
+  if (current.direction == DirectionMode::kTopDown) {
+    for (const StepStats& s : stats.steps) {
+      const double fe = static_cast<double>(s.frontier_edges);
+      if (fe * current.alpha > static_cast<double>(s.unexplored_edges) &&
+          fe * current.beta > static_cast<double>(n_arcs)) {
+        r.changed = true;
+        r.opts.direction = DirectionMode::kAuto;
+        r.reason = "measured frontiers would trip the alpha test; "
+                   "promoting to auto-direction";
+        return r;
+      }
+    }
+  }
+
+  // 3. N_VIS: every frontier stayed tiny, so VIS partitions never left
+  //    the LLC anyway and each one still paid its PBV marker stream.
+  //    Halve toward fewer, larger partitions. One halving per observed
+  //    run — repeated observation walks down and settles where frontiers
+  //    stop qualifying.
+  if (resolved_n_vis > 1 && !stats.steps.empty() &&
+      cfg.small_frontier_div > 0) {
+    std::uint64_t max_frontier = 0;
+    for (const StepStats& s : stats.steps) {
+      if (s.frontier_size > max_frontier) max_frontier = s.frontier_size;
+    }
+    if (max_frontier < n_vertices / cfg.small_frontier_div) {
+      r.changed = true;
+      r.opts.n_vis_override = resolved_n_vis / 2;
+      r.reason = "frontiers tiny relative to |V|; halving N_VIS";
+      return r;
+    }
+  }
+
+  return r;
+}
+
+OnlineTuner::OnlineTuner(const TunedPlan& plan, OnlineConfig cfg)
+    : plan_(plan), cfg_(cfg) {
+  // The per-step baseline is what the plan's options start a run with;
+  // apply() does not touch prefetch knobs, so defaults are correct here.
+  baseline_ = StepTuning{};
+}
+
+void OnlineTuner::attach(BfsRunner& runner) {
+  baseline_ = StepTuning{runner.options().use_prefetch,
+                         runner.options().prefetch_distance};
+  const StepTuning baseline = baseline_;
+  const OnlineConfig cfg = cfg_;
+  runner.set_step_tuner(
+      [baseline, cfg](const StepStats& completed, const StepTuning& cur) {
+        return decide_step_tuning(completed, cur, baseline, cfg);
+      });
+}
+
+bool OnlineTuner::observe_run(BfsRunner& runner, const BfsResult& result) {
+  struct Instruments {
+    obs::Counter* step_switches;
+    obs::Counter* retunes;
+    obs::Gauge* error_ratio;
+  };
+  static Instruments ins{
+      obs::metrics().counter("fastbfs_tune_online_step_switches_total"),
+      obs::metrics().counter("fastbfs_tune_online_retunes_total"),
+      obs::metrics().gauge("fastbfs_tune_plan_error_ratio"),
+  };
+
+  const RunStats& stats = runner.last_run_stats();
+  step_switches_ += stats.tune_step_switches;
+  ins.step_switches->add(stats.tune_step_switches);
+
+  // Plan-vs-measured: >1 means the run beat the Sec. IV prediction.
+  if (plan_.predicted_mteps > 0.0 && result.seconds > 0.0 &&
+      result.edges_traversed > 0) {
+    const double measured =
+        static_cast<double>(result.edges_traversed) / result.seconds / 1e6;
+    ins.error_ratio->set(measured / plan_.predicted_mteps);
+  }
+
+  const RunRetune retune = decide_run_retune(
+      runner.options(), runner.n_vis_partitions(), stats,
+      runner.adjacency().n_vertices(), runner.adjacency().n_edges(), cfg_);
+  if (!retune.changed) return false;
+
+  runner.rebuild_with(retune.opts);  // clears the step tuner
+  attach(runner);                    // re-install against the new options
+  ++run_retunes_;
+  last_reason_ = retune.reason;
+  ins.retunes->inc();
+  return true;
+}
+
+}  // namespace fastbfs::tune

@@ -1,0 +1,106 @@
+// Online autotuner (DESIGN.md §5j): watch a live run's measured RunStats
+// and adapt the configuration — mid-run for the knobs that are provably
+// result-invariant, at run boundaries for everything else.
+//
+// Two decision layers, both *pure functions* of (measured stats, plan) so
+// tests replay them against recorded RunStats traces with no engine:
+//
+//   decide_step_tuning   consulted by thread 0 at every step boundary
+//                        (TwoPhaseBfs::set_step_tuner). Only latency-
+//                        hiding knobs: software prefetch is a win on
+//                        streaming frontiers and pure overhead on tiny
+//                        ones, so it follows the measured frontier size.
+//                        These toggles never change a stored value —
+//                        a kOnline run's depths/parents are bit-identical
+//                        to an untuned run (tier-1 test pins this).
+//
+//   decide_run_retune    consulted after a finished run. May change
+//                        direction mode (kAuto that never switched ->
+//                        kTopDown drops the dense-bitmap machinery;
+//                        kTopDown whose steps would have tripped the
+//                        alpha test -> kAuto) or halve N_VIS when the
+//                        widest frontier stayed tiny (the per-step PBV
+//                        marker overhead dominates sparse traversals).
+//                        Applied through BfsRunner::rebuild_with, i.e.
+//                        only *between* runs: depths are invariant (any
+//                        correct BFS agrees on depths), parents may
+//                        legally differ (still a valid BFS tree) — same
+//                        contract as changing the config by hand.
+//
+// OnlineTuner glues the two to a BfsRunner and exports the
+// fastbfs_tune_online_* metrics; plan-vs-measured error goes to the
+// fastbfs_tune_plan_error_ratio gauge via the Sec. IV predicted MTEPS.
+#pragma once
+
+#include <cstdint>
+
+#include "core/api.h"
+#include "core/two_phase_bfs.h"
+#include "tune/planner.h"
+
+namespace fastbfs::tune {
+
+struct OnlineConfig {
+  /// Frontiers below this don't amortize the prefetch lookahead — the
+  /// per-step tuner disables software prefetch under it, restores the
+  /// plan's setting above it.
+  std::uint64_t min_prefetch_frontier = 1024;
+  /// Run retune: halve N_VIS when the run's widest frontier stayed under
+  /// n_vertices / small_frontier_div (marker overhead regime).
+  std::uint64_t small_frontier_div = 256;
+};
+
+/// Pure per-step decision (see header comment). `baseline` is the plan's
+/// tuning — what the run started with and what large frontiers restore.
+StepTuning decide_step_tuning(const StepStats& completed,
+                              const StepTuning& current,
+                              const StepTuning& baseline,
+                              const OnlineConfig& cfg);
+
+/// One run-boundary reconfiguration decision.
+struct RunRetune {
+  bool changed = false;
+  BfsOptions opts;          // complete options to rebuild with
+  const char* reason = "";  // human-readable, for logs/tests
+};
+
+/// Pure run-boundary decision from a finished run's RunStats. `current`
+/// is the full option set the run executed with; `resolved_n_vis` the
+/// engine's actual N_VIS (BfsRunner::n_vis_partitions()); n_vertices /
+/// n_arcs the graph shape the direction heuristics need. At most one
+/// change per call (priority: direction demotion, direction promotion,
+/// N_VIS) so repeated observation converges instead of oscillating.
+RunRetune decide_run_retune(const BfsOptions& current,
+                            unsigned resolved_n_vis, const RunStats& stats,
+                            std::uint64_t n_vertices, std::uint64_t n_arcs,
+                            const OnlineConfig& cfg);
+
+/// Drives both decision layers against a live BfsRunner.
+class OnlineTuner {
+ public:
+  explicit OnlineTuner(const TunedPlan& plan, OnlineConfig cfg = {});
+
+  /// Installs the per-step tuner on `runner` (core collect_stats must be
+  /// on, or the engine never consults it).
+  void attach(BfsRunner& runner);
+
+  /// Call after each single-source run with that run's result. Folds the
+  /// run's stats into the online counters, updates the plan-vs-measured
+  /// gauge, and applies at most one run-boundary retune (rebuild_with +
+  /// re-attach). Returns true when the runner was rebuilt.
+  bool observe_run(BfsRunner& runner, const BfsResult& result);
+
+  std::uint64_t step_switches() const { return step_switches_; }
+  unsigned run_retunes() const { return run_retunes_; }
+  const char* last_retune_reason() const { return last_reason_; }
+
+ private:
+  TunedPlan plan_;
+  OnlineConfig cfg_;
+  StepTuning baseline_;
+  std::uint64_t step_switches_ = 0;
+  unsigned run_retunes_ = 0;
+  const char* last_reason_ = "";
+};
+
+}  // namespace fastbfs::tune

@@ -1,0 +1,422 @@
+#include "tune/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <thread>
+
+#include "core/vis.h"
+#include "graph/stats.h"
+#include "model/model.h"
+#include "obs/metrics.h"
+#include "util/types.h"
+
+namespace fastbfs::tune {
+namespace {
+
+// Every tuning constant of the planner in one block (the header's axis
+// notes reference these). They extend the Sec. IV equations where the
+// paper's model is silent — thread scaling, direction optimization, MS-64
+// sharing, rearrangement locality — and each is anchored to a measurement
+// this repo already makes (bench_msbfs, bench_direction_optimizing,
+// bench_ablation_options).
+constexpr double kDdrSaturationThreads = 4.0;  // cores/socket to saturate B_M
+constexpr double kNoRearrangePenalty = 1.35;   // Phase-I DDR refetch without
+                                               // page-local frontiers
+constexpr double kVisSpillPenaltyMax = 1.0;    // cap on the Phase-II
+                                               // inflation when a VIS
+                                               // partition outgrows LLC/2
+constexpr double kMsMaskOverhead = 1.6;        // per scanned edge: mask
+                                               // fetch + OR + ballot
+constexpr unsigned kMsMaxDepth = 48;   // beyond this, wave frontiers stay
+                                       // disjoint and sharing evaporates
+// Beamer gate: direction optimization only pays on shallow, dense,
+// mostly-reachable graphs (grids/roads never trip the beta clause).
+constexpr unsigned kBeamerMaxDepth = 12;
+constexpr double kBeamerMinDegree = 8.0;
+constexpr double kBeamerMinReachable = 0.25;
+
+const char* direction_name(DirectionMode d) {
+  switch (d) {
+    case DirectionMode::kTopDown:
+      return "td";
+    case DirectionMode::kBottomUp:
+      return "bu";
+    case DirectionMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+/// Examined-edge share of a direction-optimized traversal relative to
+/// pure top-down. On gated-in profiles the bottom-up middle levels stop
+/// probing a vertex at its first frontier neighbour, cutting examined
+/// edges to roughly 4/rho' of the total, plus ~10% for the dense-bitmap
+/// sweeps; elsewhere the heuristic never switches and the share is 1.
+double beamer_edge_fraction(const GraphProfile& p) {
+  if (p.est_depth == 0 || p.est_depth > kBeamerMaxDepth ||
+      p.avg_degree < kBeamerMinDegree ||
+      p.reachable_fraction < kBeamerMinReachable) {
+    return 1.0;
+  }
+  return std::clamp(0.1 + 4.0 / p.avg_degree, 0.2, 1.0);
+}
+
+/// Per-key scanned-edge share of an MS-64 wave relative to sequential
+/// keys: a K-wide wave's union frontier touches each edge once for ~all
+/// K keys on overlapping (low-diameter) frontiers, measured at
+/// ~(1 + ln K)/K by bench_msbfs; high-diameter frontiers never overlap,
+/// so the share degenerates to 1 and only the mask overhead remains.
+double ms_share_per_key(const GraphProfile& p, unsigned width) {
+  if (width <= 1) return 1.0;
+  if (p.est_depth > kMsMaxDepth) return 1.0;
+  const double k = static_cast<double>(std::min(width, 64u));
+  return (1.0 + std::log(k)) / k;
+}
+
+double resolved_llc_bytes(const model::PlatformParams& params,
+                          const PlannerConfig& cfg) {
+  return cfg.llc_bytes != 0 ? static_cast<double>(cfg.llc_bytes)
+                            : params.llc_bytes;
+}
+
+/// Predicted cycles per traversed edge for one candidate — the Sec. IV
+/// predictor plus the planner's four extensions (threads, VIS spill,
+/// rearrangement locality, direction/batch factors). Pure.
+double candidate_cpe(const GraphProfile& p,
+                     const model::PlatformParams& params,
+                     const PlannerConfig& cfg, const TunedKnobs& knobs) {
+  model::ModelInput in;
+  in.n_vertices = p.n_vertices;
+  const double reach = std::clamp(p.reachable_fraction, 0.0, 1.0);
+  in.v_assigned = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(static_cast<double>(p.n_vertices) * reach)));
+  in.e_traversed = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(static_cast<double>(p.n_arcs) * reach)));
+  in.depth = std::max(1u, p.est_depth);
+  in.n_vis = knobs.n_vis;
+  in.n_pbv = cfg.n_sockets * knobs.n_vis;
+  in.vis_bytes =
+      std::ceil(static_cast<double>(p.n_vertices) / 8.0);  // partitioned bit
+
+  // Thread axis: the paper's equations assume saturated sockets. Below
+  // the DDR saturation point every bandwidth term scales with the active
+  // cores; the calibrated Phase-I binning compute term always divides by
+  // them — predict_single_socket's max() then finds the knee.
+  const double tps = std::max(
+      1.0, static_cast<double>(knobs.n_threads) /
+               static_cast<double>(std::max(1u, cfg.n_sockets)));
+  const double bw_scale = std::min(1.0, tps / kDdrSaturationThreads);
+  model::PlatformParams pt = params;
+  pt.b_mem *= bw_scale;
+  pt.b_mem_max *= bw_scale;
+  pt.b_llc_to_l2 *= bw_scale;
+  pt.b_l2_to_llc *= bw_scale;
+  pt.bin_cycles_per_edge = params.bin_cycles_per_edge / tps;
+
+  const model::TimePrediction t =
+      cfg.n_sockets > 1
+          ? model::predict_multi_socket(in, pt, cfg.n_sockets,
+                                        1.0 / cfg.n_sockets)
+          : model::predict_single_socket(in, pt);
+  double phase1 = t.phase1;
+  double phase2 = t.phase2();
+  double rearrange = t.rearrange;
+
+  // VIS residency: the default N_VIS targets vis_bytes/N_VIS <= LLC/2
+  // (core/vis.cpp); the equations assume that holds. A candidate below
+  // the default loses residency and Phase-II's VIS probes spill to DDR.
+  const double llc = resolved_llc_bytes(params, cfg);
+  const double part_bytes =
+      in.vis_bytes / static_cast<double>(std::max(1u, knobs.n_vis));
+  if (llc > 0.0 && part_bytes > llc / 2.0) {
+    const double spill =
+        std::min(kVisSpillPenaltyMax, part_bytes / (llc / 2.0) - 1.0);
+    phase2 *= 1.0 + spill;
+  }
+
+  if (!knobs.rearrange) {
+    rearrange = 0.0;  // Eqn IV.1d's 24 bytes/|V'| are not paid...
+    // ...but Phase-I loses page-local adjacency reads once the working
+    // set spills the combined LLC (rearrangement exists for exactly this
+    // regime; in-LLC graphs lose nothing and plan rearrange=off).
+    const double adj_bytes = 4.0 * static_cast<double>(p.n_arcs) +
+                             8.0 * static_cast<double>(p.n_vertices);
+    if (adj_bytes > llc * static_cast<double>(std::max(1u, cfg.n_sockets))) {
+      phase1 *= kNoRearrangePenalty;
+    }
+  }
+
+  double cpe = phase1 + phase2 + rearrange;
+  if (knobs.direction == DirectionMode::kAuto) {
+    cpe *= beamer_edge_fraction(p);
+  }
+  if (knobs.batch_mode == BatchMode::kMs64) {
+    cpe *= kMsMaskOverhead * ms_share_per_key(p, cfg.batch_width);
+  }
+  return cpe;
+}
+
+void append_json_num(std::string& out, const char* key, double v,
+                     bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.17g%s", key, v,
+                comma ? ", " : "");
+  out += buf;
+}
+
+std::string knobs_json(const TunedKnobs& k) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"n_threads\": %u, \"direction\": \"%s\", "
+                "\"batch_mode\": \"%s\", \"rearrange\": %s, \"n_vis\": %u, "
+                "\"alpha\": %.17g, \"beta\": %.17g}",
+                k.n_threads, direction_name(k.direction),
+                k.batch_mode == BatchMode::kMs64 ? "ms64" : "seq",
+                k.rearrange ? "true" : "false", k.n_vis, k.alpha, k.beta);
+  return buf;
+}
+
+}  // namespace
+
+GraphProfile profile_graph(const CsrGraph& g, std::uint64_t seed) {
+  GraphProfile p;
+  p.n_vertices = g.n_vertices();
+  p.n_arcs = g.n_edges();
+  const DegreeStats ds = degree_stats(g);
+  p.avg_degree = ds.avg_degree;
+  p.max_degree = ds.max_degree;
+  p.isolated_vertices = ds.isolated_vertices;
+  p.est_depth = std::max(1u, probe_depth(g, 2, seed));
+  const vid_t root = pick_nonisolated_root(g, seed);
+  p.reachable_fraction =
+      root == kInvalidVertex || g.n_vertices() == 0
+          ? 0.0
+          : static_cast<double>(reachable_count(g, root)) /
+                static_cast<double>(g.n_vertices());
+  return p;
+}
+
+TunedPlan plan_traversal(const GraphProfile& profile,
+                         const model::PlatformParams& params,
+                         const PlannerConfig& config) {
+  TunedPlan plan;
+  plan.profile = profile;
+
+  const unsigned n_sockets = std::max(1u, config.n_sockets);
+  const unsigned hw =
+      config.hardware_threads != 0
+          ? config.hardware_threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  const unsigned requested =
+      config.max_threads != 0 ? config.max_threads : hw;
+  plan.requested_threads = requested;
+  plan.threads_clamped = requested > hw;
+  // The clamp the oversubscription satellite makes loud: the planner
+  // never *selects* more workers than the hardware has, no matter the
+  // requested cap (engines still honor an explicit oversubscribed
+  // BfsOptions — with the one-shot warning).
+  const unsigned max_threads = std::max(n_sockets, std::min(requested, hw));
+
+  // Thread axis: powers of two (the shapes every bench sweeps) plus the
+  // cap itself, ascending so cost ties resolve to the *fewest* workers
+  // that reach the predicted optimum.
+  std::vector<unsigned> thread_axis;
+  for (unsigned t = 1; t < max_threads; t *= 2) {
+    if (t >= n_sockets) thread_axis.push_back(t);
+  }
+  thread_axis.push_back(max_threads);
+
+  // N_VIS axis: the LLC-derived default and its pow-2 neighbours, clamped
+  // to the per-socket vertex range like resolve_engine_geometry does.
+  const std::size_t llc = static_cast<std::size_t>(
+      resolved_llc_bytes(params, config) > 0.0
+          ? resolved_llc_bytes(params, config)
+          : 1.0);
+  const unsigned nv_default =
+      profile.n_vertices == 0 ? 1
+                              : vis_partitions(profile.n_vertices, llc);
+  const std::uint64_t vps = std::max<std::uint64_t>(
+      1, ceil_pow2(std::max<std::uint64_t>(1, profile.n_vertices)) /
+             n_sockets);
+  std::vector<unsigned> vis_axis;
+  for (unsigned nv : {nv_default / 2, nv_default, nv_default * 2}) {
+    nv = std::max(1u, nv);
+    nv = static_cast<unsigned>(std::min<std::uint64_t>(nv, vps));
+    if (std::find(vis_axis.begin(), vis_axis.end(), nv) == vis_axis.end()) {
+      vis_axis.push_back(nv);
+    }
+  }
+  std::sort(vis_axis.begin(), vis_axis.end());
+
+  const bool enumerate_batch = config.batch_width > 1;
+
+  // Enumerate simpler-first on every axis; strict '<' selection therefore
+  // prefers top-down over auto, sequential over MS-64, rearrange=on over
+  // off, and the smallest thread/VIS counts whenever the model ties.
+  bool have_best = false;
+  double best_cpe = 0.0;
+  for (const DirectionMode dir :
+       {DirectionMode::kTopDown, DirectionMode::kAuto}) {
+    for (const BatchMode bm : {BatchMode::kSequential, BatchMode::kMs64}) {
+      if (bm == BatchMode::kMs64 && !enumerate_batch) continue;
+      for (const bool rearrange : {true, false}) {
+        for (const unsigned nv : vis_axis) {
+          for (const unsigned nt : thread_axis) {
+            TunedKnobs k;
+            k.n_threads = nt;
+            k.direction = dir;
+            k.batch_mode = bm;
+            k.rearrange = rearrange;
+            k.n_vis = nv;
+            CandidateScore c;
+            c.knobs = k;
+            c.cycles_per_edge = candidate_cpe(profile, params, config, k);
+            c.mteps = c.cycles_per_edge > 0.0
+                          ? params.freq_ghz * 1e3 / c.cycles_per_edge
+                          : 0.0;
+            plan.candidates.push_back(c);
+            if (!have_best || c.cycles_per_edge < best_cpe) {
+              have_best = true;
+              best_cpe = c.cycles_per_edge;
+              plan.chosen = k;
+            }
+          }
+        }
+      }
+    }
+  }
+  plan.predicted_cpe = best_cpe;
+  plan.predicted_mteps =
+      best_cpe > 0.0 ? params.freq_ghz * 1e3 / best_cpe : 0.0;
+
+  // Ascending predicted cost; stable, so equal-cost rows keep the
+  // simpler-first enumeration order.
+  std::stable_sort(plan.candidates.begin(), plan.candidates.end(),
+                   [](const CandidateScore& a, const CandidateScore& b) {
+                     return a.cycles_per_edge < b.cycles_per_edge;
+                   });
+  return plan;
+}
+
+void TunedPlan::apply(BfsOptions& opts) const {
+  opts.n_threads = chosen.n_threads;
+  opts.direction = chosen.direction;
+  opts.alpha = chosen.alpha;
+  opts.beta = chosen.beta;
+  opts.batch_mode = chosen.batch_mode;
+  opts.rearrange = chosen.rearrange;
+  opts.n_vis_override = chosen.n_vis;
+}
+
+void TunedPlan::write_text(std::ostream& out) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "plan: threads=%u direction=%s batch=%s rearrange=%s "
+                "n_vis=%u alpha=%.3g beta=%.3g\n",
+                chosen.n_threads, direction_name(chosen.direction),
+                chosen.batch_mode == BatchMode::kMs64 ? "ms64" : "seq",
+                chosen.rearrange ? "on" : "off", chosen.n_vis, chosen.alpha,
+                chosen.beta);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "predicted: %.2f cycles/edge (%.1f MTEPS)\n", predicted_cpe,
+                predicted_mteps);
+  out << buf;
+  if (threads_clamped) {
+    std::snprintf(buf, sizeof(buf),
+                  "threads clamped: %u requested > hardware\n",
+                  requested_threads);
+    out << buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "profile: |V|=%llu arcs=%llu avg_deg=%.2f depth~%u reach=%.2f\n",
+      static_cast<unsigned long long>(profile.n_vertices),
+      static_cast<unsigned long long>(profile.n_arcs), profile.avg_degree,
+      profile.est_depth, profile.reachable_fraction);
+  out << buf;
+  out << "candidates (best first):\n";
+  out << "  thr  dir   batch  rearr  n_vis  cyc/edge     MTEPS\n";
+  const std::size_t shown = std::min<std::size_t>(candidates.size(), 10);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const CandidateScore& c = candidates[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  %3u  %-4s  %-5s  %-5s  %5u  %8.2f  %8.1f\n",
+                  c.knobs.n_threads, direction_name(c.knobs.direction),
+                  c.knobs.batch_mode == BatchMode::kMs64 ? "ms64" : "seq",
+                  c.knobs.rearrange ? "on" : "off", c.knobs.n_vis,
+                  c.cycles_per_edge, c.mteps);
+    out << buf;
+  }
+  if (candidates.size() > shown) {
+    std::snprintf(buf, sizeof(buf), "  ... %zu more\n",
+                  candidates.size() - shown);
+    out << buf;
+  }
+}
+
+void TunedPlan::write_json(std::ostream& out) const {
+  std::string s;
+  s += "{\"plan\": ";
+  s += knobs_json(chosen);
+  s += ", ";
+  append_json_num(s, "predicted_cpe", predicted_cpe);
+  append_json_num(s, "predicted_mteps", predicted_mteps);
+  s += threads_clamped ? "\"threads_clamped\": true, "
+                       : "\"threads_clamped\": false, ";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "\"requested_threads\": %u, ",
+                requested_threads);
+  s += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"profile\": {\"n_vertices\": %llu, \"n_arcs\": %llu, ",
+      static_cast<unsigned long long>(profile.n_vertices),
+      static_cast<unsigned long long>(profile.n_arcs));
+  s += buf;
+  append_json_num(s, "avg_degree", profile.avg_degree);
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"max_degree\": %llu, \"isolated\": %llu, \"est_depth\": %u, ",
+      static_cast<unsigned long long>(profile.max_degree),
+      static_cast<unsigned long long>(profile.isolated_vertices),
+      profile.est_depth);
+  s += buf;
+  append_json_num(s, "reachable_fraction", profile.reachable_fraction,
+                  /*comma=*/false);
+  s += "}, \"candidates\": [";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += "{\"knobs\": ";
+    s += knobs_json(candidates[i].knobs);
+    s += ", ";
+    append_json_num(s, "cycles_per_edge", candidates[i].cycles_per_edge);
+    append_json_num(s, "mteps", candidates[i].mteps, /*comma=*/false);
+    s += "}";
+  }
+  s += "]}\n";
+  out << s;
+}
+
+void publish_plan_metrics(const TunedPlan& plan) {
+  auto& reg = obs::metrics();
+  reg.gauge("fastbfs_tune_plan_threads")
+      ->set(static_cast<double>(plan.chosen.n_threads));
+  reg.gauge("fastbfs_tune_plan_direction")
+      ->set(static_cast<double>(plan.chosen.direction));
+  reg.gauge("fastbfs_tune_plan_batch_ms64")
+      ->set(plan.chosen.batch_mode == BatchMode::kMs64 ? 1.0 : 0.0);
+  reg.gauge("fastbfs_tune_plan_n_vis")
+      ->set(static_cast<double>(plan.chosen.n_vis));
+  reg.gauge("fastbfs_tune_plan_rearrange")
+      ->set(plan.chosen.rearrange ? 1.0 : 0.0);
+  reg.gauge("fastbfs_tune_plan_predicted_mteps")->set(plan.predicted_mteps);
+  reg.gauge("fastbfs_tune_plan_threads_clamped")
+      ->set(plan.threads_clamped ? 1.0 : 0.0);
+}
+
+}  // namespace fastbfs::tune

@@ -1,0 +1,144 @@
+// Offline autotuner (DESIGN.md §5j): enumerate the discrete engine
+// configuration space and score every candidate with the calibrated
+// Sec. IV predictor — no trial runs, just graph statistics and platform
+// parameters in, a TunedPlan out.
+//
+// The enumerated axes and where each cost signal comes from:
+//   N_VIS        {default/2, default, default*2} around the LLC-derived
+//                vis_partitions() count. The model prices both directions:
+//                more partitions inflate the per-edge PBV marker terms of
+//                Eqns IV.1a/IV.1b (8*N_PBV/rho + 4*N_PBV/rho bytes), fewer
+//                make a partition outgrow the half-LLC budget, which the
+//                planner surfaces as a DDR spill penalty on Phase-II (the
+//                paper's equations assume residency by construction).
+//   direction    kTopDown vs kAuto: the model describes the top-down
+//                pipeline, so kAuto is priced as the top-down cost times a
+//                Beamer examined-edge fraction on graphs where the alpha/
+//                beta heuristic actually fires (shallow, dense, mostly
+//                reachable); elsewhere the factor is 1 and the strict
+//                ordering keeps the simpler kTopDown. Forced kBottomUp is
+//                never enumerated — it is dominated on every profile (the
+//                early and late sparse-frontier levels scan all vertices).
+//   batch mode   kSequential vs kMs64 when the caller declares an expected
+//                concurrent-source width: MS-64 shares each edge sweep
+//                across a wave, modelled as the (1+ln K)/K scanned-edge
+//                share measured by the MS-BFS bench, times a mask-update
+//                overhead; sharing is discounted on high-diameter profiles
+//                where wave frontiers barely overlap.
+//   threads      1..min(max, hardware): bandwidth terms stop scaling at
+//                the DDR saturation point (~4 cores/socket on every
+//                platform this repo models), the calibrated Phase-I
+//                binning compute term keeps scaling, so the knee falls
+//                out of max(bandwidth, compute/threads). Counts above
+//                hardware_concurrency are never selected — that is the
+//                clamp the fastbfs_thread_oversubscription warning makes
+//                loud (TunedPlan::threads_clamped records it).
+//   rearrange    on/off: off drops the Eqn IV.1d term but pays a Phase-I
+//                locality penalty once the adjacency working set spills
+//                the LLC (TLB-miss refetches the rearrangement exists to
+//                avoid); small graphs therefore plan rearrange=off.
+//
+// plan_traversal is a pure function of its arguments: same profile + same
+// params + same config => byte-identical TunedPlan (tests pin this via
+// write_json). All tuning constants live in planner.cpp in one block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/options.h"
+#include "graph/csr.h"
+#include "model/platform_params.h"
+
+namespace fastbfs::tune {
+
+/// The graph statistics the planner consumes — everything the Sec. IV
+/// ModelInput needs, measurable in one cheap pass + a depth probe.
+struct GraphProfile {
+  std::uint64_t n_vertices = 0;
+  std::uint64_t n_arcs = 0;  // directed arc count (2|E| for symmetric)
+  double avg_degree = 0.0;
+  std::uint64_t max_degree = 0;
+  std::uint64_t isolated_vertices = 0;
+  unsigned est_depth = 1;          // probe_depth over sampled roots
+  double reachable_fraction = 1.0;  // reachable share from a probe root
+};
+
+/// Profiles `g`: degree stats, a 2-sample depth probe, and the reachable
+/// fraction from one non-isolated root. Deterministic for a given seed.
+GraphProfile profile_graph(const CsrGraph& g, std::uint64_t seed = 1);
+
+struct PlannerConfig {
+  unsigned n_sockets = 1;
+  /// Upper bound on the thread axis (a deployment cap, not a promise);
+  /// 0 = hardware_threads. Values above hardware_threads are clamped —
+  /// see TunedPlan::threads_clamped.
+  unsigned max_threads = 0;
+  /// Hardware thread count to plan against; 0 = this host's
+  /// std::thread::hardware_concurrency(). Tests pin it for determinism.
+  unsigned hardware_threads = 0;
+  /// LLC bytes steering the N_VIS default; 0 = params.llc_bytes.
+  std::size_t llc_bytes = 0;
+  /// Expected concurrent sources per batch; <= 1 plans single-source
+  /// (batch axis not enumerated, kSequential chosen).
+  unsigned batch_width = 1;
+};
+
+/// One point of the enumerated space.
+struct TunedKnobs {
+  unsigned n_threads = 1;
+  DirectionMode direction = DirectionMode::kTopDown;
+  BatchMode batch_mode = BatchMode::kSequential;
+  bool rearrange = true;
+  unsigned n_vis = 1;
+  double alpha = 15.0;
+  double beta = 18.0;
+};
+
+struct CandidateScore {
+  TunedKnobs knobs;
+  double cycles_per_edge = 0.0;  // predicted, per traversed edge
+  double mteps = 0.0;            // freq * 1e3 / cpe
+};
+
+struct TunedPlan {
+  TunedKnobs chosen;
+  double predicted_cpe = 0.0;
+  double predicted_mteps = 0.0;
+  GraphProfile profile;
+  /// True when config.max_threads (or its default) asked for more workers
+  /// than hardware_threads: the planner selected within hardware and the
+  /// requested count is recorded for the oversubscription report.
+  bool threads_clamped = false;
+  unsigned requested_threads = 0;
+  /// Every scored candidate, ascending predicted cost (stable order:
+  /// ties keep enumeration order, which lists simpler knobs first).
+  std::vector<CandidateScore> candidates;
+
+  /// Writes the chosen knobs into `opts` (threads, direction, alpha/beta,
+  /// batch mode, rearrange, n_vis_override). Non-enumerated fields are
+  /// left exactly as the caller set them.
+  void apply(BfsOptions& opts) const;
+
+  /// Human-readable plan + predicted cost table (`fastbfs tune` output).
+  void write_text(std::ostream& out) const;
+  /// Machine form, stable field order — the byte-identity surface the
+  /// determinism tests compare and the tune-smoke CI job parses.
+  void write_json(std::ostream& out) const;
+};
+
+/// The offline planner. Pure: no probing, no clock, no global state —
+/// calibration (the one measurement) happens once upstream and arrives
+/// through `params`.
+TunedPlan plan_traversal(const GraphProfile& profile,
+                         const model::PlatformParams& params,
+                         const PlannerConfig& config);
+
+/// Publishes the chosen configuration as fastbfs_tune_* gauges
+/// (plan_threads, plan_direction 0=td/1=bu/2=auto, plan_batch_ms64,
+/// plan_n_vis, plan_rearrange, plan_predicted_mteps, plan_threads_clamped).
+void publish_plan_metrics(const TunedPlan& plan);
+
+}  // namespace fastbfs::tune

@@ -1,0 +1,107 @@
+// PlatformParams JSON persistence (model/platform_params.h): the
+// --calibrate-out / --model-params=FILE round-trip must be bit-exact, and
+// the strict parser must reject anything it did not write.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "model/platform_params.h"
+
+namespace fastbfs::model {
+namespace {
+
+PlatformParams odd_params() {
+  PlatformParams p;
+  p.freq_ghz = 3.14159265358979312;  // needs all 17 digits
+  p.b_mem = 41.7;
+  p.b_mem_max = 55.0;
+  p.b_llc_to_l2 = 123.456;
+  p.b_l2_to_llc = 77.7;
+  p.b_qpi = 9.25;
+  p.l2_bytes = 512.0 * 1024.0;
+  p.llc_bytes = 33554432.0;
+  p.line_bytes = 128.0;
+  p.n_sockets = 4;
+  p.gflops_per_socket = 201.5;
+  p.bin_cycles_per_edge = 2.37;
+  return p;
+}
+
+TEST(PlatformParamsIo, StreamRoundTripIsBitExact) {
+  const PlatformParams p = odd_params();
+  std::stringstream buf;
+  write_platform_params_json(buf, p);
+  PlatformParams q;
+  ASSERT_TRUE(read_platform_params_json(buf, &q));
+  EXPECT_EQ(p.freq_ghz, q.freq_ghz);
+  EXPECT_EQ(p.b_mem, q.b_mem);
+  EXPECT_EQ(p.b_mem_max, q.b_mem_max);
+  EXPECT_EQ(p.b_llc_to_l2, q.b_llc_to_l2);
+  EXPECT_EQ(p.b_l2_to_llc, q.b_l2_to_llc);
+  EXPECT_EQ(p.b_qpi, q.b_qpi);
+  EXPECT_EQ(p.l2_bytes, q.l2_bytes);
+  EXPECT_EQ(p.llc_bytes, q.llc_bytes);
+  EXPECT_EQ(p.line_bytes, q.line_bytes);
+  EXPECT_EQ(p.n_sockets, q.n_sockets);
+  EXPECT_EQ(p.gflops_per_socket, q.gflops_per_socket);
+  EXPECT_EQ(p.bin_cycles_per_edge, q.bin_cycles_per_edge);
+
+  // And the re-serialization is byte-identical (stable field order).
+  std::ostringstream again;
+  write_platform_params_json(again, q);
+  std::ostringstream first;
+  write_platform_params_json(first, p);
+  EXPECT_EQ(first.str(), again.str());
+}
+
+TEST(PlatformParamsIo, MissingKeysKeepDefaults) {
+  std::istringstream in(R"({"b_mem": 50.5, "n_sockets": 1})");
+  PlatformParams p;
+  ASSERT_TRUE(read_platform_params_json(in, &p));
+  EXPECT_EQ(p.b_mem, 50.5);
+  EXPECT_EQ(p.n_sockets, 1u);
+  EXPECT_EQ(p.freq_ghz, PlatformParams{}.freq_ghz);  // untouched default
+}
+
+TEST(PlatformParamsIo, RejectsGarbage) {
+  PlatformParams p;
+  const PlatformParams before = p;
+  {
+    std::istringstream in("not json at all");
+    EXPECT_FALSE(read_platform_params_json(in, &p));
+  }
+  {
+    std::istringstream in(R"({"freq_ghz": 2.0, "typo_key": 3.0})");
+    EXPECT_FALSE(read_platform_params_json(in, &p));
+  }
+  {
+    std::istringstream in(R"({"n_sockets": 0})");
+    EXPECT_FALSE(read_platform_params_json(in, &p));
+  }
+  {
+    std::istringstream in(R"({"freq_ghz": 2.0)");  // unterminated
+    EXPECT_FALSE(read_platform_params_json(in, &p));
+  }
+  // Failed parses leave the output untouched.
+  EXPECT_EQ(p.freq_ghz, before.freq_ghz);
+  EXPECT_EQ(p.n_sockets, before.n_sockets);
+}
+
+TEST(PlatformParamsIo, FileHelpersRoundTripAndFailCleanly) {
+  const std::string path = ::testing::TempDir() + "fastbfs_params.json";
+  const PlatformParams p = odd_params();
+  ASSERT_TRUE(save_platform_params(path, p));
+  PlatformParams q;
+  ASSERT_TRUE(load_platform_params(path, &q));
+  EXPECT_EQ(p.freq_ghz, q.freq_ghz);
+  EXPECT_EQ(p.n_sockets, q.n_sockets);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(load_platform_params(path, &q));  // gone now
+  EXPECT_FALSE(save_platform_params("/nonexistent-dir/x.json", p));
+}
+
+}  // namespace
+}  // namespace fastbfs::model

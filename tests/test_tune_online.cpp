@@ -1,0 +1,212 @@
+// Online adapter (tune/online.h): the pure decision functions replayed
+// on synthetic RunStats traces, and the live determinism contract — a
+// step-tuned run is bit-identical to an untuned one, a run-boundary
+// retune preserves depths and yields a valid BFS tree.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "graph/validate.h"
+#include "tune/online.h"
+
+namespace fastbfs {
+namespace {
+
+StepStats step_with(std::uint64_t frontier_size,
+                    std::uint64_t frontier_edges = 0,
+                    std::uint64_t unexplored = 0) {
+  StepStats s;
+  s.frontier_size = frontier_size;
+  s.frontier_edges = frontier_edges;
+  s.unexplored_edges = unexplored;
+  return s;
+}
+
+TEST(TuneOnlineStep, PrefetchFollowsFrontierSize) {
+  const tune::OnlineConfig cfg;  // min_prefetch_frontier = 1024
+  const StepTuning baseline;     // prefetch on
+  StepTuning cur = baseline;
+
+  // Tiny frontier: prefetch off.
+  cur = tune::decide_step_tuning(step_with(10), cur, baseline, cfg);
+  EXPECT_FALSE(cur.use_prefetch);
+  // Stays off while small.
+  cur = tune::decide_step_tuning(step_with(1023), cur, baseline, cfg);
+  EXPECT_FALSE(cur.use_prefetch);
+  // Streaming frontier: restored to the baseline.
+  cur = tune::decide_step_tuning(step_with(1024), cur, baseline, cfg);
+  EXPECT_TRUE(cur.use_prefetch);
+  EXPECT_EQ(cur.prefetch_distance, baseline.prefetch_distance);
+}
+
+TEST(TuneOnlineStep, RespectsPrefetchOffBaseline) {
+  const tune::OnlineConfig cfg;
+  StepTuning baseline;
+  baseline.use_prefetch = false;  // operator disabled it; stay disabled
+  StepTuning cur = baseline;
+  cur = tune::decide_step_tuning(step_with(1u << 20), cur, baseline, cfg);
+  EXPECT_FALSE(cur.use_prefetch);
+}
+
+TEST(TuneOnlineRun, DemotesIdleAutoDirection) {
+  BfsOptions opts;
+  opts.direction = DirectionMode::kAuto;
+  RunStats stats;
+  stats.direction_switches = 0;
+  stats.bottom_up_probes = 0;
+  const tune::RunRetune r = tune::decide_run_retune(
+      opts, /*resolved_n_vis=*/1, stats, 1u << 20, 16ull << 20, {});
+  ASSERT_TRUE(r.changed);
+  EXPECT_EQ(r.opts.direction, DirectionMode::kTopDown);
+
+  // ... but not when the heuristic actually fired.
+  stats.direction_switches = 2;
+  const tune::RunRetune keep = tune::decide_run_retune(
+      opts, 1, stats, 1u << 20, 16ull << 20, {});
+  EXPECT_FALSE(keep.changed);
+}
+
+TEST(TuneOnlineRun, PromotesTopDownWhenAlphaTestWouldFire) {
+  BfsOptions opts;  // kTopDown, alpha=15, beta=18
+  const std::uint64_t n_arcs = 1000;
+  RunStats stats;
+  // frontier_edges=200: 200*15 > 800 remaining and 200*18 > 1000 arcs.
+  stats.steps.push_back(step_with(50, /*frontier_edges=*/200,
+                                  /*unexplored=*/800));
+  const tune::RunRetune r =
+      tune::decide_run_retune(opts, 1, stats, 1u << 10, n_arcs, {});
+  ASSERT_TRUE(r.changed);
+  EXPECT_EQ(r.opts.direction, DirectionMode::kAuto);
+
+  // A trace whose frontiers never qualify retunes nothing.
+  RunStats quiet;
+  quiet.steps.push_back(step_with(50, /*frontier_edges=*/10,
+                                  /*unexplored=*/900));
+  EXPECT_FALSE(
+      tune::decide_run_retune(opts, 1, quiet, 1u << 10, n_arcs, {})
+          .changed);
+}
+
+TEST(TuneOnlineRun, HalvesNvisOnTinyFrontiers) {
+  BfsOptions opts;
+  opts.direction = DirectionMode::kTopDown;
+  const std::uint64_t n_vertices = 1u << 20;
+  RunStats stats;
+  stats.steps.push_back(step_with(64));
+  stats.steps.push_back(step_with(512));  // max << |V|/256
+  const tune::RunRetune r =
+      tune::decide_run_retune(opts, /*resolved_n_vis=*/8, stats,
+                              n_vertices, 4ull << 20, {});
+  ASSERT_TRUE(r.changed);
+  EXPECT_EQ(r.opts.n_vis_override, 4u);
+
+  // Wide frontiers: N_VIS stays put.
+  stats.steps.push_back(step_with(n_vertices / 2));
+  EXPECT_FALSE(tune::decide_run_retune(opts, 8, stats, n_vertices,
+                                       4ull << 20, {})
+                   .changed);
+}
+
+// Decisions are pure: the same trace replays to the same answer.
+TEST(TuneOnlineRun, ReplayIsDeterministic) {
+  BfsOptions opts;
+  opts.direction = DirectionMode::kAuto;
+  RunStats stats;
+  stats.steps.push_back(step_with(100, 400, 5000));
+  const tune::RunRetune a =
+      tune::decide_run_retune(opts, 4, stats, 1u << 16, 1u << 20, {});
+  const tune::RunRetune b =
+      tune::decide_run_retune(opts, 4, stats, 1u << 16, 1u << 20, {});
+  EXPECT_EQ(a.changed, b.changed);
+  EXPECT_EQ(a.opts.direction, b.opts.direction);
+  EXPECT_EQ(a.opts.n_vis_override, b.opts.n_vis_override);
+  EXPECT_STREQ(a.reason, b.reason);
+}
+
+// The §5j determinism contract, live: a run with the online step tuner
+// attached produces bit-identical depths AND parents to an untuned run,
+// even when the tuner actually switched knobs mid-run. Pinned to one
+// worker thread: single-threaded traversal is fully deterministic, so
+// any bit that differs here was flipped by the tuner — whereas at >1
+// thread the Sec. III-A benign multi-writer race already makes *parents*
+// timing-dependent between two untuned runs (same depth, different
+// same-level parent, last store wins), which would drown the signal.
+TEST(TuneOnlineLive, StepTunedRunIsBitIdentical) {
+  const CsrGraph g = rmat_graph(13, 8, /*seed=*/11);
+  BfsOptions opts;
+  opts.n_threads = 1;
+  opts.n_sockets = 1;
+
+  BfsRunner plain(g, opts);
+  BfsRunner tuned(g, opts);
+  tune::OnlineTuner tuner({} /* default plan: baseline from options */);
+  tuner.attach(tuned);
+
+  std::uint64_t switches = 0;
+  for (vid_t root : {vid_t{0}, vid_t{17}, vid_t{4095}}) {
+    const BfsResult a = plain.run(root);
+    const BfsResult b = tuned.run(root);
+    switches += tuned.last_run_stats().tune_step_switches;
+    ASSERT_EQ(a.dp.size(), b.dp.size());
+    for (vid_t v = 0; v < g.n_vertices(); ++v) {
+      ASSERT_EQ(a.dp.load(v), b.dp.load(v))
+          << "root " << root << " vertex " << v;
+    }
+  }
+  // The contract is only interesting if the tuner actually acted: an
+  // R-MAT BFS has both tiny and streaming frontiers, so it must have.
+  EXPECT_GT(switches, 0u);
+}
+
+// The multi-threaded form of the same contract: depths (which no race
+// can change) stay identical and the tree stays valid.
+TEST(TuneOnlineLive, StepTunedParallelRunKeepsDepths) {
+  const CsrGraph g = rmat_graph(13, 8, /*seed=*/11);
+  BfsOptions opts;
+  opts.n_threads = 2;
+  opts.n_sockets = 1;
+
+  BfsRunner plain(g, opts);
+  BfsRunner tuned(g, opts);
+  tune::OnlineTuner tuner({});
+  tuner.attach(tuned);
+
+  const BfsResult a = plain.run(0);
+  const BfsResult b = tuned.run(0);
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    ASSERT_EQ(a.dp.depth(v), b.dp.depth(v)) << "vertex " << v;
+  }
+  EXPECT_TRUE(validate_bfs_tree(g, b).ok);
+}
+
+// A run-boundary retune (kAuto -> kTopDown on a grid whose heuristic
+// never fires) keeps every depth and still yields a valid BFS tree.
+TEST(TuneOnlineLive, RetunePreservesDepthsAndTreeValidity) {
+  const CsrGraph g = grid_graph(96, 96);
+  BfsOptions opts;
+  opts.n_threads = 2;
+  opts.n_sockets = 1;
+  opts.direction = DirectionMode::kAuto;
+
+  BfsRunner runner(g, opts);
+  tune::OnlineTuner tuner({});
+  tuner.attach(runner);
+
+  const BfsResult before = runner.run(0);
+  ASSERT_TRUE(tuner.observe_run(runner, before));  // must retune
+  EXPECT_EQ(tuner.run_retunes(), 1u);
+  EXPECT_EQ(runner.options().direction, DirectionMode::kTopDown);
+
+  const BfsResult after = runner.run(0);
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    ASSERT_EQ(before.dp.depth(v), after.dp.depth(v)) << "vertex " << v;
+  }
+  EXPECT_TRUE(validate_bfs_tree(g, after).ok);
+
+  // Steady state: the demoted configuration has nothing left to change.
+  EXPECT_FALSE(tuner.observe_run(runner, after));
+}
+
+}  // namespace
+}  // namespace fastbfs

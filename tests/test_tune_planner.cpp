@@ -1,0 +1,164 @@
+// Offline planner (tune/planner.h): determinism, hardware clamping, and
+// the direction/batch decisions the DESIGN.md §5j cost model promises on
+// archetypal graph shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/api.h"
+#include "gen/adversarial.h"
+#include "gen/grid.h"
+#include "gen/rmat.h"
+#include "model/platform_params.h"
+#include "tune/planner.h"
+
+namespace fastbfs {
+namespace {
+
+tune::GraphProfile rmat_like_profile() {
+  tune::GraphProfile p;
+  p.n_vertices = 1u << 20;
+  p.n_arcs = 16ull << 20;
+  p.avg_degree = 16.0;
+  p.max_degree = 50000;
+  p.est_depth = 7;
+  p.reachable_fraction = 0.8;
+  return p;
+}
+
+tune::GraphProfile grid_like_profile() {
+  tune::GraphProfile p;
+  p.n_vertices = 1u << 20;
+  p.n_arcs = 4ull << 20;
+  p.avg_degree = 4.0;
+  p.max_degree = 4;
+  p.est_depth = 2048;
+  p.reachable_fraction = 1.0;
+  return p;
+}
+
+tune::PlannerConfig pinned_config() {
+  tune::PlannerConfig c;
+  c.n_sockets = 2;
+  c.max_threads = 8;
+  c.hardware_threads = 8;  // pinned: host-independent plans
+  return c;
+}
+
+// Same profile + params + config => byte-identical plan JSON. This is
+// the replayability surface `fastbfs tune --json` exposes and the
+// tune-smoke CI job parses.
+TEST(TunePlanner, DeterministicByteIdenticalPlan) {
+  const tune::GraphProfile prof = rmat_like_profile();
+  const model::PlatformParams params = model::nehalem_ep();
+  const tune::PlannerConfig cfg = pinned_config();
+
+  const tune::TunedPlan a = tune::plan_traversal(prof, params, cfg);
+  const tune::TunedPlan b = tune::plan_traversal(prof, params, cfg);
+  std::ostringstream ja, jb;
+  a.write_json(ja);
+  b.write_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_FALSE(ja.str().empty());
+}
+
+TEST(TunePlanner, NeverSelectsMoreThreadsThanHardware) {
+  tune::PlannerConfig cfg = pinned_config();
+  cfg.max_threads = 64;
+  cfg.hardware_threads = 4;
+  const tune::TunedPlan plan = tune::plan_traversal(
+      rmat_like_profile(), model::nehalem_ep(), cfg);
+  EXPECT_LE(plan.chosen.n_threads, 4u);
+  EXPECT_TRUE(plan.threads_clamped);
+  EXPECT_EQ(plan.requested_threads, 64u);
+  for (const tune::CandidateScore& c : plan.candidates) {
+    EXPECT_LE(c.knobs.n_threads, 4u);
+  }
+}
+
+// Shallow dense mostly-reachable profile -> the Beamer discount applies
+// and kAuto wins; high-diameter sparse grid -> the alpha test would never
+// fire, the discount is off, and the strict ordering keeps plain kTopDown.
+TEST(TunePlanner, DirectionFollowsGraphShape) {
+  const model::PlatformParams params = model::nehalem_ep();
+  const tune::PlannerConfig cfg = pinned_config();
+  const tune::TunedPlan social =
+      tune::plan_traversal(rmat_like_profile(), params, cfg);
+  EXPECT_EQ(social.chosen.direction, DirectionMode::kAuto);
+  const tune::TunedPlan grid =
+      tune::plan_traversal(grid_like_profile(), params, cfg);
+  EXPECT_EQ(grid.chosen.direction, DirectionMode::kTopDown);
+}
+
+// MS-64 amortizes edge sweeps across a wave only when wave frontiers
+// overlap: shallow graphs share, 2048-level paths do not.
+TEST(TunePlanner, BatchModeFollowsDepth) {
+  const model::PlatformParams params = model::nehalem_ep();
+  tune::PlannerConfig cfg = pinned_config();
+  cfg.batch_width = 64;
+  const tune::TunedPlan shallow =
+      tune::plan_traversal(rmat_like_profile(), params, cfg);
+  EXPECT_EQ(shallow.chosen.batch_mode, BatchMode::kMs64);
+  const tune::TunedPlan deep =
+      tune::plan_traversal(grid_like_profile(), params, cfg);
+  EXPECT_EQ(deep.chosen.batch_mode, BatchMode::kSequential);
+
+  // Single-source planning never proposes MS-64.
+  cfg.batch_width = 1;
+  const tune::TunedPlan single =
+      tune::plan_traversal(rmat_like_profile(), params, cfg);
+  EXPECT_EQ(single.chosen.batch_mode, BatchMode::kSequential);
+}
+
+TEST(TunePlanner, CandidatesSortedAscendingCost) {
+  const tune::TunedPlan plan = tune::plan_traversal(
+      rmat_like_profile(), model::nehalem_ep(), pinned_config());
+  ASSERT_FALSE(plan.candidates.empty());
+  EXPECT_EQ(plan.candidates.front().cycles_per_edge, plan.predicted_cpe);
+  for (std::size_t i = 1; i < plan.candidates.size(); ++i) {
+    EXPECT_LE(plan.candidates[i - 1].cycles_per_edge,
+              plan.candidates[i].cycles_per_edge);
+  }
+}
+
+TEST(TuneProfile, MatchesGraphStats) {
+  const CsrGraph g = rmat_graph(12, 8, /*seed=*/3);
+  const tune::GraphProfile p = tune::profile_graph(g, /*seed=*/3);
+  EXPECT_EQ(p.n_vertices, g.n_vertices());
+  EXPECT_EQ(p.n_arcs, g.n_edges());
+  EXPECT_GT(p.avg_degree, 0.0);
+  EXPECT_GE(p.est_depth, 1u);
+  EXPECT_GT(p.reachable_fraction, 0.0);
+  EXPECT_LE(p.reachable_fraction, 1.0);
+
+  // Deterministic for a fixed seed (plan_traversal inherits this).
+  const tune::GraphProfile q = tune::profile_graph(g, /*seed=*/3);
+  EXPECT_EQ(p.est_depth, q.est_depth);
+  EXPECT_EQ(p.reachable_fraction, q.reachable_fraction);
+}
+
+// apply() writes the planned N_VIS through n_vis_override, and the engine
+// honors it (resolve_engine_geometry rounds to a power of two).
+TEST(TunePlanner, AppliedNvisOverrideReachesEngine) {
+  const CsrGraph g = rmat_graph(12, 8, /*seed=*/5);
+  BfsOptions opts;
+  opts.n_threads = 2;
+  opts.n_sockets = 1;
+  opts.n_vis_override = 4;
+  const BfsRunner runner(g, opts);
+  EXPECT_EQ(runner.n_vis_partitions(), 4u);
+
+  // And the override changes nothing about the answer.
+  BfsOptions plain = opts;
+  plain.n_vis_override = 0;
+  BfsRunner base(g, plain);
+  BfsRunner tuned(g, opts);
+  const BfsResult a = base.run(0);
+  const BfsResult b = tuned.run(0);
+  for (vid_t v = 0; v < g.n_vertices(); ++v) {
+    EXPECT_EQ(a.dp.depth(v), b.dp.depth(v)) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace fastbfs

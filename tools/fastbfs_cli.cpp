@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "apps/components.h"
@@ -31,11 +32,14 @@
 #include "graph/stats.h"
 #include "graph/validate.h"
 #include "model/calibrate.h"
+#include "model/platform_params.h"
 #include "obs/metrics.h"
 #include "obs/model_check.h"
 #include "obs/trace.h"
 #include "platform/cache_info.h"
 #include "simd/dispatch.h"
+#include "tune/online.h"
+#include "tune/planner.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -98,6 +102,61 @@ void apply_direction_flags(const CliArgs& args, BfsOptions& opts) {
   opts.direction = parse_direction(args.get("direction", "td"));
   opts.alpha = args.get_double("alpha", opts.alpha);
   opts.beta = args.get_double("beta", opts.beta);
+}
+
+TuneMode parse_tune(const std::string& t) {
+  if (t == "off") return TuneMode::kOff;
+  if (t == "static") return TuneMode::kStatic;
+  if (t == "online") return TuneMode::kOnline;
+  throw std::runtime_error("unknown --tune value: " + t +
+                           " (want off|static|online)");
+}
+
+/// --model-params=host|paper|FILE: the platform the Sec. IV predictor
+/// (and therefore the planner) describes. host calibrates this machine
+/// (bandwidth probes, a few hundred ms); FILE loads a JSON written by
+/// --calibrate-out, skipping the probes.
+model::PlatformParams resolve_model_params(const CliArgs& args) {
+  const std::string params = args.get("model-params", "host");
+  if (params == "host") return model::calibrated_host_params();
+  if (params == "paper") return model::nehalem_ep();
+  model::PlatformParams p;
+  if (!model::load_platform_params(params, &p)) {
+    throw std::runtime_error("--model-params: cannot read " + params +
+                             " (want host|paper|FILE)");
+  }
+  return p;
+}
+
+/// Shared by bfs/batch: when --tune != off, profile the graph, plan it,
+/// and rewrite `opts` with the chosen knobs. Returns the plan (the online
+/// path needs its predicted MTEPS and baseline).
+tune::TunedPlan apply_tune_plan(const CliArgs& args, const CsrGraph& g,
+                                BfsOptions& opts, unsigned batch_width) {
+  const model::PlatformParams tp = resolve_model_params(args);
+  const tune::GraphProfile prof = tune::profile_graph(
+      g, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  tune::PlannerConfig pc;
+  pc.n_sockets = opts.n_sockets;
+  pc.max_threads = opts.n_threads;
+  pc.llc_bytes = opts.effective_llc_bytes();
+  pc.batch_width = batch_width;
+  tune::TunedPlan plan = tune::plan_traversal(prof, tp, pc);
+  plan.apply(opts);
+  tune::publish_plan_metrics(plan);
+  std::printf(
+      "tune: threads %u, direction %s, batch %s, n_vis %u, rearrange %d "
+      "(predicted %.1f MTEPS)\n",
+      plan.chosen.n_threads,
+      plan.chosen.direction == DirectionMode::kAuto ? "auto" : "td",
+      plan.chosen.batch_mode == BatchMode::kMs64 ? "ms64" : "seq",
+      plan.chosen.n_vis, plan.chosen.rearrange ? 1 : 0,
+      plan.predicted_mteps);
+  if (plan.threads_clamped) {
+    std::printf("tune: requested %u threads clamped to hardware\n",
+                plan.requested_threads);
+  }
+  return plan;
 }
 
 /// --isa=scalar|sse4.2|avx2|avx512|native: caps the kernel dispatch for
@@ -212,8 +271,14 @@ int cmd_batch(const CliArgs& args) {
   opts.cache = host_cache_geometry();
   apply_direction_flags(args, opts);
   opts.batch_mode = parse_batch_mode(args.get("batch-mode", "seq"));
-  BfsRunner runner(g, opts);
   const unsigned n_roots = static_cast<unsigned>(args.get_int("roots", 16));
+  opts.tune = parse_tune(args.get("tune", "off"));
+  if (opts.tune != TuneMode::kOff) {
+    // Batch runs retune only at batch boundaries, so static and online
+    // collapse to the same thing here: plan once, run the batch with it.
+    apply_tune_plan(args, g, opts, n_roots);
+  }
+  BfsRunner runner(g, opts);
   const BatchResult b = runner.run_batch(
       g, n_roots, static_cast<std::uint64_t>(args.get_int("seed", 1)),
       args.get_bool("validate", true));
@@ -250,9 +315,24 @@ int cmd_bfs(const CliArgs& args) {
   opts.pin_threads = args.get_bool("pin", false);
   opts.cache = host_cache_geometry();
   apply_direction_flags(args, opts);
+
+  opts.tune = parse_tune(args.get("tune", "off"));
+  tune::TunedPlan plan;
+  if (opts.tune != TuneMode::kOff) {
+    plan = apply_tune_plan(args, g, opts, /*batch_width=*/1);
+  }
+
   BfsRunner runner(g, opts);
   std::printf("isa: %s (kernel dispatch)\n",
               isa_name(runner.isa_level()));
+
+  // kOnline: watch each run's RunStats, toggle the result-invariant
+  // per-step knobs live, retune the rest between runs (tune/online.h).
+  std::unique_ptr<tune::OnlineTuner> online;
+  if (opts.tune == TuneMode::kOnline) {
+    online = std::make_unique<tune::OnlineTuner>(plan);
+    online->attach(runner);
+  }
 
   const std::string trace_out = args.get("trace-out", "");
   const std::string metrics_out = args.get("metrics-out", "");
@@ -272,14 +352,7 @@ int cmd_bfs(const CliArgs& args) {
   // --model-params=paper uses the paper's Nehalem-EP instead.
   obs::ModelCheckOptions mc;
   if (model_check) {
-    const std::string params = args.get("model-params", "host");
-    if (params == "host") {
-      mc.params = model::calibrated_host_params();
-    } else if (params == "paper") {
-      mc.params = model::nehalem_ep();
-    } else {
-      throw std::runtime_error("unknown --model-params value: " + params);
-    }
+    mc.params = resolve_model_params(args);
     mc.n_sockets = opts.n_sockets;
     mc.tolerance = args.get_double("model-tol", mc.tolerance);
   }
@@ -322,6 +395,10 @@ int cmd_bfs(const CliArgs& args) {
           runner.n_vis_partitions(),
           static_cast<double>(runner.vis_storage_bytes()), mc);
       rep.write_text(std::cout);
+    }
+    if (online && online->observe_run(runner, r)) {
+      std::printf("tune: retuned between runs (%s)\n",
+                  online->last_retune_reason());
     }
   }
 
@@ -511,6 +588,46 @@ int cmd_isa(const CliArgs& args) {
   return 0;
 }
 
+// fastbfs tune: the offline planner as a standalone report — profile the
+// graph, score the configuration space with the Sec. IV model, print the
+// chosen plan and the predicted-cost table. No traversal runs.
+int cmd_tune(const CliArgs& args) {
+  const std::string in = args.get("in");
+  if (in.empty()) throw std::runtime_error("tune: --in=FILE is required");
+  const CsrGraph g = load_graph(in);
+
+  const model::PlatformParams tp = resolve_model_params(args);
+  const std::string calibrate_out = args.get("calibrate-out", "");
+  if (!calibrate_out.empty()) {
+    if (!model::save_platform_params(calibrate_out, tp)) {
+      throw std::runtime_error("--calibrate-out: cannot write " +
+                               calibrate_out);
+    }
+    std::fprintf(stderr, "wrote %s\n", calibrate_out.c_str());
+  }
+
+  tune::PlannerConfig pc;
+  pc.n_sockets = static_cast<unsigned>(args.get_int("sockets", 2));
+  pc.max_threads = static_cast<unsigned>(args.get_int("threads", 0));
+  pc.batch_width = static_cast<unsigned>(args.get_int("batch-width", 1));
+  const tune::GraphProfile prof = tune::profile_graph(
+      g, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const tune::TunedPlan plan = tune::plan_traversal(prof, tp, pc);
+
+  if (args.get_bool("json", false)) {
+    plan.write_json(std::cout);
+  } else {
+    plan.write_text(std::cout);
+  }
+  const std::string plan_out = args.get("plan-out", "");
+  if (!plan_out.empty()) {
+    std::ofstream out = open_or_throw(plan_out, "--plan-out");
+    plan.write_json(out);
+    std::fprintf(stderr, "wrote %s\n", plan_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_convert(const CliArgs& args) {
   const std::string in = args.get("in");
   const std::string out = args.get("out");
@@ -527,7 +644,8 @@ int cmd_convert(const CliArgs& args) {
 
 int usage() {
   std::printf(
-      "usage: fastbfs <gen|info|bfs|batch|app|isa|convert> [--key=value ...]\n"
+      "usage: fastbfs <gen|info|bfs|batch|app|tune|isa|convert> "
+      "[--key=value ...]\n"
       "  gen     --kind=rmat|uniform|grid|stress --out=g.csr\n"
       "          [--gscale=18 --edge-factor=16 | --vertices=N --degree=D |\n"
       "           --width=W --height=H --keep=P] [--seed=S]\n"
@@ -542,6 +660,12 @@ int usage() {
       "          pagerank: [--damping=0.85 --tol=1e-10 --iters=100]\n"
       "          sssp:     [--source=N --delta=8 --weight-seed=1\n"
       "                     --max-weight=8]\n"
+      "  tune    --in=FILE [--sockets=2] [--threads=0 (0 = hardware)]\n"
+      "          [--batch-width=1]  plan for K concurrent sources (MS-64)\n"
+      "          [--model-params=host|paper|FILE] [--calibrate-out=FILE]\n"
+      "          [--json] [--plan-out=FILE]\n"
+      "          offline plan: profile the graph, score every config with\n"
+      "          the Sec. IV model, print plan + predicted cost table\n"
       "  isa     [--isa=LEVEL] [--require=LEVEL]\n"
       "          print detected/compiled/resolved kernel ISA; with\n"
       "          --require, exit 1 unless resolved >= LEVEL\n"
@@ -557,8 +681,11 @@ int usage() {
       "                             (engine spans need -DFASTBFS_TRACE)\n"
       "          [--metrics-out=F]  registry dump; .json = JSON, else\n"
       "                             Prometheus text exposition\n"
-      "          [--model-check --model-params=host|paper --model-tol=0.75]\n"
-      "                             Sec. IV predicted-vs-measured report\n"
+      "          [--model-check --model-params=host|paper|FILE\n"
+      "           --model-tol=0.75] Sec. IV predicted-vs-measured report\n"
+      "          [--tune=off|static|online]  autotune (bfs and batch):\n"
+      "                             static plans from graph stats, online\n"
+      "                             also adapts from measured RunStats\n"
       "  convert --in=FILE --out=g.csr\n"
       "formats by extension: .csr binary, .gr DIMACS, .mtx MatrixMarket,\n"
       "otherwise text edge list.\n");
@@ -577,6 +704,7 @@ int main(int argc, char** argv) {
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "app") return cmd_app(args);
+    if (cmd == "tune") return cmd_tune(args);
     if (cmd == "isa") return cmd_isa(args);
     if (cmd == "convert") return cmd_convert(args);
     return usage();

@@ -10,6 +10,8 @@
 //                 [--window-us=200] [--wave-width=64] [--dispatchers=1]
 //                 [--queue-cap=1024] [--sequential-only]
 //                 [--isa=scalar|sse4.2|avx2|avx512|native]
+//                 [--tune=off|static|online]
+//                 [--model-params=host|paper|FILE]
 //                 [--metrics-out=path]
 //
 // Prints "listening on <port>" (the kernel-assigned port when --port=0)
@@ -23,6 +25,8 @@
 
 #include "gen/rmat.h"
 #include "graph/serialize.h"
+#include "model/calibrate.h"
+#include "model/platform_params.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
 #include "simd/dispatch.h"
@@ -74,6 +78,34 @@ int main(int argc, char** argv) {
   cfg.service.batcher.queue_capacity =
       static_cast<unsigned>(args.get_int("queue-cap", 1024));
   const std::string metrics_out = args.get("metrics-out");
+
+  // Autotuning (tune/planner.h): plan each added graph against the
+  // platform model; online additionally adapts the sequential path from
+  // measured RunStats. --model-params picks the model the planner scores
+  // against (host probes this machine; FILE loads a calibrated JSON).
+  const std::string tune = args.get("tune", "off");
+  if (tune == "static") {
+    cfg.service.engine.tune = TuneMode::kStatic;
+  } else if (tune == "online") {
+    cfg.service.engine.tune = TuneMode::kOnline;
+  } else if (tune != "off") {
+    std::fprintf(stderr, "fastbfs_serve: unknown --tune value %s\n",
+                 tune.c_str());
+    return 2;
+  }
+  const std::string model_params = args.get("model-params");
+  if (!model_params.empty()) {
+    if (model_params == "host") {
+      cfg.service.tune_params = model::calibrated_host_params();
+    } else if (model_params == "paper") {
+      cfg.service.tune_params = model::nehalem_ep();
+    } else if (!model::load_platform_params(model_params,
+                                            &cfg.service.tune_params)) {
+      std::fprintf(stderr, "fastbfs_serve: cannot read --model-params %s\n",
+                   model_params.c_str());
+      return 2;
+    }
+  }
 
   // Cap the kernel dispatch before any engine is built (the serving
   // engines capture their table at construction). Clamped like
