@@ -269,6 +269,7 @@ bool write_bench_json(const std::string& path, const std::string& name,
     return false;
   }
   out << "{\n  \"bench\": \"" << json_escape(name) << "\",\n"
+      << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
       << "  \"timestamp\": " << timestamp << ",\n"
       << "  \"config\": " << config.str() << ",\n"
       << "  \"metrics\": " << metrics.str() << "\n}\n";

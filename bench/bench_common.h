@@ -107,11 +107,15 @@ class JsonFields {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// The one bench JSON schema (CI parses these artifacts uniformly):
-///   {"bench": <name>, "timestamp": <unix seconds>,
+/// The one bench JSON schema (CI parses these artifacts uniformly;
+/// scripts/bench_compare.py refuses artifacts whose schema_version it
+/// does not know). Bump kBenchSchemaVersion when the envelope shape —
+/// not the metric set — changes.
+///   {"bench": <name>, "schema_version": 1, "timestamp": <unix seconds>,
 ///    "config": {...}, "metrics": {...}}
 /// Returns false (after printing a warning) when `path` cannot be opened —
 /// benches keep running; the artifact is best-effort.
+inline constexpr int kBenchSchemaVersion = 1;
 bool write_bench_json(const std::string& path, const std::string& name,
                       std::int64_t timestamp, const JsonFields& config,
                       const JsonFields& metrics);

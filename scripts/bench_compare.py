@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts against committed baselines.
+
+The bench binaries all emit the write_bench_json envelope
+(bench/bench_common.h):
+
+    {"bench": <name>, "schema_version": 1, "timestamp": <unix s>,
+     "config": {...}, "metrics": {...}}
+
+This script diffs the `metrics` object of each artifact against the
+baseline of the same bench name under bench/baselines/, applying the
+per-metric noise bands in bench/baselines/noise_bands.json. Machines
+differ wildly, so the committed bands only *fail* on metrics that are
+machine-relative (speedups, ratios, acceptance booleans); absolute
+throughput numbers are reported as INFO drift unless a band opts them
+in.
+
+Band resolution for a metric: the bench's `metrics` map is scanned in
+order and the first fnmatch pattern that matches wins; otherwise the
+bench's `default`, otherwise the top-level `default`. A band is
+
+    {"direction": "higher" | "lower" | "info",
+     "rel_tol": 0.25,          # fraction of the baseline value
+     "abs_tol": 0.0}           # absolute slack, ORed with rel_tol
+
+"higher" means larger is better (regression = current below
+baseline - tolerance); "lower" the opposite; "info" never fails.
+Boolean metrics ignore tolerances: True -> False is a regression,
+False -> True an improvement. Strings are compared informationally.
+
+Exit codes: 0 all compared metrics within bands, 1 regressions found,
+2 usage / malformed artifacts (including unknown schema_version).
+
+Usage:
+    bench_compare.py [--baselines DIR] [--bands FILE] [--update]
+                     ARTIFACT.json [ARTIFACT.json ...]
+    bench_compare.py --current-dir build   # picks up build/BENCH_*.json
+
+--update rewrites the baselines from the given artifacts instead of
+comparing (commit the result).
+"""
+
+import argparse
+import fnmatch
+import glob
+import json
+import os
+import shutil
+import sys
+
+KNOWN_SCHEMA_VERSIONS = (1,)
+DEFAULT_BAND = {"direction": "info", "rel_tol": 0.25, "abs_tol": 0.0}
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+
+
+def check_envelope(doc, path):
+    for key in ("bench", "metrics"):
+        if key not in doc:
+            raise SystemExit(f"bench_compare: {path}: missing '{key}'")
+    version = doc.get("schema_version")
+    if version is not None and version not in KNOWN_SCHEMA_VERSIONS:
+        raise SystemExit(
+            f"bench_compare: {path}: unknown schema_version {version} "
+            f"(this script knows {list(KNOWN_SCHEMA_VERSIONS)})")
+
+
+def resolve_band(bands, bench, metric):
+    entry = bands.get("benches", {}).get(bench, {})
+    for pattern, band in entry.get("metrics", {}).items():
+        if fnmatch.fnmatch(metric, pattern):
+            return {**DEFAULT_BAND, **band}
+    if "default" in entry:
+        return {**DEFAULT_BAND, **entry["default"]}
+    return {**DEFAULT_BAND, **bands.get("default", {})}
+
+
+def compare_metric(name, base, cur, band):
+    """Returns (status, detail) with status in PASS/FAIL/INFO."""
+    if isinstance(base, bool) or isinstance(cur, bool):
+        if base is True and cur is not True:
+            return "FAIL", f"{base} -> {cur}"
+        status = "INFO" if band["direction"] == "info" else "PASS"
+        return status, f"{base} -> {cur}"
+    if isinstance(base, str) or isinstance(cur, str):
+        if base != cur:
+            return "INFO", f"{base!r} -> {cur!r}"
+        return "INFO", "unchanged"
+    if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+        return "INFO", f"non-numeric ({type(base).__name__})"
+
+    delta = cur - base
+    rel = delta / base if base not in (0, 0.0) else float("inf") if delta else 0.0
+    detail = f"{base:g} -> {cur:g} ({rel:+.1%})"
+    if band["direction"] == "info":
+        return "INFO", detail
+    slack = abs(base) * band["rel_tol"] + band["abs_tol"]
+    if band["direction"] == "higher":
+        bad = cur < base - slack
+    elif band["direction"] == "lower":
+        bad = cur > base + slack
+    else:
+        raise SystemExit(
+            f"bench_compare: bad direction {band['direction']!r} for {name}")
+    return ("FAIL" if bad else "PASS"), detail
+
+
+def compare(artifact_path, baseline_dir, bands):
+    cur_doc = load_json(artifact_path)
+    check_envelope(cur_doc, artifact_path)
+    bench = cur_doc["bench"]
+    base_path = os.path.join(baseline_dir,
+                             os.path.basename(artifact_path))
+    if not os.path.exists(base_path):
+        print(f"== {bench}: no baseline at {base_path}; skipping "
+              f"(run with --update to create one)")
+        return True
+    base_doc = load_json(base_path)
+    check_envelope(base_doc, base_path)
+    if base_doc["bench"] != bench:
+        raise SystemExit(
+            f"bench_compare: {base_path} is bench '{base_doc['bench']}', "
+            f"artifact is '{bench}'")
+
+    base_metrics = base_doc["metrics"]
+    cur_metrics = cur_doc["metrics"]
+    ok = True
+    print(f"== {bench} ({artifact_path} vs {base_path})")
+    for name, base_val in base_metrics.items():
+        band = resolve_band(bands, bench, name)
+        if name not in cur_metrics:
+            # A metric the baseline tracks has vanished: schema drift the
+            # band owner should see, but only a failure when the band
+            # gates it.
+            status = "INFO" if band["direction"] == "info" else "FAIL"
+            print(f"   {status:4s} {name}: missing from current artifact")
+            ok &= status != "FAIL"
+            continue
+        status, detail = compare_metric(name, base_val, cur_metrics[name],
+                                        band)
+        ok &= status != "FAIL"
+        print(f"   {status:4s} {name}: {detail}")
+    for name in cur_metrics:
+        if name not in base_metrics:
+            print(f"   INFO {name}: new metric (not in baseline)")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff BENCH_*.json against committed baselines.")
+    ap.add_argument("artifacts", nargs="*", help="BENCH_*.json files")
+    ap.add_argument("--current-dir",
+                    help="directory to glob for BENCH_*.json")
+    ap.add_argument("--baselines",
+                    default=os.path.join(os.path.dirname(__file__), "..",
+                                         "bench", "baselines"),
+                    help="baseline directory (default: bench/baselines)")
+    ap.add_argument("--bands",
+                    help="noise-band file "
+                         "(default: <baselines>/noise_bands.json)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baselines from the artifacts")
+    args = ap.parse_args()
+
+    artifacts = list(args.artifacts)
+    if args.current_dir:
+        artifacts += sorted(
+            glob.glob(os.path.join(args.current_dir, "BENCH_*.json")))
+    if not artifacts:
+        ap.error("no artifacts given (pass files or --current-dir)")
+
+    baseline_dir = os.path.normpath(args.baselines)
+    bands_path = args.bands or os.path.join(baseline_dir, "noise_bands.json")
+    bands = load_json(bands_path) if os.path.exists(bands_path) else {}
+
+    if args.update:
+        os.makedirs(baseline_dir, exist_ok=True)
+        for path in artifacts:
+            doc = load_json(path)
+            check_envelope(doc, path)
+            dst = os.path.join(baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dst)
+            print(f"baseline updated: {dst}")
+        return 0
+
+    ok = True
+    for path in artifacts:
+        ok &= compare(path, baseline_dir, bands)
+    if not ok:
+        print("bench_compare: regressions beyond noise bands (see FAIL "
+              "rows above)")
+        return 1
+    print("bench_compare: all compared metrics within noise bands")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

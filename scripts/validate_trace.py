@@ -4,7 +4,9 @@
 Checks, beyond "it parses":
   - the envelope: traceEvents list, displayTimeUnit, otherData.dropped;
   - every event has the fields its phase requires (M metadata, X complete
-    spans with positive dur, i instants with scope "t");
+    spans with positive dur, i instants with scope "t", C counter samples
+    with a non-negative numeric args.value on the fastbfs_hw category,
+    b/e async query-lifecycle pairs balanced per (name, id));
   - per (pid, tid) track, "X" spans form a proper containment hierarchy
     (partial overlap on one thread's track means the recorder or exporter
     corrupted span boundaries);
@@ -62,6 +64,7 @@ def main():
     tracks = collections.defaultdict(list)
     names = set()
     counts = collections.Counter()
+    async_open = {}
     for i, e in enumerate(events):
         where = f"event {i}: {e}"
         for key in ("name", "ph", "pid", "tid"):
@@ -72,6 +75,37 @@ def main():
         if ph == "M":
             if not e.get("args", {}).get("name"):
                 fail(f"metadata without args.name in {where}")
+            continue
+        if ph == "C":
+            # Hardware-counter track sample (--perf): value-only payload
+            # on its own synthetic process, no step/duration semantics.
+            if e.get("cat") != "fastbfs_hw":
+                fail(f"counter sample without fastbfs_hw cat in {where}")
+            if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+                fail(f"bad ts in {where}")
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"counter sample without args.value in {where}")
+            names.add(e["name"])
+            continue
+        if ph in ("b", "e"):
+            # Async query-lifecycle pair (serving --trace-out): keyed by
+            # trace id, allowed to overlap anything.
+            if e.get("cat") != "fastbfs":
+                fail(f"missing cat in {where}")
+            if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+                fail(f"bad ts in {where}")
+            if "id" not in e:
+                fail(f"async event without id in {where}")
+            key = (e["name"], e["id"])
+            if ph == "b":
+                async_open[key] = e["ts"]
+            else:
+                if key not in async_open:
+                    fail(f"async end without begin in {where}")
+                if e["ts"] < async_open.pop(key) - EPS:
+                    fail(f"async end before its begin in {where}")
+            names.add(e["name"])
             continue
         if ph not in ("X", "i"):
             fail(f"unexpected ph {ph!r} in {where}")
@@ -113,9 +147,13 @@ def main():
                 f"(got {sorted(names)})"
             )
 
+    if async_open:
+        fail(f"async begins without ends: {sorted(async_open)[:4]}")
+
     n_spans = counts["X"] + counts["i"]
     print(
-        f"validate_trace: OK: {n_spans} spans/instants, {counts['M']} "
+        f"validate_trace: OK: {n_spans} spans/instants, {counts['b']} "
+        f"async pairs, {counts['C']} counter samples, {counts['M']} "
         f"metadata events, {len(tracks)} thread tracks, {dropped} dropped"
     )
 

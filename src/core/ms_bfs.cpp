@@ -182,7 +182,7 @@ MsBfs::MsBfs(const AdjacencyArray& adj, const BfsOptions& opts)
       kern_(opts.use_simd ? &active_kernels()
                           : &kernels_for(IsaLevel::kScalar)),
       topo_(opts.n_sockets, opts.n_threads),
-      pool_(topo_, opts.pin_threads),
+      pool_(topo_, opts.pin_threads, opts.trace_lane_base),
       seen_(adj.n_vertices()) {
   if (adj.partition().n_sockets() != opts.n_sockets) {
     throw std::invalid_argument(
@@ -390,7 +390,8 @@ void MsBfs::phase2(const ThreadContext& ctx, depth_t step) {
 
 void MsBfs::worker(const ThreadContext& ctx) {
   FASTBFS_CHAOS_REGISTER(ctx.thread_id);
-  FASTBFS_TRACE_REGISTER(ctx.thread_id, ctx.socket_id);
+  FASTBFS_TRACE_REGISTER(opts_.trace_lane_base + ctx.thread_id,
+                         ctx.socket_id);
   ThreadState& me = *states_[ctx.thread_id];
   SpinBarrier& bar = pool_.barrier();
 

@@ -121,6 +121,14 @@ struct BfsOptions {
   /// Collect per-phase timings and the local/remote traffic audit.
   bool collect_stats = true;
 
+  /// First flight-recorder lane this engine's workers register into
+  /// (worker i takes lane trace_lane_base + i). A single engine keeps 0
+  /// so lanes == worker ids; callers that keep several warm engines
+  /// alive at once (the serving runner pools) give each a disjoint base,
+  /// otherwise their same-numbered workers interleave spans on one
+  /// exported track. No effect without -DFASTBFS_TRACE.
+  unsigned trace_lane_base = 0;
+
   std::size_t effective_llc_bytes() const {
     return llc_bytes_override != 0 ? llc_bytes_override : cache.llc_bytes;
   }

@@ -10,6 +10,7 @@
 
 #include "core/engine_geometry.h"
 #include "obs/metrics.h"
+#include "obs/perf/perf_counters.h"
 #include "obs/trace.h"
 #include "platform/prefetch.h"
 #include "simd/binning.h"
@@ -22,7 +23,50 @@ namespace {
 /// Phase-I reserves bin capacity per frontier vertex, so a chunk constant
 /// is not needed; this caps the prefetch lookahead clamp instead.
 constexpr std::uint32_t kMinPrefetchWindow = 1;
+
+// Hardware-counter harvest geometry: the span kinds attributed to each
+// phase bucket, and how many steps get individual baseline rows (matches
+// the obs::perf default PerfConfig.max_steps; deeper steps fold into the
+// table's last row).
+constexpr obs::SpanKind kHwKinds[] = {
+    obs::SpanKind::kPhase1, obs::SpanKind::kPhase2, obs::SpanKind::kRearrange,
+    obs::SpanKind::kBottomUp};
+constexpr unsigned kHwNumKinds = 4;
+constexpr unsigned kHwHarvestSteps = 512;
+constexpr unsigned kHwEvents = obs::perf::kNumEvents;
+
+void fill_hw(HwPhaseCounters& out, const std::uint64_t* delta) {
+  using obs::perf::HwEvent;
+  out.valid = true;
+  out.cycles = delta[static_cast<unsigned>(HwEvent::kCycles)];
+  out.instructions = delta[static_cast<unsigned>(HwEvent::kInstructions)];
+  out.llc_loads = delta[static_cast<unsigned>(HwEvent::kLlcLoads)];
+  out.llc_load_misses =
+      delta[static_cast<unsigned>(HwEvent::kLlcLoadMisses)];
+  out.dtlb_load_misses =
+      delta[static_cast<unsigned>(HwEvent::kDtlbLoadMisses)];
+  out.branch_misses = delta[static_cast<unsigned>(HwEvent::kBranchMisses)];
+  out.stalled_cycles_backend =
+      delta[static_cast<unsigned>(HwEvent::kStalledBackend)];
+  out.sw_task_clock_ns =
+      delta[static_cast<unsigned>(HwEvent::kSwTaskClockNs)];
+  out.sw_page_faults = delta[static_cast<unsigned>(HwEvent::kSwPageFaults)];
+}
 }  // namespace
+
+HwPhaseCounters& HwPhaseCounters::operator+=(const HwPhaseCounters& o) {
+  valid = valid || o.valid;
+  cycles += o.cycles;
+  instructions += o.instructions;
+  llc_loads += o.llc_loads;
+  llc_load_misses += o.llc_load_misses;
+  dtlb_load_misses += o.dtlb_load_misses;
+  branch_misses += o.branch_misses;
+  stalled_cycles_backend += o.stalled_cycles_backend;
+  sw_task_clock_ns += o.sw_task_clock_ns;
+  sw_page_faults += o.sw_page_faults;
+  return *this;
+}
 
 StepDirection decide_direction(StepDirection prev,
                                std::uint64_t frontier_edges,
@@ -65,13 +109,20 @@ void RunStats::reset() {
   n_threads_effective = 0;
   tune_step_switches = 0;
   bottom_up_probes = 0;
+  hw_phase1 = HwPhaseCounters{};
+  hw_phase2 = HwPhaseCounters{};
+  hw_rearrange = HwPhaseCounters{};
+  hw_bottom_up = HwPhaseCounters{};
   steps.clear();  // capacity kept: a warm same-depth run re-pushes in place
 }
 
 void RunStats::write_steps_csv(std::ostream& out) const {
   out << "step,direction,frontier,binned_items,frontier_edges,"
          "unexplored_edges,bottom_up_probes,phase1_s,phase2_s,rearrange_s,"
-         "phase1_imbalance,phase2_imbalance,pbv_bin_skew\n";
+         "phase1_imbalance,phase2_imbalance,pbv_bin_skew,"
+         "hw_valid,hw_cycles,hw_instructions,hw_llc_loads,"
+         "hw_llc_load_misses,hw_dtlb_load_misses,hw_branch_misses,"
+         "hw_stalled_backend,hw_sw_task_clock_ns,hw_sw_page_faults\n";
   for (const StepStats& s : steps) {
     out << s.step << ','
         << (s.direction == StepDirection::kBottomUp ? "BU" : "TD") << ','
@@ -80,7 +131,12 @@ void RunStats::write_steps_csv(std::ostream& out) const {
         << s.bottom_up_probes << ',' << s.phase1_seconds << ','
         << s.phase2_seconds << ',' << s.rearrange_seconds << ','
         << s.phase1_imbalance << ',' << s.phase2_imbalance << ','
-        << s.pbv_bin_skew << '\n';
+        << s.pbv_bin_skew << ',' << (s.hw.valid ? 1 : 0) << ','
+        << s.hw.cycles << ',' << s.hw.instructions << ','
+        << s.hw.llc_loads << ',' << s.hw.llc_load_misses << ','
+        << s.hw.dtlb_load_misses << ',' << s.hw.branch_misses << ','
+        << s.hw.stalled_cycles_backend << ',' << s.hw.sw_task_clock_ns
+        << ',' << s.hw.sw_page_faults << '\n';
   }
 }
 
@@ -137,7 +193,7 @@ TwoPhaseBfs::TwoPhaseBfs(const AdjacencyArray& adj, const BfsOptions& opts)
       kern_(opts.use_simd ? &active_kernels()
                           : &kernels_for(IsaLevel::kScalar)),
       topo_(opts.n_sockets, opts.n_threads),
-      pool_(topo_, opts.pin_threads),
+      pool_(topo_, opts.pin_threads, opts.trace_lane_base),
       rearranger_(adj, opts.cache, opts.use_streaming_stores) {
   // Geometry (N_VIS, N_PBV, bin shift, encoding, VIS-mode resolution) is
   // shared with the EdgeMap layer so both engines bin and plan
@@ -577,7 +633,8 @@ void TwoPhaseBfs::begin_step(depth_t step) {
 
 void TwoPhaseBfs::worker(const ThreadContext& ctx) {
   FASTBFS_CHAOS_REGISTER(ctx.thread_id);
-  FASTBFS_TRACE_REGISTER(ctx.thread_id, ctx.socket_id);
+  FASTBFS_TRACE_REGISTER(opts_.trace_lane_base + ctx.thread_id,
+                         ctx.socket_id);
   ThreadState& me = *states_[ctx.thread_id];
   SpinBarrier& bar = pool_.barrier();
   Timer timer;  // used by thread 0 only
@@ -735,6 +792,28 @@ void TwoPhaseBfs::prepare_run(vid_t root) {
   if (opts_.direction != DirectionMode::kBottomUp) {
     build_shared_plan(&ThreadState::bvc_counts, plan1_);
   }
+
+  // Hardware-counter baseline: the obs::perf tables are global and
+  // accumulate across runs and engines, so snapshot the per-kind and
+  // per-(kind, step) rows this engine will attribute to itself. The
+  // buffer is sized once on the first counter-armed run.
+  hw_harvest_ =
+      obs::trace_compiled() && obs::enabled() && obs::perf::armed();
+  if (hw_harvest_) {
+    const std::size_t need =
+        std::size_t{kHwNumKinds} * (1 + kHwHarvestSteps) * kHwEvents;
+    if (hw_base_.size() != need) hw_base_.assign(need, 0);
+    std::size_t i = 0;
+    for (unsigned k = 0; k < kHwNumKinds; ++k) {
+      const unsigned kind = static_cast<unsigned>(kHwKinds[k]);
+      const obs::perf::CounterTotals kt = obs::perf::kind_totals(kind);
+      for (unsigned e = 0; e < kHwEvents; ++e) hw_base_[i++] = kt.value[e];
+      for (unsigned s = 0; s < kHwHarvestSteps; ++s) {
+        const obs::perf::CounterTotals st = obs::perf::step_totals(kind, s);
+        for (unsigned e = 0; e < kHwEvents; ++e) hw_base_[i++] = st.value[e];
+      }
+    }
+  }
 }
 
 namespace {
@@ -853,6 +932,41 @@ void TwoPhaseBfs::run_into(vid_t root, BfsResult& out) {
       run_stats_.phase2_seconds += st.phase2_seconds;
     }
     run_stats_.rearrange_seconds += st.rearrange_seconds;
+  }
+
+  // Attribute this run's hardware-counter deltas (tables minus the
+  // prepare_run baseline) to the per-phase RunStats buckets and to each
+  // step's StepStats. Phase-II spans only exist on top-down steps and
+  // bottom-up spans only on BU steps, so the split matches the timings.
+  if (hw_harvest_) {
+    HwPhaseCounters* const phase_of[kHwNumKinds] = {
+        &run_stats_.hw_phase1, &run_stats_.hw_phase2,
+        &run_stats_.hw_rearrange, &run_stats_.hw_bottom_up};
+    std::uint64_t delta[kHwEvents];
+    for (unsigned k = 0; k < kHwNumKinds; ++k) {
+      const unsigned kind = static_cast<unsigned>(kHwKinds[k]);
+      const std::size_t base =
+          std::size_t{k} * (1 + kHwHarvestSteps) * kHwEvents;
+      const obs::perf::CounterTotals kt = obs::perf::kind_totals(kind);
+      for (unsigned e = 0; e < kHwEvents; ++e) {
+        const std::uint64_t b = hw_base_[base + e];
+        delta[e] = kt.value[e] >= b ? kt.value[e] - b : 0;
+      }
+      fill_hw(*phase_of[k], delta);
+      for (StepStats& ss : run_stats_.steps) {
+        const unsigned s =
+            ss.step < kHwHarvestSteps ? ss.step : kHwHarvestSteps - 1;
+        const obs::perf::CounterTotals st = obs::perf::step_totals(kind, s);
+        const std::size_t sb = base + std::size_t{1 + s} * kHwEvents;
+        for (unsigned e = 0; e < kHwEvents; ++e) {
+          const std::uint64_t b = hw_base_[sb + e];
+          delta[e] = st.value[e] >= b ? st.value[e] - b : 0;
+        }
+        HwPhaseCounters step_hw;
+        fill_hw(step_hw, delta);
+        ss.hw += step_hw;
+      }
+    }
   }
 
   out.root = root;

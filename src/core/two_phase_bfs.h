@@ -76,6 +76,28 @@ StepDirection decide_direction(StepDirection prev,
                                double beta);
 
 /// Per-step diagnostics (Fig. 8 measures the per-phase split).
+/// Hardware-counter deltas attributed to one phase (or to one step's
+/// phases), harvested from the obs::perf per-(kind, step) tables when
+/// counters are armed during a traced run. `valid` is false — and every
+/// value zero — when tracing was off or counters were disarmed or
+/// unavailable, so consumers can branch once. Values are sums over worker
+/// threads; multiplex-scaled estimates where the PMU had to rotate
+/// groups (see DESIGN.md §5k).
+struct HwPhaseCounters {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_load_misses = 0;
+  std::uint64_t dtlb_load_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t stalled_cycles_backend = 0;
+  std::uint64_t sw_task_clock_ns = 0;
+  std::uint64_t sw_page_faults = 0;
+
+  HwPhaseCounters& operator+=(const HwPhaseCounters& o);
+};
+
 struct StepStats {
   unsigned step = 0;
   StepDirection direction = StepDirection::kTopDown;
@@ -97,6 +119,11 @@ struct StepStats {
   /// even spread (max bin / mean bin, 1.0 = perfectly even; top-down
   /// steps with a non-empty PBV only). Hub-heavy graphs skew this.
   double pbv_bin_skew = 1.0;
+  /// This step's counter deltas summed over its phase spans (Phase-I +
+  /// Phase-II/bottom-up + rearrange). Steps beyond the perf table's
+  /// step bound fold into its last row, so very deep traversals see the
+  /// tail aggregated onto one step.
+  HwPhaseCounters hw;
 };
 
 /// Post-run cross-check of the VIS filter against the published depths —
@@ -155,6 +182,14 @@ struct RunStats {
   /// Times an installed StepTuner changed the active StepTuning mid-run.
   unsigned tune_step_switches = 0;
   std::uint64_t bottom_up_probes = 0;
+  /// Per-phase hardware-counter deltas for this run (valid only when the
+  /// run was traced with obs::perf armed; see HwPhaseCounters). These
+  /// measure what the Sec. IV model predicts — LLC misses, instructions —
+  /// so model_check can compare predicted vs measured traffic directly.
+  HwPhaseCounters hw_phase1;
+  HwPhaseCounters hw_phase2;
+  HwPhaseCounters hw_rearrange;
+  HwPhaseCounters hw_bottom_up;
   std::vector<StepStats> steps;      // filled when opts.collect_stats
 
   /// Compact per-step direction log, e.g. "TTBBT" — one letter per step.
@@ -305,6 +340,15 @@ class TwoPhaseBfs {
   DivisionPlan plan2_;
   std::vector<std::uint32_t> counts_scratch_;      // [n_threads][n_bins]
   std::vector<std::uint64_t> adj_by_socket_scratch_;
+
+  // Hardware-counter harvest (obs/perf): the global per-(kind, step)
+  // tables accumulate across runs and engines, so prepare_run snapshots a
+  // baseline and the run epilogue attributes the delta to this run's
+  // RunStats/StepStats. The baseline buffer is allocated on the first
+  // counter-armed run only; warm armed runs reuse it (steady-state
+  // allocation gate).
+  bool hw_harvest_ = false;
+  std::vector<std::uint64_t> hw_base_;
   std::function<void(const ThreadContext&)> job_;  // built once in ctor
 
   // Online step tuning (thread 0 only, applied in begin_step's

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <ostream>
@@ -7,6 +8,35 @@
 namespace fastbfs::obs {
 
 namespace {
+
+/// Splits a canonical instrument name into its family and the inner label
+/// text: `f{a="b"}` -> {"f", `a="b"`}; an unlabeled name keeps labels
+/// empty. The family is what # TYPE lines and histogram series suffixes
+/// apply to.
+struct SplitName {
+  std::string_view family;
+  std::string_view labels;
+};
+
+SplitName split_name(std::string_view name) {
+  const std::size_t p = name.find('{');
+  if (p == std::string_view::npos) return {name, {}};
+  std::string_view inner = name.substr(p + 1);
+  if (!inner.empty() && inner.back() == '}') inner.remove_suffix(1);
+  return {name.substr(0, p), inner};
+}
+
+/// JSON string escape for instrument names (labeled names contain `"`).
+void write_json_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    if (c == '\n') {
+      out << "\\n";
+      continue;
+    }
+    out << c;
+  }
+}
 
 template <typename T, typename Deque>
 T* find_or_create(Deque& deq, std::string_view name) {
@@ -88,7 +118,9 @@ void Registry::write_json(std::ostream& out) const {
   for (const MetricSample& s : snap.samples) {
     out << (first ? "\n" : ",\n");
     first = false;
-    out << "    \"" << s.name << "\": ";
+    out << "    \"";
+    write_json_escaped(out, s.name);
+    out << "\": ";
     switch (s.type) {
       case MetricSample::Type::kCounter:
         std::snprintf(buf, sizeof buf, "%" PRIu64,
@@ -122,21 +154,37 @@ void Registry::write_prometheus(std::ostream& out) const {
   MetricsSnapshot snap;
   snapshot_into(snap);
   char buf[96];
+  // # TYPE applies to the metric *family* (name without labels) and must
+  // not repeat when several labeled instruments share one family.
+  std::vector<std::string_view> typed;
+  const auto type_line = [&](std::string_view family, const char* type) {
+    if (std::find(typed.begin(), typed.end(), family) != typed.end()) return;
+    typed.push_back(family);
+    out << "# TYPE " << family << " " << type << "\n";
+  };
   for (const MetricSample& s : snap.samples) {
+    const SplitName sn = split_name(s.name);
     switch (s.type) {
       case MetricSample::Type::kCounter:
-        out << "# TYPE " << s.name << " counter\n";
+        type_line(sn.family, "counter");
         std::snprintf(buf, sizeof buf, "%" PRIu64,
                       static_cast<std::uint64_t>(s.value));
         out << s.name << " " << buf << "\n";
         break;
       case MetricSample::Type::kGauge:
-        out << "# TYPE " << s.name << " gauge\n";
+        type_line(sn.family, "gauge");
         std::snprintf(buf, sizeof buf, "%.9g", s.value);
         out << s.name << " " << buf << "\n";
         break;
       case MetricSample::Type::kHistogram: {
-        out << "# TYPE " << s.name << " histogram\n";
+        type_line(sn.family, "histogram");
+        // A labeled histogram's own labels ride inside every series:
+        // f{a="b"} -> f_bucket{a="b",le="..."}, f_sum{a="b"}, ...
+        const auto series = [&](const char* suffix) -> std::ostream& {
+          out << sn.family << suffix;
+          if (!sn.labels.empty()) out << "{" << sn.labels << "}";
+          return out;
+        };
         std::uint64_t cum = 0;
         for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
           cum += s.buckets[b];
@@ -144,10 +192,12 @@ void Registry::write_prometheus(std::ostream& out) const {
           // always emit +Inf.
           if (s.buckets[b] == 0 && b + 1 < Histogram::kBuckets) continue;
           bucket_le(b, buf, sizeof buf);
-          out << s.name << "_bucket{le=\"" << buf << "\"} " << cum << "\n";
+          out << sn.family << "_bucket{";
+          if (!sn.labels.empty()) out << sn.labels << ",";
+          out << "le=\"" << buf << "\"} " << cum << "\n";
         }
-        out << s.name << "_sum " << s.sum << "\n";
-        out << s.name << "_count " << s.count << "\n";
+        series("_sum") << " " << s.sum << "\n";
+        series("_count") << " " << s.count << "\n";
         break;
       }
     }
@@ -169,6 +219,38 @@ std::size_t Registry::size() const {
 Registry& metrics() {
   static Registry* r = new Registry;  // leaked: outlives every recorder
   return *r;
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled_name(std::string_view family,
+                         std::initializer_list<Label> labels) {
+  std::string out(family);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key;
+    out += "=\"";
+    out += escape_label_value(l.value);
+    out += '"';
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace fastbfs::obs

@@ -148,4 +148,21 @@ class Registry {
 /// The process-wide registry the engines record into.
 Registry& metrics();
 
+/// One key/value label for labeled_name().
+struct Label {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline become \\, \" and \n.
+std::string escape_label_value(std::string_view v);
+
+/// Build the canonical instrument name `family{k1="v1",k2="v2"}` with the
+/// values escaped. Labeled instruments are registered under this full
+/// string (the registry keys instruments by exact name); the writers
+/// split the family off at '{' for # TYPE lines and histogram suffixes.
+std::string labeled_name(std::string_view family,
+                         std::initializer_list<Label> labels);
+
 }  // namespace fastbfs::obs

@@ -68,6 +68,39 @@ ModelCheckReport check_model(const RunStats& stats, const BfsResult& result,
   rep.ratio_total = safe_div(rep.measured_total_cpe, rep.predicted.total());
   rep.flagged = outside(rep.ratio_total, opts.tolerance);
 
+  // Hardware axis: predicted DDR lines/edge vs measured LLC misses/edge.
+  rep.hw_valid = stats.hw_phase1.valid || stats.hw_phase2.valid ||
+                 stats.hw_rearrange.valid || stats.hw_bottom_up.valid;
+  if (rep.hw_valid) {
+    constexpr double kLine = 64.0;
+    rep.predicted_phase1_lpe = rep.predicted_traffic.phase1_ddr / kLine;
+    rep.predicted_phase2_lpe = rep.predicted_traffic.phase2_ddr / kLine;
+    rep.predicted_rearrange_lpe =
+        rep.predicted_traffic.rearrange_ddr / kLine;
+    rep.measured_phase1_lpe = safe_div(
+        static_cast<double>(stats.hw_phase1.llc_load_misses), edges);
+    rep.measured_phase2_lpe = safe_div(
+        static_cast<double>(stats.hw_phase2.llc_load_misses), edges);
+    rep.measured_rearrange_lpe = safe_div(
+        static_cast<double>(stats.hw_rearrange.llc_load_misses), edges);
+    rep.measured_bottom_up_lpe = safe_div(
+        static_cast<double>(stats.hw_bottom_up.llc_load_misses), edges);
+    rep.measured_total_lpe = rep.measured_phase1_lpe +
+                             rep.measured_phase2_lpe +
+                             rep.measured_rearrange_lpe;
+    const double predicted_total_lpe = rep.predicted_phase1_lpe +
+                                       rep.predicted_phase2_lpe +
+                                       rep.predicted_rearrange_lpe;
+    rep.hw_ratio_total =
+        safe_div(rep.measured_total_lpe, predicted_total_lpe);
+    rep.hw_flagged = rep.measured_total_lpe > 0.0 &&
+                     outside(rep.hw_ratio_total, opts.tolerance);
+    const std::uint64_t instructions =
+        stats.hw_phase1.instructions + stats.hw_phase2.instructions +
+        stats.hw_rearrange.instructions + stats.hw_bottom_up.instructions;
+    rep.measured_ipe = safe_div(static_cast<double>(instructions), edges);
+  }
+
   rep.steps.clear();
   rep.steps.reserve(stats.steps.size());
   const double predicted_total = rep.predicted.total();
@@ -79,6 +112,8 @@ ModelCheckReport check_model(const RunStats& stats, const BfsResult& result,
     c.seconds = s.phase1_seconds + s.phase2_seconds + s.rearrange_seconds;
     c.measured_cpe =
         safe_div(c.seconds * hz, static_cast<double>(c.edges));
+    c.measured_lpe = safe_div(static_cast<double>(s.hw.llc_load_misses),
+                              static_cast<double>(c.edges));
     if (c.direction == 'T') {
       c.predicted_cpe = predicted_total;
       c.ratio = safe_div(c.measured_cpe, c.predicted_cpe);
@@ -119,19 +154,37 @@ void ModelCheckReport::write_text(std::ostream& out) const {
   row("p2 bytes", predicted_traffic.phase2_ddr, measured_phase2_bpe, "B/e");
   row("rr bytes", predicted_traffic.rearrange_ddr, measured_rearrange_bpe,
       "B/e");
+  if (hw_valid) {
+    // Predicted DDR lines/edge vs LLC load misses/edge: the measured
+    // events the model's traffic equations are about.
+    row("p1 LLC", predicted_phase1_lpe, measured_phase1_lpe, "L/e");
+    row("p2 LLC", predicted_phase2_lpe, measured_phase2_lpe, "L/e");
+    row("rr LLC", predicted_rearrange_lpe, measured_rearrange_lpe, "L/e");
+    row("bu LLC", 0.0, measured_bottom_up_lpe, "L/e");
+    std::snprintf(buf, sizeof buf,
+                  "hw axis: %.3f LLC-miss/e vs %.3f pred-line/e (ratio "
+                  "%.2f)%s, %.1f instr/e\n",
+                  measured_total_lpe,
+                  predicted_phase1_lpe + predicted_phase2_lpe +
+                      predicted_rearrange_lpe,
+                  hw_ratio_total, hw_flagged ? "  ** DEVIATION **" : "",
+                  measured_ipe);
+    out << buf;
+  }
   std::snprintf(buf, sizeof buf, "run ratio %.2f%s\n", ratio_total,
                 flagged ? "  ** DEVIATION **" : "");
   out << buf;
   if (steps.empty()) return;
-  std::snprintf(buf, sizeof buf, "%5s %3s %12s %10s %10s %10s %6s  %s\n",
+  std::snprintf(buf, sizeof buf, "%5s %3s %12s %10s %10s %10s %6s %8s  %s\n",
                 "step", "dir", "edges", "ms", "meas c/e", "pred c/e",
-                "ratio", "flag");
+                "ratio", "llc/e", "flag");
   out << buf;
   for (const ModelStepCheck& c : steps) {
     std::snprintf(buf, sizeof buf,
-                  "%5u  %c  %12llu %10.3f %10.2f %10.2f %6.2f  %s\n", c.step,
-                  c.direction, static_cast<unsigned long long>(c.edges),
-                  c.seconds * 1e3, c.measured_cpe, c.predicted_cpe, c.ratio,
+                  "%5u  %c  %12llu %10.3f %10.2f %10.2f %6.2f %8.3f  %s\n",
+                  c.step, c.direction,
+                  static_cast<unsigned long long>(c.edges), c.seconds * 1e3,
+                  c.measured_cpe, c.predicted_cpe, c.ratio, c.measured_lpe,
                   c.flagged ? "**" : "");
     out << buf;
   }
@@ -159,11 +212,25 @@ void ModelCheckReport::write_json(std::ostream& out) const {
       "  \"measured_cpe\": {\"phase1\": %.4f, \"phase2\": %.4f, "
       "\"rearrange\": %.4f, \"total\": %.4f},\n"
       "  \"ratio_total\": %.4f,\n  \"flagged\": %s,\n"
-      "  \"flagged_steps\": %u,\n  \"steps\": [\n",
+      "  \"flagged_steps\": %u,\n",
       predicted.phase1, predicted.phase2(), predicted.rearrange,
       predicted.total(), measured_phase1_cpe, measured_phase2_cpe,
       measured_rearrange_cpe, measured_total_cpe, ratio_total,
       flagged ? "true" : "false", flagged_steps);
+  out << buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"hw\": {\"valid\": %s, \"predicted_lpe\": {\"phase1\": %.4f, "
+      "\"phase2\": %.4f, \"rearrange\": %.4f}, \"measured_lpe\": "
+      "{\"phase1\": %.4f, \"phase2\": %.4f, \"rearrange\": %.4f, "
+      "\"bottom_up\": %.4f, \"total\": %.4f}, \"ratio\": %.4f, "
+      "\"flagged\": %s, \"instructions_per_edge\": %.4f},\n"
+      "  \"steps\": [\n",
+      hw_valid ? "true" : "false", predicted_phase1_lpe,
+      predicted_phase2_lpe, predicted_rearrange_lpe, measured_phase1_lpe,
+      measured_phase2_lpe, measured_rearrange_lpe, measured_bottom_up_lpe,
+      measured_total_lpe, hw_ratio_total, hw_flagged ? "true" : "false",
+      measured_ipe);
   out << buf;
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const ModelStepCheck& c = steps[i];
@@ -171,10 +238,10 @@ void ModelCheckReport::write_json(std::ostream& out) const {
                   "    {\"step\": %u, \"dir\": \"%c\", \"edges\": %llu, "
                   "\"seconds\": %.6f, \"measured_cpe\": %.4f, "
                   "\"predicted_cpe\": %.4f, \"ratio\": %.4f, "
-                  "\"flagged\": %s}%s\n",
+                  "\"measured_lpe\": %.4f, \"flagged\": %s}%s\n",
                   c.step, c.direction,
                   static_cast<unsigned long long>(c.edges), c.seconds,
-                  c.measured_cpe, c.predicted_cpe, c.ratio,
+                  c.measured_cpe, c.predicted_cpe, c.ratio, c.measured_lpe,
                   c.flagged ? "true" : "false",
                   i + 1 < steps.size() ? "," : "");
     out << buf;

@@ -50,6 +50,9 @@ struct ModelStepCheck {
   double measured_cpe = 0.0;   // cycles per traversed edge
   double predicted_cpe = 0.0;  // run-level model; 0 on bottom-up steps
   double ratio = 0.0;          // measured / predicted (0 when undefined)
+  /// Measured LLC load misses per traversed edge from the step's hardware
+  /// counters (0 when the run carried none; see ModelCheckReport::hw_valid).
+  double measured_lpe = 0.0;
   bool flagged = false;
 };
 
@@ -73,6 +76,30 @@ struct ModelCheckReport {
   double ratio_total = 0.0;  // measured_total_cpe / predicted.total()
   bool flagged = false;      // run-level ratio outside tolerance
   unsigned flagged_steps = 0;
+
+  // Second predicted-vs-measured axis (hardware counters): the model's
+  // DDR bytes/edge converted to cache lines/edge (÷ 64) against measured
+  // LLC load misses/edge, so the *events* Eqn IV.1 predicts are compared
+  // directly instead of via wall clock. hw_valid is false — and every
+  // field zero — when the run carried no counter deltas (tracing off,
+  // perf disarmed/unavailable); the LLC rows additionally stay zero on
+  // software-only counter runs (no PMU). Note measured misses undercount
+  // prefetched lines, so the ratio runs below 1 on prefetch-friendly
+  // phases — it is the *relative* movement (e.g. N_VIS blocking on vs
+  // off) that the acceptance checks pin.
+  bool hw_valid = false;
+  double predicted_phase1_lpe = 0.0;   // predicted DDR lines/edge
+  double predicted_phase2_lpe = 0.0;
+  double predicted_rearrange_lpe = 0.0;
+  double measured_phase1_lpe = 0.0;    // measured LLC load misses/edge
+  double measured_phase2_lpe = 0.0;
+  double measured_rearrange_lpe = 0.0;
+  double measured_bottom_up_lpe = 0.0; // measured only (no BU model)
+  double measured_total_lpe = 0.0;     // top-down phases
+  double hw_ratio_total = 0.0;         // measured/predicted lines, TD run
+  bool hw_flagged = false;
+  double measured_ipe = 0.0;           // instructions/edge, whole run
+
   std::vector<ModelStepCheck> steps;
 
   /// Human-readable table: run-level phase rows, then one row per step

@@ -1,0 +1,557 @@
+#include "obs/perf/perf_counters.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/perf/perf_syscall.h"
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#else
+// Stand-in so the attr-building code compiles where <linux/perf_event.h>
+// does not exist; the real syscall table degrades to -ENOSYS there, so no
+// kernel ever sees one of these.
+struct perf_event_attr {
+  std::uint32_t type;
+  std::uint32_t size;
+  std::uint64_t config;
+  std::uint64_t sample_period;
+  std::uint64_t sample_type;
+  std::uint64_t read_format;
+  std::uint64_t disabled : 1, inherit : 1, pinned : 1, exclusive : 1,
+      exclude_user : 1, exclude_kernel : 1, exclude_hv : 1, exclude_idle : 1,
+      rest : 56;
+};
+enum {
+  PERF_TYPE_HARDWARE = 0,
+  PERF_TYPE_SOFTWARE = 1,
+  PERF_TYPE_HW_CACHE = 3,
+};
+enum {
+  PERF_COUNT_HW_CPU_CYCLES = 0,
+  PERF_COUNT_HW_INSTRUCTIONS = 1,
+  PERF_COUNT_HW_BRANCH_MISSES = 5,
+  PERF_COUNT_HW_STALLED_CYCLES_BACKEND = 8,
+};
+enum {
+  PERF_COUNT_HW_CACHE_LL = 2,
+  PERF_COUNT_HW_CACHE_DTLB = 3,
+};
+enum { PERF_COUNT_HW_CACHE_OP_READ = 0 };
+enum {
+  PERF_COUNT_HW_CACHE_RESULT_ACCESS = 0,
+  PERF_COUNT_HW_CACHE_RESULT_MISS = 1,
+};
+enum {
+  PERF_COUNT_SW_TASK_CLOCK = 1,
+  PERF_COUNT_SW_PAGE_FAULTS = 2,
+};
+enum {
+  PERF_FORMAT_TOTAL_TIME_ENABLED = 1U << 0,
+  PERF_FORMAT_TOTAL_TIME_RUNNING = 1U << 1,
+  PERF_FORMAT_GROUP = 1U << 3,
+};
+#endif
+
+namespace fastbfs::obs::perf {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}
+
+namespace {
+
+// PERF_FLAG_FD_CLOEXEC (Linux >= 3.14); spelled out because older uapi
+// headers lack the macro. EINVAL from a pre-3.14 kernel lands in the
+// normal per-event skip path.
+constexpr unsigned long kOpenFlags = 1UL << 3;
+
+constexpr std::uint64_t cache_config(unsigned cache, unsigned op,
+                                     unsigned result) {
+  return static_cast<std::uint64_t>(cache) |
+         (static_cast<std::uint64_t>(op) << 8) |
+         (static_cast<std::uint64_t>(result) << 16);
+}
+
+// Group split policy: the seven hardware events will not co-schedule as
+// one group on a 4-counter PMU (group scheduling is all-or-nothing), so
+// they ride in two groups the kernel multiplexes independently. Group A
+// carries the model-critical events (cycles, instructions, LLC) so they
+// share one consistent schedule; group B carries the diagnostic trio.
+// Group C is the pure-software fallback and always schedules.
+constexpr unsigned kNumGroups = 3;
+constexpr unsigned kMaxGroupSize = 4;
+
+struct EventDesc {
+  HwEvent ev;
+  std::uint32_t type;
+  std::uint64_t config;
+  unsigned group;
+};
+
+constexpr EventDesc kEvents[kNumEvents] = {
+    {HwEvent::kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, 0},
+    {HwEvent::kInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+     0},
+    {HwEvent::kLlcLoads, PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+     0},
+    {HwEvent::kLlcLoadMisses, PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS),
+     0},
+    {HwEvent::kDtlbLoadMisses, PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS),
+     1},
+    {HwEvent::kBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES,
+     1},
+    {HwEvent::kStalledBackend, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND, 1},
+    {HwEvent::kSwTaskClockNs, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK,
+     2},
+    {HwEvent::kSwPageFaults, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS,
+     2},
+};
+
+constexpr std::uint64_t kHardwareEventMask =
+    (1u << static_cast<unsigned>(HwEvent::kCycles)) |
+    (1u << static_cast<unsigned>(HwEvent::kInstructions)) |
+    (1u << static_cast<unsigned>(HwEvent::kLlcLoads)) |
+    (1u << static_cast<unsigned>(HwEvent::kLlcLoadMisses)) |
+    (1u << static_cast<unsigned>(HwEvent::kDtlbLoadMisses)) |
+    (1u << static_cast<unsigned>(HwEvent::kBranchMisses)) |
+    (1u << static_cast<unsigned>(HwEvent::kStalledBackend));
+
+/// One thread's open counter groups. fds[0] is the group leader (reads go
+/// through it); ev_of[i] maps the kernel's group-read value order back to
+/// the HwEvent each slot counts.
+struct OpenGroup {
+  int fds[kMaxGroupSize] = {-1, -1, -1, -1};
+  HwEvent ev_of[kMaxGroupSize] = {};
+  unsigned n = 0;
+};
+
+struct ThreadGroups {
+  OpenGroup groups[kNumGroups];
+  std::uint64_t mask = 0;  // events live on this thread
+  bool opened = false;     // open was attempted this epoch
+};
+
+struct PerfState {
+  std::array<ThreadGroups, kMaxThreads> slots{};
+  std::atomic<unsigned> next_slot{0};
+  // Bumped per arm(); threads whose slot epoch lags re-open lazily.
+  std::atomic<std::uint32_t> epoch{0};
+
+  std::atomic<PerfStatus> status{PerfStatus::kDisarmed};
+  std::atomic<int> fail_errno{0};
+  std::atomic<std::uint64_t> available{0};
+  std::atomic<std::uint64_t> scaled_reads{0};
+
+  // Aggregates. The per-kind table is fixed; the per-(kind, step) table
+  // depends on cfg.max_steps and is (re)allocated at arm() — never on the
+  // read path.
+  std::array<std::array<std::atomic<std::uint64_t>, kNumEvents>, kMaxKinds>
+      kind_sum{};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> step_sum;
+  unsigned max_steps = 0;
+
+  std::vector<CounterSample> ring;
+  std::atomic<std::uint64_t> ring_next{0};
+
+  std::mutex arm_mu;  // serializes arm()/disarm() only
+};
+
+PerfState& state() {
+  static PerfState* s = new PerfState;  // leaked: exporters outlive main
+  return *s;
+}
+
+thread_local int tl_slot = -1;          // -1 unclaimed, -2 overflow
+thread_local std::uint32_t tl_epoch = 0;
+
+void close_group(OpenGroup& g) {
+  // Leader last: member fds hold a reference to the leader's context.
+  for (unsigned i = g.n; i-- > 0;) {
+    if (g.fds[i] >= 0) syscalls().close(g.fds[i]);
+    g.fds[i] = -1;
+  }
+  g.n = 0;
+}
+
+/// Open this thread's three groups, skipping events that fail
+/// individually (first event to open leads its group). Returns the mask
+/// of live events; `first_err` records the first open failure's errno.
+std::uint64_t open_groups(ThreadGroups& tg, int& first_err) {
+  tg.mask = 0;
+  for (const EventDesc& d : kEvents) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = d.type;
+    attr.size = sizeof attr;
+    attr.config = d.config;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    attr.disabled = 0;  // count from open; only deltas are consumed
+    attr.exclude_kernel = 1;  // required under perf_event_paranoid >= 2
+    attr.exclude_hv = 1;
+    OpenGroup& g = tg.groups[d.group];
+    if (g.n >= kMaxGroupSize) continue;
+    const int leader = g.n == 0 ? -1 : g.fds[0];
+    const long r =
+        syscalls().open(&attr, 0, -1, leader, kOpenFlags);
+    if (r < 0) {
+      if (first_err == 0) first_err = static_cast<int>(-r);
+      continue;
+    }
+    g.fds[g.n] = static_cast<int>(r);
+    g.ev_of[g.n] = d.ev;
+    ++g.n;
+    tg.mask |= std::uint64_t{1} << static_cast<unsigned>(d.ev);
+  }
+  tg.opened = true;
+  return tg.mask;
+}
+
+/// Read one group through its leader and fold the (possibly
+/// multiplex-scaled) values into `out`.
+void read_group(const OpenGroup& g, Reading& out) {
+  if (g.n == 0) return;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + kMaxGroupSize];
+  const std::size_t want = (3 + g.n) * sizeof(std::uint64_t);
+  const long r = syscalls().read(g.fds[0], buf, sizeof buf);
+  if (r < 0 || static_cast<std::size_t>(r) < want || buf[0] != g.n) return;
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  if (enabled > 0 && running == 0) return;  // never scheduled: no estimate
+  double scale = 1.0;
+  if (running > 0 && running < enabled) {
+    scale = static_cast<double>(enabled) / static_cast<double>(running);
+    state().scaled_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (unsigned i = 0; i < g.n; ++i) {
+    const unsigned e = static_cast<unsigned>(g.ev_of[i]);
+    const std::uint64_t v =
+        scale == 1.0 ? buf[3 + i]
+                     : static_cast<std::uint64_t>(
+                           static_cast<double>(buf[3 + i]) * scale);
+    out.value[e] = v;
+    out.valid_mask |= std::uint64_t{1} << e;
+  }
+}
+
+/// This thread's slot, claiming and opening lazily. Returns nullptr when
+/// disarmed, out of slots, or no event opened for this thread.
+ThreadGroups* current_groups() {
+  PerfState& s = state();
+  if (tl_slot == -2) return nullptr;
+  if (tl_slot < 0) {
+    const unsigned n = s.next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (n >= kMaxThreads) {
+      tl_slot = -2;  // counter-less thread; spans still record timings
+      return nullptr;
+    }
+    tl_slot = static_cast<int>(n);
+  }
+  ThreadGroups& tg = s.slots[static_cast<unsigned>(tl_slot)];
+  const std::uint32_t epoch = s.epoch.load(std::memory_order_acquire);
+  if (tl_epoch != epoch) {
+    // New arm() since this thread last read: drop stale fds, re-open.
+    for (OpenGroup& g : tg.groups) close_group(g);
+    int err = 0;
+    open_groups(tg, err);
+    tl_epoch = epoch;
+  }
+  return tg.mask != 0 ? &tg : nullptr;
+}
+
+unsigned step_index(PerfState& s, std::uint32_t step) {
+  return step < s.max_steps ? step : s.max_steps - 1;
+}
+
+const char* errno_label(int err) {
+  switch (err) {
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case ENOENT: return "ENOENT";
+    case ENOSYS: return "ENOSYS";
+    case ENODEV: return "ENODEV";
+    case EOPNOTSUPP: return "EOPNOTSUPP";
+    case EINVAL: return "EINVAL";
+    case EMFILE: return "EMFILE";
+    default: return "errno";
+  }
+}
+
+}  // namespace
+
+const char* event_name(HwEvent e) {
+  switch (e) {
+    case HwEvent::kCycles: return "cycles";
+    case HwEvent::kInstructions: return "instructions";
+    case HwEvent::kLlcLoads: return "llc_loads";
+    case HwEvent::kLlcLoadMisses: return "llc_load_misses";
+    case HwEvent::kDtlbLoadMisses: return "dtlb_load_misses";
+    case HwEvent::kBranchMisses: return "branch_misses";
+    case HwEvent::kStalledBackend: return "stalled_cycles_backend";
+    case HwEvent::kSwTaskClockNs: return "sw_task_clock_ns";
+    case HwEvent::kSwPageFaults: return "sw_page_faults";
+    case HwEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* status_name(PerfStatus st) {
+  switch (st) {
+    case PerfStatus::kDisarmed: return "disarmed";
+    case PerfStatus::kHardware: return "hardware";
+    case PerfStatus::kSoftwareOnly: return "software_only";
+    case PerfStatus::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+bool arm(const PerfConfig& cfg) {
+  PerfState& s = state();
+  std::lock_guard<std::mutex> lock(s.arm_mu);
+  if (detail::g_armed.load(std::memory_order_relaxed)) return true;
+
+  // (Re)size the step table and sample ring; clear aggregates so a run's
+  // totals are attributable to this arming.
+  const unsigned max_steps = cfg.max_steps > 0 ? cfg.max_steps : 1;
+  if (s.max_steps != max_steps || !s.step_sum) {
+    s.step_sum = std::make_unique<std::atomic<std::uint64_t>[]>(
+        std::size_t{kMaxKinds} * max_steps * kNumEvents);
+    s.max_steps = max_steps;
+  }
+  if (s.ring.size() != cfg.sample_ring_capacity) {
+    s.ring.assign(cfg.sample_ring_capacity, CounterSample{});
+  }
+  clear_totals();
+
+  // Probe on the arming thread: what opens here decides the reported
+  // availability/status (worker threads then match it on any sane box).
+  int first_err = 0;
+  ThreadGroups probe;
+  const std::uint64_t mask = open_groups(probe, first_err);
+  for (OpenGroup& g : probe.groups) close_group(g);
+
+  s.available.store(mask, std::memory_order_relaxed);
+  s.fail_errno.store(first_err, std::memory_order_relaxed);
+  if (mask == 0) {
+    s.status.store(PerfStatus::kUnavailable, std::memory_order_relaxed);
+    return false;
+  }
+  s.status.store((mask & kHardwareEventMask) != 0 ? PerfStatus::kHardware
+                                                  : PerfStatus::kSoftwareOnly,
+                 std::memory_order_relaxed);
+
+  // Invalidate every thread's cached fds, then accept reads.
+  s.epoch.fetch_add(1, std::memory_order_acq_rel);
+  detail::g_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+void disarm() {
+  PerfState& s = state();
+  std::lock_guard<std::mutex> lock(s.arm_mu);
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return;
+  detail::g_armed.store(false, std::memory_order_release);
+  // Threads are quiescent (arm/disarm contract), so their fds can be
+  // closed from here; the epoch bump at the next arm() re-opens them.
+  for (ThreadGroups& tg : s.slots) {
+    for (OpenGroup& g : tg.groups) close_group(g);
+    tg.mask = 0;
+    tg.opened = false;
+  }
+  s.status.store(PerfStatus::kDisarmed, std::memory_order_relaxed);
+}
+
+PerfStatus status() {
+  return state().status.load(std::memory_order_relaxed);
+}
+
+std::uint64_t available_mask() {
+  return state().available.load(std::memory_order_relaxed);
+}
+
+std::string status_string() {
+  PerfState& s = state();
+  const PerfStatus st = s.status.load(std::memory_order_relaxed);
+  std::string out = status_name(st);
+  if (st == PerfStatus::kUnavailable) {
+    const int err = s.fail_errno.load(std::memory_order_relaxed);
+    out += " (perf_event_open: ";
+    out += errno_label(err);
+    char buf[16];
+    std::snprintf(buf, sizeof buf, " %d)", err);
+    out += buf;
+    return out;
+  }
+  if (st == PerfStatus::kHardware || st == PerfStatus::kSoftwareOnly) {
+    out += " (events:";
+    const std::uint64_t mask = s.available.load(std::memory_order_relaxed);
+    for (unsigned e = 0; e < kNumEvents; ++e) {
+      if (mask & (std::uint64_t{1} << e)) {
+        out += ' ';
+        out += event_name(static_cast<HwEvent>(e));
+      }
+    }
+    out += ')';
+  }
+  return out;
+}
+
+bool read_current(Reading& out) {
+  out = Reading{};
+  if (!armed()) return false;
+  ThreadGroups* tg = current_groups();
+  if (tg == nullptr) return false;
+  for (const OpenGroup& g : tg->groups) read_group(g, out);
+  return out.valid_mask != 0;
+}
+
+void accumulate_span(unsigned kind, std::uint32_t step, const Reading& start,
+                     const Reading& end, bool sample) {
+  PerfState& s = state();
+  if (kind >= kMaxKinds || s.max_steps == 0) return;
+  const std::uint64_t mask = start.valid_mask & end.valid_mask;
+  if (mask == 0) return;
+  const unsigned si = step_index(s, step);
+  std::atomic<std::uint64_t>* step_row =
+      &s.step_sum[(std::size_t{kind} * s.max_steps + si) * kNumEvents];
+  CounterSample cs;
+  for (unsigned e = 0; e < kNumEvents; ++e) {
+    if ((mask & (std::uint64_t{1} << e)) == 0) continue;
+    // Multiplex scaling can make independent estimates non-monotone;
+    // clamp instead of wrapping to ~2^64.
+    const std::uint64_t d =
+        end.value[e] > start.value[e] ? end.value[e] - start.value[e] : 0;
+    if (d == 0) continue;
+    s.kind_sum[kind][e].fetch_add(d, std::memory_order_relaxed);
+    step_row[e].fetch_add(d, std::memory_order_relaxed);
+    cs.delta[e] = d;
+  }
+  if (sample && !s.ring.empty()) {
+    const std::uint64_t i =
+        s.ring_next.fetch_add(1, std::memory_order_relaxed);
+    CounterSample& dst = s.ring[i % s.ring.size()];
+    cs.kind = kind;
+    cs.slot = tl_slot >= 0 ? static_cast<std::uint32_t>(tl_slot) : 0;
+    cs.t_ns = obs::detail::now_ns();  // recorder clock: aligns with spans
+    dst = cs;
+  }
+}
+
+CounterTotals kind_totals(unsigned kind) {
+  CounterTotals t;
+  PerfState& s = state();
+  if (kind >= kMaxKinds) return t;
+  t.valid_mask = s.available.load(std::memory_order_relaxed);
+  for (unsigned e = 0; e < kNumEvents; ++e) {
+    t.value[e] = s.kind_sum[kind][e].load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+CounterTotals step_totals(unsigned kind, unsigned step) {
+  CounterTotals t;
+  PerfState& s = state();
+  if (kind >= kMaxKinds || s.max_steps == 0) return t;
+  t.valid_mask = s.available.load(std::memory_order_relaxed);
+  const unsigned si = step_index(s, step);
+  const std::atomic<std::uint64_t>* row =
+      &s.step_sum[(std::size_t{kind} * s.max_steps + si) * kNumEvents];
+  for (unsigned e = 0; e < kNumEvents; ++e) {
+    t.value[e] = row[e].load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+std::uint64_t multiplex_scaled() {
+  return state().scaled_reads.load(std::memory_order_relaxed);
+}
+
+void clear_totals() {
+  PerfState& s = state();
+  for (auto& row : s.kind_sum) {
+    for (auto& v : row) v.store(0, std::memory_order_relaxed);
+  }
+  if (s.step_sum) {
+    const std::size_t n = std::size_t{kMaxKinds} * s.max_steps * kNumEvents;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.step_sum[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (CounterSample& cs : s.ring) cs = CounterSample{};
+  s.ring_next.store(0, std::memory_order_relaxed);
+}
+
+void snapshot_samples(std::vector<CounterSample>& out) {
+  out.clear();
+  PerfState& s = state();
+  if (s.ring.empty()) return;
+  const std::uint64_t next = s.ring_next.load(std::memory_order_acquire);
+  const std::uint64_t n = next < s.ring.size() ? next : s.ring.size();
+  out.reserve(n);
+  // Oldest kept first: when the ring wrapped, that is slot `next % size`.
+  const std::uint64_t begin = next < s.ring.size() ? 0 : next;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const CounterSample& cs = s.ring[(begin + i) % s.ring.size()];
+    if (cs.t_ns != 0) out.push_back(cs);
+  }
+}
+
+void publish_metrics() {
+  PerfState& s = state();
+  const PerfStatus st = s.status.load(std::memory_order_relaxed);
+  metrics().gauge("fastbfs_hw_status")->set(static_cast<double>(st));
+
+  // Delta-published so repeated calls (per-run epilogues, scrapes) keep
+  // the registry counters monotone instead of double-counting totals.
+  static std::mutex pub_mu;
+  std::lock_guard<std::mutex> lock(pub_mu);
+
+  static std::uint64_t last_scaled = 0;
+  const std::uint64_t scaled = multiplex_scaled();
+  if (scaled >= last_scaled) {
+    metrics()
+        .counter("fastbfs_hw_multiplex_scaled_total")
+        ->add(scaled - last_scaled);
+  }
+  last_scaled = scaled;
+
+  static std::array<std::array<Counter*, kNumEvents>, kMaxKinds> cells{};
+  static std::array<std::array<std::uint64_t, kNumEvents>, kMaxKinds> last{};
+  for (unsigned kind = 0;
+       kind < static_cast<unsigned>(obs::SpanKind::kCount); ++kind) {
+    const CounterTotals t = kind_totals(kind);
+    for (unsigned e = 0; e < kNumEvents; ++e) {
+      const std::uint64_t cur = t.value[e];
+      std::uint64_t& prev = last[kind][e];
+      // clear_totals() between publishes restarts accumulation at zero;
+      // treat a shrink as a fresh baseline so monotonicity survives.
+      const std::uint64_t delta = cur >= prev ? cur - prev : cur;
+      prev = cur;
+      if (delta == 0) continue;
+      Counter*& c = cells[kind][e];
+      if (c == nullptr) {
+        c = metrics().counter(labeled_name(
+            "fastbfs_hw_events_total",
+            {{"phase", obs::span_name(static_cast<obs::SpanKind>(kind))},
+             {"event", event_name(static_cast<HwEvent>(e))}}));
+      }
+      c->add(delta);
+    }
+  }
+}
+
+}  // namespace fastbfs::obs::perf

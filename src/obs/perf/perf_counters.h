@@ -1,0 +1,178 @@
+// Hardware counter attribution: grouped perf_event counters per worker
+// thread, read at the flight recorder's span boundaries, aggregated per
+// (span kind, BFS step).
+//
+// The Sec. IV model predicts *events* — DRAM lines touched per edge,
+// cycles per edge — but PR 5's model_check could only compare wall-clock
+// derived cycles. This subsystem measures the predicted quantities
+// directly: LLC load misses, instructions, dTLB misses, branch misses and
+// backend stalls, per phase and per step, so claims like "N_VIS blocking
+// cuts LLC traffic" are observed rather than inferred.
+//
+// Design (DESIGN.md §5k):
+//   - Per thread, events are opened as perf groups (PERF_FORMAT_GROUP), so
+//     one read() returns one consistently-scheduled snapshot. Seven
+//     hardware events do not co-schedule on a 4-counter PMU as one group,
+//     so they are split into two groups that the kernel multiplexes
+//     independently; reads are scaled by time_enabled/time_running and
+//     every scaled read is counted (fastbfs_hw_multiplex_scaled_total).
+//   - Fallback ladder: an event that fails to open individually (ENOENT /
+//     EOPNOTSUPP — e.g. stalled-cycles-backend on many cores, or a VM
+//     with no PMU) is marked unavailable and the rest of its group still
+//     opens. When *no* hardware event opens, a software group
+//     (task-clock, page-faults) is tried — still real perf_event
+//     attribution, just OS events. When even that fails (EACCES/ENOSYS:
+//     perf_event_paranoid >= 3, seccomp, non-Linux), the subsystem is
+//     kUnavailable: arm() returns false and every hook stays a single
+//     relaxed atomic load. The engine's output is identical in all four
+//     states (tests/test_perf_counters.cpp pins the degraded ones via the
+//     syscall seam).
+//   - Zero-overhead when disabled: the engine only reaches this code via
+//     the FASTBFS_SPAN hooks, which compile to ((void)0) without
+//     -DFASTBFS_TRACE; with tracing compiled but perf disarmed, the cost
+//     is one relaxed load per span. Armed reads go to fixed tables and a
+//     preallocated sample ring — the warm path allocates nothing (the
+//     steady-state interposer gate runs with counters armed).
+//
+// Thread model: threads lazily claim one of kMaxThreads fixed slots and
+// open their groups on first read after arm(); disarm() closes every fd.
+// arm()/disarm() must be called while instrumented engines are quiescent
+// (same contract as trace enable()).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastbfs::obs::perf {
+
+/// Counter vocabulary. Order is part of the aggregate-table layout and of
+/// the steps-CSV column order; append only.
+enum class HwEvent : unsigned {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcLoadMisses,
+  kDtlbLoadMisses,
+  kBranchMisses,
+  kStalledBackend,    // stalled-cycles-backend; unsupported on many PMUs
+  kSwTaskClockNs,     // software fallback group
+  kSwPageFaults,
+  kCount
+};
+
+inline constexpr unsigned kNumEvents = static_cast<unsigned>(HwEvent::kCount);
+
+/// Metric-label-safe name ("cycles", "llc_load_misses", ...).
+const char* event_name(HwEvent e);
+
+enum class PerfStatus : unsigned {
+  kDisarmed = 0,
+  kHardware,      // at least one hardware event live
+  kSoftwareOnly,  // PMU events unavailable; software group live
+  kUnavailable,   // perf_event_open itself unusable (EACCES/ENOSYS/...)
+};
+
+const char* status_name(PerfStatus s);
+
+struct PerfConfig {
+  /// Retained per-span counter samples for the Perfetto counter tracks
+  /// (~88 B each; phase-level spans only, so this holds many runs).
+  std::size_t sample_ring_capacity = std::size_t{1} << 13;
+  /// Steps tracked individually in the per-(kind, step) table; deeper
+  /// steps fold into the last row. 512 covers every graph in the corpus
+  /// short of adversarial deep paths.
+  unsigned max_steps = 512;
+};
+
+/// Upper bound on distinct span kinds the aggregation tables are sized
+/// for; trace.cpp static_asserts SpanKind::kCount fits.
+inline constexpr unsigned kMaxKinds = 32;
+
+/// Threads that can hold counter groups concurrently (matches the
+/// recorder's lane budget).
+inline constexpr unsigned kMaxThreads = 64;
+
+/// One point-in-time multi-event reading on the calling thread.
+/// `valid_mask` has bit e set when event e was open and its group read
+/// succeeded; values of invalid events are 0.
+struct Reading {
+  std::array<std::uint64_t, kNumEvents> value{};
+  std::uint64_t valid_mask = 0;
+};
+
+/// Summed deltas (across threads and, for kind_totals, across steps).
+struct CounterTotals {
+  std::array<std::uint64_t, kNumEvents> value{};
+  std::uint64_t valid_mask = 0;  // events live on the arming thread
+};
+
+/// One retained per-span counter sample (Perfetto counter-track export).
+struct CounterSample {
+  std::uint64_t t_ns = 0;  // span end, recorder clock
+  std::uint32_t kind = 0;
+  std::uint32_t slot = 0;  // perf thread slot (not the trace lane)
+  std::array<std::uint64_t, kNumEvents> delta{};
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}
+
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Open the calling thread's counter groups, size the aggregation tables
+/// and the sample ring, and start accepting reads from any thread.
+/// Returns false — and stays disarmed — when no event opens at all
+/// (status() then reports kUnavailable with the decisive errno in
+/// status_string()).
+bool arm(const PerfConfig& cfg = {});
+
+/// Stop accepting reads and close every thread's fds. Aggregated totals
+/// and samples survive until the next arm() so exporters can run after.
+void disarm();
+
+PerfStatus status();
+std::string status_string();
+
+/// Bit per HwEvent that opened on the arming thread (the availability
+/// the status/metrics report; late-registering threads match it on any
+/// sane machine).
+std::uint64_t available_mask();
+
+/// Read the calling thread's groups now (lazily opening them on first
+/// use). False when disarmed or this thread's groups failed to open.
+bool read_current(Reading& out);
+
+/// Fold a span's counter delta (end - start) into the per-kind and
+/// per-(kind, step) tables; when `sample` is set, also retain it for the
+/// counter-track export. Called by obs::ScopedSpan.
+void accumulate_span(unsigned kind, std::uint32_t step, const Reading& start,
+                     const Reading& end, bool sample);
+
+CounterTotals kind_totals(unsigned kind);
+CounterTotals step_totals(unsigned kind, unsigned step);
+
+/// Group reads whose values needed time_enabled/time_running scaling
+/// (the multiplexing-correction count).
+std::uint64_t multiplex_scaled();
+
+/// Re-zero every aggregate and drop retained samples (not the fds).
+void clear_totals();
+
+/// Copy the retained samples, oldest kept first (ring semantics: when a
+/// run outgrows the ring the oldest samples are overwritten).
+void snapshot_samples(std::vector<CounterSample>& out);
+
+/// Push the per-phase aggregates into the global metrics registry as
+/// fastbfs_hw_* (labeled counters, delta-published so repeated calls are
+/// idempotent), plus fastbfs_hw_status / fastbfs_hw_multiplex_scaled_total.
+/// Safe to call in any state; publishes nothing new while disarmed.
+void publish_metrics();
+
+}  // namespace fastbfs::obs::perf

@@ -1,0 +1,62 @@
+#include "obs/perf/perf_syscall.h"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <cerrno>
+#include <unistd.h>
+#include <sys/syscall.h>
+#endif
+
+namespace fastbfs::obs::perf {
+
+namespace {
+
+#if defined(__linux__)
+
+long real_open(const void* attr, std::int32_t pid, std::int32_t cpu,
+               std::int32_t group_fd, unsigned long flags) {
+  const long r = ::syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,
+                           flags);
+  return r >= 0 ? r : -static_cast<long>(errno);
+}
+
+long real_read(int fd, void* buf, std::size_t count) {
+  const long r = ::read(fd, buf, count);
+  return r >= 0 ? r : -static_cast<long>(errno);
+}
+
+long real_close(int fd) {
+  const long r = ::close(fd);
+  return r == 0 ? 0 : -static_cast<long>(errno);
+}
+
+#else  // non-Linux: no perf_event_open; everything degrades to ENOSYS.
+
+long real_open(const void*, std::int32_t, std::int32_t, std::int32_t,
+               unsigned long) {
+  return -38;  // -ENOSYS
+}
+long real_read(int, void*, std::size_t) { return -38; }
+long real_close(int) { return -38; }
+
+#endif
+
+constexpr Syscalls kReal{real_open, real_read, real_close};
+
+/// Swapped only from set_syscalls_for_testing (disarmed, quiescent), read
+/// from any thread; the pointer itself is the atomic unit.
+std::atomic<const Syscalls*> g_table{&kReal};
+
+}  // namespace
+
+const Syscalls& syscalls() {
+  return *g_table.load(std::memory_order_acquire);
+}
+
+void set_syscalls_for_testing(const Syscalls* replacement) {
+  g_table.store(replacement != nullptr ? replacement : &kReal,
+                std::memory_order_release);
+}
+
+}  // namespace fastbfs::obs::perf

@@ -1,0 +1,45 @@
+// Injectable seam over the raw syscalls the hardware-counter subsystem
+// needs (perf_event_open / read / close).
+//
+// Two reasons this is a seam and not three direct calls:
+//   - perf_event_open is routinely unavailable — containers ship
+//     `perf_event_paranoid >= 3`, seccomp filters return ENOSYS, VMs hide
+//     the PMU — and the graceful-degradation contract ("the engine runs
+//     bit-identically when counters cannot open") must be *testable*
+//     without owning such a machine. Tests inject a Syscalls table whose
+//     open() fails with EACCES/ENOSYS, or one that simulates a full PMU
+//     with deterministic values (tests/test_perf_counters.cpp).
+//   - non-Linux builds have no perf_event_open at all; the real table
+//     degrades to -ENOSYS there, and the subsystem reports kUnavailable
+//     instead of failing to compile.
+//
+// Error convention: open/read return the value or -errno (never -1 plus a
+// thread-global errno), so results are self-contained.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fastbfs::obs::perf {
+
+/// The syscall table. `attr` is an opaque pointer to a
+/// `struct perf_event_attr` (kept void* so this header needs no
+/// <linux/perf_event.h>).
+struct Syscalls {
+  /// perf_event_open(2): fd >= 0, or -errno.
+  long (*open)(const void* attr, std::int32_t pid, std::int32_t cpu,
+               std::int32_t group_fd, unsigned long flags) = nullptr;
+  /// read(2): bytes read, or -errno.
+  long (*read)(int fd, void* buf, std::size_t count) = nullptr;
+  /// close(2): 0 or -errno.
+  long (*close)(int fd) = nullptr;
+};
+
+/// The active table (the real syscalls unless a test replaced them).
+const Syscalls& syscalls();
+
+/// Replace the table for a test; nullptr restores the real syscalls.
+/// Call only while the perf subsystem is disarmed and no engine runs.
+void set_syscalls_for_testing(const Syscalls* replacement);
+
+}  // namespace fastbfs::obs::perf

@@ -9,6 +9,11 @@
 
 namespace fastbfs::obs {
 
+// The perf aggregation tables are indexed by raw span kind; growing the
+// vocabulary past the table bound must fail the build, not alias rows.
+static_assert(static_cast<unsigned>(SpanKind::kCount) <= perf::kMaxKinds,
+              "SpanKind outgrew perf::kMaxKinds — bump the table bound");
+
 const char* span_name(SpanKind k) {
   switch (k) {
     case SpanKind::kRun: return "run";
@@ -25,6 +30,11 @@ const char* span_name(SpanKind k) {
     case SpanKind::kMsPhase1: return "ms_phase1";
     case SpanKind::kMsPhase2: return "ms_phase2";
     case SpanKind::kMsExtract: return "ms_extract";
+    case SpanKind::kServeAdmit: return "serve_admit";
+    case SpanKind::kServeWave: return "serve_wave";
+    case SpanKind::kServeRun: return "serve_run";
+    case SpanKind::kServeQuery: return "serve_query";
+    case SpanKind::kServeRespond: return "serve_respond";
     case SpanKind::kCount: break;
   }
   return "?";
@@ -171,8 +181,16 @@ void write_chrome_trace(std::ostream& out) {
               }
               return a.rec.end_ns > b.rec.end_ns;  // parents before children
             });
+  // Hardware-counter samples share the recorder clock, so they align with
+  // the spans; fold them into the t0 origin too.
+  std::vector<perf::CounterSample> hw_samples;
+  perf::snapshot_samples(hw_samples);
+
   std::uint64_t t0 = 0;
   if (!spans.empty()) t0 = spans.front().rec.start_ns;
+  for (const perf::CounterSample& cs : hw_samples) {
+    if (t0 == 0 || cs.t_ns < t0) t0 = cs.t_ns;
+  }
 
   out << "{\"traceEvents\":[";
   char buf[256];
@@ -195,10 +213,41 @@ void write_chrome_trace(std::ostream& out) {
                   socket, t, t);
     emit(buf);
   }
+  // Query-lifecycle spans (admission -> response) overlap waves and each
+  // other by design, so they cannot live on a thread track as nested "X"
+  // events; export them as async begin/end pairs keyed by trace id on a
+  // synthetic "queries" process instead (Perfetto draws one row per id).
+  constexpr unsigned kQueryPid = 998;
+  bool query_meta_emitted = false;
   for (const MergedSpan& s : spans) {
     const unsigned socket = detail::g_lanes[s.lane].socket;
     const double ts = static_cast<double>(s.rec.start_ns - t0) / 1e3;
     const char* name = span_name(static_cast<SpanKind>(s.rec.kind));
+    if (static_cast<SpanKind>(s.rec.kind) == SpanKind::kServeQuery &&
+        s.rec.end_ns > s.rec.start_ns) {
+      if (!query_meta_emitted) {
+        query_meta_emitted = true;
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                      "\"tid\":0,\"args\":{\"name\":\"queries\"}}",
+                      kQueryPid);
+        emit(buf);
+      }
+      const double te = static_cast<double>(s.rec.end_ns - t0) / 1e3;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"fastbfs\",\"ph\":\"b\","
+                    "\"id\":%u,\"ts\":%.3f,\"pid\":%u,\"tid\":0,"
+                    "\"args\":{\"step\":%u}}",
+                    name, s.rec.arg, ts, kQueryPid, s.rec.arg);
+      emit(buf);
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"fastbfs\",\"ph\":\"e\","
+                    "\"id\":%u,\"ts\":%.3f,\"pid\":%u,\"tid\":0,"
+                    "\"args\":{\"step\":%u}}",
+                    name, s.rec.arg, te, kQueryPid, s.rec.arg);
+      emit(buf);
+      continue;
+    }
     if (s.rec.end_ns > s.rec.start_ns) {
       const double dur =
           static_cast<double>(s.rec.end_ns - s.rec.start_ns) / 1e3;
@@ -215,6 +264,33 @@ void write_chrome_trace(std::ostream& out) {
                     name, ts, socket, s.lane, s.rec.arg);
     }
     emit(buf);
+  }
+  // Perfetto counter tracks ("C" events): one track per hardware event,
+  // plotting each sampled span's counter delta at the span's end time.
+  // pid groups the tracks under their own synthetic "hw counters"
+  // process so they don't interleave with the worker rows.
+  constexpr unsigned kHwPid = 999;
+  if (!hw_samples.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"tid\":0,\"args\":{\"name\":\"hw counters\"}}",
+                  kHwPid);
+    emit(buf);
+  }
+  for (const perf::CounterSample& cs : hw_samples) {
+    const double ts =
+        cs.t_ns >= t0 ? static_cast<double>(cs.t_ns - t0) / 1e3 : 0.0;
+    for (unsigned e = 0; e < perf::kNumEvents; ++e) {
+      if (cs.delta[e] == 0) continue;
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"name\":\"hw_%s %s\",\"cat\":\"fastbfs_hw\",\"ph\":\"C\","
+          "\"ts\":%.3f,\"pid\":%u,\"tid\":%u,\"args\":{\"value\":%llu}}",
+          perf::event_name(static_cast<perf::HwEvent>(e)),
+          span_name(static_cast<SpanKind>(cs.kind)), ts, kHwPid, cs.slot,
+          static_cast<unsigned long long>(cs.delta[e]));
+      emit(buf);
+    }
   }
   out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
          "{\"recorder\":\"fastbfs flight recorder\",\"dropped\":"

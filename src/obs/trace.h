@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "obs/perf/perf_counters.h"
+
 namespace fastbfs::obs {
 
 /// Span/event vocabulary. Order is part of the aggregate-counter layout;
@@ -53,10 +55,38 @@ enum class SpanKind : unsigned {
   kMsPhase1,         // MS-BFS record binning
   kMsPhase2,         // MS-BFS mask filter + per-source claims
   kMsExtract,        // MS-BFS post-wave per-source DP scan
+  kServeAdmit,       // instant: query admitted (arg = trace id)
+  kServeWave,        // one coalesced serving wave (arg = wave id)
+  kServeRun,         // engine run inside a wave (arg = wave id)
+  kServeQuery,       // one query's life, admit→sink (arg = trace id)
+  kServeRespond,     // result delivery to the sink (arg = wave id)
   kCount
 };
 
 const char* span_name(SpanKind k);
+
+/// Span kinds whose counter deltas are retained as Perfetto counter-track
+/// samples (phase-granularity work). Everything else still aggregates
+/// into the per-(kind, step) tables, but skips the sample ring — notably
+/// kBarrierWait, whose per-step-per-thread churn would flood the ring.
+constexpr bool perf_sampled(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRun:
+    case SpanKind::kPhase1:
+    case SpanKind::kPhase2:
+    case SpanKind::kRearrange:
+    case SpanKind::kBottomUp:
+    case SpanKind::kMsWave:
+    case SpanKind::kMsInit:
+    case SpanKind::kMsPhase1:
+    case SpanKind::kMsPhase2:
+    case SpanKind::kMsExtract:
+    case SpanKind::kServeRun:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// Threads the recorder can track; engine thread ids are clamped into
 /// this range. Lane 0 doubles as the caller/unregistered lane (its ring
@@ -135,14 +165,35 @@ void write_chrome_trace(std::ostream& out);
 /// RAII span: snapshots the clock on construction when the recorder is
 /// enabled, records on destruction. The engine macros wrap this; tests
 /// and tools may construct it directly in any build.
+///
+/// When the perf subsystem is armed, the span also snapshots this
+/// thread's counter groups at both edges and folds the delta into the
+/// per-(kind, step) hardware-counter tables. The counter read sits
+/// *inside* the timed window (counters first on exit), so a span's own
+/// duration never includes its exit read; with perf disarmed the only
+/// cost over the PR-5 span is one relaxed atomic load per edge.
 class ScopedSpan {
  public:
   ScopedSpan(SpanKind kind, std::uint32_t arg)
       : kind_(kind), arg_(arg), active_(enabled()) {
-    if (active_) start_ns_ = detail::now_ns();
+    if (active_) {
+      start_ns_ = detail::now_ns();
+      if (perf::armed()) {
+        perf_active_ = perf::read_current(perf_start_);
+      }
+    }
   }
   ~ScopedSpan() {
-    if (active_) detail::record(kind_, start_ns_, detail::now_ns(), arg_);
+    if (active_) {
+      if (perf_active_ && perf::armed()) {
+        perf::Reading end;
+        if (perf::read_current(end)) {
+          perf::accumulate_span(static_cast<unsigned>(kind_), arg_,
+                                perf_start_, end, perf_sampled(kind_));
+        }
+      }
+      detail::record(kind_, start_ns_, detail::now_ns(), arg_);
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -151,7 +202,9 @@ class ScopedSpan {
   SpanKind kind_;
   std::uint32_t arg_;
   bool active_;
+  bool perf_active_ = false;
   std::uint64_t start_ns_ = 0;
+  perf::Reading perf_start_;
 };
 
 /// Instant event (start == end), recorded only when enabled.
@@ -160,6 +213,25 @@ inline void emit_event(SpanKind kind, std::uint32_t arg) {
     const std::uint64_t t = detail::now_ns();
     detail::record(kind, t, t, arg);
   }
+}
+
+/// Record a closed span with explicit edges, for lifecycles that cross
+/// threads (a serving query is admitted on one thread and answered on a
+/// dispatcher): the caller stamps the start with now_if_enabled() and
+/// closes the span wherever the life ends. Silently skipped when the
+/// recorder is off or the start edge was stamped while it was off
+/// (start_ns == 0).
+inline void emit_span(SpanKind kind, std::uint64_t start_ns,
+                      std::uint64_t end_ns, std::uint32_t arg) {
+  if (enabled() && start_ns != 0 && end_ns >= start_ns) {
+    detail::record(kind, start_ns, end_ns, arg);
+  }
+}
+
+/// Recorder timestamp, or 0 when disabled — the start-edge stamp for
+/// emit_span callers.
+inline std::uint64_t now_if_enabled() {
+  return enabled() ? detail::now_ns() : 0;
 }
 
 }  // namespace fastbfs::obs
@@ -177,8 +249,14 @@ inline void emit_event(SpanKind kind, std::uint32_t arg) {
                              static_cast<std::uint32_t>(arg))
 #define FASTBFS_TRACE_REGISTER(tid, socket) \
   ::fastbfs::obs::register_thread((tid), (socket))
+#define FASTBFS_SPAN_AT(kind, start_ns, end_ns, arg)                    \
+  ::fastbfs::obs::emit_span(::fastbfs::obs::SpanKind::kind, (start_ns), \
+                            (end_ns), static_cast<std::uint32_t>(arg))
+#define FASTBFS_NOW_NS() ::fastbfs::obs::now_if_enabled()
 #else
 #define FASTBFS_SPAN(kind, arg) ((void)0)
 #define FASTBFS_EVENT(kind, arg) ((void)0)
 #define FASTBFS_TRACE_REGISTER(tid, socket) ((void)0)
+#define FASTBFS_SPAN_AT(kind, start_ns, end_ns, arg) ((void)0)
+#define FASTBFS_NOW_NS() (std::uint64_t{0})
 #endif

@@ -67,6 +67,15 @@ struct PendingQuery {
   tick_t enqueued_at = 0;
   bool want_tree = false;
   void* cookie = nullptr;
+  /// Service-assigned trace id (nonzero once admitted): the arg that ties
+  /// this query's admit event, lifecycle span and wave-linkage event
+  /// together in the flight-recorder export.
+  std::uint32_t trace_id = 0;
+  /// Admission timestamp on the *recorder* clock (0 when the recorder was
+  /// off at admission) — the start edge of the cross-thread
+  /// serve_query lifecycle span; enqueued_at stays on the service's tick
+  /// clock for deadlines and histograms.
+  std::uint64_t admit_ns = 0;
 };
 
 enum class Admit : std::uint8_t {

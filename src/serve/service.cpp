@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace fastbfs::serve {
 
@@ -31,6 +34,10 @@ BfsService::BfsService(const ServiceConfig& cfg, TickClock& clock,
   hooks_.late = reg.counter("fastbfs_serve_late_total");
   hooks_.occupancy = reg.histogram("fastbfs_serve_wave_occupancy");
   hooks_.latency_ns = reg.histogram("fastbfs_serve_latency_ns");
+  hooks_.queue_wait_ns = reg.histogram("fastbfs_serve_queue_wait_ns");
+  hooks_.batch_wait_ns = reg.histogram("fastbfs_serve_batch_wait_ns");
+  hooks_.run_ns = reg.histogram("fastbfs_serve_run_ns");
+  hooks_.respond_ns = reg.histogram("fastbfs_serve_respond_ns");
   hooks_.queue_depth = reg.gauge("fastbfs_serve_queue_depth");
   // Which binning-kernel ISA the serving engines will traverse with
   // (0=scalar 1=sse4.2 2=avx2 3=avx512): scraped next to the latency
@@ -82,6 +89,10 @@ std::uint32_t BfsService::add_graph(const CsrGraph& csr) {
 
   entry.runners.reserve(dispatchers_.size());
   for (std::size_t d = 0; d < dispatchers_.size(); ++d) {
+    // Every pooled runner keeps its worker threads alive concurrently;
+    // disjoint lane bases keep their flight-recorder tracks separate.
+    opts.trace_lane_base = next_trace_lane_base_;
+    next_trace_lane_base_ += opts.n_threads;
     entry.runners.push_back(std::make_unique<BfsRunner>(csr, opts));
     if (cfg_.engine.tune == TuneMode::kOnline) {
       auto tuner = std::make_unique<tune::OnlineTuner>(plan);
@@ -130,6 +141,8 @@ Status BfsService::submit(const QueryRequest& q, void* cookie) {
     p.deadline = absolute_deadline(q.deadline_us, now);
     p.want_tree = q.want_tree;
     p.cookie = cookie;
+    p.trace_id = trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    p.admit_ns = FASTBFS_NOW_NS();
     {
       std::lock_guard<std::mutex> lk(mu_);
       ensure_batcher();
@@ -143,6 +156,7 @@ Status BfsService::submit(const QueryRequest& q, void* cookie) {
             hooks_.admitted->inc();
             hooks_.queue_depth->set(
                 static_cast<double>(batcher_->pending()));
+            FASTBFS_EVENT(kServeAdmit, p.trace_id);
             cv_.notify_one();
             return Status::kOk;
           case Admit::kExpired:
@@ -169,11 +183,19 @@ Status BfsService::submit(const QueryRequest& q, void* cookie) {
 
 void BfsService::execute_plan(unsigned d, const WavePlan& plan) {
   Dispatcher& disp = *dispatchers_[d];
+  // Wave-lifecycle tracing: this span covers expiry handling, the engine
+  // run and response delivery; every per-query record inside it carries
+  // the query's trace id, and the wave id in this span's arg is the
+  // linkage that ties up to 64 serve_query lives to one dispatch.
+  const std::uint32_t wave_id =
+      wave_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FASTBFS_SPAN(kServeWave, wave_id);
 
   // Queries that died in the queue: answered, never run.
   for (unsigned i = 0; i < plan.n_expired; ++i) {
     const PendingQuery& q = plan.expired[i];
     hooks_.expired->inc();
+    FASTBFS_SPAN_AT(kServeQuery, q.admit_ns, FASTBFS_NOW_NS(), q.trace_id);
     ResponseView view;
     view.header.id = q.id;
     view.header.status = Status::kDeadlineExpired;
@@ -187,18 +209,31 @@ void BfsService::execute_plan(unsigned d, const WavePlan& plan) {
   if (plan.n > 0) {
     BfsRunner& runner = *graphs_[plan.graph_id].runners[d];
     const tick_t t0 = clock_.now();
-    if (plan.n == 1) {
-      // Singleton fallback: the sequential engine answers one query
-      // without wave setup (and with direction optimization available).
-      runner.run_into(plan.queries[0].root, disp.results[0]);
-    } else {
-      for (unsigned s = 0; s < plan.n; ++s) {
-        disp.roots[s] = plan.queries[s].root;
+    {
+      FASTBFS_SPAN(kServeRun, wave_id);
+      if (plan.n == 1) {
+        // Singleton fallback: the sequential engine answers one query
+        // without wave setup (and with direction optimization available).
+        runner.run_into(plan.queries[0].root, disp.results[0]);
+      } else {
+        for (unsigned s = 0; s < plan.n; ++s) {
+          disp.roots[s] = plan.queries[s].root;
+        }
+        runner.run_wave_into(disp.roots.data(), plan.n, disp.ptrs.data());
       }
-      runner.run_wave_into(disp.roots.data(), plan.n, disp.ptrs.data());
     }
     const tick_t t1 = clock_.now();
     service_ns = t1 - t0;
+
+    // Latency breakdown: the wave's batch wait is measured from its
+    // oldest admission (what the coalescing window cost), each query's
+    // queue wait from its own.
+    tick_t oldest = t0;
+    for (unsigned s = 0; s < plan.n; ++s) {
+      oldest = std::min(oldest, plan.queries[s].enqueued_at);
+    }
+    hooks_.batch_wait_ns->observe(t0 - oldest);
+    hooks_.run_ns->observe(service_ns);
 
     // Online autotuning observes the sequential path only: MS waves run a
     // different engine whose stats the run-boundary rules don't describe.
@@ -215,33 +250,41 @@ void BfsService::execute_plan(unsigned d, const WavePlan& plan) {
     } else {
       hooks_.waves->inc();
     }
-    for (unsigned s = 0; s < plan.n; ++s) {
-      const PendingQuery& q = plan.queries[s];
-      const BfsResult& r = disp.results[s];
-      const tick_t lat = t1 - q.enqueued_at;
-      local_latency_ns_.observe(lat);
-      hooks_.latency_ns->observe(lat);
-      local_occupancy_.observe(plan.n);
-      hooks_.completed->inc();
+    {
+      FASTBFS_SPAN(kServeRespond, wave_id);
+      for (unsigned s = 0; s < plan.n; ++s) {
+        const PendingQuery& q = plan.queries[s];
+        const BfsResult& r = disp.results[s];
+        const tick_t lat = t1 - q.enqueued_at;
+        local_latency_ns_.observe(lat);
+        hooks_.latency_ns->observe(lat);
+        hooks_.queue_wait_ns->observe(t0 - q.enqueued_at);
+        local_occupancy_.observe(plan.n);
+        hooks_.completed->inc();
+        FASTBFS_EVENT(kServeQuery, q.trace_id);  // wave linkage
+        FASTBFS_SPAN_AT(kServeQuery, q.admit_ns, FASTBFS_NOW_NS(),
+                        q.trace_id);
 
-      ResponseView view;
-      view.header.id = q.id;
-      view.header.status = Status::kOk;
-      view.header.has_tree = q.want_tree;
-      view.header.deadline_missed = q.deadline != kTickInf && t1 > q.deadline;
-      view.header.root = q.root;
-      view.header.depth_reached = r.depth_reached;
-      view.header.vertices_visited = r.vertices_visited;
-      view.header.edges_traversed = r.edges_traversed;
-      view.header.wave_size = plan.n;
-      view.result = &r;
-      view.cookie = q.cookie;
-      if (view.header.deadline_missed) {
-        ++late;
-        hooks_.late->inc();
+        ResponseView view;
+        view.header.id = q.id;
+        view.header.status = Status::kOk;
+        view.header.has_tree = q.want_tree;
+        view.header.deadline_missed = q.deadline != kTickInf && t1 > q.deadline;
+        view.header.root = q.root;
+        view.header.depth_reached = r.depth_reached;
+        view.header.vertices_visited = r.vertices_visited;
+        view.header.edges_traversed = r.edges_traversed;
+        view.header.wave_size = plan.n;
+        view.result = &r;
+        view.cookie = q.cookie;
+        if (view.header.deadline_missed) {
+          ++late;
+          hooks_.late->inc();
+        }
+        sink_.on_response(view);
       }
-      sink_.on_response(view);
     }
+    hooks_.respond_ns->observe(clock_.now() - t1);
   }
 
   std::lock_guard<std::mutex> lk(mu_);
@@ -351,6 +394,7 @@ ServeCounters BfsService::counters() const {
 double BfsService::latency_quantile_ns(double q) const {
   const std::uint64_t total = local_latency_ns_.count();
   if (total == 0) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // NaN (and negatives) land on the minimum
   q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<std::uint64_t>(q * (total - 1)) + 1;
   std::uint64_t cum = 0;

@@ -174,6 +174,15 @@ class BfsService {
     obs::Counter* late;
     obs::Histogram* occupancy;
     obs::Histogram* latency_ns;
+    // Completion-latency breakdown (all tick-clock ns): a query's life is
+    // queue_wait (admission → its wave's dispatch) = batch_wait of the
+    // wave (dispatch − the wave's *oldest* admission; the coalescing cost
+    // the adaptive batcher controls) plus its own extra queueing, then
+    // run (engine), then respond (sink delivery).
+    obs::Histogram* queue_wait_ns;
+    obs::Histogram* batch_wait_ns;
+    obs::Histogram* run_ns;
+    obs::Histogram* respond_ns;
     obs::Gauge* queue_depth;
   };
 
@@ -201,6 +210,15 @@ class BfsService {
   ServeCounters counts_;               // guarded by mu_
   obs::Histogram local_latency_ns_;    // service-local, lock-free
   obs::Histogram local_occupancy_;
+
+  /// Trace-id/wave-id generators for the query-lifecycle spans (ids are
+  /// 1-based; 0 = never admitted). Assigned even when tracing is off so
+  /// ids stay stable across enable()/disable().
+  std::atomic<std::uint32_t> trace_seq_{0};
+  std::atomic<std::uint32_t> wave_seq_{0};
+  /// Next flight-recorder lane handed to a pooled runner (see
+  /// BfsOptions::trace_lane_base); add_graph is pre-freeze, so no lock.
+  unsigned next_trace_lane_base_ = 0;
 };
 
 }  // namespace fastbfs::serve

@@ -1,12 +1,15 @@
 #include "thread/thread_pool.h"
 
+#include "obs/trace.h"
 #include "thread/affinity.h"
 
 namespace fastbfs {
 
-ThreadPool::ThreadPool(const SocketTopology& topo, bool pin_threads)
+ThreadPool::ThreadPool(const SocketTopology& topo, bool pin_threads,
+                       unsigned trace_lane_base)
     : topo_(topo),
       pin_threads_(pin_threads),
+      trace_lane_base_(trace_lane_base),
       start_barrier_(topo.n_threads()),
       finish_barrier_(topo.n_threads()),
       inner_barrier_(topo.n_threads()) {
@@ -42,6 +45,9 @@ void ThreadPool::worker_loop(unsigned thread_id) {
     pin_current_thread_for(thread_id, topo_.n_threads());
   }
   const ThreadContext ctx = make_context(thread_id);
+  // Claim this helper's recorder lane before the first idle barrier wait,
+  // so pre-job spans don't pile onto the shared unregistered lane 0.
+  FASTBFS_TRACE_REGISTER(trace_lane_base_ + thread_id, ctx.socket_id);
   for (;;) {
     start_barrier_.arrive_and_wait();
     if (shutdown_.load(std::memory_order_acquire)) return;

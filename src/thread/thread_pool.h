@@ -35,7 +35,12 @@ class ThreadPool {
   /// pin_threads: pin each worker to a CPU (socket-major round robin,
   /// thread/affinity.h). The calling thread (worker 0) is never pinned —
   /// pinning it would outlive the pool.
-  explicit ThreadPool(const SocketTopology& topo, bool pin_threads = false);
+  /// trace_lane_base: helpers register flight-recorder lane
+  /// trace_lane_base + thread_id at spawn, so even their idle barrier
+  /// waits (before the first job) land on their own lane instead of the
+  /// shared lane 0 (BfsOptions::trace_lane_base).
+  explicit ThreadPool(const SocketTopology& topo, bool pin_threads = false,
+                      unsigned trace_lane_base = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -72,6 +77,7 @@ class ThreadPool {
 
   SocketTopology topo_;
   bool pin_threads_;
+  unsigned trace_lane_base_;
   SpinBarrier start_barrier_;   // all workers + caller enter a job
   SpinBarrier finish_barrier_;  // all workers + caller leave a job
   SpinBarrier inner_barrier_;   // workers only, used by SPMD code

@@ -126,6 +126,41 @@ TEST(ObsMetrics, JsonAndPrometheusShape) {
   EXPECT_NE(p.find("latency_count 1"), std::string::npos);
 }
 
+TEST(ObsMetrics, EscapeLabelValueHandlesSpecials) {
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::escape_label_value("line1\nline2"), "line1\\nline2");
+  // All three specials together, in one value.
+  EXPECT_EQ(obs::escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::escape_label_value(""), "");
+}
+
+TEST(ObsMetrics, LabeledNameBuildsEscapedSelector) {
+  EXPECT_EQ(obs::labeled_name("fam", {}), "fam");
+  EXPECT_EQ(obs::labeled_name("fastbfs_hw_cycles", {{"phase", "phase2"}}),
+            "fastbfs_hw_cycles{phase=\"phase2\"}");
+  EXPECT_EQ(obs::labeled_name("m", {{"a", "1"}, {"b", "x\"y"}}),
+            "m{a=\"1\",b=\"x\\\"y\"}");
+}
+
+TEST(ObsMetrics, PrometheusWriterEscapesLabeledInstruments) {
+  obs::Registry r;
+  const std::string name =
+      obs::labeled_name("evil_total", {{"path", "a\\b\"c\nd"}});
+  r.counter(name)->add(2);
+  std::ostringstream prom;
+  r.write_prometheus(prom);
+  const std::string p = prom.str();
+  // The TYPE line names the bare family, not the labeled selector.
+  EXPECT_NE(p.find("# TYPE evil_total counter"), std::string::npos);
+  // The sample line carries the escaped value — and no raw newline may
+  // survive inside it (a raw newline would split the sample in two).
+  EXPECT_NE(p.find("evil_total{path=\"a\\\\b\\\"c\\nd\"} 2"),
+            std::string::npos);
+  EXPECT_EQ(p.find("c\nd"), std::string::npos);
+}
+
 TEST(ObsMetrics, EngineRunPopulatesGlobalRegistry) {
   const CsrGraph g = rmat_graph(10, 8, 77);
   BfsRunner runner(g);

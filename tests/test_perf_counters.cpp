@@ -1,0 +1,412 @@
+// Hardware-counter subsystem (src/obs/perf/): the graceful-degradation
+// ladder and the full-PMU accounting path, driven through the injectable
+// syscall seam (perf_syscall.h) so every state is reproducible on any
+// machine — including ones where perf_event_open works fine.
+//
+// The contract under test, in order of importance:
+//   - the engine's *output* is bit-identical whether perf_event_open
+//     succeeds, fails with EACCES (perf_event_paranoid), or fails with
+//     ENOSYS (seccomp / non-Linux) — counters observe, never steer;
+//   - when only PMU events are denied (ENOENT: a VM without a PMU), the
+//     subsystem degrades to the software group and reports kSoftwareOnly;
+//   - a single unsupported event (stalled-cycles-backend on many cores)
+//     is skipped without taking down its group;
+//   - group reads are multiplex-corrected by time_enabled/time_running
+//     and every scaled read is counted;
+//   - span deltas land in the per-kind and per-(kind, step) tables and
+//     the sample ring, and negative deltas clamp to zero.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/api.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+#include "obs/perf/perf_counters.h"
+#include "obs/perf/perf_syscall.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#endif
+
+namespace fastbfs {
+namespace {
+
+namespace perf = obs::perf;
+
+#if defined(__linux__)
+
+// ---------------------------------------------------------------------------
+// Fake perf_event syscall tables. A table's open() classifies the attr the
+// subsystem built (type + config) and either refuses it or hands out a fake
+// fd; read() then serves PERF_FORMAT_GROUP buffers from a deterministic
+// value generator. File-scope state because Syscalls holds plain function
+// pointers.
+
+constexpr std::uint64_t fake_cache_config(unsigned cache, unsigned op,
+                                          unsigned result) {
+  return static_cast<std::uint64_t>(cache) |
+         (static_cast<std::uint64_t>(op) << 8) |
+         (static_cast<std::uint64_t>(result) << 16);
+}
+
+/// Maps an attr back to the HwEvent it requests, mirroring the descriptor
+/// table in perf_counters.cpp; kCount when unrecognized.
+perf::HwEvent classify(const perf_event_attr& attr) {
+  using E = perf::HwEvent;
+  if (attr.type == PERF_TYPE_HARDWARE) {
+    switch (attr.config) {
+      case PERF_COUNT_HW_CPU_CYCLES: return E::kCycles;
+      case PERF_COUNT_HW_INSTRUCTIONS: return E::kInstructions;
+      case PERF_COUNT_HW_BRANCH_MISSES: return E::kBranchMisses;
+      case PERF_COUNT_HW_STALLED_CYCLES_BACKEND: return E::kStalledBackend;
+    }
+  } else if (attr.type == PERF_TYPE_HW_CACHE) {
+    if (attr.config ==
+        fake_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                          PERF_COUNT_HW_CACHE_RESULT_ACCESS)) {
+      return E::kLlcLoads;
+    }
+    if (attr.config ==
+        fake_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                          PERF_COUNT_HW_CACHE_RESULT_MISS)) {
+      return E::kLlcLoadMisses;
+    }
+    if (attr.config == fake_cache_config(PERF_COUNT_HW_CACHE_DTLB,
+                                         PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_MISS)) {
+      return E::kDtlbLoadMisses;
+    }
+  } else if (attr.type == PERF_TYPE_SOFTWARE) {
+    switch (attr.config) {
+      case PERF_COUNT_SW_TASK_CLOCK: return E::kSwTaskClockNs;
+      case PERF_COUNT_SW_PAGE_FAULTS: return E::kSwPageFaults;
+    }
+  }
+  return E::kCount;
+}
+
+struct FakeGroup {
+  int leader_fd = -1;
+  std::vector<perf::HwEvent> events;
+  std::uint64_t reads = 0;
+};
+
+struct FakePmu {
+  int reject_errno = 0;        // nonzero: every open fails with this
+  bool reject_hardware = false;  // PMU events fail ENOENT (VM, no PMU)
+  bool reject_stalled = false;   // only stalled-cycles-backend fails
+  // Group-read header: scale = enabled/running when running < enabled.
+  std::uint64_t time_enabled = 1000;
+  std::uint64_t time_running = 1000;
+  // Each event's raw value is base_value * (event+1) * the owning group's
+  // read count, so consecutive reads are monotone and a span delta is
+  // exactly base_value * (event+1) per intervening read.
+  std::uint64_t base_value = 100;
+
+  int next_fd = 100;
+  std::vector<FakeGroup> groups;
+  unsigned opens = 0;
+  unsigned closes = 0;
+};
+
+FakePmu g_pmu;
+
+long fake_open(const void* attr_p, std::int32_t, std::int32_t,
+               std::int32_t group_fd, unsigned long) {
+  ++g_pmu.opens;
+  if (g_pmu.reject_errno != 0) return -g_pmu.reject_errno;
+  const auto& attr = *static_cast<const perf_event_attr*>(attr_p);
+  const perf::HwEvent ev = classify(attr);
+  if (ev == perf::HwEvent::kCount) return -EINVAL;
+  const bool hw = attr.type != PERF_TYPE_SOFTWARE;
+  if (g_pmu.reject_hardware && hw) return -ENOENT;
+  if (g_pmu.reject_stalled && ev == perf::HwEvent::kStalledBackend) {
+    return -ENOENT;
+  }
+  const int fd = g_pmu.next_fd++;
+  if (group_fd < 0) {
+    g_pmu.groups.push_back({fd, {ev}});
+  } else {
+    for (FakeGroup& g : g_pmu.groups) {
+      if (g.leader_fd == group_fd) {
+        g.events.push_back(ev);
+        return fd;
+      }
+    }
+    return -EBADF;  // member opened against an unknown leader
+  }
+  return fd;
+}
+
+long fake_read(int fd, void* buf, std::size_t count) {
+  for (FakeGroup& g : g_pmu.groups) {
+    if (g.leader_fd != fd) continue;
+    ++g.reads;
+    const std::size_t need = (3 + g.events.size()) * sizeof(std::uint64_t);
+    if (count < need) return -ENOSPC;
+    auto* out = static_cast<std::uint64_t*>(buf);
+    out[0] = g.events.size();
+    out[1] = g_pmu.time_enabled;
+    out[2] = g_pmu.time_running;
+    for (std::size_t i = 0; i < g.events.size(); ++i) {
+      // Distinct per-event slopes so a value landing in the wrong table
+      // column is visible.
+      const auto e = static_cast<std::uint64_t>(g.events[i]);
+      out[3 + i] = g_pmu.base_value * (e + 1) * g.reads;
+    }
+    return static_cast<long>(need);
+  }
+  return -EBADF;
+}
+
+long fake_close(int) {
+  ++g_pmu.closes;
+  return 0;
+}
+
+constexpr perf::Syscalls kFakeTable{fake_open, fake_read, fake_close};
+
+/// Installs the fake table for one test; restores the real syscalls and
+/// disarms on the way out so test order never matters.
+struct FakePmuGuard {
+  explicit FakePmuGuard(const FakePmu& setup) {
+    perf::disarm();
+    g_pmu = setup;
+    perf::set_syscalls_for_testing(&kFakeTable);
+  }
+  ~FakePmuGuard() {
+    perf::disarm();
+    perf::set_syscalls_for_testing(nullptr);
+    g_pmu = FakePmu{};
+  }
+};
+
+std::uint64_t bit(perf::HwEvent e) {
+  return std::uint64_t{1} << static_cast<unsigned>(e);
+}
+
+constexpr std::uint64_t kAllEvents = (1u << perf::kNumEvents) - 1;
+constexpr std::uint64_t kSwEvents =
+    (std::uint64_t{1} << static_cast<unsigned>(perf::HwEvent::kSwTaskClockNs)) |
+    (std::uint64_t{1} << static_cast<unsigned>(perf::HwEvent::kSwPageFaults));
+
+// ---------------------------------------------------------------------------
+
+TEST(PerfCounters, EaccesMeansUnavailableAndArmFails) {
+  FakePmu setup;
+  setup.reject_errno = EACCES;
+  FakePmuGuard guard(setup);
+
+  EXPECT_FALSE(perf::arm());
+  EXPECT_FALSE(perf::armed());
+  EXPECT_EQ(perf::status(), perf::PerfStatus::kUnavailable);
+  EXPECT_EQ(perf::available_mask(), 0u);
+  EXPECT_NE(perf::status_string().find("EACCES"), std::string::npos);
+
+  perf::Reading r;
+  EXPECT_FALSE(perf::read_current(r));
+  EXPECT_EQ(r.valid_mask, 0u);
+}
+
+TEST(PerfCounters, EnosysMeansUnavailableAndArmFails) {
+  FakePmu setup;
+  setup.reject_errno = ENOSYS;
+  FakePmuGuard guard(setup);
+
+  EXPECT_FALSE(perf::arm());
+  EXPECT_EQ(perf::status(), perf::PerfStatus::kUnavailable);
+  EXPECT_NE(perf::status_string().find("ENOSYS"), std::string::npos);
+}
+
+TEST(PerfCounters, NoPmuDegradesToSoftwareOnly) {
+  FakePmu setup;
+  setup.reject_hardware = true;
+  FakePmuGuard guard(setup);
+
+  EXPECT_TRUE(perf::arm());
+  EXPECT_EQ(perf::status(), perf::PerfStatus::kSoftwareOnly);
+  EXPECT_EQ(perf::available_mask(), kSwEvents);
+
+  perf::Reading r;
+  EXPECT_TRUE(perf::read_current(r));
+  EXPECT_EQ(r.valid_mask, kSwEvents);
+  EXPECT_GT(r.value[static_cast<unsigned>(perf::HwEvent::kSwTaskClockNs)], 0u);
+  EXPECT_EQ(r.value[static_cast<unsigned>(perf::HwEvent::kCycles)], 0u);
+}
+
+TEST(PerfCounters, UnsupportedEventSkipsWithoutKillingItsGroup) {
+  FakePmu setup;
+  setup.reject_stalled = true;
+  FakePmuGuard guard(setup);
+
+  EXPECT_TRUE(perf::arm());
+  EXPECT_EQ(perf::status(), perf::PerfStatus::kHardware);
+  const std::uint64_t mask = perf::available_mask();
+  EXPECT_EQ(mask, kAllEvents & ~bit(perf::HwEvent::kStalledBackend));
+
+  perf::Reading r;
+  EXPECT_TRUE(perf::read_current(r));
+  // Group B lost its would-be leader; dTLB and branch misses still count.
+  EXPECT_NE(r.valid_mask & bit(perf::HwEvent::kDtlbLoadMisses), 0u);
+  EXPECT_NE(r.valid_mask & bit(perf::HwEvent::kBranchMisses), 0u);
+  EXPECT_EQ(r.valid_mask & bit(perf::HwEvent::kStalledBackend), 0u);
+}
+
+TEST(PerfCounters, FullPmuAccumulatesSpanDeltas) {
+  FakePmu setup;
+  FakePmuGuard guard(setup);
+
+  perf::PerfConfig cfg;
+  cfg.max_steps = 8;
+  ASSERT_TRUE(perf::arm(cfg));
+  EXPECT_EQ(perf::status(), perf::PerfStatus::kHardware);
+  EXPECT_EQ(perf::available_mask(), kAllEvents);
+  EXPECT_TRUE(perf::arm(cfg)) << "arm() while armed is idempotent";
+
+  perf::Reading start, end;
+  ASSERT_TRUE(perf::read_current(start));
+  ASSERT_TRUE(perf::read_current(end));
+  EXPECT_EQ(start.valid_mask, kAllEvents);
+
+  // The fake serves value = base * (event+1) * reads_served per group
+  // read; between the two read_current calls every group was read exactly
+  // once more, so the per-event delta is base * (event+1).
+  constexpr unsigned kKind = 2, kStep = 3;
+  perf::accumulate_span(kKind, kStep, start, end, /*sample=*/true);
+  const perf::CounterTotals kt = perf::kind_totals(kKind);
+  const perf::CounterTotals st = perf::step_totals(kKind, kStep);
+  for (unsigned e = 0; e < perf::kNumEvents; ++e) {
+    EXPECT_EQ(kt.value[e], setup.base_value * (e + 1)) << "event " << e;
+    EXPECT_EQ(st.value[e], kt.value[e]) << "event " << e;
+  }
+  // Steps beyond max_steps fold into the last row, not out of bounds.
+  perf::accumulate_span(kKind, 10'000, end, start, false);  // reversed:
+  // a reversed (non-monotone) delta clamps to zero everywhere.
+  const perf::CounterTotals after = perf::kind_totals(kKind);
+  EXPECT_EQ(after.value[0], kt.value[0]);
+
+  std::vector<perf::CounterSample> samples;
+  perf::snapshot_samples(samples);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, kKind);
+  EXPECT_EQ(samples[0].delta[0], kt.value[0]);
+
+  perf::clear_totals();
+  EXPECT_EQ(perf::kind_totals(kKind).value[0], 0u);
+  perf::snapshot_samples(samples);
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(PerfCounters, MultiplexedReadsAreScaledAndCounted) {
+  FakePmu setup;
+  setup.time_enabled = 2000;
+  setup.time_running = 1000;  // each group scheduled half the time
+  FakePmuGuard guard(setup);
+
+  ASSERT_TRUE(perf::arm());
+  const std::uint64_t scaled_before = perf::multiplex_scaled();
+
+  perf::Reading r;
+  ASSERT_TRUE(perf::read_current(r));
+  EXPECT_GT(perf::multiplex_scaled(), scaled_before);
+
+  // Raw cycles on this (first post-arm) read would be base * 1 * reads;
+  // the estimate doubles it. reads_served counts per group, and cycles
+  // lives in the first-opened group, so its read index is known only
+  // relative to the raw fake state — recompute from it.
+  const auto cyc = static_cast<unsigned>(perf::HwEvent::kCycles);
+  EXPECT_EQ(r.value[cyc] % 2, 0u) << "scaled by exactly 2.0";
+  EXPECT_GT(r.value[cyc], 0u);
+}
+
+TEST(PerfCounters, NeverScheduledGroupProducesNoEstimate) {
+  FakePmu setup;
+  setup.time_enabled = 1000;
+  setup.time_running = 0;  // counters never got PMU time
+  FakePmuGuard guard(setup);
+
+  ASSERT_TRUE(perf::arm());
+  perf::Reading r;
+  EXPECT_FALSE(perf::read_current(r));
+  EXPECT_EQ(r.valid_mask, 0u);
+}
+
+TEST(PerfCounters, DisarmClosesEveryFd) {
+  FakePmu setup;
+  FakePmuGuard guard(setup);
+
+  ASSERT_TRUE(perf::arm());
+  perf::Reading r;
+  ASSERT_TRUE(perf::read_current(r));  // claims this thread's slot + fds
+  const unsigned opened = g_pmu.opens;
+  EXPECT_GT(opened, 0u);
+  perf::disarm();
+  EXPECT_FALSE(perf::armed());
+  // Probe fds (closed at arm) + this thread's fds (closed at disarm): no
+  // descriptor outlives the subsystem.
+  EXPECT_EQ(g_pmu.closes, opened);
+  EXPECT_FALSE(perf::read_current(r));
+}
+
+// ---------------------------------------------------------------------------
+// The one that matters: counters observe, never steer. The traversal's
+// output must be bit-identical across the whole degradation ladder.
+
+TEST(PerfCounters, EngineOutputBitIdenticalAcrossDegradation) {
+  const CsrGraph g = rmat_graph(10, 8, 13);
+  const vid_t root = pick_nonisolated_root(g, 1);
+  // Single worker: with multiple threads, equal-depth parents race
+  // benignly and the DP words are not run-to-run deterministic even
+  // without counters — one thread makes "bit-identical" well-defined.
+  BfsOptions opts;
+  opts.n_threads = 1;
+  opts.n_sockets = 1;
+  BfsRunner runner(g, opts);
+
+  auto run_dp = [&]() {
+    const BfsResult& r = runner.run(root);
+    std::vector<std::uint64_t> dp(g.n_vertices());
+    std::memcpy(dp.data(), r.dp.data(), dp.size() * sizeof(std::uint64_t));
+    return dp;
+  };
+
+  const std::vector<std::uint64_t> baseline = run_dp();
+
+  {
+    FakePmu setup;
+    setup.reject_errno = EACCES;
+    FakePmuGuard guard(setup);
+    EXPECT_FALSE(perf::arm());
+    EXPECT_EQ(run_dp(), baseline) << "EACCES changed the traversal";
+  }
+  {
+    FakePmu setup;
+    setup.reject_errno = ENOSYS;
+    FakePmuGuard guard(setup);
+    EXPECT_FALSE(perf::arm());
+    EXPECT_EQ(run_dp(), baseline) << "ENOSYS changed the traversal";
+  }
+  {
+    FakePmu setup;  // full fake PMU, counters armed and reading
+    FakePmuGuard guard(setup);
+    EXPECT_TRUE(perf::arm());
+    EXPECT_EQ(run_dp(), baseline) << "armed counters changed the traversal";
+  }
+}
+
+#else  // !__linux__
+
+TEST(PerfCounters, UnavailableOffLinux) {
+  perf::disarm();
+  EXPECT_FALSE(perf::arm());
+  EXPECT_EQ(perf::status(), perf::PerfStatus::kUnavailable);
+}
+
+#endif
+
+}  // namespace
+}  // namespace fastbfs

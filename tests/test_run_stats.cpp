@@ -1,6 +1,7 @@
 // RunStats reporting surface (core/two_phase_bfs.h): the per-step CSV's
 // header/row shape (including the pbv_bin_skew column added with the
-// observability layer), direction letters and the bottom-up probe column,
+// observability layer and the hw_* hardware-counter columns added with
+// the perf subsystem), direction letters and the bottom-up probe column,
 // and reset() keeping the steps vector's capacity — the warm-engine
 // stats-collection contract.
 #include <gtest/gtest.h>
@@ -21,8 +22,11 @@ namespace {
 constexpr const char* kHeader =
     "step,direction,frontier,binned_items,frontier_edges,"
     "unexplored_edges,bottom_up_probes,phase1_s,phase2_s,rearrange_s,"
-    "phase1_imbalance,phase2_imbalance,pbv_bin_skew";
-constexpr unsigned kColumns = 13;
+    "phase1_imbalance,phase2_imbalance,pbv_bin_skew,hw_valid,hw_cycles,"
+    "hw_instructions,hw_llc_loads,hw_llc_load_misses,hw_dtlb_load_misses,"
+    "hw_branch_misses,hw_stalled_backend,hw_sw_task_clock_ns,"
+    "hw_sw_page_faults";
+constexpr unsigned kColumns = 23;
 
 std::vector<std::string> split_lines(const std::string& s) {
   std::vector<std::string> lines;
@@ -56,6 +60,9 @@ TEST(RunStatsCsv, HeaderAndRowShape) {
   bu.direction = StepDirection::kBottomUp;
   bu.frontier_size = 40;
   bu.bottom_up_probes = 77;
+  bu.hw.valid = true;
+  bu.hw.cycles = 1000;
+  bu.hw.llc_load_misses = 42;
   stats.steps = {td, bu};
 
   std::ostringstream out;
@@ -77,6 +84,8 @@ TEST(RunStatsCsv, HeaderAndRowShape) {
   EXPECT_EQ(row_td[8], "0.5");
   EXPECT_EQ(row_td[9], "0.125");
   EXPECT_EQ(row_td[12], "1.5");     // pbv_bin_skew
+  EXPECT_EQ(row_td[13], "0");       // hw_valid: no counters harvested
+  EXPECT_EQ(row_td[14], "0");       // hw_cycles stays zero when invalid
 
   const std::vector<std::string> row_bu = split_fields(lines[2]);
   ASSERT_EQ(row_bu.size(), kColumns);
@@ -85,6 +94,9 @@ TEST(RunStatsCsv, HeaderAndRowShape) {
   EXPECT_EQ(row_bu[2], "40");
   EXPECT_EQ(row_bu[6], "77");       // bottom_up_probes
   EXPECT_EQ(row_bu[12], "1");       // skew defaults to even on BU steps
+  EXPECT_EQ(row_bu[13], "1");       // hw_valid
+  EXPECT_EQ(row_bu[14], "1000");    // hw_cycles
+  EXPECT_EQ(row_bu[17], "42");      // hw_llc_load_misses
 }
 
 TEST(RunStatsCsv, RealRunMatchesDirectionLog) {

@@ -10,6 +10,7 @@
 // time-independent outcomes (completion, drain, round-trip identity).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <stdexcept>
@@ -271,11 +272,54 @@ TEST(ServeService, MetricsSurfacedThroughRegistry) {
   for (const char* name :
        {"fastbfs_serve_admitted_total", "fastbfs_serve_completed_total",
         "fastbfs_serve_wave_occupancy", "fastbfs_serve_latency_ns",
-        "fastbfs_serve_queue_depth"}) {
+        "fastbfs_serve_queue_depth", "fastbfs_serve_queue_wait_ns",
+        "fastbfs_serve_batch_wait_ns", "fastbfs_serve_run_ns",
+        "fastbfs_serve_respond_ns"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
   EXPECT_GT(svc.latency_quantile_ns(0.99), 0.0);
   EXPECT_GE(svc.latency_quantile_ns(0.99), svc.latency_quantile_ns(0.5));
+
+  // The breakdown histograms observed this wave: the queries waited the
+  // whole 2 ms virtual coalescing window, so queue/batch wait are
+  // populated (count appears in the _count series of the exposition).
+  const obs::Histogram* qw =
+      obs::metrics().histogram("fastbfs_serve_queue_wait_ns");
+  const obs::Histogram* bw =
+      obs::metrics().histogram("fastbfs_serve_batch_wait_ns");
+  EXPECT_GE(qw->count(), 4u);
+  EXPECT_GE(bw->count(), 1u);
+}
+
+// Satellite (PR 10): quantiles of an empty latency histogram are 0, and a
+// NaN/out-of-range q is pinned into [0, 1] instead of indexing garbage.
+TEST(ServeService, LatencyQuantileEmptyAndNanSafe) {
+  const CsrGraph g = rmat_graph(8, 8, /*seed=*/58);
+  VirtualClock clock(1000);
+  OracleSink sink(&g);
+  BfsService svc(base_config(), clock, sink);
+  svc.add_graph(g);
+
+  // Nothing completed yet: every quantile is exactly 0.
+  EXPECT_EQ(svc.latency_quantile_ns(0.5), 0.0);
+  EXPECT_EQ(svc.latency_quantile_ns(0.0), 0.0);
+  EXPECT_EQ(svc.latency_quantile_ns(1.0), 0.0);
+  EXPECT_EQ(svc.latency_quantile_ns(std::nan("")), 0.0);
+
+  ASSERT_EQ(svc.submit(make_query(1, pick_nonisolated_root(g, 1)), nullptr),
+            Status::kOk);
+  clock.advance(2'000'000);
+  ASSERT_EQ(svc.pump(clock.now()), 1u);
+
+  // With one completion, degenerate q values clamp to the distribution's
+  // edges rather than faulting: NaN and negatives land on the minimum,
+  // q > 1 on the maximum.
+  const double p50 = svc.latency_quantile_ns(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_EQ(svc.latency_quantile_ns(std::nan("")),
+            svc.latency_quantile_ns(0.0));
+  EXPECT_EQ(svc.latency_quantile_ns(-3.0), svc.latency_quantile_ns(0.0));
+  EXPECT_EQ(svc.latency_quantile_ns(7.0), svc.latency_quantile_ns(1.0));
 }
 
 TEST(ServeService, ThreadedModeServesAndStops) {

@@ -23,10 +23,79 @@
 #include "graph/stats.h"
 #include "graph/validate.h"
 #include "obs/metrics.h"
+#include "obs/perf/perf_counters.h"
+#include "obs/perf/perf_syscall.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 
 namespace fastbfs {
 namespace {
+
+// Minimal always-succeeding perf_event fake for the counters-armed warm
+// gate: fixed tables only, so the fake itself cannot allocate inside the
+// gated region. Values advance per read so span deltas are non-trivial.
+namespace fakeperf {
+
+struct Group {
+  int leader_fd = -1;
+  int n = 0;  // events in the group, leader included
+};
+
+struct Table {
+  std::array<Group, 8> groups{};
+  int n_groups = 0;
+  int next_fd = 100;
+  std::uint64_t ticks = 0;
+};
+
+Table g_table;
+
+long fake_open(const void*, std::int32_t, std::int32_t, std::int32_t group_fd,
+               unsigned long) {
+  Table& t = g_table;
+  if (group_fd < 0) {
+    if (t.n_groups == static_cast<int>(t.groups.size())) return -24;  // EMFILE
+    t.groups[static_cast<unsigned>(t.n_groups)] = {t.next_fd, 1};
+    ++t.n_groups;
+    return t.next_fd++;
+  }
+  for (int i = 0; i < t.n_groups; ++i) {
+    if (t.groups[static_cast<unsigned>(i)].leader_fd == group_fd) {
+      ++t.groups[static_cast<unsigned>(i)].n;
+      return t.next_fd++;
+    }
+  }
+  return -9;  // EBADF
+}
+
+long fake_read(int fd, void* buf, std::size_t count) {
+  Table& t = g_table;
+  for (int i = 0; i < t.n_groups; ++i) {
+    const Group& g = t.groups[static_cast<unsigned>(i)];
+    if (g.leader_fd != fd) continue;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+    const std::size_t need =
+        sizeof(std::uint64_t) * (3 + static_cast<unsigned>(g.n));
+    if (count < need) return -22;  // EINVAL
+    auto* out = static_cast<std::uint64_t*>(buf);
+    out[0] = static_cast<std::uint64_t>(g.n);
+    out[1] = 1000;
+    out[2] = 1000;
+    const std::uint64_t tick = ++t.ticks;
+    for (int e = 0; e < g.n; ++e) {
+      out[3 + static_cast<unsigned>(e)] =
+          tick * 10 + static_cast<std::uint64_t>(e);
+    }
+    return static_cast<long>(need);
+  }
+  return -9;  // EBADF
+}
+
+long fake_close(int) { return 0; }
+
+constexpr obs::perf::Syscalls kTable{fake_open, fake_read, fake_close};
+
+}  // namespace fakeperf
 
 // Tiny LLC override forces N_VIS > 1 and multi-bin PBV on a 1k-vertex
 // graph, so the warm-run claim covers the partitioned code paths, not just
@@ -115,6 +184,57 @@ TEST(SteadyState, WarmAutoDirectionRunAllocatesNothing) {
   EXPECT_NE(runner.last_run_stats().direction_string().find('B'),
             std::string::npos)
       << "test graph was meant to exercise bottom-up steps";
+}
+
+TEST(SteadyState, WarmRunWithPerfArmedAllocatesNothing) {
+  // The counters-armed extension of the warm contract: with the perf
+  // subsystem live (fake PMU via the syscall seam, so the gate also runs
+  // on machines where perf_event_open is blocked) — and, when tracing is
+  // compiled in, with the recorder enabled so spans actually read and
+  // accumulate counter deltas — a warm run_into() must still not touch
+  // the heap. The read path writes into fixed tables and a preallocated
+  // sample ring; this pins that.
+  const CsrGraph g = rmat_graph(10, 8, /*seed=*/7);
+  BfsRunner runner(g, steady_opts());
+  const vid_t root = pick_nonisolated_root(g, 1);
+
+  if (!testing::allocation_counting_active()) {
+    GTEST_SKIP() << "allocation-counting operator new not linked in";
+  }
+
+  fakeperf::g_table = {};
+  obs::perf::set_syscalls_for_testing(&fakeperf::kTable);
+  if (obs::trace_compiled()) obs::enable();
+  ASSERT_TRUE(obs::perf::arm());
+  ASSERT_EQ(obs::perf::status(), obs::perf::PerfStatus::kHardware);
+
+  BfsResult out;
+  runner.run_into(root, out);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t probe = testing::allocation_count();
+    runner.run_into(root, out);
+    if (testing::allocation_count() == probe) break;
+  }
+
+  const std::uint64_t before = testing::allocation_count();
+  runner.run_into(root, out);
+  runner.run_into(root, out);
+  const std::uint64_t after = testing::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a warm run_into() with counters armed must not touch the heap";
+  EXPECT_GT(out.vertices_visited, 0u);
+
+  if (obs::trace_compiled()) {
+    // Tracing compiled in: the spans around each phase must have fed the
+    // aggregation tables while staying allocation-free above.
+    obs::perf::Reading now;
+    EXPECT_TRUE(obs::perf::read_current(now));
+    EXPECT_NE(now.valid_mask, 0u);
+  }
+
+  obs::perf::disarm();
+  if (obs::trace_compiled()) obs::disable();
+  obs::perf::set_syscalls_for_testing(nullptr);
 }
 
 // Shared body of the warm-batch gates: run_batch_into (validation on, the

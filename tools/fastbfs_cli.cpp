@@ -35,6 +35,7 @@
 #include "model/platform_params.h"
 #include "obs/metrics.h"
 #include "obs/model_check.h"
+#include "obs/perf/perf_counters.h"
 #include "obs/trace.h"
 #include "platform/cache_info.h"
 #include "simd/dispatch.h"
@@ -337,14 +338,30 @@ int cmd_bfs(const CliArgs& args) {
   const std::string trace_out = args.get("trace-out", "");
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string steps_csv = args.get("steps-csv", "");
-  const bool model_check = args.get_bool("model-check", false);
-  if (!trace_out.empty()) {
+  const std::string model_check_out = args.get("model-check-out", "");
+  const bool model_check =
+      args.get_bool("model-check", false) || !model_check_out.empty();
+  const bool perf_on = args.get_bool("perf", false);
+  if (!trace_out.empty() || perf_on) {
     if (!obs::trace_compiled()) {
       std::printf(
           "warning: this binary was built without -DFASTBFS_TRACE; the "
-          "trace will contain no engine spans\n");
+          "trace will contain no engine spans%s\n",
+          perf_on ? " and --perf cannot attribute counters (spans are the "
+                    "read points)"
+                  : "");
     }
+    // --perf reads counters at span boundaries, so it arms the recorder
+    // even when no trace file was requested.
     obs::enable();
+  }
+  if (perf_on) {
+    if (obs::perf::arm()) {
+      std::printf("perf: %s\n", obs::perf::status_string().c_str());
+    } else {
+      std::printf("warning: perf counters %s; timings unaffected\n",
+                  obs::perf::status_string().c_str());
+    }
   }
 
   // --model-check compares the run against the Sec. IV predictor. The
@@ -394,7 +411,13 @@ int cmd_bfs(const CliArgs& args) {
           runner.last_run_stats(), r, g.n_vertices(), runner.n_pbv_bins(),
           runner.n_vis_partitions(),
           static_cast<double>(runner.vis_storage_bytes()), mc);
-      rep.write_text(std::cout);
+      if (args.get_bool("model-check", false)) rep.write_text(std::cout);
+      if (!model_check_out.empty() && i + 1 == n_roots) {
+        std::ofstream out =
+            open_or_throw(model_check_out, "--model-check-out");
+        rep.write_json(out);
+        std::printf("wrote %s\n", model_check_out.c_str());
+      }
     }
     if (online && online->observe_run(runner, r)) {
       std::printf("tune: retuned between runs (%s)\n",
@@ -416,6 +439,33 @@ int cmd_bfs(const CliArgs& args) {
     std::printf("wrote %s (%llu spans, %llu dropped)\n", trace_out.c_str(),
                 static_cast<unsigned long long>(obs::total_recorded()),
                 static_cast<unsigned long long>(obs::total_dropped()));
+  }
+  if (perf_on) {
+    // Per-phase counter summary for the last run, and fastbfs_hw_* into
+    // the registry so --metrics-out below carries the aggregates.
+    obs::perf::publish_metrics();
+    const RunStats& s = runner.last_run_stats();
+    const auto row = [&](const char* name, const HwPhaseCounters& h) {
+      if (!h.valid) return;
+      std::printf(
+          "perf %-10s cycles %-12llu instr %-12llu llc-miss %-10llu "
+          "dtlb-miss %-8llu br-miss %-10llu\n",
+          name, static_cast<unsigned long long>(h.cycles),
+          static_cast<unsigned long long>(h.instructions),
+          static_cast<unsigned long long>(h.llc_load_misses),
+          static_cast<unsigned long long>(h.dtlb_load_misses),
+          static_cast<unsigned long long>(h.branch_misses));
+    };
+    row("phase1", s.hw_phase1);
+    row("phase2", s.hw_phase2);
+    row("rearrange", s.hw_rearrange);
+    row("bottom_up", s.hw_bottom_up);
+    if (obs::perf::multiplex_scaled() > 0) {
+      std::printf("perf multiplex-scaled reads: %llu\n",
+                  static_cast<unsigned long long>(
+                      obs::perf::multiplex_scaled()));
+    }
+    obs::perf::disarm();
   }
   if (!metrics_out.empty()) {
     std::ofstream out = open_or_throw(metrics_out, "--metrics-out");
@@ -681,8 +731,14 @@ int usage() {
       "                             (engine spans need -DFASTBFS_TRACE)\n"
       "          [--metrics-out=F]  registry dump; .json = JSON, else\n"
       "                             Prometheus text exposition\n"
+      "          [--perf]           arm perf_event hardware counters: per-\n"
+      "                             phase cycles/instr/LLC-miss deltas in\n"
+      "                             stats, CSV, metrics, trace (degrades\n"
+      "                             to software counters or off where\n"
+      "                             perf_event_open is blocked)\n"
       "          [--model-check --model-params=host|paper|FILE\n"
       "           --model-tol=0.75] Sec. IV predicted-vs-measured report\n"
+      "          [--model-check-out=F] same report as JSON (last root)\n"
       "          [--tune=off|static|online]  autotune (bfs and batch):\n"
       "                             static plans from graph stats, online\n"
       "                             also adapts from measured RunStats\n"

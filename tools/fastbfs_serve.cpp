@@ -12,11 +12,13 @@
 //                 [--isa=scalar|sse4.2|avx2|avx512|native]
 //                 [--tune=off|static|online]
 //                 [--model-params=host|paper|FILE]
-//                 [--metrics-out=path]
+//                 [--metrics-out=path] [--trace-out=path] [--perf]
 //
 // Prints "listening on <port>" (the kernel-assigned port when --port=0)
 // so a harness can scrape the line and connect. --metrics-out dumps the
-// final Prometheus scrape to a file on shutdown.
+// final Prometheus scrape to a file on shutdown; --trace-out dumps the
+// flight-recorder Chrome trace (query lifecycles, wave spans, and — with
+// --perf — hardware counter tracks) the same way.
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -28,6 +30,8 @@
 #include "model/calibrate.h"
 #include "model/platform_params.h"
 #include "obs/metrics.h"
+#include "obs/perf/perf_counters.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "simd/dispatch.h"
 #include "util/cli.h"
@@ -78,6 +82,8 @@ int main(int argc, char** argv) {
   cfg.service.batcher.queue_capacity =
       static_cast<unsigned>(args.get_int("queue-cap", 1024));
   const std::string metrics_out = args.get("metrics-out");
+  const std::string trace_out = args.get("trace-out");
+  const bool perf_on = args.get_bool("perf", false);
 
   // Autotuning (tune/planner.h): plan each added graph against the
   // platform model; online additionally adapts the sequential path from
@@ -132,6 +138,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!trace_out.empty() || perf_on) {
+    if (!obs::trace_compiled()) {
+      std::printf(
+          "warning: this binary was built without -DFASTBFS_TRACE; the "
+          "trace will contain no serving spans%s\n",
+          perf_on ? " and --perf cannot attribute counters (spans are the "
+                    "read points)"
+                  : "");
+    }
+    obs::enable();
+  }
+  if (perf_on) {
+    if (obs::perf::arm()) {
+      std::printf("perf: %s\n", obs::perf::status_string().c_str());
+    } else {
+      std::printf("warning: perf counters %s; timings unaffected\n",
+                  obs::perf::status_string().c_str());
+    }
+  }
+
   SteadyClock clock;
   BfsServer server(cfg, clock);
   server.add_graph(g);
@@ -164,6 +190,10 @@ int main(int argc, char** argv) {
                                       c.rejected_bad),
       static_cast<unsigned long long>(c.shutdown_drained));
 
+  if (perf_on) {
+    obs::perf::publish_metrics();
+    obs::perf::disarm();
+  }
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
     if (out) {
@@ -172,6 +202,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "fastbfs_serve: cannot write %s\n",
                    metrics_out.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (out) {
+      obs::write_chrome_trace(out);
+      std::printf("wrote %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "fastbfs_serve: cannot write %s\n",
+                   trace_out.c_str());
     }
   }
   return 0;
